@@ -1,0 +1,128 @@
+// Experiment E10 — ablations over the design choices DESIGN.md calls out:
+//
+//  (a) OPESS scaling range vs. value-index size and attack ambiguity
+//      ("The increase in size is proportional to the scaling used",
+//       §5.2.1) — including scale = 1 (no scaling), where the grouping
+//      attack becomes well-posed again;
+//  (b) encryption decoys on/off vs. frequency-attack crack rate (§4.1);
+//  (c) per-block framing overhead vs. total encrypted size — models the
+//      W3C XML-Encryption markup the paper's measurements include and
+//      explains its "sub produces the largest document" observation.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/opess.h"
+#include "crypto/keychain.h"
+#include "security/attacks.h"
+#include "xml/stats.h"
+
+int main() {
+  using namespace xcrypt;
+  using namespace xcrypt::bench;
+
+  PrintHeader("E10: ablations (scaling, decoys, per-block framing)");
+
+  // ---------------------------------------------------------------- (a)
+  std::printf("\n(a) OPESS scaling range vs index size and grouping attack\n");
+  const Document doc = BuildHospital(80, 4242);
+  const DocumentStats stats(doc);
+
+  // Singleton-free synthetic domain: the paper's "splitting preserves
+  // totals" invariant (the premise of the grouping attack that scaling
+  // defeats) only holds when no value is a singleton (singletons expand
+  // into m entries by design).
+  ValueHistogram salaries;
+  salaries.tag = "salary";
+  salaries.counts = {{"30000", 12}, {"45000", 18}, {"60000", 24},
+                     {"75000", 9},  {"90000", 30}};
+  std::vector<std::pair<std::string, int32_t>> occ;
+  {
+    int32_t block = 0;
+    for (const auto& [value, count] : salaries.counts) {
+      for (int64_t i = 0; i < count; ++i) occ.emplace_back(value, block++);
+    }
+  }
+  const ValueHistogram* pname = &salaries;
+  const KeyChain keys("ablation");
+
+  std::printf("    %-12s %10s %12s %22s\n", "scale range", "entries",
+              "size ratio", "consistent groupings");
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {1.0, 1.0}, {1.0, 2.0}, {1.0, 5.0}, {1.0, 10.0}, {5.0, 10.0}}) {
+    Rng rng(7);
+    OpessOptions options;
+    options.scale_min = lo;
+    options.scale_max = hi;
+    auto build =
+        BuildOpess("salary", occ, keys.OpeFor("salary"), rng, options);
+    if (!build.ok()) return 1;
+    CiphertextHistogram view;
+    std::map<int64_t, int64_t> hist;
+    for (const auto& e : build->entries) ++hist[e.key];
+    for (const auto& [k, c] : hist) view.counts.emplace_back(k, c);
+    const auto attack = SimulateFrequencyAttack(*pname, view);
+    std::printf("    [%.0f, %4.0f] %10zu %11.1fx %22s\n", lo, hi,
+                build->entries.size(),
+                static_cast<double>(build->entries.size()) / occ.size(),
+                attack.consistent_mappings.ToString().c_str());
+  }
+  std::printf(
+      "    -> index size grows ~linearly with the scale range (paper); with\n"
+      "       scale = 1 the totals match and grouping attacks become "
+      "well-posed\n       (non-zero consistent groupings), confirming why "
+      "scaling is needed.\n");
+
+  // ---------------------------------------------------------------- (b)
+  std::printf("\n(b) encryption decoys on/off vs frequency attack (§4.1)\n");
+  for (const char* tag : {"pname", "disease", "doctor"}) {
+    const ValueHistogram* hist = stats.HistogramFor(tag);
+    const auto without =
+        SimulateFrequencyAttack(*hist, NaiveDeterministicView(*hist));
+    const auto with = SimulateFrequencyAttack(*hist, DecoyView(*hist));
+    std::printf("    %-10s without decoys: %3.0f%% cracked | with decoys: "
+                "%3.0f%% cracked, ~2^%.0f candidates\n",
+                tag, 100.0 * without.crack_rate, 100.0 * with.crack_rate,
+                with.consistent_mappings.Log2());
+  }
+
+  // ---------------------------------------------------------------- (c)
+  std::printf("\n(c) per-block framing overhead vs total encrypted size\n");
+  Corpus corpus = MakeNasa(1);
+  std::printf("    %-6s %8s %14s", "scheme", "blocks", "raw bytes");
+  for (int overhead : {0, 100, 200, 400}) {
+    std::printf(" %10s+%3dB", "", overhead);
+  }
+  std::printf("\n");
+  struct Row {
+    SchemeKind kind;
+    int blocks;
+    int64_t bytes;
+  };
+  std::vector<Row> rows;
+  for (SchemeKind kind : AllSchemes()) {
+    auto das =
+        DasSystem::Host(corpus.doc, corpus.constraints, kind, "e10");
+    if (!das.ok()) return 1;
+    rows.push_back({kind, das->host_report().num_blocks,
+                    das->host_report().ciphertext_bytes});
+  }
+  for (const Row& row : rows) {
+    std::printf("    %-6s %8d %14lld", SchemeKindName(row.kind), row.blocks,
+                static_cast<long long>(row.bytes));
+    for (int overhead : {0, 100, 200, 400}) {
+      std::printf(" %14lld",
+                  static_cast<long long>(row.bytes +
+                                         static_cast<int64_t>(row.blocks) *
+                                             overhead));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "    -> with W3C XML-Encryption-like framing (~200-400 B/block, as in\n"
+      "       the paper's setup) many-block schemes overtake top in size —\n"
+      "       reproducing the paper's 'sub/app produce large documents'\n"
+      "       observation that lean binary framing (overhead 0) hides.\n");
+  return 0;
+}

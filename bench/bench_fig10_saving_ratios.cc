@@ -1,0 +1,76 @@
+// Experiment E6 — Figure 10: "App and Opt Schemes VS Top and Sub Schemes".
+//
+// Saving ratios per query class and corpus:
+//   S_a/t = (T_top - T_app) / T_top     S_a/s = (T_sub - T_app) / T_sub
+//   S_o/t = (T_top - T_opt) / T_top     S_o/s = (T_sub - T_opt) / T_sub
+//
+// Paper observations: both app and opt save more against top than against
+// sub, and the ratio grows as the query's output node gets closer to the
+// leaves (opt peaks around 0.64 over top and 0.53 over sub for Ql on
+// NASA).
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace xcrypt;
+  using namespace xcrypt::bench;
+
+  PrintHeader("E6 / Figure 10: saving ratios of app/opt over top/sub");
+
+  for (const Corpus& corpus : {MakeXMark(1), MakeNasa(1)}) {
+    std::printf("\n[%s-like corpus, %d nodes]\n", corpus.name.c_str(),
+                corpus.doc.node_count());
+
+    std::map<SchemeKind, DasSystem> hosted;
+    for (SchemeKind kind : AllSchemes()) {
+      auto das =
+          DasSystem::Host(corpus.doc, corpus.constraints, kind, "e6-secret");
+      if (!das.ok()) {
+        std::fprintf(stderr, "%s\n", das.status().ToString().c_str());
+        return 1;
+      }
+      hosted.emplace(kind, std::move(*das));
+    }
+
+    std::printf("%-4s %8s %8s %8s %8s\n", "Q", "Sa/t", "Sa/s", "So/t",
+                "So/s");
+    PrintRule('-', 44);
+    double so_t_last = 0.0;
+    double so_t_first = 0.0;
+    bool first = true;
+    for (WorkloadKind wk :
+         {WorkloadKind::kQs, WorkloadKind::kQm, WorkloadKind::kQl}) {
+      const auto workload = BuildWorkload(corpus.doc, wk, 8, 31);
+      const double t_top =
+          RunWorkload(hosted.at(SchemeKind::kTop), workload, 3).total_us;
+      const double t_sub =
+          RunWorkload(hosted.at(SchemeKind::kSub), workload, 3).total_us;
+      const double t_app =
+          RunWorkload(hosted.at(SchemeKind::kApproximate), workload, 3)
+              .total_us;
+      const double t_opt =
+          RunWorkload(hosted.at(SchemeKind::kOptimal), workload, 3).total_us;
+      const double sa_t = t_top > 0 ? (t_top - t_app) / t_top : 0;
+      const double sa_s = t_sub > 0 ? (t_sub - t_app) / t_sub : 0;
+      const double so_t = t_top > 0 ? (t_top - t_opt) / t_top : 0;
+      const double so_s = t_sub > 0 ? (t_sub - t_opt) / t_sub : 0;
+      std::printf("%-4s %8.2f %8.2f %8.2f %8.2f\n", WorkloadKindName(wk),
+                  sa_t, sa_s, so_t, so_s);
+      if (first) {
+        so_t_first = so_t;
+        first = false;
+      }
+      so_t_last = so_t;
+    }
+    std::printf("  ratio grows toward the leaves (So/t Ql >= Qs): %s\n",
+                so_t_last >= so_t_first ? "PASS" : "DIFFERS");
+  }
+
+  std::printf(
+      "\nPaper: savings over top exceed savings over sub; opt reaches ~0.64 "
+      "over\ntop and ~0.53 over sub for Ql on NASA.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Experiment E5 — Figure 9: "Query Performance of Various Encryption
+// Schemes, NASA Database": three panels (Qs, Qm, Ql), each showing query
+// processing time on the server, decryption time on the client, and query
+// post-processing time on the client, for the four schemes.
+//
+// Paper observations: for the same query every cost decreases in the order
+// top, sub, app, opt; the improvement from better schemes shows up mainly
+// on the client side; app stays within 1.1-1.3x of opt.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace xcrypt;
+  using namespace xcrypt::bench;
+
+  PrintHeader("E5 / Figure 9: query performance per scheme, NASA corpus");
+
+  Corpus corpus = MakeNasa(2);
+  std::printf("corpus: %s-like, %d nodes, height %d\n", corpus.name.c_str(),
+              corpus.doc.node_count(), corpus.doc.Height());
+
+  // Host once per scheme.
+  struct HostedScheme {
+    SchemeKind kind;
+    DasSystem das;
+  };
+  std::vector<HostedScheme> hosted;
+  for (SchemeKind kind : AllSchemes()) {
+    auto das =
+        DasSystem::Host(corpus.doc, corpus.constraints, kind, "e5-secret");
+    if (!das.ok()) {
+      std::fprintf(stderr, "%s\n", das.status().ToString().c_str());
+      return 1;
+    }
+    hosted.push_back({kind, std::move(*das)});
+  }
+
+  double client_total[4] = {0, 0, 0, 0};
+  for (WorkloadKind wk :
+       {WorkloadKind::kQs, WorkloadKind::kQm, WorkloadKind::kQl}) {
+    const auto workload = BuildWorkload(corpus.doc, wk, 10, 23);
+    std::printf("\n(%s) 10 queries, trimmed mean of 5 trials\n",
+                WorkloadKindName(wk));
+    std::printf("%-6s %14s %14s %14s %12s\n", "scheme", "server/us",
+                "decrypt/us", "postproc/us", "bytes");
+    PrintRule();
+    for (size_t i = 0; i < hosted.size(); ++i) {
+      const AveragedCosts c = RunWorkload(hosted[i].das, workload);
+      client_total[i] += c.decrypt_us + c.postprocess_us;
+      std::printf("%-6s %14.1f %14.1f %14.1f %12.0f\n",
+                  SchemeKindName(hosted[i].kind), c.server_process_us,
+                  c.decrypt_us, c.postprocess_us, c.bytes);
+    }
+  }
+
+  PrintRule();
+  std::printf("\nShape checks vs paper (client-side cost ordering across "
+              "schemes,\nsummed over the three query classes):\n");
+  // hosted order: top, sub, app, opt.
+  std::printf("  top >= sub: %s  (%.0f vs %.0f)\n",
+              client_total[0] >= client_total[1] ? "PASS" : "DIFFERS",
+              client_total[0], client_total[1]);
+  std::printf("  sub >= app: %s  (%.0f vs %.0f)\n",
+              client_total[1] >= client_total[2] ? "PASS" : "DIFFERS",
+              client_total[1], client_total[2]);
+  std::printf("  app >= opt: %s  (%.0f vs %.0f)\n",
+              client_total[2] >= client_total[3] ? "PASS" : "DIFFERS",
+              client_total[2], client_total[3]);
+  if (client_total[3] > 0) {
+    std::printf("  app/opt ratio: %.2fx (paper: 1.1-1.3x)\n",
+                client_total[2] / client_total[3]);
+  }
+  return 0;
+}

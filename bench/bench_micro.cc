@@ -1,0 +1,228 @@
+// Experiment E9 — microbenchmarks / ablations over the system's building
+// blocks, using google-benchmark: crypto primitive throughput, DSI
+// construction, structural joins, B+-tree operations, OPESS construction,
+// XML parsing, XPath evaluation, vertex-cover exact vs greedy, and the
+// end-to-end protocol.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/client.h"
+#include "core/opess.h"
+#include "core/vertex_cover.h"
+#include "crypto/aes.h"
+#include "crypto/keychain.h"
+#include "crypto/sha256.h"
+#include "das/das_system.h"
+#include "data/healthcare.h"
+#include "data/nasa_generator.h"
+#include "data/xmark_generator.h"
+#include "index/btree.h"
+#include "index/dsi.h"
+#include "index/structural_join.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(state.range(0), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  auto cipher = CbcCipher::Create(Bytes(32, 0x77));
+  const Bytes plain(state.range(0), 0x42);
+  int nonce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cipher->Encrypt(plain, std::to_string(nonce++)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbcEncrypt)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_AesCbcDecrypt(benchmark::State& state) {
+  auto cipher = CbcCipher::Create(Bytes(32, 0x77));
+  const Bytes ct = cipher->Encrypt(Bytes(state.range(0), 0x42), "n");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher->Decrypt(ct));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbcDecrypt)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_TagCipher(benchmark::State& state) {
+  const TagCipher cipher(ToBytes("key"));
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher.EncryptTag("tag" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_TagCipher);
+
+void BM_OpeEncrypt(benchmark::State& state) {
+  const OpeFunction ope(ToBytes("key"));
+  int64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ope.EncryptInt(x++));
+  }
+}
+BENCHMARK(BM_OpeEncrypt);
+
+void BM_XmlParse(benchmark::State& state) {
+  const Document doc = BuildHospital(state.range(0), 3);
+  const std::string xml = SerializeXml(doc, doc.root(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseXml(xml));
+  }
+  state.SetBytesProcessed(state.iterations() * xml.size());
+}
+BENCHMARK(BM_XmlParse)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_XPathEvaluate(benchmark::State& state) {
+  const Document doc = BuildHospital(state.range(0), 3);
+  const XPathEvaluator eval(doc);
+  const PathExpr query =
+      *ParseXPath("//patient[.//disease='diarrhea']//SSN");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Evaluate(query));
+  }
+}
+BENCHMARK(BM_XPathEvaluate)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_DsiBuild(benchmark::State& state) {
+  const Document doc = BuildHospital(state.range(0), 3);
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(DsiIndex::Build(doc, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * doc.node_count());
+}
+BENCHMARK(BM_DsiBuild)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_StructuralJoin(benchmark::State& state) {
+  const Document doc = BuildHospital(state.range(0), 3);
+  Rng rng(7);
+  const DsiIndex dsi = DsiIndex::Build(doc, rng);
+  std::vector<Interval> anc;
+  std::vector<Interval> desc;
+  for (NodeId id : doc.PreOrder()) {
+    if (doc.node(id).tag == "patient") anc.push_back(dsi.interval(id));
+    if (doc.IsLeaf(id)) desc.push_back(dsi.interval(id));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StructuralJoin::FilterDescendants(anc, desc));
+  }
+  state.SetItemsProcessed(state.iterations() * (anc.size() + desc.size()));
+}
+BENCHMARK(BM_StructuralJoin)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<int64_t> keys(state.range(0));
+  for (auto& k : keys) k = rng.UniformI64(INT64_MIN / 2, INT64_MAX / 2);
+  for (auto _ : state) {
+    BPlusTree tree(64);
+    for (int64_t k : keys) tree.Insert(k, 0);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<BTreeEntry> entries(state.range(0));
+  for (auto& e : entries) {
+    e = {rng.UniformI64(INT64_MIN / 2, INT64_MAX / 2), 0};
+  }
+  for (auto _ : state) {
+    BPlusTree tree(64);
+    tree.BulkLoad(entries);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeBulkLoad)->Arg(1000)->Arg(10000);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  Rng rng(5);
+  BPlusTree tree(64);
+  std::vector<BTreeEntry> entries(100000);
+  for (auto& e : entries) {
+    e = {rng.UniformI64(0, 1000000), 0};
+  }
+  tree.BulkLoad(entries);
+  int64_t lo = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.RangeScan(lo, lo + state.range(0)));
+    lo = (lo + 777) % 900000;
+  }
+}
+BENCHMARK(BM_BTreeRangeScan)->Arg(100)->Arg(10000);
+
+void BM_OpessBuild(benchmark::State& state) {
+  Rng data_rng(9);
+  std::vector<std::pair<std::string, int32_t>> occurrences;
+  for (int i = 0; i < state.range(0); ++i) {
+    occurrences.emplace_back(std::to_string(data_rng.Zipf(50, 1.0) * 37),
+                             i);
+  }
+  const OpeFunction ope(ToBytes("k"));
+  for (auto _ : state) {
+    Rng rng(11);
+    benchmark::DoNotOptimize(BuildOpess("t", occurrences, ope, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OpessBuild)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_VertexCover(benchmark::State& state) {
+  const bool exact = state.range(0) == 1;
+  const Document doc = GenerateXMark({.people = 50, .items = 10});
+  const auto bindings = BindConstraints(doc, XMarkConstraints());
+  const ConstraintGraph graph = ConstraintGraph::Build(doc, bindings);
+  for (auto _ : state) {
+    if (exact) {
+      benchmark::DoNotOptimize(ExactVertexCover(graph));
+    } else {
+      benchmark::DoNotOptimize(ClarksonGreedyVertexCover(graph));
+    }
+  }
+}
+BENCHMARK(BM_VertexCover)->Arg(1)->Arg(0);  // 1 = exact, 0 = greedy
+
+void BM_HostDatabase(benchmark::State& state) {
+  const Document doc = BuildHospital(state.range(0), 3);
+  for (auto _ : state) {
+    auto client = Client::Host(doc, HealthcareConstraints(),
+                               SchemeKind::kOptimal, "bench");
+    benchmark::DoNotOptimize(client);
+  }
+  state.SetItemsProcessed(state.iterations() * doc.node_count());
+}
+BENCHMARK(BM_HostDatabase)->Arg(20)->Arg(100);
+
+void BM_ProtocolQuery(benchmark::State& state) {
+  const Document doc = BuildHospital(state.range(0), 3);
+  auto das = DasSystem::Host(doc, HealthcareConstraints(),
+                             SchemeKind::kOptimal, "bench");
+  const PathExpr query =
+      *ParseXPath("//patient[.//disease='diarrhea']//SSN");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(das->Execute(query));
+  }
+}
+BENCHMARK(BM_ProtocolQuery)->Arg(20)->Arg(100)->Arg(500);
+
+}  // namespace
+}  // namespace xcrypt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+#ifndef XCRYPT_BENCH_BENCH_UTIL_H_
+#define XCRYPT_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment-reproduction binaries (one binary per
+// table/figure of the paper; see DESIGN.md §2). These are plain harnesses
+// that print the same rows/series the paper reports; bench_micro.cc uses
+// google-benchmark for the microbenchmarks.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "das/das_system.h"
+#include "data/healthcare.h"
+#include "data/nasa_generator.h"
+#include "data/workload.h"
+#include "data/xmark_generator.h"
+
+namespace xcrypt {
+namespace bench {
+
+/// The two evaluation corpora of §7.1, size-scaled for CI time (the paper
+/// used 25-50MB documents on 2006 hardware; scale up via `scale` to
+/// approach those sizes).
+struct Corpus {
+  std::string name;
+  Document doc;
+  std::vector<SecurityConstraint> constraints;
+};
+
+inline Corpus MakeXMark(int scale = 1) {
+  XMarkConfig config;
+  config.people = 120 * scale;
+  config.items = 60 * scale;
+  config.seed = 20060912;  // the VLDB'06 conference date
+  return {"XMark", GenerateXMark(config), XMarkConstraints()};
+}
+
+inline Corpus MakeNasa(int scale = 1) {
+  NasaConfig config;
+  config.datasets = 100 * scale;
+  config.seed = 20060915;
+  return {"NASA", GenerateNasa(config), NasaConstraints()};
+}
+
+inline const std::vector<SchemeKind>& AllSchemes() {
+  static const std::vector<SchemeKind> kSchemes = {
+      SchemeKind::kTop, SchemeKind::kSub, SchemeKind::kApproximate,
+      SchemeKind::kOptimal};
+  return kSchemes;
+}
+
+/// Mean after dropping min and max — the paper's "average of 5 trials
+/// after dropping the maximum and minimum" (§7.1).
+inline double TrimmedMean(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  if (samples.size() <= 2) {
+    return std::accumulate(samples.begin(), samples.end(), 0.0) /
+           samples.size();
+  }
+  std::sort(samples.begin(), samples.end());
+  return std::accumulate(samples.begin() + 1, samples.end() - 1, 0.0) /
+         (samples.size() - 2);
+}
+
+/// Averaged per-phase costs of one query over `trials` runs.
+struct AveragedCosts {
+  double client_translate_us = 0.0;
+  double server_process_us = 0.0;
+  double transmission_us = 0.0;
+  double decrypt_us = 0.0;
+  double postprocess_us = 0.0;
+  double bytes = 0.0;
+  double total_us = 0.0;
+};
+
+inline AveragedCosts RunAveraged(const DasSystem& das, const PathExpr& query,
+                                 int trials = 5) {
+  std::vector<double> translate, server, wire, decrypt, post, bytes, total;
+  for (int t = 0; t < trials; ++t) {
+    auto run = das.Execute(query);
+    if (!run.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   run.status().ToString().c_str());
+      return {};
+    }
+    translate.push_back(run->costs.client_translate_us);
+    server.push_back(run->costs.server_process_us);
+    wire.push_back(run->costs.transmission_us);
+    decrypt.push_back(run->costs.decrypt_us);
+    post.push_back(run->costs.postprocess_us);
+    bytes.push_back(static_cast<double>(run->costs.bytes_shipped));
+    total.push_back(run->costs.TotalUs());
+  }
+  AveragedCosts out;
+  out.client_translate_us = TrimmedMean(translate);
+  out.server_process_us = TrimmedMean(server);
+  out.transmission_us = TrimmedMean(wire);
+  out.decrypt_us = TrimmedMean(decrypt);
+  out.postprocess_us = TrimmedMean(post);
+  out.bytes = TrimmedMean(bytes);
+  out.total_us = TrimmedMean(total);
+  return out;
+}
+
+/// Workload-average of per-phase costs.
+inline AveragedCosts RunWorkload(const DasSystem& das,
+                                 const std::vector<WorkloadQuery>& workload,
+                                 int trials = 5) {
+  AveragedCosts sum;
+  int n = 0;
+  for (const WorkloadQuery& wq : workload) {
+    const AveragedCosts c = RunAveraged(das, wq.expr, trials);
+    sum.client_translate_us += c.client_translate_us;
+    sum.server_process_us += c.server_process_us;
+    sum.transmission_us += c.transmission_us;
+    sum.decrypt_us += c.decrypt_us;
+    sum.postprocess_us += c.postprocess_us;
+    sum.bytes += c.bytes;
+    sum.total_us += c.total_us;
+    ++n;
+  }
+  if (n == 0) return sum;
+  sum.client_translate_us /= n;
+  sum.server_process_us /= n;
+  sum.transmission_us /= n;
+  sum.decrypt_us /= n;
+  sum.postprocess_us /= n;
+  sum.bytes /= n;
+  sum.total_us /= n;
+  return sum;
+}
+
+/// Naive-method total time (§7.3), workload-averaged.
+inline double RunWorkloadNaive(const DasSystem& das,
+                               const std::vector<WorkloadQuery>& workload,
+                               int trials = 3) {
+  double sum = 0.0;
+  int n = 0;
+  for (const WorkloadQuery& wq : workload) {
+    std::vector<double> total;
+    for (int t = 0; t < trials; ++t) {
+      auto run = das.ExecuteNaive(wq.expr);
+      if (!run.ok()) continue;
+      total.push_back(run->costs.TotalUs());
+    }
+    sum += TrimmedMean(total);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+inline void PrintRule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  PrintRule('=');
+  std::printf("%s\n", title.c_str());
+  PrintRule('=');
+}
+
+}  // namespace bench
+}  // namespace xcrypt
+
+#endif  // XCRYPT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,257 @@
+// xcrypt_shell — a small REPL around the hosted-database system, wired
+// like the paper's Figure 1. Load an XML file (or a built-in corpus),
+// declare security constraints, host, and query interactively.
+//
+// Usage:
+//   xcrypt_shell                # starts with the Figure-2 hospital
+//   xcrypt_shell file.xml       # loads an XML document
+//
+// Commands:
+//   sc <constraint>             add a security constraint, e.g.
+//                               sc //patient:(/pname, /SSN)
+//   host [opt|app|sub|top]      encrypt + build metadata
+//   q <xpath>                   run a query through the protocol
+//   agg <min|max|count|sum> <xpath>
+//   set <xpath> <value>         update all bound leaf values
+//   save <path> / info / help / quit
+//
+// Non-interactive use: pipe commands on stdin (the demo below runs when
+// stdin is not a TTY and empty).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "das/das_system.h"
+#include "data/healthcare.h"
+#include "storage/serializer.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace {
+
+using namespace xcrypt;
+
+struct Shell {
+  Document doc;
+  std::vector<SecurityConstraint> constraints;
+  std::unique_ptr<DasSystem> das;
+
+  bool EnsureHosted() {
+    if (das == nullptr) {
+      std::printf("not hosted yet — run `host` first\n");
+      return false;
+    }
+    return true;
+  }
+
+  void Host(const std::string& kind_name) {
+    SchemeKind kind = SchemeKind::kOptimal;
+    if (kind_name == "app") kind = SchemeKind::kApproximate;
+    if (kind_name == "sub") kind = SchemeKind::kSub;
+    if (kind_name == "top") kind = SchemeKind::kTop;
+    auto hosted = DasSystem::Host(doc, constraints, kind, "shell-secret");
+    if (!hosted.ok()) {
+      std::printf("host failed: %s\n", hosted.status().ToString().c_str());
+      return;
+    }
+    das = std::make_unique<DasSystem>(std::move(*hosted));
+    const HostReport& r = das->host_report();
+    std::printf("hosted under %s: %d blocks, %lld B ciphertext, %lld B "
+                "metadata\n",
+                SchemeKindName(kind), r.num_blocks,
+                static_cast<long long>(r.ciphertext_bytes),
+                static_cast<long long>(r.metadata_bytes));
+  }
+
+  void Query(const std::string& xpath) {
+    if (!EnsureHosted()) return;
+    auto run = das->Execute(xpath);
+    if (!run.ok()) {
+      std::printf("error: %s\n", run.status().ToString().c_str());
+      return;
+    }
+    std::printf("Qs: %s\n", run->translated.ToString().c_str());
+    for (const Document& node : run->answer.nodes) {
+      std::printf("  %s\n", SerializeXml(node, node.root(), 0).c_str());
+    }
+    std::printf("%zu node(s); server %.0fus, wire %lldB, client %.0fus\n",
+                run->answer.nodes.size(), run->costs.server_process_us,
+                static_cast<long long>(run->costs.bytes_shipped),
+                run->costs.ClientUs());
+  }
+
+  void Aggregate(const std::string& kind_name, const std::string& xpath) {
+    if (!EnsureHosted()) return;
+    AggregateKind kind;
+    if (kind_name == "min") {
+      kind = AggregateKind::kMin;
+    } else if (kind_name == "max") {
+      kind = AggregateKind::kMax;
+    } else if (kind_name == "sum") {
+      kind = AggregateKind::kSum;
+    } else if (kind_name == "count") {
+      kind = AggregateKind::kCount;
+    } else {
+      std::printf("unknown aggregate '%s'\n", kind_name.c_str());
+      return;
+    }
+    auto run = das->ExecuteAggregate(xpath, kind);
+    if (!run.ok()) {
+      std::printf("error: %s\n", run.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s(%s) = %s   [%d block(s) shipped%s]\n",
+                AggregateKindName(kind), xpath.c_str(),
+                run->answer.value.c_str(), run->costs.blocks_shipped,
+                run->answer.computed_on_server ? ", computed on server" : "");
+  }
+
+  void Update(const std::string& xpath, const std::string& value) {
+    if (!EnsureHosted()) return;
+    auto updated = das->UpdateValues(xpath, value);
+    if (!updated.ok()) {
+      std::printf("error: %s\n", updated.status().ToString().c_str());
+      return;
+    }
+    std::printf("updated %d node(s)\n", *updated);
+  }
+
+  void Save(const std::string& path) {
+    if (!EnsureHosted()) return;
+    const Status s =
+        SaveBundle(das->client().database(), das->client().metadata(), path);
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+      return;
+    }
+    std::printf("hosted bundle written to %s (what the server receives)\n",
+                path.c_str());
+  }
+
+  void Info() const {
+    std::printf("document: %d nodes, height %d\n", doc.node_count(),
+                doc.Height());
+    for (const SecurityConstraint& sc : constraints) {
+      std::printf("  sc %s\n", sc.ToString().c_str());
+    }
+    if (das != nullptr) {
+      std::printf("hosted; encrypted tags:");
+      for (const auto& [tag, token] : das->client().index_meta().tag_tokens) {
+        std::printf(" %s->%s", tag.c_str(), token.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+};
+
+int RunCommand(Shell& shell, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty() || cmd[0] == '#') return 0;
+  if (cmd == "quit" || cmd == "exit") return 1;
+  if (cmd == "help") {
+    std::printf(
+        "commands: sc <constraint> | host [opt|app|sub|top] | q <xpath> |\n"
+        "          agg <min|max|count|sum> <xpath> | set <xpath> <value> |\n"
+        "          save <path> | info | quit\n");
+  } else if (cmd == "sc") {
+    std::string rest;
+    std::getline(in, rest);
+    const size_t start = rest.find_first_not_of(' ');
+    if (start == std::string::npos) {
+      std::printf("usage: sc <constraint>\n");
+      return 0;
+    }
+    auto sc = ParseSecurityConstraint(rest.substr(start));
+    if (!sc.ok()) {
+      std::printf("error: %s\n", sc.status().ToString().c_str());
+    } else {
+      shell.constraints.push_back(std::move(*sc));
+      shell.das.reset();  // needs re-hosting
+      std::printf("added (re-host to apply)\n");
+    }
+  } else if (cmd == "host") {
+    std::string kind = "opt";
+    in >> kind;
+    shell.Host(kind);
+  } else if (cmd == "q") {
+    std::string xpath;
+    in >> xpath;
+    shell.Query(xpath);
+  } else if (cmd == "agg") {
+    std::string kind, xpath;
+    in >> kind >> xpath;
+    shell.Aggregate(kind, xpath);
+  } else if (cmd == "set") {
+    std::string xpath, value;
+    in >> xpath >> value;
+    shell.Update(xpath, value);
+  } else if (cmd == "save") {
+    std::string path;
+    in >> path;
+    shell.Save(path);
+  } else if (cmd == "info") {
+    shell.Info();
+  } else {
+    std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto doc = ParseXml(buffer.str());
+    if (!doc.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    shell.doc = std::move(*doc);
+    std::printf("loaded %s: %d nodes\n", argv[1], shell.doc.node_count());
+  } else {
+    shell.doc = xcrypt::BuildHealthcareSample();
+    shell.constraints = xcrypt::HealthcareConstraints();
+    std::printf("using the built-in Figure-2 hospital (%d nodes) with the "
+                "Example-3.1 constraints\n",
+                shell.doc.node_count());
+  }
+
+  if (isatty(fileno(stdin)) == 0 && std::cin.peek() == EOF) {
+    // Non-interactive smoke demo so the binary is runnable bare.
+    std::printf("\n(no stdin — running the demo script)\n");
+    for (const char* line : {
+             "info", "host opt",
+             "q //patient[.//insurance/@coverage>='10000']//SSN",
+             "agg max //insurance/@coverage",
+             "set //patient[pname='Matt']/age 41",
+             "q //patient[age='41']/pname",
+         }) {
+      std::printf("xcrypt> %s\n", line);
+      RunCommand(shell, line);
+    }
+    return 0;
+  }
+
+  std::string line;
+  std::printf("xcrypt> ");
+  while (std::getline(std::cin, line)) {
+    if (RunCommand(shell, line) != 0) break;
+    std::printf("xcrypt> ");
+  }
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "common/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xcrypt {
+
+BigUInt::BigUInt(uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<uint32_t>(v & 0xffffffffu));
+    uint32_t hi = static_cast<uint32_t>(v >> 32);
+    if (hi != 0) limbs_.push_back(hi);
+  }
+}
+
+BigUInt BigUInt::Factorial(uint64_t n) {
+  BigUInt out(1);
+  for (uint64_t i = 2; i <= n; ++i) {
+    out.MulSmall(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+BigUInt BigUInt::Binomial(uint64_t n, uint64_t k) {
+  if (k > n) return BigUInt();
+  if (k > n - k) k = n - k;
+  BigUInt out(1);
+  // C(n, k) = prod_{i=1..k} (n - k + i) / i; division is exact at each step
+  // because the running product is always a binomial coefficient.
+  for (uint64_t i = 1; i <= k; ++i) {
+    out.MulSmall(static_cast<uint32_t>(n - k + i));
+    out.DivSmall(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+BigUInt BigUInt::Multinomial(const std::vector<uint64_t>& ks) {
+  // (k1+...+kn)! / (k1! ... kn!) computed as a product of binomials:
+  // C(k1, k1) * C(k1+k2, k2) * ... — stays integral throughout.
+  BigUInt out(1);
+  uint64_t total = 0;
+  for (uint64_t k : ks) {
+    total += k;
+    out.Mul(Binomial(total, k));
+  }
+  return out;
+}
+
+BigUInt& BigUInt::MulSmall(uint32_t m) {
+  if (m == 0 || IsZero()) {
+    limbs_.clear();
+    return *this;
+  }
+  uint64_t carry = 0;
+  for (auto& limb : limbs_) {
+    uint64_t v = static_cast<uint64_t>(limb) * m + carry;
+    limb = static_cast<uint32_t>(v & 0xffffffffu);
+    carry = v >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
+  return *this;
+}
+
+BigUInt& BigUInt::DivSmall(uint32_t d) {
+  uint64_t rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    uint64_t cur = (rem << 32) | limbs_[i];
+    limbs_[i] = static_cast<uint32_t>(cur / d);
+    rem = cur % d;
+  }
+  Trim();
+  return *this;
+}
+
+BigUInt& BigUInt::Add(const BigUInt& other) {
+  const size_t n = std::max(limbs_.size(), other.limbs_.size());
+  limbs_.resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = carry + limbs_[i] +
+                 (i < other.limbs_.size() ? other.limbs_[i] : 0);
+    limbs_[i] = static_cast<uint32_t>(v & 0xffffffffu);
+    carry = v >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
+  return *this;
+}
+
+BigUInt& BigUInt::Mul(const BigUInt& other) {
+  if (IsZero() || other.IsZero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<uint32_t> out(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t v = static_cast<uint64_t>(limbs_[i]) * other.limbs_[j] +
+                   out[i + j] + carry;
+      out[i + j] = static_cast<uint32_t>(v & 0xffffffffu);
+      carry = v >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      uint64_t v = static_cast<uint64_t>(out[k]) + carry;
+      out[k] = static_cast<uint32_t>(v & 0xffffffffu);
+      carry = v >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(out);
+  Trim();
+  return *this;
+}
+
+bool BigUInt::operator<(const BigUInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size();
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i];
+  }
+  return false;
+}
+
+int BigUInt::DecimalDigits() const {
+  return static_cast<int>(ToString().size());
+}
+
+double BigUInt::Log2() const {
+  if (IsZero()) return 0.0;
+  const size_t n = limbs_.size();
+  double top = limbs_[n - 1];
+  if (n >= 2) top += limbs_[n - 2] * 0x1.0p-32;
+  return std::log2(top) + 32.0 * (n - 1);
+}
+
+std::string BigUInt::ToString() const {
+  if (IsZero()) return "0";
+  std::vector<uint32_t> tmp = limbs_;
+  std::string digits;
+  while (!tmp.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = tmp.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | tmp[i];
+      tmp[i] = static_cast<uint32_t>(cur / 10);
+      rem = cur % 10;
+    }
+    digits.push_back(static_cast<char>('0' + rem));
+    while (!tmp.empty() && tmp.back() == 0) tmp.pop_back();
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+uint64_t BigUInt::ToU64Saturated() const {
+  if (limbs_.size() > 2) return UINT64_MAX;
+  uint64_t v = 0;
+  if (limbs_.size() >= 2) v = static_cast<uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+void BigUInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,62 @@
+#ifndef XCRYPT_COMMON_BIGINT_H_
+#define XCRYPT_COMMON_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xcrypt {
+
+/// Arbitrary-precision unsigned integer, base 2^32 little-endian limbs.
+///
+/// The security analysis of the paper counts candidate databases with
+/// multinomial coefficients (Theorem 4.1) and binomial coefficients
+/// (Theorems 5.1, 5.2); these overflow 64 bits quickly, so candidate counts
+/// are computed exactly with this type.
+class BigUInt {
+ public:
+  /// Zero.
+  BigUInt() = default;
+  /// From a 64-bit value.
+  explicit BigUInt(uint64_t v);
+
+  /// Factory: n! (n >= 0).
+  static BigUInt Factorial(uint64_t n);
+  /// Factory: binomial coefficient C(n, k); zero when k > n.
+  static BigUInt Binomial(uint64_t n, uint64_t k);
+  /// Factory: multinomial coefficient (sum ki)! / prod(ki!).
+  static BigUInt Multinomial(const std::vector<uint64_t>& ks);
+
+  bool IsZero() const { return limbs_.empty(); }
+
+  BigUInt& MulSmall(uint32_t m);
+  /// Divides by a small divisor; requires exact or truncating division is
+  /// acceptable (used for falling-factorial binomials where division is
+  /// always exact at each step).
+  BigUInt& DivSmall(uint32_t d);
+  BigUInt& Add(const BigUInt& other);
+  BigUInt& Mul(const BigUInt& other);
+
+  bool operator==(const BigUInt& other) const { return limbs_ == other.limbs_; }
+  bool operator<(const BigUInt& other) const;
+
+  /// Number of decimal digits (1 for zero).
+  int DecimalDigits() const;
+
+  /// Approximate log2; 0 for zero.
+  double Log2() const;
+
+  /// Decimal string.
+  std::string ToString() const;
+
+  /// Value as uint64 if it fits, otherwise UINT64_MAX.
+  uint64_t ToU64Saturated() const;
+
+ private:
+  void Trim();
+  std::vector<uint32_t> limbs_;  // little-endian base 2^32; empty == 0
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_COMMON_BIGINT_H_

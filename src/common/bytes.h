@@ -1,0 +1,32 @@
+#ifndef XCRYPT_COMMON_BYTES_H_
+#define XCRYPT_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xcrypt {
+
+/// Raw byte buffer used by the crypto layer and for encrypted blocks.
+using Bytes = std::vector<uint8_t>;
+
+/// Converts a string's bytes into a Bytes buffer.
+Bytes ToBytes(const std::string& s);
+
+/// Converts a byte buffer back into a std::string (may contain NULs).
+std::string FromBytes(const Bytes& b);
+
+/// Lowercase hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string HexEncode(const Bytes& b);
+
+/// Decodes lowercase/uppercase hex. Fails on odd length or non-hex chars.
+Result<Bytes> HexDecode(const std::string& hex);
+
+/// XORs b into a (a ^= b). Requires equal sizes.
+void XorInPlace(Bytes& a, const Bytes& b);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_COMMON_BYTES_H_

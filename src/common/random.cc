@@ -1,0 +1,109 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace xcrypt {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t lo, uint64_t hi) {
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) return NextU64();  // full range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return lo + v % span;
+}
+
+int64_t Rng::UniformI64(int64_t lo, int64_t hi) {
+  return static_cast<int64_t>(
+      UniformU64(0, static_cast<uint64_t>(hi - lo))) + lo;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + NextDouble() * (hi - lo);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+std::vector<double> Rng::DistinctSortedDoubles(int k, double lo, double hi) {
+  std::vector<double> out;
+  out.reserve(k);
+  while (static_cast<int>(out.size()) < k) {
+    double v = UniformDouble(lo, hi);
+    if (v == lo) continue;  // open interval
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int Rng::Zipf(int n, double theta) {
+  if (n <= 1) return 0;
+  if (theta <= 0.0) return static_cast<int>(UniformU64(0, n - 1));
+  // Inverse-CDF sampling over the (small) rank space.
+  double total = 0.0;
+  for (int r = 0; r < n; ++r) total += 1.0 / std::pow(r + 1, theta);
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (int r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(r + 1, theta);
+    if (acc >= target) return r;
+  }
+  return n - 1;
+}
+
+std::string Rng::String(int length) {
+  std::string out;
+  out.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + UniformU64(0, 25)));
+  }
+  return out;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> p(n);
+  std::iota(p.begin(), p.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(p[i], p[UniformU64(0, i)]);
+  }
+  return p;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,57 @@
+#ifndef XCRYPT_COMMON_RANDOM_H_
+#define XCRYPT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xcrypt {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t& state);
+
+/// Deterministic pseudo-random generator (xoshiro256**). Used everywhere a
+/// reproducible stream of randomness is needed (DSI weights, decoys, OPESS
+/// weights and scales, data generators). Not used for key material — key
+/// derivation goes through the PRF in crypto/.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed yields the same stream.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformU64(uint64_t lo, uint64_t hi);
+  int64_t UniformI64(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double NextDouble();
+
+  /// Uniform real in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// k distinct doubles drawn uniformly from (lo, hi), sorted ascending.
+  std::vector<double> DistinctSortedDoubles(int k, double lo, double hi);
+
+  /// Zipf-like rank in [0, n): probability of rank r proportional to
+  /// 1/(r+1)^theta. theta = 0 gives uniform.
+  int Zipf(int n, double theta);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string String(int length);
+
+  /// Shuffles a vector of indices [0, n).
+  std::vector<int> Permutation(int n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_COMMON_RANDOM_H_

@@ -1,0 +1,123 @@
+#ifndef XCRYPT_COMMON_STATUS_H_
+#define XCRYPT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xcrypt {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kCorruption,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK", "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+///
+/// Usage follows the RocksDB/Arrow convention:
+///
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder. Either holds a T (when status().ok()) or an
+/// error Status describing why no value is available.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return some_t;` in functions returning
+  /// Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Constructing from an OK status is a
+  /// programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace xcrypt
+
+/// Propagates a non-OK Status from an expression, Arrow-style.
+#define XCRYPT_RETURN_NOT_OK(expr)          \
+  do {                                      \
+    ::xcrypt::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+#endif  // XCRYPT_COMMON_STATUS_H_

@@ -1,0 +1,163 @@
+#include "core/aggregate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+#include "index/structural_join.h"
+
+#include "xml/stats.h"
+
+namespace xcrypt {
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kMax:
+      return "MAX";
+    case AggregateKind::kCount:
+      return "COUNT";
+    case AggregateKind::kSum:
+      return "SUM";
+  }
+  return "?";
+}
+
+Result<AggregateResponse> ServerEngine::ExecuteAggregate(
+    const TranslatedQuery& query, AggregateKind kind,
+    const std::string& index_token) const {
+  if (query.steps.empty()) {
+    return Status::InvalidArgument("empty aggregate query");
+  }
+  AggregateResponse response;
+  response.kind = kind;
+
+  bool conservative = false;
+  const std::vector<std::vector<Interval>> lists = ForwardPass(
+      query.steps, {}, /*from_document_root=*/true, &conservative);
+  const std::vector<Interval>& targets = lists.back();
+  if (targets.empty()) {
+    response.computed_on_server = true;
+    response.server_value = (kind == AggregateKind::kCount ||
+                             kind == AggregateKind::kSum)
+                                ? "0"
+                                : "";
+    return response;
+  }
+
+  if (index_token.empty()) {
+    // Public target values: compute the aggregate on the skeleton. With
+    // conservative predicate resolution the count could over-approximate,
+    // so fall back to shipping in that case.
+    if (!conservative) {
+      std::vector<std::string> values;
+      bool all_public = true;
+      for (const Interval& t : targets) {
+        auto it = meta_->public_interval_to_node.find(t);
+        if (it == meta_->public_interval_to_node.end()) {
+          all_public = false;
+          break;
+        }
+        values.push_back(db_->skeleton.node(it->second).value);
+      }
+      if (all_public) {
+        response.computed_on_server = true;
+        switch (kind) {
+          case AggregateKind::kCount:
+            response.server_value = std::to_string(values.size());
+            break;
+          case AggregateKind::kSum: {
+            double sum = 0.0;
+            for (const std::string& v : values) {
+              sum += std::strtod(v.c_str(), nullptr);
+            }
+            response.server_value = std::to_string(sum);
+            break;
+          }
+          case AggregateKind::kMin:
+          case AggregateKind::kMax: {
+            auto cmp = [](const std::string& a, const std::string& b) {
+              return ValueLess(a, b);
+            };
+            response.server_value =
+                (kind == AggregateKind::kMin)
+                    ? *std::min_element(values.begin(), values.end(), cmp)
+                    : *std::max_element(values.begin(), values.end(), cmp);
+            break;
+          }
+        }
+        return response;
+      }
+    }
+    // Mixed/conservative public case: ship the target subtrees.
+    response.payload = AssembleResponse(targets, /*requires_full_requery=*/
+                                        conservative);
+    return response;
+  }
+
+  // Encrypted target values.
+  auto tree_it = meta_->value_indexes.find(index_token);
+  if (tree_it == meta_->value_indexes.end()) {
+    return Status::NotFound("no value index for token " + index_token);
+  }
+
+  if ((kind == AggregateKind::kMin || kind == AggregateKind::kMax) &&
+      !conservative) {
+    // Order-preserving index: walk entries from the extreme end; the first
+    // block structurally related to a target contains the extreme value.
+    // (With conservative predicate resolution the target set may contain
+    // false positives, so this shortcut is skipped and the client
+    // finishes from the shipped blocks below.)
+    const auto entries = tree_it->second.RangeScan(INT64_MIN, INT64_MAX);
+    auto related = [&](int block_id) {
+      const Interval* rep = meta_->block_table.RepresentativeOf(block_id);
+      if (rep == nullptr) return false;
+      for (const Interval& t : targets) {
+        if (t == *rep || t.ProperlyInside(*rep) || rep->ProperlyInside(t)) {
+          return true;
+        }
+      }
+      return false;
+    };
+    int extreme_block = -1;
+    if (kind == AggregateKind::kMin) {
+      for (const BTreeEntry& e : entries) {
+        if (related(e.block_id)) {
+          extreme_block = e.block_id;
+          break;
+        }
+      }
+    } else {
+      for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        if (related(it->block_id)) {
+          extreme_block = it->block_id;
+          break;
+        }
+      }
+    }
+    if (extreme_block < 0) {
+      response.computed_on_server = true;
+      return response;
+    }
+    const Interval* rep = meta_->block_table.RepresentativeOf(extreme_block);
+    response.payload =
+        AssembleResponse({*rep}, /*requires_full_requery=*/false);
+    return response;
+  }
+
+  // COUNT / SUM: splitting and scaling hide cardinalities — ship every
+  // target (with covering blocks) for client-side finishing (§6.4).
+  std::vector<Interval> ship = targets;
+  if (conservative) {
+    std::vector<Interval> prev = targets;
+    for (size_t k = lists.size() - 1; k-- > 0;) {
+      prev = StructuralJoin::FilterAncestors(lists[k], prev);
+    }
+    ship = std::move(prev);
+  }
+  response.payload = AssembleResponse(ship, conservative);
+  return response;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,380 @@
+#include "core/client.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "common/timer.h"
+#include "xml/stats.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+
+namespace xcrypt {
+
+std::vector<std::string> QueryAnswer::SerializedSorted() const {
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (const Document& d : nodes) {
+    out.push_back(SerializeXml(d, d.root(), 0));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+QueryAnswer GroundTruth(const Document& doc, const PathExpr& query) {
+  QueryAnswer answer;
+  XPathEvaluator eval(doc);
+  for (NodeId id : eval.Evaluate(query)) {
+    Document fragment;
+    fragment.GraftSubtree(doc, id, kNullNode);
+    answer.nodes.push_back(std::move(fragment));
+  }
+  return answer;
+}
+
+Result<Client> Client::Host(Document doc,
+                            std::vector<SecurityConstraint> constraints,
+                            SchemeKind kind,
+                            const std::string& master_secret) {
+  Client client;
+  client.keys_ = std::make_unique<KeyChain>(master_secret);
+  client.original_ = std::move(doc);
+  client.constraints_ = std::move(constraints);
+
+  Stopwatch watch;
+  auto scheme =
+      BuildEncryptionScheme(client.original_, client.constraints_, kind);
+  if (!scheme.ok()) return scheme.status();
+  client.scheme_ = std::move(*scheme);
+
+  auto enc = EncryptDocument(client.original_, client.scheme_, *client.keys_);
+  if (!enc.ok()) return enc.status();
+  client.enc_ = std::move(*enc);
+  client.encrypt_micros_ = watch.ElapsedMicros();
+
+  watch.Restart();
+  auto meta = BuildMetadata(client.original_, client.enc_, *client.keys_);
+  if (!meta.ok()) return meta.status();
+  client.meta_ = std::move(*meta);
+  client.metadata_micros_ = watch.ElapsedMicros();
+  return client;
+}
+
+Result<TranslatedQuery> Client::Translate(const PathExpr& query) const {
+  return QueryTranslator(keys_.get(), &meta_.client).Translate(query);
+}
+
+namespace {
+
+/// Q with predicates kept only on the output (last) step; the server
+/// verified the others exactly in the non-conservative path.
+PathExpr StripNonFinalPredicates(const PathExpr& query) {
+  PathExpr out = query;
+  for (size_t i = 0; i + 1 < out.steps.size(); ++i) {
+    out.steps[i].predicates.clear();
+  }
+  return out;
+}
+
+/// Copies `src_root`'s subtree under `dst_parent`, replacing `_encblock`
+/// markers by the decrypted block content.
+Status SpliceNode(const Document& src, NodeId src_root, Document* dst,
+                  NodeId dst_parent,
+                  const std::map<int, Document>& decrypted) {
+  const Node& n = src.node(src_root);
+  if (n.tag == kBlockMarkerTag) {
+    int block_id = -1;
+    for (NodeId c : n.children) {
+      const Node& attr = src.node(c);
+      if (attr.is_attribute && attr.tag == "id") {
+        block_id = std::atoi(attr.value.c_str());
+      }
+    }
+    auto it = decrypted.find(block_id);
+    if (it == decrypted.end()) {
+      return Status::Corruption("response references block " +
+                                std::to_string(block_id) +
+                                " that was not shipped");
+    }
+    dst->GraftSubtree(it->second, it->second.root(), dst_parent);
+    return Status::Ok();
+  }
+  NodeId dst_id = (dst_parent == kNullNode) ? dst->AddRoot(n.tag)
+                                            : dst->AddChild(dst_parent, n.tag);
+  dst->node(dst_id).value = n.value;
+  dst->node(dst_id).is_attribute = n.is_attribute;
+  for (NodeId c : n.children) {
+    XCRYPT_RETURN_NOT_OK(SpliceNode(src, c, dst, dst_id, decrypted));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<QueryAnswer> Client::PostProcess(const PathExpr& original_query,
+                                        const ServerResponse& response,
+                                        double* decrypt_micros) const {
+  QueryAnswer answer;
+  if (decrypt_micros != nullptr) *decrypt_micros = 0.0;
+  if (response.skeleton_xml.empty()) return answer;
+
+  auto pruned = ParseXml(response.skeleton_xml);
+  if (!pruned.ok()) return pruned.status();
+
+  // Decrypt every shipped block.
+  Stopwatch decrypt_watch;
+  std::map<int, Document> decrypted;
+  for (const EncryptedBlock& block : response.blocks) {
+    auto payload = DecryptBlock(block, *keys_);
+    if (!payload.ok()) return payload.status();
+    decrypted.emplace(block.id, std::move(*payload));
+  }
+  if (decrypt_micros != nullptr) {
+    *decrypt_micros = decrypt_watch.ElapsedMicros();
+  }
+
+  // Splice blocks into the pruned skeleton and strip decoys.
+  Document assembled;
+  XCRYPT_RETURN_NOT_OK(
+      SpliceNode(*pruned, pruned->root(), &assembled, kNullNode, decrypted));
+  RemoveDecoys(assembled);
+
+  // Re-apply the query.
+  const PathExpr query = response.requires_full_requery
+                             ? original_query
+                             : StripNonFinalPredicates(original_query);
+  XPathEvaluator eval(assembled);
+  for (NodeId id : eval.Evaluate(query)) {
+    Document fragment;
+    fragment.GraftSubtree(assembled, id, kNullNode);
+    answer.nodes.push_back(std::move(fragment));
+  }
+  return answer;
+}
+
+namespace {
+
+AggregateAnswer AggregateOverValues(AggregateKind kind,
+                                    const std::vector<std::string>& values) {
+  AggregateAnswer answer;
+  answer.kind = kind;
+  answer.count = static_cast<int64_t>(values.size());
+  switch (kind) {
+    case AggregateKind::kCount:
+      answer.numeric = static_cast<double>(values.size());
+      answer.value = std::to_string(values.size());
+      break;
+    case AggregateKind::kSum: {
+      double sum = 0.0;
+      for (const std::string& v : values) {
+        sum += std::strtod(v.c_str(), nullptr);
+      }
+      answer.numeric = sum;
+      answer.value = std::to_string(sum);
+      break;
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      if (values.empty()) break;
+      const auto extreme =
+          (kind == AggregateKind::kMin)
+              ? *std::min_element(values.begin(), values.end(), ValueLess)
+              : *std::max_element(values.begin(), values.end(), ValueLess);
+      answer.value = extreme;
+      answer.numeric = std::strtod(extreme.c_str(), nullptr);
+      break;
+    }
+  }
+  return answer;
+}
+
+}  // namespace
+
+AggregateAnswer GroundTruthAggregate(const Document& doc,
+                                     const PathExpr& path,
+                                     AggregateKind kind) {
+  XPathEvaluator eval(doc);
+  std::vector<std::string> values;
+  for (NodeId id : eval.Evaluate(path)) {
+    values.push_back(doc.node(id).value);
+  }
+  return AggregateOverValues(kind, values);
+}
+
+namespace {
+
+std::string QualifiedTagOf(const Node& n) {
+  return (n.is_attribute ? "@" : "") + n.tag;
+}
+
+}  // namespace
+
+Status Client::Rehost() {
+  auto scheme = BuildEncryptionScheme(original_, constraints_, scheme_.kind);
+  if (!scheme.ok()) return scheme.status();
+  scheme_ = std::move(*scheme);
+  auto enc = EncryptDocument(original_, scheme_, *keys_);
+  if (!enc.ok()) return enc.status();
+  enc_ = std::move(*enc);
+  auto meta = BuildMetadata(original_, enc_, *keys_);
+  if (!meta.ok()) return meta.status();
+  meta_ = std::move(*meta);
+  return Status::Ok();
+}
+
+Status Client::ReencryptBlock(int block_id) {
+  if (block_id < 0 ||
+      static_cast<size_t>(block_id) >= scheme_.block_roots.size()) {
+    return Status::InvalidArgument("bad block id");
+  }
+  const NodeId root = scheme_.block_roots[block_id];
+  Document payload;
+  payload.GraftSubtree(original_, root, kNullNode);
+  if (payload.node_count() == 1) {
+    Rng decoy_rng(keys_->RngSeed("decoy:u" + std::to_string(update_epoch_) +
+                                 ":" + std::to_string(block_id)));
+    payload.AddLeaf(payload.root(), kDecoyTag,
+                    decoy_rng.String(4 + static_cast<int>(
+                                             decoy_rng.UniformU64(0, 4))));
+  }
+  const std::string plain = SerializeXml(payload, payload.root(), 0);
+  EncryptedBlock& block = enc_.database.blocks[block_id];
+  block.ciphertext = keys_->block_cipher().Encrypt(
+      ToBytes(plain), "block:" + std::to_string(block_id) + ":u" +
+                          std::to_string(update_epoch_));
+  block.plaintext_bytes = static_cast<int64_t>(plain.size());
+  return Status::Ok();
+}
+
+Result<int> Client::UpdateValues(const PathExpr& path,
+                                 const std::string& value) {
+  ++update_epoch_;
+  XPathEvaluator eval(original_);
+  const std::vector<NodeId> targets = eval.Evaluate(path);
+  if (targets.empty()) return 0;
+  for (NodeId id : targets) {
+    if (!original_.IsLeaf(id)) {
+      return Status::InvalidArgument(
+          "UpdateValues requires leaf targets; '" + original_.node(id).tag +
+          "' has children");
+    }
+  }
+
+  std::set<int> touched_blocks;
+  std::set<std::string> touched_tags;
+  for (NodeId id : targets) {
+    original_.node(id).value = value;
+    const int block = enc_.block_of_node[id];
+    if (block >= 0) {
+      touched_blocks.insert(block);
+      touched_tags.insert(QualifiedTagOf(original_.node(id)));
+    } else {
+      // Public leaf: patch the skeleton copy directly.
+      const NodeId skel = enc_.skeleton_of_node[id];
+      if (skel != kNullNode) {
+        enc_.database.skeleton.node(skel).value = value;
+      }
+    }
+  }
+
+  // Re-encrypt only the touched blocks.
+  for (int block : touched_blocks) {
+    XCRYPT_RETURN_NOT_OK(ReencryptBlock(block));
+  }
+
+  // Rebuild only the touched tags' value indexes (fresh epoch-derived
+  // randomness so the new index is unlinkable to the old one).
+  for (const std::string& tag : touched_tags) {
+    std::vector<std::pair<std::string, int32_t>> occurrences;
+    for (NodeId id : original_.PreOrder()) {
+      const int block = enc_.block_of_node[id];
+      if (block < 0 || !original_.IsLeaf(id)) continue;
+      const Node& n = original_.node(id);
+      if (n.value.empty() || QualifiedTagOf(n) != tag) continue;
+      occurrences.emplace_back(n.value, block);
+    }
+    const std::string token = TagToken(meta_.client, tag);
+    if (occurrences.empty()) {
+      meta_.server.value_indexes.erase(token);
+      meta_.client.opess.erase(tag);
+      continue;
+    }
+    Rng opess_rng(keys_->RngSeed("opess:" + tag + ":u" +
+                                 std::to_string(update_epoch_)));
+    auto build =
+        BuildOpess(tag, occurrences, keys_->OpeFor(tag), opess_rng);
+    if (!build.ok()) return build.status();
+    meta_.client.opess[tag] = build->meta;
+    BPlusTree tree;
+    tree.BulkLoad(std::move(build->entries));
+    meta_.server.value_indexes.insert_or_assign(token, std::move(tree));
+  }
+  return static_cast<int>(targets.size());
+}
+
+Status Client::InsertSubtree(const PathExpr& parent_path,
+                             const Document& fragment) {
+  if (fragment.empty()) {
+    return Status::InvalidArgument("empty fragment");
+  }
+  XPathEvaluator eval(original_);
+  const std::vector<NodeId> parents = eval.Evaluate(parent_path);
+  if (parents.empty()) {
+    return Status::NotFound("insert target not found: " +
+                            parent_path.ToString());
+  }
+  original_.GraftSubtree(fragment, fragment.root(), parents.front());
+  return Rehost();
+}
+
+Result<int> Client::DeleteSubtrees(const PathExpr& path) {
+  XPathEvaluator eval(original_);
+  const std::vector<NodeId> targets = eval.Evaluate(path);
+  if (targets.empty()) return 0;
+  for (NodeId id : targets) {
+    XCRYPT_RETURN_NOT_OK(original_.Detach(id));
+  }
+  XCRYPT_RETURN_NOT_OK(Rehost());
+  return static_cast<int>(targets.size());
+}
+
+Result<std::string> Client::AggregateIndexToken(const PathExpr& path) const {
+  if (path.empty()) return Status::InvalidArgument("empty aggregate path");
+  const Step& last = path.steps.back();
+  const std::string qtag = (last.is_attribute ? "@" : "") + last.tag;
+  if (meta_.client.opess.count(qtag) != 0) {
+    return TagToken(meta_.client, qtag);
+  }
+  if (meta_.client.tag_tokens.count(qtag) != 0 &&
+      meta_.client.public_tags.count(qtag) == 0) {
+    return Status::Unsupported("aggregate over encrypted tag '" + qtag +
+                               "' that has no value index");
+  }
+  return std::string();
+}
+
+Result<AggregateAnswer> Client::FinishAggregate(
+    const PathExpr& path, const AggregateResponse& response,
+    double* decrypt_micros) const {
+  if (decrypt_micros != nullptr) *decrypt_micros = 0.0;
+  if (response.computed_on_server) {
+    AggregateAnswer answer;
+    answer.kind = response.kind;
+    answer.computed_on_server = true;
+    answer.value = response.server_value;
+    answer.numeric = std::strtod(answer.value.c_str(), nullptr);
+    answer.count = static_cast<int64_t>(answer.numeric);
+    return answer;
+  }
+  auto nodes = PostProcess(path, response.payload, decrypt_micros);
+  if (!nodes.ok()) return nodes.status();
+  std::vector<std::string> values;
+  values.reserve(nodes->nodes.size());
+  for (const Document& fragment : nodes->nodes) {
+    values.push_back(fragment.node(fragment.root()).value);
+  }
+  return AggregateOverValues(response.kind, values);
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,151 @@
+#ifndef XCRYPT_CORE_CLIENT_H_
+#define XCRYPT_CORE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/aggregate.h"
+#include "core/encryption_scheme.h"
+#include "core/encryptor.h"
+#include "core/metadata.h"
+#include "core/query_translator.h"
+#include "core/security_constraint.h"
+#include "core/server.h"
+#include "crypto/keychain.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xcrypt {
+
+/// The final answer of a query: each matching node as a standalone
+/// subtree fragment, in document order.
+struct QueryAnswer {
+  std::vector<Document> nodes;
+
+  /// Compact serialization of every answer node, sorted — convenient for
+  /// comparing against ground truth in tests.
+  std::vector<std::string> SerializedSorted() const;
+};
+
+/// Evaluates a query directly on a plaintext document — the ground truth
+/// the protocol must reproduce (Q(D) in §1).
+QueryAnswer GroundTruth(const Document& doc, const PathExpr& query);
+
+/// Final value of an aggregate query.
+struct AggregateAnswer {
+  AggregateKind kind = AggregateKind::kCount;
+  std::string value;      ///< MIN/MAX: the extreme value; COUNT/SUM: number
+  int64_t count = 0;      ///< bound-value count (kCount)
+  double numeric = 0.0;   ///< numeric rendering where applicable
+  bool computed_on_server = false;
+};
+
+/// Ground-truth aggregate on the plaintext document.
+AggregateAnswer GroundTruthAggregate(const Document& doc,
+                                     const PathExpr& path,
+                                     AggregateKind kind);
+
+/// The data owner (§1, Figure 1): holds the keys and the plaintext
+/// database, produces the encrypted database + metadata for the server,
+/// translates queries, and post-processes responses.
+class Client {
+ public:
+  /// Encrypts `doc` under the given scheme kind and builds all metadata.
+  static Result<Client> Host(Document doc,
+                             std::vector<SecurityConstraint> constraints,
+                             SchemeKind kind,
+                             const std::string& master_secret);
+
+  // What gets shipped to the server:
+  const EncryptedDatabase& database() const { return enc_.database; }
+  const Metadata& metadata() const { return meta_.server; }
+
+  // Client-side state:
+  const Document& original() const { return original_; }
+  const EncryptionScheme& scheme() const { return scheme_; }
+  const EncryptionResult& encryption() const { return enc_; }
+  const ClientIndexMeta& index_meta() const { return meta_.client; }
+  const KeyChain& keys() const { return *keys_; }
+  const std::vector<SecurityConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Wall-clock spent encrypting / building metadata during Host().
+  double encrypt_micros() const { return encrypt_micros_; }
+  double metadata_micros() const { return metadata_micros_; }
+
+  /// Translates Q into the encrypted query Qs (§6.1).
+  Result<TranslatedQuery> Translate(const PathExpr& query) const;
+
+  /// Post-processing (§6.4): decrypts the response blocks, splices them
+  /// into the pruned skeleton, removes decoys, and re-applies the query —
+  /// the full original query when the server flagged conservative
+  /// predicate resolution, otherwise the query with only the output step's
+  /// predicates (the server verified the rest exactly).
+  /// `decrypt_micros`, when given, receives the wall-clock spent in block
+  /// decryption (reported separately from post-processing in §7.2).
+  Result<QueryAnswer> PostProcess(const PathExpr& original_query,
+                                  const ServerResponse& response,
+                                  double* decrypt_micros = nullptr) const;
+
+  /// Value-index token for the query's output tag, or "" when the target
+  /// values are public. Fails when the target is encrypted but carries no
+  /// value index (aggregating element subtrees is meaningless).
+  Result<std::string> AggregateIndexToken(const PathExpr& path) const;
+
+  /// Finishes an aggregate (§6.4): takes the server's reply, decrypts any
+  /// shipped blocks, and computes the final value.
+  Result<AggregateAnswer> FinishAggregate(const PathExpr& path,
+                                          const AggregateResponse& response,
+                                          double* decrypt_micros = nullptr)
+      const;
+
+  // --- Updates (the paper's future-work item (3)) -----------------------
+  //
+  // Structure-preserving value updates are incremental: only the blocks
+  // containing updated leaves are re-encrypted (under a fresh nonce) and
+  // only the affected tags' value indexes are rebuilt; the DSI index is
+  // untouched because the tree shape is unchanged. Structural edits
+  // (insert/delete of subtrees) change sibling interval assignments and
+  // the scheme's binding sets, so they re-host — the paper itself leaves
+  // efficient secure updates as an open problem (§8).
+
+  /// Sets the value of every leaf the path binds to. Returns the number of
+  /// updated nodes. Fails if the path binds a non-leaf.
+  Result<int> UpdateValues(const PathExpr& path, const std::string& value);
+
+  /// Inserts a copy of `fragment` as the last child of the first node the
+  /// path binds to, then re-hosts.
+  Status InsertSubtree(const PathExpr& parent_path, const Document& fragment);
+
+  /// Detaches every node the path binds to, then re-hosts. Returns the
+  /// number of removed subtrees.
+  Result<int> DeleteSubtrees(const PathExpr& path);
+
+ private:
+  Client() = default;
+
+  /// Re-runs scheme construction, encryption, and metadata building over
+  /// the (modified) original document with the existing keys.
+  Status Rehost();
+
+  /// Re-encrypts one block from the current original document under a
+  /// fresh nonce (epoch-versioned so ciphertexts never repeat).
+  Status ReencryptBlock(int block_id);
+
+  Document original_;
+  std::vector<SecurityConstraint> constraints_;
+  EncryptionScheme scheme_;
+  EncryptionResult enc_;
+  HostedMetadata meta_;
+  std::unique_ptr<KeyChain> keys_;
+  double encrypt_micros_ = 0.0;
+  double metadata_micros_ = 0.0;
+  int update_epoch_ = 0;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_CLIENT_H_

@@ -1,0 +1,84 @@
+#include "core/constraint_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xcrypt {
+
+namespace {
+
+/// Tag identity of a relative leg: the tag of the last step, with an '@'
+/// prefix for attribute tests so `@coverage` and `coverage` are distinct
+/// vertices.
+std::string LegTag(const PathExpr& leg) {
+  const Step& last = leg.steps.back();
+  return (last.is_attribute ? "@" : "") + last.tag;
+}
+
+}  // namespace
+
+ConstraintGraph ConstraintGraph::Build(
+    const Document& doc, const std::vector<ConstraintBinding>& bindings) {
+  ConstraintGraph graph;
+
+  auto vertex_for = [&](const std::string& tag) {
+    auto it = graph.tag_to_vertex_.find(tag);
+    if (it != graph.tag_to_vertex_.end()) return it->second;
+    const int idx = static_cast<int>(graph.vertices_.size());
+    graph.vertices_.push_back(Vertex{tag, {}, 0});
+    graph.tag_to_vertex_[tag] = idx;
+    return idx;
+  };
+
+  // Collect, per vertex, the set of nodes bound through any association leg.
+  std::vector<std::set<NodeId>> node_sets;
+  auto add_nodes = [&](int vertex, const std::vector<NodeId>& nodes) {
+    if (vertex >= static_cast<int>(node_sets.size())) {
+      node_sets.resize(vertex + 1);
+    }
+    node_sets[vertex].insert(nodes.begin(), nodes.end());
+  };
+
+  for (const ConstraintBinding& binding : bindings) {
+    const SecurityConstraint& sc = binding.constraint;
+    if (!sc.IsAssociation()) continue;
+    const int u = vertex_for(LegTag(sc.association->first));
+    const int v = vertex_for(LegTag(sc.association->second));
+    graph.edges_.push_back(Edge{u, v, sc.source});
+    for (const auto& q1 : binding.q1_nodes) add_nodes(u, q1);
+    for (const auto& q2 : binding.q2_nodes) add_nodes(v, q2);
+  }
+
+  node_sets.resize(graph.vertices_.size());
+  for (size_t i = 0; i < graph.vertices_.size(); ++i) {
+    Vertex& vtx = graph.vertices_[i];
+    vtx.nodes.assign(node_sets[i].begin(), node_sets[i].end());
+    for (NodeId id : vtx.nodes) {
+      vtx.weight += doc.SubtreeSize(id);
+      if (doc.IsLeaf(id)) vtx.weight += 1;  // the encryption decoy
+    }
+  }
+  return graph;
+}
+
+int ConstraintGraph::VertexIndex(const std::string& tag) const {
+  auto it = tag_to_vertex_.find(tag);
+  return it == tag_to_vertex_.end() ? -1 : it->second;
+}
+
+bool ConstraintGraph::IsVertexCover(const std::vector<int>& cover) const {
+  std::set<int> in_cover(cover.begin(), cover.end());
+  for (const Edge& e : edges_) {
+    if (in_cover.count(e.u) == 0 && in_cover.count(e.v) == 0) return false;
+  }
+  return true;
+}
+
+int64_t ConstraintGraph::CoverWeight(const std::vector<int>& cover) const {
+  std::set<int> uniq(cover.begin(), cover.end());
+  int64_t total = 0;
+  for (int v : uniq) total += vertices_[v].weight;
+  return total;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,62 @@
+#ifndef XCRYPT_CORE_CONSTRAINT_GRAPH_H_
+#define XCRYPT_CORE_CONSTRAINT_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/security_constraint.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// The constraint graph of §7.1 (Figure 8): one vertex per tag appearing in
+/// the association SCs, one edge per association SC connecting the tags of
+/// the two legs. Enforcing an association SC requires encrypting all nodes
+/// of at least one endpoint, so choosing which tags to encrypt is a
+/// (weighted) vertex cover problem — the source of the NP-hardness result
+/// (Theorem 4.2).
+class ConstraintGraph {
+ public:
+  struct Vertex {
+    std::string tag;
+    /// Nodes of `doc` that must be encrypted if this vertex is chosen.
+    std::vector<NodeId> nodes;
+    /// Encryption cost: sum of subtree sizes plus one decoy per leaf
+    /// (Definition 4.1 counts decoy elements in the scheme size).
+    int64_t weight = 0;
+  };
+
+  struct Edge {
+    int u = 0;
+    int v = 0;
+    std::string constraint_source;  ///< the SC this edge came from
+  };
+
+  /// Builds the graph from the association-type constraints among
+  /// `bindings`. Node-type constraints do not participate (they are
+  /// unconditionally encrypted).
+  static ConstraintGraph Build(const Document& doc,
+                               const std::vector<ConstraintBinding>& bindings);
+
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Index of the vertex for `tag`, or -1.
+  int VertexIndex(const std::string& tag) const;
+
+  /// True if `cover` (vertex indices) touches every edge.
+  bool IsVertexCover(const std::vector<int>& cover) const;
+
+  /// Total weight of a vertex set.
+  int64_t CoverWeight(const std::vector<int>& cover) const;
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::map<std::string, int> tag_to_vertex_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_CONSTRAINT_GRAPH_H_

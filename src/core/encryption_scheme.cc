@@ -1,0 +1,143 @@
+#include "core/encryption_scheme.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/constraint_graph.h"
+#include "core/vertex_cover.h"
+
+namespace xcrypt {
+
+const char* SchemeKindName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kOptimal:
+      return "opt";
+    case SchemeKind::kApproximate:
+      return "app";
+    case SchemeKind::kSub:
+      return "sub";
+    case SchemeKind::kTop:
+      return "top";
+  }
+  return "?";
+}
+
+int64_t EncryptionScheme::SizeInNodes(const Document& doc) const {
+  int64_t total = 0;
+  for (NodeId root : block_roots) {
+    total += doc.SubtreeSize(root);
+    if (doc.IsLeaf(root)) total += 1;  // decoy
+  }
+  return total;
+}
+
+namespace {
+
+/// Removes roots nested inside other roots and sorts in document order.
+std::vector<NodeId> PruneNested(const Document& doc,
+                                std::set<NodeId> roots) {
+  std::vector<NodeId> out;
+  for (NodeId r : roots) {
+    bool subsumed = false;
+    for (NodeId other : roots) {
+      if (other != r && doc.IsAncestor(other, r)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<EncryptionScheme> BuildEncryptionScheme(
+    const Document& doc, const std::vector<SecurityConstraint>& constraints,
+    SchemeKind kind) {
+  if (doc.empty()) {
+    return Status::InvalidArgument("cannot build a scheme for an empty doc");
+  }
+  EncryptionScheme scheme;
+  scheme.kind = kind;
+
+  if (kind == SchemeKind::kTop) {
+    scheme.block_roots = {doc.root()};
+    return scheme;
+  }
+
+  const std::vector<ConstraintBinding> bindings =
+      BindConstraints(doc, constraints);
+
+  std::set<NodeId> roots;
+  // 1. Node-type SCs: encrypt every bound subtree.
+  for (const ConstraintBinding& b : bindings) {
+    if (b.constraint.IsNodeType()) {
+      roots.insert(b.context_nodes.begin(), b.context_nodes.end());
+    }
+  }
+
+  // 2. Association SCs: vertex cover over the constraint graph.
+  const ConstraintGraph graph = ConstraintGraph::Build(doc, bindings);
+  std::vector<int> cover;
+  if (kind == SchemeKind::kApproximate) {
+    cover = ClarksonGreedyVertexCover(graph);
+  } else {
+    cover = ExactVertexCover(graph);  // kOptimal and the base for kSub
+  }
+  for (int v : cover) {
+    const auto& vertex = graph.vertices()[v];
+    scheme.covered_tags.push_back(vertex.tag);
+    roots.insert(vertex.nodes.begin(), vertex.nodes.end());
+  }
+
+  if (kind == SchemeKind::kSub) {
+    // Lift every chosen root to its parent (the root stays put).
+    std::set<NodeId> lifted;
+    for (NodeId r : roots) {
+      const NodeId parent = doc.node(r).parent;
+      lifted.insert(parent == kNullNode ? r : parent);
+    }
+    roots = std::move(lifted);
+  }
+
+  scheme.block_roots = PruneNested(doc, std::move(roots));
+  return scheme;
+}
+
+bool SchemeEnforcesConstraints(
+    const Document& doc, const std::vector<SecurityConstraint>& constraints,
+    const EncryptionScheme& scheme) {
+  std::set<NodeId> roots(scheme.block_roots.begin(),
+                         scheme.block_roots.end());
+  auto inside_block = [&](NodeId id) {
+    if (roots.count(id) != 0) return true;
+    for (NodeId p = doc.node(id).parent; p != kNullNode;
+         p = doc.node(p).parent) {
+      if (roots.count(p) != 0) return true;
+    }
+    return false;
+  };
+
+  for (const ConstraintBinding& b : BindConstraints(doc, constraints)) {
+    if (b.constraint.IsNodeType()) {
+      for (NodeId id : b.context_nodes) {
+        if (!inside_block(id)) return false;
+      }
+      continue;
+    }
+    for (size_t i = 0; i < b.context_nodes.size(); ++i) {
+      // For each (y1, y2) pair bound in this context, at least one side
+      // must be encrypted (§4.1 condition (ii)).
+      for (NodeId y1 : b.q1_nodes[i]) {
+        for (NodeId y2 : b.q2_nodes[i]) {
+          if (!inside_block(y1) && !inside_block(y2)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace xcrypt

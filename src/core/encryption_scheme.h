@@ -1,0 +1,60 @@
+#ifndef XCRYPT_CORE_ENCRYPTION_SCHEME_H_
+#define XCRYPT_CORE_ENCRYPTION_SCHEME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/security_constraint.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// Encryption granularities evaluated in §7.1 of the paper.
+enum class SchemeKind {
+  kOptimal,      ///< "opt": exact minimum-weight vertex cover choice
+  kApproximate,  ///< "app": Clarkson greedy 2-approximation choice
+  kSub,          ///< "sub": parents of the opt scheme's encrypted nodes
+  kTop,          ///< "top": the whole document as one block
+};
+
+const char* SchemeKindName(SchemeKind kind);
+
+/// An encryption scheme: the identification of the elements to encrypt
+/// (§3.1). Each block root's entire subtree becomes one encryption block;
+/// encrypted leaf elements get an encryption decoy (§4.1).
+struct EncryptionScheme {
+  SchemeKind kind = SchemeKind::kOptimal;
+  /// Subtree roots to encrypt, in document order, with nested roots pruned
+  /// (a root inside another root's subtree is subsumed by it).
+  std::vector<NodeId> block_roots;
+  /// Tags chosen by the vertex cover (empty for kTop), for reporting.
+  std::vector<std::string> covered_tags;
+
+  /// Scheme size per Definition 4.1: total number of nodes across blocks,
+  /// counting one decoy per encrypted leaf element.
+  int64_t SizeInNodes(const Document& doc) const;
+};
+
+/// Constructs the encryption scheme of the given granularity for `doc`
+/// under `constraints`:
+///   1. every node bound by a node-type SC is encrypted (whole subtree);
+///   2. for association SCs, a vertex cover of the constraint graph picks
+///      which leg tags to encrypt (exact for kOptimal, Clarkson greedy for
+///      kApproximate); kSub lifts the opt choice to parents; kTop encrypts
+///      the root.
+/// Fails if `doc` is empty or a constraint binds no nodes is fine (no-op).
+Result<EncryptionScheme> BuildEncryptionScheme(
+    const Document& doc, const std::vector<SecurityConstraint>& constraints,
+    SchemeKind kind);
+
+/// True if `scheme` enforces every constraint on `doc` per §4.1: node-type
+/// bindings are inside blocks, and for each association pair at least one
+/// side is inside a block. Used by tests and the security auditor.
+bool SchemeEnforcesConstraints(
+    const Document& doc, const std::vector<SecurityConstraint>& constraints,
+    const EncryptionScheme& scheme);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_ENCRYPTION_SCHEME_H_

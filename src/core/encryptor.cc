@@ -1,0 +1,138 @@
+#include "core/encryptor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "xml/parser.h"
+
+namespace xcrypt {
+
+int64_t EncryptedDatabase::TotalCiphertextBytes() const {
+  int64_t total = 0;
+  for (const EncryptedBlock& b : blocks) total += b.CiphertextBytes();
+  return total;
+}
+
+Result<EncryptionResult> EncryptDocument(const Document& doc,
+                                         const EncryptionScheme& scheme,
+                                         const KeyChain& keys) {
+  if (doc.empty()) return Status::InvalidArgument("empty document");
+
+  EncryptionResult result;
+  result.block_of_node.assign(doc.node_count(), -1);
+  result.skeleton_of_node.assign(doc.node_count(), kNullNode);
+
+  // Assign block ids in document order of the roots.
+  std::vector<NodeId> roots = scheme.block_roots;
+  std::sort(roots.begin(), roots.end());
+  for (size_t i = 0; i < roots.size(); ++i) {
+    const int block_id = static_cast<int>(i);
+    doc.Visit(roots[i], [&](NodeId id) {
+      result.block_of_node[id] = block_id;
+    });
+  }
+
+  // Tags that occur encrypted.
+  std::set<std::string> enc_tags;
+  for (NodeId id : doc.PreOrder()) {
+    if (result.block_of_node[id] >= 0) {
+      const Node& n = doc.node(id);
+      enc_tags.insert((n.is_attribute ? "@" : "") + n.tag);
+    }
+  }
+  result.encrypted_tags.assign(enc_tags.begin(), enc_tags.end());
+
+  // Decoy randomness is derived from the key so hosting is reproducible
+  // per key but unpredictable to the server.
+  Rng decoy_rng(keys.RngSeed("decoy"));
+
+  // Build the skeleton as a fresh document mirroring the public part.
+  // We cannot reuse original NodeIds (the skeleton is a different arena),
+  // so record marker node per block.
+  EncryptedDatabase& db = result.database;
+  db.marker_of_block.assign(roots.size(), kNullNode);
+
+  struct Frame {
+    NodeId src;
+    NodeId dst_parent;
+  };
+  // Recursive copy with block substitution.
+  std::vector<Frame> stack;
+  stack.push_back({doc.root(), kNullNode});
+  // (Iterative preorder that preserves child order via reverse push.)
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const int block_id = result.block_of_node[f.src];
+    if (block_id >= 0) {
+      // Block root (nested roots were pruned, so this node starts a block).
+      // 1. Serialize the subtree, adding a decoy to leaf blocks.
+      Document payload;
+      payload.GraftSubtree(doc, f.src, kNullNode);
+      if (payload.node_count() == 1) {
+        payload.AddLeaf(payload.root(), kDecoyTag,
+                        decoy_rng.String(4 + static_cast<int>(
+                                                 decoy_rng.UniformU64(0, 4))));
+      }
+      const std::string plain = SerializeXml(payload, payload.root(), 0);
+      const Bytes cipher = keys.block_cipher().Encrypt(
+          ToBytes(plain), "block:" + std::to_string(block_id));
+      EncryptedBlock block;
+      block.id = block_id;
+      block.ciphertext = cipher;
+      block.plaintext_bytes = static_cast<int64_t>(plain.size());
+      if (static_cast<size_t>(block_id) >= db.blocks.size()) {
+        db.blocks.resize(block_id + 1);
+      }
+      db.blocks[block_id] = std::move(block);
+
+      // 2. Leave a marker in the skeleton.
+      NodeId marker;
+      if (f.dst_parent == kNullNode) {
+        marker = db.skeleton.AddRoot(kBlockMarkerTag);
+      } else {
+        marker = db.skeleton.AddChild(f.dst_parent, kBlockMarkerTag);
+      }
+      db.skeleton.AddAttribute(marker, "id", std::to_string(block_id));
+      db.marker_of_block[block_id] = marker;
+      result.skeleton_of_node[f.src] = marker;
+      continue;  // do not descend into the block
+    }
+
+    const Node& src = doc.node(f.src);
+    NodeId dst;
+    if (f.dst_parent == kNullNode) {
+      dst = db.skeleton.AddRoot(src.tag);
+    } else {
+      dst = db.skeleton.AddChild(f.dst_parent, src.tag);
+    }
+    db.skeleton.node(dst).value = src.value;
+    db.skeleton.node(dst).is_attribute = src.is_attribute;
+    result.skeleton_of_node[f.src] = dst;
+    for (auto it = src.children.rbegin(); it != src.children.rend(); ++it) {
+      stack.push_back({*it, dst});
+    }
+  }
+  return result;
+}
+
+Result<Document> DecryptBlock(const EncryptedBlock& block,
+                              const KeyChain& keys) {
+  auto plain = keys.block_cipher().Decrypt(block.ciphertext);
+  if (!plain.ok()) return plain.status();
+  return ParseXml(FromBytes(*plain));
+}
+
+void RemoveDecoys(Document& doc) {
+  if (doc.empty()) return;
+  std::vector<NodeId> decoys;
+  doc.Visit(doc.root(), [&](NodeId id) {
+    if (doc.node(id).tag == kDecoyTag) decoys.push_back(id);
+  });
+  for (NodeId id : decoys) {
+    (void)doc.Detach(id);
+  }
+}
+
+}  // namespace xcrypt

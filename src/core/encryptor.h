@@ -1,0 +1,80 @@
+#ifndef XCRYPT_CORE_ENCRYPTOR_H_
+#define XCRYPT_CORE_ENCRYPTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/encryption_scheme.h"
+#include "crypto/keychain.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// Tag of the decoy leaf added under encrypted leaf elements (§4.1). The
+/// tag only ever appears inside ciphertext, so the server never sees it;
+/// the client strips decoys during post-processing (§6.4).
+inline constexpr char kDecoyTag[] = "_decoy";
+
+/// Tag of the placeholder the skeleton keeps where an encrypted subtree
+/// was; its "id" attribute is the block id.
+inline constexpr char kBlockMarkerTag[] = "_encblock";
+
+/// One encryption block: an AES-CBC-encrypted serialized element subtree.
+struct EncryptedBlock {
+  int id = 0;
+  Bytes ciphertext;
+  /// Plaintext byte size before encryption (client-side knowledge, used by
+  /// the experiment reports; never shipped to the server).
+  int64_t plaintext_bytes = 0;
+
+  int64_t CiphertextBytes() const {
+    return static_cast<int64_t>(ciphertext.size());
+  }
+};
+
+/// The encrypted database as hosted by the server: the plaintext skeleton
+/// (encrypted subtrees replaced by `_encblock` markers) plus the blocks.
+struct EncryptedDatabase {
+  Document skeleton;
+  std::vector<EncryptedBlock> blocks;
+  /// skeleton NodeId of each block's marker, indexed by block id.
+  std::vector<NodeId> marker_of_block;
+
+  int64_t TotalCiphertextBytes() const;
+};
+
+/// Result of encrypting a document: what goes to the server plus the
+/// client-side bookkeeping needed to build metadata and translate queries.
+struct EncryptionResult {
+  EncryptedDatabase database;
+  /// Block id containing each original node; -1 if the node stays public.
+  /// Indexed by original NodeId. Client-side only.
+  std::vector<int> block_of_node;
+  /// Skeleton NodeId corresponding to each original node: the copied node
+  /// for public nodes, the `_encblock` marker for block roots, kNullNode
+  /// for nodes strictly inside a block. Indexed by original NodeId.
+  std::vector<NodeId> skeleton_of_node;
+  /// Tags that occur encrypted anywhere (drives tag tokenization).
+  std::vector<std::string> encrypted_tags;
+};
+
+/// Applies `scheme` to `doc` (§4.1): serializes each block root's subtree,
+/// adds a decoy child to encrypted leaf elements, and encrypts each block
+/// under the client's block key with a per-block nonce.
+Result<EncryptionResult> EncryptDocument(const Document& doc,
+                                         const EncryptionScheme& scheme,
+                                         const KeyChain& keys);
+
+/// Decrypts one block back into its subtree (decoy still present).
+Result<Document> DecryptBlock(const EncryptedBlock& block,
+                              const KeyChain& keys);
+
+/// Removes every decoy node from `doc` in place.
+void RemoveDecoys(Document& doc);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_ENCRYPTOR_H_

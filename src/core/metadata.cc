@@ -1,0 +1,127 @@
+#include "core/metadata.h"
+
+#include <algorithm>
+
+namespace xcrypt {
+
+int64_t Metadata::ByteSize() const {
+  int64_t total = dsi_table.ByteSize() + block_table.ByteSize();
+  for (const auto& [token, tree] : value_indexes) {
+    total += static_cast<int64_t>(token.size()) + tree.ByteSize();
+  }
+  return total;
+}
+
+namespace {
+
+std::string QualifiedTag(const Node& n) {
+  return (n.is_attribute ? "@" : "") + n.tag;
+}
+
+}  // namespace
+
+std::string TagToken(const ClientIndexMeta& meta,
+                     const std::string& qualified_tag) {
+  auto it = meta.tag_tokens.find(qualified_tag);
+  return it == meta.tag_tokens.end() ? qualified_tag : it->second;
+}
+
+Result<HostedMetadata> BuildMetadata(const Document& doc,
+                                     const EncryptionResult& enc,
+                                     const KeyChain& keys) {
+  if (doc.empty()) return Status::InvalidArgument("empty document");
+  HostedMetadata out;
+  ClientIndexMeta& client = out.client;
+  Metadata& server = out.server;
+
+  // 1. DSI intervals with key-derived random weights.
+  Rng dsi_rng(keys.RngSeed("dsi"));
+  client.dsi = DsiIndex::Build(doc, dsi_rng);
+
+  // 2. Tag pseudonyms for tags that occur encrypted; record which tags
+  // also occur publicly so query translation knows when to send both.
+  for (const std::string& tag : enc.encrypted_tags) {
+    client.tag_tokens[tag] = keys.tag_cipher().EncryptTag(tag);
+  }
+  for (NodeId id : doc.PreOrder()) {
+    if (enc.block_of_node[id] < 0) {
+      client.public_tags.insert(QualifiedTag(doc.node(id)));
+    }
+  }
+
+  // 3. DSI index table with grouping (§5.1.1): adjacent same-tag siblings
+  // inside the same encryption block collapse into one interval.
+  auto token_of = [&](NodeId id) {
+    const std::string q = QualifiedTag(doc.node(id));
+    return enc.block_of_node[id] >= 0 ? TagToken(client, q) : q;
+  };
+
+  // Root first (it has no sibling run).
+  server.dsi_table.Add(token_of(doc.root()), client.dsi.interval(doc.root()));
+  for (NodeId id : doc.PreOrder()) {
+    const Node& n = doc.node(id);
+    size_t i = 0;
+    while (i < n.children.size()) {
+      const NodeId first = n.children[i];
+      const std::string q = QualifiedTag(doc.node(first));
+      const int block = enc.block_of_node[first];
+      size_t j = i + 1;
+      if (block >= 0) {
+        while (j < n.children.size() &&
+               enc.block_of_node[n.children[j]] == block &&
+               QualifiedTag(doc.node(n.children[j])) == q) {
+          ++j;
+        }
+      }
+      Interval merged = client.dsi.interval(first);
+      merged.max = client.dsi.interval(n.children[j - 1]).max;
+      server.dsi_table.Add(token_of(first), merged);
+      i = j;
+    }
+  }
+  server.dsi_table.Seal();
+
+  // 4. Encryption block table: representative interval = block root's.
+  for (NodeId id : doc.PreOrder()) {
+    const int block = enc.block_of_node[id];
+    if (block < 0) continue;
+    const NodeId parent = doc.node(id).parent;
+    const bool is_root_of_block =
+        parent == kNullNode || enc.block_of_node[parent] != block;
+    if (is_root_of_block) {
+      server.block_table.Add(block, client.dsi.interval(id));
+    }
+  }
+
+  // 5. Public interval -> skeleton node map (plaintext shipping).
+  for (NodeId id : doc.PreOrder()) {
+    if (enc.block_of_node[id] < 0) {
+      server.public_interval_to_node[client.dsi.interval(id)] =
+          enc.skeleton_of_node[id];
+    }
+  }
+
+  // 6. Value indexes: one OPESS B-tree per encrypted leaf/attribute tag.
+  std::map<std::string, std::vector<std::pair<std::string, int32_t>>>
+      occurrences;
+  for (NodeId id : doc.PreOrder()) {
+    const int block = enc.block_of_node[id];
+    if (block < 0 || !doc.IsLeaf(id)) continue;
+    const Node& n = doc.node(id);
+    if (n.value.empty()) continue;
+    occurrences[QualifiedTag(n)].emplace_back(n.value, block);
+  }
+  for (auto& [tag, occ] : occurrences) {
+    Rng opess_rng(keys.RngSeed("opess:" + tag));
+    auto build = BuildOpess(tag, occ, keys.OpeFor(tag), opess_rng);
+    if (!build.ok()) return build.status();
+    client.opess[tag] = build->meta;
+    BPlusTree tree;
+    tree.BulkLoad(std::move(build->entries));
+    server.value_indexes.emplace(TagToken(client, tag), std::move(tree));
+  }
+
+  return out;
+}
+
+}  // namespace xcrypt

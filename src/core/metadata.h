@@ -1,0 +1,74 @@
+#ifndef XCRYPT_CORE_METADATA_H_
+#define XCRYPT_CORE_METADATA_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/encryptor.h"
+#include "core/opess.h"
+#include "crypto/keychain.h"
+#include "index/btree.h"
+#include "index/dsi.h"
+#include "index/dsi_table.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// Server-side metadata M (§5): the structural index (DSI index table +
+/// encryption block table) and the value index (one OPESS B-tree per
+/// encrypted leaf tag, keyed by the tag's pseudonym token).
+struct Metadata {
+  DsiTable dsi_table;
+  BlockTable block_table;
+  /// tag token -> OPESS B-tree of <evalue, Bid> entries.
+  std::map<std::string, BPlusTree> value_indexes;
+  /// Interval of every *public* (unencrypted) node -> skeleton NodeId, so
+  /// the server can ship plaintext results. Public by construction.
+  std::map<Interval, NodeId> public_interval_to_node;
+
+  int64_t ByteSize() const;
+};
+
+/// Client-side private state produced while building metadata; required for
+/// query translation (§6.1) and never sent to the server.
+struct ClientIndexMeta {
+  /// Tags (with '@' prefix for attributes) that occur encrypted; their
+  /// query tokens must be pseudonymized.
+  std::map<std::string, std::string> tag_tokens;
+  /// Tags that occur publicly (outside every block). A tag can be in both
+  /// sets when node-type SCs encrypt only some of its occurrences.
+  std::set<std::string> public_tags;
+  /// OPESS parameters per indexed tag (plaintext tag key).
+  std::map<std::string, OpessTagMeta> opess;
+  /// The DSI assignment (kept by the client; also useful for audits).
+  DsiIndex dsi;
+};
+
+/// Everything the Host step produces.
+struct HostedMetadata {
+  Metadata server;
+  ClientIndexMeta client;
+};
+
+/// Builds the complete metadata for an encrypted document (§5):
+///  - DSI intervals on the *original* document with key-derived weights;
+///  - the DSI index table with pseudonymized tokens for encrypted tags and
+///    grouping of adjacent same-tag nodes within one block (§5.1.1);
+///  - the encryption block table (block id -> representative interval);
+///  - one OPESS B-tree per encrypted leaf/attribute tag (§5.2).
+Result<HostedMetadata> BuildMetadata(const Document& doc,
+                                     const EncryptionResult& enc,
+                                     const KeyChain& keys);
+
+/// Token under which a (possibly attribute) tag appears in the DSI table:
+/// the plaintext name for public tags, the Vernam pseudonym for tags that
+/// occur encrypted. `qualified_tag` uses the '@' prefix convention.
+std::string TagToken(const ClientIndexMeta& meta,
+                     const std::string& qualified_tag);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_METADATA_H_

@@ -1,0 +1,300 @@
+#include "core/opess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "xml/stats.h"
+
+namespace xcrypt {
+
+namespace {
+
+bool IsNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+/// True if n is expressible as a sum of chunks from {m-1, m, m+1}:
+/// some t >= 1 chunks exist with t(m-1) <= n <= t(m+1).
+bool Representable(int64_t n, int m) {
+  const int64_t t_min = (n + m) / (m + 1);  // ceil(n / (m+1))
+  return t_min >= 1 && t_min * (m - 1) <= n;
+}
+
+/// Decomposes n into chunks from {m-1, m, m+1}. Uses the fewest chunks,
+/// except that a single-chunk decomposition is widened to two chunks when
+/// representable: Theorem 6.1 requires more ciphertext values than
+/// plaintext values (n > k), so every multi-occurrence value should split
+/// whenever the arithmetic allows.
+std::vector<int> Decompose(int64_t n, int m) {
+  int64_t t = std::max<int64_t>(1, (n + m) / (m + 1));
+  if (t == 1 && n >= 2 * (m - 1) && m >= 2) t = 2;
+  std::vector<int> chunks(t, m);
+  int64_t diff = n - t * m;  // in [-t, t]
+  for (int64_t i = 0; diff > 0; ++i, --diff) chunks[i] = m + 1;
+  for (int64_t i = 0; diff < 0; ++i, ++diff) chunks[i] = m - 1;
+  return chunks;
+}
+
+}  // namespace
+
+double OpessTagMeta::WeightSum() const {
+  double sum = 0.0;
+  for (double w : weights) sum += w;
+  return sum;
+}
+
+double OpessTagMeta::NumericImage(const std::string& literal,
+                                  bool* known) const {
+  if (!categorical) {
+    *known = true;  // numeric literals are always translatable
+    return std::strtod(literal.c_str(), nullptr);
+  }
+  auto it = ordinals.find(literal);
+  if (it != ordinals.end()) {
+    *known = true;
+    return static_cast<double>(it->second);
+  }
+  *known = false;
+  // Insertion position between ordinals p and p+1 -> p + 0.5.
+  const auto pos = std::lower_bound(sorted_values.begin(),
+                                    sorted_values.end(), literal, ValueLess);
+  return static_cast<double>(pos - sorted_values.begin()) + 0.5;
+}
+
+Result<OpessBuild> BuildOpess(
+    const std::string& tag,
+    const std::vector<std::pair<std::string, int32_t>>& occurrences,
+    const OpeFunction& ope, Rng& rng, const OpessOptions& options) {
+  if (occurrences.empty()) {
+    return Status::InvalidArgument("no occurrences for tag " + tag);
+  }
+
+  OpessBuild build;
+  OpessTagMeta& meta = build.meta;
+  meta.tag = tag;
+
+  // Distinct values in domain order, with counts and block lists.
+  std::map<std::string, std::vector<int32_t>> by_value;
+  for (const auto& [value, block] : occurrences) {
+    by_value[value].push_back(block);
+    if (!IsNumeric(value)) meta.categorical = true;
+  }
+  meta.sorted_values.reserve(by_value.size());
+  for (const auto& [value, blocks] : by_value) {
+    meta.sorted_values.push_back(value);
+  }
+  std::sort(meta.sorted_values.begin(), meta.sorted_values.end(), ValueLess);
+  for (size_t i = 0; i < meta.sorted_values.size(); ++i) {
+    meta.ordinals[meta.sorted_values[i]] = static_cast<int64_t>(i) + 1;
+  }
+
+  // Numeric images of the distinct values.
+  std::vector<double> images(meta.sorted_values.size());
+  for (size_t i = 0; i < images.size(); ++i) {
+    images[i] = meta.categorical
+                    ? static_cast<double>(i + 1)
+                    : std::strtod(meta.sorted_values[i].c_str(), nullptr);
+  }
+
+  // delta: minimum positive gap (see header comment).
+  meta.delta = 1.0;
+  if (images.size() >= 2) {
+    double min_gap = images[1] - images[0];
+    for (size_t i = 2; i < images.size(); ++i) {
+      min_gap = std::min(min_gap, images[i] - images[i - 1]);
+    }
+    meta.delta = min_gap > 0 ? min_gap : 1.0;
+  }
+
+  // Choose the maximum m for which every count > 1 is representable.
+  int64_t max_count = 0;
+  bool any_multi = false;
+  for (const auto& [value, blocks] : by_value) {
+    const int64_t n = static_cast<int64_t>(blocks.size());
+    max_count = std::max(max_count, n);
+    if (n > 1) any_multi = true;
+  }
+  // Pick the largest m for which every multi-occurrence count is
+  // representable, then chunk. If the chunking does not produce strictly
+  // more ciphertext values than plaintext values (the n > k premise of
+  // Theorem 6.1), retry with a smaller m — m = 2 (chunks {1,2,3}) always
+  // splits every count >= 2 in two.
+  const int64_t k_distinct = static_cast<int64_t>(meta.sorted_values.size());
+  std::vector<std::vector<int>> chunking(meta.sorted_values.size());
+  int max_chunks = 0;
+  int m_start = 3;
+  if (any_multi) {
+    for (int m = static_cast<int>(max_count) + 1; m >= 2; --m) {
+      bool all_ok = true;
+      for (const auto& [value, blocks] : by_value) {
+        const int64_t n = static_cast<int64_t>(blocks.size());
+        if (n > 1 && !Representable(n, m)) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (all_ok) {
+        m_start = m;
+        break;
+      }
+    }
+  }
+  for (int m = m_start; m >= 2; --m) {
+    bool all_ok = true;
+    int64_t total_chunks = 0;
+    max_chunks = 0;
+    for (size_t i = 0; i < meta.sorted_values.size(); ++i) {
+      const int64_t n =
+          static_cast<int64_t>(by_value[meta.sorted_values[i]].size());
+      if (n == 1) {
+        // "we split v_i into m values": m index entries for the single
+        // occurrence.
+        chunking[i].assign(m, 1);
+      } else if (Representable(n, m)) {
+        chunking[i] = Decompose(n, m);
+      } else {
+        all_ok = false;
+        break;
+      }
+      total_chunks += static_cast<int64_t>(chunking[i].size());
+      max_chunks = std::max(max_chunks, static_cast<int>(chunking[i].size()));
+    }
+    if (all_ok && (total_chunks > k_distinct || m == 2)) {
+      meta.m = m;
+      break;
+    }
+  }
+  meta.num_keys = max_chunks;
+  meta.weights = rng.DistinctSortedDoubles(
+      max_chunks, 1e-9, 1.0 / (max_chunks + 1));
+
+  // Emit entries: chunk j of value v_i maps occurrences to
+  // enc(v_i + (w1+...+wj) * delta); then scale.
+  for (size_t i = 0; i < meta.sorted_values.size(); ++i) {
+    const std::string& value = meta.sorted_values[i];
+    const std::vector<int32_t>& blocks = by_value[value];
+
+    OpessSplit split;
+    split.value = value;
+    split.occurrences = static_cast<int64_t>(blocks.size());
+    split.chunk_sizes = chunking[i];
+    split.scale = rng.UniformDouble(options.scale_min, options.scale_max);
+
+    std::vector<BTreeEntry> base;
+    double displacement = 0.0;
+    size_t occ = 0;
+    for (size_t j = 0; j < chunking[i].size(); ++j) {
+      displacement += meta.weights[j];
+      const int64_t cipher =
+          ope.EncryptReal(images[i] + displacement * meta.delta);
+      for (int c = 0; c < chunking[i][j]; ++c) {
+        // Singleton values reuse their one occurrence for all m entries.
+        const int32_t block =
+            blocks[std::min(occ, blocks.size() - 1)];
+        base.push_back({cipher, block});
+        if (blocks.size() > 1) ++occ;
+      }
+    }
+
+    // Scaling: replicate the base entries to ~scale times their count.
+    const int64_t target = std::max<int64_t>(
+        static_cast<int64_t>(base.size()),
+        std::llround(split.scale * static_cast<double>(base.size())));
+    for (int64_t r = 0; r < target; ++r) {
+      build.entries.push_back(base[r % base.size()]);
+    }
+    build.splits.push_back(std::move(split));
+  }
+
+  std::sort(build.entries.begin(), build.entries.end());
+  return build;
+}
+
+Result<OpessRange> TranslateValueConstraint(const OpessTagMeta& meta,
+                                            const OpeFunction& ope, CompOp op,
+                                            const std::string& literal) {
+  if (op == CompOp::kNe) {
+    return Status::Unsupported(
+        "!= cannot be translated to a single index range");
+  }
+  const double w1 = meta.weights.empty() ? 0.0 : meta.weights.front();
+  const double w_sum = meta.WeightSum();
+  auto image_of = [&meta](size_t index) {
+    return meta.categorical
+               ? static_cast<double>(index + 1)
+               : std::strtod(meta.sorted_values[index].c_str(), nullptr);
+  };
+  auto enc_first_chunk = [&](double x) {  // enc(x + w1*delta)
+    return ope.EncryptReal(x + w1 * meta.delta);
+  };
+  auto enc_last_chunk = [&](double x) {  // enc(x + (sum w)*delta)
+    return ope.EncryptReal(x + w_sum * meta.delta);
+  };
+
+  OpessRange range;
+  const auto it = meta.ordinals.find(literal);
+  if (it != meta.ordinals.end()) {
+    // Known value: Figure 7(a) verbatim.
+    const double x = image_of(static_cast<size_t>(it->second - 1));
+    switch (op) {
+      case CompOp::kEq:
+        range.lo = enc_first_chunk(x);
+        range.hi = enc_last_chunk(x);
+        return range;
+      case CompOp::kLt:
+        range.hi = enc_first_chunk(x) - 1;
+        return range;
+      case CompOp::kLe:
+        range.hi = enc_last_chunk(x);
+        return range;
+      case CompOp::kGt:
+        range.lo = enc_last_chunk(x) + 1;
+        return range;
+      case CompOp::kGe:
+        range.lo = enc_first_chunk(x);
+        return range;
+      case CompOp::kNe:
+        break;
+    }
+    return Status::Internal("unreachable");
+  }
+
+  // Unseen literal: resolve against its neighbours in the active domain —
+  // v < literal is exactly v <= pred(literal), v > literal is exactly
+  // v >= succ(literal). (Fig. 7a assumes the literal occurs; this is the
+  // natural extension that keeps translation exact for arbitrary literals.)
+  const size_t pos = static_cast<size_t>(
+      std::lower_bound(meta.sorted_values.begin(), meta.sorted_values.end(),
+                       literal, ValueLess) -
+      meta.sorted_values.begin());
+  switch (op) {
+    case CompOp::kEq:
+      range.empty = true;
+      return range;
+    case CompOp::kLt:
+    case CompOp::kLe:
+      if (pos == 0) {
+        range.empty = true;
+      } else {
+        range.hi = enc_last_chunk(image_of(pos - 1));
+      }
+      return range;
+    case CompOp::kGt:
+    case CompOp::kGe:
+      if (pos == meta.sorted_values.size()) {
+        range.empty = true;
+      } else {
+        range.lo = enc_first_chunk(image_of(pos));
+      }
+      return range;
+    case CompOp::kNe:
+      break;
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,100 @@
+#ifndef XCRYPT_CORE_OPESS_H_
+#define XCRYPT_CORE_OPESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "crypto/ope.h"
+#include "index/btree.h"
+#include "xpath/ast.h"
+
+namespace xcrypt {
+
+/// Client-held OPESS parameters for one indexed tag (§5.2.1). These are
+/// exactly what query translation (Fig. 7a) needs; they never leave the
+/// client.
+struct OpessTagMeta {
+  std::string tag;
+  /// True when any value is non-numeric; values are then mapped to their
+  /// 1-based ordinal in sorted order ("the client keeps the mapping between
+  /// categorical values and natural numbers").
+  bool categorical = false;
+  std::map<std::string, int64_t> ordinals;  ///< categorical value -> ordinal
+  /// Sorted distinct values (for ordinal insertion-position lookups).
+  std::vector<std::string> sorted_values;
+  int m = 3;         ///< chunk sizes are m-1, m, m+1
+  int num_keys = 0;  ///< K: number of splitting weights
+  std::vector<double> weights;  ///< w1 < ... < wK in (0, 1/(K+1))
+  double delta = 1.0;           ///< inter-value gap unit
+  /// Sum of all K weights (the upper displacement of Fig. 7a).
+  double WeightSum() const;
+  /// Numeric image of a literal: the parsed number, the ordinal for known
+  /// categorical values, or a half-ordinal insertion position for unseen
+  /// categorical literals (keeps inequalities translatable).
+  double NumericImage(const std::string& literal, bool* known) const;
+};
+
+/// How one distinct plaintext value was split (reporting/testing).
+struct OpessSplit {
+  std::string value;
+  int64_t occurrences = 0;
+  std::vector<int> chunk_sizes;  ///< each in {m-1, m, m+1}; singletons: m×1
+  double scale = 1.0;            ///< random scale factor s_i in [1, 10]
+};
+
+/// Output of building the OPESS transform for one tag: the B-tree entries
+/// (already split and scaled) plus the client metadata.
+struct OpessBuild {
+  OpessTagMeta meta;
+  std::vector<BTreeEntry> entries;
+  std::vector<OpessSplit> splits;
+};
+
+/// Tunable OPESS parameters. The defaults follow the paper: scale factors
+/// are drawn from [1, 10] ("we typically want to use a small real number
+/// in the range [1,10] since the index size is affected by the scale
+/// factor", §5.2.1). Narrowing the range trades index size against the
+/// ambiguity scaling buys; scale_min = scale_max = 1 disables scaling
+/// entirely (useful for ablations — see bench_ablations).
+struct OpessOptions {
+  double scale_min = 1.0;
+  double scale_max = 10.0;
+};
+
+/// Builds the OPESS transform for one tag from (value, block-id)
+/// occurrences:
+///  1. choose the maximum m such that every occurrence count > 1 is a sum
+///     of chunks from {m-1, m, m+1} (the triple (2,3,4) always works);
+///  2. split each value's occurrences into chunks, displacing chunk j by
+///     (w1+...+wj)·δ within the gap to the next value, then applying the
+///     keyed order-preserving encryption;
+///  3. scale each value's entries by a random factor in [1, 10].
+/// δ is the *minimum* gap between consecutive distinct values — the paper's
+/// text says maximum, but only the minimum makes the no-straddle condition
+/// (*) of §5.2.1 hold for arbitrary gaps; see DESIGN.md.
+Result<OpessBuild> BuildOpess(
+    const std::string& tag,
+    const std::vector<std::pair<std::string, int32_t>>& occurrences,
+    const OpeFunction& ope, Rng& rng,
+    const OpessOptions& options = OpessOptions());
+
+/// Inclusive key range on the OPESS B-tree. empty means no key can match.
+struct OpessRange {
+  int64_t lo = INT64_MIN;
+  int64_t hi = INT64_MAX;
+  bool empty = false;
+};
+
+/// Translates a value constraint `op literal` into a B-tree range per
+/// Figure 7(a). kNe is not translatable to a single range and is rejected.
+Result<OpessRange> TranslateValueConstraint(const OpessTagMeta& meta,
+                                            const OpeFunction& ope, CompOp op,
+                                            const std::string& literal);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_OPESS_H_

@@ -1,0 +1,89 @@
+#include "core/query_translator.h"
+
+namespace xcrypt {
+
+namespace {
+
+std::string QualifiedTag(const Step& step) {
+  return (step.is_attribute ? "@" : "") + step.tag;
+}
+
+}  // namespace
+
+Result<TranslatedQuery> QueryTranslator::Translate(
+    const PathExpr& query) const {
+  TranslatedQuery out;
+  auto steps = TranslateSteps(query.steps);
+  if (!steps.ok()) return steps.status();
+  out.steps = std::move(*steps);
+  return out;
+}
+
+Result<std::vector<TranslatedStep>> QueryTranslator::TranslateSteps(
+    const std::vector<Step>& steps) const {
+  std::vector<TranslatedStep> out;
+  out.reserve(steps.size());
+  for (const Step& step : steps) {
+    TranslatedStep ts;
+    ts.axis = step.axis;
+    if (step.tag == "*") {
+      ts.wildcard = true;
+    } else {
+      const std::string qtag = QualifiedTag(step);
+      auto token_it = meta_->tag_tokens.find(qtag);
+      if (token_it != meta_->tag_tokens.end()) {
+        ts.tokens.push_back(token_it->second);
+      }
+      // Mixed or fully public tags also match under the plaintext name.
+      // The plaintext name is sent only when public occurrences exist, so
+      // fully-encrypted query tags never leak.
+      if (meta_->public_tags.count(qtag) != 0) {
+        ts.tokens.push_back(qtag);
+      }
+      if (ts.tokens.empty()) {
+        return Status::NotFound("tag '" + qtag +
+                                "' does not occur in the hosted database");
+      }
+    }
+    for (const Predicate& pred : step.predicates) {
+      TranslatedPredicate tp;
+      auto path = TranslateSteps(pred.path.steps);
+      if (!path.ok()) return path.status();
+      tp.path = std::move(*path);
+
+      if (!pred.op.has_value()) {
+        tp.kind = TranslatedPredicate::Kind::kExists;
+        ts.predicates.push_back(std::move(tp));
+        continue;
+      }
+
+      const Step& target = pred.path.steps.back();
+      const std::string target_tag = QualifiedTag(target);
+      auto opess_it = meta_->opess.find(target_tag);
+      if (opess_it != meta_->opess.end()) {
+        // Encrypted, OPESS-indexed value: range translation (Fig. 7a).
+        tp.kind = TranslatedPredicate::Kind::kIndexRange;
+        tp.index_token = TagToken(*meta_, target_tag);
+        auto range =
+            TranslateValueConstraint(opess_it->second, keys_->OpeFor(target_tag),
+                                     *pred.op, pred.literal);
+        if (!range.ok()) return range.status();
+        tp.range = *range;
+      } else if (meta_->tag_tokens.count(target_tag) != 0) {
+        // The tag occurs encrypted but carries no value index (internal
+        // node): the server cannot evaluate the comparison.
+        return Status::Unsupported("value constraint on encrypted tag '" +
+                                   target_tag + "' without a value index");
+      } else {
+        tp.kind = TranslatedPredicate::Kind::kPlainValue;
+        tp.op = *pred.op;
+        tp.literal = pred.literal;
+      }
+      ts.predicates.push_back(std::move(tp));
+    }
+    out.push_back(std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,40 @@
+#ifndef XCRYPT_CORE_QUERY_TRANSLATOR_H_
+#define XCRYPT_CORE_QUERY_TRANSLATOR_H_
+
+#include "common/status.h"
+#include "core/metadata.h"
+#include "core/translated_query.h"
+#include "crypto/keychain.h"
+#include "xpath/ast.h"
+
+namespace xcrypt {
+
+/// Client-side query translation (§6.1): replaces tags and value constraints
+/// with their encrypted forms while preserving the query structure.
+///
+///  - Tags that occur encrypted become their Vernam pseudonym (the same
+///    tokens used when building the DSI index table).
+///  - A value constraint on an OPESS-indexed tag becomes a ciphertext range
+///    per Figure 7(a).
+///  - Value constraints on public tags stay plaintext (the server evaluates
+///    them against the unencrypted skeleton).
+class QueryTranslator {
+ public:
+  QueryTranslator(const KeyChain* keys, const ClientIndexMeta* meta)
+      : keys_(keys), meta_(meta) {}
+
+  /// Translates Q into Qs. Fails for constraints that cannot be evaluated
+  /// server-side (e.g. `!=` on an encrypted value).
+  Result<TranslatedQuery> Translate(const PathExpr& query) const;
+
+ private:
+  Result<std::vector<TranslatedStep>> TranslateSteps(
+      const std::vector<Step>& steps) const;
+
+  const KeyChain* keys_;
+  const ClientIndexMeta* meta_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_QUERY_TRANSLATOR_H_

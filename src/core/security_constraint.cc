@@ -1,0 +1,120 @@
+#include "core/security_constraint.h"
+
+#include <algorithm>
+
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+
+std::string SecurityConstraint::ToString() const {
+  std::string out = context.ToString();
+  if (association.has_value()) {
+    out += ":(" + association->first.ToString() + ", " +
+           association->second.ToString() + ")";
+  }
+  return out;
+}
+
+Result<SecurityConstraint> ParseSecurityConstraint(const std::string& text) {
+  SecurityConstraint sc;
+  sc.source = text;
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    auto path = ParseXPath(text);
+    if (!path.ok()) return path.status();
+    sc.context = std::move(*path);
+    return sc;
+  }
+  auto context = ParseXPath(text.substr(0, colon));
+  if (!context.ok()) return context.status();
+  sc.context = std::move(*context);
+
+  std::string rest = text.substr(colon + 1);
+  // Expect "(q1, q2)".
+  auto strip = [](std::string s) {
+    const size_t first = s.find_first_not_of(" \t");
+    const size_t last = s.find_last_not_of(" \t");
+    if (first == std::string::npos) return std::string();
+    return s.substr(first, last - first + 1);
+  };
+  rest = strip(rest);
+  if (rest.size() < 2 || rest.front() != '(' || rest.back() != ')') {
+    return Status::ParseError("association SC must end with '(q1, q2)': " +
+                              text);
+  }
+  rest = rest.substr(1, rest.size() - 2);
+  const size_t comma = rest.find(',');
+  if (comma == std::string::npos) {
+    return Status::ParseError("association SC needs two paths: " + text);
+  }
+  auto q1 = ParseRelativePath(strip(rest.substr(0, comma)));
+  if (!q1.ok()) return q1.status();
+  auto q2 = ParseRelativePath(strip(rest.substr(comma + 1)));
+  if (!q2.ok()) return q2.status();
+  sc.association = std::make_pair(std::move(*q1), std::move(*q2));
+  return sc;
+}
+
+Result<std::vector<SecurityConstraint>> ParseSecurityConstraints(
+    const std::string& text) {
+  std::vector<SecurityConstraint> out;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const size_t last = line.find_last_not_of(" \t\r");
+    auto sc = ParseSecurityConstraint(line.substr(first, last - first + 1));
+    if (!sc.ok()) return sc.status();
+    out.push_back(std::move(*sc));
+  }
+  return out;
+}
+
+std::vector<ConstraintBinding> BindConstraints(
+    const Document& doc, const std::vector<SecurityConstraint>& constraints) {
+  XPathEvaluator eval(doc);
+  std::vector<ConstraintBinding> out;
+  out.reserve(constraints.size());
+  for (const SecurityConstraint& sc : constraints) {
+    ConstraintBinding binding;
+    binding.constraint = sc;
+    binding.context_nodes = eval.Evaluate(sc.context);
+    if (sc.IsAssociation()) {
+      for (NodeId ctx : binding.context_nodes) {
+        binding.q1_nodes.push_back(
+            eval.EvaluateFrom(ctx, sc.association->first));
+        binding.q2_nodes.push_back(
+            eval.EvaluateFrom(ctx, sc.association->second));
+      }
+    }
+    out.push_back(std::move(binding));
+  }
+  return out;
+}
+
+bool IsCapturedBy(const PathExpr& q, const SecurityConstraint& sc) {
+  if (sc.IsNodeType()) {
+    // Node-type SC p captures p itself and any extension p/a, p//a, ...
+    return q.HasPrefix(sc.context);
+  }
+  // Association SC p:(q1,q2) captures p[q1 = v1][q2 = v2]: same context
+  // path with two value predicates matching q1/q2 structurally.
+  if (q.steps.size() != sc.context.steps.size()) return false;
+  if (!q.HasPrefix(sc.context)) return false;
+  const Step& last = q.steps.back();
+  if (last.predicates.size() != 2) return false;
+  auto matches = [](const Predicate& pred, const PathExpr& leg) {
+    if (!pred.op.has_value() || *pred.op != CompOp::kEq) return false;
+    return pred.path.HasPrefix(leg) && leg.HasPrefix(pred.path);
+  };
+  const auto& [q1, q2] = *sc.association;
+  return (matches(last.predicates[0], q1) && matches(last.predicates[1], q2)) ||
+         (matches(last.predicates[0], q2) && matches(last.predicates[1], q1));
+}
+
+}  // namespace xcrypt

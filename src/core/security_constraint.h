@@ -1,0 +1,69 @@
+#ifndef XCRYPT_CORE_SECURITY_CONSTRAINT_H_
+#define XCRYPT_CORE_SECURITY_CONSTRAINT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xcrypt {
+
+/// A security constraint (§3.2): what the data owner wants protected.
+///
+/// Node type constraint `p`: for every node the XPath expression `p` binds
+/// to, the whole element subtree (tag, structure, contents) is classified.
+///
+/// Association type constraint `p : (q1, q2)`: for every context node bound
+/// by `p` and every value pair (v1, v2) bound by q1/q2 in that context, the
+/// *association* between v1 and v2 is classified.
+struct SecurityConstraint {
+  /// Context path `p`.
+  PathExpr context;
+  /// Present for association constraints: the (q1, q2) relative paths.
+  std::optional<std::pair<PathExpr, PathExpr>> association;
+  /// Original source text, for reporting.
+  std::string source;
+
+  bool IsNodeType() const { return !association.has_value(); }
+  bool IsAssociation() const { return association.has_value(); }
+
+  std::string ToString() const;
+};
+
+/// Parses one SC from the paper's syntax:
+///   `//insurance`                         (node type)
+///   `//patient:(/pname, /SSN)`            (association)
+///   `//patient:(/pname, //disease)`       (association, descendant leg)
+Result<SecurityConstraint> ParseSecurityConstraint(const std::string& text);
+
+/// Parses a list of SCs, one per line (blank lines and `#` comments are
+/// skipped).
+Result<std::vector<SecurityConstraint>> ParseSecurityConstraints(
+    const std::string& text);
+
+/// The binding of one SC against a concrete database: which nodes must be
+/// protected, computed with the reference XPath evaluator.
+struct ConstraintBinding {
+  SecurityConstraint constraint;
+  /// Node-type SC: the nodes p binds to.
+  std::vector<NodeId> context_nodes;
+  /// Association SC: per context node, the q1- and q2-bound nodes.
+  std::vector<std::vector<NodeId>> q1_nodes;
+  std::vector<std::vector<NodeId>> q2_nodes;
+};
+
+/// Evaluates all SCs against `doc`.
+std::vector<ConstraintBinding> BindConstraints(
+    const Document& doc, const std::vector<SecurityConstraint>& constraints);
+
+/// True if query `q` is captured by constraint `sc` (§3.2): for a node-type
+/// SC p, every query whose path extends p; for an association SC
+/// p : (q1, q2), queries of the form p[q1 = v1][q2 = v2].
+bool IsCapturedBy(const PathExpr& q, const SecurityConstraint& sc);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_SECURITY_CONSTRAINT_H_

@@ -1,0 +1,304 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <map>
+
+#include "index/structural_join.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+
+namespace xcrypt {
+
+int64_t ServerResponse::TotalBytes() const {
+  int64_t total = static_cast<int64_t>(skeleton_xml.size());
+  for (const EncryptedBlock& b : blocks) total += b.CiphertextBytes();
+  return total;
+}
+
+namespace {
+
+bool IsRootInterval(const Interval& iv) {
+  return iv.min == 0.0 && iv.max == 1.0;
+}
+
+}  // namespace
+
+const std::vector<Interval>& ServerEngine::RangeProbeReps(
+    const std::string& token, int64_t lo, int64_t hi) const {
+  const auto key = std::make_tuple(token, lo, hi);
+  auto it = range_probe_cache_.find(key);
+  if (it != range_probe_cache_.end()) return it->second;
+
+  std::vector<Interval> reps;
+  auto tree_it = meta_->value_indexes.find(token);
+  if (tree_it != meta_->value_indexes.end()) {
+    std::vector<int> block_ids;
+    for (const BTreeEntry& e : tree_it->second.RangeScan(lo, hi)) {
+      block_ids.push_back(e.block_id);
+    }
+    std::sort(block_ids.begin(), block_ids.end());
+    block_ids.erase(std::unique(block_ids.begin(), block_ids.end()),
+                    block_ids.end());
+    for (int id : block_ids) {
+      const Interval* rep = meta_->block_table.RepresentativeOf(id);
+      if (rep != nullptr) reps.push_back(*rep);
+    }
+  }
+  return range_probe_cache_.emplace(key, std::move(reps)).first->second;
+}
+
+const std::vector<Interval>& ServerEngine::Universe() const {
+  if (!universe_ready_) {
+    universe_ = meta_->dsi_table.AllIntervals();
+    universe_ready_ = true;
+  }
+  return universe_;
+}
+
+std::vector<Interval> ServerEngine::LookupStep(
+    const TranslatedStep& step) const {
+  if (step.wildcard) return meta_->dsi_table.AllIntervals();
+  std::vector<Interval> out;
+  for (const std::string& token : step.tokens) {
+    const auto& list = meta_->dsi_table.Lookup(token);
+    out.insert(out.end(), list.begin(), list.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::vector<Interval>> ServerEngine::ForwardPass(
+    const std::vector<TranslatedStep>& steps,
+    const std::vector<Interval>& context, bool from_document_root,
+    bool* conservative) const {
+  std::vector<std::vector<Interval>> lists;
+  lists.reserve(steps.size());
+  std::vector<Interval> cur = context;
+  const std::vector<Interval>& universe = Universe();
+
+  for (size_t k = 0; k < steps.size(); ++k) {
+    const TranslatedStep& step = steps[k];
+    std::vector<Interval> cand = LookupStep(step);
+    if (k == 0 && from_document_root) {
+      if (step.axis == Axis::kChild) {
+        // `/tag`: only the document root can match.
+        std::vector<Interval> roots;
+        for (const Interval& iv : cand) {
+          if (IsRootInterval(iv)) roots.push_back(iv);
+        }
+        cand = std::move(roots);
+      }
+      // `//tag`: every occurrence qualifies.
+    } else {
+      if (step.axis == Axis::kDescendant) {
+        cand = StructuralJoin::FilterDescendants(cur, cand);
+      } else {
+        cand = StructuralJoin::FilterChildren(cur, cand, universe);
+      }
+    }
+    // Step predicates.
+    if (!step.predicates.empty()) {
+      std::vector<Interval> kept;
+      for (const Interval& iv : cand) {
+        bool pass = true;
+        for (const TranslatedPredicate& pred : step.predicates) {
+          if (!CheckPredicate(iv, pred, conservative)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) kept.push_back(iv);
+      }
+      cand = std::move(kept);
+    }
+    lists.push_back(cand);
+    cur = std::move(cand);
+  }
+  return lists;
+}
+
+bool ServerEngine::CheckPredicate(const Interval& candidate,
+                                  const TranslatedPredicate& pred,
+                                  bool* conservative) const {
+  const std::vector<std::vector<Interval>> lists =
+      ForwardPass(pred.path, {candidate}, /*from_document_root=*/false,
+                  conservative);
+  if (lists.empty()) return false;
+  const std::vector<Interval>& targets = lists.back();
+  if (targets.empty()) return false;
+
+  switch (pred.kind) {
+    case TranslatedPredicate::Kind::kExists:
+      return true;
+
+    case TranslatedPredicate::Kind::kPlainValue: {
+      for (const Interval& t : targets) {
+        auto it = meta_->public_interval_to_node.find(t);
+        if (it == meta_->public_interval_to_node.end()) continue;
+        const Node& node = db_->skeleton.node(it->second);
+        if (CompareValues(node.value, pred.op, pred.literal)) return true;
+      }
+      return false;
+    }
+
+    case TranslatedPredicate::Kind::kIndexRange: {
+      if (pred.range.empty) return false;
+      const std::vector<Interval>& reps =
+          RangeProbeReps(pred.index_token, pred.range.lo, pred.range.hi);
+
+      bool matched_conservative = false;
+      for (const Interval& rep : reps) {
+        bool related = false;
+        for (const Interval& t : targets) {
+          if (t == rep || t.ProperlyInside(rep) || rep.ProperlyInside(t)) {
+            related = true;
+            break;
+          }
+        }
+        if (!related) continue;
+        // Attributable: the whole block lies at or below the candidate, so
+        // the matching value occurrence belongs to this candidate.
+        if (rep == candidate || rep.ProperlyInside(candidate)) {
+          return true;
+        }
+        // The block strictly encloses the candidate: the value is in the
+        // block, but possibly under a different candidate. Defer to the
+        // client (it receives the block and re-checks).
+        matched_conservative = true;
+      }
+      if (matched_conservative) {
+        *conservative = true;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+Result<ServerResponse> ServerEngine::Execute(
+    const TranslatedQuery& query) const {
+  if (query.steps.empty()) {
+    return Status::InvalidArgument("empty translated query");
+  }
+  bool conservative = false;
+  const std::vector<std::vector<Interval>> lists = ForwardPass(
+      query.steps, {}, /*from_document_root=*/true, &conservative);
+  std::vector<Interval> ship_roots = lists.back();
+  if (ship_roots.empty()) return ServerResponse{};
+
+  if (conservative) {
+    // Some predicate could not be attributed server-side; back-prune to the
+    // first step's surviving matches and ship their whole subtrees so the
+    // client can re-apply the full query.
+    std::vector<Interval> prev = ship_roots;
+    for (size_t k = lists.size() - 1; k-- > 0;) {
+      prev = StructuralJoin::FilterAncestors(lists[k], prev);
+    }
+    ship_roots = std::move(prev);
+  }
+  return AssembleResponse(ship_roots, conservative);
+}
+
+ServerResponse ServerEngine::AssembleResponse(
+    const std::vector<Interval>& ship_roots,
+    bool requires_full_requery) const {
+  const Document& skeleton = db_->skeleton;
+  std::vector<bool> include(skeleton.node_count(), false);
+  std::vector<bool> ship_block(db_->blocks.size(), false);
+
+  auto mark_ancestors = [&](NodeId id) {
+    for (NodeId p = skeleton.node(id).parent; p != kNullNode;
+         p = skeleton.node(p).parent) {
+      include[p] = true;
+    }
+  };
+  auto mark_subtree = [&](NodeId id) {
+    skeleton.Visit(id, [&](NodeId n) {
+      include[n] = true;
+      if (skeleton.node(n).tag == kBlockMarkerTag) {
+        for (NodeId c : skeleton.node(n).children) {
+          const Node& attr = skeleton.node(c);
+          if (attr.is_attribute && attr.tag == "id") {
+            const int id_val = std::atoi(attr.value.c_str());
+            if (id_val >= 0 &&
+                static_cast<size_t>(id_val) < ship_block.size()) {
+              ship_block[id_val] = true;
+            }
+          }
+        }
+      }
+    });
+  };
+
+  for (const Interval& iv : ship_roots) {
+    // Innermost covering block, if the root lies in one.
+    int best_block = -1;
+    double best_min = -1.0;
+    for (const auto& [id, rep] : meta_->block_table.entries()) {
+      if (iv == rep || iv.ProperlyInside(rep)) {
+        if (rep.min > best_min) {
+          best_min = rep.min;
+          best_block = id;
+        }
+      }
+    }
+    if (best_block >= 0) {
+      const NodeId marker = db_->marker_of_block[best_block];
+      mark_subtree(marker);
+      mark_ancestors(marker);
+      ship_block[best_block] = true;
+      continue;
+    }
+    auto it = meta_->public_interval_to_node.find(iv);
+    if (it == meta_->public_interval_to_node.end()) continue;  // defensive
+    mark_subtree(it->second);
+    mark_ancestors(it->second);
+  }
+
+  // Copy the pruned skeleton. Attribute children of included nodes ride
+  // along so ancestor-chain elements keep their attributes.
+  Document pruned;
+  struct Frame {
+    NodeId src;
+    NodeId dst_parent;
+  };
+  std::vector<Frame> stack;
+  if (!skeleton.empty() && include[skeleton.root()]) {
+    stack.push_back({skeleton.root(), kNullNode});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node& src = skeleton.node(f.src);
+    NodeId dst = (f.dst_parent == kNullNode)
+                     ? pruned.AddRoot(src.tag)
+                     : pruned.AddChild(f.dst_parent, src.tag);
+    pruned.node(dst).value = src.value;
+    pruned.node(dst).is_attribute = src.is_attribute;
+    for (auto it = src.children.rbegin(); it != src.children.rend(); ++it) {
+      if (include[*it] || skeleton.node(*it).is_attribute) {
+        stack.push_back({*it, dst});
+      }
+    }
+  }
+
+  ServerResponse response;
+  response.requires_full_requery = requires_full_requery;
+  response.skeleton_xml = SerializeXml(pruned, pruned.root(), 0);
+  for (size_t i = 0; i < ship_block.size(); ++i) {
+    if (ship_block[i]) response.blocks.push_back(db_->blocks[i]);
+  }
+  return response;
+}
+
+ServerResponse ServerEngine::ExecuteNaive() const {
+  ServerResponse response;
+  response.requires_full_requery = true;
+  response.skeleton_xml = SerializeXml(db_->skeleton, db_->skeleton.root(), 0);
+  response.blocks = db_->blocks;
+  return response;
+}
+
+}  // namespace xcrypt

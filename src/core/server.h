@@ -1,0 +1,106 @@
+#ifndef XCRYPT_CORE_SERVER_H_
+#define XCRYPT_CORE_SERVER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/status.h"
+#include "core/encryptor.h"
+#include "core/metadata.h"
+#include "core/translated_query.h"
+
+namespace xcrypt {
+struct AggregateResponse;
+enum class AggregateKind;
+}  // namespace xcrypt
+
+namespace xcrypt {
+
+/// What the server sends back for one query (§6.2 step 3): a pruned copy of
+/// the plaintext skeleton — the ancestor chains plus the selected subtrees,
+/// with `_encblock` markers where blocks belong — and the referenced
+/// encryption blocks.
+struct ServerResponse {
+  /// Serialized pruned skeleton; empty when nothing matched.
+  std::string skeleton_xml;
+  /// Blocks referenced by markers inside skeleton_xml, shipped alongside.
+  std::vector<EncryptedBlock> blocks;
+  /// True when some predicate could only be checked conservatively (the
+  /// context node lies strictly inside an encryption block), so the client
+  /// must re-apply the full original query after decryption. Otherwise the
+  /// client only needs to re-verify the output step's predicates.
+  bool requires_full_requery = false;
+
+  /// Bytes on the wire: pruned skeleton plus ciphertext.
+  int64_t TotalBytes() const;
+};
+
+/// The untrusted server's query executor (§6.2). It sees only the
+/// encrypted database, the metadata, and translated queries — never keys or
+/// plaintext of encrypted content.
+class ServerEngine {
+ public:
+  ServerEngine(const EncryptedDatabase* db, const Metadata* meta)
+      : db_(db), meta_(meta) {}
+
+  /// Executes the translated query:
+  ///  1. label query nodes with DSI interval lists and prune them with
+  ///     structural joins;
+  ///  2. resolve value constraints through the OPESS B-trees;
+  ///  3. ship the covering blocks / plaintext fragments of the result.
+  Result<ServerResponse> Execute(const TranslatedQuery& query) const;
+
+  /// The naive method of §7.3: ship the whole database (skeleton + all
+  /// blocks); the client decrypts everything and evaluates locally.
+  ServerResponse ExecuteNaive() const;
+
+  /// Aggregate evaluation (§6.4). `index_token` is the value index for the
+  /// query's target tag (empty when the target is public).
+  Result<AggregateResponse> ExecuteAggregate(const TranslatedQuery& query,
+                                             AggregateKind kind,
+                                             const std::string& index_token)
+      const;
+
+ private:
+  /// Forward pass: interval list per step (cumulative filtering).
+  std::vector<std::vector<Interval>> ForwardPass(
+      const std::vector<TranslatedStep>& steps,
+      const std::vector<Interval>& context, bool from_document_root,
+      bool* conservative) const;
+
+  std::vector<Interval> LookupStep(const TranslatedStep& step) const;
+
+  bool CheckPredicate(const Interval& candidate,
+                      const TranslatedPredicate& pred,
+                      bool* conservative) const;
+
+  /// Builds the pruned-skeleton response for the subtrees rooted at the
+  /// given intervals.
+  ServerResponse AssembleResponse(const std::vector<Interval>& ship_roots,
+                                  bool requires_full_requery) const;
+
+  /// All DSI intervals, computed once (used by every child-axis join).
+  const std::vector<Interval>& Universe() const;
+
+  /// Representative intervals of the blocks hit by a value-index range
+  /// probe, memoized per (token, lo, hi): the same predicate is checked
+  /// against every candidate of its step, but the probe result does not
+  /// depend on the candidate.
+  const std::vector<Interval>& RangeProbeReps(const std::string& token,
+                                              int64_t lo, int64_t hi) const;
+
+  const EncryptedDatabase* db_;
+  const Metadata* meta_;
+  mutable std::vector<Interval> universe_;
+  mutable bool universe_ready_ = false;
+  mutable std::map<std::tuple<std::string, int64_t, int64_t>,
+                   std::vector<Interval>>
+      range_probe_cache_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_SERVER_H_

@@ -1,0 +1,51 @@
+#include "core/translated_query.h"
+
+namespace xcrypt {
+
+namespace {
+
+void AppendSteps(const std::vector<TranslatedStep>& steps, std::string* out) {
+  for (const TranslatedStep& step : steps) {
+    *out += (step.axis == Axis::kDescendant) ? "//" : "/";
+    if (step.wildcard) {
+      *out += '*';
+    } else {
+      for (size_t i = 0; i < step.tokens.size(); ++i) {
+        if (i > 0) *out += '|';
+        *out += step.tokens[i];
+      }
+    }
+    for (const TranslatedPredicate& pred : step.predicates) {
+      *out += '[';
+      AppendSteps(pred.path, out);
+      switch (pred.kind) {
+        case TranslatedPredicate::Kind::kExists:
+          break;
+        case TranslatedPredicate::Kind::kPlainValue:
+          *out += CompOpSymbol(pred.op);
+          *out += '\'';
+          *out += pred.literal;
+          *out += '\'';
+          break;
+        case TranslatedPredicate::Kind::kIndexRange:
+          *out += " in [";
+          *out += pred.range.empty ? "empty"
+                                   : std::to_string(pred.range.lo) + ".." +
+                                         std::to_string(pred.range.hi);
+          *out += ']';
+          break;
+      }
+      *out += ']';
+    }
+  }
+}
+
+}  // namespace
+
+std::string TranslatedQuery::ToString() const {
+  std::string out;
+  AppendSteps(steps, &out);
+  return out;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,54 @@
+#ifndef XCRYPT_CORE_TRANSLATED_QUERY_H_
+#define XCRYPT_CORE_TRANSLATED_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/opess.h"
+#include "xpath/ast.h"
+
+namespace xcrypt {
+
+struct TranslatedStep;
+
+/// A predicate after client-side translation (§6.1):
+///  - kExists: purely structural, evaluated with structural joins;
+///  - kPlainValue: value test on an unencrypted leaf — the server compares
+///    against the plaintext skeleton directly;
+///  - kIndexRange: value test on an encrypted leaf — translated to a range
+///    probe on the OPESS B-tree identified by `index_token` (Fig. 7a).
+struct TranslatedPredicate {
+  enum class Kind { kExists, kPlainValue, kIndexRange };
+  Kind kind = Kind::kExists;
+  /// Tokenized relative path from the context node to the target.
+  std::vector<TranslatedStep> path;
+  CompOp op = CompOp::kEq;  ///< kPlainValue only
+  std::string literal;      ///< kPlainValue only
+  std::string index_token;  ///< kIndexRange: which value index
+  OpessRange range;         ///< kIndexRange: inclusive ciphertext range
+};
+
+/// One location step after translation: the tag replaced by its DSI-table
+/// token(s) — the Vernam pseudonym when the tag occurs encrypted, the
+/// plaintext name when it occurs publicly, both when the tag is mixed
+/// (e.g. a tag encrypted inside node-type-SC subtrees but public
+/// elsewhere). "*" is kept as a wildcard.
+struct TranslatedStep {
+  Axis axis = Axis::kChild;
+  std::vector<std::string> tokens;
+  bool wildcard = false;
+  std::vector<TranslatedPredicate> predicates;
+};
+
+/// The encrypted query Qs sent to the server.
+struct TranslatedQuery {
+  std::vector<TranslatedStep> steps;
+
+  /// Rendering for logs/tests, e.g. `//patient[.//X95SER//@TY0POA in
+  /// [764398..812001]]//U84573`.
+  std::string ToString() const;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_TRANSLATED_QUERY_H_

@@ -1,0 +1,125 @@
+#include "core/vertex_cover.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace xcrypt {
+
+namespace {
+
+struct BranchState {
+  const ConstraintGraph* graph;
+  std::vector<int> best;
+  int64_t best_weight = std::numeric_limits<int64_t>::max();
+
+  void Search(std::vector<int>& chosen, std::set<int>& chosen_set,
+              int64_t weight, size_t edge_index) {
+    if (weight >= best_weight) return;  // bound
+    const auto& edges = graph->edges();
+    // Advance to the first uncovered edge.
+    while (edge_index < edges.size() &&
+           (chosen_set.count(edges[edge_index].u) != 0 ||
+            chosen_set.count(edges[edge_index].v) != 0)) {
+      ++edge_index;
+    }
+    if (edge_index == edges.size()) {
+      best = chosen;
+      best_weight = weight;
+      return;
+    }
+    const auto& e = edges[edge_index];
+    // Branch: cover the edge with u, then with v (one branch for
+    // self-loops).
+    const int picks[2] = {e.u, e.v};
+    const int branches = (e.u == e.v) ? 1 : 2;
+    for (int pi = 0; pi < branches; ++pi) {
+      const int pick = picks[pi];
+      chosen.push_back(pick);
+      chosen_set.insert(pick);
+      Search(chosen, chosen_set, weight + graph->vertices()[pick].weight,
+             edge_index + 1);
+      chosen_set.erase(pick);
+      chosen.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> ExactVertexCover(const ConstraintGraph& graph) {
+  BranchState state;
+  state.graph = &graph;
+  std::vector<int> chosen;
+  std::set<int> chosen_set;
+  state.Search(chosen, chosen_set, 0, 0);
+  std::sort(state.best.begin(), state.best.end());
+  return state.best;
+}
+
+std::vector<int> ClarksonGreedyVertexCover(const ConstraintGraph& graph) {
+  const int n = static_cast<int>(graph.vertices().size());
+  std::vector<double> residual(n);
+  for (int i = 0; i < n; ++i) {
+    residual[i] = static_cast<double>(graph.vertices()[i].weight);
+  }
+  std::vector<bool> in_cover(n, false);
+  std::vector<bool> edge_covered(graph.edges().size(), false);
+
+  auto degree = [&](int v) {
+    int d = 0;
+    for (size_t i = 0; i < graph.edges().size(); ++i) {
+      if (edge_covered[i]) continue;
+      if (graph.edges()[i].u == v || graph.edges()[i].v == v) ++d;
+    }
+    return d;
+  };
+
+  for (;;) {
+    // Any uncovered edge left?
+    bool any = false;
+    for (size_t i = 0; i < graph.edges().size(); ++i) {
+      if (!edge_covered[i]) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+
+    // Pick vertex minimizing residual weight / degree.
+    int best_v = -1;
+    double best_ratio = std::numeric_limits<double>::max();
+    for (int v = 0; v < n; ++v) {
+      if (in_cover[v]) continue;
+      const int d = degree(v);
+      if (d == 0) continue;
+      const double ratio = residual[v] / d;
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best_v = v;
+      }
+    }
+    if (best_v < 0) break;  // defensive; cannot happen while edges remain
+
+    // Charge the ratio to every neighbour across uncovered edges, then take
+    // best_v into the cover.
+    for (size_t i = 0; i < graph.edges().size(); ++i) {
+      if (edge_covered[i]) continue;
+      const auto& e = graph.edges()[i];
+      if (e.u == best_v || e.v == best_v) {
+        const int other = (e.u == best_v) ? e.v : e.u;
+        if (other != best_v) residual[other] -= best_ratio;
+        edge_covered[i] = true;
+      }
+    }
+    in_cover[best_v] = true;
+  }
+
+  std::vector<int> cover;
+  for (int v = 0; v < n; ++v) {
+    if (in_cover[v]) cover.push_back(v);
+  }
+  return cover;
+}
+
+}  // namespace xcrypt

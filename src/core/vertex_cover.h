@@ -1,0 +1,26 @@
+#ifndef XCRYPT_CORE_VERTEX_COVER_H_
+#define XCRYPT_CORE_VERTEX_COVER_H_
+
+#include <vector>
+
+#include "core/constraint_graph.h"
+
+namespace xcrypt {
+
+/// Exact minimum-weight vertex cover by branch and bound over edges.
+/// Exponential in the worst case — finding the optimal secure encryption
+/// scheme is NP-hard (Theorem 4.2, by reduction from VERTEX COVER) — but
+/// constraint graphs have one vertex per *tag* in the SCs, so they are tiny
+/// in practice (the paper's Figure 8 graphs have 6-7 vertices).
+std::vector<int> ExactVertexCover(const ConstraintGraph& graph);
+
+/// Clarkson's modified greedy 2-approximation for weighted vertex cover
+/// ("A modification of the greedy algorithm for vertex cover", IPL 1983) —
+/// the algorithm the paper's *app* scheme uses (§7.1, citing [10]).
+/// Repeatedly picks the vertex minimizing residual-weight / degree, charging
+/// the ratio to incident edges.
+std::vector<int> ClarksonGreedyVertexCover(const ConstraintGraph& graph);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_VERTEX_COVER_H_

@@ -1,0 +1,69 @@
+#ifndef XCRYPT_CRYPTO_AES_H_
+#define XCRYPT_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace xcrypt {
+
+/// AES-128 block cipher (FIPS 197), implemented from scratch. This is the
+/// symmetric cipher used to encrypt the paper's "encryption blocks"
+/// (serialized element subtrees, §4.1).
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+
+  /// Expands the round keys from a 16-byte key. Longer key material is
+  /// truncated; shorter keys are rejected.
+  static Result<Aes128> Create(const Bytes& key);
+
+  /// Encrypts one 16-byte block in place.
+  void EncryptBlock(uint8_t block[kBlockSize]) const;
+
+  /// Decrypts one 16-byte block in place.
+  void DecryptBlock(uint8_t block[kBlockSize]) const;
+
+ private:
+  Aes128() = default;
+  void ExpandKey(const uint8_t key[kKeySize]);
+
+  // 11 round keys of 16 bytes each.
+  std::array<uint8_t, 176> round_keys_;
+};
+
+/// AES-128 in CBC mode with PKCS#7 padding.
+///
+/// The IV is derived deterministically from a per-block-unique nonce label
+/// via the key, so encrypting the same subtree into two different blocks
+/// yields unrelated ciphertexts (this complements the paper's encryption
+/// decoys, which additionally make plaintexts distinct).
+class CbcCipher {
+ public:
+  /// `key` is 16+ bytes of key material (only the first 16 are used by AES;
+  /// the full material keys the IV derivation).
+  static Result<CbcCipher> Create(const Bytes& key);
+
+  /// Encrypts `plaintext` under a nonce label. Output = IV || ciphertext.
+  Bytes Encrypt(const Bytes& plaintext, const std::string& nonce_label) const;
+
+  /// Decrypts output of Encrypt. Fails on malformed padding or length.
+  Result<Bytes> Decrypt(const Bytes& ciphertext) const;
+
+  /// Ciphertext size (including IV) for a plaintext of `plain_len` bytes.
+  static size_t CiphertextSize(size_t plain_len);
+
+ private:
+  CbcCipher(Aes128 aes, Bytes iv_key)
+      : aes_(std::move(aes)), iv_key_(std::move(iv_key)) {}
+
+  Aes128 aes_;
+  Bytes iv_key_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CRYPTO_AES_H_

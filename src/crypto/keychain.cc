@@ -1,0 +1,30 @@
+#include "crypto/keychain.h"
+
+#include <cassert>
+
+namespace xcrypt {
+
+namespace {
+Prf MakeMaster(const std::string& secret) {
+  return Prf(ToBytes("xcrypt-master:" + secret));
+}
+}  // namespace
+
+KeyChain::KeyChain(const std::string& master_secret)
+    : master_(MakeMaster(master_secret)),
+      block_cipher_([this] {
+        auto cipher = CbcCipher::Create(master_.DeriveKey("block"));
+        assert(cipher.ok());  // derived keys are always 32 bytes
+        return std::move(*cipher);
+      }()),
+      tag_cipher_(master_.DeriveKey("tag")) {}
+
+OpeFunction KeyChain::OpeFor(const std::string& tag) const {
+  return OpeFunction(master_.DeriveKey("ope:" + tag));
+}
+
+uint64_t KeyChain::RngSeed(const std::string& purpose) const {
+  return master_.EvalU64("rng:" + purpose);
+}
+
+}  // namespace xcrypt

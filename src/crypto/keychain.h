@@ -1,0 +1,49 @@
+#ifndef XCRYPT_CRYPTO_KEYCHAIN_H_
+#define XCRYPT_CRYPTO_KEYCHAIN_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+#include "crypto/ope.h"
+#include "crypto/prf.h"
+#include "crypto/vernam.h"
+
+namespace xcrypt {
+
+/// The client's private key material. A single master secret is expanded
+/// into independent subkeys for each purpose:
+///   - block key: AES-CBC encryption of element subtrees (encryption blocks)
+///   - tag key:   Vernam tag pseudonyms for the DSI index table
+///   - ope key:   the order-preserving value encryption inside OPESS
+///   - rng seed:  deterministic client-side randomness (DSI weights, decoys,
+///                OPESS splitting weights and scale factors)
+///
+/// The KeyChain never leaves the client; the server sees only its outputs.
+class KeyChain {
+ public:
+  /// Derives all subkeys from a master secret string.
+  explicit KeyChain(const std::string& master_secret);
+
+  /// CBC cipher keyed for block encryption.
+  const CbcCipher& block_cipher() const { return block_cipher_; }
+
+  /// Tag pseudonym cipher for the DSI table / query translation.
+  const TagCipher& tag_cipher() const { return tag_cipher_; }
+
+  /// OPE function for one indexed tag. Different tags get independent
+  /// OPE keys so their ciphertext domains are unrelated.
+  OpeFunction OpeFor(const std::string& tag) const;
+
+  /// Deterministic seed for client-side randomness, labelled by purpose.
+  uint64_t RngSeed(const std::string& purpose) const;
+
+ private:
+  Prf master_;
+  CbcCipher block_cipher_;
+  TagCipher tag_cipher_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CRYPTO_KEYCHAIN_H_

@@ -1,0 +1,21 @@
+#include "crypto/ope.h"
+
+#include <cmath>
+
+namespace xcrypt {
+
+int64_t OpeFunction::EncryptInt(int64_t x) const {
+  const uint64_t jitter =
+      prf_.EvalU64("ope:" + std::to_string(x)) % (kStretch / 2);
+  return x * kStretch + static_cast<int64_t>(jitter);
+}
+
+int64_t OpeFunction::EncryptReal(double x) const {
+  return EncryptInt(ToFixedPoint(x));
+}
+
+int64_t OpeFunction::ToFixedPoint(double x) {
+  return static_cast<int64_t>(std::llround(x * kFixedPointScale));
+}
+
+}  // namespace xcrypt

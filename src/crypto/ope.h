@@ -1,0 +1,51 @@
+#ifndef XCRYPT_CRYPTO_OPE_H_
+#define XCRYPT_CRYPTO_OPE_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/prf.h"
+
+namespace xcrypt {
+
+/// Keyed order-preserving encryption over a fixed-point integer domain.
+///
+/// The paper's OPESS technique (§5.2) takes "any order-preserving encryption
+/// function, such as was proposed by [3]" as a primitive. This implements a
+/// strictly increasing keyed mapping:
+///
+///   enc(x) = x * kStretch + jitter_k(x),  jitter_k(x) in [0, kStretch/2)
+///
+/// where jitter is PRF-derived from the key. Strict monotonicity holds
+/// because consecutive domain points are kStretch apart while jitter is
+/// bounded by kStretch/2. The mapping is key-dependent (different keys give
+/// incomparable ciphertext values) and deterministic, which is exactly what
+/// query translation (Fig. 7a) requires.
+///
+/// Real-valued plaintexts (the displaced values v_i + (Σw_j)δ of OPESS) are
+/// first scaled into the fixed-point domain with kFixedPointScale.
+class OpeFunction {
+ public:
+  /// Multiplicative gap between consecutive domain points in the range.
+  static constexpr int64_t kStretch = 1 << 20;
+  /// Fixed-point resolution for real-valued plaintexts.
+  static constexpr double kFixedPointScale = 1e6;
+
+  explicit OpeFunction(Bytes key) : prf_(std::move(key)) {}
+
+  /// Encrypts a fixed-point integer plaintext.
+  int64_t EncryptInt(int64_t x) const;
+
+  /// Encrypts a real plaintext (fixed-point scaled then encrypted).
+  int64_t EncryptReal(double x) const;
+
+  /// Converts a real to the fixed-point domain without encrypting.
+  static int64_t ToFixedPoint(double x);
+
+ private:
+  Prf prf_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CRYPTO_OPE_H_

@@ -1,0 +1,59 @@
+#include "crypto/prf.h"
+
+#include "crypto/sha256.h"
+
+namespace xcrypt {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  constexpr size_t kBlock = Sha256::kBlockSize;
+  Bytes k = key;
+  if (k.size() > kBlock) k = Sha256::Hash(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock, 0x36);
+  Bytes opad(kBlock, 0x5c);
+  XorInPlace(ipad, k);
+  XorInPlace(opad, k);
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  auto inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  auto digest = outer.Finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+Bytes Prf::Eval(const std::string& message) const {
+  return HmacSha256(key_, ToBytes(message));
+}
+
+uint64_t Prf::EvalU64(const std::string& message) const {
+  const Bytes out = Eval(message);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | out[i];
+  return v;
+}
+
+Bytes Prf::Keystream(const std::string& label, size_t len) const {
+  Bytes out;
+  out.reserve(len);
+  uint64_t counter = 0;
+  while (out.size() < len) {
+    const Bytes chunk = Eval(label + "#" + std::to_string(counter++));
+    for (uint8_t b : chunk) {
+      if (out.size() == len) break;
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+Bytes Prf::DeriveKey(const std::string& purpose) const {
+  return Eval("xcrypt-kdf:" + purpose);
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,40 @@
+#ifndef XCRYPT_CRYPTO_PRF_H_
+#define XCRYPT_CRYPTO_PRF_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace xcrypt {
+
+/// HMAC-SHA256 (RFC 2104) over the from-scratch SHA-256.
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+
+/// Keyed pseudo-random function family used throughout the system:
+/// tag-pseudonym derivation for the DSI index table, keystream generation
+/// for the Vernam cipher, and per-purpose subkey derivation.
+class Prf {
+ public:
+  explicit Prf(Bytes key) : key_(std::move(key)) {}
+
+  /// PRF output (32 bytes) for a labelled message.
+  Bytes Eval(const std::string& message) const;
+
+  /// First 8 bytes of the PRF output as a uint64 (big-endian).
+  uint64_t EvalU64(const std::string& message) const;
+
+  /// Deterministic keystream of `len` bytes for the given label, produced
+  /// in counter mode: PRF(label || counter).
+  Bytes Keystream(const std::string& label, size_t len) const;
+
+  /// Derives an independent subkey for a named purpose (KDF).
+  Bytes DeriveKey(const std::string& purpose) const;
+
+ private:
+  Bytes key_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CRYPTO_PRF_H_

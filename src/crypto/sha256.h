@@ -1,0 +1,42 @@
+#ifndef XCRYPT_CRYPTO_SHA256_H_
+#define XCRYPT_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace xcrypt {
+
+/// SHA-256 digest (FIPS 180-4), implemented from scratch. Used as the
+/// compression core of the library's PRF/HMAC and key-derivation functions.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs `data`. May be called repeatedly.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+
+  /// Finalizes and returns the 32-byte digest. The object must not be used
+  /// after Finish() (construct a new one).
+  std::array<uint8_t, kDigestSize> Finish();
+
+  /// One-shot convenience.
+  static Bytes Hash(const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CRYPTO_SHA256_H_

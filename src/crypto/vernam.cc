@@ -1,0 +1,40 @@
+#include "crypto/vernam.h"
+
+#include <cassert>
+
+namespace xcrypt {
+
+Bytes VernamEncrypt(const Bytes& plaintext, const Bytes& pad) {
+  assert(pad.size() >= plaintext.size());
+  Bytes out = plaintext;
+  for (size_t i = 0; i < out.size(); ++i) out[i] ^= pad[i];
+  return out;
+}
+
+Bytes VernamDecrypt(const Bytes& ciphertext, const Bytes& pad) {
+  return VernamEncrypt(ciphertext, pad);  // XOR is its own inverse
+}
+
+std::string TagCipher::EncryptTag(const std::string& tag) const {
+  // XOR the tag with its PRF pad, then render as a printable base-36-ish
+  // token of fixed width derived from the padded bytes. The token carries
+  // no information about the tag without the key.
+  const Bytes pad = prf_.Eval("tag:" + tag);
+  Bytes masked = VernamEncrypt(ToBytes(tag), Bytes(pad.begin(),
+                                                   pad.begin() + tag.size()));
+  // Fold the masked bytes plus remaining pad into 8 printable chars.
+  static const char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  uint64_t acc = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (uint8_t b : masked) acc = (acc ^ b) * 0x100000001b3ULL;
+  for (size_t i = tag.size(); i < pad.size(); ++i) {
+    acc = (acc ^ pad[i]) * 0x100000001b3ULL;
+  }
+  std::string token(8, 'A');
+  for (int i = 0; i < 8; ++i) {
+    token[i] = kAlphabet[acc % 36];
+    acc /= 36;
+  }
+  return token;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,40 @@
+#ifndef XCRYPT_CRYPTO_VERNAM_H_
+#define XCRYPT_CRYPTO_VERNAM_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/prf.h"
+
+namespace xcrypt {
+
+/// Vernam (one-time-pad) cipher, keyed by a per-message pad.
+///
+/// Raw pad mode XORs a pad of equal length; the paper relies on the Vernam
+/// cipher's perfect-security property for tag encryption in the DSI index
+/// table (§5.1.1) and query translation (§6.1).
+Bytes VernamEncrypt(const Bytes& plaintext, const Bytes& pad);
+Bytes VernamDecrypt(const Bytes& ciphertext, const Bytes& pad);
+
+/// Deterministic tag cipher for the DSI index table.
+///
+/// Each tag is encrypted with a pad generated from the client's key and the
+/// tag itself (pad = PRF(k, tag)); the same tag always maps to the same
+/// printable token (e.g. "SSN" -> "U84573" in the paper's Figure 4), so the
+/// client can translate query tags and the server can look them up, while
+/// the server cannot invert the mapping without the key.
+class TagCipher {
+ public:
+  /// `key` is the client-held tag-encryption key.
+  explicit TagCipher(Bytes key) : prf_(std::move(key)) {}
+
+  /// Printable ciphertext token for a tag. Deterministic per key.
+  std::string EncryptTag(const std::string& tag) const;
+
+ private:
+  Prf prf_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CRYPTO_VERNAM_H_

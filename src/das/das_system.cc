@@ -1,0 +1,165 @@
+#include "das/das_system.h"
+
+#include "common/timer.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+
+Result<DasSystem> DasSystem::Host(Document doc,
+                                  std::vector<SecurityConstraint> constraints,
+                                  SchemeKind kind,
+                                  const std::string& master_secret,
+                                  const Options& options) {
+  DasSystem das;
+  das.options_ = options;
+  auto client = Client::Host(std::move(doc), std::move(constraints), kind,
+                             master_secret);
+  if (!client.ok()) return client.status();
+  das.client_ = std::make_unique<Client>(std::move(*client));
+  das.server_ = std::make_unique<ServerEngine>(&das.client_->database(),
+                                               &das.client_->metadata());
+
+  HostReport& report = das.host_report_;
+  report.encrypt_us = das.client_->encrypt_micros();
+  report.metadata_us = das.client_->metadata_micros();
+  report.ciphertext_bytes = das.client_->database().TotalCiphertextBytes();
+  report.skeleton_bytes =
+      das.client_->database().skeleton.empty()
+          ? 0
+          : das.client_->database().skeleton.SubtreeByteSize(
+                das.client_->database().skeleton.root());
+  report.metadata_bytes = das.client_->metadata().ByteSize();
+  report.num_blocks = static_cast<int>(das.client_->database().blocks.size());
+  report.scheme_size_nodes =
+      das.client_->scheme().SizeInNodes(das.client_->original());
+  return das;
+}
+
+Result<QueryRun> DasSystem::Execute(const PathExpr& query) const {
+  QueryCosts costs;
+  Stopwatch watch;
+  auto translated = client_->Translate(query);
+  costs.client_translate_us = watch.ElapsedMicros();
+  if (!translated.ok()) return translated.status();
+
+  watch.Restart();
+  auto response = server_->Execute(*translated);
+  costs.server_process_us = watch.ElapsedMicros();
+  if (!response.ok()) return response.status();
+
+  return Finish(query, std::move(*response), costs, std::move(*translated));
+}
+
+Result<QueryRun> DasSystem::Execute(const std::string& xpath) const {
+  auto query = ParseXPath(xpath);
+  if (!query.ok()) return query.status();
+  return Execute(*query);
+}
+
+Result<QueryRun> DasSystem::ExecuteNaive(const PathExpr& query) const {
+  QueryCosts costs;
+  Stopwatch watch;
+  ServerResponse response = server_->ExecuteNaive();
+  costs.server_process_us = watch.ElapsedMicros();
+  return Finish(query, std::move(response), costs, TranslatedQuery{});
+}
+
+Result<AggregateRun> DasSystem::ExecuteAggregate(const PathExpr& path,
+                                                 AggregateKind kind) const {
+  QueryCosts costs;
+  Stopwatch watch;
+  auto translated = client_->Translate(path);
+  if (!translated.ok()) return translated.status();
+  auto token = client_->AggregateIndexToken(path);
+  if (!token.ok()) return token.status();
+  costs.client_translate_us = watch.ElapsedMicros();
+
+  watch.Restart();
+  auto response = server_->ExecuteAggregate(*translated, kind, *token);
+  costs.server_process_us = watch.ElapsedMicros();
+  if (!response.ok()) return response.status();
+
+  costs.bytes_shipped = response->payload.TotalBytes() +
+                        static_cast<int64_t>(response->server_value.size());
+  costs.blocks_shipped = static_cast<int>(response->payload.blocks.size());
+  costs.transmission_us = static_cast<double>(costs.bytes_shipped) * 8.0 /
+                          (options_.link_mbps * 1e6) * 1e6;
+
+  watch.Restart();
+  double decrypt_us = 0.0;
+  auto answer = client_->FinishAggregate(path, *response, &decrypt_us);
+  const double total_post_us = watch.ElapsedMicros();
+  if (!answer.ok()) return answer.status();
+  costs.decrypt_us = decrypt_us;
+  costs.postprocess_us = total_post_us - decrypt_us;
+
+  AggregateRun run;
+  run.answer = std::move(*answer);
+  run.costs = costs;
+  return run;
+}
+
+Result<AggregateRun> DasSystem::ExecuteAggregate(const std::string& xpath,
+                                                 AggregateKind kind) const {
+  auto path = ParseXPath(xpath);
+  if (!path.ok()) return path.status();
+  return ExecuteAggregate(*path, kind);
+}
+
+Result<int> DasSystem::UpdateValues(const std::string& xpath,
+                                    const std::string& value) {
+  auto path = ParseXPath(xpath);
+  if (!path.ok()) return path.status();
+  auto updated = client_->UpdateValues(*path, value);
+  if (!updated.ok()) return updated.status();
+  // The value indexes changed in place; rebuild the engine so its caches
+  // (interval universe) are refreshed.
+  server_ = std::make_unique<ServerEngine>(&client_->database(),
+                                           &client_->metadata());
+  return updated;
+}
+
+Status DasSystem::InsertSubtree(const std::string& parent_xpath,
+                                const Document& fragment) {
+  auto path = ParseXPath(parent_xpath);
+  if (!path.ok()) return path.status();
+  XCRYPT_RETURN_NOT_OK(client_->InsertSubtree(*path, fragment));
+  server_ = std::make_unique<ServerEngine>(&client_->database(),
+                                           &client_->metadata());
+  return Status::Ok();
+}
+
+Result<int> DasSystem::DeleteSubtrees(const std::string& xpath) {
+  auto path = ParseXPath(xpath);
+  if (!path.ok()) return path.status();
+  auto removed = client_->DeleteSubtrees(*path);
+  if (!removed.ok()) return removed.status();
+  server_ = std::make_unique<ServerEngine>(&client_->database(),
+                                           &client_->metadata());
+  return removed;
+}
+
+Result<QueryRun> DasSystem::Finish(const PathExpr& query,
+                                   ServerResponse response, QueryCosts costs,
+                                   TranslatedQuery translated) const {
+  costs.bytes_shipped = response.TotalBytes();
+  costs.blocks_shipped = static_cast<int>(response.blocks.size());
+  costs.transmission_us = static_cast<double>(costs.bytes_shipped) * 8.0 /
+                          (options_.link_mbps * 1e6) * 1e6;
+
+  Stopwatch watch;
+  double decrypt_us = 0.0;
+  auto answer = client_->PostProcess(query, response, &decrypt_us);
+  const double total_post_us = watch.ElapsedMicros();
+  if (!answer.ok()) return answer.status();
+  costs.decrypt_us = decrypt_us;
+  costs.postprocess_us = total_post_us - decrypt_us;
+
+  QueryRun run;
+  run.answer = std::move(*answer);
+  run.costs = costs;
+  run.translated = std::move(translated);
+  return run;
+}
+
+}  // namespace xcrypt

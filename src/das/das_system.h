@@ -1,0 +1,120 @@
+#ifndef XCRYPT_DAS_DAS_SYSTEM_H_
+#define XCRYPT_DAS_DAS_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/client.h"
+#include "core/server.h"
+
+namespace xcrypt {
+
+/// Per-query cost breakdown, mirroring the parameters measured in §7.2:
+/// query translation time on the client, query processing time on the
+/// server, transmission time of the answer, decryption time on the client,
+/// and query post-processing time on the client.
+struct QueryCosts {
+  double client_translate_us = 0.0;
+  double server_process_us = 0.0;
+  double transmission_us = 0.0;  ///< simulated from bytes over the link
+  double decrypt_us = 0.0;
+  double postprocess_us = 0.0;
+  int64_t bytes_shipped = 0;
+  int blocks_shipped = 0;
+
+  double TotalUs() const {
+    return client_translate_us + server_process_us + transmission_us +
+           decrypt_us + postprocess_us;
+  }
+  /// The client-side share (everything but server processing and the wire).
+  double ClientUs() const {
+    return client_translate_us + decrypt_us + postprocess_us;
+  }
+};
+
+/// One executed query: its answer plus the measured costs.
+struct QueryRun {
+  QueryAnswer answer;
+  QueryCosts costs;
+  TranslatedQuery translated;
+};
+
+/// One executed aggregate query.
+struct AggregateRun {
+  AggregateAnswer answer;
+  QueryCosts costs;
+};
+
+/// Host-time statistics (reported by experiment E4).
+struct HostReport {
+  double encrypt_us = 0.0;
+  double metadata_us = 0.0;
+  int64_t ciphertext_bytes = 0;
+  int64_t skeleton_bytes = 0;
+  int64_t metadata_bytes = 0;
+  int num_blocks = 0;
+  int64_t scheme_size_nodes = 0;
+};
+
+/// The complete hosted system of Figure 1: the client (data owner, keys,
+/// translation, post-processing) wired to the untrusted server engine, with
+/// a cost model for the link between them.
+class DasSystem {
+ public:
+  struct Options {
+    Options() {}
+    double link_mbps = 100.0;  ///< the paper's experimental setup (§7.1)
+  };
+
+  /// Encrypts and hosts `doc` under `kind`, building all metadata.
+  static Result<DasSystem> Host(Document doc,
+                                std::vector<SecurityConstraint> constraints,
+                                SchemeKind kind,
+                                const std::string& master_secret,
+                                const Options& options = Options());
+
+  /// Runs the full 5-step protocol of §6 for one query.
+  Result<QueryRun> Execute(const PathExpr& query) const;
+  Result<QueryRun> Execute(const std::string& xpath) const;
+
+  /// The naive method of §7.3: ship the entire encrypted database and
+  /// evaluate at the client.
+  Result<QueryRun> ExecuteNaive(const PathExpr& query) const;
+
+  /// Aggregate evaluation (§6.4): MIN/MAX over encrypted values decrypt a
+  /// single block; COUNT/SUM fall back to shipping the bound blocks;
+  /// aggregates over public values never leave the server.
+  Result<AggregateRun> ExecuteAggregate(const PathExpr& path,
+                                        AggregateKind kind) const;
+  Result<AggregateRun> ExecuteAggregate(const std::string& xpath,
+                                        AggregateKind kind) const;
+
+  // --- Updates (future-work item (3); see Client) ----------------------
+
+  /// Structure-preserving value update; incremental on the server side.
+  Result<int> UpdateValues(const std::string& xpath, const std::string& value);
+  /// Structural insert/delete; re-hosts and refreshes the server state.
+  Status InsertSubtree(const std::string& parent_xpath,
+                       const Document& fragment);
+  Result<int> DeleteSubtrees(const std::string& xpath);
+
+  const Client& client() const { return *client_; }
+  const HostReport& host_report() const { return host_report_; }
+
+ private:
+  DasSystem() = default;
+
+  Result<QueryRun> Finish(const PathExpr& query, ServerResponse response,
+                          QueryCosts costs, TranslatedQuery translated) const;
+
+  std::unique_ptr<Client> client_;
+  std::unique_ptr<ServerEngine> server_;
+  Options options_;
+  HostReport host_report_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_DAS_DAS_SYSTEM_H_

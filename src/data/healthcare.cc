@@ -1,0 +1,104 @@
+#include "data/healthcare.h"
+
+#include "common/random.h"
+
+namespace xcrypt {
+
+Document BuildHealthcareSample() {
+  Document doc;
+  const NodeId hospital = doc.AddRoot("hospital");
+
+  // Patient 1: Betty.
+  const NodeId p1 = doc.AddChild(hospital, "patient");
+  doc.AddLeaf(p1, "SSN", "763895");
+  doc.AddLeaf(p1, "pname", "Betty");
+  const NodeId treat1 = doc.AddChild(p1, "treat");
+  doc.AddLeaf(treat1, "disease", "diarrhea");
+  doc.AddLeaf(treat1, "doctor", "Smith");
+  doc.AddLeaf(treat1, "doctor", "Walker");
+  const NodeId ins1 = doc.AddChild(p1, "insurance");
+  doc.AddAttribute(ins1, "coverage", "1000000");
+  doc.AddLeaf(ins1, "policy#", "34221");
+  doc.AddLeaf(ins1, "policy#", "26544");
+  const NodeId ins2 = doc.AddChild(p1, "insurance");
+  doc.AddAttribute(ins2, "coverage", "10000");
+  doc.AddLeaf(ins2, "policy#", "5000");
+  doc.AddLeaf(p1, "age", "35");
+
+  // Patient 2: Matt.
+  const NodeId p2 = doc.AddChild(hospital, "patient");
+  doc.AddLeaf(p2, "SSN", "276543");
+  doc.AddLeaf(p2, "pname", "Matt");
+  const NodeId treat2 = doc.AddChild(p2, "treat");
+  doc.AddLeaf(treat2, "disease", "leukemia");
+  doc.AddLeaf(treat2, "doctor", "Brown");
+  const NodeId treat3 = doc.AddChild(p2, "treat");
+  doc.AddLeaf(treat3, "disease", "diarrhea");
+  doc.AddLeaf(treat3, "doctor", "Smith");
+  doc.AddLeaf(p2, "age", "40");
+  const NodeId ins3 = doc.AddChild(p2, "insurance");
+  doc.AddAttribute(ins3, "coverage", "78543");
+  doc.AddLeaf(ins3, "policy#", "26544");
+
+  return doc;
+}
+
+std::vector<SecurityConstraint> HealthcareConstraints() {
+  const char* kSources[] = {
+      "//insurance",
+      "//patient:(/pname, /SSN)",
+      "//patient:(/pname, //disease)",
+      "//treat:(/disease, /doctor)",
+  };
+  std::vector<SecurityConstraint> out;
+  for (const char* src : kSources) {
+    auto sc = ParseSecurityConstraint(src);
+    // The sources are compile-time constants; parsing cannot fail.
+    out.push_back(std::move(*sc));
+  }
+  return out;
+}
+
+Document BuildHospital(int num_patients, uint64_t seed) {
+  Rng rng(seed);
+  static const char* kDiseases[] = {"diarrhea", "leukemia",  "influenza",
+                                    "asthma",   "diabetes",  "hepatitis",
+                                    "measles",  "pneumonia", "anemia"};
+  static const char* kDoctors[] = {"Smith", "Walker", "Brown", "Jones",
+                                   "Chen",  "Patel",  "Garcia"};
+  static const char* kNames[] = {"Betty", "Matt",  "Alice", "Bob",   "Carol",
+                                 "Dave",  "Erin",  "Frank", "Grace", "Heidi",
+                                 "Ivan",  "Judy",  "Ken",   "Laura", "Mallory",
+                                 "Niaj",  "Olivia"};
+
+  Document doc;
+  const NodeId hospital = doc.AddRoot("hospital");
+  for (int i = 0; i < num_patients; ++i) {
+    const NodeId p = doc.AddChild(hospital, "patient");
+    doc.AddLeaf(p, "SSN", std::to_string(100000 + rng.UniformU64(0, 899999)));
+    doc.AddLeaf(p, "pname",
+                kNames[rng.Zipf(static_cast<int>(std::size(kNames)), 0.8)]);
+    const int treats = 1 + static_cast<int>(rng.UniformU64(0, 2));
+    for (int t = 0; t < treats; ++t) {
+      const NodeId treat = doc.AddChild(p, "treat");
+      doc.AddLeaf(treat, "disease",
+                  kDiseases[rng.Zipf(static_cast<int>(std::size(kDiseases)),
+                                     1.0)]);
+      const int docs = 1 + static_cast<int>(rng.UniformU64(0, 1));
+      for (int d = 0; d < docs; ++d) {
+        doc.AddLeaf(treat, "doctor",
+                    kDoctors[rng.Zipf(static_cast<int>(std::size(kDoctors)),
+                                      0.5)]);
+      }
+    }
+    const NodeId ins = doc.AddChild(p, "insurance");
+    doc.AddAttribute(ins, "coverage",
+                     std::to_string(10000 * (1 + rng.UniformU64(0, 99))));
+    doc.AddLeaf(ins, "policy#",
+                std::to_string(10000 + rng.UniformU64(0, 89999)));
+    doc.AddLeaf(p, "age", std::to_string(18 + rng.UniformU64(0, 72)));
+  }
+  return doc;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,29 @@
+#ifndef XCRYPT_DATA_HEALTHCARE_H_
+#define XCRYPT_DATA_HEALTHCARE_H_
+
+#include <vector>
+
+#include "core/security_constraint.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// The health-care database of the paper's Figure 2: a hospital with two
+/// patients (Betty and Matt), SSNs, treats/diseases/doctors, insurance
+/// policies with @coverage attributes, and ages.
+Document BuildHealthcareSample();
+
+/// The security constraints of Example 3.1:
+///   SC1: //insurance                      (node type)
+///   SC2: //patient:(/pname, /SSN)         (association)
+///   SC3: //patient:(/pname, //disease)    (association)
+///   SC4: //treat:(/disease, /doctor)      (association)
+std::vector<SecurityConstraint> HealthcareConstraints();
+
+/// A larger synthetic hospital in the same schema (`num_patients` patients
+/// with value skew), for tests and security experiments at scale.
+Document BuildHospital(int num_patients, uint64_t seed);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_DATA_HEALTHCARE_H_

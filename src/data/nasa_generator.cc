@@ -1,0 +1,98 @@
+#include "data/nasa_generator.h"
+
+#include <iterator>
+
+#include "common/random.h"
+
+namespace xcrypt {
+
+namespace {
+
+const char* kLastNames[] = {"Gliese",  "Jahreiss", "Messier", "Dreyer",
+                            "Hubble",  "Leavitt",  "Cannon",  "Payne",
+                            "Herschel", "Struve"};
+const char* kPublishers[] = {"Astron. J.", "Astrophys. J.", "MNRAS",
+                             "Astron. Astrophys.", "PASP"};
+const char* kCities[] = {"Heidelberg", "Cambridge", "Pasadena", "Strasbourg",
+                         "Tucson"};
+const char* kTitleWords[] = {"catalogue", "survey",  "photometry", "spectra",
+                             "parallax",  "clusters", "nebulae",    "orbits"};
+
+}  // namespace
+
+Document GenerateNasa(const NasaConfig& config) {
+  Rng rng(config.seed);
+  Document doc;
+  const NodeId datasets = doc.AddRoot("datasets");
+
+  for (int i = 0; i < config.datasets; ++i) {
+    const NodeId dataset = doc.AddChild(datasets, "dataset");
+    doc.AddAttribute(dataset, "subject", "astronomy");
+    doc.AddLeaf(dataset, "altname", "CAT-" + std::to_string(1000 + i));
+
+    const NodeId reference = doc.AddChild(dataset, "reference");
+    const NodeId source = doc.AddChild(reference, "source");
+    const NodeId other = doc.AddChild(source, "other");
+
+    std::string title =
+        kTitleWords[rng.Zipf(static_cast<int>(std::size(kTitleWords)),
+                             config.value_skew)];
+    title += " of ";
+    title += kTitleWords[rng.Zipf(static_cast<int>(std::size(kTitleWords)),
+                                  0.4)];
+    doc.AddLeaf(other, "title", title);
+
+    const NodeId date = doc.AddChild(other, "date");
+    doc.AddLeaf(date, "year",
+                std::to_string(1950 + rng.Zipf(50, config.value_skew)));
+    doc.AddLeaf(other, "publisher",
+                kPublishers[rng.Zipf(static_cast<int>(std::size(kPublishers)),
+                                     config.value_skew)]);
+    doc.AddLeaf(other, "city",
+                kCities[rng.Zipf(static_cast<int>(std::size(kCities)), 0.6)]);
+
+    const int num_authors = 1 + static_cast<int>(rng.UniformU64(0, 2));
+    for (int a = 0; a < num_authors; ++a) {
+      const NodeId author = doc.AddChild(other, "author");
+      doc.AddLeaf(author, "initial",
+                  std::string(1, static_cast<char>(
+                                     'A' + rng.UniformU64(0, 25))));
+      doc.AddLeaf(author, "last",
+                  kLastNames[rng.Zipf(static_cast<int>(std::size(kLastNames)),
+                                      config.value_skew)]);
+      doc.AddLeaf(author, "age",
+                  std::to_string(25 + rng.Zipf(50, 0.4)));
+    }
+
+    // tableHead/fields: extra depth, matching NASA's deep structure.
+    const NodeId table = doc.AddChild(dataset, "tableHead");
+    const NodeId fields = doc.AddChild(table, "fields");
+    const int num_fields = 2 + static_cast<int>(rng.UniformU64(0, 3));
+    for (int f = 0; f < num_fields; ++f) {
+      const NodeId field = doc.AddChild(fields, "field");
+      doc.AddLeaf(field, "name", rng.String(6));
+      const NodeId definition = doc.AddChild(field, "definition");
+      doc.AddLeaf(definition, "units", rng.Bernoulli(0.5) ? "mag" : "deg");
+    }
+  }
+  return doc;
+}
+
+std::vector<SecurityConstraint> NasaConstraints() {
+  const char* kSources[] = {
+      "//author:(/initial, /last)",
+      "//other:(//last, /title)",
+      "//other:(/title, /publisher)",
+      "//other:(/publisher, /date/year)",
+      "//other:(//last, /city)",
+      "//author:(/last, /age)",
+  };
+  std::vector<SecurityConstraint> out;
+  for (const char* src : kSources) {
+    auto sc = ParseSecurityConstraint(src);
+    out.push_back(std::move(*sc));
+  }
+  return out;
+}
+
+}  // namespace xcrypt

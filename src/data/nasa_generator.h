@@ -1,0 +1,31 @@
+#ifndef XCRYPT_DATA_NASA_GENERATOR_H_
+#define XCRYPT_DATA_NASA_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/security_constraint.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// Synthetic stand-in for the NASA astronomy dataset from the UW XML
+/// repository (§7.1). NASA is the paper's "real, deep" document; this
+/// generator reproduces its depth and the tags of the paper's Figure 8(b)
+/// constraint graph: datasets/dataset/reference/source/other with authors
+/// (initial, last), title, date, publisher, city, age. See DESIGN.md §3.
+struct NasaConfig {
+  int datasets = 80;
+  uint64_t seed = 7;
+  double value_skew = 1.0;
+};
+
+Document GenerateNasa(const NasaConfig& config);
+
+/// Association constraints after the paper's Figure 8(b): protect which
+/// author (initial/last) wrote what and where/when it was published.
+std::vector<SecurityConstraint> NasaConstraints();
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_DATA_NASA_GENERATOR_H_

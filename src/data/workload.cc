@@ -1,0 +1,140 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kQs:
+      return "Qs";
+    case WorkloadKind::kQm:
+      return "Qm";
+    case WorkloadKind::kQl:
+      return "Ql";
+  }
+  return "?";
+}
+
+namespace {
+
+struct TagInfo {
+  std::string tag;
+  int depth = 0;
+  bool is_leaf = false;
+  bool is_attribute = false;
+  /// A few sample values for predicate construction (leaves only).
+  std::vector<std::string> sample_values;
+  /// Ancestor tags observed above this tag (deduplicated).
+  std::set<std::string> ancestors;
+};
+
+std::map<std::string, TagInfo> ScanTags(const Document& doc) {
+  std::map<std::string, TagInfo> tags;
+  for (NodeId id : doc.PreOrder()) {
+    const Node& n = doc.node(id);
+    TagInfo& info = tags[n.tag];
+    info.tag = n.tag;
+    info.depth = doc.Depth(id);
+    info.is_leaf = doc.IsLeaf(id);
+    info.is_attribute = n.is_attribute;
+    if (info.is_leaf && !n.value.empty() &&
+        info.sample_values.size() < 8) {
+      info.sample_values.push_back(n.value);
+    }
+    for (NodeId p = n.parent; p != kNullNode; p = doc.node(p).parent) {
+      info.ancestors.insert(doc.node(p).tag);
+    }
+  }
+  return tags;
+}
+
+}  // namespace
+
+std::vector<WorkloadQuery> BuildWorkload(const Document& doc,
+                                         WorkloadKind kind, int count,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  const auto tags = ScanTags(doc);
+  const int height = doc.Height();
+  const std::string root_tag = doc.node(doc.root()).tag;
+
+  // Partition candidate output tags by class.
+  std::vector<const TagInfo*> candidates;
+  for (const auto& [name, info] : tags) {
+    if (info.is_attribute || name == root_tag) continue;
+    switch (kind) {
+      case WorkloadKind::kQs:
+        if (info.depth == 1) candidates.push_back(&info);
+        break;
+      case WorkloadKind::kQm: {
+        const int mid = std::max(1, height / 2);
+        if (info.depth == mid || info.depth == mid + 1) {
+          candidates.push_back(&info);
+        }
+        break;
+      }
+      case WorkloadKind::kQl:
+        if (info.is_leaf) candidates.push_back(&info);
+        break;
+    }
+  }
+  if (candidates.empty()) {
+    // Degenerate documents: fall back to any non-root tag.
+    for (const auto& [name, info] : tags) {
+      if (!info.is_attribute && name != root_tag) {
+        candidates.push_back(&info);
+      }
+    }
+  }
+
+  std::vector<WorkloadQuery> out;
+  for (int i = 0; i < count && !candidates.empty(); ++i) {
+    const TagInfo& target =
+        *candidates[rng.UniformU64(0, candidates.size() - 1)];
+    std::string text;
+    const int flavor = static_cast<int>(rng.UniformU64(0, 2));
+    if (kind == WorkloadKind::kQs) {
+      text = "/" + root_tag + "/" + target.tag;
+    } else if (flavor == 0 || target.ancestors.size() <= 1) {
+      text = "//" + target.tag;
+    } else {
+      // Anchor through a random proper ancestor (not the root, for
+      // variety in shape).
+      std::vector<std::string> anc(target.ancestors.begin(),
+                                   target.ancestors.end());
+      anc.erase(std::remove(anc.begin(), anc.end(), root_tag), anc.end());
+      if (anc.empty()) {
+        text = "//" + target.tag;
+      } else {
+        text = "//" + anc[rng.UniformU64(0, anc.size() - 1)] + "//" +
+               target.tag;
+      }
+    }
+    // A third of leaf queries anchor through an ancestor with a value
+    // predicate on the output tag, e.g. //treat[.//disease='x']//disease.
+    if (kind == WorkloadKind::kQl && flavor == 2 &&
+        !target.sample_values.empty() && !target.ancestors.empty()) {
+      const std::string& value = target.sample_values[rng.UniformU64(
+          0, target.sample_values.size() - 1)];
+      std::vector<std::string> anc(target.ancestors.begin(),
+                                   target.ancestors.end());
+      if (value.find('\'') == std::string::npos) {
+        const std::string& a = anc[rng.UniformU64(0, anc.size() - 1)];
+        text = "//" + a + "[.//" + target.tag + "='" + value + "']//" +
+               target.tag;
+      }
+    }
+    auto expr = ParseXPath(text);
+    if (!expr.ok()) continue;
+    out.push_back(WorkloadQuery{text, std::move(*expr)});
+  }
+  return out;
+}
+
+}  // namespace xcrypt

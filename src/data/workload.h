@@ -1,0 +1,36 @@
+#ifndef XCRYPT_DATA_WORKLOAD_H_
+#define XCRYPT_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xcrypt {
+
+/// The three query classes of §7.1:
+///   Qs — queries whose output node is a child of the document root;
+///   Qm — queries whose output node sits at the middle level (h/2);
+///   Ql — queries whose output node is a leaf.
+enum class WorkloadKind { kQs, kQm, kQl };
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+struct WorkloadQuery {
+  std::string text;
+  PathExpr expr;
+};
+
+/// Builds `count` queries of the given class against `doc`, deterministic
+/// in `seed`. A share of the queries carries a value predicate drawn from
+/// values actually present in the document (so answers are non-trivial),
+/// matching the paper's use of 10 queries per class.
+std::vector<WorkloadQuery> BuildWorkload(const Document& doc,
+                                         WorkloadKind kind, int count,
+                                         uint64_t seed);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_DATA_WORKLOAD_H_

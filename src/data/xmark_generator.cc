@@ -1,0 +1,115 @@
+#include "data/xmark_generator.h"
+
+#include <iterator>
+
+#include "common/random.h"
+
+namespace xcrypt {
+
+namespace {
+
+const char* kFirstNames[] = {"Jaak",   "Mehrdad", "Sinisa",  "Huei",
+                             "Dariusz", "Yuri",    "Mitsuyuki", "Ewing",
+                             "Annmarie", "Venkatesh", "Kazuo", "Takahira"};
+const char* kCities[] = {"Vancouver", "Seoul",  "Tampa",  "Oslo",
+                         "Lisbon",    "Nagoya", "Dublin", "Quito"};
+const char* kCountries[] = {"Canada", "Korea", "USA", "Norway", "Portugal"};
+const char* kCategories[] = {"books", "music", "travel", "sports", "garden",
+                             "tools"};
+
+}  // namespace
+
+Document GenerateXMark(const XMarkConfig& config) {
+  Rng rng(config.seed);
+  Document doc;
+  const NodeId site = doc.AddRoot("site");
+
+  // people/person: the subtree the security constraints live in.
+  const NodeId people = doc.AddChild(site, "people");
+  for (int i = 0; i < config.people; ++i) {
+    const NodeId person = doc.AddChild(people, "person");
+    doc.AddAttribute(person, "id", "person" + std::to_string(i));
+    const int first =
+        rng.Zipf(static_cast<int>(std::size(kFirstNames)), config.value_skew);
+    doc.AddLeaf(person, "name",
+                std::string(kFirstNames[first]) + " " + rng.String(6));
+    doc.AddLeaf(person, "emailaddress",
+                "mailto:" + rng.String(7) + "@" + rng.String(5) + ".com");
+    const NodeId address = doc.AddChild(person, "address");
+    doc.AddLeaf(address, "street",
+                std::to_string(1 + rng.UniformU64(0, 98)) + " " +
+                    rng.String(8) + " St");
+    doc.AddLeaf(address, "city",
+                kCities[rng.Zipf(static_cast<int>(std::size(kCities)),
+                                 config.value_skew)]);
+    doc.AddLeaf(address, "country",
+                kCountries[rng.Zipf(static_cast<int>(std::size(kCountries)),
+                                    config.value_skew)]);
+    doc.AddLeaf(person, "creditcard",
+                std::to_string(1000 + rng.UniformU64(0, 8999)) + " " +
+                    std::to_string(1000 + rng.UniformU64(0, 8999)));
+    const NodeId profile = doc.AddChild(person, "profile");
+    // Incomes cluster around round figures so the distribution is skewed —
+    // exactly what frequency attacks exploit (Figure 6a).
+    const int64_t base_income = 20000 + 10000 * rng.Zipf(9, 1.1);
+    doc.AddLeaf(profile, "income", std::to_string(base_income));
+    doc.AddLeaf(profile, "age",
+                std::to_string(18 + rng.Zipf(60, 0.3)));
+    doc.AddLeaf(profile, "education",
+                rng.Bernoulli(0.5) ? "Graduate School" : "College");
+    const NodeId interests = doc.AddChild(profile, "interest");
+    doc.AddAttribute(interests, "category",
+                     kCategories[rng.Zipf(
+                         static_cast<int>(std::size(kCategories)), 0.7)]);
+  }
+
+  // regions/items: public breadth, queried but not protected.
+  const NodeId regions = doc.AddChild(site, "regions");
+  const NodeId namerica = doc.AddChild(regions, "namerica");
+  for (int i = 0; i < config.items; ++i) {
+    const NodeId item = doc.AddChild(namerica, "item");
+    doc.AddAttribute(item, "id", "item" + std::to_string(i));
+    doc.AddLeaf(item, "location",
+                kCountries[rng.Zipf(static_cast<int>(std::size(kCountries)),
+                                    0.5)]);
+    doc.AddLeaf(item, "quantity",
+                std::to_string(1 + rng.UniformU64(0, 4)));
+    doc.AddLeaf(item, "itemname", rng.String(10));
+    const NodeId desc = doc.AddChild(item, "description");
+    doc.AddLeaf(desc, "text", rng.String(24));
+  }
+
+  // open_auctions: numeric values for range queries.
+  const NodeId auctions = doc.AddChild(site, "open_auctions");
+  for (int i = 0; i < config.items; ++i) {
+    const NodeId auction = doc.AddChild(auctions, "open_auction");
+    doc.AddAttribute(auction, "id", "auction" + std::to_string(i));
+    doc.AddLeaf(auction, "initial",
+                std::to_string(1 + rng.UniformU64(0, 199)) + ".00");
+    doc.AddLeaf(auction, "current",
+                std::to_string(10 + rng.UniformU64(0, 999)) + ".00");
+    const NodeId bidder = doc.AddChild(auction, "bidder");
+    doc.AddLeaf(bidder, "increase",
+                std::to_string(1 + rng.UniformU64(0, 49)) + ".00");
+  }
+
+  return doc;
+}
+
+std::vector<SecurityConstraint> XMarkConstraints() {
+  const char* kSources[] = {
+      "//person:(/name, /creditcard)",
+      "//person:(/name, /profile/income)",
+      "//person:(/name, /emailaddress)",
+      "//person:(/profile/income, /address/city)",
+      "//person:(/creditcard, /profile/age)",
+  };
+  std::vector<SecurityConstraint> out;
+  for (const char* src : kSources) {
+    auto sc = ParseSecurityConstraint(src);
+    out.push_back(std::move(*sc));
+  }
+  return out;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,35 @@
+#ifndef XCRYPT_DATA_XMARK_GENERATOR_H_
+#define XCRYPT_DATA_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/security_constraint.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// Synthetic stand-in for the XMark auction benchmark (§7.1). The paper's
+/// experiments only depend on document shape and leaf-value frequency
+/// distributions, so this generator reproduces the XMark fragments its
+/// constraint graph (Figure 8a) references: site/people/person with
+/// profile, name, age, income, address, creditcard, emailaddress — plus
+/// regions/items and auctions for realistic breadth. See DESIGN.md §3.
+struct XMarkConfig {
+  int people = 100;
+  int items = 50;
+  uint64_t seed = 42;
+  double value_skew = 0.9;  ///< Zipf theta for categorical pools
+};
+
+Document GenerateXMark(const XMarkConfig& config);
+
+/// The association constraints for the XMark experiments, shaped after the
+/// paper's Figure 8(a) constraint graph: protect who owns which credit
+/// card, the name-income and name-email associations, and the link between
+/// income and address.
+std::vector<SecurityConstraint> XMarkConstraints();
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_DATA_XMARK_GENERATOR_H_

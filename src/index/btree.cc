@@ -1,0 +1,277 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace xcrypt {
+
+struct BPlusTree::Node {
+  bool is_leaf = true;
+  std::vector<int64_t> keys;
+  std::vector<std::unique_ptr<Node>> children;  // internal: keys.size() + 1
+  std::vector<int32_t> values;                  // leaf: parallel to keys
+  Node* next = nullptr;                         // leaf chain
+};
+
+BPlusTree::BPlusTree(int order) : order_(std::max(order, 3)) {}
+BPlusTree::~BPlusTree() = default;
+BPlusTree::BPlusTree(BPlusTree&&) noexcept = default;
+BPlusTree& BPlusTree::operator=(BPlusTree&&) noexcept = default;
+
+void BPlusTree::Insert(int64_t key, int32_t block_id) {
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+  }
+  if (static_cast<int>(root_->keys.size()) == order_) {
+    // Grow: new root with the old root as its single child, then split.
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  // Top-down descent with preemptive splits: every visited child has room.
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    int idx = static_cast<int>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    Node* child = node->children[idx].get();
+    if (static_cast<int>(child->keys.size()) == order_) {
+      SplitChild(node, idx);
+      if (key >= node->keys[idx]) ++idx;
+      child = node->children[idx].get();
+    }
+    node = child;
+  }
+  InsertIntoLeaf(node, key, block_id);
+  ++size_;
+}
+
+void BPlusTree::InsertIntoLeaf(Node* leaf, int64_t key, int32_t block_id) {
+  const int pos = static_cast<int>(
+      std::upper_bound(leaf->keys.begin(), leaf->keys.end(), key) -
+      leaf->keys.begin());
+  leaf->keys.insert(leaf->keys.begin() + pos, key);
+  leaf->values.insert(leaf->values.begin() + pos, block_id);
+}
+
+void BPlusTree::SplitChild(Node* parent, int child_index) {
+  Node* child = parent->children[child_index].get();
+  auto right = std::make_unique<Node>();
+  right->is_leaf = child->is_leaf;
+  const int mid = order_ / 2;
+
+  int64_t separator;
+  if (child->is_leaf) {
+    // Leaf split: right gets keys[mid..]; separator is right's first key
+    // and stays in the leaf level (B+ semantics).
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->values.assign(child->values.begin() + mid, child->values.end());
+    child->keys.resize(mid);
+    child->values.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+    separator = right->keys.front();
+  } else {
+    // Internal split: keys[mid] moves up.
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+  parent->keys.insert(parent->keys.begin() + child_index, separator);
+  parent->children.insert(parent->children.begin() + child_index + 1,
+                          std::move(right));
+}
+
+BPlusTree::Node* BPlusTree::FindLeaf(int64_t key) const {
+  Node* node = root_.get();
+  if (!node) return nullptr;
+  while (!node->is_leaf) {
+    // Leftmost child that can contain `key` (duplicates may straddle
+    // separators, so use lower_bound).
+    const int idx = static_cast<int>(
+        std::lower_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    node = node->children[idx].get();
+  }
+  return node;
+}
+
+std::vector<BTreeEntry> BPlusTree::RangeScan(int64_t lo, int64_t hi) const {
+  std::vector<BTreeEntry> out;
+  for (Node* leaf = FindLeaf(lo); leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < lo) continue;
+      if (leaf->keys[i] > hi) return out;
+      out.push_back({leaf->keys[i], leaf->values[i]});
+    }
+  }
+  return out;
+}
+
+std::vector<BTreeEntry> BPlusTree::ScanLess(int64_t hi, bool inclusive) const {
+  const int64_t lo = std::numeric_limits<int64_t>::min();
+  return RangeScan(lo, inclusive ? hi : hi - 1);
+}
+
+std::vector<BTreeEntry> BPlusTree::ScanGreater(int64_t lo,
+                                               bool inclusive) const {
+  const int64_t hi = std::numeric_limits<int64_t>::max();
+  return RangeScan(inclusive ? lo : lo + 1, hi);
+}
+
+void BPlusTree::BulkLoad(std::vector<BTreeEntry> entries) {
+  std::sort(entries.begin(), entries.end());
+  root_.reset();
+  size_ = static_cast<int64_t>(entries.size());
+  if (entries.empty()) return;
+
+  // Pack leaves.
+  std::vector<std::unique_ptr<Node>> level;
+  const int leaf_fill = std::max(order_ - 1, 1);
+  for (size_t off = 0; off < entries.size(); off += leaf_fill) {
+    auto leaf = std::make_unique<Node>();
+    const size_t end = std::min(entries.size(), off + leaf_fill);
+    for (size_t i = off; i < end; ++i) {
+      leaf->keys.push_back(entries[i].key);
+      leaf->values.push_back(entries[i].block_id);
+    }
+    if (!level.empty()) level.back()->next = leaf.get();
+    level.push_back(std::move(leaf));
+  }
+
+  // Build internal levels bottom-up.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    const int fanout = order_;  // children per internal node
+    for (size_t off = 0; off < level.size(); off += fanout) {
+      auto parent = std::make_unique<Node>();
+      parent->is_leaf = false;
+      const size_t end = std::min(level.size(), off + fanout);
+      for (size_t i = off; i < end; ++i) {
+        if (i > off) {
+          // Separator: smallest key in the subtree of child i.
+          Node* probe = level[i].get();
+          while (!probe->is_leaf) probe = probe->children.front().get();
+          parent->keys.push_back(probe->keys.front());
+        }
+        parent->children.push_back(std::move(level[i]));
+      }
+      parents.push_back(std::move(parent));
+    }
+    // Guard against a trailing parent with a single child and no keys:
+    // merge it into its predecessor if needed.
+    if (parents.size() >= 2 && parents.back()->children.size() == 1) {
+      auto orphan = std::move(parents.back()->children.front());
+      parents.pop_back();
+      Node* prev = parents.back().get();
+      Node* probe = orphan.get();
+      while (!probe->is_leaf) probe = probe->children.front().get();
+      prev->keys.push_back(probe->keys.front());
+      prev->children.push_back(std::move(orphan));
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+}
+
+int BPlusTree::height() const {
+  int h = 0;
+  for (Node* node = root_.get(); node != nullptr;
+       node = node->is_leaf ? nullptr : node->children.front().get()) {
+    ++h;
+  }
+  return h;
+}
+
+int BPlusTree::node_count() const {
+  struct Walker {
+    static int Count(const Node* node) {
+      if (node == nullptr) return 0;
+      int total = 1;
+      for (const auto& child : node->children) total += Count(child.get());
+      return total;
+    }
+  };
+  return Walker::Count(root_.get());
+}
+
+int64_t BPlusTree::ByteSize() const {
+  // keys 8B + values 4B per entry, plus ~16B per node of structure.
+  return size_ * 12 + static_cast<int64_t>(node_count()) * 16;
+}
+
+std::vector<std::pair<int64_t, int64_t>> BPlusTree::KeyHistogram() const {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  const auto all = RangeScan(std::numeric_limits<int64_t>::min(),
+                             std::numeric_limits<int64_t>::max());
+  for (const BTreeEntry& e : all) {
+    if (out.empty() || out.back().first != e.key) {
+      out.emplace_back(e.key, 1);
+    } else {
+      ++out.back().second;
+    }
+  }
+  return out;
+}
+
+bool BPlusTree::CheckInvariants() const {
+  if (!root_) return true;
+  struct Checker {
+    int order;
+    int leaf_depth = -1;
+    bool ok = true;
+
+    void Check(const Node* node, int depth, int64_t lo, int64_t hi) {
+      if (!ok) return;
+      if (!std::is_sorted(node->keys.begin(), node->keys.end())) {
+        ok = false;
+        return;
+      }
+      if (static_cast<int>(node->keys.size()) > order) {
+        ok = false;
+        return;
+      }
+      for (int64_t k : node->keys) {
+        if (k < lo || k > hi) {
+          ok = false;
+          return;
+        }
+      }
+      if (node->is_leaf) {
+        if (node->keys.size() != node->values.size()) {
+          ok = false;
+          return;
+        }
+        if (leaf_depth == -1) {
+          leaf_depth = depth;
+        } else if (leaf_depth != depth) {
+          ok = false;
+        }
+        return;
+      }
+      if (node->children.size() != node->keys.size() + 1) {
+        ok = false;
+        return;
+      }
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        const int64_t child_lo = (i == 0) ? lo : node->keys[i - 1];
+        const int64_t child_hi =
+            (i == node->keys.size()) ? hi : node->keys[i];
+        Check(node->children[i].get(), depth + 1, child_lo, child_hi);
+      }
+    }
+  };
+  Checker checker{order_};
+  checker.Check(root_.get(), 0, std::numeric_limits<int64_t>::min(),
+                std::numeric_limits<int64_t>::max());
+  return checker.ok;
+}
+
+}  // namespace xcrypt

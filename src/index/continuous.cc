@@ -1,0 +1,41 @@
+#include "index/continuous.h"
+
+#include <cmath>
+
+namespace xcrypt {
+
+namespace {
+
+// Post-order assignment: each leaf consumes two numbers [c, c+1]; an
+// internal node wraps its children with one number on each side.
+int64_t Assign(const Document& doc, NodeId id, int64_t counter,
+               std::vector<Interval>* intervals) {
+  const int64_t begin = counter++;
+  for (NodeId child : doc.node(id).children) {
+    counter = Assign(doc, child, counter, intervals);
+  }
+  const int64_t end = counter++;
+  (*intervals)[id] =
+      Interval{static_cast<double>(begin), static_cast<double>(end)};
+  return counter;
+}
+
+}  // namespace
+
+ContinuousIndex ContinuousIndex::Build(const Document& doc) {
+  ContinuousIndex index;
+  index.intervals_.resize(doc.node_count());
+  if (!doc.empty()) {
+    Assign(doc, doc.root(), 0, &index.intervals_);
+  }
+  return index;
+}
+
+int InferGroupedLeafCount(const Interval& published_entry) {
+  // A single leaf spans [b, b+1] (width 1); k adjacent sibling leaves span
+  // [b, b + 2k - 1] (width 2k - 1). Invert: k = (width + 1) / 2.
+  const double width = published_entry.max - published_entry.min;
+  return static_cast<int>(std::llround((width + 1.0) / 2.0));
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,51 @@
+#ifndef XCRYPT_INDEX_CONTINUOUS_H_
+#define XCRYPT_INDEX_CONTINUOUS_H_
+
+#include <vector>
+
+#include "index/dsi.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// The classic *continuous* interval index (Al-Khalifa et al. [4]) that
+/// §5.1.1 contrasts DSI with: integer begin/end numbering where a node's
+/// interval is [begin, end] with begin < every descendant number < end and
+/// no slack anywhere — a leaf occupies exactly [b, b+1], its next sibling
+/// starts at b+2.
+///
+/// Functionally it supports the same structural joins as DSI. But interval
+/// *widths* are determined by subtree sizes: a published entry that merges
+/// k adjacent sibling leaves (the §5.1.1 grouping) has width exactly
+/// 2k - 1, so the server recovers k — "the server consequently may find
+/// out the existence of grouping, and further possibly the exact structure
+/// of the tree". DSI's random per-node weights destroy the width/size
+/// correspondence. This class exists as the ablation baseline for that
+/// claim (tests/continuous_test.cc, bench_ablations).
+class ContinuousIndex {
+ public:
+  /// Assigns begin/end numbers in document order (root = [0, 2n-1]).
+  static ContinuousIndex Build(const Document& doc);
+
+  const Interval& interval(NodeId id) const { return intervals_[id]; }
+
+  bool Contains(NodeId anc, NodeId desc) const {
+    return intervals_[desc].ProperlyInside(intervals_[anc]);
+  }
+
+  int32_t size() const { return static_cast<int32_t>(intervals_.size()); }
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+/// The attacker's width inference against a continuous index: a published
+/// entry covering a run of adjacent sibling *leaves* has width 2k - 1, so
+/// k = (width + 1) / 2. Returns that estimate (valid only for leaf runs
+/// under ContinuousIndex; applying it to DSI intervals yields garbage —
+/// which is the point).
+int InferGroupedLeafCount(const Interval& published_entry);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_INDEX_CONTINUOUS_H_

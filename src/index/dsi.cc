@@ -1,0 +1,55 @@
+#include "index/dsi.h"
+
+#include <cassert>
+
+namespace xcrypt {
+
+std::vector<Interval> CalIntervals(const Interval& parent, int num_children,
+                                   const std::vector<double>& w1,
+                                   const std::vector<double>& w2) {
+  assert(static_cast<int>(w1.size()) >= num_children);
+  assert(static_cast<int>(w2.size()) >= num_children);
+  std::vector<Interval> out;
+  out.reserve(num_children);
+  const double d = (parent.max - parent.min) / (2.0 * num_children + 1.0);
+  for (int i = 1; i <= num_children; ++i) {
+    Interval child;
+    child.min = parent.min + (2.0 * i - 1.0) * d - w1[i - 1] * d;
+    child.max = parent.min + 2.0 * i * d + w2[i - 1] * d;
+    out.push_back(child);
+  }
+  return out;
+}
+
+DsiIndex DsiIndex::Build(const Document& doc, Rng& rng) {
+  DsiIndex index;
+  index.intervals_.resize(doc.node_count());
+  if (doc.empty()) return index;
+
+  index.intervals_[doc.root()] = Interval{0.0, 1.0};
+  // Assign top-down in document order; document order guarantees parents
+  // are processed before children when iterating PreOrder.
+  for (NodeId id : doc.PreOrder()) {
+    const Node& n = doc.node(id);
+    const int num_children = static_cast<int>(n.children.size());
+    if (num_children == 0) continue;
+    std::vector<double> w1(num_children), w2(num_children);
+    for (int i = 0; i < num_children; ++i) {
+      w1[i] = rng.UniformDouble(1e-6, 0.5);
+      w2[i] = rng.UniformDouble(1e-6, 0.5);
+    }
+    const std::vector<Interval> child_intervals =
+        CalIntervals(index.intervals_[id], num_children, w1, w2);
+    for (int i = 0; i < num_children; ++i) {
+      // Precision envelope check (see header): children must remain
+      // strictly nested representable intervals.
+      assert(child_intervals[i].min < child_intervals[i].max &&
+             child_intervals[i].ProperlyInside(index.intervals_[id]) &&
+             "document too deep for double-precision DSI intervals");
+      index.intervals_[n.children[i]] = child_intervals[i];
+    }
+  }
+  return index;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,61 @@
+#include "index/dsi_table.h"
+
+#include <algorithm>
+
+namespace xcrypt {
+
+void DsiTable::Add(const std::string& token, const Interval& interval) {
+  entries_[token].push_back(interval);
+}
+
+void DsiTable::Seal() {
+  for (auto& [token, list] : entries_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+const std::vector<Interval>& DsiTable::Lookup(const std::string& token) const {
+  static const std::vector<Interval> kEmpty;
+  auto it = entries_.find(token);
+  return it == entries_.end() ? kEmpty : it->second;
+}
+
+std::vector<Interval> DsiTable::AllIntervals() const {
+  std::vector<Interval> out;
+  for (const auto& [token, list] : entries_) {
+    out.insert(out.end(), list.begin(), list.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int64_t DsiTable::ByteSize() const {
+  int64_t bytes = 0;
+  for (const auto& [token, list] : entries_) {
+    bytes += static_cast<int64_t>(token.size()) +
+             static_cast<int64_t>(list.size()) * 16;
+  }
+  return bytes;
+}
+
+void BlockTable::Add(int block_id, const Interval& representative) {
+  entries_.emplace_back(block_id, representative);
+}
+
+std::vector<int> BlockTable::BlocksCovering(const Interval& iv) const {
+  std::vector<int> out;
+  for (const auto& [id, rep] : entries_) {
+    if (iv == rep || iv.ProperlyInside(rep)) out.push_back(id);
+  }
+  return out;
+}
+
+const Interval* BlockTable::RepresentativeOf(int block_id) const {
+  for (const auto& [id, rep] : entries_) {
+    if (id == block_id) return &rep;
+  }
+  return nullptr;
+}
+
+}  // namespace xcrypt

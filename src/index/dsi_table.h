@@ -1,0 +1,77 @@
+#ifndef XCRYPT_INDEX_DSI_TABLE_H_
+#define XCRYPT_INDEX_DSI_TABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index/dsi.h"
+
+namespace xcrypt {
+
+/// Server-side DSI index table (§5.1.1, Figure 4b): maps tag tokens —
+/// plaintext tags for unencrypted elements, Vernam pseudonyms for encrypted
+/// ones — to sorted interval lists. Adjacent same-tag nodes inside the same
+/// encryption block have been grouped into single intervals by the builder
+/// (core/metadata), so the server cannot tell how many nodes an entry
+/// covers.
+class DsiTable {
+ public:
+  /// Adds an interval for a token. Builder-side API.
+  void Add(const std::string& token, const Interval& interval);
+
+  /// Sorts and deduplicates every list; call once after the last Add.
+  void Seal();
+
+  /// Interval list for a token; empty list if absent.
+  const std::vector<Interval>& Lookup(const std::string& token) const;
+
+  /// All intervals of all tokens merged, sorted (used for the server's
+  /// child-axis non-interposition test, §5.1).
+  std::vector<Interval> AllIntervals() const;
+
+  /// Number of tokens.
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  const std::map<std::string, std::vector<Interval>>& entries() const {
+    return entries_;
+  }
+
+  /// Approximate serialized size in bytes (token bytes + 16 per interval);
+  /// used by the cost model.
+  int64_t ByteSize() const;
+
+ private:
+  std::map<std::string, std::vector<Interval>> entries_;
+};
+
+/// Server-side encryption block table (§5.1.1, Figure 4a): block id ->
+/// representative interval (the interval of the encrypted subtree's root).
+class BlockTable {
+ public:
+  void Add(int block_id, const Interval& representative);
+
+  /// Block ids whose representative interval contains `iv` or equals it —
+  /// i.e. blocks that could contain a node with that interval.
+  std::vector<int> BlocksCovering(const Interval& iv) const;
+
+  /// Representative interval of a block id; nullptr if unknown.
+  const Interval* RepresentativeOf(int block_id) const;
+
+  const std::vector<std::pair<int, Interval>>& entries() const {
+    return entries_;
+  }
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(entries_.size()) * 20;
+  }
+
+ private:
+  std::vector<std::pair<int, Interval>> entries_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_INDEX_DSI_TABLE_H_

@@ -1,0 +1,102 @@
+#include "index/structural_join.h"
+
+#include <algorithm>
+
+namespace xcrypt {
+
+namespace {
+bool SortedByMin(const std::vector<Interval>& v) {
+  return std::is_sorted(v.begin(), v.end());
+}
+}  // namespace
+
+std::vector<Interval> StructuralJoin::FilterDescendants(
+    const std::vector<Interval>& ancestors,
+    const std::vector<Interval>& descendants) {
+  std::vector<Interval> anc = ancestors;
+  std::vector<Interval> desc = descendants;
+  if (!SortedByMin(anc)) std::sort(anc.begin(), anc.end());
+  if (!SortedByMin(desc)) std::sort(desc.begin(), desc.end());
+
+  // Tree intervals form a laminar family (nested or disjoint), so the open
+  // ancestors at any scan position form a chain and a stack merge suffices.
+  std::vector<Interval> out;
+  std::vector<Interval> stack;  // open ancestors, innermost on top
+  size_t ai = 0;
+  for (const Interval& d : desc) {
+    // Open every ancestor starting before d, closing ancestors that ended.
+    while (ai < anc.size() && anc[ai].min < d.min) {
+      while (!stack.empty() && stack.back().max < anc[ai].min) {
+        stack.pop_back();
+      }
+      stack.push_back(anc[ai]);
+      ++ai;
+    }
+    // Close ancestors that ended before d starts.
+    while (!stack.empty() && stack.back().max < d.min) stack.pop_back();
+    if (!stack.empty() && d.ProperlyInside(stack.back())) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> StructuralJoin::FilterAncestors(
+    const std::vector<Interval>& ancestors,
+    const std::vector<Interval>& descendants) {
+  std::vector<Interval> out;
+  for (const Interval& a : ancestors) {
+    for (const Interval& d : descendants) {
+      if (d.ProperlyInside(a)) {
+        out.push_back(a);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Interval> StructuralJoin::FilterChildren(
+    const std::vector<Interval>& parents,
+    const std::vector<Interval>& candidates,
+    const std::vector<Interval>& universe) {
+  std::vector<Interval> out;
+  for (const Interval& c : candidates) {
+    for (const Interval& p : parents) {
+      if (!c.ProperlyInside(p)) continue;
+      // Non-interposition: no known interval strictly between p and c.
+      bool interposed = false;
+      for (const Interval& z : universe) {
+        if (z == p || z == c) continue;
+        if (z.ProperlyInside(p) && c.ProperlyInside(z)) {
+          interposed = true;
+          break;
+        }
+      }
+      if (!interposed) {
+        out.push_back(c);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::pair<int, int>> StructuralJoin::PairJoin(
+    const std::vector<Interval>& ancestors,
+    const std::vector<Interval>& descendants) {
+  std::vector<std::pair<int, int>> out;
+  for (size_t i = 0; i < ancestors.size(); ++i) {
+    for (size_t j = 0; j < descendants.size(); ++j) {
+      if (descendants[j].ProperlyInside(ancestors[i])) {
+        out.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,50 @@
+#ifndef XCRYPT_INDEX_STRUCTURAL_JOIN_H_
+#define XCRYPT_INDEX_STRUCTURAL_JOIN_H_
+
+#include <vector>
+
+#include "index/dsi.h"
+
+namespace xcrypt {
+
+/// Interval-list structural join primitives (§5.1, §6.2).
+///
+/// The server evaluates query structure by joining the interval lists
+/// attached to each query node ("any of the standard structural join
+/// algorithms", the paper cites Al-Khalifa et al. [4]). Lists are sorted by
+/// (min, max); the merge walks both lists with a stack of open ancestors,
+/// so a join costs O(|A| + |D| + output).
+class StructuralJoin {
+ public:
+  /// Descendant semi-join: intervals of `descendants` properly inside some
+  /// interval of `ancestors`.
+  static std::vector<Interval> FilterDescendants(
+      const std::vector<Interval>& ancestors,
+      const std::vector<Interval>& descendants);
+
+  /// Ancestor semi-join: intervals of `ancestors` that properly contain at
+  /// least one interval of `descendants`.
+  static std::vector<Interval> FilterAncestors(
+      const std::vector<Interval>& ancestors,
+      const std::vector<Interval>& descendants);
+
+  /// Child semi-join with the paper's derivation
+  ///   child(x, y) <=> desc(x, y) and not exists z: desc(x, z) ^ desc(z, y).
+  /// `universe` is every interval the server knows (DsiTable::AllIntervals).
+  /// Note: with grouped intervals the server can only approximate the child
+  /// axis; the client's post-processing re-applies the exact query (§6.4).
+  static std::vector<Interval> FilterChildren(
+      const std::vector<Interval>& parents,
+      const std::vector<Interval>& candidates,
+      const std::vector<Interval>& universe);
+
+  /// Full ancestor/descendant pair join; returns (ancestor, descendant)
+  /// index pairs into the input lists.
+  static std::vector<std::pair<int, int>> PairJoin(
+      const std::vector<Interval>& ancestors,
+      const std::vector<Interval>& descendants);
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_INDEX_STRUCTURAL_JOIN_H_

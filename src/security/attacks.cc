@@ -1,0 +1,129 @@
+#include "security/attacks.h"
+
+#include <algorithm>
+
+namespace xcrypt {
+
+int64_t CiphertextHistogram::TotalOccurrences() const {
+  int64_t total = 0;
+  for (const auto& [id, count] : counts) total += count;
+  return total;
+}
+
+namespace {
+
+/// Ways to split the ordered ciphertext count sequence into consecutive
+/// groups whose sums equal the plaintext counts in order (the attacker's
+/// "group adjacent ciphertext values until they match" strategy, §5.2.1).
+BigUInt CountOrderedPartitions(const std::vector<int64_t>& plain_counts,
+                               const std::vector<int64_t>& cipher_counts) {
+  const size_t k = plain_counts.size();
+  const size_t n = cipher_counts.size();
+  // prefix sums of ciphertext counts
+  std::vector<int64_t> prefix(n + 1, 0);
+  for (size_t j = 0; j < n; ++j) prefix[j + 1] = prefix[j] + cipher_counts[j];
+  // plain prefix sums
+  std::vector<int64_t> plain_prefix(k + 1, 0);
+  for (size_t i = 0; i < k; ++i) {
+    plain_prefix[i + 1] = plain_prefix[i] + plain_counts[i];
+  }
+  // f[i][j]: ways to realize the first i plaintext values with the first j
+  // ciphertext values. Transition: the i-th group must end exactly where
+  // the cumulative sums agree.
+  std::vector<std::vector<BigUInt>> f(k + 1,
+                                      std::vector<BigUInt>(n + 1, BigUInt()));
+  f[0][0] = BigUInt(1);
+  for (size_t i = 1; i <= k; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      if (prefix[j] != plain_prefix[i]) continue;
+      // Any j' < j with prefix[j'] == plain_prefix[i-1] can end group i-1.
+      for (size_t jp = i - 1; jp < j; ++jp) {
+        if (prefix[jp] == plain_prefix[i - 1] && !f[i - 1][jp].IsZero()) {
+          f[i][j].Add(f[i - 1][jp]);
+        }
+      }
+    }
+  }
+  return f[k][n];
+}
+
+}  // namespace
+
+FrequencyAttackResult SimulateFrequencyAttack(
+    const ValueHistogram& plaintext, const CiphertextHistogram& ciphertext) {
+  FrequencyAttackResult result;
+  result.plaintext_values = plaintext.DistinctValues();
+
+  std::vector<int64_t> plain_counts;
+  for (const auto& [value, count] : plaintext.counts) {
+    plain_counts.push_back(count);
+  }
+  std::vector<int64_t> cipher_counts;
+  for (const auto& [id, count] : ciphertext.counts) {
+    cipher_counts.push_back(count);
+  }
+
+  // Exact-frequency matching: a value is cracked when its count is unique
+  // among plaintext counts and exactly one ciphertext shows that count.
+  // The match is only evidence when the transformation preserved total
+  // occurrences — scaling (§5.2.1) deliberately breaks that premise, so
+  // with mismatched totals a count coincidence proves nothing.
+  if (ciphertext.TotalOccurrences() == plaintext.TotalOccurrences()) {
+    for (int64_t pc : plain_counts) {
+      const int64_t plain_same =
+          std::count(plain_counts.begin(), plain_counts.end(), pc);
+      const int64_t cipher_same =
+          std::count(cipher_counts.begin(), cipher_counts.end(), pc);
+      if (plain_same == 1 && cipher_same == 1) ++result.cracked;
+    }
+  }
+  result.crack_rate =
+      result.plaintext_values == 0
+          ? 0.0
+          : static_cast<double>(result.cracked) / result.plaintext_values;
+
+  // Residual ambiguity.
+  if (std::all_of(cipher_counts.begin(), cipher_counts.end(),
+                  [](int64_t c) { return c == 1; }) &&
+      static_cast<int64_t>(cipher_counts.size()) ==
+          plaintext.TotalOccurrences() &&
+      result.cracked == 0) {
+    // Decoy view: unordered assignment — the multinomial of Theorem 4.1.
+    std::vector<uint64_t> freqs(plain_counts.begin(), plain_counts.end());
+    result.consistent_mappings = BigUInt::Multinomial(freqs);
+  } else {
+    // Order-preserving view (value index): consecutive groupings.
+    result.consistent_mappings =
+        CountOrderedPartitions(plain_counts, cipher_counts);
+  }
+  return result;
+}
+
+CiphertextHistogram NaiveDeterministicView(const ValueHistogram& plaintext) {
+  CiphertextHistogram view;
+  int64_t id = 0;
+  for (const auto& [value, count] : plaintext.counts) {
+    view.counts.emplace_back(id++, count);
+  }
+  return view;
+}
+
+CiphertextHistogram DecoyView(const ValueHistogram& plaintext) {
+  CiphertextHistogram view;
+  int64_t id = 0;
+  for (const auto& [value, count] : plaintext.counts) {
+    for (int64_t i = 0; i < count; ++i) view.counts.emplace_back(id++, 1);
+  }
+  return view;
+}
+
+int SizeAttackSurvivors(int64_t hosted_size,
+                        const std::vector<int64_t>& candidate_sizes) {
+  int survivors = 0;
+  for (int64_t size : candidate_sizes) {
+    if (size == hosted_size) ++survivors;
+  }
+  return survivors;
+}
+
+}  // namespace xcrypt

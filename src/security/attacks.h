@@ -1,0 +1,67 @@
+#ifndef XCRYPT_SECURITY_ATTACKS_H_
+#define XCRYPT_SECURITY_ATTACKS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bigint.h"
+#include "xml/stats.h"
+
+namespace xcrypt {
+
+/// The attacker's view of one attribute after encryption: distinct
+/// ciphertext identifiers with their occurrence counts. Collected from the
+/// encrypted database (block payloads would be counted if the scheme
+/// deterministically encrypted leaves) or from the value index.
+struct CiphertextHistogram {
+  /// ciphertext id -> occurrence count, in ciphertext (range) order.
+  std::vector<std::pair<int64_t, int64_t>> counts;
+
+  int64_t TotalOccurrences() const;
+};
+
+/// Result of a frequency-based attack (§3.3) against one attribute.
+struct FrequencyAttackResult {
+  int plaintext_values = 0;
+  /// Values whose frequency uniquely pins down their ciphertext — cracked.
+  int cracked = 0;
+  /// Fraction of values cracked.
+  double crack_rate = 0.0;
+  /// Number of consistent plaintext->ciphertext assignments the attacker
+  /// is left with (1 means fully cracked; astronomically large means the
+  /// attack failed).
+  BigUInt consistent_mappings;
+};
+
+/// Simulates the frequency-based attack of §3.3: the attacker knows the
+/// exact plaintext value frequencies and tries to match them against the
+/// observed ciphertext frequencies.
+///
+/// Matching model: a plaintext value is *cracked* when its occurrence
+/// count appears exactly once among plaintext counts AND exactly one
+/// ciphertext has that count (deterministic 1:1 encryption); the count of
+/// consistent order-preserving groupings quantifies the residual ambiguity
+/// when splitting/decoys were applied.
+FrequencyAttackResult SimulateFrequencyAttack(
+    const ValueHistogram& plaintext, const CiphertextHistogram& ciphertext);
+
+/// The attacker's view under *naive deterministic* per-leaf encryption
+/// (no decoy): each plaintext value maps to one ciphertext with an
+/// identical count — the strawman of §4.1 that the attack cracks.
+CiphertextHistogram NaiveDeterministicView(const ValueHistogram& plaintext);
+
+/// The attacker's view under decoy encryption (§4.1): every occurrence
+/// becomes a distinct ciphertext with count 1.
+CiphertextHistogram DecoyView(const ValueHistogram& plaintext);
+
+/// Size-based attack (§3.3): given candidate databases' encrypted sizes,
+/// returns how many candidates survive (have the same size as the hosted
+/// database). All-survive means the attack learned nothing.
+int SizeAttackSurvivors(int64_t hosted_size,
+                        const std::vector<int64_t>& candidate_sizes);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_SECURITY_ATTACKS_H_

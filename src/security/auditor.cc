@@ -1,0 +1,91 @@
+#include "security/auditor.h"
+
+namespace xcrypt {
+
+namespace {
+
+/// Qualified tag ('@'-prefixed for attributes) of a relative leg's target.
+std::string LegTargetTag(const PathExpr& leg) {
+  const Step& last = leg.steps.back();
+  return (last.is_attribute ? "@" : "") + last.tag;
+}
+
+}  // namespace
+
+SessionAuditor::SessionAuditor(std::vector<SecurityConstraint> constraints) {
+  entries_.reserve(constraints.size());
+  for (SecurityConstraint& sc : constraints) {
+    Entry entry;
+    entry.constraint = std::move(sc);
+    entries_.push_back(std::move(entry));
+  }
+}
+
+void SessionAuditor::Calibrate(const Client& client) {
+  for (Entry& entry : entries_) {
+    if (!entry.constraint.IsAssociation()) continue;
+    // Find the encrypted leg: the one whose target tag carries an OPESS
+    // index (§6.3: "the values of at least one of b1, b2 should be
+    // encrypted").
+    const auto& [q1, q2] = *entry.constraint.association;
+    for (const PathExpr* leg : {&q1, &q2}) {
+      const std::string tag = LegTargetTag(*leg);
+      auto opess_it = client.index_meta().opess.find(tag);
+      if (opess_it == client.index_meta().opess.end()) continue;
+      const uint64_t k = opess_it->second.ordinals.size();
+      const std::string token = TagToken(client.index_meta(), tag);
+      auto tree_it = client.metadata().value_indexes.find(token);
+      const uint64_t n =
+          tree_it == client.metadata().value_indexes.end()
+              ? k
+              : static_cast<uint64_t>(tree_it->second.KeyHistogram().size());
+      entry.tracker = BeliefTracker(k, n);
+      entry.calibrated = true;
+      break;
+    }
+  }
+}
+
+std::vector<int> SessionAuditor::Observe(const PathExpr& query) {
+  ++observed_;
+  std::vector<int> capturing;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    if (!IsCapturedBy(query, entry.constraint)) continue;
+    capturing.push_back(static_cast<int>(i));
+    ++entry.captured;
+    if (entry.constraint.IsAssociation() && entry.calibrated) {
+      entry.tracker.ObserveQuery();
+    }
+    // Node-type SCs: the Vernam pseudonyms are perfectly secure, the
+    // belief never moves — nothing to update.
+  }
+  return capturing;
+}
+
+std::vector<SessionAuditor::ConstraintReport> SessionAuditor::Report() const {
+  std::vector<ConstraintReport> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    ConstraintReport report;
+    report.constraint = entry.constraint.ToString();
+    report.is_association = entry.constraint.IsAssociation();
+    report.captured_queries = entry.captured;
+    report.observed_queries = observed_;
+    if (report.is_association && entry.calibrated) {
+      report.prior_belief = entry.tracker.PriorBelief();
+      report.posterior_belief = entry.tracker.history().back();
+      report.non_increasing = entry.tracker.NonIncreasing();
+    } else {
+      // Node-type SC (or uncalibrated): perfect secrecy of the Vernam
+      // tag pseudonyms keeps prior == posterior.
+      report.prior_belief = 0.0;
+      report.posterior_belief = 0.0;
+      report.non_increasing = true;
+    }
+    out.push_back(std::move(report));
+  }
+  return out;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,67 @@
+#ifndef XCRYPT_SECURITY_AUDITOR_H_
+#define XCRYPT_SECURITY_AUDITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/security_constraint.h"
+#include "security/belief.h"
+
+namespace xcrypt {
+
+/// Watches a query session from the attacker's vantage point (§6.3):
+/// which executed queries are captured by which security constraints, and
+/// how the attacker's belief Bel(B(A)) evolves — the trajectory Theorem
+/// 6.1 proves non-increasing.
+///
+/// The data owner runs this next to a DasSystem to audit, per constraint,
+/// how much the observable query stream could have told the server:
+///
+///   SessionAuditor auditor(constraints);
+///   auditor.Calibrate(das.client());
+///   ... auditor.Observe(query) before/after each das.Execute(query) ...
+///   for (const auto& row : auditor.Report()) { ... }
+class SessionAuditor {
+ public:
+  explicit SessionAuditor(std::vector<SecurityConstraint> constraints);
+
+  /// Reads the (k, n) cardinalities of each association SC's encrypted leg
+  /// from a hosted client — k distinct plaintext values, n ciphertext
+  /// values after OPESS splitting — and initializes the belief trackers.
+  /// Node-type SCs rest on the Vernam cipher's perfect security and keep a
+  /// flat belief.
+  void Calibrate(const Client& client);
+
+  /// Records one executed query. Returns the indices of the constraints
+  /// that capture it (per §3.2's captured-query semantics).
+  std::vector<int> Observe(const PathExpr& query);
+
+  struct ConstraintReport {
+    std::string constraint;
+    bool is_association = false;
+    int captured_queries = 0;   ///< observed queries this SC captures
+    int observed_queries = 0;   ///< all observed queries
+    double prior_belief = 0.0;
+    double posterior_belief = 0.0;
+    bool non_increasing = true;  ///< the Theorem 6.1 guarantee
+  };
+
+  /// Per-constraint summary of the session so far.
+  std::vector<ConstraintReport> Report() const;
+
+ private:
+  struct Entry {
+    SecurityConstraint constraint;
+    BeliefTracker tracker{1, 2};
+    bool calibrated = false;
+    int captured = 0;
+  };
+
+  std::vector<Entry> entries_;
+  int observed_ = 0;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_SECURITY_AUDITOR_H_

@@ -1,0 +1,37 @@
+#include "security/belief.h"
+
+#include <algorithm>
+
+namespace xcrypt {
+
+BeliefTracker::BeliefTracker(uint64_t k_plaintext, uint64_t n_ciphertext)
+    : k_(std::max<uint64_t>(k_plaintext, 1)),
+      n_(std::max(n_ciphertext, k_)) {
+  const BigUInt mappings = BigUInt::Binomial(n_ - 1, k_ - 1);
+  const double denom = std::max(1.0, static_cast<double>(
+                                         mappings.ToU64Saturated() == UINT64_MAX
+                                             ? 1.8e19
+                                             : mappings.ToU64Saturated()));
+  posterior_ = 1.0 / denom;
+  history_.push_back(PriorBelief());
+}
+
+double BeliefTracker::PriorBelief() const {
+  return 1.0 / static_cast<double>(k_);
+}
+
+double BeliefTracker::ObserveQuery() {
+  // The first observed query moves the belief from 1/k to 1/C(n-1, k-1);
+  // every further query leaves it unchanged (Theorem 6.1).
+  history_.push_back(posterior_);
+  return posterior_;
+}
+
+bool BeliefTracker::NonIncreasing() const {
+  for (size_t i = 1; i < history_.size(); ++i) {
+    if (history_[i] > history_[i - 1] + 1e-15) return false;
+  }
+  return true;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,52 @@
+#ifndef XCRYPT_SECURITY_BELIEF_H_
+#define XCRYPT_SECURITY_BELIEF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bigint.h"
+
+namespace xcrypt {
+
+/// Tracks the attacker's belief probability Bel(B(A)) that a sensitive
+/// association holds in a given encryption block, as the attacker observes
+/// queries and responses (Definition 3.5 / Theorem 6.1).
+///
+/// For an association SC //a:(b1, b2) with k distinct plaintext values of
+/// the encrypted leg and n ciphertext values (n > k after OPESS splitting):
+///   - before any query the prior is 1/k;
+///   - after the first query p[//b1=v1][//b2=v2] the belief becomes
+///     1 / C(n-1, k-1), which is <= 1/k since C(n-1, k-1) >= k;
+///   - further queries leave it unchanged.
+class BeliefTracker {
+ public:
+  /// `k` distinct plaintext values, `n` ciphertext values after splitting.
+  BeliefTracker(uint64_t k_plaintext, uint64_t n_ciphertext);
+
+  /// Belief before any query: 1/k.
+  double PriorBelief() const;
+
+  /// Records one observed query+answer and returns the belief after it.
+  double ObserveQuery();
+
+  /// The belief sequence so far (prior first).
+  const std::vector<double>& history() const { return history_; }
+
+  /// True if the sequence never increased — the property Theorem 6.1
+  /// guarantees.
+  bool NonIncreasing() const;
+
+  uint64_t k() const { return k_; }
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t k_;
+  uint64_t n_;
+  double posterior_;
+  std::vector<double> history_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_SECURITY_BELIEF_H_

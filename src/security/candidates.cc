@@ -1,0 +1,35 @@
+#include "security/candidates.h"
+
+namespace xcrypt {
+
+BigUInt CandidateCounter::DecoyMappings(
+    const std::vector<uint64_t>& frequencies) {
+  return BigUInt::Multinomial(frequencies);
+}
+
+BigUInt CandidateCounter::DecoyMappings(const ValueHistogram& histogram) {
+  std::vector<uint64_t> frequencies;
+  frequencies.reserve(histogram.counts.size());
+  for (const auto& [value, count] : histogram.counts) {
+    frequencies.push_back(static_cast<uint64_t>(count));
+  }
+  return DecoyMappings(frequencies);
+}
+
+BigUInt CandidateCounter::DsiStructures(
+    const std::vector<std::pair<uint64_t, uint64_t>>& blocks) {
+  BigUInt total(1);
+  for (const auto& [leaves, intervals] : blocks) {
+    if (leaves == 0 || intervals == 0) continue;
+    total.Mul(BigUInt::Binomial(leaves - 1, intervals - 1));
+  }
+  return total;
+}
+
+BigUInt CandidateCounter::ValueSplittings(uint64_t n_ciphertext,
+                                          uint64_t k_plaintext) {
+  if (n_ciphertext == 0 || k_plaintext == 0) return BigUInt(0);
+  return BigUInt::Binomial(n_ciphertext - 1, k_plaintext - 1);
+}
+
+}  // namespace xcrypt

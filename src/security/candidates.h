@@ -1,0 +1,39 @@
+#ifndef XCRYPT_SECURITY_CANDIDATES_H_
+#define XCRYPT_SECURITY_CANDIDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bigint.h"
+#include "xml/stats.h"
+
+namespace xcrypt {
+
+/// Exact candidate-database counts from the paper's security theorems.
+/// "Large" in Definitions 3.3/3.4 means exponential; these functions
+/// compute the counts exactly so experiments and tests can verify the
+/// claimed magnitudes (e.g. 27720 for k = {3,4,5}, 1001 for n=15, k=5).
+class CandidateCounter {
+ public:
+  /// Theorem 4.1: one attribute with plaintext occurrence frequencies
+  /// {k_1..k_n} encrypted with decoys yields (Σk_i)! / Π(k_i!) candidate
+  /// plaintext-to-ciphertext mappings.
+  static BigUInt DecoyMappings(const std::vector<uint64_t>& frequencies);
+
+  /// Same, reading the frequencies from a value histogram.
+  static BigUInt DecoyMappings(const ValueHistogram& histogram);
+
+  /// Theorem 5.1: an encryption block with n_i leaves shown as k_i grouped
+  /// intervals admits C(n_i - 1, k_i - 1) structures; blocks multiply.
+  /// Pass one (leaves, intervals) pair per block.
+  static BigUInt DsiStructures(
+      const std::vector<std::pair<uint64_t, uint64_t>>& blocks);
+
+  /// Theorem 5.2: splitting k plaintext values into n ciphertext values in
+  /// an order-preserving way admits C(n - 1, k - 1) mappings.
+  static BigUInt ValueSplittings(uint64_t n_ciphertext, uint64_t k_plaintext);
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_SECURITY_CANDIDATES_H_

@@ -1,0 +1,62 @@
+#include "security/indistinguishability.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "xml/stats.h"
+
+namespace xcrypt {
+
+Document PermuteTagValues(const Document& doc, const std::string& tag,
+                          uint64_t seed) {
+  Document out = doc;
+  std::vector<NodeId> targets;
+  for (NodeId id : out.PreOrder()) {
+    if (out.node(id).tag == tag && out.IsLeaf(id) &&
+        !out.node(id).value.empty()) {
+      targets.push_back(id);
+    }
+  }
+  Rng rng(seed);
+  const std::vector<int> perm =
+      rng.Permutation(static_cast<int>(targets.size()));
+  std::vector<std::string> values;
+  values.reserve(targets.size());
+  for (NodeId id : targets) values.push_back(out.node(id).value);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    out.node(targets[i]).value = values[perm[i]];
+  }
+  return out;
+}
+
+IndistinguishabilityReport CheckIndistinguishable(const Client& a,
+                                                  const Client& b) {
+  IndistinguishabilityReport report;
+  report.size_a = a.database().TotalCiphertextBytes();
+  report.size_b = b.database().TotalCiphertextBytes();
+  report.sizes_equal = report.size_a == report.size_b &&
+                       a.database().blocks.size() == b.database().blocks.size();
+
+  const DocumentStats stats_a(a.original());
+  const DocumentStats stats_b(b.original());
+  report.frequencies_equal = true;
+  if (stats_a.value_histograms().size() != stats_b.value_histograms().size()) {
+    report.frequencies_equal = false;
+  } else {
+    for (const auto& [tag, hist_a] : stats_a.value_histograms()) {
+      const ValueHistogram* hist_b = stats_b.HistogramFor(tag);
+      if (hist_b == nullptr) {
+        report.frequencies_equal = false;
+        break;
+      }
+      // Same domain, same per-value occurrence frequency (Def. 3.1 (2)).
+      if (hist_a.counts != hist_b->counts) {
+        report.frequencies_equal = false;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace xcrypt

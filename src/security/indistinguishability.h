@@ -1,0 +1,39 @@
+#ifndef XCRYPT_SECURITY_INDISTINGUISHABILITY_H_
+#define XCRYPT_SECURITY_INDISTINGUISHABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// Builds a candidate database D' from D by permuting the values of `tag`
+/// leaves across their positions (§4.1's candidate construction): D' has
+/// identical structure, domain, and occurrence frequencies, but different
+/// value *associations* — so D ~ D' (Definition 3.1) while D' does not
+/// contain D's sensitive associations.
+Document PermuteTagValues(const Document& doc, const std::string& tag,
+                          uint64_t seed);
+
+/// Checks Definition 3.1 against two *hosted* systems sharing the same
+/// constraints and scheme kind: equal encrypted sizes (size-based attack,
+/// condition 1) and equal per-attribute plaintext occurrence-frequency
+/// multisets (frequency-based attack, condition 2).
+struct IndistinguishabilityReport {
+  bool sizes_equal = false;
+  bool frequencies_equal = false;
+  int64_t size_a = 0;
+  int64_t size_b = 0;
+
+  bool Indistinguishable() const { return sizes_equal && frequencies_equal; }
+};
+
+IndistinguishabilityReport CheckIndistinguishable(const Client& a,
+                                                  const Client& b);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_SECURITY_INDISTINGUISHABILITY_H_

@@ -1,0 +1,303 @@
+#include "storage/serializer.h"
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+
+#include "index/btree.h"
+
+namespace xcrypt {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x58435231;  // "XCR1"
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(Bytes* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+  void Blob(const Bytes& b) {
+    U32(static_cast<uint32_t>(b.size()));
+    out_->insert(out_->end(), b.begin(), b.end());
+  }
+
+ private:
+  Bytes* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& in) : in_(in) {}
+
+  bool AtEnd() const { return pos_ == in_.size(); }
+  bool failed() const { return failed_; }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return in_[pos_++];
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in_[pos_++]) << (8 * i);
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(in_[pos_++]) << (8 * i);
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+  std::string Str() {
+    const uint32_t len = U32();
+    if (!Need(len)) return {};
+    std::string s(in_.begin() + pos_, in_.begin() + pos_ + len);
+    pos_ += len;
+    return s;
+  }
+  Bytes Blob() {
+    const uint32_t len = U32();
+    if (!Need(len)) return {};
+    Bytes b(in_.begin() + pos_, in_.begin() + pos_ + len);
+    pos_ += len;
+    return b;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (failed_ || in_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const Bytes& in_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+void WriteDocument(Writer& w, const Document& doc) {
+  w.I32(doc.node_count());
+  for (NodeId id = 0; id < doc.node_count(); ++id) {
+    const Node& n = doc.node(id);
+    w.Str(n.tag);
+    w.Str(n.value);
+    w.I32(n.parent);
+    w.U8(n.is_attribute ? 1 : 0);
+  }
+}
+
+Result<Document> ReadDocument(Reader& r) {
+  const int32_t count = r.I32();
+  if (r.failed() || count < 0) {
+    return Status::Corruption("bad document node count");
+  }
+  Document doc;
+  for (NodeId id = 0; id < count; ++id) {
+    const std::string tag = r.Str();
+    const std::string value = r.Str();
+    const NodeId parent = r.I32();
+    const bool is_attribute = r.U8() != 0;
+    if (r.failed()) return Status::Corruption("truncated document node");
+    if (id == 0) {
+      if (parent != kNullNode) {
+        return Status::Corruption("root node has a parent");
+      }
+      doc.AddRoot(tag);
+    } else {
+      if (parent < 0 || parent >= id) {
+        // Parents always precede children in arena order; a forward or
+        // negative parent is corruption (detached nodes are not shipped).
+        return Status::Corruption("node parent out of order");
+      }
+      doc.AddChild(parent, tag);
+    }
+    doc.node(id).value = value;
+    doc.node(id).is_attribute = is_attribute;
+  }
+  return doc;
+}
+
+void WriteInterval(Writer& w, const Interval& iv) {
+  w.F64(iv.min);
+  w.F64(iv.max);
+}
+
+Interval ReadInterval(Reader& r) {
+  Interval iv;
+  iv.min = r.F64();
+  iv.max = r.F64();
+  return iv;
+}
+
+}  // namespace
+
+Bytes SerializeBundle(const EncryptedDatabase& database,
+                      const Metadata& metadata) {
+  Bytes out;
+  Writer w(&out);
+  w.U32(kMagic);
+  w.U32(kVersion);
+
+  // --- database ---
+  WriteDocument(w, database.skeleton);
+  w.U32(static_cast<uint32_t>(database.blocks.size()));
+  for (const EncryptedBlock& b : database.blocks) {
+    w.I32(b.id);
+    w.Blob(b.ciphertext);
+    // plaintext_bytes is client-only knowledge: not serialized.
+  }
+  w.U32(static_cast<uint32_t>(database.marker_of_block.size()));
+  for (NodeId id : database.marker_of_block) w.I32(id);
+
+  // --- metadata ---
+  w.U32(static_cast<uint32_t>(metadata.dsi_table.entries().size()));
+  for (const auto& [token, list] : metadata.dsi_table.entries()) {
+    w.Str(token);
+    w.U32(static_cast<uint32_t>(list.size()));
+    for (const Interval& iv : list) WriteInterval(w, iv);
+  }
+  w.U32(static_cast<uint32_t>(metadata.block_table.entries().size()));
+  for (const auto& [id, rep] : metadata.block_table.entries()) {
+    w.I32(id);
+    WriteInterval(w, rep);
+  }
+  w.U32(static_cast<uint32_t>(metadata.value_indexes.size()));
+  for (const auto& [token, tree] : metadata.value_indexes) {
+    w.Str(token);
+    const auto entries = tree.RangeScan(std::numeric_limits<int64_t>::min(),
+                                        std::numeric_limits<int64_t>::max());
+    w.U32(static_cast<uint32_t>(entries.size()));
+    for (const BTreeEntry& e : entries) {
+      w.I64(e.key);
+      w.I32(e.block_id);
+    }
+  }
+  w.U32(static_cast<uint32_t>(metadata.public_interval_to_node.size()));
+  for (const auto& [iv, node] : metadata.public_interval_to_node) {
+    WriteInterval(w, iv);
+    w.I32(node);
+  }
+  return out;
+}
+
+Result<HostedBundle> DeserializeBundle(const Bytes& image) {
+  Reader r(image);
+  if (r.U32() != kMagic) return Status::Corruption("bad magic");
+  const uint32_t version = r.U32();
+  if (version != kVersion) {
+    return Status::Unsupported("bundle version " + std::to_string(version));
+  }
+
+  HostedBundle bundle;
+  auto skeleton = ReadDocument(r);
+  if (!skeleton.ok()) return skeleton.status();
+  bundle.database.skeleton = std::move(*skeleton);
+
+  const uint32_t num_blocks = r.U32();
+  for (uint32_t i = 0; i < num_blocks && !r.failed(); ++i) {
+    EncryptedBlock block;
+    block.id = r.I32();
+    block.ciphertext = r.Blob();
+    bundle.database.blocks.push_back(std::move(block));
+  }
+  const uint32_t num_markers = r.U32();
+  for (uint32_t i = 0; i < num_markers && !r.failed(); ++i) {
+    const NodeId id = r.I32();
+    if (id < kNullNode || id >= bundle.database.skeleton.node_count()) {
+      return Status::Corruption("marker node out of range");
+    }
+    bundle.database.marker_of_block.push_back(id);
+  }
+
+  const uint32_t num_tokens = r.U32();
+  for (uint32_t i = 0; i < num_tokens && !r.failed(); ++i) {
+    const std::string token = r.Str();
+    const uint32_t num_intervals = r.U32();
+    for (uint32_t j = 0; j < num_intervals && !r.failed(); ++j) {
+      bundle.metadata.dsi_table.Add(token, ReadInterval(r));
+    }
+  }
+  bundle.metadata.dsi_table.Seal();
+
+  const uint32_t num_reps = r.U32();
+  for (uint32_t i = 0; i < num_reps && !r.failed(); ++i) {
+    const int id = r.I32();
+    bundle.metadata.block_table.Add(id, ReadInterval(r));
+  }
+
+  const uint32_t num_indexes = r.U32();
+  for (uint32_t i = 0; i < num_indexes && !r.failed(); ++i) {
+    const std::string token = r.Str();
+    const uint32_t num_entries = r.U32();
+    std::vector<BTreeEntry> entries;
+    entries.reserve(num_entries);
+    for (uint32_t j = 0; j < num_entries && !r.failed(); ++j) {
+      BTreeEntry e;
+      e.key = r.I64();
+      e.block_id = r.I32();
+      entries.push_back(e);
+    }
+    BPlusTree tree;
+    tree.BulkLoad(std::move(entries));
+    bundle.metadata.value_indexes.emplace(token, std::move(tree));
+  }
+
+  const uint32_t num_public = r.U32();
+  for (uint32_t i = 0; i < num_public && !r.failed(); ++i) {
+    const Interval iv = ReadInterval(r);
+    const NodeId node = r.I32();
+    if (node < 0 || node >= bundle.database.skeleton.node_count()) {
+      return Status::Corruption("public node out of range");
+    }
+    bundle.metadata.public_interval_to_node[iv] = node;
+  }
+
+  if (r.failed()) return Status::Corruption("truncated bundle");
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in bundle");
+  return bundle;
+}
+
+Status SaveBundle(const EncryptedDatabase& database, const Metadata& metadata,
+                  const std::string& path) {
+  const Bytes image = SerializeBundle(database, metadata);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+Result<HostedBundle> LoadBundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes image(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(image.data()), size);
+  if (!in) return Status::Corruption("short read from " + path);
+  return DeserializeBundle(image);
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,41 @@
+#ifndef XCRYPT_STORAGE_SERIALIZER_H_
+#define XCRYPT_STORAGE_SERIALIZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/encryptor.h"
+#include "core/metadata.h"
+
+namespace xcrypt {
+
+/// What the client actually ships to the service provider (Figure 1):
+/// the encrypted database η(D) plus the metadata M. The server can be
+/// reconstructed from this bundle alone — no keys, no plaintext.
+struct HostedBundle {
+  EncryptedDatabase database;
+  Metadata metadata;
+};
+
+/// Serializes a hosted bundle into a self-contained binary image
+/// (magic + version header, little-endian fixed-width integers,
+/// length-prefixed strings). The image contains only server-visible
+/// state: ciphertext blocks, the pruned skeleton, the DSI/block tables,
+/// and the OPESS B-tree entries. Client-only fields (per-block plaintext
+/// sizes) are deliberately omitted.
+Bytes SerializeBundle(const EncryptedDatabase& database,
+                      const Metadata& metadata);
+
+/// Parses an image produced by SerializeBundle. Fails with Corruption on
+/// truncated or malformed input and with Unsupported on a version
+/// mismatch.
+Result<HostedBundle> DeserializeBundle(const Bytes& image);
+
+/// Convenience file wrappers.
+Status SaveBundle(const EncryptedDatabase& database, const Metadata& metadata,
+                  const std::string& path);
+Result<HostedBundle> LoadBundle(const std::string& path);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_STORAGE_SERIALIZER_H_

@@ -1,0 +1,142 @@
+#include "xml/document.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xcrypt {
+
+NodeId Document::AddRoot(std::string tag) {
+  assert(nodes_.empty() && "AddRoot called on non-empty document");
+  Node n;
+  n.tag = std::move(tag);
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+NodeId Document::AddChild(NodeId parent, std::string tag) {
+  assert(parent >= 0 && parent < node_count());
+  Node n;
+  n.tag = std::move(tag);
+  n.parent = parent;
+  const NodeId id = node_count();
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+NodeId Document::AddLeaf(NodeId parent, std::string tag, std::string value) {
+  const NodeId id = AddChild(parent, std::move(tag));
+  nodes_[id].value = std::move(value);
+  return id;
+}
+
+NodeId Document::AddAttribute(NodeId parent, std::string name,
+                              std::string value) {
+  const NodeId id = AddLeaf(parent, std::move(name), std::move(value));
+  nodes_[id].is_attribute = true;
+  return id;
+}
+
+Status Document::Detach(NodeId node) {
+  if (node <= 0 || node >= node_count()) {
+    return Status::InvalidArgument("cannot detach root or invalid node");
+  }
+  const NodeId parent = nodes_[node].parent;
+  if (parent == kNullNode) {
+    return Status::InvalidArgument("node already detached");
+  }
+  auto& siblings = nodes_[parent].children;
+  siblings.erase(std::remove(siblings.begin(), siblings.end(), node),
+                 siblings.end());
+  nodes_[node].parent = kNullNode;
+  return Status::Ok();
+}
+
+NodeId Document::GraftSubtree(const Document& src, NodeId src_root,
+                              NodeId parent) {
+  const Node& s = src.node(src_root);
+  NodeId id;
+  if (parent == kNullNode) {
+    id = AddRoot(s.tag);
+  } else {
+    id = AddChild(parent, s.tag);
+  }
+  nodes_[id].value = s.value;
+  nodes_[id].is_attribute = s.is_attribute;
+  for (NodeId c : s.children) {
+    GraftSubtree(src, c, id);
+  }
+  return id;
+}
+
+int32_t Document::SubtreeSize(NodeId id) const {
+  int32_t count = 0;
+  Visit(id, [&count](NodeId) { ++count; });
+  return count;
+}
+
+int32_t Document::Depth(NodeId id) const {
+  int32_t d = 0;
+  for (NodeId p = nodes_[id].parent; p != kNullNode; p = nodes_[p].parent) {
+    ++d;
+  }
+  return d;
+}
+
+int32_t Document::Height() const {
+  if (empty()) return 0;
+  int32_t h = 0;
+  for (NodeId id : PreOrder()) h = std::max(h, Depth(id));
+  return h;
+}
+
+bool Document::IsAncestor(NodeId anc, NodeId desc) const {
+  for (NodeId p = nodes_[desc].parent; p != kNullNode; p = nodes_[p].parent) {
+    if (p == anc) return true;
+  }
+  return false;
+}
+
+void Document::Visit(NodeId id, const std::function<void(NodeId)>& fn) const {
+  fn(id);
+  for (NodeId c : nodes_[id].children) Visit(c, fn);
+}
+
+std::vector<NodeId> Document::PreOrder() const {
+  std::vector<NodeId> out;
+  if (empty()) return out;
+  out.reserve(nodes_.size());
+  Visit(root(), [&out](NodeId id) { out.push_back(id); });
+  return out;
+}
+
+int64_t Document::SubtreeByteSize(NodeId id) const {
+  int64_t bytes = 0;
+  Visit(id, [&](NodeId n) {
+    // tag twice (open/close), value, and ~5 bytes of markup framing.
+    bytes += 2 * static_cast<int64_t>(nodes_[n].tag.size()) +
+             static_cast<int64_t>(nodes_[n].value.size()) + 5;
+  });
+  return bytes;
+}
+
+bool Document::EqualTree(const Document& other) const {
+  if (empty() || other.empty()) return empty() == other.empty();
+  return SubtreeEqual(root(), other, other.root());
+}
+
+bool Document::SubtreeEqual(NodeId a, const Document& other, NodeId b) const {
+  const Node& na = node(a);
+  const Node& nb = other.node(b);
+  if (na.tag != nb.tag || na.value != nb.value ||
+      na.is_attribute != nb.is_attribute ||
+      na.children.size() != nb.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < na.children.size(); ++i) {
+    if (!SubtreeEqual(na.children[i], other, nb.children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace xcrypt

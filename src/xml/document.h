@@ -1,0 +1,109 @@
+#ifndef XCRYPT_XML_DOCUMENT_H_
+#define XCRYPT_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xcrypt {
+
+/// Index of a node inside its Document's arena.
+using NodeId = int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNullNode = -1;
+
+/// A node of the XML tree. Per the paper (§4.1 fn. 1) data values are
+/// attached only to leaf nodes; attributes are modelled as leaf children
+/// flagged is_attribute (the paper treats @coverage like a leaf child).
+struct Node {
+  std::string tag;                 ///< element tag or attribute name
+  std::string value;               ///< text content; meaningful for leaves
+  NodeId parent = kNullNode;       ///< kNullNode for the root
+  std::vector<NodeId> children;    ///< in document order
+  bool is_attribute = false;       ///< true for attribute nodes
+};
+
+/// An ordered, arena-backed XML tree.
+///
+/// Nodes are created through AddRoot/AddChild and addressed by NodeId.
+/// NodeIds are stable for the lifetime of the document (removal only
+/// detaches, it never reuses ids).
+class Document {
+ public:
+  Document() = default;
+
+  // Copyable (used to fork candidate databases in the security analysis)
+  // and movable.
+  Document(const Document&) = default;
+  Document& operator=(const Document&) = default;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  /// Creates the root element. Must be called exactly once, first.
+  NodeId AddRoot(std::string tag);
+
+  /// Appends an element child under `parent` and returns its id.
+  NodeId AddChild(NodeId parent, std::string tag);
+
+  /// Appends a leaf element child with a text value.
+  NodeId AddLeaf(NodeId parent, std::string tag, std::string value);
+
+  /// Appends an attribute node under `parent`.
+  NodeId AddAttribute(NodeId parent, std::string name, std::string value);
+
+  /// Detaches `node` from its parent. The node (and its subtree) remains in
+  /// the arena but is no longer reachable from the root.
+  Status Detach(NodeId node);
+
+  /// Deep-copies the subtree rooted at `src_root` in `src` under `parent`
+  /// in this document; returns the new subtree root.
+  NodeId GraftSubtree(const Document& src, NodeId src_root, NodeId parent);
+
+  bool empty() const { return nodes_.empty(); }
+  NodeId root() const { return nodes_.empty() ? kNullNode : 0; }
+  int32_t node_count() const { return static_cast<int32_t>(nodes_.size()); }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& node(NodeId id) { return nodes_[id]; }
+
+  bool IsLeaf(NodeId id) const { return nodes_[id].children.empty(); }
+
+  /// Number of nodes in the subtree rooted at `id` (including `id`).
+  int32_t SubtreeSize(NodeId id) const;
+
+  /// Depth of `id` (root is depth 0).
+  int32_t Depth(NodeId id) const;
+
+  /// Maximum depth over all reachable nodes.
+  int32_t Height() const;
+
+  /// True if `anc` is a proper ancestor of `desc`.
+  bool IsAncestor(NodeId anc, NodeId desc) const;
+
+  /// Pre-order visit of the subtree rooted at `id` (reachable nodes only).
+  void Visit(NodeId id, const std::function<void(NodeId)>& fn) const;
+
+  /// All reachable node ids in document (pre-)order.
+  std::vector<NodeId> PreOrder() const;
+
+  /// Serialized byte size of the subtree when shipped in plaintext: tag and
+  /// value lengths plus per-node framing. Used by the cost model.
+  int64_t SubtreeByteSize(NodeId id) const;
+
+  /// Structural + value equality of whole documents (ignores detached
+  /// nodes; compares reachable trees in document order).
+  bool EqualTree(const Document& other) const;
+
+ private:
+  bool SubtreeEqual(NodeId a, const Document& other, NodeId b) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_XML_DOCUMENT_H_

@@ -1,0 +1,287 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace xcrypt {
+
+namespace {
+
+/// Recursive-descent parser over a text buffer.
+class XmlReader {
+ public:
+  explicit XmlReader(const std::string& text) : text_(text) {}
+
+  Result<Document> Parse() {
+    Document doc;
+    SkipMisc();
+    XCRYPT_RETURN_NOT_OK(ParseElement(&doc, kNullNode));
+    SkipMisc();
+    if (pos_ != text_.size()) {
+      return Fail("trailing content after root element");
+    }
+    return doc;
+  }
+
+ private:
+  Status Fail(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool StartsWith(const char* s) const {
+    return text_.compare(pos_, strlen(s), s) == 0;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  /// Skips whitespace, comments, and processing instructions.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (StartsWith("<!--")) {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = (end == std::string::npos) ? text_.size() : end + 3;
+      } else if (StartsWith("<?")) {
+        size_t end = text_.find("?>", pos_ + 2);
+        pos_ = (end == std::string::npos) ? text_.size() : end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':' || c == '#';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Status::ParseError("expected name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<std::string> ParseText(char terminator) {
+    std::string out;
+    while (!AtEnd() && Peek() != terminator) {
+      char c = Peek();
+      if (c == '&') {
+        if (StartsWith("&amp;")) {
+          out.push_back('&');
+          pos_ += 5;
+        } else if (StartsWith("&lt;")) {
+          out.push_back('<');
+          pos_ += 4;
+        } else if (StartsWith("&gt;")) {
+          out.push_back('>');
+          pos_ += 4;
+        } else if (StartsWith("&quot;")) {
+          out.push_back('"');
+          pos_ += 6;
+        } else if (StartsWith("&apos;")) {
+          out.push_back('\'');
+          pos_ += 6;
+        } else {
+          return Status::ParseError("unknown entity");
+        }
+      } else {
+        out.push_back(c);
+        ++pos_;
+      }
+    }
+    return out;
+  }
+
+  Status ParseElement(Document* doc, NodeId parent) {
+    // Parsing is recursive; bound the element depth so hostile input
+    // cannot exhaust the stack (the client parses server responses).
+    if (++depth_ > kMaxDepth) {
+      return Status::ParseError("element nesting exceeds " +
+                                std::to_string(kMaxDepth));
+    }
+    const Status status = ParseElementImpl(doc, parent);
+    --depth_;
+    return status;
+  }
+
+  Status ParseElementImpl(Document* doc, NodeId parent) {
+    if (AtEnd() || Peek() != '<') return Fail("expected '<'");
+    ++pos_;
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+
+    NodeId self = (parent == kNullNode) ? doc->AddRoot(*name)
+                                        : doc->AddChild(parent, *name);
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated start tag");
+      if (Peek() == '/' || Peek() == '>') break;
+      auto attr = ParseName();
+      if (!attr.ok()) return attr.status();
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Fail("expected '=' in attribute");
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Fail("expected quoted attribute value");
+      }
+      const char quote = Peek();
+      ++pos_;
+      auto value = ParseText(quote);
+      if (!value.ok()) return value.status();
+      if (AtEnd()) return Fail("unterminated attribute value");
+      ++pos_;  // closing quote
+      doc->AddAttribute(self, *attr, *value);
+    }
+
+    if (Peek() == '/') {
+      ++pos_;
+      if (AtEnd() || Peek() != '>') return Fail("expected '>' after '/'");
+      ++pos_;
+      return Status::Ok();
+    }
+    ++pos_;  // '>'
+
+    // Content: either child elements or a single text value.
+    std::string text_content;
+    bool saw_child = false;
+    for (;;) {
+      SkipMisc();
+      if (AtEnd()) return Fail("unterminated element '" + *name + "'");
+      if (Peek() == '<') {
+        if (StartsWith("</")) break;
+        saw_child = true;
+        XCRYPT_RETURN_NOT_OK(ParseElement(doc, self));
+      } else {
+        auto text = ParseText('<');
+        if (!text.ok()) return text.status();
+        // Trim surrounding whitespace-only runs.
+        if (text->find_first_not_of(" \t\r\n") != std::string::npos) {
+          text_content += *text;
+        }
+      }
+    }
+    pos_ += 2;  // "</"
+    auto close = ParseName();
+    if (!close.ok()) return close.status();
+    if (*close != *name) {
+      return Fail("mismatched close tag '" + *close + "' for '" + *name +
+                  "'");
+    }
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '>') return Fail("expected '>' in close tag");
+    ++pos_;
+
+    (void)saw_child;
+    if (!text_content.empty()) {
+      // Limited mixed content: the concatenated text runs become the
+      // element's value alongside any children. The paper's data model has
+      // values only on leaves, but encryption decoys (§4.1) add a child to
+      // a valued leaf inside block payloads, which round-trips through
+      // here.
+      doc->node(self).value = std::move(text_content);
+    }
+    return Status::Ok();
+  }
+
+  static constexpr int kMaxDepth = 512;
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void SerializeNode(const Document& doc, NodeId id, int indent, int depth,
+                   std::string* out) {
+  const Node& n = doc.node(id);
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent) * depth, ' ') : "";
+  const char* nl = indent > 0 ? "\n" : "";
+
+  *out += pad;
+  *out += '<';
+  *out += n.tag;
+  // Attribute children first.
+  std::vector<NodeId> element_children;
+  for (NodeId c : n.children) {
+    if (doc.node(c).is_attribute) {
+      *out += ' ';
+      *out += doc.node(c).tag;
+      *out += "=\"";
+      *out += XmlEscape(doc.node(c).value);
+      *out += '"';
+    } else {
+      element_children.push_back(c);
+    }
+  }
+  if (element_children.empty() && n.value.empty()) {
+    *out += "/>";
+    *out += nl;
+    return;
+  }
+  *out += '>';
+  if (!n.value.empty()) {
+    *out += XmlEscape(n.value);
+  }
+  if (!element_children.empty()) {
+    *out += nl;
+    for (NodeId c : element_children) {
+      SerializeNode(doc, c, indent, depth + 1, out);
+    }
+    *out += pad;
+  }
+  *out += "</";
+  *out += n.tag;
+  *out += '>';
+  *out += nl;
+}
+
+}  // namespace
+
+Result<Document> ParseXml(const std::string& text) {
+  return XmlReader(text).Parse();
+}
+
+std::string SerializeXml(const Document& doc, NodeId root, int indent) {
+  std::string out;
+  if (!doc.empty()) SerializeNode(doc, root, indent, 0, &out);
+  return out;
+}
+
+std::string XmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace xcrypt

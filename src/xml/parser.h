@@ -1,0 +1,31 @@
+#ifndef XCRYPT_XML_PARSER_H_
+#define XCRYPT_XML_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// Parses an XML document from text.
+///
+/// Supported subset (sufficient for the corpora used in the paper's
+/// evaluation): elements, attributes, text content, `<?...?>` prolog,
+/// comments, and the five predefined entities. Mixed content is supported
+/// in a limited form: all text runs of an element concatenate into its
+/// single value (enough for encryption-decoy payloads, §4.1; the paper's
+/// data model itself keeps values on leaves, §4.1 fn. 1).
+Result<Document> ParseXml(const std::string& text);
+
+/// Serializes a document (or the subtree under `root`) to XML text.
+/// `indent` > 0 pretty-prints with that many spaces per level; 0 emits a
+/// compact single line (used for encryption payloads so sizes are stable).
+std::string SerializeXml(const Document& doc, NodeId root = 0, int indent = 0);
+
+/// Escapes the five predefined XML entities in `s`.
+std::string XmlEscape(const std::string& s);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_XML_PARSER_H_

@@ -1,0 +1,52 @@
+#include "xml/stats.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace xcrypt {
+
+int64_t ValueHistogram::TotalOccurrences() const {
+  int64_t total = 0;
+  for (const auto& [value, count] : counts) total += count;
+  return total;
+}
+
+bool ValueLess(const std::string& a, const std::string& b) {
+  char* end_a = nullptr;
+  char* end_b = nullptr;
+  const double da = std::strtod(a.c_str(), &end_a);
+  const double db = std::strtod(b.c_str(), &end_b);
+  const bool numeric_a = !a.empty() && end_a == a.c_str() + a.size();
+  const bool numeric_b = !b.empty() && end_b == b.c_str() + b.size();
+  if (numeric_a && numeric_b) {
+    if (da != db) return da < db;
+    return a < b;  // stable tie-break for distinct spellings
+  }
+  return a < b;
+}
+
+DocumentStats::DocumentStats(const Document& doc) {
+  if (doc.empty()) return;
+  height_ = doc.Height();
+  for (NodeId id : doc.PreOrder()) {
+    const Node& n = doc.node(id);
+    ++total_nodes_;
+    ++tag_counts_[n.tag];
+    if (doc.IsLeaf(id)) {
+      ++leaf_nodes_;
+      if (!n.value.empty()) {
+        auto& hist = value_histograms_[n.tag];
+        hist.tag = n.tag;
+        ++hist.counts[n.value];
+      }
+    }
+  }
+}
+
+const ValueHistogram* DocumentStats::HistogramFor(
+    const std::string& tag) const {
+  auto it = value_histograms_.find(tag);
+  return it == value_histograms_.end() ? nullptr : &it->second;
+}
+
+}  // namespace xcrypt

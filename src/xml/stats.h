@@ -1,0 +1,66 @@
+#ifndef XCRYPT_XML_STATS_H_
+#define XCRYPT_XML_STATS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// Occurrence frequency of each distinct value of one attribute/leaf tag,
+/// ordered by value. This is exactly the attacker's background knowledge in
+/// the paper's frequency-based attack model (§3.3): "the attacker may know
+/// both the domain values and their exact occurrence frequencies".
+struct ValueHistogram {
+  std::string tag;
+  /// value -> occurrence count, ordered by value (numeric order when every
+  /// value parses as a number — see ValueLess).
+  std::map<std::string, int64_t> counts;
+
+  int64_t TotalOccurrences() const;
+  int DistinctValues() const { return static_cast<int>(counts.size()); }
+};
+
+/// Orders two value strings numerically when both parse as finite doubles,
+/// lexicographically otherwise (the paper uses alphabetical ordering for
+/// categorical domains, §5.2.1).
+bool ValueLess(const std::string& a, const std::string& b);
+
+/// Aggregate statistics of a document used by the security analysis, the
+/// OPESS builder, and the experiment reports.
+class DocumentStats {
+ public:
+  /// Scans the reachable tree of `doc`.
+  explicit DocumentStats(const Document& doc);
+
+  /// Histogram of leaf/attribute values grouped by tag. Only leaves carry
+  /// values (paper data model).
+  const std::map<std::string, ValueHistogram>& value_histograms() const {
+    return value_histograms_;
+  }
+
+  /// Histogram for one tag; nullptr if the tag never carries a value.
+  const ValueHistogram* HistogramFor(const std::string& tag) const;
+
+  /// tag -> number of element/attribute nodes with that tag.
+  const std::map<std::string, int64_t>& tag_counts() const {
+    return tag_counts_;
+  }
+
+  int64_t total_nodes() const { return total_nodes_; }
+  int64_t leaf_nodes() const { return leaf_nodes_; }
+  int32_t height() const { return height_; }
+
+ private:
+  std::map<std::string, ValueHistogram> value_histograms_;
+  std::map<std::string, int64_t> tag_counts_;
+  int64_t total_nodes_ = 0;
+  int64_t leaf_nodes_ = 0;
+  int32_t height_ = 0;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_XML_STATS_H_

@@ -1,0 +1,67 @@
+#include "xpath/ast.h"
+
+namespace xcrypt {
+
+const char* CompOpSymbol(CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return "=";
+    case CompOp::kNe:
+      return "!=";
+    case CompOp::kLt:
+      return "<";
+    case CompOp::kGt:
+      return ">";
+    case CompOp::kLe:
+      return "<=";
+    case CompOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string PathExpr::ToString() const {
+  std::string out;
+  for (const Step& step : steps) {
+    out += (step.axis == Axis::kDescendant) ? "//" : "/";
+    if (step.is_attribute) out += '@';
+    out += step.tag;
+    for (const Predicate& pred : step.predicates) out += pred.ToString();
+  }
+  return out;
+}
+
+bool PathExpr::HasPrefix(const PathExpr& prefix) const {
+  if (prefix.steps.size() > steps.size()) return false;
+  for (size_t i = 0; i < prefix.steps.size(); ++i) {
+    const Step& a = steps[i];
+    const Step& b = prefix.steps[i];
+    if (a.axis != b.axis || a.is_attribute != b.is_attribute ||
+        a.tag != b.tag) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Predicate::ToString() const {
+  std::string out = "[";
+  // Relative predicate paths render without the leading '/' for child-axis
+  // first steps (XPath abbreviated syntax), e.g. [pname='Betty'].
+  std::string body = path.ToString();
+  if (!path.steps.empty() && path.steps.front().axis == Axis::kChild &&
+      !body.empty() && body.front() == '/') {
+    body.erase(body.begin());
+  }
+  out += body;
+  if (op.has_value()) {
+    out += CompOpSymbol(*op);
+    out += '\'';
+    out += literal;
+    out += '\'';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace xcrypt

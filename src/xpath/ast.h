@@ -1,0 +1,63 @@
+#ifndef XCRYPT_XPATH_AST_H_
+#define XCRYPT_XPATH_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xcrypt {
+
+/// Navigation axis of a location step.
+enum class Axis {
+  kChild,       ///< `/tag`
+  kDescendant,  ///< `//tag` (descendant-or-self for the match target)
+};
+
+/// Comparison operator in a value predicate.
+enum class CompOp { kEq, kNe, kLt, kGt, kLe, kGe };
+
+const char* CompOpSymbol(CompOp op);
+
+struct Predicate;
+
+/// One location step: axis, node test (tag or `*`, optionally an attribute
+/// test `@name`), and zero or more predicates.
+struct Step {
+  Axis axis = Axis::kChild;
+  bool is_attribute = false;
+  std::string tag;  ///< "*" matches any tag
+  std::vector<Predicate> predicates;
+};
+
+/// A location path: a sequence of steps. Whether the path is evaluated from
+/// the document root or from a context node is decided by the caller
+/// (top-level queries are absolute; predicate paths are relative).
+struct PathExpr {
+  std::vector<Step> steps;
+
+  bool empty() const { return steps.empty(); }
+
+  /// Serializes back to XPath syntax.
+  std::string ToString() const;
+
+  /// True if `prefix`'s steps match the beginning of this path (same axis,
+  /// attribute flag, and tag, ignoring predicates). Used for the paper's
+  /// "query captured by a security constraint" check (§3.2).
+  bool HasPrefix(const PathExpr& prefix) const;
+};
+
+/// A step predicate `[path]` or `[path op literal]`.
+///
+/// `[pname='Betty']` parses as a relative path of one child step plus
+/// op = kEq, literal = "Betty".
+struct Predicate {
+  PathExpr path;
+  std::optional<CompOp> op;
+  std::string literal;
+
+  std::string ToString() const;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_XPATH_AST_H_

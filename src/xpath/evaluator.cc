@@ -1,0 +1,122 @@
+#include "xpath/evaluator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace xcrypt {
+
+bool CompareValues(const std::string& value, CompOp op,
+                   const std::string& literal) {
+  char* end_v = nullptr;
+  char* end_l = nullptr;
+  const double dv = std::strtod(value.c_str(), &end_v);
+  const double dl = std::strtod(literal.c_str(), &end_l);
+  const bool numeric = !value.empty() && !literal.empty() &&
+                       end_v == value.c_str() + value.size() &&
+                       end_l == literal.c_str() + literal.size();
+  int cmp;
+  if (numeric) {
+    cmp = (dv < dl) ? -1 : (dv > dl) ? 1 : 0;
+  } else {
+    cmp = value.compare(literal);
+    cmp = (cmp < 0) ? -1 : (cmp > 0) ? 1 : 0;
+  }
+  switch (op) {
+    case CompOp::kEq:
+      return cmp == 0;
+    case CompOp::kNe:
+      return cmp != 0;
+    case CompOp::kLt:
+      return cmp < 0;
+    case CompOp::kGt:
+      return cmp > 0;
+    case CompOp::kLe:
+      return cmp <= 0;
+    case CompOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+std::vector<NodeId> XPathEvaluator::Evaluate(const PathExpr& path) const {
+  if (doc_.empty() || path.empty()) return {};
+  // Start from a virtual document node whose only child is the root, so
+  // that `/root_tag` selects the root itself.
+  std::vector<NodeId> context = {kNullNode};
+  bool virtual_root = true;
+  for (const Step& step : path.steps) {
+    context = ApplyStep(context, step, virtual_root);
+    virtual_root = false;
+    if (context.empty()) return {};
+  }
+  std::sort(context.begin(), context.end());
+  context.erase(std::unique(context.begin(), context.end()), context.end());
+  return context;
+}
+
+std::vector<NodeId> XPathEvaluator::EvaluateFrom(NodeId context,
+                                                 const PathExpr& path) const {
+  std::vector<NodeId> nodes = {context};
+  for (const Step& step : path.steps) {
+    nodes = ApplyStep(nodes, step, /*context_is_virtual_root=*/false);
+    if (nodes.empty()) return {};
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+bool XPathEvaluator::PredicateHolds(NodeId context,
+                                    const Predicate& pred) const {
+  const std::vector<NodeId> bound = EvaluateFrom(context, pred.path);
+  if (!pred.op.has_value()) return !bound.empty();
+  for (NodeId id : bound) {
+    if (CompareValues(doc_.node(id).value, *pred.op, pred.literal)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> XPathEvaluator::ApplyStep(
+    const std::vector<NodeId>& context, const Step& step,
+    bool context_is_virtual_root) const {
+  std::vector<NodeId> out;
+  auto consider = [&](NodeId candidate) {
+    if (!NodeTestMatches(candidate, step)) return;
+    for (const Predicate& pred : step.predicates) {
+      if (!PredicateHolds(candidate, pred)) return;
+    }
+    out.push_back(candidate);
+  };
+
+  for (NodeId ctx : context) {
+    if (context_is_virtual_root) {
+      if (step.axis == Axis::kChild) {
+        // Children of the virtual document node: just the root element.
+        consider(doc_.root());
+      } else {
+        // Descendants of the virtual document node: every node.
+        doc_.Visit(doc_.root(), consider);
+      }
+      continue;
+    }
+    if (step.axis == Axis::kChild) {
+      for (NodeId c : doc_.node(ctx).children) consider(c);
+    } else {
+      // Proper descendants.
+      for (NodeId c : doc_.node(ctx).children) doc_.Visit(c, consider);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool XPathEvaluator::NodeTestMatches(NodeId id, const Step& step) const {
+  const Node& n = doc_.node(id);
+  if (step.is_attribute != n.is_attribute) return false;
+  return step.tag == "*" || step.tag == n.tag;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,51 @@
+#ifndef XCRYPT_XPATH_EVALUATOR_H_
+#define XCRYPT_XPATH_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xcrypt {
+
+/// Compares a node's text value against a literal under `op`. The comparison
+/// is numeric when both sides parse as numbers, lexicographic otherwise
+/// (mirrors ValueLess in xml/stats.h).
+bool CompareValues(const std::string& value, CompOp op,
+                   const std::string& literal);
+
+/// Tree-walking XPath evaluator over the plaintext document model.
+///
+/// This is the reference engine: it computes ground-truth answers for
+/// integration tests, runs the client's post-processing step (§6.4, applying
+/// the original query Q to decrypted blocks), and evaluates security
+/// constraints' binding sets during encryption-scheme construction (§4.1).
+class XPathEvaluator {
+ public:
+  explicit XPathEvaluator(const Document& doc) : doc_(doc) {}
+
+  /// Evaluates an absolute path from the document root. `/a` matches the
+  /// root element when its tag is `a`; `//a` matches any element. Results
+  /// are deduplicated and in document order.
+  std::vector<NodeId> Evaluate(const PathExpr& path) const;
+
+  /// Evaluates a relative path from a context node (used for predicates
+  /// and for the q1/q2 legs of association constraints).
+  std::vector<NodeId> EvaluateFrom(NodeId context, const PathExpr& path) const;
+
+  /// True if the predicate holds at `context`.
+  bool PredicateHolds(NodeId context, const Predicate& pred) const;
+
+ private:
+  std::vector<NodeId> ApplyStep(const std::vector<NodeId>& context,
+                                const Step& step, bool context_is_virtual_root
+                                ) const;
+  bool NodeTestMatches(NodeId id, const Step& step) const;
+
+  const Document& doc_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_XPATH_EVALUATOR_H_

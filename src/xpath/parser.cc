@@ -1,0 +1,186 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+
+namespace xcrypt {
+
+namespace {
+
+class XPathReader {
+ public:
+  explicit XPathReader(const std::string& text) : text_(text) {}
+
+  Result<PathExpr> ParseTopLevel() {
+    auto path = ParsePath(/*allow_relative_start=*/false);
+    if (!path.ok()) return path;
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return path;
+  }
+
+  Result<PathExpr> ParseRelative() {
+    if (StartsWith(".")) ++pos_;
+    auto path = ParsePath(/*allow_relative_start=*/true);
+    if (!path.ok()) return path;
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return path;
+  }
+
+ private:
+  Status Fail(const std::string& msg) const {
+    return Status::ParseError("XPath: " + msg + " at offset " +
+                              std::to_string(pos_) + " in '" + text_ + "'");
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool StartsWith(const char* s) const {
+    return text_.compare(pos_, std::char_traits<char>::length(s), s) == 0;
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == '#';
+  }
+
+  Result<PathExpr> ParsePath(bool allow_relative_start) {
+    PathExpr path;
+    bool first = true;
+    while (!AtEnd() && (Peek() == '/' || Peek() == '@' ||
+                        (first && allow_relative_start &&
+                         (IsNameChar(Peek()) || Peek() == '*')))) {
+      Axis axis = Axis::kChild;
+      if (Peek() == '/') {
+        ++pos_;
+        if (!AtEnd() && Peek() == '/') {
+          axis = Axis::kDescendant;
+          ++pos_;
+        }
+      } else if (!first) {
+        break;
+      }
+      auto step = ParseStep(axis);
+      if (!step.ok()) return step.status();
+      path.steps.push_back(std::move(*step));
+      first = false;
+    }
+    if (path.steps.empty()) return Fail("expected a location step");
+    return path;
+  }
+
+  Result<Step> ParseStep(Axis axis) {
+    Step step;
+    step.axis = axis;
+    if (!AtEnd() && Peek() == '@') {
+      step.is_attribute = true;
+      ++pos_;
+    }
+    if (AtEnd()) return Status::ParseError("XPath: expected node test");
+    if (Peek() == '*') {
+      step.tag = "*";
+      ++pos_;
+    } else {
+      size_t start = pos_;
+      while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+      if (pos_ == start) return Fail("expected tag name");
+      step.tag = text_.substr(start, pos_ - start);
+    }
+    while (!AtEnd() && Peek() == '[') {
+      auto pred = ParsePredicate();
+      if (!pred.ok()) return pred.status();
+      step.predicates.push_back(std::move(*pred));
+    }
+    return step;
+  }
+
+  Result<Predicate> ParsePredicate() {
+    ++pos_;  // '['
+    Predicate pred;
+    SkipSpace();
+    if (!AtEnd() && Peek() == '.') ++pos_;  // ".//" context marker
+    auto path = ParsePath(/*allow_relative_start=*/true);
+    if (!path.ok()) return path.status();
+    pred.path = std::move(*path);
+    SkipSpace();
+    if (!AtEnd() && Peek() != ']') {
+      auto op = ParseOp();
+      if (!op.ok()) return op.status();
+      pred.op = *op;
+      SkipSpace();
+      auto lit = ParseLiteral();
+      if (!lit.ok()) return lit.status();
+      pred.literal = std::move(*lit);
+      SkipSpace();
+    }
+    if (AtEnd() || Peek() != ']') return Fail("expected ']'");
+    ++pos_;
+    return pred;
+  }
+
+  Result<CompOp> ParseOp() {
+    if (StartsWith("!=")) {
+      pos_ += 2;
+      return CompOp::kNe;
+    }
+    if (StartsWith("<=")) {
+      pos_ += 2;
+      return CompOp::kLe;
+    }
+    if (StartsWith(">=")) {
+      pos_ += 2;
+      return CompOp::kGe;
+    }
+    if (StartsWith("=")) {
+      ++pos_;
+      return CompOp::kEq;
+    }
+    if (StartsWith("<")) {
+      ++pos_;
+      return CompOp::kLt;
+    }
+    if (StartsWith(">")) {
+      ++pos_;
+      return CompOp::kGt;
+    }
+    return Fail("expected comparison operator");
+  }
+
+  Result<std::string> ParseLiteral() {
+    if (AtEnd()) return Fail("expected literal");
+    if (Peek() == '\'' || Peek() == '"') {
+      const char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Fail("unterminated string literal");
+      std::string out = text_.substr(start, pos_ - start);
+      ++pos_;
+      return out;
+    }
+    // Bare word / number literal (the paper writes [pname=Betty]).
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Fail("expected literal");
+    return text_.substr(start, pos_ - start);
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PathExpr> ParseXPath(const std::string& text) {
+  return XPathReader(text).ParseTopLevel();
+}
+
+Result<PathExpr> ParseRelativePath(const std::string& text) {
+  return XPathReader(text).ParseRelative();
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,31 @@
+#ifndef XCRYPT_XPATH_PARSER_H_
+#define XCRYPT_XPATH_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xcrypt {
+
+/// Parses the XPath subset used throughout the paper:
+///
+///   path      := ('/' | '//') step (('/' | '//') step)*
+///   step      := '@'? (NAME | '*') predicate*
+///   predicate := '[' relpath (op literal)? ']'
+///   relpath   := '.'? path | step (('/' | '//') step)*
+///   op        := '=' | '!=' | '<' | '>' | '<=' | '>='
+///   literal   := 'quoted' | "quoted" | bare-word-or-number
+///
+/// Examples from the paper: `//insurance`,
+/// `//patient[pname='Betty'][.//disease='diarrhea']`,
+/// `//patient[.//insurance/@coverage>='10000']//SSN`.
+Result<PathExpr> ParseXPath(const std::string& text);
+
+/// Parses a relative path as used inside security constraints, e.g.
+/// `/pname` or `//disease` (leading '/' meaning child-of-context).
+Result<PathExpr> ParseRelativePath(const std::string& text);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_XPATH_PARSER_H_

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "das/das_system.h"
+#include "data/healthcare.h"
+#include "data/xmark_generator.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+class AggregateTest : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  AggregateTest() : doc_(BuildHospital(40, 606)) {
+    auto das = DasSystem::Host(doc_, HealthcareConstraints(), GetParam(),
+                               "agg-secret");
+    EXPECT_TRUE(das.ok());
+    das_ = std::make_unique<DasSystem>(std::move(*das));
+  }
+
+  void ExpectMatches(const std::string& xpath, AggregateKind kind) {
+    auto path = ParseXPath(xpath);
+    ASSERT_TRUE(path.ok()) << xpath;
+    auto run = das_->ExecuteAggregate(*path, kind);
+    ASSERT_TRUE(run.ok()) << xpath << ": " << run.status().ToString();
+    const AggregateAnswer truth = GroundTruthAggregate(doc_, *path, kind);
+    switch (kind) {
+      case AggregateKind::kMin:
+      case AggregateKind::kMax:
+        EXPECT_EQ(run->answer.value, truth.value)
+            << AggregateKindName(kind) << " " << xpath;
+        break;
+      case AggregateKind::kCount:
+        EXPECT_EQ(run->answer.count, truth.count)
+            << AggregateKindName(kind) << " " << xpath;
+        break;
+      case AggregateKind::kSum:
+        EXPECT_NEAR(run->answer.numeric, truth.numeric,
+                    1e-6 * std::max(1.0, std::abs(truth.numeric)))
+            << AggregateKindName(kind) << " " << xpath;
+        break;
+    }
+  }
+
+  Document doc_;
+  std::unique_ptr<DasSystem> das_;
+};
+
+TEST_P(AggregateTest, MinMaxOverEncryptedValues) {
+  // disease and pname are encrypted under opt/app; everything is under
+  // sub/top.
+  ExpectMatches("//disease", AggregateKind::kMin);
+  ExpectMatches("//disease", AggregateKind::kMax);
+  ExpectMatches("//pname", AggregateKind::kMin);
+  ExpectMatches("//pname", AggregateKind::kMax);
+  ExpectMatches("//insurance/policy#", AggregateKind::kMin);
+  ExpectMatches("//insurance/policy#", AggregateKind::kMax);
+}
+
+TEST_P(AggregateTest, MinMaxOverPublicValues) {
+  ExpectMatches("//patient/age", AggregateKind::kMin);
+  ExpectMatches("//patient/age", AggregateKind::kMax);
+  ExpectMatches("//SSN", AggregateKind::kMax);
+}
+
+TEST_P(AggregateTest, CountAndSum) {
+  ExpectMatches("//disease", AggregateKind::kCount);
+  ExpectMatches("//patient/age", AggregateKind::kCount);
+  ExpectMatches("//patient/age", AggregateKind::kSum);
+  ExpectMatches("//insurance/policy#", AggregateKind::kCount);
+  ExpectMatches("//insurance/policy#", AggregateKind::kSum);
+}
+
+TEST_P(AggregateTest, AggregatesUnderPredicates) {
+  ExpectMatches("//patient[.//disease='diarrhea']/age", AggregateKind::kMax);
+  ExpectMatches("//patient[.//disease='diarrhea']//policy#",
+                AggregateKind::kCount);
+  ExpectMatches("//treat[doctor='Smith']/disease", AggregateKind::kMin);
+}
+
+TEST_P(AggregateTest, EmptyTargetSet) {
+  auto path = ParseXPath("//patient[pname='Zzz']//disease");
+  ASSERT_TRUE(path.ok());
+  auto count = das_->ExecuteAggregate(*path, AggregateKind::kCount);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count->answer.count, 0);
+  auto min = das_->ExecuteAggregate(*path, AggregateKind::kMin);
+  ASSERT_TRUE(min.ok());
+  EXPECT_TRUE(min->answer.value.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, AggregateTest,
+    ::testing::Values(SchemeKind::kOptimal, SchemeKind::kApproximate,
+                      SchemeKind::kSub, SchemeKind::kTop),
+    [](const ::testing::TestParamInfo<SchemeKind>& info) {
+      return std::string(SchemeKindName(info.param));
+    });
+
+TEST(AggregateCostTest, MinDecryptsAtMostOneBlockUnderOpt) {
+  // §6.4's headline: MIN/MAX need no bulk decryption. Under the optimal
+  // scheme the server identifies the extreme block from ciphertext order.
+  const Document doc = BuildHospital(40, 606);
+  auto das = DasSystem::Host(doc, HealthcareConstraints(),
+                             SchemeKind::kOptimal, "agg-secret");
+  ASSERT_TRUE(das.ok());
+  auto run = das->ExecuteAggregate("//disease", AggregateKind::kMin);
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(run->costs.blocks_shipped, 1);
+
+  // COUNT over the same encrypted tag must ship many blocks.
+  auto count = das->ExecuteAggregate("//disease", AggregateKind::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_GT(count->costs.blocks_shipped, 1);
+}
+
+TEST(AggregateCostTest, PublicAggregatesShipNothing) {
+  const Document doc = BuildHospital(40, 606);
+  auto das = DasSystem::Host(doc, HealthcareConstraints(),
+                             SchemeKind::kOptimal, "agg-secret");
+  ASSERT_TRUE(das.ok());
+  auto run = das->ExecuteAggregate("//patient/age", AggregateKind::kSum);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->answer.computed_on_server);
+  EXPECT_EQ(run->costs.blocks_shipped, 0);
+  EXPECT_EQ(run->costs.decrypt_us, 0.0);
+}
+
+TEST(AggregateCostTest, UnsupportedOnIndexlessEncryptedTag) {
+  const Document doc = BuildHealthcareSample();
+  auto das = DasSystem::Host(doc, HealthcareConstraints(),
+                             SchemeKind::kOptimal, "agg-secret");
+  ASSERT_TRUE(das.ok());
+  // `insurance` is encrypted (node-type SC) and is not a leaf value tag.
+  auto run = das->ExecuteAggregate("//insurance", AggregateKind::kCount);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace xcrypt

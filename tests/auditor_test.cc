@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "data/healthcare.h"
+#include "security/auditor.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+class AuditorTest : public ::testing::Test {
+ protected:
+  AuditorTest() : auditor_(HealthcareConstraints()) {
+    auto client = Client::Host(BuildHospital(40, 12),
+                               HealthcareConstraints(), SchemeKind::kOptimal,
+                               "auditor-secret");
+    EXPECT_TRUE(client.ok());
+    client_ = std::make_unique<Client>(std::move(*client));
+    auditor_.Calibrate(*client_);
+  }
+
+  PathExpr Parse(const std::string& text) {
+    auto query = ParseXPath(text);
+    EXPECT_TRUE(query.ok()) << text;
+    return *query;
+  }
+
+  SessionAuditor auditor_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(AuditorTest, DetectsCapturedAssociationQueries) {
+  // SC3 = //patient:(/pname, //disease); index 2 in HealthcareConstraints.
+  const auto capturing = auditor_.Observe(
+      Parse("//patient[pname='Betty'][.//disease='diarrhea']"));
+  EXPECT_EQ(capturing, std::vector<int>{2});
+}
+
+TEST_F(AuditorTest, DetectsNodeTypeCapture) {
+  const auto capturing = auditor_.Observe(Parse("//insurance/policy#"));
+  EXPECT_EQ(capturing, std::vector<int>{0});  // SC1 = //insurance
+}
+
+TEST_F(AuditorTest, IgnoresUncapturedQueries) {
+  EXPECT_TRUE(auditor_.Observe(Parse("//patient/age")).empty());
+  EXPECT_TRUE(auditor_.Observe(Parse("//patient[pname='Betty']")).empty());
+}
+
+TEST_F(AuditorTest, BeliefStaysNonIncreasingAcrossSession) {
+  for (int i = 0; i < 10; ++i) {
+    auditor_.Observe(
+        Parse("//patient[pname='Betty'][.//disease='diarrhea']"));
+    auditor_.Observe(Parse("//patient[pname='Matt'][SSN='276543']"));
+    auditor_.Observe(Parse("//insurance"));
+    auditor_.Observe(Parse("//patient//SSN"));
+  }
+  const auto report = auditor_.Report();
+  ASSERT_EQ(report.size(), 4u);
+  for (const auto& row : report) {
+    EXPECT_TRUE(row.non_increasing) << row.constraint;
+    EXPECT_EQ(row.observed_queries, 40);
+    if (row.is_association) {
+      EXPECT_LE(row.posterior_belief, row.prior_belief + 1e-15)
+          << row.constraint;
+    }
+  }
+  // SC3 captured 10, SC2 captured 10, SC1 captured 10, SC4 none.
+  EXPECT_EQ(report[0].captured_queries, 10);  // //insurance
+  EXPECT_EQ(report[1].captured_queries, 10);  // pname/SSN association
+  EXPECT_EQ(report[2].captured_queries, 10);  // pname/disease association
+  EXPECT_EQ(report[3].captured_queries, 0);   // disease/doctor association
+}
+
+TEST_F(AuditorTest, CalibrationUsesIndexCardinalities) {
+  auditor_.Observe(
+      Parse("//patient[pname='Betty'][.//disease='diarrhea']"));
+  const auto report = auditor_.Report();
+  const auto& sc3 = report[2];
+  ASSERT_TRUE(sc3.is_association);
+  // Prior 1/k for k distinct pnames in the corpus; posterior much lower.
+  EXPECT_GT(sc3.prior_belief, 0.0);
+  EXPECT_LT(sc3.posterior_belief, sc3.prior_belief);
+}
+
+TEST(AuditorStandaloneTest, UncalibratedAssociationStaysFlat) {
+  SessionAuditor auditor(HealthcareConstraints());
+  auto query =
+      ParseXPath("//patient[pname='Betty'][.//disease='diarrhea']");
+  ASSERT_TRUE(query.ok());
+  auditor.Observe(*query);
+  const auto report = auditor.Report();
+  EXPECT_EQ(report[2].captured_queries, 1);
+  EXPECT_TRUE(report[2].non_increasing);
+}
+
+}  // namespace
+}  // namespace xcrypt

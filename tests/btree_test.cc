@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "index/btree.h"
+
+namespace xcrypt {
+namespace {
+
+std::vector<BTreeEntry> ReferenceRange(
+    const std::vector<BTreeEntry>& all, int64_t lo, int64_t hi) {
+  std::vector<BTreeEntry> out;
+  for (const BTreeEntry& e : all) {
+    if (e.key >= lo && e.key <= hi) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BTreeEntry& a, const BTreeEntry& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+void ExpectSameEntries(std::vector<BTreeEntry> a, std::vector<BTreeEntry> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.RangeScan(INT64_MIN, INT64_MAX).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, SingleInsertAndScan) {
+  BPlusTree tree;
+  tree.Insert(42, 7);
+  ASSERT_EQ(tree.size(), 1);
+  const auto hits = tree.RangeScan(42, 42);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].key, 42);
+  EXPECT_EQ(hits[0].block_id, 7);
+  EXPECT_TRUE(tree.RangeScan(43, 100).empty());
+  EXPECT_TRUE(tree.RangeScan(0, 41).empty());
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllKept) {
+  BPlusTree tree(4);  // tiny order forces splits
+  for (int i = 0; i < 50; ++i) tree.Insert(5, i);
+  EXPECT_EQ(tree.size(), 50);
+  EXPECT_EQ(tree.RangeScan(5, 5).size(), 50u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, ScanBoundsInclusive) {
+  BPlusTree tree;
+  for (int64_t k = 0; k < 100; k += 10) tree.Insert(k, 0);
+  EXPECT_EQ(tree.RangeScan(10, 30).size(), 3u);
+  EXPECT_EQ(tree.RangeScan(11, 29).size(), 1u);
+  EXPECT_EQ(tree.ScanLess(30, true).size(), 4u);
+  EXPECT_EQ(tree.ScanLess(30, false).size(), 3u);
+  EXPECT_EQ(tree.ScanGreater(70, true).size(), 3u);
+  EXPECT_EQ(tree.ScanGreater(70, false).size(), 2u);
+}
+
+TEST(BPlusTreeTest, KeyHistogram) {
+  BPlusTree tree;
+  tree.Insert(1, 0);
+  tree.Insert(1, 1);
+  tree.Insert(2, 0);
+  tree.Insert(5, 0);
+  tree.Insert(5, 0);
+  tree.Insert(5, 2);
+  const auto hist = tree.KeyHistogram();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], std::make_pair(int64_t{1}, int64_t{2}));
+  EXPECT_EQ(hist[1], std::make_pair(int64_t{2}, int64_t{1}));
+  EXPECT_EQ(hist[2], std::make_pair(int64_t{5}, int64_t{3}));
+}
+
+TEST(BPlusTreeTest, BulkLoadMatchesInserts) {
+  Rng rng(3);
+  std::vector<BTreeEntry> entries;
+  for (int i = 0; i < 500; ++i) {
+    entries.push_back({rng.UniformI64(-100, 100), static_cast<int32_t>(i)});
+  }
+  BPlusTree loaded(8);
+  loaded.BulkLoad(entries);
+  EXPECT_EQ(loaded.size(), 500);
+  EXPECT_TRUE(loaded.CheckInvariants());
+
+  BPlusTree inserted(8);
+  for (const auto& e : entries) inserted.Insert(e.key, e.block_id);
+  ExpectSameEntries(loaded.RangeScan(INT64_MIN, INT64_MAX),
+                    inserted.RangeScan(INT64_MIN, INT64_MAX));
+}
+
+TEST(BPlusTreeTest, MoveSemantics) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 100; ++i) tree.Insert(i, i);
+  BPlusTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 100);
+  EXPECT_EQ(moved.RangeScan(10, 19).size(), 10u);
+}
+
+TEST(BPlusTreeTest, HeightGrowsLogarithmically) {
+  BPlusTree tree(8);
+  for (int i = 0; i < 4096; ++i) tree.Insert(i, 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_GE(tree.height(), 3);
+  EXPECT_LE(tree.height(), 8);
+  EXPECT_GT(tree.node_count(), 512);
+  EXPECT_GT(tree.ByteSize(), 4096 * 12);
+}
+
+struct FuzzParam {
+  uint64_t seed;
+  int order;
+  int n;
+  int64_t key_span;
+};
+
+class BTreeFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(BTreeFuzzTest, RandomWorkloadMatchesReference) {
+  const FuzzParam p = GetParam();
+  Rng rng(p.seed);
+  BPlusTree tree(p.order);
+  std::vector<BTreeEntry> reference;
+  for (int i = 0; i < p.n; ++i) {
+    const int64_t key = rng.UniformI64(-p.key_span, p.key_span);
+    const int32_t block = static_cast<int32_t>(rng.UniformU64(0, 31));
+    tree.Insert(key, block);
+    reference.push_back({key, block});
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.size(), p.n);
+
+  // Full scan.
+  ExpectSameEntries(tree.RangeScan(INT64_MIN, INT64_MAX), reference);
+
+  // 50 random range scans.
+  for (int t = 0; t < 50; ++t) {
+    int64_t lo = rng.UniformI64(-p.key_span - 5, p.key_span + 5);
+    int64_t hi = rng.UniformI64(-p.key_span - 5, p.key_span + 5);
+    if (lo > hi) std::swap(lo, hi);
+    const auto got = tree.RangeScan(lo, hi);
+    const auto want = ReferenceRange(reference, lo, hi);
+    ASSERT_EQ(got.size(), want.size()) << "[" << lo << "," << hi << "]";
+    // Keys must come back sorted.
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_LE(got[i - 1].key, got[i].key);
+    }
+    ExpectSameEntries(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreeFuzzTest,
+    ::testing::Values(FuzzParam{1, 3, 200, 50},    // minimum order, dense dups
+                      FuzzParam{2, 4, 500, 1000},  // small order
+                      FuzzParam{3, 8, 1000, 20},   // heavy duplicates
+                      FuzzParam{4, 64, 2000, 100000},
+                      FuzzParam{5, 5, 64, 8},
+                      FuzzParam{6, 16, 3000, 3}));  // almost all duplicates
+
+}  // namespace
+}  // namespace xcrypt

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/bigint.h"
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace xcrypt {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformU64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, DistinctSortedDoubles) {
+  Rng rng(11);
+  const auto v = rng.DistinctSortedDoubles(16, 0.0, 0.5);
+  ASSERT_EQ(v.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  std::set<double> uniq(v.begin(), v.end());
+  EXPECT_EQ(uniq.size(), 16u);
+  for (double d : v) {
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 0.5);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(13);
+  int low = 0;
+  const int n = 10;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.Zipf(n, 1.2) == 0) ++low;
+  }
+  // Rank 0 should dominate a uniform share by a wide margin.
+  EXPECT_GT(low, 2000 / n * 2);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(17);
+  const auto p = rng.Permutation(50);
+  std::set<int> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes b = {0x00, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  const std::string hex = HexEncode(b);
+  EXPECT_EQ(hex, "00deadbeefff");
+  auto back = HexDecode(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, b);
+}
+
+TEST(BytesTest, HexDecodeRejectsBadInput) {
+  EXPECT_FALSE(HexDecode("abc").ok());   // odd length
+  EXPECT_FALSE(HexDecode("zz").ok());    // non-hex
+  EXPECT_TRUE(HexDecode("").ok());       // empty is fine
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  const std::string s = "hello\0world";
+  EXPECT_EQ(FromBytes(ToBytes(s)), s);
+}
+
+TEST(BytesTest, XorInPlace) {
+  Bytes a = {0xff, 0x00, 0xaa};
+  const Bytes b = {0x0f, 0xf0, 0xaa};
+  XorInPlace(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0x00}));
+}
+
+TEST(BigUIntTest, ZeroAndSmall) {
+  EXPECT_TRUE(BigUInt().IsZero());
+  EXPECT_EQ(BigUInt(0).ToString(), "0");
+  EXPECT_EQ(BigUInt(12345).ToString(), "12345");
+  EXPECT_EQ(BigUInt(UINT64_MAX).ToString(), "18446744073709551615");
+}
+
+TEST(BigUIntTest, Factorial) {
+  EXPECT_EQ(BigUInt::Factorial(0).ToString(), "1");
+  EXPECT_EQ(BigUInt::Factorial(5).ToString(), "120");
+  EXPECT_EQ(BigUInt::Factorial(20).ToString(), "2432902008176640000");
+  // 25! overflows 64 bits.
+  EXPECT_EQ(BigUInt::Factorial(25).ToString(), "15511210043330985984000000");
+}
+
+TEST(BigUIntTest, Binomial) {
+  EXPECT_EQ(BigUInt::Binomial(10, 3).ToU64Saturated(), 120u);
+  EXPECT_EQ(BigUInt::Binomial(10, 0).ToU64Saturated(), 1u);
+  EXPECT_EQ(BigUInt::Binomial(10, 10).ToU64Saturated(), 1u);
+  EXPECT_TRUE(BigUInt::Binomial(5, 9).IsZero());
+  // The paper's example (Thm 5.1/5.2): C(14, 4) = 1001.
+  EXPECT_EQ(BigUInt::Binomial(14, 4).ToU64Saturated(), 1001u);
+  // Large: C(100, 50) has 30 digits.
+  EXPECT_EQ(BigUInt::Binomial(100, 50).ToString(),
+            "100891344545564193334812497256");
+}
+
+TEST(BigUIntTest, MultinomialPaperExample) {
+  // Theorem 4.1's example: k1=3, k2=4, k3=5 -> 12!/(3!4!5!) = 27720.
+  EXPECT_EQ(BigUInt::Multinomial({3, 4, 5}).ToU64Saturated(), 27720u);
+}
+
+TEST(BigUIntTest, MultinomialDegenerate) {
+  EXPECT_EQ(BigUInt::Multinomial({}).ToU64Saturated(), 1u);
+  EXPECT_EQ(BigUInt::Multinomial({7}).ToU64Saturated(), 1u);
+}
+
+TEST(BigUIntTest, AddAndMul) {
+  BigUInt a(1);
+  for (int i = 0; i < 64; ++i) a.MulSmall(2);
+  EXPECT_EQ(a.ToString(), "18446744073709551616");  // 2^64
+  BigUInt b = a;
+  b.Add(a);
+  EXPECT_EQ(b.ToString(), "36893488147419103232");  // 2^65
+  BigUInt c = a;
+  c.Mul(a);
+  EXPECT_EQ(c.ToString(), "340282366920938463463374607431768211456");  // 2^128
+}
+
+TEST(BigUIntTest, DivSmallExact) {
+  BigUInt a = BigUInt::Factorial(20);
+  a.DivSmall(20);
+  EXPECT_EQ(a.ToString(), BigUInt::Factorial(19).ToString());
+}
+
+TEST(BigUIntTest, ComparisonAndLog2) {
+  EXPECT_TRUE(BigUInt(5) < BigUInt(7));
+  EXPECT_FALSE(BigUInt(7) < BigUInt(5));
+  EXPECT_TRUE(BigUInt(5) == BigUInt(5));
+  EXPECT_NEAR(BigUInt(1024).Log2(), 10.0, 0.001);
+  const double l = BigUInt::Factorial(30).Log2();
+  EXPECT_GT(l, 107.0);  // log2(30!) ~ 107.7
+  EXPECT_LT(l, 108.5);
+}
+
+TEST(BigUIntTest, SaturationForHugeValues) {
+  EXPECT_EQ(BigUInt::Factorial(30).ToU64Saturated(), UINT64_MAX);
+}
+
+// Property sweep: multinomial({1,1,...,1}) with n ones = n!.
+class MultinomialOnesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultinomialOnesTest, EqualsFactorial) {
+  const int n = GetParam();
+  std::vector<uint64_t> ones(n, 1);
+  EXPECT_EQ(BigUInt::Multinomial(ones).ToString(),
+            BigUInt::Factorial(n).ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultinomialOnesTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+// Property sweep: Pascal identity C(n,k) = C(n-1,k-1) + C(n-1,k).
+class PascalTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint64_t>> {};
+
+TEST_P(PascalTest, Identity) {
+  const auto [n, k] = GetParam();
+  BigUInt lhs = BigUInt::Binomial(n, k);
+  BigUInt rhs = BigUInt::Binomial(n - 1, k - 1);
+  rhs.Add(BigUInt::Binomial(n - 1, k));
+  EXPECT_EQ(lhs.ToString(), rhs.ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PascalTest,
+    ::testing::Values(std::make_pair(10u, 4u), std::make_pair(40u, 17u),
+                      std::make_pair(90u, 45u), std::make_pair(64u, 1u),
+                      std::make_pair(64u, 63u)));
+
+}  // namespace
+}  // namespace xcrypt

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "core/constraint_graph.h"
+#include "core/encryption_scheme.h"
+#include "core/security_constraint.h"
+#include "core/vertex_cover.h"
+#include "data/healthcare.h"
+#include "data/nasa_generator.h"
+#include "data/xmark_generator.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+TEST(SecurityConstraintTest, ParseNodeType) {
+  auto sc = ParseSecurityConstraint("//insurance");
+  ASSERT_TRUE(sc.ok());
+  EXPECT_TRUE(sc->IsNodeType());
+  EXPECT_EQ(sc->context.ToString(), "//insurance");
+}
+
+TEST(SecurityConstraintTest, ParseAssociation) {
+  auto sc = ParseSecurityConstraint("//patient:(/pname, /SSN)");
+  ASSERT_TRUE(sc.ok());
+  ASSERT_TRUE(sc->IsAssociation());
+  EXPECT_EQ(sc->association->first.ToString(), "/pname");
+  EXPECT_EQ(sc->association->second.ToString(), "/SSN");
+  EXPECT_EQ(sc->ToString(), "//patient:(/pname, /SSN)");
+}
+
+TEST(SecurityConstraintTest, ParseDescendantLeg) {
+  auto sc = ParseSecurityConstraint("//patient:(/pname, //disease)");
+  ASSERT_TRUE(sc.ok());
+  EXPECT_EQ(sc->association->second.steps[0].axis, Axis::kDescendant);
+}
+
+TEST(SecurityConstraintTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseSecurityConstraint("").ok());
+  EXPECT_FALSE(ParseSecurityConstraint("//a:(/b)").ok());
+  EXPECT_FALSE(ParseSecurityConstraint("//a:/b, /c").ok());
+  EXPECT_FALSE(ParseSecurityConstraint("//a:(/b, /c").ok());
+}
+
+TEST(SecurityConstraintTest, ParseMultiLine) {
+  auto scs = ParseSecurityConstraints(
+      "# comment\n//insurance\n\n  //patient:(/pname, /SSN)  \n");
+  ASSERT_TRUE(scs.ok());
+  ASSERT_EQ(scs->size(), 2u);
+  EXPECT_TRUE((*scs)[0].IsNodeType());
+  EXPECT_TRUE((*scs)[1].IsAssociation());
+}
+
+TEST(SecurityConstraintTest, BindAgainstHealthcare) {
+  const Document doc = BuildHealthcareSample();
+  const auto bindings = BindConstraints(doc, HealthcareConstraints());
+  ASSERT_EQ(bindings.size(), 4u);
+  // SC1 //insurance binds 3 nodes.
+  EXPECT_EQ(bindings[0].context_nodes.size(), 3u);
+  // SC2 //patient:(/pname,/SSN): 2 patients, one pname/SSN each.
+  EXPECT_EQ(bindings[1].context_nodes.size(), 2u);
+  ASSERT_EQ(bindings[1].q1_nodes.size(), 2u);
+  EXPECT_EQ(bindings[1].q1_nodes[0].size(), 1u);
+  EXPECT_EQ(bindings[1].q2_nodes[0].size(), 1u);
+  // SC3: patient 2 has two diseases.
+  EXPECT_EQ(bindings[2].q2_nodes[1].size(), 2u);
+}
+
+TEST(SecurityConstraintTest, IsCapturedBy) {
+  const auto scs = HealthcareConstraints();
+  auto q = ParseXPath("//insurance//policy#");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(IsCapturedBy(*q, scs[0]));
+  q = ParseXPath("//insurance");
+  EXPECT_TRUE(IsCapturedBy(*q, scs[0]));
+  q = ParseXPath("//patient");
+  EXPECT_FALSE(IsCapturedBy(*q, scs[0]));
+
+  // Association capture: p[q1=v1][q2=v2].
+  q = ParseXPath("//patient[pname='Betty'][SSN='763895']");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(IsCapturedBy(*q, scs[1]));
+  EXPECT_FALSE(IsCapturedBy(*q, scs[2]));  // second leg is //disease
+  q = ParseXPath("//patient[SSN='763895'][pname='Betty']");  // swapped
+  EXPECT_TRUE(IsCapturedBy(*q, scs[1]));
+  q = ParseXPath("//patient[pname='Betty'][.//disease='diarrhea']");
+  EXPECT_TRUE(IsCapturedBy(*q, scs[2]));
+  q = ParseXPath("//patient[pname='Betty']");
+  EXPECT_FALSE(IsCapturedBy(*q, scs[1]));  // only one predicate
+}
+
+TEST(ConstraintGraphTest, HealthcareGraphShape) {
+  const Document doc = BuildHealthcareSample();
+  const auto bindings = BindConstraints(doc, HealthcareConstraints());
+  const ConstraintGraph graph = ConstraintGraph::Build(doc, bindings);
+  // Vertices: pname, SSN, disease, doctor. Edges: 3 association SCs.
+  EXPECT_EQ(graph.vertices().size(), 4u);
+  EXPECT_EQ(graph.edges().size(), 3u);
+  EXPECT_GE(graph.VertexIndex("pname"), 0);
+  EXPECT_GE(graph.VertexIndex("disease"), 0);
+  EXPECT_EQ(graph.VertexIndex("insurance"), -1);  // node-type SC: no vertex
+
+  // Weights: leaf nodes count subtree size + decoy. pname binds 2 leaves.
+  const auto& pname = graph.vertices()[graph.VertexIndex("pname")];
+  EXPECT_EQ(pname.nodes.size(), 2u);
+  EXPECT_EQ(pname.weight, 4);  // 2 * (1 node + 1 decoy)
+  const auto& disease = graph.vertices()[graph.VertexIndex("disease")];
+  EXPECT_EQ(disease.nodes.size(), 3u);
+  EXPECT_EQ(disease.weight, 6);
+}
+
+TEST(VertexCoverTest, ExactOnHealthcare) {
+  const Document doc = BuildHealthcareSample();
+  const auto bindings = BindConstraints(doc, HealthcareConstraints());
+  const ConstraintGraph graph = ConstraintGraph::Build(doc, bindings);
+  const auto cover = ExactVertexCover(graph);
+  EXPECT_TRUE(graph.IsVertexCover(cover));
+  // {pname, disease} with weight 10 is the optimum (covers all 3 edges).
+  std::set<std::string> tags;
+  for (int v : cover) tags.insert(graph.vertices()[v].tag);
+  EXPECT_EQ(tags, (std::set<std::string>{"pname", "disease"}));
+  EXPECT_EQ(graph.CoverWeight(cover), 10);
+}
+
+TEST(VertexCoverTest, GreedyIsCoverWithin2x) {
+  const Document doc = BuildHospital(40, 5);
+  const auto bindings = BindConstraints(doc, HealthcareConstraints());
+  const ConstraintGraph graph = ConstraintGraph::Build(doc, bindings);
+  const auto exact = ExactVertexCover(graph);
+  const auto greedy = ClarksonGreedyVertexCover(graph);
+  EXPECT_TRUE(graph.IsVertexCover(greedy));
+  EXPECT_LE(graph.CoverWeight(greedy), 2 * graph.CoverWeight(exact));
+  EXPECT_GE(graph.CoverWeight(greedy), graph.CoverWeight(exact));
+}
+
+TEST(VertexCoverTest, EmptyGraph) {
+  ConstraintGraph graph;
+  EXPECT_TRUE(ExactVertexCover(graph).empty());
+  EXPECT_TRUE(ClarksonGreedyVertexCover(graph).empty());
+}
+
+// Random graphs: greedy always a cover, never better than exact, and
+// within factor 2 (Clarkson's bound).
+class VertexCoverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VertexCoverPropertyTest, GreedyBoundHolds) {
+  // Build a random document + random association SCs over its tags.
+  const Document doc = BuildHospital(20, GetParam());
+  Rng rng(GetParam() * 7 + 1);
+  const char* tags[] = {"pname", "SSN", "disease", "doctor", "age",
+                        "policy#"};
+  std::vector<SecurityConstraint> scs;
+  const int num_edges = 2 + static_cast<int>(rng.UniformU64(0, 6));
+  for (int i = 0; i < num_edges; ++i) {
+    const char* a = tags[rng.UniformU64(0, std::size(tags) - 1)];
+    const char* b = tags[rng.UniformU64(0, std::size(tags) - 1)];
+    auto sc = ParseSecurityConstraint(std::string("//patient:(//") + a +
+                                      ", //" + b + ")");
+    ASSERT_TRUE(sc.ok());
+    scs.push_back(std::move(*sc));
+  }
+  const auto bindings = BindConstraints(doc, scs);
+  const ConstraintGraph graph = ConstraintGraph::Build(doc, bindings);
+  const auto exact = ExactVertexCover(graph);
+  const auto greedy = ClarksonGreedyVertexCover(graph);
+  EXPECT_TRUE(graph.IsVertexCover(exact));
+  EXPECT_TRUE(graph.IsVertexCover(greedy));
+  EXPECT_GE(graph.CoverWeight(greedy), graph.CoverWeight(exact));
+  EXPECT_LE(graph.CoverWeight(greedy), 2 * graph.CoverWeight(exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VertexCoverPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(EncryptionSchemeTest, TopEncryptsRootOnly) {
+  const Document doc = BuildHealthcareSample();
+  auto scheme =
+      BuildEncryptionScheme(doc, HealthcareConstraints(), SchemeKind::kTop);
+  ASSERT_TRUE(scheme.ok());
+  ASSERT_EQ(scheme->block_roots.size(), 1u);
+  EXPECT_EQ(scheme->block_roots[0], doc.root());
+  EXPECT_EQ(scheme->SizeInNodes(doc), doc.node_count());
+}
+
+TEST(EncryptionSchemeTest, OptimalUsesCoverPlusNodeTypeSCs) {
+  const Document doc = BuildHealthcareSample();
+  auto scheme = BuildEncryptionScheme(doc, HealthcareConstraints(),
+                                      SchemeKind::kOptimal);
+  ASSERT_TRUE(scheme.ok());
+  // 3 insurance subtrees + 2 pname + 3 disease = 8 blocks.
+  EXPECT_EQ(scheme->block_roots.size(), 8u);
+  std::set<std::string> tags;
+  for (NodeId id : scheme->block_roots) tags.insert(doc.node(id).tag);
+  EXPECT_EQ(tags, (std::set<std::string>{"insurance", "pname", "disease"}));
+}
+
+TEST(EncryptionSchemeTest, SubLiftsToParents) {
+  const Document doc = BuildHealthcareSample();
+  auto scheme =
+      BuildEncryptionScheme(doc, HealthcareConstraints(), SchemeKind::kSub);
+  ASSERT_TRUE(scheme.ok());
+  std::set<std::string> tags;
+  for (NodeId id : scheme->block_roots) tags.insert(doc.node(id).tag);
+  // Parents of pname/disease/insurance: patient and treat; patient
+  // subsumes everything below it.
+  EXPECT_EQ(tags, (std::set<std::string>{"patient"}));
+}
+
+TEST(EncryptionSchemeTest, NestedRootsArePruned) {
+  const Document doc = BuildHealthcareSample();
+  for (SchemeKind kind : {SchemeKind::kOptimal, SchemeKind::kApproximate,
+                          SchemeKind::kSub, SchemeKind::kTop}) {
+    auto scheme = BuildEncryptionScheme(doc, HealthcareConstraints(), kind);
+    ASSERT_TRUE(scheme.ok());
+    for (NodeId a : scheme->block_roots) {
+      for (NodeId b : scheme->block_roots) {
+        if (a != b) {
+          EXPECT_FALSE(doc.IsAncestor(a, b));
+        }
+      }
+    }
+  }
+}
+
+TEST(EncryptionSchemeTest, AllKindsEnforceConstraints) {
+  struct Corpus {
+    Document doc;
+    std::vector<SecurityConstraint> scs;
+  };
+  std::vector<Corpus> corpora;
+  corpora.push_back({BuildHealthcareSample(), HealthcareConstraints()});
+  corpora.push_back({BuildHospital(30, 9), HealthcareConstraints()});
+  corpora.push_back(
+      {GenerateXMark({.people = 15, .items = 5}), XMarkConstraints()});
+  corpora.push_back({GenerateNasa({.datasets = 10}), NasaConstraints()});
+
+  for (const Corpus& corpus : corpora) {
+    for (SchemeKind kind : {SchemeKind::kOptimal, SchemeKind::kApproximate,
+                            SchemeKind::kSub, SchemeKind::kTop}) {
+      auto scheme = BuildEncryptionScheme(corpus.doc, corpus.scs, kind);
+      ASSERT_TRUE(scheme.ok());
+      EXPECT_TRUE(SchemeEnforcesConstraints(corpus.doc, corpus.scs, *scheme))
+          << SchemeKindName(kind);
+    }
+  }
+}
+
+TEST(EncryptionSchemeTest, SchemeSizeOrdering) {
+  // Definition 4.1: opt minimizes size; app within 2x; top is the whole
+  // document.
+  const Document doc = GenerateXMark({.people = 40, .items = 10});
+  const auto scs = XMarkConstraints();
+  auto opt = BuildEncryptionScheme(doc, scs, SchemeKind::kOptimal);
+  auto app = BuildEncryptionScheme(doc, scs, SchemeKind::kApproximate);
+  auto sub = BuildEncryptionScheme(doc, scs, SchemeKind::kSub);
+  auto top = BuildEncryptionScheme(doc, scs, SchemeKind::kTop);
+  ASSERT_TRUE(opt.ok() && app.ok() && sub.ok() && top.ok());
+  EXPECT_LE(opt->SizeInNodes(doc), app->SizeInNodes(doc));
+  EXPECT_LE(app->SizeInNodes(doc), 2 * opt->SizeInNodes(doc));
+  EXPECT_LT(opt->SizeInNodes(doc), sub->SizeInNodes(doc));
+  EXPECT_LE(sub->SizeInNodes(doc), top->SizeInNodes(doc));
+  EXPECT_EQ(top->SizeInNodes(doc), doc.node_count());
+}
+
+TEST(EncryptionSchemeTest, EmptyDocumentRejected) {
+  Document empty;
+  EXPECT_FALSE(
+      BuildEncryptionScheme(empty, {}, SchemeKind::kOptimal).ok());
+}
+
+TEST(EncryptionSchemeTest, NoConstraintsMeansNothingEncrypted) {
+  const Document doc = BuildHealthcareSample();
+  auto scheme = BuildEncryptionScheme(doc, {}, SchemeKind::kOptimal);
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_TRUE(scheme->block_roots.empty());
+  EXPECT_EQ(scheme->SizeInNodes(doc), 0);
+}
+
+}  // namespace
+}  // namespace xcrypt

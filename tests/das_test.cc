@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "das/das_system.h"
+#include "data/healthcare.h"
+#include "data/workload.h"
+#include "data/xmark_generator.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+TEST(DasSystemTest, HostReportPopulated) {
+  auto das = DasSystem::Host(BuildHospital(30, 1), HealthcareConstraints(),
+                             SchemeKind::kOptimal, "s");
+  ASSERT_TRUE(das.ok());
+  const HostReport& r = das->host_report();
+  EXPECT_GT(r.num_blocks, 0);
+  EXPECT_GT(r.ciphertext_bytes, 0);
+  EXPECT_GT(r.skeleton_bytes, 0);
+  EXPECT_GT(r.metadata_bytes, 0);
+  EXPECT_GT(r.scheme_size_nodes, 0);
+  EXPECT_GE(r.encrypt_us, 0.0);
+  EXPECT_GE(r.metadata_us, 0.0);
+}
+
+TEST(DasSystemTest, CostsPopulatedPerQuery) {
+  auto das = DasSystem::Host(BuildHospital(30, 1), HealthcareConstraints(),
+                             SchemeKind::kSub, "s");
+  ASSERT_TRUE(das.ok());
+  auto run = das->Execute("//patient[.//disease='diarrhea']//SSN");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const QueryCosts& c = run->costs;
+  EXPECT_GT(c.client_translate_us, 0.0);
+  EXPECT_GT(c.server_process_us, 0.0);
+  EXPECT_GT(c.bytes_shipped, 0);
+  EXPECT_GT(c.blocks_shipped, 0);
+  EXPECT_GT(c.decrypt_us, 0.0);
+  EXPECT_GT(c.postprocess_us, 0.0);
+  EXPECT_GT(c.transmission_us, 0.0);
+  EXPECT_GT(c.TotalUs(), c.ClientUs());
+}
+
+TEST(DasSystemTest, TransmissionFollowsLinkSpeed) {
+  DasSystem::Options slow;
+  slow.link_mbps = 1.0;
+  DasSystem::Options fast;
+  fast.link_mbps = 1000.0;
+  auto das_slow = DasSystem::Host(BuildHospital(20, 2),
+                                  HealthcareConstraints(),
+                                  SchemeKind::kTop, "s", slow);
+  auto das_fast = DasSystem::Host(BuildHospital(20, 2),
+                                  HealthcareConstraints(),
+                                  SchemeKind::kTop, "s", fast);
+  ASSERT_TRUE(das_slow.ok() && das_fast.ok());
+  auto q = ParseXPath("//patient//SSN");
+  ASSERT_TRUE(q.ok());
+  auto run_slow = das_slow->Execute(*q);
+  auto run_fast = das_fast->Execute(*q);
+  ASSERT_TRUE(run_slow.ok() && run_fast.ok());
+  EXPECT_EQ(run_slow->costs.bytes_shipped, run_fast->costs.bytes_shipped);
+  EXPECT_NEAR(run_slow->costs.transmission_us,
+              1000.0 * run_fast->costs.transmission_us,
+              run_slow->costs.transmission_us * 0.01);
+}
+
+TEST(DasSystemTest, NaiveShipsEverything) {
+  auto das = DasSystem::Host(BuildHospital(30, 3), HealthcareConstraints(),
+                             SchemeKind::kOptimal, "s");
+  ASSERT_TRUE(das.ok());
+  auto q = ParseXPath("//patient[pname='Betty']//disease");
+  ASSERT_TRUE(q.ok());
+  auto ours = das->Execute(*q);
+  auto naive = das->ExecuteNaive(*q);
+  ASSERT_TRUE(ours.ok() && naive.ok());
+  // Same answers...
+  EXPECT_EQ(ours->answer.SerializedSorted(), naive->answer.SerializedSorted());
+  // ...but the naive method ships every block.
+  EXPECT_EQ(naive->costs.blocks_shipped, das->host_report().num_blocks);
+  EXPECT_LT(ours->costs.blocks_shipped, naive->costs.blocks_shipped);
+  EXPECT_LT(ours->costs.bytes_shipped, naive->costs.bytes_shipped);
+}
+
+TEST(DasSystemTest, SelectiveQueryShipsLessThanBroadQuery) {
+  auto das = DasSystem::Host(BuildHospital(50, 4), HealthcareConstraints(),
+                             SchemeKind::kOptimal, "s");
+  ASSERT_TRUE(das.ok());
+  auto broad = das->Execute("//patient");
+  auto narrow = das->Execute("//patient[pname='Betty']/SSN");
+  ASSERT_TRUE(broad.ok() && narrow.ok());
+  EXPECT_LT(narrow->costs.bytes_shipped, broad->costs.bytes_shipped);
+}
+
+TEST(DasSystemTest, TopSchemeBehavesLikeNaiveOnCost) {
+  // §7.3: the top scheme has the same performance as the naive method —
+  // any query touching encrypted content ships the single whole-document
+  // block.
+  auto das = DasSystem::Host(BuildHospital(30, 5), HealthcareConstraints(),
+                             SchemeKind::kTop, "s");
+  ASSERT_TRUE(das.ok());
+  auto q = ParseXPath("//patient[pname='Betty']//disease");
+  ASSERT_TRUE(q.ok());
+  auto ours = das->Execute(*q);
+  auto naive = das->ExecuteNaive(*q);
+  ASSERT_TRUE(ours.ok() && naive.ok());
+  EXPECT_EQ(ours->costs.blocks_shipped, 1);
+  // Bytes within 5% of naive (the pruned skeleton is just the marker).
+  EXPECT_NEAR(static_cast<double>(ours->costs.bytes_shipped),
+              static_cast<double>(naive->costs.bytes_shipped),
+              0.05 * naive->costs.bytes_shipped);
+}
+
+TEST(DasSystemTest, OptShipsLessThanSubLessThanTop) {
+  // The core experimental claim (Fig. 9/10): finer schemes ship and
+  // decrypt less for selective queries.
+  const Document doc = BuildHospital(50, 6);
+  int64_t bytes[3];
+  int i = 0;
+  for (SchemeKind kind :
+       {SchemeKind::kOptimal, SchemeKind::kSub, SchemeKind::kTop}) {
+    auto das =
+        DasSystem::Host(doc, HealthcareConstraints(), kind, "s");
+    ASSERT_TRUE(das.ok());
+    auto run = das->Execute("//patient[pname='Betty']//disease");
+    ASSERT_TRUE(run.ok());
+    bytes[i++] = run->costs.bytes_shipped;
+  }
+  EXPECT_LT(bytes[0], bytes[1]);  // opt < sub
+  EXPECT_LT(bytes[1], bytes[2]);  // sub < top
+}
+
+TEST(DasSystemTest, StringOverloadParses) {
+  auto das = DasSystem::Host(BuildHealthcareSample(), HealthcareConstraints(),
+                             SchemeKind::kOptimal, "s");
+  ASSERT_TRUE(das.ok());
+  EXPECT_TRUE(das->Execute("//patient").ok());
+  EXPECT_FALSE(das->Execute("not an xpath").ok());
+}
+
+TEST(WorkloadTest, BuildsRequestedClasses) {
+  const Document doc = BuildHospital(20, 9);
+  for (WorkloadKind kind :
+       {WorkloadKind::kQs, WorkloadKind::kQm, WorkloadKind::kQl}) {
+    const auto queries = BuildWorkload(doc, kind, 10, 1);
+    EXPECT_EQ(queries.size(), 10u) << WorkloadKindName(kind);
+    for (const auto& wq : queries) {
+      EXPECT_FALSE(wq.expr.steps.empty());
+    }
+  }
+  // Deterministic in the seed.
+  const auto a = BuildWorkload(doc, WorkloadKind::kQl, 5, 42);
+  const auto b = BuildWorkload(doc, WorkloadKind::kQl, 5, 42);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+}
+
+TEST(WorkloadTest, QsTargetsChildrenOfRoot) {
+  const Document doc = BuildHospital(20, 9);
+  for (const auto& wq : BuildWorkload(doc, WorkloadKind::kQs, 5, 3)) {
+    EXPECT_EQ(wq.expr.steps.size(), 2u) << wq.text;
+    EXPECT_EQ(wq.expr.steps[0].tag, "hospital") << wq.text;
+  }
+}
+
+}  // namespace
+}  // namespace xcrypt

@@ -1,0 +1,245 @@
+// Edge cases and hardening across modules: degenerate documents, hostile
+// parser input, singleton/one-value OPESS domains, and boundary shapes the
+// main suites do not reach.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/client.h"
+#include "core/opess.h"
+#include "crypto/keychain.h"
+#include "das/das_system.h"
+#include "data/healthcare.h"
+#include "index/dsi.h"
+#include "storage/serializer.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+TEST(ParserHardeningTest, DeepNestingRejectedNotCrashed) {
+  std::string deep;
+  const int depth = 5000;
+  for (int i = 0; i < depth; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < depth; ++i) deep += "</a>";
+  auto doc = ParseXml(deep);
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserHardeningTest, ModerateNestingAccepted) {
+  std::string nested;
+  const int depth = 400;
+  for (int i = 0; i < depth; ++i) nested += "<a>";
+  nested += "x";
+  for (int i = 0; i < depth; ++i) nested += "</a>";
+  auto doc = ParseXml(nested);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node_count(), depth);
+  EXPECT_EQ(doc->Height(), depth - 1);
+}
+
+TEST(DegenerateDocTest, SingleNodeDocument) {
+  Document doc;
+  doc.AddRoot("only");
+  Rng rng(1);
+  const DsiIndex dsi = DsiIndex::Build(doc, rng);
+  EXPECT_EQ(dsi.interval(0).min, 0.0);
+  EXPECT_EQ(dsi.interval(0).max, 1.0);
+  EXPECT_EQ(doc.Height(), 0);
+  EXPECT_EQ(SerializeXml(doc, 0, 0), "<only/>");
+}
+
+TEST(DegenerateDocTest, ChainDocumentDsiNestsWithinPrecisionEnvelope) {
+  // DSI widths shrink ~6x per level on single-child chains, so double
+  // precision supports depth ~30 (documented in index/dsi.h); real XML
+  // corpora are far shallower. Verify strict nesting holds throughout the
+  // supported envelope.
+  Document doc;
+  NodeId cur = doc.AddRoot("n0");
+  for (int i = 1; i < 25; ++i) {
+    cur = doc.AddChild(cur, "n" + std::to_string(i));
+  }
+  Rng rng(2);
+  const DsiIndex dsi = DsiIndex::Build(doc, rng);
+  for (NodeId id = 1; id < doc.node_count(); ++id) {
+    EXPECT_TRUE(dsi.interval(id).ProperlyInside(dsi.interval(id - 1)))
+        << "depth " << id;
+  }
+}
+
+TEST(DegenerateDocTest, HostingSingleMatchingNode) {
+  // One patient, every SC binds exactly once.
+  Document doc;
+  const NodeId hospital = doc.AddRoot("hospital");
+  const NodeId p = doc.AddChild(hospital, "patient");
+  doc.AddLeaf(p, "SSN", "1");
+  doc.AddLeaf(p, "pname", "Solo");
+  const NodeId treat = doc.AddChild(p, "treat");
+  doc.AddLeaf(treat, "disease", "flu");
+  doc.AddLeaf(treat, "doctor", "Who");
+  const NodeId ins = doc.AddChild(p, "insurance");
+  doc.AddLeaf(ins, "policy#", "7");
+
+  for (SchemeKind kind : {SchemeKind::kOptimal, SchemeKind::kSub,
+                          SchemeKind::kTop}) {
+    auto das = DasSystem::Host(doc, HealthcareConstraints(), kind, "edge");
+    ASSERT_TRUE(das.ok()) << SchemeKindName(kind);
+    for (const char* text :
+         {"//patient/pname", "//patient[pname='Solo']//disease",
+          "//treat[disease='flu']/doctor"}) {
+      auto query = ParseXPath(text);
+      ASSERT_TRUE(query.ok());
+      auto run = das->Execute(*query);
+      ASSERT_TRUE(run.ok()) << text;
+      EXPECT_EQ(run->answer.SerializedSorted(),
+                GroundTruth(doc, *query).SerializedSorted())
+          << text << " under " << SchemeKindName(kind);
+    }
+  }
+}
+
+TEST(OpessEdgeTest, SingleDistinctValue) {
+  const OpeFunction ope(ToBytes("k"));
+  Rng rng(3);
+  std::vector<std::pair<std::string, int32_t>> occ;
+  for (int i = 0; i < 10; ++i) occ.emplace_back("42", i);
+  auto build = BuildOpess("t", occ, ope, rng);
+  ASSERT_TRUE(build.ok());
+  // One value splits into several ciphertexts (n > k = 1).
+  EXPECT_GT(build->meta.num_keys, 1);
+  auto range = TranslateValueConstraint(build->meta, ope, CompOp::kEq, "42");
+  ASSERT_TRUE(range.ok());
+  int hits = 0;
+  for (const auto& e : build->entries) {
+    if (e.key >= range->lo && e.key <= range->hi) ++hits;
+  }
+  EXPECT_EQ(hits, static_cast<int>(build->entries.size()));
+}
+
+TEST(OpessEdgeTest, AllSingletons) {
+  const OpeFunction ope(ToBytes("k"));
+  Rng rng(4);
+  std::vector<std::pair<std::string, int32_t>> occ = {
+      {"1", 0}, {"5", 1}, {"9", 2}};
+  auto build = BuildOpess("t", occ, ope, rng);
+  ASSERT_TRUE(build.ok());
+  // Every singleton expands into m entries.
+  for (const auto& split : build->splits) {
+    EXPECT_EQ(static_cast<int>(split.chunk_sizes.size()), build->meta.m);
+  }
+  // Point queries remain exact.
+  for (const auto& [value, block] : occ) {
+    auto range =
+        TranslateValueConstraint(build->meta, ope, CompOp::kEq, value);
+    ASSERT_TRUE(range.ok());
+    std::set<int32_t> got;
+    for (const auto& e : build->entries) {
+      if (e.key >= range->lo && e.key <= range->hi) got.insert(e.block_id);
+    }
+    EXPECT_EQ(got, std::set<int32_t>{block}) << value;
+  }
+}
+
+TEST(OpessEdgeTest, NegativeAndFractionalNumericValues) {
+  const OpeFunction ope(ToBytes("k"));
+  Rng rng(5);
+  std::vector<std::pair<std::string, int32_t>> occ = {
+      {"-12.5", 0}, {"-12.5", 1}, {"-3.25", 2}, {"0", 3}, {"0", 4},
+      {"7.75", 5}};
+  auto build = BuildOpess("t", occ, ope, rng);
+  ASSERT_TRUE(build.ok());
+  EXPECT_FALSE(build->meta.categorical);
+  auto range =
+      TranslateValueConstraint(build->meta, ope, CompOp::kLt, "0");
+  ASSERT_TRUE(range.ok());
+  std::set<int32_t> got;
+  for (const auto& e : build->entries) {
+    if (e.key >= range->lo && e.key <= range->hi) got.insert(e.block_id);
+  }
+  EXPECT_EQ(got, (std::set<int32_t>{0, 1, 2}));
+}
+
+TEST(DocumentEdgeTest, SubtreeByteSizeMonotone) {
+  const Document doc = BuildHealthcareSample();
+  for (NodeId id : doc.PreOrder()) {
+    const NodeId parent = doc.node(id).parent;
+    if (parent != kNullNode) {
+      EXPECT_LT(doc.SubtreeByteSize(id), doc.SubtreeByteSize(parent));
+    }
+  }
+}
+
+TEST(BundleEdgeTest, MinimalDatabaseRoundTrips) {
+  Document doc;
+  const NodeId root = doc.AddRoot("r");
+  doc.AddLeaf(root, "v", "x");
+  auto sc = ParseSecurityConstraint("//v");
+  ASSERT_TRUE(sc.ok());
+  auto client =
+      Client::Host(doc, {*sc}, SchemeKind::kOptimal, "edge-secret");
+  ASSERT_TRUE(client.ok());
+  const Bytes image =
+      SerializeBundle(client->database(), client->metadata());
+  auto bundle = DeserializeBundle(image);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle->database.blocks.size(), 1u);
+}
+
+TEST(ConstraintEdgeTest, ConstraintBindingNothingIsHarmless) {
+  const Document doc = BuildHealthcareSample();
+  auto sc = ParseSecurityConstraint("//unicorn:(/horn, /sparkle)");
+  ASSERT_TRUE(sc.ok());
+  auto das = DasSystem::Host(doc, {*sc}, SchemeKind::kOptimal, "edge");
+  ASSERT_TRUE(das.ok());
+  EXPECT_EQ(das->host_report().num_blocks, 0);
+  // Queries still work against the fully public database.
+  auto run = das->Execute("//patient/pname");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->answer.nodes.size(), 2u);
+}
+
+TEST(ConstraintEdgeTest, SelfLoopAssociation) {
+  // q1 and q2 bind the same tag: the vertex cover must take it.
+  const Document doc = BuildHealthcareSample();
+  auto sc = ParseSecurityConstraint("//patient:(//disease, //disease)");
+  ASSERT_TRUE(sc.ok());
+  auto das = DasSystem::Host(doc, {*sc}, SchemeKind::kOptimal, "edge");
+  ASSERT_TRUE(das.ok());
+  EXPECT_TRUE(SchemeEnforcesConstraints(doc, {*sc},
+                                        das->client().scheme()));
+  std::set<std::string> tags;
+  for (NodeId id : das->client().scheme().block_roots) {
+    tags.insert(doc.node(id).tag);
+  }
+  EXPECT_EQ(tags, (std::set<std::string>{"disease"}));
+  auto query = ParseXPath("//patient[.//disease='diarrhea']//SSN");
+  ASSERT_TRUE(query.ok());
+  auto run = das->Execute(*query);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->answer.SerializedSorted(),
+            GroundTruth(doc, *query).SerializedSorted());
+}
+
+TEST(ValueEdgeTest, ValuesWithXmlMetaCharactersSurviveTheProtocol) {
+  Document doc;
+  const NodeId hospital = doc.AddRoot("hospital");
+  const NodeId p = doc.AddChild(hospital, "patient");
+  doc.AddLeaf(p, "pname", "O'Hara & <Co> \"quoted\"");
+  doc.AddLeaf(p, "SSN", "1");
+  auto sc = ParseSecurityConstraint("//patient:(/pname, /SSN)");
+  ASSERT_TRUE(sc.ok());
+  auto das = DasSystem::Host(doc, {*sc}, SchemeKind::kOptimal, "edge");
+  ASSERT_TRUE(das.ok());
+  auto query = ParseXPath("//patient/pname");
+  ASSERT_TRUE(query.ok());
+  auto run = das->Execute(*query);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->answer.nodes.size(), 1u);
+  EXPECT_EQ(run->answer.nodes[0].node(0).value, "O'Hara & <Co> \"quoted\"");
+}
+
+}  // namespace
+}  // namespace xcrypt

@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "core/opess.h"
+#include "crypto/ope.h"
+
+namespace xcrypt {
+namespace {
+
+using Occurrences = std::vector<std::pair<std::string, int32_t>>;
+
+OpessBuild MustBuild(const std::string& tag, const Occurrences& occ,
+                     uint64_t seed = 1) {
+  Rng rng(seed);
+  const OpeFunction ope(ToBytes("opess-test-key:" + tag));
+  auto build = BuildOpess(tag, occ, ope, rng);
+  EXPECT_TRUE(build.ok()) << build.status().ToString();
+  return std::move(*build);
+}
+
+Occurrences MakeOccurrences(const std::map<std::string, int>& counts) {
+  Occurrences occ;
+  int32_t block = 0;
+  for (const auto& [value, count] : counts) {
+    for (int i = 0; i < count; ++i) occ.emplace_back(value, block++);
+  }
+  return occ;
+}
+
+TEST(OpessBuildTest, RejectsEmpty) {
+  Rng rng(1);
+  const OpeFunction ope(ToBytes("k"));
+  EXPECT_FALSE(BuildOpess("t", {}, ope, rng).ok());
+}
+
+TEST(OpessBuildTest, ChunkSizesComeFromTriple) {
+  const auto build =
+      MustBuild("v", MakeOccurrences({{"10", 34}, {"20", 22}, {"30", 12}}));
+  const int m = build.meta.m;
+  EXPECT_GE(m, 2);
+  for (const OpessSplit& split : build.splits) {
+    int64_t total = 0;
+    for (int c : split.chunk_sizes) {
+      EXPECT_GE(c, m - 1);
+      EXPECT_LE(c, m + 1);
+      total += c;
+    }
+    EXPECT_EQ(total, split.occurrences);
+  }
+}
+
+TEST(OpessBuildTest, PaperExampleValue90) {
+  // §5.2.1: value "90" with 34 occurrences, chunks of 6/7/8 (m = 7), is
+  // split into 5 ciphertext values (34 = 6 + 4*7).
+  const auto build = MustBuild(
+      "v", MakeOccurrences(
+               {{"1001", 38}, {"932", 22}, {"23", 27}, {"77", 8}, {"90", 34}, {"12", 14}}));
+  // Whatever m the builder picks, value 90's chunks sum to 34 and each
+  // chunk size differs by at most 2 overall.
+  for (const OpessSplit& split : build.splits) {
+    if (split.value != "90") continue;
+    int64_t total = 0;
+    for (int c : split.chunk_sizes) total += c;
+    EXPECT_EQ(total, 34);
+    const auto [lo, hi] =
+        std::minmax_element(split.chunk_sizes.begin(), split.chunk_sizes.end());
+    EXPECT_LE(*hi - *lo, 2);
+  }
+}
+
+TEST(OpessBuildTest, SingletonSplitsIntoMEntries) {
+  const auto build =
+      MustBuild("v", MakeOccurrences({{"5", 1}, {"9", 12}, {"13", 9}}));
+  for (const OpessSplit& split : build.splits) {
+    if (split.occurrences != 1) continue;
+    EXPECT_EQ(static_cast<int>(split.chunk_sizes.size()), build.meta.m);
+  }
+}
+
+TEST(OpessBuildTest, WeightsSortedAndBounded) {
+  const auto build =
+      MustBuild("v", MakeOccurrences({{"1", 30}, {"2", 10}, {"3", 20}}));
+  const auto& w = build.meta.weights;
+  ASSERT_EQ(static_cast<int>(w.size()), build.meta.num_keys);
+  EXPECT_TRUE(std::is_sorted(w.begin(), w.end()));
+  for (double x : w) {
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0 / (build.meta.num_keys + 1));
+  }
+  EXPECT_LT(build.meta.WeightSum(), 1.0);
+}
+
+TEST(OpessBuildTest, NoStraddle) {
+  // Condition (*) of §5.2.1: ciphertexts of different plaintext values
+  // never interleave.
+  const auto build = MustBuild(
+      "v", MakeOccurrences({{"23", 27}, {"32", 14}, {"40", 5}, {"41", 9}}));
+  const OpeFunction ope(ToBytes("opess-test-key:v"));
+  // Recover per-value ciphertext sets from the splits.
+  std::vector<std::pair<double, std::vector<int64_t>>> per_value;
+  for (const OpessSplit& split : build.splits) {
+    const double x = std::strtod(split.value.c_str(), nullptr);
+    double disp = 0.0;
+    std::vector<int64_t> ciphers;
+    for (size_t j = 0; j < split.chunk_sizes.size(); ++j) {
+      disp += build.meta.weights[j];
+      ciphers.push_back(ope.EncryptReal(x + disp * build.meta.delta));
+    }
+    per_value.emplace_back(x, std::move(ciphers));
+  }
+  std::sort(per_value.begin(), per_value.end());
+  for (size_t i = 1; i < per_value.size(); ++i) {
+    const int64_t prev_max = *std::max_element(per_value[i - 1].second.begin(),
+                                               per_value[i - 1].second.end());
+    const int64_t cur_min = *std::min_element(per_value[i].second.begin(),
+                                              per_value[i].second.end());
+    EXPECT_LT(prev_max, cur_min)
+        << "values " << per_value[i - 1].first << " and "
+        << per_value[i].first << " straddle";
+  }
+}
+
+TEST(OpessBuildTest, ScalingInflatesEntries) {
+  const auto build =
+      MustBuild("v", MakeOccurrences({{"10", 20}, {"20", 20}, {"30", 20}}));
+  // Base entries = total occurrences; scaling in [1,10] multiplies them.
+  EXPECT_GE(static_cast<int64_t>(build.entries.size()), 60);
+  EXPECT_LE(static_cast<int64_t>(build.entries.size()), 650);
+  for (const OpessSplit& split : build.splits) {
+    EXPECT_GE(split.scale, 1.0);
+    EXPECT_LE(split.scale, 10.0);
+  }
+}
+
+TEST(OpessBuildTest, CategoricalValuesGetOrdinals) {
+  const auto build = MustBuild(
+      "v", MakeOccurrences({{"diarrhea", 5}, {"leukemia", 3}, {"asthma", 7}}));
+  EXPECT_TRUE(build.meta.categorical);
+  // Ordinals follow sorted order: asthma < diarrhea < leukemia.
+  EXPECT_EQ(build.meta.ordinals.at("asthma"), 1);
+  EXPECT_EQ(build.meta.ordinals.at("diarrhea"), 2);
+  EXPECT_EQ(build.meta.ordinals.at("leukemia"), 3);
+  EXPECT_EQ(build.meta.delta, 1.0);
+}
+
+TEST(OpessBuildTest, FrequencyFlattening) {
+  // Figure 6: a skewed distribution becomes near-uniform. Check the
+  // pre-scaling chunk frequencies: every chunk count is within the
+  // {m-1, m, m+1} band regardless of input skew.
+  const auto build = MustBuild(
+      "v", MakeOccurrences({{"a", 120}, {"b", 4}, {"c", 37}, {"d", 19},
+                            {"e", 64}, {"f", 8}}));
+  const int m = build.meta.m;
+  for (const OpessSplit& split : build.splits) {
+    if (split.occurrences == 1) continue;
+    for (int c : split.chunk_sizes) {
+      EXPECT_GE(c, m - 1);
+      EXPECT_LE(c, m + 1);
+    }
+  }
+}
+
+class OpessTranslationTest : public ::testing::Test {
+ protected:
+  OpessTranslationTest()
+      : ope_(ToBytes("opess-test-key:income")),
+        occurrences_(MakeOccurrences({{"20000", 12},
+                                      {"30000", 7},
+                                      {"45000", 23},
+                                      {"60000", 1},
+                                      {"90000", 15}})) {
+    Rng rng(9);
+    auto build = BuildOpess("income", occurrences_, ope_, rng);
+    EXPECT_TRUE(build.ok());
+    build_ = std::move(*build);
+    // Ground truth: value -> blocks.
+    for (const auto& [value, block] : occurrences_) {
+      truth_[value].insert(block);
+    }
+    // Index: cipher -> blocks.
+    for (const BTreeEntry& e : build_.entries) {
+      index_.emplace_back(e);
+    }
+  }
+
+  /// Blocks whose entries fall in [lo, hi].
+  std::set<int32_t> BlocksInRange(const OpessRange& range) const {
+    std::set<int32_t> out;
+    if (range.empty) return out;
+    for (const BTreeEntry& e : index_) {
+      if (e.key >= range.lo && e.key <= range.hi) out.insert(e.block_id);
+    }
+    return out;
+  }
+
+  std::set<int32_t> TruthBlocks(CompOp op, const std::string& literal) const {
+    std::set<int32_t> out;
+    const double lit = std::strtod(literal.c_str(), nullptr);
+    for (const auto& [value, blocks] : truth_) {
+      const double v = std::strtod(value.c_str(), nullptr);
+      bool match = false;
+      switch (op) {
+        case CompOp::kEq: match = v == lit; break;
+        case CompOp::kLt: match = v < lit; break;
+        case CompOp::kLe: match = v <= lit; break;
+        case CompOp::kGt: match = v > lit; break;
+        case CompOp::kGe: match = v >= lit; break;
+        case CompOp::kNe: match = v != lit; break;
+      }
+      if (match) out.insert(blocks.begin(), blocks.end());
+    }
+    return out;
+  }
+
+  void ExpectExact(CompOp op, const std::string& literal) {
+    auto range = TranslateValueConstraint(build_.meta, ope_, op, literal);
+    ASSERT_TRUE(range.ok()) << range.status().ToString();
+    EXPECT_EQ(BlocksInRange(*range), TruthBlocks(op, literal))
+        << CompOpSymbol(op) << " " << literal;
+  }
+
+  OpeFunction ope_;
+  Occurrences occurrences_;
+  OpessBuild build_;
+  std::map<std::string, std::set<int32_t>> truth_;
+  std::vector<BTreeEntry> index_;
+};
+
+TEST_F(OpessTranslationTest, EqualityFindsExactBlocks) {
+  for (const char* v : {"20000", "30000", "45000", "60000", "90000"}) {
+    ExpectExact(CompOp::kEq, v);
+  }
+}
+
+TEST_F(OpessTranslationTest, EqualityOnUnseenValueFindsNothing) {
+  auto range =
+      TranslateValueConstraint(build_.meta, ope_, CompOp::kEq, "33333");
+  ASSERT_TRUE(range.ok());
+  EXPECT_TRUE(BlocksInRange(*range).empty());
+}
+
+TEST_F(OpessTranslationTest, InequalitiesOnSeenValues) {
+  for (const char* v : {"20000", "45000", "90000"}) {
+    ExpectExact(CompOp::kLt, v);
+    ExpectExact(CompOp::kLe, v);
+    ExpectExact(CompOp::kGt, v);
+    ExpectExact(CompOp::kGe, v);
+  }
+}
+
+TEST_F(OpessTranslationTest, InequalitiesOnUnseenValues) {
+  for (const char* v : {"10000", "25000", "50000", "99999"}) {
+    ExpectExact(CompOp::kLt, v);
+    ExpectExact(CompOp::kLe, v);
+    ExpectExact(CompOp::kGt, v);
+    ExpectExact(CompOp::kGe, v);
+  }
+}
+
+TEST_F(OpessTranslationTest, NotEqualRejected) {
+  EXPECT_FALSE(
+      TranslateValueConstraint(build_.meta, ope_, CompOp::kNe, "20000").ok());
+}
+
+// Categorical translation against a disease-style domain.
+TEST(OpessCategoricalTest, TranslationExactOnCategoricalDomain) {
+  const OpeFunction ope(ToBytes("opess-test-key:disease"));
+  const Occurrences occ = MakeOccurrences(
+      {{"asthma", 4}, {"diarrhea", 9}, {"leukemia", 2}, {"measles", 1}});
+  Rng rng(4);
+  auto build = BuildOpess("disease", occ, ope, rng);
+  ASSERT_TRUE(build.ok());
+
+  std::map<std::string, std::set<int32_t>> truth;
+  for (const auto& [value, block] : occ) truth[value].insert(block);
+
+  for (const auto& [value, blocks] : truth) {
+    auto range = TranslateValueConstraint(build->meta, ope, CompOp::kEq, value);
+    ASSERT_TRUE(range.ok());
+    std::set<int32_t> got;
+    for (const BTreeEntry& e : build->entries) {
+      if (e.key >= range->lo && e.key <= range->hi) got.insert(e.block_id);
+    }
+    EXPECT_EQ(got, blocks) << value;
+  }
+  // Unseen categorical literal: empty for equality, boundaries for ranges.
+  auto range =
+      TranslateValueConstraint(build->meta, ope, CompOp::kEq, "cholera");
+  ASSERT_TRUE(range.ok());
+  EXPECT_TRUE(range->empty);
+  // "cholera" sorts after asthma: < cholera must cover asthma only.
+  range = TranslateValueConstraint(build->meta, ope, CompOp::kLt, "cholera");
+  ASSERT_TRUE(range.ok());
+  std::set<int32_t> got;
+  for (const BTreeEntry& e : build->entries) {
+    if (e.key >= range->lo && e.key <= range->hi) got.insert(e.block_id);
+  }
+  EXPECT_EQ(got, truth["asthma"]);
+}
+
+// Property sweep: random histograms, all operators exact.
+class OpessPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OpessPropertyTest, TranslationExactOnRandomHistograms) {
+  Rng rng(GetParam());
+  const int distinct = 2 + static_cast<int>(rng.UniformU64(0, 10));
+  std::map<std::string, int> counts;
+  for (int i = 0; i < distinct; ++i) {
+    counts[std::to_string(rng.UniformI64(-500, 500))] =
+        1 + static_cast<int>(rng.UniformU64(0, 60));
+  }
+  const Occurrences occ = MakeOccurrences(counts);
+  const OpeFunction ope(ToBytes("sweep" + std::to_string(GetParam())));
+  Rng build_rng(GetParam() * 17 + 3);
+  auto build = BuildOpess("t", occ, ope, build_rng);
+  ASSERT_TRUE(build.ok());
+
+  std::map<std::string, std::set<int32_t>> truth;
+  for (const auto& [value, block] : occ) truth[value].insert(block);
+
+  for (const auto& [value, blocks] : truth) {
+    for (CompOp op : {CompOp::kEq, CompOp::kLt, CompOp::kLe, CompOp::kGt,
+                      CompOp::kGe}) {
+      auto range = TranslateValueConstraint(build->meta, ope, op, value);
+      ASSERT_TRUE(range.ok());
+      std::set<int32_t> got;
+      if (!range->empty) {
+        for (const BTreeEntry& e : build->entries) {
+          if (e.key >= range->lo && e.key <= range->hi) got.insert(e.block_id);
+        }
+      }
+      std::set<int32_t> want;
+      const double lit = std::strtod(value.c_str(), nullptr);
+      for (const auto& [v2, b2] : truth) {
+        const double x = std::strtod(v2.c_str(), nullptr);
+        bool match = false;
+        switch (op) {
+          case CompOp::kEq: match = x == lit; break;
+          case CompOp::kLt: match = x < lit; break;
+          case CompOp::kLe: match = x <= lit; break;
+          case CompOp::kGt: match = x > lit; break;
+          case CompOp::kGe: match = x >= lit; break;
+          case CompOp::kNe: break;
+        }
+        if (match) want.insert(b2.begin(), b2.end());
+      }
+      EXPECT_EQ(got, want) << CompOpSymbol(op) << " " << value << " seed "
+                           << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpessPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+}  // namespace
+}  // namespace xcrypt

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "data/healthcare.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+class TranslatorTest : public ::testing::Test {
+ protected:
+  TranslatorTest() {
+    auto client = Client::Host(BuildHealthcareSample(),
+                               HealthcareConstraints(), SchemeKind::kOptimal,
+                               "server-test");
+    EXPECT_TRUE(client.ok());
+    client_ = std::make_unique<Client>(std::move(*client));
+  }
+
+  TranslatedQuery MustTranslate(const std::string& xpath) {
+    auto query = ParseXPath(xpath);
+    EXPECT_TRUE(query.ok()) << xpath;
+    auto translated = client_->Translate(*query);
+    EXPECT_TRUE(translated.ok()) << xpath << ": "
+                                 << translated.status().ToString();
+    return std::move(*translated);
+  }
+
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(TranslatorTest, PublicTagsStayPlaintext) {
+  const TranslatedQuery q = MustTranslate("//patient//SSN");
+  ASSERT_EQ(q.steps.size(), 2u);
+  EXPECT_EQ(q.steps[0].tokens, std::vector<std::string>{"patient"});
+  EXPECT_EQ(q.steps[1].tokens, std::vector<std::string>{"SSN"});
+}
+
+TEST_F(TranslatorTest, EncryptedTagsBecomePseudonyms) {
+  const TranslatedQuery q = MustTranslate("//insurance");
+  ASSERT_EQ(q.steps.size(), 1u);
+  ASSERT_EQ(q.steps[0].tokens.size(), 1u);
+  // The token is the Vernam pseudonym, not the tag.
+  EXPECT_NE(q.steps[0].tokens[0], "insurance");
+  EXPECT_EQ(q.steps[0].tokens[0],
+            client_->index_meta().tag_tokens.at("insurance"));
+  // The plaintext tag never appears anywhere in the rendering.
+  EXPECT_EQ(q.ToString().find("insurance"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, Figure7bShape) {
+  // //patient[.//insurance/@coverage>='10000']//SSN translates to
+  // pseudonymized tags plus a ciphertext range, mirroring Figure 7(b).
+  const TranslatedQuery q =
+      MustTranslate("//patient[.//insurance/@coverage>='10000']//SSN");
+  ASSERT_EQ(q.steps.size(), 2u);
+  ASSERT_EQ(q.steps[0].predicates.size(), 1u);
+  const TranslatedPredicate& pred = q.steps[0].predicates[0];
+  EXPECT_EQ(pred.kind, TranslatedPredicate::Kind::kIndexRange);
+  EXPECT_EQ(pred.index_token,
+            client_->index_meta().tag_tokens.at("@coverage"));
+  EXPECT_FALSE(pred.range.empty);
+  EXPECT_LT(pred.range.lo, pred.range.hi);
+  ASSERT_EQ(pred.path.size(), 2u);
+  EXPECT_EQ(pred.path[0].tokens[0],
+            client_->index_meta().tag_tokens.at("insurance"));
+}
+
+TEST_F(TranslatorTest, PlaintextValuePredicateStaysPlain) {
+  const TranslatedQuery q = MustTranslate("//patient[age>'36']/SSN");
+  const TranslatedPredicate& pred = q.steps[0].predicates[0];
+  EXPECT_EQ(pred.kind, TranslatedPredicate::Kind::kPlainValue);
+  EXPECT_EQ(pred.op, CompOp::kGt);
+  EXPECT_EQ(pred.literal, "36");
+}
+
+TEST_F(TranslatorTest, ExistencePredicate) {
+  const TranslatedQuery q = MustTranslate("//patient[insurance]/SSN");
+  EXPECT_EQ(q.steps[0].predicates[0].kind,
+            TranslatedPredicate::Kind::kExists);
+}
+
+TEST_F(TranslatorTest, WildcardPreserved) {
+  const TranslatedQuery q = MustTranslate("//patient/*");
+  EXPECT_TRUE(q.steps[1].wildcard);
+}
+
+TEST_F(TranslatorTest, UnknownTagRejected) {
+  auto query = ParseXPath("//swordfish");
+  ASSERT_TRUE(query.ok());
+  auto translated = client_->Translate(*query);
+  EXPECT_FALSE(translated.ok());
+  EXPECT_EQ(translated.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TranslatorTest, ToStringShowsRanges) {
+  const TranslatedQuery q =
+      MustTranslate("//patient[pname='Betty']//SSN");
+  const std::string text = q.ToString();
+  EXPECT_NE(text.find(" in ["), std::string::npos);
+  EXPECT_EQ(text.find("Betty"), std::string::npos);  // literal hidden
+}
+
+class ServerEngineTest : public ::testing::Test {
+ protected:
+  ServerEngineTest() {
+    auto client = Client::Host(BuildHealthcareSample(),
+                               HealthcareConstraints(), SchemeKind::kOptimal,
+                               "server-test");
+    EXPECT_TRUE(client.ok());
+    client_ = std::make_unique<Client>(std::move(*client));
+    server_ = std::make_unique<ServerEngine>(&client_->database(),
+                                             &client_->metadata());
+  }
+
+  ServerResponse MustExecute(const std::string& xpath) {
+    auto query = ParseXPath(xpath);
+    EXPECT_TRUE(query.ok());
+    auto translated = client_->Translate(*query);
+    EXPECT_TRUE(translated.ok());
+    auto response = server_->Execute(*translated);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return std::move(*response);
+  }
+
+  std::unique_ptr<Client> client_;
+  std::unique_ptr<ServerEngine> server_;
+};
+
+TEST_F(ServerEngineTest, EmptyResultShipsNothing) {
+  const ServerResponse r = MustExecute("//patient[pname='Zzz']//SSN");
+  EXPECT_TRUE(r.skeleton_xml.empty());
+  EXPECT_TRUE(r.blocks.empty());
+}
+
+TEST_F(ServerEngineTest, PublicAnswerShipsNoBlocks) {
+  const ServerResponse r = MustExecute("//patient//SSN");
+  EXPECT_FALSE(r.skeleton_xml.empty());
+  EXPECT_TRUE(r.blocks.empty());
+  EXPECT_FALSE(r.requires_full_requery);
+}
+
+TEST_F(ServerEngineTest, EncryptedAnswerShipsCoveringBlocks) {
+  const ServerResponse r = MustExecute("//patient[pname='Betty']//disease");
+  EXPECT_FALSE(r.blocks.empty());
+  // Under opt, disease leaves are single-leaf blocks: exactly Betty's one
+  // disease block ships (plus the pname block is NOT needed — the
+  // predicate was resolved exactly on the server).
+  EXPECT_EQ(r.blocks.size(), 1u);
+  EXPECT_FALSE(r.requires_full_requery);
+}
+
+TEST_F(ServerEngineTest, ResponseSkeletonNeverLeaksPlaintextSecrets) {
+  const ServerResponse r = MustExecute("//patient[pname='Betty']//disease");
+  for (const char* secret : {"Betty", "diarrhea", "pname", "disease"}) {
+    EXPECT_EQ(r.skeleton_xml.find(secret), std::string::npos) << secret;
+  }
+}
+
+TEST_F(ServerEngineTest, EmptyQueryRejected) {
+  EXPECT_FALSE(server_->Execute(TranslatedQuery{}).ok());
+}
+
+TEST_F(ServerEngineTest, NaiveShipsWholeDatabase) {
+  const ServerResponse r = server_->ExecuteNaive();
+  EXPECT_EQ(r.blocks.size(), client_->database().blocks.size());
+  EXPECT_TRUE(r.requires_full_requery);
+}
+
+TEST_F(ServerEngineTest, ClientDetectsMissingBlock) {
+  // Failure injection: a (buggy or malicious) server omits a referenced
+  // block. The client must fail with Corruption, not crash or fabricate.
+  auto query = ParseXPath("//patient[pname='Betty']//disease");
+  ASSERT_TRUE(query.ok());
+  auto translated = client_->Translate(*query);
+  ASSERT_TRUE(translated.ok());
+  auto response = server_->Execute(*translated);
+  ASSERT_TRUE(response.ok());
+  ASSERT_FALSE(response->blocks.empty());
+  ServerResponse tampered = *response;
+  tampered.blocks.clear();
+  auto answer = client_->PostProcess(*query, tampered);
+  EXPECT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(ServerEngineTest, ClientDetectsCorruptedBlock) {
+  auto query = ParseXPath("//patient[pname='Betty']//disease");
+  ASSERT_TRUE(query.ok());
+  auto translated = client_->Translate(*query);
+  ASSERT_TRUE(translated.ok());
+  auto response = server_->Execute(*translated);
+  ASSERT_TRUE(response.ok());
+  ASSERT_FALSE(response->blocks.empty());
+  ServerResponse tampered = *response;
+  for (auto& byte : tampered.blocks[0].ciphertext) byte ^= 0x5a;
+  auto answer = client_->PostProcess(*query, tampered);
+  // Either padding/parse rejects it, or (improbably) it decodes to
+  // something that is at least not the true answer.
+  if (answer.ok()) {
+    EXPECT_NE(answer->SerializedSorted(),
+              GroundTruth(client_->original(), *query).SerializedSorted());
+  }
+}
+
+TEST_F(ServerEngineTest, MalformedSkeletonRejected) {
+  ServerResponse bogus;
+  bogus.skeleton_xml = "<not-closed>";
+  auto query = ParseXPath("//patient");
+  auto answer = client_->PostProcess(*query, bogus);
+  EXPECT_FALSE(answer.ok());
+}
+
+TEST(ServerConservativeTest, TopSchemeSetsFullRequeryFlag) {
+  auto client = Client::Host(BuildHealthcareSample(), HealthcareConstraints(),
+                             SchemeKind::kTop, "server-test");
+  ASSERT_TRUE(client.ok());
+  const ServerEngine server(&client->database(), &client->metadata());
+  auto query = ParseXPath("//patient[pname='Betty']//disease");
+  ASSERT_TRUE(query.ok());
+  auto translated = client->Translate(*query);
+  ASSERT_TRUE(translated.ok());
+  auto response = server.Execute(*translated);
+  ASSERT_TRUE(response.ok());
+  // Everything lives in the single whole-document block, so the predicate
+  // could only be resolved conservatively.
+  EXPECT_TRUE(response->requires_full_requery);
+  EXPECT_EQ(response->blocks.size(), 1u);
+}
+
+}  // namespace
+}  // namespace xcrypt

@@ -1,0 +1,127 @@
+// Stateful stress test: a long random interleaving of value updates,
+// structural edits, queries, and aggregates against a hosted database,
+// continuously checked against the plaintext ground truth.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "das/das_system.h"
+#include "data/healthcare.h"
+#include "data/workload.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+class StressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressTest, RandomOperationSequenceStaysConsistent) {
+  Rng rng(GetParam());
+  auto das = DasSystem::Host(BuildHospital(15, GetParam() * 3 + 1),
+                             HealthcareConstraints(), SchemeKind::kOptimal,
+                             "stress");
+  ASSERT_TRUE(das.ok());
+
+  static const char* kQueries[] = {
+      "//patient//disease",
+      "//patient[.//disease='diarrhea']//SSN",
+      "//patient[age>='40']/pname",
+      "//treat/doctor",
+      "//insurance/policy#",
+      "//patient[pname='Betty']//disease",
+  };
+  static const char* kDiseases[] = {"flu", "mumps", "colic", "gout"};
+  static const char* kNames[] = {"Zelda", "Quinn", "Rey"};
+
+  int inserted = 0;
+  for (int op = 0; op < 30; ++op) {
+    const int dice = static_cast<int>(rng.UniformU64(0, 9));
+    if (dice < 4) {
+      // Query; must match ground truth on the *current* plaintext.
+      const char* text = kQueries[rng.UniformU64(0, std::size(kQueries) - 1)];
+      auto query = ParseXPath(text);
+      ASSERT_TRUE(query.ok());
+      auto run = das->Execute(*query);
+      ASSERT_TRUE(run.ok()) << text << " at op " << op << ": "
+                            << run.status().ToString();
+      EXPECT_EQ(run->answer.SerializedSorted(),
+                GroundTruth(das->client().original(), *query)
+                    .SerializedSorted())
+          << text << " at op " << op;
+    } else if (dice < 6) {
+      // Value update.
+      const std::string target =
+          rng.Bernoulli(0.5) ? "//patient[age>='60']//disease"
+                             : "//treat/doctor";
+      const std::string value =
+          rng.Bernoulli(0.5)
+              ? kDiseases[rng.UniformU64(0, std::size(kDiseases) - 1)]
+              : kNames[rng.UniformU64(0, std::size(kNames) - 1)];
+      auto updated = das->UpdateValues(target, value);
+      ASSERT_TRUE(updated.ok()) << "op " << op << ": "
+                                << updated.status().ToString();
+    } else if (dice < 7) {
+      // Aggregate; must match ground truth.
+      auto path = ParseXPath("//disease");
+      const AggregateKind kind = rng.Bernoulli(0.5) ? AggregateKind::kMin
+                                                    : AggregateKind::kCount;
+      auto run = das->ExecuteAggregate(*path, kind);
+      ASSERT_TRUE(run.ok()) << "op " << op;
+      const auto truth =
+          GroundTruthAggregate(das->client().original(), *path, kind);
+      if (kind == AggregateKind::kCount) {
+        EXPECT_EQ(run->answer.count, truth.count) << "op " << op;
+      } else {
+        EXPECT_EQ(run->answer.value, truth.value) << "op " << op;
+      }
+    } else if (dice < 8 && inserted < 3) {
+      // Structural insert.
+      Document patient;
+      const NodeId root = patient.AddRoot("patient");
+      patient.AddLeaf(root, "SSN",
+                      std::to_string(500000 + rng.UniformU64(0, 99999)));
+      patient.AddLeaf(root, "pname",
+                      kNames[rng.UniformU64(0, std::size(kNames) - 1)]);
+      const NodeId treat = patient.AddChild(root, "treat");
+      patient.AddLeaf(treat, "disease",
+                      kDiseases[rng.UniformU64(0, std::size(kDiseases) - 1)]);
+      patient.AddLeaf(treat, "doctor", "Adler");
+      const NodeId ins = patient.AddChild(root, "insurance");
+      patient.AddAttribute(ins, "coverage", "120000");
+      patient.AddLeaf(ins, "policy#", "70001");
+      patient.AddLeaf(root, "age",
+                      std::to_string(20 + rng.UniformU64(0, 60)));
+      ASSERT_TRUE(das->InsertSubtree("/hospital", patient).ok())
+          << "op " << op;
+      ++inserted;
+    } else {
+      // Structural delete of one patient (keep at least a few).
+      auto count =
+          das->ExecuteAggregate("//patient/SSN", AggregateKind::kCount);
+      ASSERT_TRUE(count.ok());
+      if (count->answer.count > 5) {
+        // Delete the oldest patient.
+        auto oldest =
+            das->ExecuteAggregate("//patient/age", AggregateKind::kMax);
+        ASSERT_TRUE(oldest.ok());
+        auto removed = das->DeleteSubtrees("//patient[age='" +
+                                           oldest->answer.value + "']");
+        ASSERT_TRUE(removed.ok()) << "op " << op << ": "
+                                  << removed.status().ToString();
+        EXPECT_GE(*removed, 1);
+      }
+    }
+
+    // Invariants after every operation.
+    EXPECT_TRUE(SchemeEnforcesConstraints(das->client().original(),
+                                          das->client().constraints(),
+                                          das->client().scheme()))
+        << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace xcrypt

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "das/das_system.h"
+#include "data/healthcare.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+class UpdateTest : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  UpdateTest() {
+    auto das = DasSystem::Host(BuildHealthcareSample(),
+                               HealthcareConstraints(), GetParam(),
+                               "update-secret");
+    EXPECT_TRUE(das.ok());
+    das_ = std::make_unique<DasSystem>(std::move(*das));
+  }
+
+  void ExpectQueryMatchesPlaintext(const std::string& xpath) {
+    auto query = ParseXPath(xpath);
+    ASSERT_TRUE(query.ok()) << xpath;
+    auto run = das_->Execute(*query);
+    ASSERT_TRUE(run.ok()) << xpath << ": " << run.status().ToString();
+    EXPECT_EQ(run->answer.SerializedSorted(),
+              GroundTruth(das_->client().original(), *query)
+                  .SerializedSorted())
+        << xpath;
+  }
+
+  std::unique_ptr<DasSystem> das_;
+};
+
+TEST_P(UpdateTest, ValueUpdateVisibleThroughProtocol) {
+  // Betty's diarrhea becomes influenza.
+  auto updated = das_->UpdateValues(
+      "//patient[SSN='763895']/treat/disease", "influenza");
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(*updated, 1);
+
+  ExpectQueryMatchesPlaintext("//patient[.//disease='influenza']//SSN");
+  ExpectQueryMatchesPlaintext("//patient[.//disease='diarrhea']//SSN");
+  ExpectQueryMatchesPlaintext("//disease");
+
+  // The new value is findable, the old one in that patient is gone.
+  auto query = ParseXPath("//patient[.//disease='influenza']/pname");
+  auto run = das_->Execute(*query);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->answer.nodes.size(), 1u);
+  EXPECT_EQ(run->answer.nodes[0].node(0).value, "Betty");
+}
+
+TEST_P(UpdateTest, PublicValueUpdate) {
+  // age is public under opt/app; encrypted under sub/top — both paths
+  // must work.
+  auto updated = das_->UpdateValues("//patient[SSN='276543']/age", "41");
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(*updated, 1);
+  ExpectQueryMatchesPlaintext("//patient[age='41']/SSN");
+  ExpectQueryMatchesPlaintext("//patient[age='40']/SSN");
+}
+
+TEST_P(UpdateTest, UpdateAllMatches) {
+  auto updated = das_->UpdateValues("//doctor", "House");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 4);
+  ExpectQueryMatchesPlaintext("//treat[doctor='House']/disease");
+  ExpectQueryMatchesPlaintext("//treat[doctor='Smith']/disease");
+}
+
+TEST_P(UpdateTest, UpdateRejectsNonLeafTargets) {
+  auto updated = das_->UpdateValues("//patient", "nope");
+  EXPECT_FALSE(updated.ok());
+  EXPECT_EQ(updated.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(UpdateTest, UpdateNoMatchesIsNoop) {
+  auto updated = das_->UpdateValues("//disease[.='cholera']", "x");
+  // The grammar has no self test; use a non-binding path instead.
+  updated = das_->UpdateValues("//patient[pname='Zzz']//disease", "x");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 0);
+}
+
+TEST_P(UpdateTest, InsertSubtreeRehosts) {
+  Document patient;
+  const NodeId root = patient.AddRoot("patient");
+  patient.AddLeaf(root, "SSN", "999999");
+  patient.AddLeaf(root, "pname", "Zelda");
+  const NodeId treat = patient.AddChild(root, "treat");
+  patient.AddLeaf(treat, "disease", "asthma");
+  patient.AddLeaf(treat, "doctor", "Chen");
+  patient.AddLeaf(root, "age", "28");
+
+  ASSERT_TRUE(das_->InsertSubtree("/hospital", patient).ok());
+  ExpectQueryMatchesPlaintext("//patient");
+  ExpectQueryMatchesPlaintext("//patient[pname='Zelda']//disease");
+  ExpectQueryMatchesPlaintext("//patient[.//disease='asthma']/age");
+
+  auto run = das_->Execute("//patient[pname='Zelda']/SSN");
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->answer.nodes.size(), 1u);
+  EXPECT_EQ(run->answer.nodes[0].node(0).value, "999999");
+}
+
+TEST_P(UpdateTest, DeleteSubtreesRehosts) {
+  auto removed = das_->DeleteSubtrees("//patient[pname='Matt']");
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(*removed, 1);
+  ExpectQueryMatchesPlaintext("//patient");
+  ExpectQueryMatchesPlaintext("//disease");
+  auto run = das_->Execute("//patient/pname");
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->answer.nodes.size(), 1u);
+  EXPECT_EQ(run->answer.nodes[0].node(0).value, "Betty");
+}
+
+TEST_P(UpdateTest, SchemeStillEnforcesConstraintsAfterStructuralEdit) {
+  Document treat;
+  const NodeId root = treat.AddRoot("treat");
+  treat.AddLeaf(root, "disease", "migraine");
+  treat.AddLeaf(root, "doctor", "Adler");
+  ASSERT_TRUE(
+      das_->InsertSubtree("//patient[pname='Betty']", treat).ok());
+  EXPECT_TRUE(SchemeEnforcesConstraints(das_->client().original(),
+                                        das_->client().constraints(),
+                                        das_->client().scheme()));
+}
+
+TEST_P(UpdateTest, ValueUpdateChangesCiphertextUnlinkably) {
+  // Capture the ciphertext of every block, update one disease, and check
+  // the touched block's ciphertext changed while sizes stay block-aligned.
+  const auto before = das_->client().database().blocks;
+  auto updated = das_->UpdateValues(
+      "//patient[SSN='763895']/treat/disease", "influenza");
+  ASSERT_TRUE(updated.ok());
+  const auto& after = das_->client().database().blocks;
+  ASSERT_EQ(before.size(), after.size());
+  int changed = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i].ciphertext != after[i].ciphertext) ++changed;
+  }
+  EXPECT_GE(changed, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, UpdateTest,
+    ::testing::Values(SchemeKind::kOptimal, SchemeKind::kApproximate,
+                      SchemeKind::kSub, SchemeKind::kTop),
+    [](const ::testing::TestParamInfo<SchemeKind>& info) {
+      return std::string(SchemeKindName(info.param));
+    });
+
+TEST(UpdateIncrementalityTest, ValueUpdateTouchesOnlyAffectedBlocks) {
+  auto das = DasSystem::Host(BuildHospital(40, 99), HealthcareConstraints(),
+                             SchemeKind::kOptimal, "s");
+  ASSERT_TRUE(das.ok());
+  const auto before = das->client().database().blocks;
+  auto updated =
+      das->UpdateValues("//patient[SSN='" +
+                            das->client().original().node(2).value +
+                            "']/pname",
+                        "Renamed");
+  ASSERT_TRUE(updated.ok());
+  const auto& after = das->client().database().blocks;
+  int changed = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i].ciphertext != after[i].ciphertext) ++changed;
+  }
+  // Exactly the one pname block was re-encrypted.
+  EXPECT_EQ(changed, 1);
+}
+
+}  // namespace
+}  // namespace xcrypt

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "data/healthcare.h"
+#include "data/nasa_generator.h"
+#include "data/xmark_generator.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+#include "xml/stats.h"
+
+namespace xcrypt {
+namespace {
+
+TEST(DocumentTest, BuildAndNavigate) {
+  Document doc;
+  const NodeId root = doc.AddRoot("a");
+  const NodeId b = doc.AddChild(root, "b");
+  const NodeId c = doc.AddLeaf(b, "c", "v1");
+  const NodeId attr = doc.AddAttribute(root, "id", "x");
+  EXPECT_EQ(doc.node_count(), 4);
+  EXPECT_EQ(doc.root(), root);
+  EXPECT_EQ(doc.node(c).parent, b);
+  EXPECT_TRUE(doc.node(attr).is_attribute);
+  EXPECT_TRUE(doc.IsLeaf(c));
+  EXPECT_FALSE(doc.IsLeaf(root));
+  EXPECT_EQ(doc.Depth(c), 2);
+  EXPECT_EQ(doc.Height(), 2);
+  EXPECT_TRUE(doc.IsAncestor(root, c));
+  EXPECT_FALSE(doc.IsAncestor(c, root));
+  EXPECT_FALSE(doc.IsAncestor(b, attr));
+  EXPECT_EQ(doc.SubtreeSize(root), 4);
+  EXPECT_EQ(doc.SubtreeSize(b), 2);
+}
+
+TEST(DocumentTest, DetachRemovesFromTree) {
+  Document doc;
+  const NodeId root = doc.AddRoot("a");
+  const NodeId b = doc.AddChild(root, "b");
+  doc.AddChild(root, "c");
+  ASSERT_TRUE(doc.Detach(b).ok());
+  EXPECT_EQ(doc.node(root).children.size(), 1u);
+  EXPECT_EQ(doc.SubtreeSize(root), 2);
+  // Detaching the root or an already-detached node fails.
+  EXPECT_FALSE(doc.Detach(root).ok());
+  EXPECT_FALSE(doc.Detach(b).ok());
+}
+
+TEST(DocumentTest, GraftSubtreeDeepCopies) {
+  Document src;
+  const NodeId root = src.AddRoot("x");
+  const NodeId y = src.AddChild(root, "y");
+  src.AddLeaf(y, "z", "42");
+  src.AddAttribute(y, "k", "v");
+
+  Document dst;
+  dst.AddRoot("top");
+  const NodeId grafted = dst.GraftSubtree(src, y, dst.root());
+  EXPECT_EQ(dst.SubtreeSize(grafted), 3);
+  EXPECT_EQ(dst.node(grafted).tag, "y");
+  // Mutating the copy leaves the source intact.
+  dst.node(grafted).tag = "mutated";
+  EXPECT_EQ(src.node(y).tag, "y");
+}
+
+TEST(DocumentTest, EqualTree) {
+  Document a = BuildHealthcareSample();
+  Document b = BuildHealthcareSample();
+  EXPECT_TRUE(a.EqualTree(b));
+  b.node(3).value += "x";
+  EXPECT_FALSE(a.EqualTree(b));
+}
+
+TEST(DocumentTest, PreOrderVisitsAllReachable) {
+  Document doc = BuildHealthcareSample();
+  EXPECT_EQ(static_cast<int>(doc.PreOrder().size()), doc.node_count());
+  // Pre-order: parent before child.
+  const auto order = doc.PreOrder();
+  std::vector<int> position(doc.node_count(), -1);
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (NodeId id : order) {
+    const NodeId p = doc.node(id).parent;
+    if (p != kNullNode) {
+      EXPECT_LT(position[p], position[id]);
+    }
+  }
+}
+
+TEST(XmlParserTest, ParsesElementsAttributesText) {
+  auto doc = ParseXml(
+      "<root a=\"1\"><child>text</child><empty/><b x='y'/></root>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node(doc->root()).tag, "root");
+  // root: attr a, child, empty, b (+ b's attr).
+  EXPECT_EQ(doc->node_count(), 6);
+  const auto& kids = doc->node(doc->root()).children;
+  ASSERT_EQ(kids.size(), 4u);
+  EXPECT_TRUE(doc->node(kids[0]).is_attribute);
+  EXPECT_EQ(doc->node(kids[1]).value, "text");
+}
+
+TEST(XmlParserTest, SkipsPrologAndComments) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node_count(), 2);
+}
+
+TEST(XmlParserTest, LimitedMixedContent) {
+  // Text plus children: the text becomes the element's value (used by
+  // encryption-decoy payloads).
+  auto doc = ParseXml("<a>x<b/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node(0).value, "x");
+  EXPECT_EQ(doc->node(0).children.size(), 1u);
+  // Round-trips.
+  auto again = ParseXml(SerializeXml(*doc, 0, 0));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(doc->EqualTree(*again));
+}
+
+TEST(XmlParserTest, DecodesEntities) {
+  auto doc = ParseXml("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node(0).value, "<x> & \"y\" 'z'");
+}
+
+TEST(XmlParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a>&bogus;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());  // two roots
+  EXPECT_FALSE(ParseXml("<a b=c/>").ok());  // unquoted attribute
+}
+
+TEST(XmlParserTest, EscapeRoundTrip) {
+  const std::string nasty = "a<b>&\"c'd";
+  auto doc = ParseXml("<t>" + XmlEscape(nasty) + "</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node(0).value, nasty);
+}
+
+TEST(XmlSerializerTest, CompactOutput) {
+  Document doc;
+  const NodeId root = doc.AddRoot("r");
+  doc.AddAttribute(root, "k", "v");
+  doc.AddLeaf(root, "c", "17");
+  EXPECT_EQ(SerializeXml(doc, doc.root(), 0), "<r k=\"v\"><c>17</c></r>");
+}
+
+TEST(XmlSerializerTest, SelfClosingEmptyElements) {
+  Document doc;
+  const NodeId root = doc.AddRoot("r");
+  doc.AddChild(root, "empty");
+  EXPECT_EQ(SerializeXml(doc, doc.root(), 0), "<r><empty/></r>");
+}
+
+// Round-trip property over all generated corpora.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Document Build() const {
+    const std::string which = GetParam();
+    if (which == "healthcare") return BuildHealthcareSample();
+    if (which == "hospital") return BuildHospital(25, 3);
+    if (which == "xmark") return GenerateXMark({.people = 20, .items = 10});
+    return GenerateNasa({.datasets = 15});
+  }
+};
+
+TEST_P(RoundTripTest, SerializeParseSerialize) {
+  const Document doc = Build();
+  const std::string xml = SerializeXml(doc, doc.root(), 0);
+  auto parsed = ParseXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(doc.EqualTree(*parsed));
+  EXPECT_EQ(SerializeXml(*parsed, parsed->root(), 0), xml);
+}
+
+TEST_P(RoundTripTest, PrettyPrintedAlsoParses) {
+  const Document doc = Build();
+  const std::string xml = SerializeXml(doc, doc.root(), 2);
+  auto parsed = ParseXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(doc.EqualTree(*parsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpora, RoundTripTest,
+                         ::testing::Values("healthcare", "hospital", "xmark",
+                                           "nasa"));
+
+TEST(ValueLessTest, NumericVersusLexicographic) {
+  EXPECT_TRUE(ValueLess("9", "10"));     // numeric
+  EXPECT_FALSE(ValueLess("10", "9"));
+  EXPECT_TRUE(ValueLess("abc", "abd"));  // lexicographic
+  EXPECT_TRUE(ValueLess("10", "a"));     // mixed -> lexicographic
+  EXPECT_FALSE(ValueLess("5", "5"));
+}
+
+TEST(DocumentStatsTest, HealthcareHistograms) {
+  const Document doc = BuildHealthcareSample();
+  const DocumentStats stats(doc);
+  EXPECT_EQ(stats.total_nodes(), doc.node_count());
+  EXPECT_EQ(stats.height(), 3);
+
+  const ValueHistogram* disease = stats.HistogramFor("disease");
+  ASSERT_NE(disease, nullptr);
+  EXPECT_EQ(disease->DistinctValues(), 2);
+  EXPECT_EQ(disease->counts.at("diarrhea"), 2);
+  EXPECT_EQ(disease->counts.at("leukemia"), 1);
+  EXPECT_EQ(disease->TotalOccurrences(), 3);
+
+  const ValueHistogram* policy = stats.HistogramFor("policy#");
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->counts.at("26544"), 2);
+
+  EXPECT_EQ(stats.tag_counts().at("patient"), 2);
+  EXPECT_EQ(stats.tag_counts().at("insurance"), 3);
+  EXPECT_EQ(stats.HistogramFor("no-such-tag"), nullptr);
+}
+
+}  // namespace
+}  // namespace xcrypt

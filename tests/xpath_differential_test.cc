@@ -1,0 +1,202 @@
+// Differential testing of the XPath engine: an independently written,
+// deliberately naive reference evaluator (plain set semantics, no shared
+// code with src/xpath beyond the AST) is compared against XPathEvaluator
+// on randomly generated documents and randomly generated queries.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "data/healthcare.h"
+#include "data/nasa_generator.h"
+#include "data/xmark_generator.h"
+#include "xpath/evaluator.h"
+#include "das/das_system.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+// ---------------------------------------------------------------------
+// Reference implementation (naive, quadratic, obviously correct).
+// ---------------------------------------------------------------------
+
+std::set<NodeId> RefEval(const Document& doc, const std::set<NodeId>& ctx,
+                         const std::vector<Step>& steps, size_t k);
+
+bool RefPredicate(const Document& doc, NodeId ctx, const Predicate& pred) {
+  const std::set<NodeId> bound =
+      RefEval(doc, {ctx}, pred.path.steps, 0);
+  if (!pred.op.has_value()) return !bound.empty();
+  for (NodeId id : bound) {
+    if (CompareValues(doc.node(id).value, *pred.op, pred.literal)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RefMatches(const Document& doc, NodeId id, const Step& step) {
+  const Node& n = doc.node(id);
+  if (n.is_attribute != step.is_attribute) return false;
+  if (step.tag != "*" && step.tag != n.tag) return false;
+  for (const Predicate& pred : step.predicates) {
+    if (!RefPredicate(doc, id, pred)) return false;
+  }
+  return true;
+}
+
+std::set<NodeId> RefEval(const Document& doc, const std::set<NodeId>& ctx,
+                         const std::vector<Step>& steps, size_t k) {
+  if (k == steps.size()) return ctx;
+  const Step& step = steps[k];
+  std::set<NodeId> next;
+  for (NodeId c : ctx) {
+    if (step.axis == Axis::kChild) {
+      for (NodeId child : doc.node(c).children) {
+        if (RefMatches(doc, child, step)) next.insert(child);
+      }
+    } else {
+      // Every proper descendant.
+      for (NodeId other : doc.PreOrder()) {
+        if (doc.IsAncestor(c, other) && RefMatches(doc, other, step)) {
+          next.insert(other);
+        }
+      }
+    }
+  }
+  return RefEval(doc, next, steps, k + 1);
+}
+
+std::set<NodeId> RefEvaluateAbsolute(const Document& doc,
+                                     const PathExpr& path) {
+  if (doc.empty() || path.empty()) return {};
+  // Virtual document node: / child = root; // descendant = every node.
+  std::set<NodeId> first;
+  const Step& step0 = path.steps.front();
+  if (step0.axis == Axis::kChild) {
+    if (RefMatches(doc, doc.root(), step0)) first.insert(doc.root());
+  } else {
+    for (NodeId id : doc.PreOrder()) {
+      if (RefMatches(doc, id, step0)) first.insert(id);
+    }
+  }
+  return RefEval(doc, first, path.steps, 1);
+}
+
+// ---------------------------------------------------------------------
+// Random query generation over the document's actual vocabulary.
+// ---------------------------------------------------------------------
+
+std::string RandomQuery(const Document& doc, Rng& rng) {
+  // Collect tags and a few leaf values.
+  std::vector<std::string> tags;
+  std::vector<std::pair<std::string, std::string>> leaf_values;
+  for (NodeId id : doc.PreOrder()) {
+    const Node& n = doc.node(id);
+    if (n.is_attribute) continue;
+    tags.push_back(n.tag);
+    if (doc.IsLeaf(id) && !n.value.empty() &&
+        n.value.find('\'') == std::string::npos) {
+      leaf_values.emplace_back(n.tag, n.value);
+    }
+  }
+  auto tag = [&] { return tags[rng.UniformU64(0, tags.size() - 1)]; };
+
+  std::string q;
+  const int steps = 1 + static_cast<int>(rng.UniformU64(0, 2));
+  for (int s = 0; s < steps; ++s) {
+    q += rng.Bernoulli(0.7) ? "//" : "/";
+    q += rng.Bernoulli(0.1) ? "*" : tag();
+    // Occasionally attach a predicate.
+    if (!leaf_values.empty() && rng.Bernoulli(0.4)) {
+      const auto& [ptag, pvalue] =
+          leaf_values[rng.UniformU64(0, leaf_values.size() - 1)];
+      const char* op =
+          rng.Bernoulli(0.5) ? "=" : (rng.Bernoulli(0.5) ? ">=" : "<");
+      if (rng.Bernoulli(0.5)) {
+        q += "[.//" + ptag + op + "'" + pvalue + "']";
+      } else {
+        q += "[" + ptag + op + "'" + pvalue + "']";
+      }
+    } else if (rng.Bernoulli(0.15)) {
+      q += "[" + tag() + "]";
+    }
+  }
+  return q;
+}
+
+class XPathDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XPathDifferentialTest, EngineMatchesNaiveReference) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    Document doc;
+    switch (rng.UniformU64(0, 2)) {
+      case 0:
+        doc = BuildHospital(6 + rng.UniformU64(0, 10), rng.NextU64());
+        break;
+      case 1:
+        doc = GenerateXMark({.people = 4, .items = 3,
+                             .seed = rng.NextU64()});
+        break;
+      default:
+        doc = GenerateNasa({.datasets = 4, .seed = rng.NextU64()});
+        break;
+    }
+    const XPathEvaluator eval(doc);
+    for (int t = 0; t < 25; ++t) {
+      const std::string text = RandomQuery(doc, rng);
+      auto parsed = ParseXPath(text);
+      ASSERT_TRUE(parsed.ok()) << text;
+      const std::vector<NodeId> fast = eval.Evaluate(*parsed);
+      const std::set<NodeId> ref = RefEvaluateAbsolute(doc, *parsed);
+      EXPECT_EQ(std::set<NodeId>(fast.begin(), fast.end()), ref)
+          << "query " << text << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XPathDifferentialTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u));
+
+// And the full protocol against the reference, on a small corpus.
+TEST(ProtocolDifferentialTest, ProtocolMatchesNaiveReference) {
+  Rng rng(777);
+  const Document doc = BuildHospital(12, 13);
+  for (SchemeKind kind : {SchemeKind::kOptimal, SchemeKind::kTop}) {
+    auto das = DasSystem::Host(doc, HealthcareConstraints(), kind, "diff");
+    ASSERT_TRUE(das.ok());
+    int executed = 0;
+    for (int t = 0; t < 40 && executed < 20; ++t) {
+      const std::string text = RandomQuery(doc, rng);
+      auto parsed = ParseXPath(text);
+      ASSERT_TRUE(parsed.ok()) << text;
+      auto run = das->Execute(*parsed);
+      if (!run.ok()) {
+        // Unknown-tag and unsupported-operator queries are allowed to be
+        // rejected; anything else is a bug.
+        ASSERT_TRUE(run.status().code() == StatusCode::kNotFound ||
+                    run.status().code() == StatusCode::kUnsupported)
+            << text << ": " << run.status().ToString();
+        continue;
+      }
+      ++executed;
+      const std::set<NodeId> ref = RefEvaluateAbsolute(doc, *parsed);
+      QueryAnswer truth;
+      for (NodeId id : ref) {
+        Document fragment;
+        fragment.GraftSubtree(doc, id, kNullNode);
+        truth.nodes.push_back(std::move(fragment));
+      }
+      EXPECT_EQ(run->answer.SerializedSorted(), truth.SerializedSorted())
+          << text << " under " << SchemeKindName(kind);
+    }
+    EXPECT_GE(executed, 10);
+  }
+}
+
+}  // namespace
+}  // namespace xcrypt

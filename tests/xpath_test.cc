@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "data/healthcare.h"
+#include "xpath/ast.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+PathExpr MustParse(const std::string& text) {
+  auto expr = ParseXPath(text);
+  EXPECT_TRUE(expr.ok()) << text << ": " << expr.status().ToString();
+  return *expr;
+}
+
+TEST(XPathParserTest, SimplePaths) {
+  PathExpr p = MustParse("/hospital/patient");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[0].tag, "hospital");
+  EXPECT_EQ(p.steps[1].tag, "patient");
+
+  p = MustParse("//insurance");
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendant);
+}
+
+TEST(XPathParserTest, AttributesAndWildcards) {
+  PathExpr p = MustParse("//insurance/@coverage");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_TRUE(p.steps[1].is_attribute);
+  EXPECT_EQ(p.steps[1].tag, "coverage");
+
+  p = MustParse("//patient/*");
+  EXPECT_EQ(p.steps[1].tag, "*");
+}
+
+TEST(XPathParserTest, Predicates) {
+  PathExpr p = MustParse("//patient[pname='Betty'][.//disease='diarrhea']");
+  ASSERT_EQ(p.steps.size(), 1u);
+  ASSERT_EQ(p.steps[0].predicates.size(), 2u);
+  const Predicate& p0 = p.steps[0].predicates[0];
+  EXPECT_EQ(p0.path.steps[0].tag, "pname");
+  EXPECT_EQ(p0.path.steps[0].axis, Axis::kChild);
+  ASSERT_TRUE(p0.op.has_value());
+  EXPECT_EQ(*p0.op, CompOp::kEq);
+  EXPECT_EQ(p0.literal, "Betty");
+  const Predicate& p1 = p.steps[0].predicates[1];
+  EXPECT_EQ(p1.path.steps[0].axis, Axis::kDescendant);
+}
+
+TEST(XPathParserTest, AllComparisonOperators) {
+  EXPECT_EQ(*MustParse("//a[b<5]").steps[0].predicates[0].op, CompOp::kLt);
+  EXPECT_EQ(*MustParse("//a[b>5]").steps[0].predicates[0].op, CompOp::kGt);
+  EXPECT_EQ(*MustParse("//a[b<=5]").steps[0].predicates[0].op, CompOp::kLe);
+  EXPECT_EQ(*MustParse("//a[b>=5]").steps[0].predicates[0].op, CompOp::kGe);
+  EXPECT_EQ(*MustParse("//a[b!=5]").steps[0].predicates[0].op, CompOp::kNe);
+  EXPECT_EQ(*MustParse("//a[b=5]").steps[0].predicates[0].op, CompOp::kEq);
+}
+
+TEST(XPathParserTest, ExistencePredicate) {
+  PathExpr p = MustParse("//patient[insurance]");
+  EXPECT_FALSE(p.steps[0].predicates[0].op.has_value());
+}
+
+TEST(XPathParserTest, BareAndQuotedLiterals) {
+  EXPECT_EQ(MustParse("//a[b=Betty]").steps[0].predicates[0].literal,
+            "Betty");
+  EXPECT_EQ(MustParse("//a[b=\"x y\"]").steps[0].predicates[0].literal,
+            "x y");
+  EXPECT_EQ(MustParse("//a[b='3.5']").steps[0].predicates[0].literal, "3.5");
+}
+
+TEST(XPathParserTest, PredicateWithAttributePath) {
+  PathExpr p = MustParse("//patient[.//insurance/@coverage>='10000']//SSN");
+  ASSERT_EQ(p.steps.size(), 2u);
+  const Predicate& pred = p.steps[0].predicates[0];
+  ASSERT_EQ(pred.path.steps.size(), 2u);
+  EXPECT_EQ(pred.path.steps[0].axis, Axis::kDescendant);
+  EXPECT_TRUE(pred.path.steps[1].is_attribute);
+  EXPECT_EQ(*pred.op, CompOp::kGe);
+}
+
+TEST(XPathParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("patient").ok());  // top-level must be absolute
+  EXPECT_FALSE(ParseXPath("//a[").ok());
+  EXPECT_FALSE(ParseXPath("//a[b=]").ok());
+  EXPECT_FALSE(ParseXPath("//a[b='x]").ok());
+  EXPECT_FALSE(ParseXPath("//a/").ok());
+  EXPECT_FALSE(ParseXPath("//a extra").ok());
+}
+
+TEST(XPathParserTest, RelativePaths) {
+  auto rel = ParseRelativePath("/pname");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->steps[0].axis, Axis::kChild);
+  rel = ParseRelativePath("//disease");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->steps[0].axis, Axis::kDescendant);
+  rel = ParseRelativePath("pname");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->steps[0].axis, Axis::kChild);
+}
+
+TEST(XPathAstTest, ToStringRoundTrip) {
+  for (const char* text : {
+           "/hospital/patient",
+           "//insurance",
+           "//patient//SSN",
+           "//insurance/@coverage",
+           "//patient[pname='Betty']//disease",
+           "//patient[.//insurance/@coverage>='10000']//SSN",
+           "//a/*//b",
+       }) {
+    const PathExpr p = MustParse(text);
+    const PathExpr reparsed = MustParse(p.ToString());
+    EXPECT_EQ(p.ToString(), reparsed.ToString()) << text;
+  }
+}
+
+TEST(XPathAstTest, HasPrefix) {
+  const PathExpr full = MustParse("//patient/pname");
+  EXPECT_TRUE(full.HasPrefix(MustParse("//patient")));
+  EXPECT_TRUE(full.HasPrefix(full));
+  EXPECT_FALSE(full.HasPrefix(MustParse("/patient")));   // axis differs
+  EXPECT_FALSE(full.HasPrefix(MustParse("//treat")));
+  EXPECT_FALSE(MustParse("//patient").HasPrefix(full));  // longer prefix
+}
+
+TEST(CompareValuesTest, NumericAndString) {
+  EXPECT_TRUE(CompareValues("10", CompOp::kGt, "9"));
+  EXPECT_FALSE(CompareValues("10", CompOp::kLt, "9"));
+  EXPECT_TRUE(CompareValues("abc", CompOp::kEq, "abc"));
+  EXPECT_TRUE(CompareValues("abc", CompOp::kNe, "abd"));
+  EXPECT_TRUE(CompareValues("10000", CompOp::kGe, "10000"));
+  EXPECT_TRUE(CompareValues("a", CompOp::kLt, "b"));
+}
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() : doc_(BuildHealthcareSample()), eval_(doc_) {}
+
+  int Count(const std::string& query) {
+    return static_cast<int>(eval_.Evaluate(MustParse(query)).size());
+  }
+
+  Document doc_;
+  XPathEvaluator eval_;
+};
+
+TEST_F(EvaluatorTest, RootAndChildren) {
+  EXPECT_EQ(Count("/hospital"), 1);
+  EXPECT_EQ(Count("/hospital/patient"), 2);
+  EXPECT_EQ(Count("/nosuch"), 0);
+  EXPECT_EQ(Count("/patient"), 0);  // patient is not the root
+}
+
+TEST_F(EvaluatorTest, DescendantAxis) {
+  EXPECT_EQ(Count("//patient"), 2);
+  EXPECT_EQ(Count("//disease"), 3);
+  EXPECT_EQ(Count("//insurance"), 3);
+  EXPECT_EQ(Count("//policy#"), 4);
+  EXPECT_EQ(Count("//hospital"), 1);  // root itself matches //
+}
+
+TEST_F(EvaluatorTest, MixedAxes) {
+  EXPECT_EQ(Count("//patient/treat/disease"), 3);
+  EXPECT_EQ(Count("//patient//disease"), 3);
+  EXPECT_EQ(Count("/hospital//doctor"), 4);
+  EXPECT_EQ(Count("//treat/doctor"), 4);
+}
+
+TEST_F(EvaluatorTest, Attributes) {
+  EXPECT_EQ(Count("//insurance/@coverage"), 3);
+  EXPECT_EQ(Count("//@coverage"), 3);
+  EXPECT_EQ(Count("//coverage"), 0);  // attribute needs @
+}
+
+TEST_F(EvaluatorTest, Wildcard) {
+  EXPECT_EQ(Count("/hospital/*"), 2);
+  EXPECT_EQ(Count("//patient/*"), 12);  // non-attribute children of patients
+}
+
+TEST_F(EvaluatorTest, ValuePredicates) {
+  EXPECT_EQ(Count("//patient[pname='Betty']"), 1);
+  EXPECT_EQ(Count("//patient[pname='Nobody']"), 0);
+  EXPECT_EQ(Count("//patient[.//disease='diarrhea']"), 2);
+  EXPECT_EQ(Count("//patient[.//disease='leukemia']"), 1);
+  EXPECT_EQ(Count("//patient[.//insurance/@coverage>='10000']"), 2);
+  EXPECT_EQ(Count("//patient[.//insurance/@coverage>'100000']"), 1);
+  EXPECT_EQ(Count("//treat[disease='diarrhea'][doctor='Smith']"), 2);
+  EXPECT_EQ(Count("//treat[disease='leukemia'][doctor='Smith']"), 0);
+}
+
+TEST_F(EvaluatorTest, ExistencePredicates) {
+  EXPECT_EQ(Count("//patient[insurance]"), 2);
+  EXPECT_EQ(Count("//patient[treat/disease]"), 2);
+  EXPECT_EQ(Count("//patient[nonexistent]"), 0);
+}
+
+TEST_F(EvaluatorTest, PaperRunningExample) {
+  // Figure 7(b): both patients have coverage >= 10000.
+  const auto result =
+      eval_.Evaluate(MustParse("//patient[.//insurance/@coverage>='10000']//SSN"));
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(doc_.node(result[0]).value, "763895");
+  EXPECT_EQ(doc_.node(result[1]).value, "276543");
+}
+
+TEST_F(EvaluatorTest, ResultsAreDocOrderedAndUnique) {
+  const auto result = eval_.Evaluate(MustParse("//disease"));
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(result.begin(), result.end()));
+}
+
+TEST_F(EvaluatorTest, EvaluateFromContext) {
+  const auto patients = eval_.Evaluate(MustParse("//patient"));
+  ASSERT_EQ(patients.size(), 2u);
+  auto rel = ParseRelativePath("//disease");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(eval_.EvaluateFrom(patients[0], *rel).size(), 1u);
+  EXPECT_EQ(eval_.EvaluateFrom(patients[1], *rel).size(), 2u);
+}
+
+}  // namespace
+}  // namespace xcrypt
