@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_resistance.dir/bench/bench_attack_resistance.cc.o"
+  "CMakeFiles/bench_attack_resistance.dir/bench/bench_attack_resistance.cc.o.d"
+  "bench/bench_attack_resistance"
+  "bench/bench_attack_resistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_resistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_division_of_work.dir/bench/bench_division_of_work.cc.o"
+  "CMakeFiles/bench_division_of_work.dir/bench/bench_division_of_work.cc.o.d"
+  "bench/bench_division_of_work"
+  "bench/bench_division_of_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_division_of_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

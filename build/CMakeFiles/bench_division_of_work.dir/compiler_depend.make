@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_division_of_work.
+# This may be replaced when dependencies are built.

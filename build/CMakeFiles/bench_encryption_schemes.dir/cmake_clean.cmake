@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encryption_schemes.dir/bench/bench_encryption_schemes.cc.o"
+  "CMakeFiles/bench_encryption_schemes.dir/bench/bench_encryption_schemes.cc.o.d"
+  "bench/bench_encryption_schemes"
+  "bench/bench_encryption_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encryption_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_saving_ratios.dir/bench/bench_fig10_saving_ratios.cc.o"
+  "CMakeFiles/bench_fig10_saving_ratios.dir/bench/bench_fig10_saving_ratios.cc.o.d"
+  "bench/bench_fig10_saving_ratios"
+  "bench/bench_fig10_saving_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_saving_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

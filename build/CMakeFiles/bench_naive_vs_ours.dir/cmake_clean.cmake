@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naive_vs_ours.dir/bench/bench_naive_vs_ours.cc.o"
+  "CMakeFiles/bench_naive_vs_ours.dir/bench/bench_naive_vs_ours.cc.o.d"
+  "bench/bench_naive_vs_ours"
+  "bench/bench_naive_vs_ours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_vs_ours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_security_candidates.dir/bench/bench_security_candidates.cc.o"
+  "CMakeFiles/bench_security_candidates.dir/bench/bench_security_candidates.cc.o.d"
+  "bench/bench_security_candidates"
+  "bench/bench_security_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xcrypt_shell.dir/xcrypt_shell.cpp.o"
+  "CMakeFiles/xcrypt_shell.dir/xcrypt_shell.cpp.o.d"
+  "xcrypt_shell"
+  "xcrypt_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xcrypt_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bigint.cc" "src/CMakeFiles/xcrypt.dir/common/bigint.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/common/bigint.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/xcrypt.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/xcrypt.dir/common/random.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xcrypt.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/common/status.cc.o.d"
+  "/root/repo/src/core/aggregate.cc" "src/CMakeFiles/xcrypt.dir/core/aggregate.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/aggregate.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/CMakeFiles/xcrypt.dir/core/client.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/client.cc.o.d"
+  "/root/repo/src/core/constraint_graph.cc" "src/CMakeFiles/xcrypt.dir/core/constraint_graph.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/constraint_graph.cc.o.d"
+  "/root/repo/src/core/encryption_scheme.cc" "src/CMakeFiles/xcrypt.dir/core/encryption_scheme.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/encryption_scheme.cc.o.d"
+  "/root/repo/src/core/encryptor.cc" "src/CMakeFiles/xcrypt.dir/core/encryptor.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/encryptor.cc.o.d"
+  "/root/repo/src/core/metadata.cc" "src/CMakeFiles/xcrypt.dir/core/metadata.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/metadata.cc.o.d"
+  "/root/repo/src/core/opess.cc" "src/CMakeFiles/xcrypt.dir/core/opess.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/opess.cc.o.d"
+  "/root/repo/src/core/query_translator.cc" "src/CMakeFiles/xcrypt.dir/core/query_translator.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/query_translator.cc.o.d"
+  "/root/repo/src/core/security_constraint.cc" "src/CMakeFiles/xcrypt.dir/core/security_constraint.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/security_constraint.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/CMakeFiles/xcrypt.dir/core/server.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/server.cc.o.d"
+  "/root/repo/src/core/translated_query.cc" "src/CMakeFiles/xcrypt.dir/core/translated_query.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/translated_query.cc.o.d"
+  "/root/repo/src/core/vertex_cover.cc" "src/CMakeFiles/xcrypt.dir/core/vertex_cover.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/core/vertex_cover.cc.o.d"
+  "/root/repo/src/crypto/aes.cc" "src/CMakeFiles/xcrypt.dir/crypto/aes.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/crypto/keychain.cc" "src/CMakeFiles/xcrypt.dir/crypto/keychain.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/crypto/keychain.cc.o.d"
+  "/root/repo/src/crypto/ope.cc" "src/CMakeFiles/xcrypt.dir/crypto/ope.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/crypto/ope.cc.o.d"
+  "/root/repo/src/crypto/prf.cc" "src/CMakeFiles/xcrypt.dir/crypto/prf.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/crypto/prf.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/xcrypt.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/vernam.cc" "src/CMakeFiles/xcrypt.dir/crypto/vernam.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/crypto/vernam.cc.o.d"
+  "/root/repo/src/das/das_system.cc" "src/CMakeFiles/xcrypt.dir/das/das_system.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/das/das_system.cc.o.d"
+  "/root/repo/src/data/healthcare.cc" "src/CMakeFiles/xcrypt.dir/data/healthcare.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/data/healthcare.cc.o.d"
+  "/root/repo/src/data/nasa_generator.cc" "src/CMakeFiles/xcrypt.dir/data/nasa_generator.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/data/nasa_generator.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/CMakeFiles/xcrypt.dir/data/workload.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/data/workload.cc.o.d"
+  "/root/repo/src/data/xmark_generator.cc" "src/CMakeFiles/xcrypt.dir/data/xmark_generator.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/data/xmark_generator.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/xcrypt.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/continuous.cc" "src/CMakeFiles/xcrypt.dir/index/continuous.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/index/continuous.cc.o.d"
+  "/root/repo/src/index/dsi.cc" "src/CMakeFiles/xcrypt.dir/index/dsi.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/index/dsi.cc.o.d"
+  "/root/repo/src/index/dsi_table.cc" "src/CMakeFiles/xcrypt.dir/index/dsi_table.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/index/dsi_table.cc.o.d"
+  "/root/repo/src/index/structural_join.cc" "src/CMakeFiles/xcrypt.dir/index/structural_join.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/index/structural_join.cc.o.d"
+  "/root/repo/src/security/attacks.cc" "src/CMakeFiles/xcrypt.dir/security/attacks.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/security/attacks.cc.o.d"
+  "/root/repo/src/security/auditor.cc" "src/CMakeFiles/xcrypt.dir/security/auditor.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/security/auditor.cc.o.d"
+  "/root/repo/src/security/belief.cc" "src/CMakeFiles/xcrypt.dir/security/belief.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/security/belief.cc.o.d"
+  "/root/repo/src/security/candidates.cc" "src/CMakeFiles/xcrypt.dir/security/candidates.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/security/candidates.cc.o.d"
+  "/root/repo/src/security/indistinguishability.cc" "src/CMakeFiles/xcrypt.dir/security/indistinguishability.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/security/indistinguishability.cc.o.d"
+  "/root/repo/src/storage/serializer.cc" "src/CMakeFiles/xcrypt.dir/storage/serializer.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/storage/serializer.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/xcrypt.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xcrypt.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/stats.cc" "src/CMakeFiles/xcrypt.dir/xml/stats.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/xml/stats.cc.o.d"
+  "/root/repo/src/xpath/ast.cc" "src/CMakeFiles/xcrypt.dir/xpath/ast.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/xpath/ast.cc.o.d"
+  "/root/repo/src/xpath/evaluator.cc" "src/CMakeFiles/xcrypt.dir/xpath/evaluator.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/xpath/evaluator.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/CMakeFiles/xcrypt.dir/xpath/parser.cc.o" "gcc" "src/CMakeFiles/xcrypt.dir/xpath/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregate_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/aggregate_test.cc.o.d"
+  "/root/repo/tests/auditor_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/auditor_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/auditor_test.cc.o.d"
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/constraint_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/constraint_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/constraint_test.cc.o.d"
+  "/root/repo/tests/continuous_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/continuous_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/continuous_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/das_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/das_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/das_test.cc.o.d"
+  "/root/repo/tests/dsi_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/dsi_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/dsi_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/encryptor_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/encryptor_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/encryptor_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/opess_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/opess_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/opess_test.cc.o.d"
+  "/root/repo/tests/security_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/security_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/security_test.cc.o.d"
+  "/root/repo/tests/server_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/server_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/server_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/update_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/update_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/update_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/xml_test.cc.o.d"
+  "/root/repo/tests/xpath_differential_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/xpath_differential_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/xpath_differential_test.cc.o.d"
+  "/root/repo/tests/xpath_test.cc" "tests/CMakeFiles/xcrypt_tests.dir/xpath_test.cc.o" "gcc" "tests/CMakeFiles/xcrypt_tests.dir/xpath_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xcrypt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
