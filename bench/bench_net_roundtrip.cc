@@ -1,0 +1,118 @@
+// Service-layer overhead: what does putting the untrusted server behind
+// an actual TCP connection (xcrypt_serve's engine on a loopback port)
+// cost over calling it in-process?
+//
+// For the fig9/E5 workload we report, per query class, the engine time
+// seen in-process vs remotely (they should agree — it is the same
+// engine), the measured wire time, and the resulting RPC overhead
+// relative to in-process dispatch. A ping microbenchmark gives the
+// round-trip floor: one request frame + one response frame with empty
+// payloads through the full socket/framing stack.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "net/remote_engine.h"
+#include "net/server.h"
+#include "storage/serializer.h"
+
+int main() {
+  using namespace xcrypt;
+  using namespace xcrypt::bench;
+
+  PrintHeader("Service layer: RPC round trip vs in-process dispatch");
+
+  Corpus corpus = MakeNasa(1);
+  auto das = DasSystem::Host(corpus.doc, corpus.constraints,
+                             SchemeKind::kOptimal, "net-bench-secret");
+  if (!das.ok()) {
+    std::fprintf(stderr, "%s\n", das.status().ToString().c_str());
+    return 1;
+  }
+
+  auto bundle = DeserializeBundle(
+      SerializeBundle(das->client().database(), das->client().metadata()));
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+  auto server =
+      net::NetServer::Serve(std::move(*bundle), "127.0.0.1", /*port=*/0);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("corpus: %s-like, %d nodes; engine on 127.0.0.1:%u\n",
+              corpus.name.c_str(), corpus.doc.node_count(),
+              (*server)->port());
+
+  // Round-trip floor: empty ping frames through the whole stack.
+  {
+    auto remote =
+        net::RemoteServerEngine::Connect("127.0.0.1", (*server)->port());
+    if (!remote.ok()) {
+      std::fprintf(stderr, "%s\n", remote.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<double> rtt;
+    for (int i = 0; i < 200; ++i) {
+      Stopwatch sw;
+      if (!(*remote)->Ping().ok()) return 1;
+      rtt.push_back(sw.ElapsedMicros());
+    }
+    std::printf("\nping floor (200 pings): %.1f us trimmed mean\n",
+                TrimmedMean(rtt));
+  }
+
+  std::printf("\n%-4s %15s | %15s %12s | %10s\n", "", "in-process", "remote",
+              "", "");
+  std::printf("%-4s %15s | %15s %12s | %10s\n", "", "server/us", "server/us",
+              "wire/us", "overhead");
+  PrintRule();
+
+  double sum_inproc = 0.0, sum_remote_total = 0.0;
+  for (WorkloadKind wk :
+       {WorkloadKind::kQs, WorkloadKind::kQm, WorkloadKind::kQl}) {
+    const auto workload = BuildWorkload(corpus.doc, wk, 10, 23);
+
+    das->DisconnectRemote();
+    const AveragedCosts inproc = RunWorkload(*das, workload);
+
+    Status connected = das->ConnectRemote("127.0.0.1", (*server)->port());
+    if (!connected.ok()) {
+      std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+      return 1;
+    }
+    const AveragedCosts remote = RunWorkload(*das, workload);
+
+    // In-process dispatch is just the engine call; the remote dispatch
+    // additionally pays the (measured) wire time.
+    const double overhead =
+        inproc.server_process_us > 0
+            ? (remote.server_process_us + remote.transmission_us) /
+                      inproc.server_process_us -
+                  1.0
+            : 0.0;
+    sum_inproc += inproc.server_process_us;
+    sum_remote_total += remote.server_process_us + remote.transmission_us;
+    std::printf("%-4s %15.1f | %15.1f %12.1f | %9.0f%%\n",
+                WorkloadKindName(wk), inproc.server_process_us,
+                remote.server_process_us, remote.transmission_us,
+                overhead * 100.0);
+  }
+  PrintRule();
+  std::printf("summed dispatch: %.0f us in-process, %.0f us remote "
+              "(%.2fx)\n",
+              sum_inproc, sum_remote_total,
+              sum_inproc > 0 ? sum_remote_total / sum_inproc : 0.0);
+
+  das->DisconnectRemote();
+  const net::NetStats stats = (*server)->stats();
+  std::printf("wire totals: %llu queries, %llu B up, %llu B down\n",
+              static_cast<unsigned long long>(stats.queries_served),
+              static_cast<unsigned long long>(stats.bytes_received),
+              static_cast<unsigned long long>(stats.bytes_sent));
+  (*server)->Shutdown();
+  return 0;
+}

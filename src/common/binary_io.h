@@ -1,0 +1,120 @@
+#ifndef XCRYPT_COMMON_BINARY_IO_H_
+#define XCRYPT_COMMON_BINARY_IO_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace xcrypt {
+
+/// Little-endian, length-prefixed binary encoding shared by the storage
+/// image format (storage/serializer.cc) and the network wire protocol
+/// (net/wire.cc). Fixed-width integers are written least-significant byte
+/// first; strings and blobs carry a u32 byte-length prefix.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(Bytes* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+  void Blob(const Bytes& b) {
+    U32(static_cast<uint32_t>(b.size()));
+    out_->insert(out_->end(), b.begin(), b.end());
+  }
+
+ private:
+  Bytes* out_;
+};
+
+/// Bounds-checked reader over an encoded buffer. Any out-of-bounds read
+/// latches `failed()` and every subsequent read returns a zero value, so
+/// decoders can parse optimistically and check `failed()` at the end of
+/// each record. A failed reader never reads past the buffer and never
+/// allocates more than the buffer holds.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const Bytes& in) : in_(in) {}
+
+  bool AtEnd() const { return pos_ == in_.size(); }
+  bool failed() const { return failed_; }
+  size_t remaining() const { return failed_ ? 0 : in_.size() - pos_; }
+
+  /// True when `count` records of at least `min_bytes_each` could still
+  /// fit in the unread suffix. Decoders use this to reject wildly
+  /// oversized element counts *before* reserving memory for them, so a
+  /// corrupted count can never cause a multi-gigabyte allocation.
+  bool CanHold(uint64_t count, uint64_t min_bytes_each) const {
+    if (failed_) return false;
+    if (min_bytes_each == 0) min_bytes_each = 1;
+    return count <= remaining() / min_bytes_each;
+  }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return in_[pos_++];
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<uint32_t>(in_[pos_++]) << (8 * i);
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<uint64_t>(in_[pos_++]) << (8 * i);
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+  std::string Str() {
+    const uint32_t len = U32();
+    if (!Need(len)) return {};
+    std::string s(in_.begin() + pos_, in_.begin() + pos_ + len);
+    pos_ += len;
+    return s;
+  }
+  Bytes Blob() {
+    const uint32_t len = U32();
+    if (!Need(len)) return {};
+    Bytes b(in_.begin() + pos_, in_.begin() + pos_ + len);
+    pos_ += len;
+    return b;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (failed_ || in_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const Bytes& in_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_COMMON_BINARY_IO_H_

@@ -18,6 +18,10 @@ enum class StatusCode {
   kCorruption,
   kUnsupported,
   kInternal,
+  /// A transient condition (peer unreachable, connection dropped, I/O
+  /// timeout). Unlike the other codes, retrying the same operation may
+  /// succeed; the network client stub retries only this code.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK", "ParseError").
@@ -52,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -25,6 +25,10 @@ bool IsRootInterval(const Interval& iv) {
 
 const std::vector<Interval>& ServerEngine::RangeProbeReps(
     const std::string& token, int64_t lo, int64_t hi) const {
+  // Serialized so concurrent sessions of the network daemon can share one
+  // engine. Returned references stay valid after unlock: map nodes are
+  // stable and an entry is never mutated once inserted.
+  std::lock_guard<std::mutex> lock(cache_mu_);
   const auto key = std::make_tuple(token, lo, hi);
   auto it = range_probe_cache_.find(key);
   if (it != range_probe_cache_.end()) return it->second;
@@ -48,6 +52,7 @@ const std::vector<Interval>& ServerEngine::RangeProbeReps(
 }
 
 const std::vector<Interval>& ServerEngine::Universe() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   if (!universe_ready_) {
     universe_ = meta_->dsi_table.AllIntervals();
     universe_ready_ = true;
@@ -293,7 +298,7 @@ ServerResponse ServerEngine::AssembleResponse(
   return response;
 }
 
-ServerResponse ServerEngine::ExecuteNaive() const {
+Result<ServerResponse> ServerEngine::ExecuteNaive() const {
   ServerResponse response;
   response.requires_full_requery = true;
   response.skeleton_xml = SerializeXml(db_->skeleton, db_->skeleton.root(), 0);

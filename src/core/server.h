@@ -2,6 +2,7 @@
 #define XCRYPT_CORE_SERVER_H_
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <tuple>
@@ -38,10 +39,48 @@ struct ServerResponse {
   int64_t TotalBytes() const;
 };
 
+/// Measured facts about the last call routed through a remote engine:
+/// the server-reported processing time and the client-observed round trip
+/// (their difference is real transmission + framing time, replacing the
+/// link-bandwidth simulation used in-process).
+struct RemoteCallInfo {
+  double server_process_us = 0.0;  ///< reported inside the response frame
+  double round_trip_us = 0.0;      ///< send-to-decode wall time at client
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int retries = 0;  ///< transient failures absorbed before success
+};
+
+/// The query surface an untrusted evaluator exposes to DasSystem —
+/// implemented in-process by ServerEngine and over TCP by
+/// net::RemoteServerEngine, so the protocol of §6 runs unchanged either
+/// way.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  virtual Result<ServerResponse> Execute(const TranslatedQuery& query)
+      const = 0;
+
+  /// The naive method of §7.3: ship the whole database (skeleton + all
+  /// blocks); the client decrypts everything and evaluates locally.
+  virtual Result<ServerResponse> ExecuteNaive() const = 0;
+
+  /// Aggregate evaluation (§6.4). `index_token` is the value index for the
+  /// query's target tag (empty when the target is public).
+  virtual Result<AggregateResponse> ExecuteAggregate(
+      const TranslatedQuery& query, AggregateKind kind,
+      const std::string& index_token) const = 0;
+
+  /// Wire measurements of the most recent call, or nullptr for in-process
+  /// engines (nothing crossed a link).
+  virtual const RemoteCallInfo* last_call() const { return nullptr; }
+};
+
 /// The untrusted server's query executor (§6.2). It sees only the
 /// encrypted database, the metadata, and translated queries — never keys or
 /// plaintext of encrypted content.
-class ServerEngine {
+class ServerEngine : public QueryEngine {
  public:
   ServerEngine(const EncryptedDatabase* db, const Metadata* meta)
       : db_(db), meta_(meta) {}
@@ -51,18 +90,14 @@ class ServerEngine {
   ///     structural joins;
   ///  2. resolve value constraints through the OPESS B-trees;
   ///  3. ship the covering blocks / plaintext fragments of the result.
-  Result<ServerResponse> Execute(const TranslatedQuery& query) const;
+  Result<ServerResponse> Execute(const TranslatedQuery& query) const override;
 
-  /// The naive method of §7.3: ship the whole database (skeleton + all
-  /// blocks); the client decrypts everything and evaluates locally.
-  ServerResponse ExecuteNaive() const;
+  Result<ServerResponse> ExecuteNaive() const override;
 
-  /// Aggregate evaluation (§6.4). `index_token` is the value index for the
-  /// query's target tag (empty when the target is public).
   Result<AggregateResponse> ExecuteAggregate(const TranslatedQuery& query,
                                              AggregateKind kind,
                                              const std::string& index_token)
-      const;
+      const override;
 
  private:
   /// Forward pass: interval list per step (cumulative filtering).
@@ -94,6 +129,10 @@ class ServerEngine {
 
   const EncryptedDatabase* db_;
   const Metadata* meta_;
+  /// Guards the lazy caches below so one engine can serve concurrent
+  /// network sessions; everything else here is read-only after
+  /// construction.
+  mutable std::mutex cache_mu_;
   mutable std::vector<Interval> universe_;
   mutable bool universe_ready_ = false;
   mutable std::map<std::tuple<std::string, int64_t, int64_t>,

@@ -1,5 +1,7 @@
 #include "das/das_system.h"
 
+#include <algorithm>
+
 #include "common/timer.h"
 #include "xpath/parser.h"
 
@@ -35,6 +37,26 @@ Result<DasSystem> DasSystem::Host(Document doc,
   return das;
 }
 
+Status DasSystem::ConnectRemote(const std::string& host, uint16_t port,
+                                const net::RemoteOptions& options) {
+  auto remote = net::RemoteServerEngine::Connect(host, port, options);
+  if (!remote.ok()) return remote.status();
+  remote_ = std::move(*remote);
+  return Status::Ok();
+}
+
+void DasSystem::ApplyEngineTiming(double engine_wall_us,
+                                  QueryCosts* costs) const {
+  if (const RemoteCallInfo* rc = engine().last_call()) {
+    costs->server_process_us = rc->server_process_us;
+    costs->transmission_us =
+        std::max(0.0, rc->round_trip_us - rc->server_process_us);
+    costs->transmission_measured = true;
+  } else {
+    costs->server_process_us = engine_wall_us;
+  }
+}
+
 Result<QueryRun> DasSystem::Execute(const PathExpr& query) const {
   QueryCosts costs;
   Stopwatch watch;
@@ -43,9 +65,10 @@ Result<QueryRun> DasSystem::Execute(const PathExpr& query) const {
   if (!translated.ok()) return translated.status();
 
   watch.Restart();
-  auto response = server_->Execute(*translated);
-  costs.server_process_us = watch.ElapsedMicros();
+  auto response = engine().Execute(*translated);
+  const double engine_wall_us = watch.ElapsedMicros();
   if (!response.ok()) return response.status();
+  ApplyEngineTiming(engine_wall_us, &costs);
 
   return Finish(query, std::move(*response), costs, std::move(*translated));
 }
@@ -59,9 +82,11 @@ Result<QueryRun> DasSystem::Execute(const std::string& xpath) const {
 Result<QueryRun> DasSystem::ExecuteNaive(const PathExpr& query) const {
   QueryCosts costs;
   Stopwatch watch;
-  ServerResponse response = server_->ExecuteNaive();
-  costs.server_process_us = watch.ElapsedMicros();
-  return Finish(query, std::move(response), costs, TranslatedQuery{});
+  auto response = engine().ExecuteNaive();
+  const double engine_wall_us = watch.ElapsedMicros();
+  if (!response.ok()) return response.status();
+  ApplyEngineTiming(engine_wall_us, &costs);
+  return Finish(query, std::move(*response), costs, TranslatedQuery{});
 }
 
 Result<AggregateRun> DasSystem::ExecuteAggregate(const PathExpr& path,
@@ -75,15 +100,18 @@ Result<AggregateRun> DasSystem::ExecuteAggregate(const PathExpr& path,
   costs.client_translate_us = watch.ElapsedMicros();
 
   watch.Restart();
-  auto response = server_->ExecuteAggregate(*translated, kind, *token);
-  costs.server_process_us = watch.ElapsedMicros();
+  auto response = engine().ExecuteAggregate(*translated, kind, *token);
+  const double engine_wall_us = watch.ElapsedMicros();
   if (!response.ok()) return response.status();
+  ApplyEngineTiming(engine_wall_us, &costs);
 
   costs.bytes_shipped = response->payload.TotalBytes() +
                         static_cast<int64_t>(response->server_value.size());
   costs.blocks_shipped = static_cast<int>(response->payload.blocks.size());
-  costs.transmission_us = static_cast<double>(costs.bytes_shipped) * 8.0 /
-                          (options_.link_mbps * 1e6) * 1e6;
+  if (!costs.transmission_measured) {
+    costs.transmission_us = static_cast<double>(costs.bytes_shipped) * 8.0 /
+                            (options_.link_mbps * 1e6) * 1e6;
+  }
 
   watch.Restart();
   double decrypt_us = 0.0;
@@ -106,8 +134,24 @@ Result<AggregateRun> DasSystem::ExecuteAggregate(const std::string& xpath,
   return ExecuteAggregate(*path, kind);
 }
 
+namespace {
+/// Updates mutate the hosted bundle in place; a remote daemon serves an
+/// immutable snapshot of it, so applying them locally would silently
+/// desynchronize the two copies. Re-host (SaveBundle + restart the
+/// daemon) after updating, or disconnect first.
+Status RejectUpdateWhileRemote(bool remote_attached) {
+  if (remote_attached) {
+    return Status::Unsupported(
+        "updates are not propagated to a connected remote server; "
+        "DisconnectRemote() first");
+  }
+  return Status::Ok();
+}
+}  // namespace
+
 Result<int> DasSystem::UpdateValues(const std::string& xpath,
                                     const std::string& value) {
+  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_attached()));
   auto path = ParseXPath(xpath);
   if (!path.ok()) return path.status();
   auto updated = client_->UpdateValues(*path, value);
@@ -121,6 +165,7 @@ Result<int> DasSystem::UpdateValues(const std::string& xpath,
 
 Status DasSystem::InsertSubtree(const std::string& parent_xpath,
                                 const Document& fragment) {
+  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_attached()));
   auto path = ParseXPath(parent_xpath);
   if (!path.ok()) return path.status();
   XCRYPT_RETURN_NOT_OK(client_->InsertSubtree(*path, fragment));
@@ -130,6 +175,7 @@ Status DasSystem::InsertSubtree(const std::string& parent_xpath,
 }
 
 Result<int> DasSystem::DeleteSubtrees(const std::string& xpath) {
+  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_attached()));
   auto path = ParseXPath(xpath);
   if (!path.ok()) return path.status();
   auto removed = client_->DeleteSubtrees(*path);
@@ -144,8 +190,10 @@ Result<QueryRun> DasSystem::Finish(const PathExpr& query,
                                    TranslatedQuery translated) const {
   costs.bytes_shipped = response.TotalBytes();
   costs.blocks_shipped = static_cast<int>(response.blocks.size());
-  costs.transmission_us = static_cast<double>(costs.bytes_shipped) * 8.0 /
-                          (options_.link_mbps * 1e6) * 1e6;
+  if (!costs.transmission_measured) {
+    costs.transmission_us = static_cast<double>(costs.bytes_shipped) * 8.0 /
+                            (options_.link_mbps * 1e6) * 1e6;
+  }
 
   Stopwatch watch;
   double decrypt_us = 0.0;

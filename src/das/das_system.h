@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "core/client.h"
 #include "core/server.h"
+#include "net/remote_engine.h"
 
 namespace xcrypt {
 
@@ -18,7 +19,12 @@ namespace xcrypt {
 struct QueryCosts {
   double client_translate_us = 0.0;
   double server_process_us = 0.0;
-  double transmission_us = 0.0;  ///< simulated from bytes over the link
+  /// Wire time. In-process this is simulated from bytes_shipped over the
+  /// configured link; when the system is connected to a remote server it
+  /// is real measured wall time (round trip minus the server-reported
+  /// processing time), flagged by `transmission_measured`.
+  double transmission_us = 0.0;
+  bool transmission_measured = false;
   double decrypt_us = 0.0;
   double postprocess_us = 0.0;
   int64_t bytes_shipped = 0;
@@ -91,6 +97,21 @@ class DasSystem {
   Result<AggregateRun> ExecuteAggregate(const std::string& xpath,
                                         AggregateKind kind) const;
 
+  // --- Remote service (Figure 1 over an actual wire) -------------------
+
+  /// Routes all subsequent queries through an xcrypt_serve endpoint
+  /// hosting this system's bundle (see storage/serializer.h) instead of
+  /// the in-process engine. Query costs then report measured transmission
+  /// time. Fails (leaving the in-process path active) when the endpoint
+  /// is unreachable or speaks the wrong protocol version.
+  Status ConnectRemote(const std::string& host, uint16_t port,
+                       const net::RemoteOptions& options =
+                           net::RemoteOptions());
+
+  /// Returns to in-process evaluation.
+  void DisconnectRemote() { remote_.reset(); }
+  bool remote_attached() const { return remote_ != nullptr; }
+
   // --- Updates (future-work item (3); see Client) ----------------------
 
   /// Structure-preserving value update; incremental on the server side.
@@ -109,8 +130,20 @@ class DasSystem {
   Result<QueryRun> Finish(const PathExpr& query, ServerResponse response,
                           QueryCosts costs, TranslatedQuery translated) const;
 
+  /// The active evaluator: the remote stub when attached, else the
+  /// in-process engine.
+  const QueryEngine& engine() const {
+    return remote_ ? static_cast<const QueryEngine&>(*remote_) : *server_;
+  }
+
+  /// Attributes the wall time of one engine call to the server and wire
+  /// phases: remote calls use the measured split, in-process calls are
+  /// pure server time (the wire is simulated later from bytes shipped).
+  void ApplyEngineTiming(double engine_wall_us, QueryCosts* costs) const;
+
   std::unique_ptr<Client> client_;
   std::unique_ptr<ServerEngine> server_;
+  std::unique_ptr<net::RemoteServerEngine> remote_;
   Options options_;
   HostReport host_report_;
 };

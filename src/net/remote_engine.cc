@@ -1,0 +1,136 @@
+#include "net/remote_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/timer.h"
+#include "net/channel.h"
+
+namespace xcrypt {
+namespace net {
+
+Result<std::unique_ptr<RemoteServerEngine>> RemoteServerEngine::Connect(
+    const std::string& host, uint16_t port, const RemoteOptions& options) {
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  std::unique_ptr<RemoteServerEngine> engine(
+      new RemoteServerEngine(host, port, options));
+  XCRYPT_RETURN_NOT_OK(engine->Ping());
+  return engine;
+}
+
+Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
+                                            const Bytes& payload,
+                                            MessageType expected_reply) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RemoteCallInfo info;
+  Status last_error = Status::Unavailable("no attempt made");
+  double backoff_ms = options_.initial_backoff_ms;
+
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2.0, options_.max_backoff_ms);
+      ++info.retries;
+    }
+    if (!sock_.valid()) {
+      auto sock = Socket::Dial(host_, port_, options_.connect_timeout_sec,
+                               options_.request_timeout_sec);
+      if (!sock.ok()) {
+        last_error = sock.status();
+        if (last_error.code() == StatusCode::kUnavailable) continue;
+        return last_error;
+      }
+      sock_ = std::move(*sock);
+    }
+
+    Stopwatch watch;
+    Status sent = WriteFrame(sock_, type, payload);
+    if (sent.ok()) {
+      auto reply = ReadFrame(sock_, options_.max_frame_bytes,
+                             options_.request_timeout_sec);
+      if (reply.ok()) {
+        info.round_trip_us = watch.ElapsedMicros();
+        info.bytes_sent =
+            static_cast<int64_t>(kFrameHeaderBytes + payload.size());
+        info.bytes_received =
+            static_cast<int64_t>(kFrameHeaderBytes + reply->payload.size());
+        if (reply->type == MessageType::kError) {
+          // Deterministic server-side failure; retrying cannot help.
+          return DecodeError(reply->payload);
+        }
+        if (reply->type != expected_reply) {
+          sock_.Close();  // stream state is suspect
+          return Status::Corruption(
+              std::string("expected ") + MessageTypeName(expected_reply) +
+              ", got " + MessageTypeName(reply->type));
+        }
+        last_ = info;
+        return std::move(*reply);
+      }
+      last_error = reply.status();
+    } else {
+      last_error = sent;
+    }
+    // The connection failed mid-request; drop it so the next attempt
+    // dials fresh. Only transient transport errors are worth retrying.
+    sock_.Close();
+    if (last_error.code() != StatusCode::kUnavailable) return last_error;
+  }
+  return Status::Unavailable(
+      "request failed after " + std::to_string(options_.max_attempts) +
+      " attempts to " + host_ + ":" + std::to_string(port_) + " (" +
+      last_error.ToString() + ")");
+}
+
+Result<ServerResponse> RemoteServerEngine::Execute(
+    const TranslatedQuery& query) const {
+  auto reply = RoundTrip(MessageType::kQueryRequest, EncodeQueryRequest(query),
+                         MessageType::kQueryResponse);
+  if (!reply.ok()) return reply.status();
+  auto msg = DecodeQueryResponse(reply->payload);
+  if (!msg.ok()) return msg.status();
+  last_.server_process_us = msg->server_process_us;
+  return std::move(msg->response);
+}
+
+Result<ServerResponse> RemoteServerEngine::ExecuteNaive() const {
+  auto reply = RoundTrip(MessageType::kNaiveRequest, Bytes(),
+                         MessageType::kQueryResponse);
+  if (!reply.ok()) return reply.status();
+  auto msg = DecodeQueryResponse(reply->payload);
+  if (!msg.ok()) return msg.status();
+  last_.server_process_us = msg->server_process_us;
+  return std::move(msg->response);
+}
+
+Result<AggregateResponse> RemoteServerEngine::ExecuteAggregate(
+    const TranslatedQuery& query, AggregateKind kind,
+    const std::string& index_token) const {
+  auto reply = RoundTrip(MessageType::kAggregateRequest,
+                         EncodeAggregateRequest(query, kind, index_token),
+                         MessageType::kAggregateResponse);
+  if (!reply.ok()) return reply.status();
+  auto msg = DecodeAggregateResponse(reply->payload);
+  if (!msg.ok()) return msg.status();
+  last_.server_process_us = msg->server_process_us;
+  return std::move(msg->response);
+}
+
+Status RemoteServerEngine::Ping() const {
+  auto reply =
+      RoundTrip(MessageType::kPingRequest, Bytes(), MessageType::kPingResponse);
+  return reply.ok() ? Status::Ok() : reply.status();
+}
+
+Result<NetStats> RemoteServerEngine::Stats() const {
+  auto reply = RoundTrip(MessageType::kStatsRequest, Bytes(),
+                         MessageType::kStatsResponse);
+  if (!reply.ok()) return reply.status();
+  return DecodeStats(reply->payload);
+}
+
+}  // namespace net
+}  // namespace xcrypt

@@ -1,0 +1,84 @@
+#ifndef XCRYPT_NET_REMOTE_ENGINE_H_
+#define XCRYPT_NET_REMOTE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace xcrypt {
+namespace net {
+
+struct RemoteOptions {
+  RemoteOptions() {}
+  double connect_timeout_sec = 5.0;
+  double request_timeout_sec = 30.0;
+  /// Total tries per request (1 first attempt + up to N-1 retries).
+  /// Only transient transport failures (Unavailable) are retried, with
+  /// exponential backoff; queries are read-only, so replaying one on a
+  /// fresh connection is always safe. Server-reported query errors are
+  /// deterministic and returned immediately.
+  int max_attempts = 4;
+  double initial_backoff_ms = 50.0;
+  double max_backoff_ms = 2000.0;
+  uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// ServerEngine's network twin: the same QueryEngine surface, evaluated
+/// by an xcrypt_serve daemon on the other end of a TCP connection. The
+/// connection is persistent and re-established transparently; DasSystem
+/// swaps this in for the in-process engine without touching the protocol
+/// of §6.
+class RemoteServerEngine : public QueryEngine {
+ public:
+  /// Dials host:port and verifies the endpoint speaks the protocol (a
+  /// ping round trip), so a misconfigured address fails here rather than
+  /// on the first query.
+  static Result<std::unique_ptr<RemoteServerEngine>> Connect(
+      const std::string& host, uint16_t port,
+      const RemoteOptions& options = RemoteOptions());
+
+  Result<ServerResponse> Execute(const TranslatedQuery& query) const override;
+  Result<ServerResponse> ExecuteNaive() const override;
+  Result<AggregateResponse> ExecuteAggregate(
+      const TranslatedQuery& query, AggregateKind kind,
+      const std::string& index_token) const override;
+
+  /// Measurements of the most recent round trip (valid until the next
+  /// call from any thread).
+  const RemoteCallInfo* last_call() const override { return &last_; }
+
+  Status Ping() const;
+  Result<NetStats> Stats() const;
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  RemoteServerEngine(std::string host, uint16_t port, RemoteOptions options)
+      : host_(std::move(host)), port_(port), options_(options) {}
+
+  /// Sends one request and reads the reply, retrying transient failures
+  /// per RemoteOptions. On success fills `last_`.
+  Result<Frame> RoundTrip(MessageType type, const Bytes& payload,
+                          MessageType expected_reply) const;
+
+  std::string host_;
+  uint16_t port_ = 0;
+  RemoteOptions options_;
+
+  /// One request in flight at a time per stub; concurrent callers
+  /// serialize here (open several stubs for parallel clients).
+  mutable std::mutex mu_;
+  mutable Socket sock_;
+  mutable RemoteCallInfo last_;
+};
+
+}  // namespace net
+}  // namespace xcrypt
+
+#endif  // XCRYPT_NET_REMOTE_ENGINE_H_

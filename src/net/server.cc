@@ -1,0 +1,215 @@
+#include "net/server.h"
+
+#include "common/timer.h"
+#include "net/channel.h"
+
+namespace xcrypt {
+namespace net {
+
+namespace {
+/// How often blocked threads re-check the stop flag.
+constexpr double kStopPollSec = 0.1;
+}  // namespace
+
+Result<std::unique_ptr<NetServer>> NetServer::Serve(
+    HostedBundle bundle, const std::string& host, uint16_t port,
+    const NetServerOptions& options) {
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  auto listener = Socket::Listen(host, port, options.backlog);
+  if (!listener.ok()) return listener.status();
+
+  std::unique_ptr<NetServer> server(new NetServer());
+  server->bundle_ = std::move(bundle);
+  server->engine_ = std::make_unique<ServerEngine>(&server->bundle_.database,
+                                                   &server->bundle_.metadata);
+  server->options_ = options;
+  server->listener_ = std::move(*listener);
+  auto bound = server->listener_.LocalPort();
+  if (!bound.ok()) return bound.status();
+  server->port_ = *bound;
+
+  server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  for (int i = 0; i < options.num_threads; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+NetServer::~NetServer() { Shutdown(); }
+
+void NetServer::Shutdown() {
+  if (stop_.exchange(true)) return;  // idempotent
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  pending_.clear();  // connections never adopted by a worker just close
+}
+
+NetStats NetServer::stats() const {
+  NetStats s;
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  s.aggregates_served = aggregates_served_.load(std::memory_order_relaxed);
+  s.naive_served = naive_served_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.connections_total = connections_total_.load(std::memory_order_relaxed);
+  s.connections_active = connections_active_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.num_blocks = bundle_.database.blocks.size();
+  s.ciphertext_bytes =
+      static_cast<uint64_t>(bundle_.database.TotalCiphertextBytes());
+  return s;
+}
+
+void NetServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto conn = listener_.Accept(kStopPollSec);
+    if (!conn.ok()) {
+      // Accept failures are transient (peer vanished mid-handshake);
+      // keep serving everyone else.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!conn->valid()) continue;  // tick elapsed with no connection
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_.push_back(std::move(*conn));
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void NetServer::WorkerLoop() {
+  while (true) {
+    Socket conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_relaxed) || !pending_.empty();
+      });
+      if (stop_.load(std::memory_order_relaxed)) return;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    ServeConnection(std::move(conn));
+    connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void NetServer::ServeConnection(Socket conn) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto frame = ReadFrame(conn, options_.max_frame_bytes,
+                           options_.io_timeout_sec, &stop_,
+                           /*allow_idle=*/true);
+    if (!frame.ok()) {
+      if (frame.status().code() != StatusCode::kUnavailable) {
+        // Framing violation: report it, then close — after a bad header
+        // the byte stream can no longer be trusted to be frame-aligned.
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, frame.status());
+      }
+      // Unavailable covers the routine ends of a session (peer closed,
+      // drain cancelled) as well as a mid-frame stall; close quietly.
+      return;
+    }
+    bytes_received_.fetch_add(kFrameHeaderBytes + frame->payload.size(),
+                              std::memory_order_relaxed);
+    if (!HandleFrame(conn, *frame)) return;
+  }
+}
+
+Status NetServer::SendError(Socket& conn, const Status& error) {
+  const Bytes payload = EncodeError(error);
+  bytes_sent_.fetch_add(kFrameHeaderBytes + payload.size(),
+                        std::memory_order_relaxed);
+  return WriteFrame(conn, MessageType::kError, payload);
+}
+
+bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
+  Bytes reply;
+  MessageType reply_type = MessageType::kError;
+
+  switch (frame.type) {
+    case MessageType::kPingRequest: {
+      reply_type = MessageType::kPingResponse;
+      break;
+    }
+    case MessageType::kQueryRequest: {
+      auto query = DecodeQueryRequest(frame.payload);
+      if (!query.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return SendError(conn, query.status()).ok();
+      }
+      Stopwatch watch;
+      auto response = engine_->Execute(*query);
+      if (!response.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return SendError(conn, response.status()).ok();
+      }
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      reply = EncodeQueryResponse(*response, watch.ElapsedMicros());
+      reply_type = MessageType::kQueryResponse;
+      break;
+    }
+    case MessageType::kNaiveRequest: {
+      Stopwatch watch;
+      auto response = engine_->ExecuteNaive();
+      if (!response.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return SendError(conn, response.status()).ok();
+      }
+      naive_served_.fetch_add(1, std::memory_order_relaxed);
+      reply = EncodeQueryResponse(*response, watch.ElapsedMicros());
+      reply_type = MessageType::kQueryResponse;
+      break;
+    }
+    case MessageType::kAggregateRequest: {
+      auto request = DecodeAggregateRequest(frame.payload);
+      if (!request.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return SendError(conn, request.status()).ok();
+      }
+      Stopwatch watch;
+      auto response = engine_->ExecuteAggregate(request->query, request->kind,
+                                                request->index_token);
+      if (!response.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return SendError(conn, response.status()).ok();
+      }
+      aggregates_served_.fetch_add(1, std::memory_order_relaxed);
+      reply = EncodeAggregateResponse(*response, watch.ElapsedMicros());
+      reply_type = MessageType::kAggregateResponse;
+      break;
+    }
+    case MessageType::kStatsRequest: {
+      reply = EncodeStats(stats());
+      reply_type = MessageType::kStatsResponse;
+      break;
+    }
+    default: {
+      // A response type arriving at the server is a confused client;
+      // answer with an error but keep the (still frame-aligned) session.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return SendError(conn,
+                       Status::InvalidArgument(
+                           std::string("unexpected message type ") +
+                           MessageTypeName(frame.type)))
+          .ok();
+    }
+  }
+
+  bytes_sent_.fetch_add(kFrameHeaderBytes + reply.size(),
+                        std::memory_order_relaxed);
+  return WriteFrame(conn, reply_type, reply).ok();
+}
+
+}  // namespace net
+}  // namespace xcrypt

@@ -1,0 +1,104 @@
+#ifndef XCRYPT_NET_SERVER_H_
+#define XCRYPT_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "storage/serializer.h"
+
+namespace xcrypt {
+namespace net {
+
+struct NetServerOptions {
+  NetServerOptions() {}
+  int num_threads = 8;          ///< fixed worker pool size
+  int backlog = 64;             ///< listen(2) backlog
+  double io_timeout_sec = 30.;  ///< per-frame read/write completion bound
+  uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// The untrusted service provider as an actual network daemon: owns a
+/// HostedBundle (encrypted database + metadata — never keys or
+/// plaintext), listens on TCP, and evaluates translated queries for any
+/// number of clients.
+///
+/// Threading model: one acceptor thread feeds a queue of connections; a
+/// fixed pool of workers each adopt one connection at a time and serve
+/// its requests serially (a session). Requests on different connections
+/// run concurrently against one shared ServerEngine, whose lazy caches
+/// are internally synchronized (core/server.h).
+///
+/// Shutdown() drains gracefully: stop accepting, let every in-flight
+/// request finish and its response flush, then close sessions and join.
+class NetServer {
+ public:
+  /// Starts serving `bundle` on host:port (port 0 → ephemeral; read the
+  /// bound port back via port()).
+  static Result<std::unique_ptr<NetServer>> Serve(
+      HostedBundle bundle, const std::string& host, uint16_t port,
+      const NetServerOptions& options = NetServerOptions());
+
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Current counters (the same numbers a remote client gets via
+  /// kStatsRequest).
+  NetStats stats() const;
+
+  /// Graceful drain; idempotent, also run by the destructor.
+  void Shutdown();
+
+ private:
+  NetServer() = default;
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(Socket conn);
+  /// Handles one decoded request frame; returns false when the
+  /// connection must close (framing is broken beyond recovery).
+  bool HandleFrame(Socket& conn, const Frame& frame);
+  Status SendError(Socket& conn, const Status& error);
+
+  HostedBundle bundle_;
+  std::unique_ptr<ServerEngine> engine_;
+  NetServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Socket> pending_;
+
+  // Counters. Relaxed order: they are statistics, not synchronization.
+  mutable std::atomic<uint64_t> queries_served_{0};
+  mutable std::atomic<uint64_t> aggregates_served_{0};
+  mutable std::atomic<uint64_t> naive_served_{0};
+  mutable std::atomic<uint64_t> errors_{0};
+  mutable std::atomic<uint64_t> connections_total_{0};
+  mutable std::atomic<uint64_t> connections_active_{0};
+  mutable std::atomic<uint64_t> bytes_received_{0};
+  mutable std::atomic<uint64_t> bytes_sent_{0};
+};
+
+}  // namespace net
+}  // namespace xcrypt
+
+#endif  // XCRYPT_NET_SERVER_H_

@@ -1,0 +1,230 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace xcrypt {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+Status SetNonBlocking(int fd, bool enable) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Internal(Errno("fcntl(F_GETFL)"));
+  const int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd, F_SETFL, want) < 0) {
+    return Status::Internal(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::Ok();
+}
+
+Status SetSendTimeout(int fd, double seconds) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+  if (setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    return Status::Internal(Errno("setsockopt(SO_SNDTIMEO)"));
+  }
+  return Status::Ok();
+}
+
+Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "*") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    return addr;
+  }
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1) return addr;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  if (getaddrinfo(host.c_str(), nullptr, &hints, &info) != 0 ||
+      info == nullptr) {
+    return Status::Unavailable("cannot resolve host " + host);
+  }
+  addr.sin_addr = reinterpret_cast<sockaddr_in*>(info->ai_addr)->sin_addr;
+  freeaddrinfo(info);
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::Dial(const std::string& host, uint16_t port,
+                            double connect_timeout_sec,
+                            double io_timeout_sec) {
+  auto addr = ResolveV4(host.empty() ? "127.0.0.1" : host, port);
+  if (!addr.ok()) return addr.status();
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Status::Internal(Errno("socket"));
+
+  // Non-blocking connect so the timeout is ours, not the kernel's
+  // (which can be minutes for an unresponsive address).
+  XCRYPT_RETURN_NOT_OK(SetNonBlocking(sock.fd(), true));
+  int rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&*addr),
+                     sizeof(*addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    return Status::Unavailable(Errno("connect to " + host + ":" +
+                                     std::to_string(port)));
+  }
+  if (rc < 0) {
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(connect_timeout_sec * 1000);
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      return Status::Unavailable("connect timeout to " + host + ":" +
+                                 std::to_string(port));
+    }
+    if (ready < 0) return Status::Internal(Errno("poll(connect)"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+        err != 0) {
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(err));
+    }
+  }
+  XCRYPT_RETURN_NOT_OK(SetNonBlocking(sock.fd(), false));
+  XCRYPT_RETURN_NOT_OK(SetSendTimeout(sock.fd(), io_timeout_sec));
+  const int one = 1;
+  setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<Socket> Socket::Listen(const std::string& host, uint16_t port,
+                              int backlog) {
+  auto addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Status::Internal(Errno("socket"));
+  const int one = 1;
+  setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&*addr),
+             sizeof(*addr)) < 0) {
+    return Status::Unavailable(Errno("bind " + host + ":" +
+                                     std::to_string(port)));
+  }
+  if (::listen(sock.fd(), backlog) < 0) {
+    return Status::Internal(Errno("listen"));
+  }
+  return sock;
+}
+
+Result<Socket> Socket::Accept(double tick_sec) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(tick_sec * 1000));
+  if (ready == 0) return Socket();  // no pending connection this tick
+  if (ready < 0) {
+    if (errno == EINTR) return Socket();
+    return Status::Internal(Errno("poll(accept)"));
+  }
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return Socket();
+    }
+    return Status::Unavailable(Errno("accept"));
+  }
+  Socket conn(fd);
+  const int one = 1;
+  setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+Result<uint16_t> Socket::LocalPort() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Status::Internal(Errno("getsockname"));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Status Socket::SendAll(const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc =
+        ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Unavailable("send timeout");
+      }
+      return Status::Unavailable(Errno("send"));
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::Ok();
+}
+
+Status Socket::RecvAll(uint8_t* data, size_t n, double timeout_sec,
+                       const std::atomic<bool>* cancel, bool allow_idle) {
+  constexpr int kTickMs = 100;
+  size_t got = 0;
+  auto deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(timeout_sec));
+  while (got < n) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return Status::Unavailable("cancelled");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kTickMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("poll(recv)"));
+    }
+    if (ready == 0) {
+      if (got == 0 && allow_idle) continue;  // idle, not stalled mid-frame
+      if (Clock::now() >= deadline) {
+        return Status::Unavailable("recv timeout");
+      }
+      continue;
+    }
+    const ssize_t rc = ::recv(fd_, data + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Unavailable(Errno("recv"));
+    }
+    if (rc == 0) return Status::Unavailable("connection closed by peer");
+    if (got == 0 && allow_idle) {
+      // First byte of a new frame: the completion clock starts now.
+      deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(timeout_sec));
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace xcrypt

@@ -1,0 +1,75 @@
+#ifndef XCRYPT_NET_SOCKET_H_
+#define XCRYPT_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace xcrypt {
+namespace net {
+
+/// Thin RAII wrapper over a POSIX TCP socket. Network failures surface as
+/// Status::Unavailable (the one retryable code); nothing here throws.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Connects to host:port, failing with Unavailable after
+  /// `connect_timeout_sec`. The returned socket is blocking with
+  /// `io_timeout_sec` applied to sends.
+  static Result<Socket> Dial(const std::string& host, uint16_t port,
+                             double connect_timeout_sec,
+                             double io_timeout_sec);
+
+  /// Binds and listens on host:port (port 0 picks an ephemeral port).
+  static Result<Socket> Listen(const std::string& host, uint16_t port,
+                               int backlog);
+
+  /// Waits up to `tick_sec` for a pending connection. Returns an invalid
+  /// Socket when none arrived (so callers can poll a stop flag between
+  /// ticks); Unavailable only on real accept failures.
+  Result<Socket> Accept(double tick_sec);
+
+  /// The locally bound port (after Listen, resolves ephemeral port 0).
+  Result<uint16_t> LocalPort() const;
+
+  /// Writes all n bytes; Unavailable on timeout or a dropped peer.
+  Status SendAll(const uint8_t* data, size_t n);
+
+  /// Reads exactly n bytes, polling in short ticks so `cancel` (when
+  /// non-null) aborts promptly. `timeout_sec` bounds the whole read;
+  /// with `allow_idle` the clock only starts once the first byte
+  /// arrives — used by the server to keep idle persistent connections
+  /// open without holding a worker hostage to a stalled mid-frame read.
+  Status RecvAll(uint8_t* data, size_t n, double timeout_sec,
+                 const std::atomic<bool>* cancel = nullptr,
+                 bool allow_idle = false);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace xcrypt
+
+#endif  // XCRYPT_NET_SOCKET_H_

@@ -1,0 +1,386 @@
+#include "net/wire.h"
+
+#include "common/binary_io.h"
+
+namespace xcrypt {
+namespace net {
+
+namespace {
+
+/// Translated queries nest (a predicate's relative path carries its own
+/// predicates). Genuine queries are a handful of levels deep; a frame
+/// claiming more is hostile or corrupted, and the bound keeps the
+/// recursive decoder's stack usage trivially small.
+constexpr int kMaxPredicateDepth = 64;
+
+// Minimum encoded sizes, used to sanity-check element counts against the
+// bytes actually remaining before reserving anything.
+constexpr uint64_t kMinStepBytes = 1 + 1 + 4 + 4;  // axis, wildcard, counts
+constexpr uint64_t kMinPredicateBytes = 1 + 4 + 1 + 4 + 4 + 8 + 8 + 1;
+constexpr uint64_t kMinBlockBytes = 4 + 4;  // id + ciphertext length
+
+void WriteSteps(BinaryWriter& w, const std::vector<TranslatedStep>& steps);
+
+void WritePredicate(BinaryWriter& w, const TranslatedPredicate& pred) {
+  w.U8(static_cast<uint8_t>(pred.kind));
+  WriteSteps(w, pred.path);
+  w.U8(static_cast<uint8_t>(pred.op));
+  w.Str(pred.literal);
+  w.Str(pred.index_token);
+  w.I64(pred.range.lo);
+  w.I64(pred.range.hi);
+  w.U8(pred.range.empty ? 1 : 0);
+}
+
+void WriteSteps(BinaryWriter& w, const std::vector<TranslatedStep>& steps) {
+  w.U32(static_cast<uint32_t>(steps.size()));
+  for (const TranslatedStep& step : steps) {
+    w.U8(static_cast<uint8_t>(step.axis));
+    w.U8(step.wildcard ? 1 : 0);
+    w.U32(static_cast<uint32_t>(step.tokens.size()));
+    for (const std::string& token : step.tokens) w.Str(token);
+    w.U32(static_cast<uint32_t>(step.predicates.size()));
+    for (const TranslatedPredicate& pred : step.predicates) {
+      WritePredicate(w, pred);
+    }
+  }
+}
+
+Status ReadSteps(BinaryReader& r, std::vector<TranslatedStep>* out, int depth);
+
+Status ReadPredicate(BinaryReader& r, TranslatedPredicate* pred, int depth) {
+  const uint8_t kind = r.U8();
+  if (kind > static_cast<uint8_t>(TranslatedPredicate::Kind::kIndexRange)) {
+    return Status::Corruption("bad predicate kind");
+  }
+  pred->kind = static_cast<TranslatedPredicate::Kind>(kind);
+  XCRYPT_RETURN_NOT_OK(ReadSteps(r, &pred->path, depth + 1));
+  const uint8_t op = r.U8();
+  if (op > static_cast<uint8_t>(CompOp::kGe)) {
+    return Status::Corruption("bad comparison operator");
+  }
+  pred->op = static_cast<CompOp>(op);
+  pred->literal = r.Str();
+  pred->index_token = r.Str();
+  pred->range.lo = r.I64();
+  pred->range.hi = r.I64();
+  pred->range.empty = r.U8() != 0;
+  if (r.failed()) return Status::Corruption("truncated predicate");
+  return Status::Ok();
+}
+
+Status ReadSteps(BinaryReader& r, std::vector<TranslatedStep>* out,
+                 int depth) {
+  if (depth > kMaxPredicateDepth) {
+    return Status::Corruption("predicate nesting too deep");
+  }
+  const uint32_t num_steps = r.U32();
+  if (!r.CanHold(num_steps, kMinStepBytes)) {
+    return Status::Corruption("bad step count");
+  }
+  out->reserve(num_steps);
+  for (uint32_t i = 0; i < num_steps; ++i) {
+    TranslatedStep step;
+    const uint8_t axis = r.U8();
+    if (axis > static_cast<uint8_t>(Axis::kDescendant)) {
+      return Status::Corruption("bad axis");
+    }
+    step.axis = static_cast<Axis>(axis);
+    step.wildcard = r.U8() != 0;
+    const uint32_t num_tokens = r.U32();
+    if (!r.CanHold(num_tokens, 4)) {
+      return Status::Corruption("bad token count");
+    }
+    step.tokens.reserve(num_tokens);
+    for (uint32_t j = 0; j < num_tokens; ++j) step.tokens.push_back(r.Str());
+    const uint32_t num_preds = r.U32();
+    if (!r.CanHold(num_preds, kMinPredicateBytes)) {
+      return Status::Corruption("bad predicate count");
+    }
+    step.predicates.reserve(num_preds);
+    for (uint32_t j = 0; j < num_preds; ++j) {
+      TranslatedPredicate pred;
+      XCRYPT_RETURN_NOT_OK(ReadPredicate(r, &pred, depth));
+      step.predicates.push_back(std::move(pred));
+    }
+    if (r.failed()) return Status::Corruption("truncated step");
+    out->push_back(std::move(step));
+  }
+  return Status::Ok();
+}
+
+void WriteServerResponse(BinaryWriter& w, const ServerResponse& response) {
+  w.Str(response.skeleton_xml);
+  w.U32(static_cast<uint32_t>(response.blocks.size()));
+  for (const EncryptedBlock& block : response.blocks) {
+    w.I32(block.id);
+    w.Blob(block.ciphertext);
+    // plaintext_bytes is client-only knowledge and never crosses the wire.
+  }
+  w.U8(response.requires_full_requery ? 1 : 0);
+}
+
+Status ReadServerResponse(BinaryReader& r, ServerResponse* out) {
+  out->skeleton_xml = r.Str();
+  const uint32_t num_blocks = r.U32();
+  if (!r.CanHold(num_blocks, kMinBlockBytes)) {
+    return Status::Corruption("bad block count");
+  }
+  out->blocks.reserve(num_blocks);
+  for (uint32_t i = 0; i < num_blocks; ++i) {
+    EncryptedBlock block;
+    block.id = r.I32();
+    block.ciphertext = r.Blob();
+    if (r.failed()) return Status::Corruption("truncated block");
+    out->blocks.push_back(std::move(block));
+  }
+  out->requires_full_requery = r.U8() != 0;
+  if (r.failed()) return Status::Corruption("truncated server response");
+  return Status::Ok();
+}
+
+Status CheckFullyConsumed(const BinaryReader& r, const char* what) {
+  if (r.failed()) {
+    return Status::Corruption(std::string("truncated ") + what);
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption(std::string("trailing bytes in ") + what);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPingRequest:
+      return "PingRequest";
+    case MessageType::kPingResponse:
+      return "PingResponse";
+    case MessageType::kQueryRequest:
+      return "QueryRequest";
+    case MessageType::kQueryResponse:
+      return "QueryResponse";
+    case MessageType::kNaiveRequest:
+      return "NaiveRequest";
+    case MessageType::kAggregateRequest:
+      return "AggregateRequest";
+    case MessageType::kAggregateResponse:
+      return "AggregateResponse";
+    case MessageType::kStatsRequest:
+      return "StatsRequest";
+    case MessageType::kStatsResponse:
+      return "StatsResponse";
+    case MessageType::kError:
+      return "Error";
+  }
+  return "Unknown";
+}
+
+Bytes EncodeFrame(MessageType type, const Bytes& payload) {
+  Bytes out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  BinaryWriter w(&out);
+  w.U32(kWireMagic);
+  w.U8(kWireVersion);
+  w.U8(static_cast<uint8_t>(type));
+  w.U32(static_cast<uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<Frame> DecodeFrameHeader(const uint8_t* buf, uint64_t max_frame_bytes,
+                                uint32_t* payload_length) {
+  Bytes header(buf, buf + kFrameHeaderBytes);
+  BinaryReader r(header);
+  if (r.U32() != kWireMagic) return Status::Corruption("bad frame magic");
+  const uint8_t version = r.U8();
+  if (version != kWireVersion) {
+    return Status::Unsupported("wire version " + std::to_string(version));
+  }
+  const uint8_t type = r.U8();
+  if (type < static_cast<uint8_t>(MessageType::kPingRequest) ||
+      type > static_cast<uint8_t>(MessageType::kError)) {
+    return Status::Corruption("bad message type " + std::to_string(type));
+  }
+  const uint32_t length = r.U32();
+  if (length > max_frame_bytes) {
+    return Status::Corruption("frame of " + std::to_string(length) +
+                              " bytes exceeds limit of " +
+                              std::to_string(max_frame_bytes));
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(type);
+  *payload_length = length;
+  return frame;
+}
+
+Result<Frame> DecodeFrame(const Bytes& buf, uint64_t max_frame_bytes) {
+  if (buf.size() < kFrameHeaderBytes) {
+    return Status::Corruption("truncated frame header");
+  }
+  uint32_t payload_length = 0;
+  auto frame = DecodeFrameHeader(buf.data(), max_frame_bytes, &payload_length);
+  if (!frame.ok()) return frame.status();
+  if (buf.size() - kFrameHeaderBytes != payload_length) {
+    return Status::Corruption("frame length mismatch");
+  }
+  frame->payload.assign(buf.begin() + kFrameHeaderBytes, buf.end());
+  return frame;
+}
+
+Bytes EncodeQueryRequest(const TranslatedQuery& query) {
+  Bytes out;
+  BinaryWriter w(&out);
+  WriteSteps(w, query.steps);
+  return out;
+}
+
+Result<TranslatedQuery> DecodeQueryRequest(const Bytes& payload) {
+  BinaryReader r(payload);
+  TranslatedQuery query;
+  XCRYPT_RETURN_NOT_OK(ReadSteps(r, &query.steps, 0));
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "query request"));
+  return query;
+}
+
+Bytes EncodeQueryResponse(const ServerResponse& response,
+                          double server_process_us) {
+  Bytes out;
+  BinaryWriter w(&out);
+  WriteServerResponse(w, response);
+  w.F64(server_process_us);
+  return out;
+}
+
+Result<QueryResponseMsg> DecodeQueryResponse(const Bytes& payload) {
+  BinaryReader r(payload);
+  QueryResponseMsg msg;
+  XCRYPT_RETURN_NOT_OK(ReadServerResponse(r, &msg.response));
+  msg.server_process_us = r.F64();
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "query response"));
+  return msg;
+}
+
+Bytes EncodeAggregateRequest(const TranslatedQuery& query, AggregateKind kind,
+                             const std::string& index_token) {
+  Bytes out;
+  BinaryWriter w(&out);
+  WriteSteps(w, query.steps);
+  w.U8(static_cast<uint8_t>(kind));
+  w.Str(index_token);
+  return out;
+}
+
+Result<AggregateRequestMsg> DecodeAggregateRequest(const Bytes& payload) {
+  BinaryReader r(payload);
+  AggregateRequestMsg msg;
+  XCRYPT_RETURN_NOT_OK(ReadSteps(r, &msg.query.steps, 0));
+  const uint8_t kind = r.U8();
+  if (kind > static_cast<uint8_t>(AggregateKind::kSum)) {
+    return Status::Corruption("bad aggregate kind");
+  }
+  msg.kind = static_cast<AggregateKind>(kind);
+  msg.index_token = r.Str();
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "aggregate request"));
+  return msg;
+}
+
+Bytes EncodeAggregateResponse(const AggregateResponse& response,
+                              double server_process_us) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.U8(static_cast<uint8_t>(response.kind));
+  w.U8(response.computed_on_server ? 1 : 0);
+  w.Str(response.server_value);
+  WriteServerResponse(w, response.payload);
+  w.F64(server_process_us);
+  return out;
+}
+
+Result<AggregateResponseMsg> DecodeAggregateResponse(const Bytes& payload) {
+  BinaryReader r(payload);
+  AggregateResponseMsg msg;
+  const uint8_t kind = r.U8();
+  if (kind > static_cast<uint8_t>(AggregateKind::kSum)) {
+    return Status::Corruption("bad aggregate kind");
+  }
+  msg.response.kind = static_cast<AggregateKind>(kind);
+  msg.response.computed_on_server = r.U8() != 0;
+  msg.response.server_value = r.Str();
+  XCRYPT_RETURN_NOT_OK(ReadServerResponse(r, &msg.response.payload));
+  msg.server_process_us = r.F64();
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "aggregate response"));
+  return msg;
+}
+
+Bytes EncodeStats(const NetStats& stats) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.U64(stats.queries_served);
+  w.U64(stats.aggregates_served);
+  w.U64(stats.naive_served);
+  w.U64(stats.errors);
+  w.U64(stats.connections_total);
+  w.U64(stats.connections_active);
+  w.U64(stats.bytes_received);
+  w.U64(stats.bytes_sent);
+  w.U64(stats.num_blocks);
+  w.U64(stats.ciphertext_bytes);
+  return out;
+}
+
+Result<NetStats> DecodeStats(const Bytes& payload) {
+  BinaryReader r(payload);
+  NetStats stats;
+  stats.queries_served = r.U64();
+  stats.aggregates_served = r.U64();
+  stats.naive_served = r.U64();
+  stats.errors = r.U64();
+  stats.connections_total = r.U64();
+  stats.connections_active = r.U64();
+  stats.bytes_received = r.U64();
+  stats.bytes_sent = r.U64();
+  stats.num_blocks = r.U64();
+  stats.ciphertext_bytes = r.U64();
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "stats"));
+  return stats;
+}
+
+Bytes EncodeError(const Status& status) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+  return out;
+}
+
+Status DecodeError(const Bytes& payload) {
+  BinaryReader r(payload);
+  const uint8_t code = r.U8();
+  const std::string message = r.Str();
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "error message"));
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      // An error frame must carry an error; an OK code is a protocol bug.
+      return Status::Corruption("error frame with OK status");
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kParseError:
+      return Status::ParseError(message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(message);
+    case StatusCode::kUnsupported:
+      return Status::Unsupported(message);
+    case StatusCode::kInternal:
+      return Status::Internal(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+  }
+  return Status::Corruption("bad status code in error frame");
+}
+
+}  // namespace net
+}  // namespace xcrypt

@@ -1,0 +1,137 @@
+#ifndef XCRYPT_NET_WIRE_H_
+#define XCRYPT_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/aggregate.h"
+#include "core/server.h"
+#include "core/translated_query.h"
+
+namespace xcrypt {
+namespace net {
+
+/// The service-layer wire protocol (Figure 1's client/server link made
+/// real). Every message travels as one frame:
+///
+///   +-------+---------+------+----------------+--------------------+
+///   | magic | version | type | payload length |      payload       |
+///   |  u32  |   u8    |  u8  |      u32       |  `length` bytes    |
+///   +-------+---------+------+----------------+--------------------+
+///
+/// All integers little-endian, strings/blobs u32-length-prefixed — the
+/// same conventions as the storage image format (storage/serializer.cc),
+/// sharing common/binary_io.h. Payload encodings are versioned as a whole
+/// via the header byte: an endpoint speaking a different version rejects
+/// the frame with Unsupported instead of guessing.
+
+inline constexpr uint32_t kWireMagic = 0x54454E58;  // "XNET" on the wire
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 1 + 4;
+
+/// Upper bound on a single frame's payload. A header announcing more is
+/// rejected before any allocation — the guard against a corrupted or
+/// hostile length prefix. 256 MiB comfortably fits a naive-method reply
+/// for the evaluation corpora while staying far below memory limits.
+inline constexpr uint64_t kDefaultMaxFrameBytes = 256ull << 20;
+
+enum class MessageType : uint8_t {
+  kPingRequest = 1,
+  kPingResponse = 2,
+  kQueryRequest = 3,       ///< TranslatedQuery
+  kQueryResponse = 4,      ///< ServerResponse + server timing
+  kNaiveRequest = 5,       ///< empty payload; answered with kQueryResponse
+  kAggregateRequest = 6,   ///< TranslatedQuery + kind + index token
+  kAggregateResponse = 7,  ///< AggregateResponse + server timing
+  kStatsRequest = 8,       ///< empty payload
+  kStatsResponse = 9,      ///< NetStats
+  kError = 10,             ///< Status code + message
+};
+
+const char* MessageTypeName(MessageType type);
+
+/// One decoded frame.
+struct Frame {
+  MessageType type = MessageType::kError;
+  Bytes payload;
+};
+
+/// Server-side counters reported by kStatsResponse.
+struct NetStats {
+  uint64_t queries_served = 0;
+  uint64_t aggregates_served = 0;
+  uint64_t naive_served = 0;
+  uint64_t errors = 0;
+  uint64_t connections_total = 0;
+  uint64_t connections_active = 0;
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t num_blocks = 0;
+  uint64_t ciphertext_bytes = 0;
+};
+
+// --- framing ------------------------------------------------------------
+
+/// Serializes a complete frame (header + payload).
+Bytes EncodeFrame(MessageType type, const Bytes& payload);
+
+/// Parses a frame header and validates magic, version, message type, and
+/// payload length against `max_frame_bytes`. On success returns the frame
+/// with its payload still empty; the caller then reads `payload_length`
+/// bytes. `buf` must hold kFrameHeaderBytes.
+Result<Frame> DecodeFrameHeader(const uint8_t* buf, uint64_t max_frame_bytes,
+                                uint32_t* payload_length);
+
+/// Parses a complete frame from a contiguous buffer (tests, fuzzing).
+Result<Frame> DecodeFrame(const Bytes& buf, uint64_t max_frame_bytes);
+
+// --- payload codecs -----------------------------------------------------
+//
+// Every Decode* rejects malformed input with Corruption (truncation, bad
+// enum values, impossible counts) and never over-allocates: element
+// counts are checked against the bytes actually present before any
+// reserve.
+
+Bytes EncodeQueryRequest(const TranslatedQuery& query);
+Result<TranslatedQuery> DecodeQueryRequest(const Bytes& payload);
+
+struct QueryResponseMsg {
+  ServerResponse response;
+  double server_process_us = 0.0;
+};
+Bytes EncodeQueryResponse(const ServerResponse& response,
+                          double server_process_us);
+Result<QueryResponseMsg> DecodeQueryResponse(const Bytes& payload);
+
+struct AggregateRequestMsg {
+  TranslatedQuery query;
+  AggregateKind kind = AggregateKind::kCount;
+  std::string index_token;
+};
+Bytes EncodeAggregateRequest(const TranslatedQuery& query, AggregateKind kind,
+                             const std::string& index_token);
+Result<AggregateRequestMsg> DecodeAggregateRequest(const Bytes& payload);
+
+struct AggregateResponseMsg {
+  AggregateResponse response;
+  double server_process_us = 0.0;
+};
+Bytes EncodeAggregateResponse(const AggregateResponse& response,
+                              double server_process_us);
+Result<AggregateResponseMsg> DecodeAggregateResponse(const Bytes& payload);
+
+Bytes EncodeStats(const NetStats& stats);
+Result<NetStats> DecodeStats(const Bytes& payload);
+
+/// kError carries a non-OK Status across the wire. Decoding never returns
+/// OK: a well-formed payload yields the carried error, a malformed one
+/// yields Corruption.
+Bytes EncodeError(const Status& status);
+Status DecodeError(const Bytes& payload);
+
+}  // namespace net
+}  // namespace xcrypt
+
+#endif  // XCRYPT_NET_WIRE_H_

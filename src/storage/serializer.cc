@@ -1,10 +1,10 @@
 #include "storage/serializer.h"
 
-#include <bit>
 #include <cstdint>
 #include <fstream>
 #include <limits>
 
+#include "common/binary_io.h"
 #include "index/btree.h"
 
 namespace xcrypt {
@@ -14,87 +14,8 @@ namespace {
 constexpr uint32_t kMagic = 0x58435231;  // "XCR1"
 constexpr uint32_t kVersion = 1;
 
-class Writer {
- public:
-  explicit Writer(Bytes* out) : out_(out) {}
-
-  void U8(uint8_t v) { out_->push_back(v); }
-  void U32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
-  void U64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
-  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
-  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
-  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    out_->insert(out_->end(), s.begin(), s.end());
-  }
-  void Blob(const Bytes& b) {
-    U32(static_cast<uint32_t>(b.size()));
-    out_->insert(out_->end(), b.begin(), b.end());
-  }
-
- private:
-  Bytes* out_;
-};
-
-class Reader {
- public:
-  explicit Reader(const Bytes& in) : in_(in) {}
-
-  bool AtEnd() const { return pos_ == in_.size(); }
-  bool failed() const { return failed_; }
-
-  uint8_t U8() {
-    if (!Need(1)) return 0;
-    return in_[pos_++];
-  }
-  uint32_t U32() {
-    if (!Need(4)) return 0;
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in_[pos_++]) << (8 * i);
-    return v;
-  }
-  uint64_t U64() {
-    if (!Need(8)) return 0;
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(in_[pos_++]) << (8 * i);
-    return v;
-  }
-  int32_t I32() { return static_cast<int32_t>(U32()); }
-  int64_t I64() { return static_cast<int64_t>(U64()); }
-  double F64() { return std::bit_cast<double>(U64()); }
-  std::string Str() {
-    const uint32_t len = U32();
-    if (!Need(len)) return {};
-    std::string s(in_.begin() + pos_, in_.begin() + pos_ + len);
-    pos_ += len;
-    return s;
-  }
-  Bytes Blob() {
-    const uint32_t len = U32();
-    if (!Need(len)) return {};
-    Bytes b(in_.begin() + pos_, in_.begin() + pos_ + len);
-    pos_ += len;
-    return b;
-  }
-
- private:
-  bool Need(size_t n) {
-    if (failed_ || in_.size() - pos_ < n) {
-      failed_ = true;
-      return false;
-    }
-    return true;
-  }
-
-  const Bytes& in_;
-  size_t pos_ = 0;
-  bool failed_ = false;
-};
+using Writer = BinaryWriter;
+using Reader = BinaryReader;
 
 void WriteDocument(Writer& w, const Document& doc) {
   w.I32(doc.node_count());
@@ -109,7 +30,11 @@ void WriteDocument(Writer& w, const Document& doc) {
 
 Result<Document> ReadDocument(Reader& r) {
   const int32_t count = r.I32();
-  if (r.failed() || count < 0) {
+  // Each node occupies at least two length prefixes, a parent id, and a
+  // flag byte; a count the unread suffix cannot possibly hold is
+  // corruption, rejected before the arena grows.
+  if (r.failed() || count < 0 ||
+      !r.CanHold(static_cast<uint64_t>(count), 13)) {
     return Status::Corruption("bad document node count");
   }
   Document doc;
@@ -215,6 +140,10 @@ Result<HostedBundle> DeserializeBundle(const Bytes& image) {
   bundle.database.skeleton = std::move(*skeleton);
 
   const uint32_t num_blocks = r.U32();
+  if (!r.CanHold(num_blocks, 8)) {
+    return Status::Corruption("bad block count");
+  }
+  bundle.database.blocks.reserve(num_blocks);
   for (uint32_t i = 0; i < num_blocks && !r.failed(); ++i) {
     EncryptedBlock block;
     block.id = r.I32();
@@ -222,6 +151,10 @@ Result<HostedBundle> DeserializeBundle(const Bytes& image) {
     bundle.database.blocks.push_back(std::move(block));
   }
   const uint32_t num_markers = r.U32();
+  if (!r.CanHold(num_markers, 4)) {
+    return Status::Corruption("bad marker count");
+  }
+  bundle.database.marker_of_block.reserve(num_markers);
   for (uint32_t i = 0; i < num_markers && !r.failed(); ++i) {
     const NodeId id = r.I32();
     if (id < kNullNode || id >= bundle.database.skeleton.node_count()) {
@@ -234,6 +167,9 @@ Result<HostedBundle> DeserializeBundle(const Bytes& image) {
   for (uint32_t i = 0; i < num_tokens && !r.failed(); ++i) {
     const std::string token = r.Str();
     const uint32_t num_intervals = r.U32();
+    if (!r.CanHold(num_intervals, 16)) {
+      return Status::Corruption("bad DSI interval count");
+    }
     for (uint32_t j = 0; j < num_intervals && !r.failed(); ++j) {
       bundle.metadata.dsi_table.Add(token, ReadInterval(r));
     }
@@ -250,6 +186,9 @@ Result<HostedBundle> DeserializeBundle(const Bytes& image) {
   for (uint32_t i = 0; i < num_indexes && !r.failed(); ++i) {
     const std::string token = r.Str();
     const uint32_t num_entries = r.U32();
+    if (!r.CanHold(num_entries, 12)) {
+      return Status::Corruption("bad value-index entry count");
+    }
     std::vector<BTreeEntry> entries;
     entries.reserve(num_entries);
     for (uint32_t j = 0; j < num_entries && !r.failed(); ++j) {

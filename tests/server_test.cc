@@ -163,7 +163,7 @@ TEST_F(ServerEngineTest, EmptyQueryRejected) {
 }
 
 TEST_F(ServerEngineTest, NaiveShipsWholeDatabase) {
-  const ServerResponse r = server_->ExecuteNaive();
+  const ServerResponse r = *server_->ExecuteNaive();
   EXPECT_EQ(r.blocks.size(), client_->database().blocks.size());
   EXPECT_TRUE(r.requires_full_requery);
 }

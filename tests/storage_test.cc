@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/binary_io.h"
 #include "common/random.h"
 #include "core/client.h"
 #include "core/server.h"
@@ -182,6 +183,20 @@ TEST(StorageCorruptionTest, RandomMutationFuzzNeverCrashes) {
   }
   // Most mutations must be rejected (length prefixes, magic, ranges).
   EXPECT_LT(parsed_ok, 400);
+}
+
+TEST(StorageCorruptionTest, OversizedCountRejectedBeforeAllocating) {
+  // A 14-byte image claiming two billion document nodes: the reader must
+  // notice the suffix cannot possibly hold them and reject immediately,
+  // instead of looping (or reserving) its way toward out-of-memory.
+  Bytes image;
+  BinaryWriter w(&image);
+  w.U32(0x58435231);  // bundle magic "XCR1"
+  w.U32(1);           // version
+  w.I32(0x7fffff00);  // node count
+  w.U8(0);            // a lone stray byte of "node data"
+  const auto bundle = DeserializeBundle(image);
+  EXPECT_EQ(bundle.status().code(), StatusCode::kCorruption);
 }
 
 TEST(StorageCorruptionTest, LoadMissingFileFails) {
