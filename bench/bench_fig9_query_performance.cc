@@ -38,6 +38,7 @@ int main() {
   }
 
   double client_total[4] = {0, 0, 0, 0};
+  std::vector<std::string> json_rows;
   for (WorkloadKind wk :
        {WorkloadKind::kQs, WorkloadKind::kQm, WorkloadKind::kQl}) {
     const auto workload = BuildWorkload(corpus.doc, wk, 10, 23);
@@ -52,6 +53,17 @@ int main() {
       std::printf("%-6s %14.1f %14.1f %14.1f %12.0f\n",
                   SchemeKindName(hosted[i].kind), c.server_process_us,
                   c.decrypt_us, c.postprocess_us, c.bytes);
+      json_rows.push_back(JsonObj()
+                              .Add("workload", std::string(WorkloadKindName(wk)))
+                              .Add("scheme",
+                                   std::string(SchemeKindName(hosted[i].kind)))
+                              .Add("server_us", c.server_process_us)
+                              .Add("translate_us", c.client_translate_us)
+                              .Add("decrypt_us", c.decrypt_us)
+                              .Add("postprocess_us", c.postprocess_us)
+                              .Add("total_us", c.total_us)
+                              .Add("bytes", c.bytes)
+                              .Str());
     }
   }
 
@@ -72,5 +84,6 @@ int main() {
     std::printf("  app/opt ratio: %.2fx (paper: 1.1-1.3x)\n",
                 client_total[2] / client_total[3]);
   }
+  WriteJsonFile("BENCH_query_perf.json", JsonArray(json_rows));
   return 0;
 }

@@ -1,0 +1,241 @@
+// Microbenchmark for the laminar-forest structural-join rewrite: the three
+// join kernels timed on random strictly-laminar interval families of
+// 10^2..10^5 members, legacy (pre-forest, quadratic/cubic scan) path vs the
+// forest path. The legacy child-axis join scanned the whole universe per
+// (candidate, parent) pair — O(|cand| * |universe|) with a sizable constant
+// — so it is skipped at 10^5 where one trial would take minutes; the rows
+// still carry the forest timing there.
+//
+// Emits BENCH_structural_join.json (array of rows, one per kernel x size)
+// into the working directory.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "index/interval_forest.h"
+#include "index/structural_join.h"
+
+namespace xcrypt {
+namespace {
+
+// --- Legacy kernels (the pre-forest implementations, kept verbatim as the
+// --- baseline under test; the differential suite proves the forest path
+// --- byte-identical to these on laminar inputs) ---------------------------
+
+std::vector<Interval> LegacyFilterAncestors(
+    const std::vector<Interval>& ancestors,
+    const std::vector<Interval>& descendants) {
+  std::vector<Interval> out;
+  for (const Interval& a : ancestors) {
+    for (const Interval& d : descendants) {
+      if (d.ProperlyInside(a)) {
+        out.push_back(a);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Interval> LegacyFilterChildren(
+    const std::vector<Interval>& parents,
+    const std::vector<Interval>& candidates,
+    const std::vector<Interval>& universe) {
+  std::vector<Interval> out;
+  for (const Interval& c : candidates) {
+    for (const Interval& p : parents) {
+      if (!c.ProperlyInside(p)) continue;
+      bool interposed = false;
+      for (const Interval& z : universe) {
+        if (z == p || z == c) continue;
+        if (z.ProperlyInside(p) && c.ProperlyInside(z)) {
+          interposed = true;
+          break;
+        }
+      }
+      if (!interposed) {
+        out.push_back(c);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::pair<int, int>> LegacyPairJoin(
+    const std::vector<Interval>& ancestors,
+    const std::vector<Interval>& descendants) {
+  std::vector<std::pair<int, int>> out;
+  for (size_t i = 0; i < ancestors.size(); ++i) {
+    for (size_t j = 0; j < descendants.size(); ++j) {
+      if (descendants[j].ProperlyInside(ancestors[i])) {
+        out.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return out;
+}
+
+// --- Input generation -----------------------------------------------------
+
+/// Random strictly-nested family inside `span` (distinct cut points, so no
+/// two members share an endpoint — the DSI laminar shape of Thm. 5.1).
+void GrowLaminar(Rng& rng, const Interval& span, int depth,
+                 std::vector<Interval>* out) {
+  out->push_back(span);
+  if (depth <= 0) return;
+  const int children = static_cast<int>(rng.UniformU64(0, 4));
+  if (children == 0) return;
+  const std::vector<double> cuts =
+      rng.DistinctSortedDoubles(2 * children, span.min, span.max);
+  for (int i = 0; i < children; ++i) {
+    GrowLaminar(rng, {cuts[2 * i], cuts[2 * i + 1]}, depth - 1, out);
+  }
+}
+
+std::vector<Interval> MakeUniverse(Rng& rng, int target) {
+  std::vector<Interval> family;
+  while (static_cast<int>(family.size()) < target) {
+    std::vector<Interval> tree;
+    GrowLaminar(rng, {0.0, 1.0}, 9, &tree);
+    // Keep one shared root; splice additional trees below it.
+    const size_t skip = family.empty() ? 0 : 1;
+    family.insert(family.end(), tree.begin() + skip, tree.end());
+  }
+  family.resize(target);
+  std::sort(family.begin(), family.end());
+  family.erase(std::unique(family.begin(), family.end()), family.end());
+  return family;
+}
+
+std::vector<Interval> SampleOf(Rng& rng, const std::vector<Interval>& family,
+                               double p) {
+  std::vector<Interval> out;
+  for (const Interval& iv : family) {
+    if (rng.Bernoulli(p)) out.push_back(iv);
+  }
+  return out;
+}
+
+// --- Timing ---------------------------------------------------------------
+
+template <typename Fn>
+double TimeUs(const Fn& fn, int trials) {
+  std::vector<double> samples;
+  samples.reserve(trials);
+  for (int t = 0; t < trials; ++t) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  return bench::TrimmedMean(std::move(samples));
+}
+
+}  // namespace
+}  // namespace xcrypt
+
+int main() {
+  using namespace xcrypt;
+  using namespace xcrypt::bench;
+
+  PrintHeader("Structural-join kernels: legacy scan vs laminar forest");
+  std::printf("%-16s %9s %7s %12s %12s %9s\n", "kernel", "universe", "cands",
+              "legacy/us", "forest/us", "speedup");
+  PrintRule();
+
+  // Legacy child join is O(|cand| * |universe|); past 1e4 one trial takes
+  // minutes, so the 1e5 row reports the forest path only.
+  constexpr int kLegacyCutoff = 10000;
+  const int kSizes[] = {100, 1000, 10000, 100000};
+
+  std::vector<std::string> rows;
+  for (int n : kSizes) {
+    Rng rng(0x5eedULL + n);
+    const std::vector<Interval> universe = MakeUniverse(rng, n);
+    const std::vector<Interval> parents = SampleOf(rng, universe, 0.10);
+    const std::vector<Interval> cand = SampleOf(rng, universe, 0.30);
+    const int trials = n >= 10000 ? 3 : 5;
+    const bool run_legacy = n <= kLegacyCutoff;
+
+    // Forest construction cost is paid once per hosted database (engine
+    // construction), so it is reported separately from the per-join time.
+    const double build_us =
+        TimeUs([&] { LaminarForest::Build(universe); }, trials);
+    const LaminarForest forest = LaminarForest::Build(universe);
+
+    struct Row {
+      const char* kernel;
+      double legacy_us;
+      double forest_us;
+    };
+    std::vector<Row> kernel_rows;
+
+    {
+      const double fast = TimeUs(
+          [&] { StructuralJoin::FilterChildren(parents, cand, forest); },
+          trials);
+      const double legacy =
+          run_legacy
+              ? TimeUs([&] { LegacyFilterChildren(parents, cand, universe); },
+                       trials)
+              : -1.0;
+      kernel_rows.push_back({"filter_children", legacy, fast});
+    }
+    {
+      const double fast = TimeUs(
+          [&] { StructuralJoin::FilterAncestors(parents, cand); }, trials);
+      const double legacy =
+          run_legacy
+              ? TimeUs([&] { LegacyFilterAncestors(parents, cand); }, trials)
+              : -1.0;
+      kernel_rows.push_back({"filter_ancestors", legacy, fast});
+    }
+    {
+      const double fast =
+          TimeUs([&] { StructuralJoin::PairJoin(parents, cand); }, trials);
+      const double legacy =
+          run_legacy ? TimeUs([&] { LegacyPairJoin(parents, cand); }, trials)
+                     : -1.0;
+      kernel_rows.push_back({"pair_join", legacy, fast});
+    }
+
+    for (const Row& r : kernel_rows) {
+      if (r.legacy_us >= 0.0) {
+        std::printf("%-16s %9zu %7zu %12.1f %12.1f %8.1fx\n", r.kernel,
+                    universe.size(), cand.size(), r.legacy_us, r.forest_us,
+                    r.forest_us > 0 ? r.legacy_us / r.forest_us : 0.0);
+      } else {
+        std::printf("%-16s %9zu %7zu %12s %12.1f %9s\n", r.kernel,
+                    universe.size(), cand.size(), "(skipped)", r.forest_us,
+                    "-");
+      }
+      JsonObj obj;
+      obj.Add("kernel", std::string(r.kernel))
+          .Add("universe", static_cast<int>(universe.size()))
+          .Add("parents", static_cast<int>(parents.size()))
+          .Add("candidates", static_cast<int>(cand.size()))
+          .Add("forest_build_us", build_us)
+          .Add("forest_us", r.forest_us);
+      if (r.legacy_us >= 0.0) {
+        obj.Add("legacy_us", r.legacy_us)
+            .Add("speedup", r.forest_us > 0 ? r.legacy_us / r.forest_us : 0.0);
+      } else {
+        obj.AddNull("legacy_us").AddNull("speedup");
+      }
+      rows.push_back(obj.Str());
+    }
+    std::printf("%-16s %9zu %7s %12s %12.1f %9s\n", "forest_build",
+                universe.size(), "-", "-", build_us, "-");
+  }
+
+  WriteJsonFile("BENCH_structural_join.json", JsonArray(rows));
+  return 0;
+}

@@ -152,6 +152,61 @@ inline double RunWorkloadNaive(const DasSystem& das,
   return n == 0 ? 0.0 : sum / n;
 }
 
+/// Tiny JSON emitter for the machine-readable BENCH_*.json files the
+/// experiment binaries drop next to their stdout tables. Only what the
+/// benches need: flat objects and arrays of them, no escaping beyond
+/// quotes (keys and labels are ASCII identifiers).
+class JsonObj {
+ public:
+  JsonObj& Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    return AddRaw(key, buf);
+  }
+  JsonObj& Add(const std::string& key, int value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonObj& Add(const std::string& key, long long value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonObj& Add(const std::string& key, const std::string& value) {
+    return AddRaw(key, "\"" + value + "\"");
+  }
+  JsonObj& AddNull(const std::string& key) { return AddRaw(key, "null"); }
+  JsonObj& AddRaw(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + key + "\": " + rendered;
+    return *this;
+  }
+  std::string Str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+inline std::string JsonArray(const std::vector<std::string>& rendered) {
+  std::string out = "[";
+  for (size_t i = 0; i < rendered.size(); ++i) {
+    out += (i ? ",\n  " : "\n  ") + rendered[i];
+  }
+  out += "\n]";
+  return out;
+}
+
+/// Writes `json` to `path` (working directory of the bench run) and tells
+/// the user where it went.
+inline bool WriteJsonFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
+}
+
 inline void PrintRule(char c = '-', int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar(c);
   std::putchar('\n');

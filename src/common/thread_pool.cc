@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace xcrypt {
+
+namespace {
+/// Set while a pool worker runs tasks. A ParallelFor issued from inside a
+/// task must not queue helpers behind workers that may all be blocked in
+/// sibling ParallelFor waits — it degrades to a serial loop instead.
+thread_local bool tls_inside_pool = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_inside_pool = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || tls_inside_pool) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<int> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int pending = 0;  ///< helper tasks not yet finished
+  };
+  auto state = std::make_shared<State>();
+  auto drain = [state, n, &fn] {
+    for (int i = state->next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = state->next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+
+  const int helpers = std::min(num_threads(), n - 1);
+  state->pending = helpers;
+  for (int h = 0; h < helpers; ++h) {
+    // The helper borrows `fn` by reference; the caller cannot return before
+    // every helper finished (the pending-count wait below), so the
+    // reference outlives all uses.
+    Submit([state, drain] {
+      drain();
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->pending == 0) state->done_cv.notify_all();
+    });
+  }
+
+  drain();  // the caller claims iterations too — no deadlock when nested
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] { return state->pending == 0; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(std::clamp(
+      static_cast<int>(std::thread::hardware_concurrency()), 2, 8));
+  return pool;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,63 @@
+#ifndef XCRYPT_COMMON_THREAD_POOL_H_
+#define XCRYPT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xcrypt {
+
+/// Small bounded thread pool: a fixed number of workers draining one task
+/// queue. Used by the client to decrypt shipped blocks in parallel; kept
+/// deliberately minimal (no futures, no priorities).
+///
+/// ParallelFor is the intended entry point: it partitions [0, n) over the
+/// workers *and the calling thread* — the caller always participates, so a
+/// ParallelFor issued from inside a pool task (or from many threads at
+/// once, every method is thread-safe) makes progress even when all workers
+/// are busy.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Never blocks; tasks run in FIFO order.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs fn(0) .. fn(n-1), returning when all calls completed. Iterations
+  /// are claimed dynamically, so uneven work still balances; results keyed
+  /// by index stay deterministic regardless of execution order.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  /// Process-wide shared pool sized to the hardware (clamped to [2, 8]).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for tasks
+  std::condition_variable idle_cv_;   ///< Wait() waits for the drain
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;  ///< tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_COMMON_THREAD_POOL_H_

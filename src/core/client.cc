@@ -1,10 +1,12 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
 #include <map>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "xml/stats.h"
 #include "xml/parser.h"
@@ -77,6 +79,38 @@ PathExpr StripNonFinalPredicates(const PathExpr& query) {
   return out;
 }
 
+/// Decrypts every shipped block, fanning out over the shared thread pool
+/// when more than one block arrived. Each worker writes only its own slot,
+/// and the id -> document map is assembled serially in shipping order, so
+/// the result (including which error wins on failure) is identical to the
+/// sequential loop.
+Result<std::map<int, Document>> DecryptBlocks(
+    const std::vector<EncryptedBlock>& blocks, const KeyChain& keys) {
+  const size_t n = blocks.size();
+  std::vector<Document> payloads(n);
+  std::vector<Status> statuses(n, Status::Ok());
+  auto decrypt_one = [&](int i) {
+    auto payload = DecryptBlock(blocks[i], keys);
+    if (payload.ok()) {
+      payloads[i] = std::move(*payload);
+    } else {
+      statuses[i] = payload.status();
+    }
+  };
+  if (n > 1) {
+    ThreadPool::Shared().ParallelFor(static_cast<int>(n), decrypt_one);
+  } else if (n == 1) {
+    decrypt_one(0);
+  }
+
+  std::map<int, Document> decrypted;
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+    decrypted.emplace(blocks[i].id, std::move(payloads[i]));
+  }
+  return decrypted;
+}
+
 /// Copies `src_root`'s subtree under `dst_parent`, replacing `_encblock`
 /// markers by the decrypted block content.
 Status SpliceNode(const Document& src, NodeId src_root, Document* dst,
@@ -88,7 +122,12 @@ Status SpliceNode(const Document& src, NodeId src_root, Document* dst,
     for (NodeId c : n.children) {
       const Node& attr = src.node(c);
       if (attr.is_attribute && attr.tag == "id") {
-        block_id = std::atoi(attr.value.c_str());
+        // Strict parse: a malformed id must not alias block 0.
+        const char* first = attr.value.data();
+        const char* last = first + attr.value.size();
+        int value = -1;
+        const auto [ptr, ec] = std::from_chars(first, last, value);
+        if (ec == std::errc() && ptr == last && value >= 0) block_id = value;
       }
     }
     auto it = decrypted.find(block_id);
@@ -122,14 +161,10 @@ Result<QueryAnswer> Client::PostProcess(const PathExpr& original_query,
   auto pruned = ParseXml(response.skeleton_xml);
   if (!pruned.ok()) return pruned.status();
 
-  // Decrypt every shipped block.
+  // Decrypt every shipped block, in parallel when several arrived.
   Stopwatch decrypt_watch;
-  std::map<int, Document> decrypted;
-  for (const EncryptedBlock& block : response.blocks) {
-    auto payload = DecryptBlock(block, *keys_);
-    if (!payload.ok()) return payload.status();
-    decrypted.emplace(block.id, std::move(*payload));
-  }
+  auto decrypted = DecryptBlocks(response.blocks, *keys_);
+  if (!decrypted.ok()) return decrypted.status();
   if (decrypt_micros != nullptr) {
     *decrypt_micros = decrypt_watch.ElapsedMicros();
   }
@@ -137,7 +172,7 @@ Result<QueryAnswer> Client::PostProcess(const PathExpr& original_query,
   // Splice blocks into the pruned skeleton and strip decoys.
   Document assembled;
   XCRYPT_RETURN_NOT_OK(
-      SpliceNode(*pruned, pruned->root(), &assembled, kNullNode, decrypted));
+      SpliceNode(*pruned, pruned->root(), &assembled, kNullNode, *decrypted));
   RemoveDecoys(assembled);
 
   // Re-apply the query.

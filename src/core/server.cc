@@ -1,6 +1,7 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <charconv>
 #include <map>
 
 #include "index/structural_join.h"
@@ -21,7 +22,42 @@ bool IsRootInterval(const Interval& iv) {
   return iv.min == 0.0 && iv.max == 1.0;
 }
 
+/// Strict non-negative integer parse of a block-marker id attribute.
+/// Returns -1 on anything malformed (sign, trailing junk, overflow, empty)
+/// instead of std::atoi's silent 0.
+int ParseBlockId(const std::string& text) {
+  int value = -1;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || value < 0) return -1;
+  return value;
+}
+
 }  // namespace
+
+ServerEngine::ServerEngine(const EncryptedDatabase* db, const Metadata* meta)
+    : db_(db), meta_(meta) {
+  universe_ = meta_->dsi_table.AllIntervals();
+  forest_ = LaminarForest::Build(universe_);
+
+  // Block representatives are subtree-root intervals, hence laminar too.
+  // Duplicate representatives keep the first block id in table order (the
+  // tie the scan-based lookup used to break the same way).
+  std::vector<Interval> reps;
+  reps.reserve(meta_->block_table.entries().size());
+  for (const auto& [id, rep] : meta_->block_table.entries()) {
+    reps.push_back(rep);
+  }
+  block_forest_ = LaminarForest::Build(std::move(reps));
+  block_of_forest_node_.assign(block_forest_.size(), -1);
+  for (const auto& [id, rep] : meta_->block_table.entries()) {
+    const int node = block_forest_.Find(rep);
+    if (node != LaminarForest::kNone && block_of_forest_node_[node] < 0) {
+      block_of_forest_node_[node] = id;
+    }
+  }
+}
 
 const std::vector<Interval>& ServerEngine::RangeProbeReps(
     const std::string& token, int64_t lo, int64_t hi) const {
@@ -52,17 +88,14 @@ const std::vector<Interval>& ServerEngine::RangeProbeReps(
 }
 
 const std::vector<Interval>& ServerEngine::Universe() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  if (!universe_ready_) {
-    universe_ = meta_->dsi_table.AllIntervals();
-    universe_ready_ = true;
-  }
   return universe_;
 }
 
 std::vector<Interval> ServerEngine::LookupStep(
     const TranslatedStep& step) const {
-  if (step.wildcard) return meta_->dsi_table.AllIntervals();
+  // `//*` reuses the universe materialized at construction instead of
+  // re-running the DSI table's merge-and-sort on every wildcard step.
+  if (step.wildcard) return Universe();
   std::vector<Interval> out;
   for (const std::string& token : step.tokens) {
     const auto& list = meta_->dsi_table.Lookup(token);
@@ -80,7 +113,6 @@ std::vector<std::vector<Interval>> ServerEngine::ForwardPass(
   std::vector<std::vector<Interval>> lists;
   lists.reserve(steps.size());
   std::vector<Interval> cur = context;
-  const std::vector<Interval>& universe = Universe();
 
   for (size_t k = 0; k < steps.size(); ++k) {
     const TranslatedStep& step = steps[k];
@@ -99,21 +131,19 @@ std::vector<std::vector<Interval>> ServerEngine::ForwardPass(
       if (step.axis == Axis::kDescendant) {
         cand = StructuralJoin::FilterDescendants(cur, cand);
       } else {
-        cand = StructuralJoin::FilterChildren(cur, cand, universe);
+        cand = StructuralJoin::FilterChildren(cur, cand, forest_);
       }
     }
-    // Step predicates.
-    if (!step.predicates.empty()) {
+    // Step predicates, each batched over the step's whole candidate list;
+    // candidates failing an earlier predicate never reach a later one.
+    for (const TranslatedPredicate& pred : step.predicates) {
+      if (cand.empty()) break;
+      const std::vector<char> pass =
+          BatchCheckPredicate(cand, pred, conservative);
       std::vector<Interval> kept;
-      for (const Interval& iv : cand) {
-        bool pass = true;
-        for (const TranslatedPredicate& pred : step.predicates) {
-          if (!CheckPredicate(iv, pred, conservative)) {
-            pass = false;
-            break;
-          }
-        }
-        if (pass) kept.push_back(iv);
+      kept.reserve(cand.size());
+      for (size_t i = 0; i < cand.size(); ++i) {
+        if (pass[i]) kept.push_back(cand[i]);
       }
       cand = std::move(kept);
     }
@@ -123,16 +153,41 @@ std::vector<std::vector<Interval>> ServerEngine::ForwardPass(
   return lists;
 }
 
-bool ServerEngine::CheckPredicate(const Interval& candidate,
-                                  const TranslatedPredicate& pred,
-                                  bool* conservative) const {
-  const std::vector<std::vector<Interval>> lists =
-      ForwardPass(pred.path, {candidate}, /*from_document_root=*/false,
-                  conservative);
-  if (lists.empty()) return false;
-  const std::vector<Interval>& targets = lists.back();
-  if (targets.empty()) return false;
+std::vector<char> ServerEngine::BatchCheckPredicate(
+    const std::vector<Interval>& candidates, const TranslatedPredicate& pred,
+    bool* conservative) const {
+  std::vector<char> pass(candidates.size(), 0);
+  if (candidates.empty() || pred.path.empty()) return pass;
 
+  // One ForwardPass over the union of contexts. Per-candidate lists are
+  // subsets of these shared lists (every join is monotone in its context),
+  // and the step predicates inside the pass are context-independent, so
+  // each candidate's target set is recovered below by re-chaining through
+  // the shared, already-pruned lists — without touching the full DSI lists
+  // or the predicate machinery again.
+  const std::vector<std::vector<Interval>> shared = ForwardPass(
+      pred.path, candidates, /*from_document_root=*/false, conservative);
+  if (shared.empty() || shared.back().empty()) return pass;
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    std::vector<Interval> cur = {candidates[i]};
+    for (size_t k = 0; k < shared.size() && !cur.empty(); ++k) {
+      if (pred.path[k].axis == Axis::kDescendant) {
+        cur = StructuralJoin::FilterDescendants(cur, shared[k]);
+      } else {
+        cur = StructuralJoin::FilterChildren(cur, shared[k], forest_);
+      }
+    }
+    if (cur.empty()) continue;
+    pass[i] = PredicateKindHolds(candidates[i], pred, cur, conservative);
+  }
+  return pass;
+}
+
+bool ServerEngine::PredicateKindHolds(const Interval& candidate,
+                                      const TranslatedPredicate& pred,
+                                      const std::vector<Interval>& targets,
+                                      bool* conservative) const {
   switch (pred.kind) {
     case TranslatedPredicate::Kind::kExists:
       return true;
@@ -226,7 +281,8 @@ ServerResponse ServerEngine::AssembleResponse(
         for (NodeId c : skeleton.node(n).children) {
           const Node& attr = skeleton.node(c);
           if (attr.is_attribute && attr.tag == "id") {
-            const int id_val = std::atoi(attr.value.c_str());
+            // Malformed ids are skipped, not mapped to block 0.
+            const int id_val = ParseBlockId(attr.value);
             if (id_val >= 0 &&
                 static_cast<size_t>(id_val) < ship_block.size()) {
               ship_block[id_val] = true;
@@ -238,17 +294,11 @@ ServerResponse ServerEngine::AssembleResponse(
   };
 
   for (const Interval& iv : ship_roots) {
-    // Innermost covering block, if the root lies in one.
+    // Innermost covering block, if the root lies in one: a single walk in
+    // the block-representative forest instead of a block-table scan.
     int best_block = -1;
-    double best_min = -1.0;
-    for (const auto& [id, rep] : meta_->block_table.entries()) {
-      if (iv == rep || iv.ProperlyInside(rep)) {
-        if (rep.min > best_min) {
-          best_min = rep.min;
-          best_block = id;
-        }
-      }
-    }
+    const int node = block_forest_.InnermostCovering(iv);
+    if (node != LaminarForest::kNone) best_block = block_of_forest_node_[node];
     if (best_block >= 0) {
       const NodeId marker = db_->marker_of_block[best_block];
       mark_subtree(marker);

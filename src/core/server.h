@@ -12,6 +12,7 @@
 #include "core/encryptor.h"
 #include "core/metadata.h"
 #include "core/translated_query.h"
+#include "index/interval_forest.h"
 
 namespace xcrypt {
 struct AggregateResponse;
@@ -82,8 +83,12 @@ class QueryEngine {
 /// plaintext of encrypted content.
 class ServerEngine : public QueryEngine {
  public:
-  ServerEngine(const EncryptedDatabase* db, const Metadata* meta)
-      : db_(db), meta_(meta) {}
+  /// Construction interns the DSI interval universe into a laminar forest
+  /// (O(n log n), see index/interval_forest.h) so every child-axis join and
+  /// covering-block lookup afterwards is a constant-size forest walk. The
+  /// forest is derived solely from the public DSI/block interval lists, so
+  /// the server learns nothing it did not already hold.
+  ServerEngine(const EncryptedDatabase* db, const Metadata* meta);
 
   /// Executes the translated query:
   ///  1. label query nodes with DSI interval lists and prune them with
@@ -108,9 +113,21 @@ class ServerEngine : public QueryEngine {
 
   std::vector<Interval> LookupStep(const TranslatedStep& step) const;
 
-  bool CheckPredicate(const Interval& candidate,
-                      const TranslatedPredicate& pred,
-                      bool* conservative) const;
+  /// Evaluates one predicate against every candidate of a step with a
+  /// single shared ForwardPass over the union of contexts (the joins are
+  /// monotone in the context and step predicates are context-independent,
+  /// so per-candidate chains are recovered from the shared pruned lists).
+  /// Returns one pass/fail flag per candidate, in order.
+  std::vector<char> BatchCheckPredicate(const std::vector<Interval>& candidates,
+                                        const TranslatedPredicate& pred,
+                                        bool* conservative) const;
+
+  /// The kind-specific decision of §6.2 for one candidate, given the
+  /// targets its predicate path reaches.
+  bool PredicateKindHolds(const Interval& candidate,
+                          const TranslatedPredicate& pred,
+                          const std::vector<Interval>& targets,
+                          bool* conservative) const;
 
   /// Builds the pruned-skeleton response for the subtrees rooted at the
   /// given intervals.
@@ -129,12 +146,21 @@ class ServerEngine : public QueryEngine {
 
   const EncryptedDatabase* db_;
   const Metadata* meta_;
-  /// Guards the lazy caches below so one engine can serve concurrent
+  /// All DSI intervals, materialized once at construction (the wildcard
+  /// step list and the child-axis universe).
+  std::vector<Interval> universe_;
+  /// Laminar forest over universe_: parent/depth/subtree spans for the
+  /// child-axis join.
+  LaminarForest forest_;
+  /// Forest over the encryption blocks' representative intervals, plus the
+  /// block id behind each forest node — the innermost-covering-block
+  /// question of response assembly as one forest walk.
+  LaminarForest block_forest_;
+  std::vector<int> block_of_forest_node_;
+  /// Guards the lazy cache below so one engine can serve concurrent
   /// network sessions; everything else here is read-only after
   /// construction.
   mutable std::mutex cache_mu_;
-  mutable std::vector<Interval> universe_;
-  mutable bool universe_ready_ = false;
   mutable std::map<std::tuple<std::string, int64_t, int64_t>,
                    std::vector<Interval>>
       range_probe_cache_;

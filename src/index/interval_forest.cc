@@ -1,0 +1,71 @@
+#include "index/interval_forest.h"
+
+#include <algorithm>
+
+namespace xcrypt {
+
+namespace {
+
+/// Document order: ancestors before descendants. Equal mins cannot occur
+/// between distinct members of a strictly laminar family, but ordering
+/// wider intervals first keeps the pass well-defined anyway.
+bool DocOrder(const Interval& a, const Interval& b) {
+  if (a.min != b.min) return a.min < b.min;
+  return a.max > b.max;
+}
+
+}  // namespace
+
+LaminarForest LaminarForest::Build(std::vector<Interval> intervals) {
+  LaminarForest forest;
+  std::sort(intervals.begin(), intervals.end(), DocOrder);
+  intervals.erase(std::unique(intervals.begin(), intervals.end()),
+                  intervals.end());
+  const int n = static_cast<int>(intervals.size());
+  forest.nodes_ = std::move(intervals);
+  forest.parent_.assign(n, kNone);
+  forest.depth_.assign(n, 0);
+  forest.subtree_end_.assign(n, n);
+
+  // In doc order the open ancestors of the scan position form a chain.
+  std::vector<int> stack;
+  for (int i = 0; i < n; ++i) {
+    while (!stack.empty() &&
+           !forest.nodes_[i].ProperlyInside(forest.nodes_[stack.back()])) {
+      forest.subtree_end_[stack.back()] = i;
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      forest.parent_[i] = stack.back();
+      forest.depth_[i] = forest.depth_[stack.back()] + 1;
+    }
+    stack.push_back(i);
+  }
+  return forest;  // still-open nodes keep subtree_end == n
+}
+
+int LaminarForest::Find(const Interval& iv) const {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), iv, DocOrder);
+  if (it == nodes_.end() || !(*it == iv)) return kNone;
+  return static_cast<int>(it - nodes_.begin());
+}
+
+int LaminarForest::InnermostEnclosing(const Interval& iv) const {
+  // Every member properly containing iv has min < iv.min, hence lies at or
+  // before the last such node j; laminarity makes all of them ancestors of
+  // j, so walking j's parent chain finds the innermost one.
+  auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), iv.min,
+      [](const Interval& node, double min) { return node.min < min; });
+  int j = static_cast<int>(it - nodes_.begin()) - 1;
+  while (j != kNone && nodes_[j].max <= iv.max) j = parent_[j];
+  return j;
+}
+
+int LaminarForest::InnermostCovering(const Interval& iv) const {
+  const int exact = Find(iv);
+  if (exact != kNone) return exact;
+  return InnermostEnclosing(iv);
+}
+
+}  // namespace xcrypt

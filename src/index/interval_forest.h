@@ -1,0 +1,71 @@
+#ifndef XCRYPT_INDEX_INTERVAL_FOREST_H_
+#define XCRYPT_INDEX_INTERVAL_FOREST_H_
+
+#include <vector>
+
+#include "index/dsi.h"
+
+namespace xcrypt {
+
+/// Laminar interval forest: the nesting structure of a laminar interval
+/// family (every two members are nested or disjoint — exactly what DSI
+/// intervals are, Thm. 5.1) precomputed once so structural joins become
+/// id lookups instead of scans.
+///
+/// Build() interns the family into dense integer ids, sorted by
+/// (min asc, max desc) — i.e. document order with ancestors first — and a
+/// single stack pass derives, per id:
+///   - parent:      the innermost member properly containing it (kNone at
+///                  a forest root),
+///   - depth:       distance to its forest root,
+///   - subtree_end: Euler span; the ids of the subtree rooted at `i` are
+///                  exactly [i, subtree_end(i)) because descendants are
+///                  contiguous in the sort order.
+///
+/// Construction is O(n log n) (the sort dominates). Lookups are
+/// O(log n + depth). The forest is derived solely from the interval values
+/// themselves — the same public lists the DSI table already exposes to the
+/// server — so materializing it reveals nothing new (see DESIGN.md §9).
+///
+/// Precondition: the family is laminar with *strict* nesting — distinct
+/// members never share an endpoint. DSI's guaranteed positive gaps provide
+/// this; duplicate interval values are tolerated (deduplicated on Build).
+/// Query intervals passed to the lookup functions may be arbitrary.
+class LaminarForest {
+ public:
+  static constexpr int kNone = -1;
+
+  LaminarForest() = default;
+
+  /// Sorts, deduplicates, and interns `intervals`.
+  static LaminarForest Build(std::vector<Interval> intervals);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+
+  const Interval& interval(int id) const { return nodes_[id]; }
+  int parent(int id) const { return parent_[id]; }
+  int depth(int id) const { return depth_[id]; }
+  int subtree_end(int id) const { return subtree_end_[id]; }
+
+  /// Dense id of an exact interval value, or kNone.
+  int Find(const Interval& iv) const;
+
+  /// Innermost member properly containing `iv` (in the
+  /// Interval::ProperlyInside sense), or kNone. `iv` need not be a member.
+  int InnermostEnclosing(const Interval& iv) const;
+
+  /// Innermost member equal to *or* properly containing `iv`, or kNone —
+  /// the "innermost covering block" question of response assembly.
+  int InnermostCovering(const Interval& iv) const;
+
+ private:
+  std::vector<Interval> nodes_;  ///< sorted by (min asc, max desc)
+  std::vector<int> parent_;
+  std::vector<int> depth_;
+  std::vector<int> subtree_end_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_INDEX_INTERVAL_FOREST_H_

@@ -1,6 +1,8 @@
 #include "index/structural_join.h"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
 
 namespace xcrypt {
 
@@ -44,16 +46,70 @@ std::vector<Interval> StructuralJoin::FilterDescendants(
 std::vector<Interval> StructuralJoin::FilterAncestors(
     const std::vector<Interval>& ancestors,
     const std::vector<Interval>& descendants) {
+  std::vector<Interval> anc = ancestors;
+  std::vector<Interval> desc = descendants;
+  std::sort(anc.begin(), anc.end());
+  if (!SortedByMin(desc)) std::sort(desc.begin(), desc.end());
+
+  // An ancestor a keeps iff some d has d.min > a.min and d.max < a.max.
+  // Over descendants sorted by min, the candidates for a given a are a
+  // suffix, so a suffix-minimum of max answers the existence test in
+  // O(log |D|) per ancestor.
+  std::vector<double> suffix_min_max(desc.size());
+  double running = std::numeric_limits<double>::infinity();
+  for (size_t i = desc.size(); i-- > 0;) {
+    running = std::min(running, desc[i].max);
+    suffix_min_max[i] = running;
+  }
+
   std::vector<Interval> out;
-  for (const Interval& a : ancestors) {
-    for (const Interval& d : descendants) {
-      if (d.ProperlyInside(a)) {
-        out.push_back(a);
+  for (const Interval& a : anc) {
+    auto it = std::upper_bound(
+        desc.begin(), desc.end(), a.min,
+        [](double min, const Interval& d) { return min < d.min; });
+    const size_t idx = static_cast<size_t>(it - desc.begin());
+    if (idx < desc.size() && suffix_min_max[idx] < a.max) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Interval> StructuralJoin::FilterChildren(
+    const std::vector<Interval>& parents,
+    const std::vector<Interval>& candidates, const LaminarForest& forest) {
+  std::vector<char> is_parent(forest.size(), 0);
+  std::vector<Interval> extra;  // parents outside the interned universe
+  for (const Interval& p : parents) {
+    const int id = forest.Find(p);
+    if (id != LaminarForest::kNone) {
+      is_parent[id] = 1;
+    } else {
+      extra.push_back(p);
+    }
+  }
+
+  std::vector<Interval> out;
+  for (const Interval& c : candidates) {
+    // The universe intervals properly containing c form a chain; the paper's
+    // non-interposition test reduces to "the innermost one is the parent".
+    const int e = forest.InnermostEnclosing(c);
+    bool matched = e != LaminarForest::kNone && is_parent[e] != 0;
+    if (!matched) {
+      // Parents the universe does not know (never the case server-side):
+      // interposition can only come from the chain's innermost element.
+      for (const Interval& p : extra) {
+        if (!c.ProperlyInside(p)) continue;
+        if (e != LaminarForest::kNone &&
+            forest.interval(e).ProperlyInside(p)) {
+          continue;  // a known interval sits strictly between p and c
+        }
+        matched = true;
         break;
       }
     }
+    if (matched) out.push_back(c);
   }
   std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -61,41 +117,48 @@ std::vector<Interval> StructuralJoin::FilterChildren(
     const std::vector<Interval>& parents,
     const std::vector<Interval>& candidates,
     const std::vector<Interval>& universe) {
-  std::vector<Interval> out;
-  for (const Interval& c : candidates) {
-    for (const Interval& p : parents) {
-      if (!c.ProperlyInside(p)) continue;
-      // Non-interposition: no known interval strictly between p and c.
-      bool interposed = false;
-      for (const Interval& z : universe) {
-        if (z == p || z == c) continue;
-        if (z.ProperlyInside(p) && c.ProperlyInside(z)) {
-          interposed = true;
-          break;
-        }
-      }
-      if (!interposed) {
-        out.push_back(c);
-        break;
-      }
-    }
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  return FilterChildren(parents, candidates, LaminarForest::Build(universe));
 }
 
 std::vector<std::pair<int, int>> StructuralJoin::PairJoin(
     const std::vector<Interval>& ancestors,
     const std::vector<Interval>& descendants) {
+  std::vector<int> ao(ancestors.size());
+  std::vector<int> dord(descendants.size());
+  std::iota(ao.begin(), ao.end(), 0);
+  std::iota(dord.begin(), dord.end(), 0);
+  std::sort(ao.begin(), ao.end(), [&](int a, int b) {
+    return ancestors[a] < ancestors[b];
+  });
+  std::sort(dord.begin(), dord.end(), [&](int a, int b) {
+    return descendants[a] < descendants[b];
+  });
+
+  // Stack merge (the classical stack-tree join): the open ancestors at any
+  // descendant position form a chain, outermost at the bottom.
   std::vector<std::pair<int, int>> out;
-  for (size_t i = 0; i < ancestors.size(); ++i) {
-    for (size_t j = 0; j < descendants.size(); ++j) {
-      if (descendants[j].ProperlyInside(ancestors[i])) {
-        out.emplace_back(static_cast<int>(i), static_cast<int>(j));
+  std::vector<int> stack;
+  size_t ai = 0;
+  for (int j : dord) {
+    const Interval& d = descendants[j];
+    while (ai < ao.size() && ancestors[ao[ai]].min < d.min) {
+      while (!stack.empty() &&
+             ancestors[stack.back()].max < ancestors[ao[ai]].min) {
+        stack.pop_back();
       }
+      stack.push_back(ao[ai]);
+      ++ai;
     }
+    while (!stack.empty() && ancestors[stack.back()].max < d.min) {
+      stack.pop_back();
+    }
+    // Entries ending at or inside d sit at the top (maxes grow toward the
+    // bottom of the chain); everything below them properly contains d.
+    int s = static_cast<int>(stack.size()) - 1;
+    while (s >= 0 && ancestors[stack[s]].max <= d.max) --s;
+    for (; s >= 0; --s) out.emplace_back(stack[s], j);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

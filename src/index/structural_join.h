@@ -1,9 +1,11 @@
 #ifndef XCRYPT_INDEX_STRUCTURAL_JOIN_H_
 #define XCRYPT_INDEX_STRUCTURAL_JOIN_H_
 
+#include <utility>
 #include <vector>
 
 #include "index/dsi.h"
+#include "index/interval_forest.h"
 
 namespace xcrypt {
 
@@ -12,8 +14,10 @@ namespace xcrypt {
 /// The server evaluates query structure by joining the interval lists
 /// attached to each query node ("any of the standard structural join
 /// algorithms", the paper cites Al-Khalifa et al. [4]). Lists are sorted by
-/// (min, max); the merge walks both lists with a stack of open ancestors,
-/// so a join costs O(|A| + |D| + output).
+/// (min, max); every kernel is a sorted merge — a stack of open ancestors
+/// for the containment joins, a laminar-forest parent lookup for the child
+/// axis — so a join costs O(|A| + |D| + output) after sorting, never a
+/// scan of the whole interval universe per pair.
 class StructuralJoin {
  public:
   /// Descendant semi-join: intervals of `descendants` properly inside some
@@ -30,16 +34,27 @@ class StructuralJoin {
 
   /// Child semi-join with the paper's derivation
   ///   child(x, y) <=> desc(x, y) and not exists z: desc(x, z) ^ desc(z, y).
-  /// `universe` is every interval the server knows (DsiTable::AllIntervals).
+  /// `forest` is the laminar forest over every interval the server knows
+  /// (DsiTable::AllIntervals): a candidate is a child of a parent iff its
+  /// innermost properly-enclosing universe interval *is* that parent, an
+  /// O(log n + depth) lookup per candidate.
   /// Note: with grouped intervals the server can only approximate the child
   /// axis; the client's post-processing re-applies the exact query (§6.4).
+  static std::vector<Interval> FilterChildren(
+      const std::vector<Interval>& parents,
+      const std::vector<Interval>& candidates, const LaminarForest& forest);
+
+  /// Convenience overload building the forest from a raw universe list.
+  /// Callers joining more than once should build the forest themselves.
   static std::vector<Interval> FilterChildren(
       const std::vector<Interval>& parents,
       const std::vector<Interval>& candidates,
       const std::vector<Interval>& universe);
 
   /// Full ancestor/descendant pair join; returns (ancestor, descendant)
-  /// index pairs into the input lists.
+  /// index pairs into the input lists, sorted by (ancestor, descendant).
+  /// `ancestors` must come from one laminar family (any DSI list does);
+  /// `descendants` may be arbitrary.
   static std::vector<std::pair<int, int>> PairJoin(
       const std::vector<Interval>& ancestors,
       const std::vector<Interval>& descendants);

@@ -1,0 +1,110 @@
+// Concurrent-client tests: parallel block decryption must be deterministic
+// (identical final documents across runs and thread interleavings), and one
+// client/engine pair must serve many threads at once. Run under
+// -DXCRYPT_TSAN=ON to race-check the decrypt fan-out and the engine caches.
+
+#include <iterator>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "das/das_system.h"
+#include "data/healthcare.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+/// Queries whose answers ship several encryption blocks.
+const char* const kQueries[] = {
+    "//patient//disease",
+    "//patient[.//insurance/@coverage>='10000']//SSN",
+    "//patient/pname",
+    "//treat",
+};
+
+TEST(ParallelClientTest, RepeatedPostProcessingIsDeterministic) {
+  const Document doc = BuildHospital(30, /*seed=*/7);
+  auto das = DasSystem::Host(doc, HealthcareConstraints(),
+                             SchemeKind::kOptimal, "parallel-secret");
+  ASSERT_TRUE(das.ok()) << das.status().ToString();
+
+  for (const char* q : kQueries) {
+    auto query = ParseXPath(q);
+    ASSERT_TRUE(query.ok());
+    const QueryAnswer truth = GroundTruth(doc, *query);
+
+    auto first = das->Execute(*query);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    const auto expected = first->answer.SerializedSorted();
+    EXPECT_EQ(expected, truth.SerializedSorted()) << q;
+
+    // The parallel decrypt path must not introduce any run-to-run drift.
+    for (int round = 0; round < 4; ++round) {
+      auto run = das->Execute(*query);
+      ASSERT_TRUE(run.ok());
+      EXPECT_EQ(run->answer.SerializedSorted(), expected)
+          << q << " round " << round;
+    }
+  }
+}
+
+TEST(ParallelClientTest, ManyThreadsShareOneSystem) {
+  const Document doc = BuildHospital(25, /*seed=*/11);
+  auto das = DasSystem::Host(doc, HealthcareConstraints(),
+                             SchemeKind::kApproximate, "parallel-secret-2");
+  ASSERT_TRUE(das.ok()) << das.status().ToString();
+
+  // Expected answers, computed single-threaded.
+  std::vector<std::vector<std::string>> expected;
+  for (const char* q : kQueries) {
+    auto run = das->Execute(q);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    expected.push_back(run->answer.SerializedSorted());
+  }
+
+  // 8 threads hammer the same engine + client; every thread must see the
+  // exact single-threaded answers (the engine caches are shared state, and
+  // each PostProcess fans its block decryptions out over the shared pool).
+  constexpr int kThreads = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&das, &expected, &mismatches, &failures, t] {
+      for (int round = 0; round < 3; ++round) {
+        for (size_t qi = 0; qi < std::size(kQueries); ++qi) {
+          auto run = das->Execute(kQueries[qi]);
+          if (!run.ok()) {
+            ++failures[t];
+            continue;
+          }
+          if (run->answer.SerializedSorted() != expected[qi]) {
+            ++mismatches[t];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+TEST(ParallelClientTest, DecryptTimingIsReportedWithParallelPath) {
+  auto das = DasSystem::Host(BuildHospital(20, /*seed=*/3),
+                             HealthcareConstraints(), SchemeKind::kOptimal,
+                             "parallel-secret-3");
+  ASSERT_TRUE(das.ok());
+  auto run = das->Execute("//patient//disease");
+  ASSERT_TRUE(run.ok());
+  ASSERT_GT(run->costs.blocks_shipped, 1);
+  EXPECT_GT(run->costs.decrypt_us, 0.0);
+}
+
+}  // namespace
+}  // namespace xcrypt

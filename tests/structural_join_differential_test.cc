@@ -1,0 +1,316 @@
+// Differential tests for the structural-join kernels: randomized laminar
+// interval families (the shape Thm. 5.1 guarantees for DSI intervals —
+// strict nesting, strictly positive gaps) checked against brute-force
+// O(n^2)/O(n^3) reference implementations of the pre-forest kernels,
+// including duplicated and unsorted inputs and query intervals that are
+// not members of the universe.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/interval_forest.h"
+#include "index/structural_join.h"
+
+namespace xcrypt {
+namespace {
+
+// --- Brute-force references (the original kernel semantics) -------------
+
+std::vector<Interval> BruteFilterDescendants(
+    const std::vector<Interval>& ancestors,
+    const std::vector<Interval>& descendants) {
+  std::vector<Interval> desc = descendants;
+  std::sort(desc.begin(), desc.end());
+  std::vector<Interval> out;
+  for (const Interval& d : desc) {
+    for (const Interval& a : ancestors) {
+      if (d.ProperlyInside(a)) {
+        out.push_back(d);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> BruteFilterAncestors(
+    const std::vector<Interval>& ancestors,
+    const std::vector<Interval>& descendants) {
+  std::vector<Interval> out;
+  for (const Interval& a : ancestors) {
+    for (const Interval& d : descendants) {
+      if (d.ProperlyInside(a)) {
+        out.push_back(a);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Interval> BruteFilterChildren(
+    const std::vector<Interval>& parents,
+    const std::vector<Interval>& candidates,
+    const std::vector<Interval>& universe) {
+  std::vector<Interval> out;
+  for (const Interval& c : candidates) {
+    for (const Interval& p : parents) {
+      if (!c.ProperlyInside(p)) continue;
+      bool interposed = false;
+      for (const Interval& z : universe) {
+        if (z == p || z == c) continue;
+        if (z.ProperlyInside(p) && c.ProperlyInside(z)) {
+          interposed = true;
+          break;
+        }
+      }
+      if (!interposed) {
+        out.push_back(c);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::pair<int, int>> BrutePairJoin(
+    const std::vector<Interval>& ancestors,
+    const std::vector<Interval>& descendants) {
+  std::vector<std::pair<int, int>> out;
+  for (size_t i = 0; i < ancestors.size(); ++i) {
+    for (size_t j = 0; j < descendants.size(); ++j) {
+      if (descendants[j].ProperlyInside(ancestors[i])) {
+        out.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return out;
+}
+
+// --- Random laminar families --------------------------------------------
+
+/// Emits `span` and a random strictly-nested family inside it: children
+/// get pairwise-distinct cut points in the open span, so no two members
+/// ever share an endpoint (the DSI guarantee the forest relies on).
+void GrowLaminar(Rng& rng, const Interval& span, int depth,
+                 std::vector<Interval>* out) {
+  out->push_back(span);
+  if (depth <= 0) return;
+  const int children = static_cast<int>(rng.UniformU64(0, 4));
+  if (children == 0) return;
+  const std::vector<double> cuts =
+      rng.DistinctSortedDoubles(2 * children, span.min, span.max);
+  for (int i = 0; i < children; ++i) {
+    const Interval child{cuts[2 * i], cuts[2 * i + 1]};
+    GrowLaminar(rng, child, depth - 1, out);
+  }
+}
+
+std::vector<Interval> MakeFamily(Rng& rng, int depth = 5) {
+  std::vector<Interval> family;
+  GrowLaminar(rng, {0.0, 1.0}, depth, &family);
+  return family;
+}
+
+/// Random sub-multiset of `family` — optionally with duplicated entries —
+/// in shuffled (unsorted) order.
+std::vector<Interval> Sample(Rng& rng, const std::vector<Interval>& family,
+                             double p, bool with_duplicates) {
+  std::vector<Interval> out;
+  for (const Interval& iv : family) {
+    if (!rng.Bernoulli(p)) continue;
+    out.push_back(iv);
+    if (with_duplicates && rng.Bernoulli(0.25)) out.push_back(iv);
+  }
+  std::vector<Interval> shuffled;
+  shuffled.reserve(out.size());
+  for (int idx : rng.Permutation(static_cast<int>(out.size()))) {
+    shuffled.push_back(out[idx]);
+  }
+  return shuffled;
+}
+
+/// Intervals that are NOT members of the family (random spans).
+std::vector<Interval> Aliens(Rng& rng, int count) {
+  std::vector<Interval> out;
+  for (int i = 0; i < count; ++i) {
+    const double a = rng.UniformDouble(0.0, 1.0);
+    const double b = rng.UniformDouble(0.0, 1.0);
+    out.push_back({std::min(a, b), std::max(a, b)});
+  }
+  return out;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, FilterDescendantsMatchesBruteForce) {
+  Rng rng(GetParam() * 7919 + 1);
+  const std::vector<Interval> family = MakeFamily(rng);
+  for (int round = 0; round < 4; ++round) {
+    // Both lists from one laminar family (the kernel's contract: the open
+    // ancestors at any position form a chain, and a descendant never
+    // crosses an ancestor boundary), duplicated and shuffled.
+    const std::vector<Interval> anc = Sample(rng, family, 0.4, /*dup=*/true);
+    const std::vector<Interval> desc = Sample(rng, family, 0.6, /*dup=*/true);
+    EXPECT_EQ(StructuralJoin::FilterDescendants(anc, desc),
+              BruteFilterDescendants(anc, desc));
+  }
+}
+
+TEST_P(DifferentialTest, FilterAncestorsMatchesBruteForce) {
+  Rng rng(GetParam() * 104729 + 3);
+  const std::vector<Interval> family = MakeFamily(rng);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<Interval> anc = Sample(rng, family, 0.5, /*dup=*/true);
+    std::vector<Interval> desc = Sample(rng, family, 0.5, /*dup=*/true);
+    // FilterAncestors takes arbitrary interval lists on both sides.
+    const auto alien_anc = Aliens(rng, 4);
+    const auto alien_desc = Aliens(rng, 4);
+    anc.insert(anc.end(), alien_anc.begin(), alien_anc.end());
+    desc.insert(desc.end(), alien_desc.begin(), alien_desc.end());
+    EXPECT_EQ(StructuralJoin::FilterAncestors(anc, desc),
+              BruteFilterAncestors(anc, desc));
+  }
+}
+
+TEST_P(DifferentialTest, FilterChildrenMatchesBruteForce) {
+  Rng rng(GetParam() * 65537 + 5);
+  const std::vector<Interval> family = MakeFamily(rng);
+  std::vector<Interval> universe = family;
+  // The server's universe is sorted but may hold duplicate values (one
+  // interval under several tokens).
+  universe.insert(universe.end(), family.begin(),
+                  family.begin() + family.size() / 3);
+  std::sort(universe.begin(), universe.end());
+
+  const LaminarForest forest = LaminarForest::Build(universe);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<Interval> parents = Sample(rng, family, 0.5, /*dup=*/true);
+    std::vector<Interval> cand = Sample(rng, family, 0.6, /*dup=*/true);
+    // Candidates and parents outside the universe exercise the fallback
+    // path (never taken server-side, still must agree with brute force).
+    const auto alien_parents = Aliens(rng, 3);
+    const auto alien_cand = Aliens(rng, 5);
+    parents.insert(parents.end(), alien_parents.begin(), alien_parents.end());
+    cand.insert(cand.end(), alien_cand.begin(), alien_cand.end());
+
+    const auto brute = BruteFilterChildren(parents, cand, universe);
+    EXPECT_EQ(StructuralJoin::FilterChildren(parents, cand, forest), brute);
+    EXPECT_EQ(StructuralJoin::FilterChildren(parents, cand, universe), brute);
+  }
+}
+
+TEST_P(DifferentialTest, PairJoinMatchesBruteForce) {
+  Rng rng(GetParam() * 31337 + 7);
+  const std::vector<Interval> family = MakeFamily(rng);
+  for (int round = 0; round < 4; ++round) {
+    const std::vector<Interval> anc = Sample(rng, family, 0.5, /*dup=*/true);
+    std::vector<Interval> desc = Sample(rng, family, 0.5, /*dup=*/true);
+    const auto aliens = Aliens(rng, 5);
+    desc.insert(desc.end(), aliens.begin(), aliens.end());
+    EXPECT_EQ(StructuralJoin::PairJoin(anc, desc), BrutePairJoin(anc, desc));
+  }
+}
+
+TEST_P(DifferentialTest, ForestStructureMatchesBruteForce) {
+  Rng rng(GetParam() * 2654435761u + 11);
+  std::vector<Interval> family = MakeFamily(rng);
+  const size_t ndup = std::min<size_t>(4, family.size());
+  const std::vector<Interval> dups(family.begin(), family.begin() + ndup);
+  family.insert(family.end(), dups.begin(), dups.end());
+  const LaminarForest forest = LaminarForest::Build(family);
+
+  std::vector<Interval> members(family);
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  ASSERT_EQ(forest.size(), static_cast<int>(members.size()));
+
+  // parent = brute-force innermost proper container; depth/span agree.
+  for (int i = 0; i < forest.size(); ++i) {
+    const Interval& iv = forest.interval(i);
+    int brute_parent = LaminarForest::kNone;
+    for (int j = 0; j < forest.size(); ++j) {
+      if (!iv.ProperlyInside(forest.interval(j))) continue;
+      if (brute_parent == LaminarForest::kNone ||
+          forest.interval(j).ProperlyInside(forest.interval(brute_parent))) {
+        brute_parent = j;
+      }
+    }
+    EXPECT_EQ(forest.parent(i), brute_parent);
+    EXPECT_EQ(forest.depth(i), brute_parent == LaminarForest::kNone
+                                   ? 0
+                                   : forest.depth(brute_parent) + 1);
+    EXPECT_EQ(forest.Find(iv), i);
+    // Euler span: exactly the members properly inside iv (plus iv itself).
+    for (int j = 0; j < forest.size(); ++j) {
+      const bool in_span = j >= i && j < forest.subtree_end(i);
+      const bool inside = j == i || forest.interval(j).ProperlyInside(iv);
+      EXPECT_EQ(in_span, inside) << "node " << j << " vs span of " << i;
+    }
+  }
+
+  // InnermostEnclosing agrees with a scan, for members and arbitrary ivs.
+  std::vector<Interval> probes = Aliens(rng, 32);
+  probes.insert(probes.end(), members.begin(), members.end());
+  for (const Interval& probe : probes) {
+    int brute = LaminarForest::kNone;
+    for (int j = 0; j < forest.size(); ++j) {
+      if (!probe.ProperlyInside(forest.interval(j))) continue;
+      if (brute == LaminarForest::kNone ||
+          forest.interval(j).ProperlyInside(forest.interval(brute))) {
+        brute = j;
+      }
+    }
+    EXPECT_EQ(forest.InnermostEnclosing(probe), brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(DifferentialScaleTest, ChildJoinAgreesOnLargerFamily) {
+  Rng rng(424242);
+  std::vector<Interval> family;
+  // Several deep top-level subtrees => a family of a few thousand members.
+  GrowLaminar(rng, {0.0, 1.0}, 8, &family);
+  while (family.size() < 1500) {
+    std::vector<Interval> more;
+    GrowLaminar(rng, {0.0, 1.0}, 8, &more);
+    for (const Interval& iv : more) {
+      if (!(iv == Interval{0.0, 1.0})) family.push_back(iv);
+    }
+  }
+  std::sort(family.begin(), family.end());
+  family.erase(std::unique(family.begin(), family.end()), family.end());
+
+  const std::vector<Interval> parents = Sample(rng, family, 0.08, false);
+  const std::vector<Interval> cand = Sample(rng, family, 0.15, false);
+  EXPECT_EQ(StructuralJoin::FilterChildren(parents, cand, family),
+            BruteFilterChildren(parents, cand, family));
+}
+
+TEST(LaminarForestTest, EmptyAndSingleton) {
+  const LaminarForest empty = LaminarForest::Build({});
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_EQ(empty.Find({0.0, 1.0}), LaminarForest::kNone);
+  EXPECT_EQ(empty.InnermostEnclosing({0.2, 0.3}), LaminarForest::kNone);
+
+  const LaminarForest one = LaminarForest::Build({{0.0, 1.0}});
+  ASSERT_EQ(one.size(), 1);
+  EXPECT_EQ(one.parent(0), LaminarForest::kNone);
+  EXPECT_EQ(one.depth(0), 0);
+  EXPECT_EQ(one.subtree_end(0), 1);
+  EXPECT_EQ(one.InnermostEnclosing({0.2, 0.3}), 0);
+  EXPECT_EQ(one.InnermostCovering({0.0, 1.0}), 0);
+  EXPECT_EQ(one.InnermostEnclosing({0.0, 1.0}), LaminarForest::kNone);
+}
+
+}  // namespace
+}  // namespace xcrypt
