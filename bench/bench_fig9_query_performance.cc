@@ -6,15 +6,81 @@
 // Paper observations: for the same query every cost decreases in the order
 // top, sub, app, opt; the improvement from better schemes shows up mainly
 // on the client side; app stays within 1.1-1.3x of opt.
+//
+// This binary also exercises the observability layer: every cell gets one
+// traced pass whose span breakdown (server phases and client phases) is
+// emitted into BENCH_query_perf.json, and the disabled-trace fast path is
+// calibrated against the measured query times — if a null Span guard
+// costs more than 2% of a query, the run FAILS (exit 1), because that
+// would mean tracing is no longer affordable to leave compiled in.
+
+#include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <map>
 
 #include "bench/bench_util.h"
+#include "common/timer.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace xcrypt;
+using namespace xcrypt::bench;
+
+/// Mean elapsed time per span name over one traced pass of the workload
+/// (nested spans each appear under their own name; parents include their
+/// children's time). Also reports the mean number of spans per query —
+/// the multiplier for the disabled-path overhead estimate.
+std::map<std::string, double> SpanBreakdown(
+    const DasSystem& das, const std::vector<WorkloadQuery>& workload,
+    double* spans_per_query) {
+  std::map<std::string, double> totals;
+  size_t span_count = 0;
+  int n = 0;
+  for (const WorkloadQuery& wq : workload) {
+    obs::Trace trace;
+    obs::QueryContext ctx;
+    ctx.trace = &trace;
+    auto run = das.Execute(wq.expr, &ctx);
+    if (!run.ok()) continue;
+    span_count += trace.size();
+    for (const obs::SpanRecord& span : trace.spans()) {
+      totals[span.name] += span.elapsed_us;
+    }
+    ++n;
+  }
+  if (n > 0) {
+    for (auto& [name, total] : totals) total /= n;
+    if (spans_per_query != nullptr) {
+      *spans_per_query = static_cast<double>(span_count) / n;
+    }
+  }
+  return totals;
+}
+
+std::string SpansJson(const std::map<std::string, double>& spans) {
+  JsonObj obj;
+  for (const auto& [name, us] : spans) obj.Add(name, us);
+  return obj.Str();
+}
+
+/// Cost of one disabled Span guard (null trace): the fast path every
+/// untraced query takes at each instrumentation point.
+double NullSpanCostUs() {
+  constexpr int kIters = 1 << 21;
+  obs::Trace* const no_trace = nullptr;
+  Stopwatch watch;
+  for (int i = 0; i < kIters; ++i) {
+    obs::Span span(no_trace, "calibration");
+    benchmark::DoNotOptimize(span);
+  }
+  return watch.ElapsedMicros() / kIters;
+}
+
+}  // namespace
 
 int main() {
-  using namespace xcrypt;
-  using namespace xcrypt::bench;
-
   PrintHeader("E5 / Figure 9: query performance per scheme, NASA corpus");
 
   Corpus corpus = MakeNasa(2);
@@ -38,6 +104,9 @@ int main() {
   }
 
   double client_total[4] = {0, 0, 0, 0};
+  double mean_query_us = 0.0;
+  double max_spans_per_query = 0.0;
+  int cells = 0;
   std::vector<std::string> json_rows;
   for (WorkloadKind wk :
        {WorkloadKind::kQs, WorkloadKind::kQm, WorkloadKind::kQl}) {
@@ -50,9 +119,19 @@ int main() {
     for (size_t i = 0; i < hosted.size(); ++i) {
       const AveragedCosts c = RunWorkload(hosted[i].das, workload);
       client_total[i] += c.decrypt_us + c.postprocess_us;
+      mean_query_us += c.total_us;
+      ++cells;
       std::printf("%-6s %14.1f %14.1f %14.1f %12.0f\n",
                   SchemeKindName(hosted[i].kind), c.server_process_us,
                   c.decrypt_us, c.postprocess_us, c.bytes);
+      // One traced pass per cell: the span forest decomposes the same
+      // run the stopwatch row above averaged.
+      double spans_per_query = 0.0;
+      const auto spans =
+          SpanBreakdown(hosted[i].das, workload, &spans_per_query);
+      if (spans_per_query > max_spans_per_query) {
+        max_spans_per_query = spans_per_query;
+      }
       json_rows.push_back(JsonObj()
                               .Add("workload", std::string(WorkloadKindName(wk)))
                               .Add("scheme",
@@ -63,9 +142,11 @@ int main() {
                               .Add("postprocess_us", c.postprocess_us)
                               .Add("total_us", c.total_us)
                               .Add("bytes", c.bytes)
+                              .AddRaw("spans", SpansJson(spans))
                               .Str());
     }
   }
+  if (cells > 0) mean_query_us /= cells;
 
   PrintRule();
   std::printf("\nShape checks vs paper (client-side cost ordering across "
@@ -85,5 +166,25 @@ int main() {
                 client_total[2] / client_total[3]);
   }
   WriteJsonFile("BENCH_query_perf.json", JsonArray(json_rows));
+
+  // Disabled-trace overhead guard. A query with tracing off still passes
+  // every instrumentation point; each costs one null-Span guard. The
+  // product must stay under 2% of the mean untraced query time.
+  const double null_span_us = NullSpanCostUs();
+  const double overhead_us = null_span_us * max_spans_per_query;
+  const double overhead_frac =
+      mean_query_us > 0.0 ? overhead_us / mean_query_us : 0.0;
+  std::printf("\nDisabled-trace overhead: %.4f us/guard x %.0f guards = "
+              "%.3f us per query (%.3f%% of %.0f us mean)\n",
+              null_span_us, max_spans_per_query, overhead_us,
+              100.0 * overhead_frac, mean_query_us);
+  if (overhead_frac > 0.02) {
+    std::fprintf(stderr,
+                 "FAIL: disabled-trace fast path costs %.2f%% of a query "
+                 "(budget: 2%%)\n",
+                 100.0 * overhead_frac);
+    return 1;
+  }
+  std::printf("PASS: disabled-trace fast path within the 2%% budget\n");
   return 0;
 }

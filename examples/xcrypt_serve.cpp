@@ -8,11 +8,18 @@
 // Usage:
 //   xcrypt_serve --bundle db.xcr [--host 127.0.0.1] [--port 7077]
 //                [--threads 8] [--io-timeout 30]
+//                [--metrics-json FILE [--metrics-interval SECONDS]]
 //   xcrypt_serve --demo [--port 7077] ...
 //
 // --demo hosts a built-in XMark auction corpus instead of a bundle file,
 // so the daemon can be tried end-to-end without preparing data first
 // (pair it with examples/remote_session).
+//
+// --metrics-json dumps the daemon's metrics registry (request counters +
+// per-message latency histograms) as JSON to FILE: periodically every
+// --metrics-interval seconds (default 60) and once more on exit. Each
+// dump atomically replaces the file (write temp + rename), so scrapers
+// never read a torn JSON document.
 
 #include <csignal>
 #include <cstdio>
@@ -35,9 +42,27 @@ void HandleSignal(int sig) { g_signal = sig; }
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --bundle FILE | --demo  [--host ADDR] [--port N] "
-               "[--threads N] [--io-timeout SECONDS]\n",
+               "[--threads N] [--io-timeout SECONDS] "
+               "[--metrics-json FILE [--metrics-interval SECONDS]]\n",
                argv0);
   return 2;
+}
+
+/// Atomically replaces `path` with `json` (temp file + rename), so a
+/// concurrent reader sees either the previous dump or this one, whole.
+bool DumpMetricsJson(const std::string& path, const std::string& json) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+      std::fputc('\n', f) != EOF;
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 }  // namespace
@@ -49,6 +74,8 @@ int main(int argc, char** argv) {
   bool demo = false;
   std::string host = "127.0.0.1";
   int port = 7077;
+  std::string metrics_path;
+  double metrics_interval_sec = 60.0;
   net::NetServerOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -78,6 +105,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.io_timeout_sec = std::atof(v);
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      metrics_path = v;
+    } else if (arg == "--metrics-interval") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      metrics_interval_sec = std::atof(v);
+      if (metrics_interval_sec <= 0.0) return Usage(argv[0]);
     } else {
       return Usage(argv[0]);
     }
@@ -141,8 +177,24 @@ int main(int argc, char** argv) {
               options.num_threads);
   std::fflush(stdout);
 
+  double since_dump_sec = 0.0;
   while (g_signal == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (metrics_path.empty()) continue;
+    since_dump_sec += 0.2;
+    if (since_dump_sec >= metrics_interval_sec) {
+      since_dump_sec = 0.0;
+      if (!DumpMetricsJson(metrics_path, (*server)->MetricsJson())) {
+        std::fprintf(stderr, "xcrypt_serve: cannot write metrics to %s\n",
+                     metrics_path.c_str());
+      }
+    }
+  }
+
+  if (!metrics_path.empty() &&
+      !DumpMetricsJson(metrics_path, (*server)->MetricsJson())) {
+    std::fprintf(stderr, "xcrypt_serve: cannot write metrics to %s\n",
+                 metrics_path.c_str());
   }
 
   const net::NetStats stats = (*server)->stats();

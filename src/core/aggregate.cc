@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdlib>
 
+#include "common/timer.h"
 #include "index/structural_join.h"
 
 #include "xml/stats.h"
@@ -24,18 +25,41 @@ const char* AggregateKindName(AggregateKind kind) {
   return "?";
 }
 
-Result<AggregateResponse> ServerEngine::ExecuteAggregate(
+Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
     const TranslatedQuery& query, AggregateKind kind,
-    const std::string& index_token) const {
+    const std::string& index_token, obs::QueryContext* ctx) const {
   if (query.steps.empty()) {
     return Status::InvalidArgument("empty aggregate query");
   }
+  if (ctx != nullptr && ctx->Expired()) {
+    return Status::Unavailable("deadline expired before server execution");
+  }
+  obs::Trace* trace = obs::TraceOf(ctx);
+  Stopwatch watch;
+  obs::Span server_span(trace, "server");
+  const int server_id = server_span.id();
+
+  // Early returns below flow through this epilogue so every path reports
+  // its self-timed server cost and phase decomposition.
+  auto finish = [&](AggregateResponse response) -> EngineAggregateResult {
+    EngineAggregateResult out;
+    out.response = std::move(response);
+    server_span.End();
+    out.stats.server_process_us = watch.ElapsedMicros();
+    if (trace != nullptr) {
+      out.stats.server_phases = trace->ChildPhaseTotals(server_id);
+    }
+    return out;
+  };
+
   AggregateResponse response;
   response.kind = kind;
 
   bool conservative = false;
-  const std::vector<std::vector<Interval>> lists = ForwardPass(
-      query.steps, {}, /*from_document_root=*/true, &conservative);
+  auto lists_result = ForwardPass(query.steps, {}, /*from_document_root=*/true,
+                                  &conservative, ctx);
+  if (!lists_result.ok()) return lists_result.status();
+  const std::vector<std::vector<Interval>>& lists = *lists_result;
   const std::vector<Interval>& targets = lists.back();
   if (targets.empty()) {
     response.computed_on_server = true;
@@ -43,7 +67,7 @@ Result<AggregateResponse> ServerEngine::ExecuteAggregate(
                              kind == AggregateKind::kSum)
                                 ? "0"
                                 : "";
-    return response;
+    return finish(std::move(response));
   }
 
   if (index_token.empty()) {
@@ -51,6 +75,7 @@ Result<AggregateResponse> ServerEngine::ExecuteAggregate(
     // conservative predicate resolution the count could over-approximate,
     // so fall back to shipping in that case.
     if (!conservative) {
+      obs::Span compute(trace, "aggregate-compute");
       std::vector<std::string> values;
       bool all_public = true;
       for (const Interval& t : targets) {
@@ -87,13 +112,16 @@ Result<AggregateResponse> ServerEngine::ExecuteAggregate(
             break;
           }
         }
-        return response;
+        return finish(std::move(response));
       }
     }
     // Mixed/conservative public case: ship the target subtrees.
-    response.payload = AssembleResponse(targets, /*requires_full_requery=*/
-                                        conservative);
-    return response;
+    {
+      obs::Span assemble(trace, "assemble");
+      response.payload = AssembleResponse(targets, /*requires_full_requery=*/
+                                          conservative);
+    }
+    return finish(std::move(response));
   }
 
   // Encrypted target values.
@@ -109,6 +137,7 @@ Result<AggregateResponse> ServerEngine::ExecuteAggregate(
     // (With conservative predicate resolution the target set may contain
     // false positives, so this shortcut is skipped and the client
     // finishes from the shipped blocks below.)
+    obs::Span opess(trace, "opess-scan");
     const auto entries = tree_it->second.RangeScan(INT64_MIN, INT64_MAX);
     auto related = [&](int block_id) {
       const Interval* rep = meta_->block_table.RepresentativeOf(block_id);
@@ -136,28 +165,36 @@ Result<AggregateResponse> ServerEngine::ExecuteAggregate(
         }
       }
     }
+    opess.End();
     if (extreme_block < 0) {
       response.computed_on_server = true;
-      return response;
+      return finish(std::move(response));
     }
     const Interval* rep = meta_->block_table.RepresentativeOf(extreme_block);
-    response.payload =
-        AssembleResponse({*rep}, /*requires_full_requery=*/false);
-    return response;
+    {
+      obs::Span assemble(trace, "assemble");
+      response.payload =
+          AssembleResponse({*rep}, /*requires_full_requery=*/false);
+    }
+    return finish(std::move(response));
   }
 
   // COUNT / SUM: splitting and scaling hide cardinalities — ship every
   // target (with covering blocks) for client-side finishing (§6.4).
   std::vector<Interval> ship = targets;
   if (conservative) {
+    obs::Span backprune(trace, "structural-join");
     std::vector<Interval> prev = targets;
     for (size_t k = lists.size() - 1; k-- > 0;) {
       prev = StructuralJoin::FilterAncestors(lists[k], prev);
     }
     ship = std::move(prev);
   }
-  response.payload = AssembleResponse(ship, conservative);
-  return response;
+  {
+    obs::Span assemble(trace, "assemble");
+    response.payload = AssembleResponse(ship, conservative);
+  }
+  return finish(std::move(response));
 }
 
 }  // namespace xcrypt

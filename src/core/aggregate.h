@@ -7,31 +7,9 @@
 
 namespace xcrypt {
 
-/// Aggregate functions over the values bound by a path (§6.4).
-///
-/// MIN and MAX exploit the order-preserving value index: the server
-/// locates the block holding the extreme value directly from ciphertext
-/// order and ships only that block. COUNT and SUM "cannot be evaluated
-/// without decryption" (splitting and scaling destroy cardinalities), so
-/// the server ships every block containing a bound value and the client
-/// finishes locally. Aggregates over public values are computed entirely
-/// on the server.
-enum class AggregateKind { kMin, kMax, kCount, kSum };
-
-const char* AggregateKindName(AggregateKind kind);
-
-/// The server's reply for an aggregate query.
-struct AggregateResponse {
-  AggregateKind kind = AggregateKind::kCount;
-  /// True when the server could compute the final value itself (the target
-  /// values are public); `server_value` then holds the answer and the
-  /// payload is empty.
-  bool computed_on_server = false;
-  std::string server_value;
-  /// Blocks/fragments the client needs for finishing. For MIN/MAX on
-  /// encrypted values this holds exactly one block.
-  ServerResponse payload;
-};
+// AggregateKind, AggregateKindName, and AggregateResponse live in
+// core/server.h (the engine interface returns aggregate results by
+// value); this header remains their documented home for includers.
 
 }  // namespace xcrypt
 

@@ -153,7 +153,8 @@ Status SpliceNode(const Document& src, NodeId src_root, Document* dst,
 
 Result<QueryAnswer> Client::PostProcess(const PathExpr& original_query,
                                         const ServerResponse& response,
-                                        double* decrypt_micros) const {
+                                        double* decrypt_micros,
+                                        obs::Trace* trace) const {
   QueryAnswer answer;
   if (decrypt_micros != nullptr) *decrypt_micros = 0.0;
   if (response.skeleton_xml.empty()) return answer;
@@ -163,7 +164,9 @@ Result<QueryAnswer> Client::PostProcess(const PathExpr& original_query,
 
   // Decrypt every shipped block, in parallel when several arrived.
   Stopwatch decrypt_watch;
+  obs::Span decrypt_span(trace, "decrypt");
   auto decrypted = DecryptBlocks(response.blocks, *keys_);
+  decrypt_span.End();
   if (!decrypted.ok()) return decrypted.status();
   if (decrypt_micros != nullptr) {
     *decrypt_micros = decrypt_watch.ElapsedMicros();
@@ -171,11 +174,15 @@ Result<QueryAnswer> Client::PostProcess(const PathExpr& original_query,
 
   // Splice blocks into the pruned skeleton and strip decoys.
   Document assembled;
-  XCRYPT_RETURN_NOT_OK(
-      SpliceNode(*pruned, pruned->root(), &assembled, kNullNode, *decrypted));
-  RemoveDecoys(assembled);
+  {
+    obs::Span splice(trace, "splice");
+    XCRYPT_RETURN_NOT_OK(SpliceNode(*pruned, pruned->root(), &assembled,
+                                    kNullNode, *decrypted));
+    RemoveDecoys(assembled);
+  }
 
   // Re-apply the query.
+  obs::Span post(trace, "postprocess");
   const PathExpr query = response.requires_full_requery
                              ? original_query
                              : StripNonFinalPredicates(original_query);
@@ -391,7 +398,7 @@ Result<std::string> Client::AggregateIndexToken(const PathExpr& path) const {
 
 Result<AggregateAnswer> Client::FinishAggregate(
     const PathExpr& path, const AggregateResponse& response,
-    double* decrypt_micros) const {
+    double* decrypt_micros, obs::Trace* trace) const {
   if (decrypt_micros != nullptr) *decrypt_micros = 0.0;
   if (response.computed_on_server) {
     AggregateAnswer answer;
@@ -402,7 +409,7 @@ Result<AggregateAnswer> Client::FinishAggregate(
     answer.count = static_cast<int64_t>(answer.numeric);
     return answer;
   }
-  auto nodes = PostProcess(path, response.payload, decrypt_micros);
+  auto nodes = PostProcess(path, response.payload, decrypt_micros, trace);
   if (!nodes.ok()) return nodes.status();
   std::vector<std::string> values;
   values.reserve(nodes->nodes.size());

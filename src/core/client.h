@@ -85,10 +85,12 @@ class Client {
   /// predicate resolution, otherwise the query with only the output step's
   /// predicates (the server verified the rest exactly).
   /// `decrypt_micros`, when given, receives the wall-clock spent in block
-  /// decryption (reported separately from post-processing in §7.2).
+  /// decryption (reported separately from post-processing in §7.2). A
+  /// trace, when given, gets "decrypt", "splice", and "postprocess" spans.
   Result<QueryAnswer> PostProcess(const PathExpr& original_query,
                                   const ServerResponse& response,
-                                  double* decrypt_micros = nullptr) const;
+                                  double* decrypt_micros = nullptr,
+                                  obs::Trace* trace = nullptr) const;
 
   /// Value-index token for the query's output tag, or "" when the target
   /// values are public. Fails when the target is encrypted but carries no
@@ -99,8 +101,8 @@ class Client {
   /// shipped blocks, and computes the final value.
   Result<AggregateAnswer> FinishAggregate(const PathExpr& path,
                                           const AggregateResponse& response,
-                                          double* decrypt_micros = nullptr)
-      const;
+                                          double* decrypt_micros = nullptr,
+                                          obs::Trace* trace = nullptr) const;
 
   // --- Updates (the paper's future-work item (3)) -----------------------
   //

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <map>
 
+#include "common/timer.h"
 #include "index/structural_join.h"
 #include "xml/parser.h"
 #include "xpath/evaluator.h"
@@ -106,46 +107,63 @@ std::vector<Interval> ServerEngine::LookupStep(
   return out;
 }
 
-std::vector<std::vector<Interval>> ServerEngine::ForwardPass(
+Result<std::vector<std::vector<Interval>>> ServerEngine::ForwardPass(
     const std::vector<TranslatedStep>& steps,
     const std::vector<Interval>& context, bool from_document_root,
-    bool* conservative) const {
+    bool* conservative, obs::QueryContext* ctx) const {
+  obs::Trace* trace = obs::TraceOf(ctx);
   std::vector<std::vector<Interval>> lists;
   lists.reserve(steps.size());
   std::vector<Interval> cur = context;
 
   for (size_t k = 0; k < steps.size(); ++k) {
+    if (ctx != nullptr && ctx->Expired()) {
+      return Status::Unavailable("deadline exceeded during forward pass");
+    }
     const TranslatedStep& step = steps[k];
-    std::vector<Interval> cand = LookupStep(step);
-    if (k == 0 && from_document_root) {
-      if (step.axis == Axis::kChild) {
-        // `/tag`: only the document root can match.
-        std::vector<Interval> roots;
-        for (const Interval& iv : cand) {
-          if (IsRootInterval(iv)) roots.push_back(iv);
+    std::vector<Interval> cand;
+    {
+      obs::Span lookup(trace, "index-lookup");
+      cand = LookupStep(step);
+    }
+    {
+      obs::Span join(trace, "structural-join");
+      if (k == 0 && from_document_root) {
+        if (step.axis == Axis::kChild) {
+          // `/tag`: only the document root can match.
+          std::vector<Interval> roots;
+          for (const Interval& iv : cand) {
+            if (IsRootInterval(iv)) roots.push_back(iv);
+          }
+          cand = std::move(roots);
         }
-        cand = std::move(roots);
-      }
-      // `//tag`: every occurrence qualifies.
-    } else {
-      if (step.axis == Axis::kDescendant) {
-        cand = StructuralJoin::FilterDescendants(cur, cand);
+        // `//tag`: every occurrence qualifies.
       } else {
-        cand = StructuralJoin::FilterChildren(cur, cand, forest_);
+        if (step.axis == Axis::kDescendant) {
+          cand = StructuralJoin::FilterDescendants(cur, cand);
+        } else {
+          cand = StructuralJoin::FilterChildren(cur, cand, forest_);
+        }
       }
     }
     // Step predicates, each batched over the step's whole candidate list;
     // candidates failing an earlier predicate never reach a later one.
-    for (const TranslatedPredicate& pred : step.predicates) {
-      if (cand.empty()) break;
-      const std::vector<char> pass =
-          BatchCheckPredicate(cand, pred, conservative);
-      std::vector<Interval> kept;
-      kept.reserve(cand.size());
-      for (size_t i = 0; i < cand.size(); ++i) {
-        if (pass[i]) kept.push_back(cand[i]);
+    // The span covers the whole batch, including the predicate's own
+    // internal forward pass (which runs untraced so its joins/lookups are
+    // attributed here, not double-counted into the sibling phases).
+    if (!step.predicates.empty() && !cand.empty()) {
+      obs::Span batch(trace, "predicate-batch");
+      for (const TranslatedPredicate& pred : step.predicates) {
+        if (cand.empty()) break;
+        const std::vector<char> pass =
+            BatchCheckPredicate(cand, pred, conservative);
+        std::vector<Interval> kept;
+        kept.reserve(cand.size());
+        for (size_t i = 0; i < cand.size(); ++i) {
+          if (pass[i]) kept.push_back(cand[i]);
+        }
+        cand = std::move(kept);
       }
-      cand = std::move(kept);
     }
     lists.push_back(cand);
     cur = std::move(cand);
@@ -164,9 +182,13 @@ std::vector<char> ServerEngine::BatchCheckPredicate(
   // and the step predicates inside the pass are context-independent, so
   // each candidate's target set is recovered below by re-chaining through
   // the shared, already-pruned lists — without touching the full DSI lists
-  // or the predicate machinery again.
-  const std::vector<std::vector<Interval>> shared = ForwardPass(
-      pred.path, candidates, /*from_document_root=*/false, conservative);
+  // or the predicate machinery again. The pass runs without a context so
+  // predicate-internal work stays attributed to the enclosing
+  // predicate-batch span (and cannot fail: no deadline to exceed).
+  auto shared_result =
+      ForwardPass(pred.path, candidates, /*from_document_root=*/false,
+                  conservative, /*ctx=*/nullptr);
+  const std::vector<std::vector<Interval>>& shared = *shared_result;
   if (shared.empty() || shared.back().empty()) return pass;
 
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -237,28 +259,48 @@ bool ServerEngine::PredicateKindHolds(const Interval& candidate,
   return false;
 }
 
-Result<ServerResponse> ServerEngine::Execute(
-    const TranslatedQuery& query) const {
+Result<EngineQueryResult> ServerEngine::Execute(
+    const TranslatedQuery& query, obs::QueryContext* ctx) const {
   if (query.steps.empty()) {
     return Status::InvalidArgument("empty translated query");
   }
-  bool conservative = false;
-  const std::vector<std::vector<Interval>> lists = ForwardPass(
-      query.steps, {}, /*from_document_root=*/true, &conservative);
-  std::vector<Interval> ship_roots = lists.back();
-  if (ship_roots.empty()) return ServerResponse{};
-
-  if (conservative) {
-    // Some predicate could not be attributed server-side; back-prune to the
-    // first step's surviving matches and ship their whole subtrees so the
-    // client can re-apply the full query.
-    std::vector<Interval> prev = ship_roots;
-    for (size_t k = lists.size() - 1; k-- > 0;) {
-      prev = StructuralJoin::FilterAncestors(lists[k], prev);
-    }
-    ship_roots = std::move(prev);
+  if (ctx != nullptr && ctx->Expired()) {
+    return Status::Unavailable("deadline expired before server execution");
   }
-  return AssembleResponse(ship_roots, conservative);
+  obs::Trace* trace = obs::TraceOf(ctx);
+  Stopwatch watch;
+  obs::Span server_span(trace, "server");
+  const int server_id = server_span.id();
+
+  bool conservative = false;
+  auto lists_result = ForwardPass(query.steps, {}, /*from_document_root=*/true,
+                                  &conservative, ctx);
+  if (!lists_result.ok()) return lists_result.status();
+  const std::vector<std::vector<Interval>>& lists = *lists_result;
+
+  EngineQueryResult out;
+  std::vector<Interval> ship_roots = lists.back();
+  if (!ship_roots.empty()) {
+    if (conservative) {
+      // Some predicate could not be attributed server-side; back-prune to
+      // the first step's surviving matches and ship their whole subtrees so
+      // the client can re-apply the full query.
+      obs::Span backprune(trace, "structural-join");
+      std::vector<Interval> prev = ship_roots;
+      for (size_t k = lists.size() - 1; k-- > 0;) {
+        prev = StructuralJoin::FilterAncestors(lists[k], prev);
+      }
+      ship_roots = std::move(prev);
+    }
+    obs::Span assemble(trace, "assemble");
+    out.response = AssembleResponse(ship_roots, conservative);
+  }
+  server_span.End();
+  out.stats.server_process_us = watch.ElapsedMicros();
+  if (trace != nullptr) {
+    out.stats.server_phases = trace->ChildPhaseTotals(server_id);
+  }
+  return out;
 }
 
 ServerResponse ServerEngine::AssembleResponse(
@@ -348,12 +390,30 @@ ServerResponse ServerEngine::AssembleResponse(
   return response;
 }
 
-Result<ServerResponse> ServerEngine::ExecuteNaive() const {
-  ServerResponse response;
-  response.requires_full_requery = true;
-  response.skeleton_xml = SerializeXml(db_->skeleton, db_->skeleton.root(), 0);
-  response.blocks = db_->blocks;
-  return response;
+Result<EngineQueryResult> ServerEngine::ExecuteNaive(
+    obs::QueryContext* ctx) const {
+  if (ctx != nullptr && ctx->Expired()) {
+    return Status::Unavailable("deadline expired before server execution");
+  }
+  obs::Trace* trace = obs::TraceOf(ctx);
+  Stopwatch watch;
+  obs::Span server_span(trace, "server");
+  const int server_id = server_span.id();
+
+  EngineQueryResult out;
+  {
+    obs::Span assemble(trace, "assemble");
+    out.response.requires_full_requery = true;
+    out.response.skeleton_xml =
+        SerializeXml(db_->skeleton, db_->skeleton.root(), 0);
+    out.response.blocks = db_->blocks;
+  }
+  server_span.End();
+  out.stats.server_process_us = watch.ElapsedMicros();
+  if (trace != nullptr) {
+    out.stats.server_phases = trace->ChildPhaseTotals(server_id);
+  }
+  return out;
 }
 
 }  // namespace xcrypt

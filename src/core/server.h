@@ -13,11 +13,7 @@
 #include "core/metadata.h"
 #include "core/translated_query.h"
 #include "index/interval_forest.h"
-
-namespace xcrypt {
-struct AggregateResponse;
-enum class AggregateKind;
-}  // namespace xcrypt
+#include "obs/trace.h"
 
 namespace xcrypt {
 
@@ -40,42 +36,95 @@ struct ServerResponse {
   int64_t TotalBytes() const;
 };
 
-/// Measured facts about the last call routed through a remote engine:
-/// the server-reported processing time and the client-observed round trip
-/// (their difference is real transmission + framing time, replacing the
-/// link-bandwidth simulation used in-process).
-struct RemoteCallInfo {
-  double server_process_us = 0.0;  ///< reported inside the response frame
-  double round_trip_us = 0.0;      ///< send-to-decode wall time at client
+/// Aggregate functions over the values bound by a path (§6.4).
+///
+/// MIN and MAX exploit the order-preserving value index: the server
+/// locates the block holding the extreme value directly from ciphertext
+/// order and ships only that block. COUNT and SUM "cannot be evaluated
+/// without decryption" (splitting and scaling destroy cardinalities), so
+/// the server ships every block containing a bound value and the client
+/// finishes locally. Aggregates over public values are computed entirely
+/// on the server.
+enum class AggregateKind { kMin, kMax, kCount, kSum };
+
+const char* AggregateKindName(AggregateKind kind);
+
+/// The server's reply for an aggregate query.
+struct AggregateResponse {
+  AggregateKind kind = AggregateKind::kCount;
+  /// True when the server could compute the final value itself (the target
+  /// values are public); `server_value` then holds the answer and the
+  /// payload is empty.
+  bool computed_on_server = false;
+  std::string server_value;
+  /// Blocks/fragments the client needs for finishing. For MIN/MAX on
+  /// encrypted values this holds exactly one block.
+  ServerResponse payload;
+};
+
+/// Per-call measurements returned WITH each engine response (§7.2's cost
+/// attribution, previously leaked through a mutable last-call pointer).
+/// Every call gets a fresh value, so one engine can serve any number of
+/// concurrent callers without their measurements racing.
+struct EngineCallStats {
+  enum class Transport { kInProcess, kRemote };
+
+  /// Processing time inside the engine — locally measured for the
+  /// in-process engine, reported inside the response frame by a remote
+  /// daemon.
+  double server_process_us = 0.0;
+  /// Named decomposition of server_process_us (structural join vs OPESS
+  /// probes vs response assembly); empty when the call ran without a
+  /// trace. Remote engines forward the daemon's decomposition verbatim.
+  std::vector<obs::PhaseTiming> server_phases;
+
+  /// Wire facts, meaningful only for transport == kRemote (their
+  /// difference with server_process_us is real transmission + framing
+  /// time, replacing the link-bandwidth simulation used in-process).
+  Transport transport = Transport::kInProcess;
+  double round_trip_us = 0.0;  ///< send-to-decode wall time at client
   int64_t bytes_sent = 0;
   int64_t bytes_received = 0;
   int retries = 0;  ///< transient failures absorbed before success
 };
 
+/// A query response together with its per-call measurements.
+struct EngineQueryResult {
+  ServerResponse response;
+  EngineCallStats stats;
+};
+
+/// An aggregate response together with its per-call measurements.
+struct EngineAggregateResult {
+  AggregateResponse response;
+  EngineCallStats stats;
+};
+
 /// The query surface an untrusted evaluator exposes to DasSystem —
 /// implemented in-process by ServerEngine and over TCP by
 /// net::RemoteServerEngine, so the protocol of §6 runs unchanged either
-/// way.
+/// way. Every call takes an optional obs::QueryContext (trace to fill +
+/// deadline to respect; nullptr = fast path) and returns its own
+/// measurements alongside the response.
 class QueryEngine {
  public:
   virtual ~QueryEngine() = default;
 
-  virtual Result<ServerResponse> Execute(const TranslatedQuery& query)
+  virtual Result<EngineQueryResult> Execute(
+      const TranslatedQuery& query, obs::QueryContext* ctx = nullptr)
       const = 0;
 
   /// The naive method of §7.3: ship the whole database (skeleton + all
   /// blocks); the client decrypts everything and evaluates locally.
-  virtual Result<ServerResponse> ExecuteNaive() const = 0;
+  virtual Result<EngineQueryResult> ExecuteNaive(
+      obs::QueryContext* ctx = nullptr) const = 0;
 
   /// Aggregate evaluation (§6.4). `index_token` is the value index for the
   /// query's target tag (empty when the target is public).
-  virtual Result<AggregateResponse> ExecuteAggregate(
+  virtual Result<EngineAggregateResult> ExecuteAggregate(
       const TranslatedQuery& query, AggregateKind kind,
-      const std::string& index_token) const = 0;
-
-  /// Wire measurements of the most recent call, or nullptr for in-process
-  /// engines (nothing crossed a link).
-  virtual const RemoteCallInfo* last_call() const { return nullptr; }
+      const std::string& index_token, obs::QueryContext* ctx = nullptr)
+      const = 0;
 };
 
 /// The untrusted server's query executor (§6.2). It sees only the
@@ -95,21 +144,29 @@ class ServerEngine : public QueryEngine {
   ///     structural joins;
   ///  2. resolve value constraints through the OPESS B-trees;
   ///  3. ship the covering blocks / plaintext fragments of the result.
-  Result<ServerResponse> Execute(const TranslatedQuery& query) const override;
+  /// With a traced context, the internal phases (index-lookup,
+  /// structural-join, predicate-batch, assemble) are spanned under one
+  /// "server" span and summarized into the returned stats.
+  Result<EngineQueryResult> Execute(const TranslatedQuery& query,
+                                    obs::QueryContext* ctx = nullptr)
+      const override;
 
-  Result<ServerResponse> ExecuteNaive() const override;
+  Result<EngineQueryResult> ExecuteNaive(obs::QueryContext* ctx = nullptr)
+      const override;
 
-  Result<AggregateResponse> ExecuteAggregate(const TranslatedQuery& query,
-                                             AggregateKind kind,
-                                             const std::string& index_token)
+  Result<EngineAggregateResult> ExecuteAggregate(
+      const TranslatedQuery& query, AggregateKind kind,
+      const std::string& index_token, obs::QueryContext* ctx = nullptr)
       const override;
 
  private:
-  /// Forward pass: interval list per step (cumulative filtering).
-  std::vector<std::vector<Interval>> ForwardPass(
+  /// Forward pass: interval list per step (cumulative filtering). The
+  /// trace (nullable) gets one span per phase per step; the deadline in
+  /// `ctx` is checked between steps.
+  Result<std::vector<std::vector<Interval>>> ForwardPass(
       const std::vector<TranslatedStep>& steps,
       const std::vector<Interval>& context, bool from_document_root,
-      bool* conservative) const;
+      bool* conservative, obs::QueryContext* ctx) const;
 
   std::vector<Interval> LookupStep(const TranslatedStep& step) const;
 

@@ -45,77 +45,93 @@ Status DasSystem::ConnectRemote(const std::string& host, uint16_t port,
   return Status::Ok();
 }
 
-void DasSystem::ApplyEngineTiming(double engine_wall_us,
+void DasSystem::ApplyEngineTiming(const EngineCallStats& stats,
                                   QueryCosts* costs) const {
-  if (const RemoteCallInfo* rc = engine().last_call()) {
-    costs->server_process_us = rc->server_process_us;
+  costs->server_process_us = stats.server_process_us;
+  if (stats.transport == EngineCallStats::Transport::kRemote) {
     costs->transmission_us =
-        std::max(0.0, rc->round_trip_us - rc->server_process_us);
-    costs->transmission_measured = true;
-  } else {
-    costs->server_process_us = engine_wall_us;
+        std::max(0.0, stats.round_trip_us - stats.server_process_us);
+    costs->transmission_source = QueryCosts::TransmissionSource::kMeasured;
   }
 }
 
-Result<QueryRun> DasSystem::Execute(const PathExpr& query) const {
+QueryCosts CostsFromTrace(const obs::Trace& trace) {
+  QueryCosts costs;
+  costs.client_translate_us = trace.TotalUs("translate");
+  costs.server_process_us = trace.TotalUs("server");
+  costs.transmission_us = trace.TotalUs("transmit");
+  costs.decrypt_us = trace.TotalUs("decrypt");
+  costs.postprocess_us =
+      trace.TotalUs("splice") + trace.TotalUs("postprocess");
+  return costs;
+}
+
+Result<QueryRun> DasSystem::Execute(const PathExpr& query,
+                                    obs::QueryContext* ctx) const {
+  obs::Trace* trace = obs::TraceOf(ctx);
   QueryCosts costs;
   Stopwatch watch;
+  obs::Span translate(trace, "translate");
   auto translated = client_->Translate(query);
+  translate.End();
   costs.client_translate_us = watch.ElapsedMicros();
   if (!translated.ok()) return translated.status();
 
-  watch.Restart();
-  auto response = engine().Execute(*translated);
-  const double engine_wall_us = watch.ElapsedMicros();
-  if (!response.ok()) return response.status();
-  ApplyEngineTiming(engine_wall_us, &costs);
+  auto result = engine().Execute(*translated, ctx);
+  if (!result.ok()) return result.status();
+  ApplyEngineTiming(result->stats, &costs);
 
-  return Finish(query, std::move(*response), costs, std::move(*translated));
+  return Finish(query, std::move(*result), costs, std::move(*translated), ctx);
 }
 
-Result<QueryRun> DasSystem::Execute(const std::string& xpath) const {
+Result<QueryRun> DasSystem::Execute(const std::string& xpath,
+                                    obs::QueryContext* ctx) const {
   auto query = ParseXPath(xpath);
   if (!query.ok()) return query.status();
-  return Execute(*query);
+  return Execute(*query, ctx);
 }
 
-Result<QueryRun> DasSystem::ExecuteNaive(const PathExpr& query) const {
+Result<QueryRun> DasSystem::ExecuteNaive(const PathExpr& query,
+                                         obs::QueryContext* ctx) const {
   QueryCosts costs;
-  Stopwatch watch;
-  auto response = engine().ExecuteNaive();
-  const double engine_wall_us = watch.ElapsedMicros();
-  if (!response.ok()) return response.status();
-  ApplyEngineTiming(engine_wall_us, &costs);
-  return Finish(query, std::move(*response), costs, TranslatedQuery{});
+  auto result = engine().ExecuteNaive(ctx);
+  if (!result.ok()) return result.status();
+  ApplyEngineTiming(result->stats, &costs);
+  return Finish(query, std::move(*result), costs, TranslatedQuery{}, ctx);
 }
 
 Result<AggregateRun> DasSystem::ExecuteAggregate(const PathExpr& path,
-                                                 AggregateKind kind) const {
+                                                 AggregateKind kind,
+                                                 obs::QueryContext* ctx) const {
+  obs::Trace* trace = obs::TraceOf(ctx);
   QueryCosts costs;
   Stopwatch watch;
+  obs::Span translate(trace, "translate");
   auto translated = client_->Translate(path);
   if (!translated.ok()) return translated.status();
   auto token = client_->AggregateIndexToken(path);
   if (!token.ok()) return token.status();
+  translate.End();
   costs.client_translate_us = watch.ElapsedMicros();
 
-  watch.Restart();
-  auto response = engine().ExecuteAggregate(*translated, kind, *token);
-  const double engine_wall_us = watch.ElapsedMicros();
-  if (!response.ok()) return response.status();
-  ApplyEngineTiming(engine_wall_us, &costs);
+  auto result = engine().ExecuteAggregate(*translated, kind, *token, ctx);
+  if (!result.ok()) return result.status();
+  ApplyEngineTiming(result->stats, &costs);
+  const AggregateResponse& response = result->response;
 
-  costs.bytes_shipped = response->payload.TotalBytes() +
-                        static_cast<int64_t>(response->server_value.size());
-  costs.blocks_shipped = static_cast<int>(response->payload.blocks.size());
-  if (!costs.transmission_measured) {
-    costs.transmission_us = static_cast<double>(costs.bytes_shipped) * 8.0 /
-                            (options_.link_mbps * 1e6) * 1e6;
+  costs.bytes_shipped = response.payload.TotalBytes() +
+                        static_cast<int64_t>(response.server_value.size());
+  costs.blocks_shipped = static_cast<int>(response.payload.blocks.size());
+  if (!costs.transmission_measured()) {
+    costs.transmission_us = link().EstimateUs(costs.bytes_shipped);
+    if (trace != nullptr) {
+      trace->Record("transmit", costs.transmission_us, obs::Trace::kNoParent);
+    }
   }
 
   watch.Restart();
   double decrypt_us = 0.0;
-  auto answer = client_->FinishAggregate(path, *response, &decrypt_us);
+  auto answer = client_->FinishAggregate(path, response, &decrypt_us, trace);
   const double total_post_us = watch.ElapsedMicros();
   if (!answer.ok()) return answer.status();
   costs.decrypt_us = decrypt_us;
@@ -124,14 +140,16 @@ Result<AggregateRun> DasSystem::ExecuteAggregate(const PathExpr& path,
   AggregateRun run;
   run.answer = std::move(*answer);
   run.costs = costs;
+  run.engine_stats = std::move(result->stats);
   return run;
 }
 
 Result<AggregateRun> DasSystem::ExecuteAggregate(const std::string& xpath,
-                                                 AggregateKind kind) const {
+                                                 AggregateKind kind,
+                                                 obs::QueryContext* ctx) const {
   auto path = ParseXPath(xpath);
   if (!path.ok()) return path.status();
-  return ExecuteAggregate(*path, kind);
+  return ExecuteAggregate(*path, kind, ctx);
 }
 
 namespace {
@@ -186,18 +204,25 @@ Result<int> DasSystem::DeleteSubtrees(const std::string& xpath) {
 }
 
 Result<QueryRun> DasSystem::Finish(const PathExpr& query,
-                                   ServerResponse response, QueryCosts costs,
-                                   TranslatedQuery translated) const {
+                                   EngineQueryResult engine_run,
+                                   QueryCosts costs, TranslatedQuery translated,
+                                   obs::QueryContext* ctx) const {
+  obs::Trace* trace = obs::TraceOf(ctx);
+  const ServerResponse& response = engine_run.response;
   costs.bytes_shipped = response.TotalBytes();
   costs.blocks_shipped = static_cast<int>(response.blocks.size());
-  if (!costs.transmission_measured) {
-    costs.transmission_us = static_cast<double>(costs.bytes_shipped) * 8.0 /
-                            (options_.link_mbps * 1e6) * 1e6;
+  if (!costs.transmission_measured()) {
+    costs.transmission_us = link().EstimateUs(costs.bytes_shipped);
+    // The simulated wire enters the trace as a recorded interval (remote
+    // engines record their measured transmission themselves).
+    if (trace != nullptr) {
+      trace->Record("transmit", costs.transmission_us, obs::Trace::kNoParent);
+    }
   }
 
   Stopwatch watch;
   double decrypt_us = 0.0;
-  auto answer = client_->PostProcess(query, response, &decrypt_us);
+  auto answer = client_->PostProcess(query, response, &decrypt_us, trace);
   const double total_post_us = watch.ElapsedMicros();
   if (!answer.ok()) return answer.status();
   costs.decrypt_us = decrypt_us;
@@ -207,6 +232,7 @@ Result<QueryRun> DasSystem::Finish(const PathExpr& query,
   run.answer = std::move(*answer);
   run.costs = costs;
   run.translated = std::move(translated);
+  run.engine_stats = std::move(engine_run.stats);
   return run;
 }
 

@@ -12,23 +12,45 @@
 
 namespace xcrypt {
 
+/// Fixed-bandwidth cost model for the client↔server link, used when no
+/// real wire exists (§7.1's 100 Mbps experimental setup).
+struct SimulatedLink {
+  double mbps = 100.0;
+
+  /// Wire time for `bytes` over the link, in microseconds.
+  double EstimateUs(int64_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / (mbps * 1e6) * 1e6;
+  }
+};
+
 /// Per-query cost breakdown, mirroring the parameters measured in §7.2:
 /// query translation time on the client, query processing time on the
 /// server, transmission time of the answer, decryption time on the client,
 /// and query post-processing time on the client.
 struct QueryCosts {
+  /// Where the transmission figure came from. Simulated and measured wire
+  /// times are different quantities (a model vs a wall clock); tagging the
+  /// source keeps TotalUs from silently mixing them across runs.
+  enum class TransmissionSource {
+    kSimulated,  ///< bytes_shipped over the configured SimulatedLink
+    kMeasured,   ///< measured round trip minus server-reported processing
+  };
+
   double client_translate_us = 0.0;
   double server_process_us = 0.0;
-  /// Wire time. In-process this is simulated from bytes_shipped over the
-  /// configured link; when the system is connected to a remote server it
-  /// is real measured wall time (round trip minus the server-reported
-  /// processing time), flagged by `transmission_measured`.
+  /// Wire time, per `transmission_source`: in-process it is simulated from
+  /// bytes_shipped over the configured link; connected to a remote server
+  /// it is real measured wall time.
   double transmission_us = 0.0;
-  bool transmission_measured = false;
+  TransmissionSource transmission_source = TransmissionSource::kSimulated;
   double decrypt_us = 0.0;
   double postprocess_us = 0.0;
   int64_t bytes_shipped = 0;
   int blocks_shipped = 0;
+
+  bool transmission_measured() const {
+    return transmission_source == TransmissionSource::kMeasured;
+  }
 
   double TotalUs() const {
     return client_translate_us + server_process_us + transmission_us +
@@ -40,17 +62,28 @@ struct QueryCosts {
   }
 };
 
+/// Projects a trace produced by DasSystem::Execute onto the §7.2 cost
+/// breakdown — the same decomposition QueryRun::costs reports from
+/// stopwatches, read instead from the span forest ("translate", "server",
+/// "transmit", "decrypt", "splice" + "postprocess"). Wire byte/block
+/// counters are not time and stay 0.
+QueryCosts CostsFromTrace(const obs::Trace& trace);
+
 /// One executed query: its answer plus the measured costs.
 struct QueryRun {
   QueryAnswer answer;
   QueryCosts costs;
   TranslatedQuery translated;
+  /// The raw engine-call measurements behind `costs` (server phase
+  /// decomposition; wire facts when the call went over TCP).
+  EngineCallStats engine_stats;
 };
 
 /// One executed aggregate query.
 struct AggregateRun {
   AggregateAnswer answer;
   QueryCosts costs;
+  EngineCallStats engine_stats;
 };
 
 /// Host-time statistics (reported by experiment E4).
@@ -81,21 +114,30 @@ class DasSystem {
                                 const std::string& master_secret,
                                 const Options& options = Options());
 
-  /// Runs the full 5-step protocol of §6 for one query.
-  Result<QueryRun> Execute(const PathExpr& query) const;
-  Result<QueryRun> Execute(const std::string& xpath) const;
+  /// Runs the full 5-step protocol of §6 for one query. An optional
+  /// context carries a trace (spanning every phase of the run, client and
+  /// server alike) and a deadline the engine respects.
+  Result<QueryRun> Execute(const PathExpr& query,
+                           obs::QueryContext* ctx = nullptr) const;
+  Result<QueryRun> Execute(const std::string& xpath,
+                           obs::QueryContext* ctx = nullptr) const;
 
   /// The naive method of §7.3: ship the entire encrypted database and
   /// evaluate at the client.
-  Result<QueryRun> ExecuteNaive(const PathExpr& query) const;
+  Result<QueryRun> ExecuteNaive(const PathExpr& query,
+                                obs::QueryContext* ctx = nullptr) const;
 
   /// Aggregate evaluation (§6.4): MIN/MAX over encrypted values decrypt a
   /// single block; COUNT/SUM fall back to shipping the bound blocks;
   /// aggregates over public values never leave the server.
   Result<AggregateRun> ExecuteAggregate(const PathExpr& path,
-                                        AggregateKind kind) const;
+                                        AggregateKind kind,
+                                        obs::QueryContext* ctx = nullptr)
+      const;
   Result<AggregateRun> ExecuteAggregate(const std::string& xpath,
-                                        AggregateKind kind) const;
+                                        AggregateKind kind,
+                                        obs::QueryContext* ctx = nullptr)
+      const;
 
   // --- Remote service (Figure 1 over an actual wire) -------------------
 
@@ -127,8 +169,9 @@ class DasSystem {
  private:
   DasSystem() = default;
 
-  Result<QueryRun> Finish(const PathExpr& query, ServerResponse response,
-                          QueryCosts costs, TranslatedQuery translated) const;
+  Result<QueryRun> Finish(const PathExpr& query, EngineQueryResult engine_run,
+                          QueryCosts costs, TranslatedQuery translated,
+                          obs::QueryContext* ctx) const;
 
   /// The active evaluator: the remote stub when attached, else the
   /// in-process engine.
@@ -136,10 +179,14 @@ class DasSystem {
     return remote_ ? static_cast<const QueryEngine&>(*remote_) : *server_;
   }
 
-  /// Attributes the wall time of one engine call to the server and wire
+  /// The simulated-link cost model for the configured bandwidth.
+  SimulatedLink link() const { return SimulatedLink{options_.link_mbps}; }
+
+  /// Attributes one engine call's measurements to the server and wire
   /// phases: remote calls use the measured split, in-process calls are
   /// pure server time (the wire is simulated later from bytes shipped).
-  void ApplyEngineTiming(double engine_wall_us, QueryCosts* costs) const;
+  void ApplyEngineTiming(const EngineCallStats& stats,
+                         QueryCosts* costs) const;
 
   std::unique_ptr<Client> client_;
   std::unique_ptr<ServerEngine> server_;

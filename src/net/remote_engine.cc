@@ -9,6 +9,27 @@
 namespace xcrypt {
 namespace net {
 
+namespace {
+
+/// Enters one finished remote call into the caller's trace: the daemon's
+/// processing time as a recorded "server" span (with its phase
+/// decomposition as children) and the remainder of the round trip as
+/// "transmit".
+void RecordRemoteSpans(obs::QueryContext* ctx, const EngineCallStats& stats) {
+  obs::Trace* trace = obs::TraceOf(ctx);
+  if (trace == nullptr) return;
+  const int server_id = trace->Record("server", stats.server_process_us,
+                                      obs::Trace::kNoParent);
+  for (const obs::PhaseTiming& phase : stats.server_phases) {
+    trace->Record(phase.name, phase.elapsed_us, server_id);
+  }
+  trace->Record("transmit",
+                std::max(0.0, stats.round_trip_us - stats.server_process_us),
+                obs::Trace::kNoParent);
+}
+
+}  // namespace
+
 Result<std::unique_ptr<RemoteServerEngine>> RemoteServerEngine::Connect(
     const std::string& host, uint16_t port, const RemoteOptions& options) {
   if (options.max_attempts < 1) {
@@ -22,9 +43,10 @@ Result<std::unique_ptr<RemoteServerEngine>> RemoteServerEngine::Connect(
 
 Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
                                             const Bytes& payload,
-                                            MessageType expected_reply) const {
+                                            MessageType expected_reply,
+                                            EngineCallStats* stats) const {
   std::lock_guard<std::mutex> lock(mu_);
-  RemoteCallInfo info;
+  stats->transport = EngineCallStats::Transport::kRemote;
   Status last_error = Status::Unavailable("no attempt made");
   double backoff_ms = options_.initial_backoff_ms;
 
@@ -33,7 +55,7 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(backoff_ms));
       backoff_ms = std::min(backoff_ms * 2.0, options_.max_backoff_ms);
-      ++info.retries;
+      ++stats->retries;
     }
     if (!sock_.valid()) {
       auto sock = Socket::Dial(host_, port_, options_.connect_timeout_sec,
@@ -52,10 +74,10 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
       auto reply = ReadFrame(sock_, options_.max_frame_bytes,
                              options_.request_timeout_sec);
       if (reply.ok()) {
-        info.round_trip_us = watch.ElapsedMicros();
-        info.bytes_sent =
+        stats->round_trip_us = watch.ElapsedMicros();
+        stats->bytes_sent =
             static_cast<int64_t>(kFrameHeaderBytes + payload.size());
-        info.bytes_received =
+        stats->bytes_received =
             static_cast<int64_t>(kFrameHeaderBytes + reply->payload.size());
         if (reply->type == MessageType::kError) {
           // Deterministic server-side failure; retrying cannot help.
@@ -67,7 +89,6 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
               std::string("expected ") + MessageTypeName(expected_reply) +
               ", got " + MessageTypeName(reply->type));
         }
-        last_ = info;
         return std::move(*reply);
       }
       last_error = reply.status();
@@ -85,49 +106,73 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
       last_error.ToString() + ")");
 }
 
-Result<ServerResponse> RemoteServerEngine::Execute(
-    const TranslatedQuery& query) const {
+Result<EngineQueryResult> RemoteServerEngine::Execute(
+    const TranslatedQuery& query, obs::QueryContext* ctx) const {
+  if (ctx != nullptr && ctx->Expired()) {
+    return Status::Unavailable("deadline expired before remote call");
+  }
+  EngineQueryResult out;
   auto reply = RoundTrip(MessageType::kQueryRequest, EncodeQueryRequest(query),
-                         MessageType::kQueryResponse);
+                         MessageType::kQueryResponse, &out.stats);
   if (!reply.ok()) return reply.status();
   auto msg = DecodeQueryResponse(reply->payload);
   if (!msg.ok()) return msg.status();
-  last_.server_process_us = msg->server_process_us;
-  return std::move(msg->response);
+  out.stats.server_process_us = msg->server_process_us;
+  out.stats.server_phases = std::move(msg->server_phases);
+  RecordRemoteSpans(ctx, out.stats);
+  out.response = std::move(msg->response);
+  return out;
 }
 
-Result<ServerResponse> RemoteServerEngine::ExecuteNaive() const {
+Result<EngineQueryResult> RemoteServerEngine::ExecuteNaive(
+    obs::QueryContext* ctx) const {
+  if (ctx != nullptr && ctx->Expired()) {
+    return Status::Unavailable("deadline expired before remote call");
+  }
+  EngineQueryResult out;
   auto reply = RoundTrip(MessageType::kNaiveRequest, Bytes(),
-                         MessageType::kQueryResponse);
+                         MessageType::kQueryResponse, &out.stats);
   if (!reply.ok()) return reply.status();
   auto msg = DecodeQueryResponse(reply->payload);
   if (!msg.ok()) return msg.status();
-  last_.server_process_us = msg->server_process_us;
-  return std::move(msg->response);
+  out.stats.server_process_us = msg->server_process_us;
+  out.stats.server_phases = std::move(msg->server_phases);
+  RecordRemoteSpans(ctx, out.stats);
+  out.response = std::move(msg->response);
+  return out;
 }
 
-Result<AggregateResponse> RemoteServerEngine::ExecuteAggregate(
+Result<EngineAggregateResult> RemoteServerEngine::ExecuteAggregate(
     const TranslatedQuery& query, AggregateKind kind,
-    const std::string& index_token) const {
+    const std::string& index_token, obs::QueryContext* ctx) const {
+  if (ctx != nullptr && ctx->Expired()) {
+    return Status::Unavailable("deadline expired before remote call");
+  }
+  EngineAggregateResult out;
   auto reply = RoundTrip(MessageType::kAggregateRequest,
                          EncodeAggregateRequest(query, kind, index_token),
-                         MessageType::kAggregateResponse);
+                         MessageType::kAggregateResponse, &out.stats);
   if (!reply.ok()) return reply.status();
   auto msg = DecodeAggregateResponse(reply->payload);
   if (!msg.ok()) return msg.status();
-  last_.server_process_us = msg->server_process_us;
-  return std::move(msg->response);
+  out.stats.server_process_us = msg->server_process_us;
+  out.stats.server_phases = std::move(msg->server_phases);
+  RecordRemoteSpans(ctx, out.stats);
+  out.response = std::move(msg->response);
+  return out;
 }
 
 Status RemoteServerEngine::Ping() const {
-  auto reply =
-      RoundTrip(MessageType::kPingRequest, Bytes(), MessageType::kPingResponse);
+  EngineCallStats stats;
+  auto reply = RoundTrip(MessageType::kPingRequest, Bytes(),
+                         MessageType::kPingResponse, &stats);
   return reply.ok() ? Status::Ok() : reply.status();
 }
 
 Result<NetStats> RemoteServerEngine::Stats() const {
+  EngineCallStats stats;
   auto reply = RoundTrip(MessageType::kStatsRequest, Bytes(),
-                         MessageType::kStatsResponse);
+                         MessageType::kStatsResponse, &stats);
   if (!reply.ok()) return reply.status();
   return DecodeStats(reply->payload);
 }

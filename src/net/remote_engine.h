@@ -42,15 +42,21 @@ class RemoteServerEngine : public QueryEngine {
       const std::string& host, uint16_t port,
       const RemoteOptions& options = RemoteOptions());
 
-  Result<ServerResponse> Execute(const TranslatedQuery& query) const override;
-  Result<ServerResponse> ExecuteNaive() const override;
-  Result<AggregateResponse> ExecuteAggregate(
+  /// Per-call measurements (round trip, wire bytes, retries, the daemon's
+  /// reported processing time and phase decomposition) come back inside
+  /// the result, so any number of threads can share one stub — they
+  /// serialize on the connection but never on a shared mutable
+  /// measurement. A context's trace receives the call as recorded
+  /// "server" (+ phases) and "transmit" spans.
+  Result<EngineQueryResult> Execute(const TranslatedQuery& query,
+                                    obs::QueryContext* ctx = nullptr)
+      const override;
+  Result<EngineQueryResult> ExecuteNaive(obs::QueryContext* ctx = nullptr)
+      const override;
+  Result<EngineAggregateResult> ExecuteAggregate(
       const TranslatedQuery& query, AggregateKind kind,
-      const std::string& index_token) const override;
-
-  /// Measurements of the most recent round trip (valid until the next
-  /// call from any thread).
-  const RemoteCallInfo* last_call() const override { return &last_; }
+      const std::string& index_token, obs::QueryContext* ctx = nullptr)
+      const override;
 
   Status Ping() const;
   Result<NetStats> Stats() const;
@@ -63,19 +69,19 @@ class RemoteServerEngine : public QueryEngine {
       : host_(std::move(host)), port_(port), options_(options) {}
 
   /// Sends one request and reads the reply, retrying transient failures
-  /// per RemoteOptions. On success fills `last_`.
+  /// per RemoteOptions. On success fills the wire facts of `stats`.
   Result<Frame> RoundTrip(MessageType type, const Bytes& payload,
-                          MessageType expected_reply) const;
+                          MessageType expected_reply,
+                          EngineCallStats* stats) const;
 
   std::string host_;
   uint16_t port_ = 0;
   RemoteOptions options_;
 
-  /// One request in flight at a time per stub; concurrent callers
-  /// serialize here (open several stubs for parallel clients).
+  /// One request in flight at a time per connection; concurrent callers
+  /// serialize here. All per-call state lives on the caller's stack.
   mutable std::mutex mu_;
   mutable Socket sock_;
-  mutable RemoteCallInfo last_;
 };
 
 }  // namespace net

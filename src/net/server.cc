@@ -30,6 +30,12 @@ Result<std::unique_ptr<NetServer>> NetServer::Serve(
   if (!bound.ok()) return bound.status();
   server->port_ = *bound;
 
+  server->query_latency_ = server->metrics_.GetHistogram("query_us");
+  server->naive_latency_ = server->metrics_.GetHistogram("naive_us");
+  server->aggregate_latency_ = server->metrics_.GetHistogram("aggregate_us");
+  server->ping_latency_ = server->metrics_.GetHistogram("ping_us");
+  server->stats_latency_ = server->metrics_.GetHistogram("stats_us");
+
   server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   for (int i = 0; i < options.num_threads; ++i) {
     server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
@@ -64,7 +70,34 @@ NetStats NetServer::stats() const {
   s.num_blocks = bundle_.database.blocks.size();
   s.ciphertext_bytes =
       static_cast<uint64_t>(bundle_.database.TotalCiphertextBytes());
+  for (auto& [name, hist] : metrics_.Snapshot().histograms) {
+    s.latency.emplace_back(std::move(name), hist);
+  }
   return s;
+}
+
+obs::MetricsSnapshot NetServer::SnapshotMetrics() const {
+  obs::MetricsSnapshot snap = metrics_.Snapshot();
+  snap.counters.emplace_back(
+      "queries_served", queries_served_.load(std::memory_order_relaxed));
+  snap.counters.emplace_back(
+      "aggregates_served",
+      aggregates_served_.load(std::memory_order_relaxed));
+  snap.counters.emplace_back("naive_served",
+                             naive_served_.load(std::memory_order_relaxed));
+  snap.counters.emplace_back("errors",
+                             errors_.load(std::memory_order_relaxed));
+  snap.counters.emplace_back(
+      "connections_total",
+      connections_total_.load(std::memory_order_relaxed));
+  snap.counters.emplace_back(
+      "connections_active",
+      connections_active_.load(std::memory_order_relaxed));
+  snap.counters.emplace_back("bytes_received",
+                             bytes_received_.load(std::memory_order_relaxed));
+  snap.counters.emplace_back("bytes_sent",
+                             bytes_sent_.load(std::memory_order_relaxed));
+  return snap;
 }
 
 void NetServer::AcceptLoop() {
@@ -139,6 +172,7 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
 
   switch (frame.type) {
     case MessageType::kPingRequest: {
+      ping_latency_->Observe(0.0);
       reply_type = MessageType::kPingResponse;
       break;
     }
@@ -148,26 +182,40 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         return SendError(conn, query.status()).ok();
       }
+      // Every served query is traced: the phase decomposition rides back
+      // inside the response frame, and the total lands in the histogram.
       Stopwatch watch;
-      auto response = engine_->Execute(*query);
-      if (!response.ok()) {
+      obs::Trace trace;
+      obs::QueryContext qctx;
+      qctx.trace = &trace;
+      auto result = engine_->Execute(*query, &qctx);
+      if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
-        return SendError(conn, response.status()).ok();
+        return SendError(conn, result.status()).ok();
       }
       queries_served_.fetch_add(1, std::memory_order_relaxed);
-      reply = EncodeQueryResponse(*response, watch.ElapsedMicros());
+      query_latency_->Observe(watch.ElapsedMicros());
+      reply = EncodeQueryResponse(result->response,
+                                  result->stats.server_process_us,
+                                  result->stats.server_phases);
       reply_type = MessageType::kQueryResponse;
       break;
     }
     case MessageType::kNaiveRequest: {
       Stopwatch watch;
-      auto response = engine_->ExecuteNaive();
-      if (!response.ok()) {
+      obs::Trace trace;
+      obs::QueryContext qctx;
+      qctx.trace = &trace;
+      auto result = engine_->ExecuteNaive(&qctx);
+      if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
-        return SendError(conn, response.status()).ok();
+        return SendError(conn, result.status()).ok();
       }
       naive_served_.fetch_add(1, std::memory_order_relaxed);
-      reply = EncodeQueryResponse(*response, watch.ElapsedMicros());
+      naive_latency_->Observe(watch.ElapsedMicros());
+      reply = EncodeQueryResponse(result->response,
+                                  result->stats.server_process_us,
+                                  result->stats.server_phases);
       reply_type = MessageType::kQueryResponse;
       break;
     }
@@ -178,19 +226,27 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
         return SendError(conn, request.status()).ok();
       }
       Stopwatch watch;
-      auto response = engine_->ExecuteAggregate(request->query, request->kind,
-                                                request->index_token);
-      if (!response.ok()) {
+      obs::Trace trace;
+      obs::QueryContext qctx;
+      qctx.trace = &trace;
+      auto result = engine_->ExecuteAggregate(request->query, request->kind,
+                                              request->index_token, &qctx);
+      if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
-        return SendError(conn, response.status()).ok();
+        return SendError(conn, result.status()).ok();
       }
       aggregates_served_.fetch_add(1, std::memory_order_relaxed);
-      reply = EncodeAggregateResponse(*response, watch.ElapsedMicros());
+      aggregate_latency_->Observe(watch.ElapsedMicros());
+      reply = EncodeAggregateResponse(result->response,
+                                      result->stats.server_process_us,
+                                      result->stats.server_phases);
       reply_type = MessageType::kAggregateResponse;
       break;
     }
     case MessageType::kStatsRequest: {
+      Stopwatch watch;
       reply = EncodeStats(stats());
+      stats_latency_->Observe(watch.ElapsedMicros());
       reply_type = MessageType::kStatsResponse;
       break;
     }

@@ -14,6 +14,7 @@
 #include "core/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "storage/serializer.h"
 
 namespace xcrypt {
@@ -55,9 +56,16 @@ class NetServer {
 
   uint16_t port() const { return port_; }
 
-  /// Current counters (the same numbers a remote client gets via
-  /// kStatsRequest).
+  /// Current counters and latency histograms (the same numbers a remote
+  /// client gets via kStatsRequest).
   NetStats stats() const;
+
+  /// Full metrics snapshot: the daemon's latency histograms plus the
+  /// request/byte counters, mergeable across scrapes.
+  obs::MetricsSnapshot SnapshotMetrics() const;
+
+  /// SnapshotMetrics() rendered as JSON (the --metrics-json dump format).
+  std::string MetricsJson() const { return SnapshotMetrics().RenderJson(); }
 
   /// Graceful drain; idempotent, also run by the destructor.
   void Shutdown();
@@ -96,6 +104,15 @@ class NetServer {
   mutable std::atomic<uint64_t> connections_active_{0};
   mutable std::atomic<uint64_t> bytes_received_{0};
   mutable std::atomic<uint64_t> bytes_sent_{0};
+
+  /// Latency histograms, one per message type. The pointers are interned
+  /// once at startup; workers then touch only lock-free atomics.
+  obs::MetricsRegistry metrics_;
+  obs::Histogram* query_latency_ = nullptr;
+  obs::Histogram* naive_latency_ = nullptr;
+  obs::Histogram* aggregate_latency_ = nullptr;
+  obs::Histogram* ping_latency_ = nullptr;
+  obs::Histogram* stats_latency_ = nullptr;
 };
 
 }  // namespace net

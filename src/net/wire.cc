@@ -17,7 +17,9 @@ constexpr int kMaxPredicateDepth = 64;
 // bytes actually remaining before reserving anything.
 constexpr uint64_t kMinStepBytes = 1 + 1 + 4 + 4;  // axis, wildcard, counts
 constexpr uint64_t kMinPredicateBytes = 1 + 4 + 1 + 4 + 4 + 8 + 8 + 1;
-constexpr uint64_t kMinBlockBytes = 4 + 4;  // id + ciphertext length
+constexpr uint64_t kMinBlockBytes = 4 + 4;       // id + ciphertext length
+constexpr uint64_t kMinPhaseBytes = 4 + 8;       // name length + f64
+constexpr uint64_t kMinHistogramBytes = 4 + 8 + 8 + 4;  // name, count, sum, n
 
 void WriteSteps(BinaryWriter& w, const std::vector<TranslatedStep>& steps);
 
@@ -139,6 +141,75 @@ Status ReadServerResponse(BinaryReader& r, ServerResponse* out) {
   return Status::Ok();
 }
 
+void WritePhases(BinaryWriter& w,
+                 const std::vector<obs::PhaseTiming>& phases) {
+  w.U32(static_cast<uint32_t>(phases.size()));
+  for (const obs::PhaseTiming& phase : phases) {
+    w.Str(phase.name);
+    w.F64(phase.elapsed_us);
+  }
+}
+
+Status ReadPhases(BinaryReader& r, std::vector<obs::PhaseTiming>* out) {
+  const uint32_t num_phases = r.U32();
+  if (!r.CanHold(num_phases, kMinPhaseBytes)) {
+    return Status::Corruption("bad phase count");
+  }
+  out->reserve(num_phases);
+  for (uint32_t i = 0; i < num_phases; ++i) {
+    obs::PhaseTiming phase;
+    phase.name = r.Str();
+    phase.elapsed_us = r.F64();
+    if (r.failed()) return Status::Corruption("truncated phase timing");
+    out->push_back(std::move(phase));
+  }
+  return Status::Ok();
+}
+
+void WriteHistograms(
+    BinaryWriter& w,
+    const std::vector<std::pair<std::string, obs::HistogramSnapshot>>& hists) {
+  w.U32(static_cast<uint32_t>(hists.size()));
+  for (const auto& [name, hist] : hists) {
+    w.Str(name);
+    w.U64(hist.count);
+    w.U64(hist.sum_us);
+    // Trailing all-zero buckets are elided: most latency distributions
+    // occupy a handful of low buckets.
+    int last = obs::HistogramSnapshot::kNumBuckets - 1;
+    while (last >= 0 && hist.buckets[last] == 0) --last;
+    w.U32(static_cast<uint32_t>(last + 1));
+    for (int i = 0; i <= last; ++i) w.U64(hist.buckets[i]);
+  }
+}
+
+Status ReadHistograms(
+    BinaryReader& r,
+    std::vector<std::pair<std::string, obs::HistogramSnapshot>>* out) {
+  const uint32_t num_hists = r.U32();
+  if (!r.CanHold(num_hists, kMinHistogramBytes)) {
+    return Status::Corruption("bad histogram count");
+  }
+  out->reserve(num_hists);
+  for (uint32_t i = 0; i < num_hists; ++i) {
+    std::string name = r.Str();
+    obs::HistogramSnapshot hist;
+    hist.count = r.U64();
+    hist.sum_us = r.U64();
+    const uint32_t num_buckets = r.U32();
+    if (num_buckets > obs::HistogramSnapshot::kNumBuckets) {
+      return Status::Corruption("bad bucket count");
+    }
+    if (!r.CanHold(num_buckets, 8)) {
+      return Status::Corruption("truncated histogram buckets");
+    }
+    for (uint32_t b = 0; b < num_buckets; ++b) hist.buckets[b] = r.U64();
+    if (r.failed()) return Status::Corruption("truncated histogram");
+    out->emplace_back(std::move(name), hist);
+  }
+  return Status::Ok();
+}
+
 Status CheckFullyConsumed(const BinaryReader& r, const char* what) {
   if (r.failed()) {
     return Status::Corruption(std::string("truncated ") + what);
@@ -245,11 +316,13 @@ Result<TranslatedQuery> DecodeQueryRequest(const Bytes& payload) {
 }
 
 Bytes EncodeQueryResponse(const ServerResponse& response,
-                          double server_process_us) {
+                          double server_process_us,
+                          const std::vector<obs::PhaseTiming>& server_phases) {
   Bytes out;
   BinaryWriter w(&out);
   WriteServerResponse(w, response);
   w.F64(server_process_us);
+  WritePhases(w, server_phases);
   return out;
 }
 
@@ -258,6 +331,7 @@ Result<QueryResponseMsg> DecodeQueryResponse(const Bytes& payload) {
   QueryResponseMsg msg;
   XCRYPT_RETURN_NOT_OK(ReadServerResponse(r, &msg.response));
   msg.server_process_us = r.F64();
+  XCRYPT_RETURN_NOT_OK(ReadPhases(r, &msg.server_phases));
   XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "query response"));
   return msg;
 }
@@ -287,7 +361,9 @@ Result<AggregateRequestMsg> DecodeAggregateRequest(const Bytes& payload) {
 }
 
 Bytes EncodeAggregateResponse(const AggregateResponse& response,
-                              double server_process_us) {
+                              double server_process_us,
+                              const std::vector<obs::PhaseTiming>&
+                                  server_phases) {
   Bytes out;
   BinaryWriter w(&out);
   w.U8(static_cast<uint8_t>(response.kind));
@@ -295,6 +371,7 @@ Bytes EncodeAggregateResponse(const AggregateResponse& response,
   w.Str(response.server_value);
   WriteServerResponse(w, response.payload);
   w.F64(server_process_us);
+  WritePhases(w, server_phases);
   return out;
 }
 
@@ -310,6 +387,7 @@ Result<AggregateResponseMsg> DecodeAggregateResponse(const Bytes& payload) {
   msg.response.server_value = r.Str();
   XCRYPT_RETURN_NOT_OK(ReadServerResponse(r, &msg.response.payload));
   msg.server_process_us = r.F64();
+  XCRYPT_RETURN_NOT_OK(ReadPhases(r, &msg.server_phases));
   XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "aggregate response"));
   return msg;
 }
@@ -327,6 +405,7 @@ Bytes EncodeStats(const NetStats& stats) {
   w.U64(stats.bytes_sent);
   w.U64(stats.num_blocks);
   w.U64(stats.ciphertext_bytes);
+  WriteHistograms(w, stats.latency);
   return out;
 }
 
@@ -343,6 +422,7 @@ Result<NetStats> DecodeStats(const Bytes& payload) {
   stats.bytes_sent = r.U64();
   stats.num_blocks = r.U64();
   stats.ciphertext_bytes = r.U64();
+  XCRYPT_RETURN_NOT_OK(ReadHistograms(r, &stats.latency));
   XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "stats"));
   return stats;
 }

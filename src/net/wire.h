@@ -3,12 +3,16 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
 #include "core/aggregate.h"
 #include "core/server.h"
 #include "core/translated_query.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xcrypt {
 namespace net {
@@ -28,7 +32,9 @@ namespace net {
 /// the frame with Unsupported instead of guessing.
 
 inline constexpr uint32_t kWireMagic = 0x54454E58;  // "XNET" on the wire
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: responses carry the server's span-phase decomposition; stats carry
+/// per-message-type latency histograms.
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 1 + 4;
 
 /// Upper bound on a single frame's payload. A header announcing more is
@@ -58,7 +64,10 @@ struct Frame {
   Bytes payload;
 };
 
-/// Server-side counters reported by kStatsResponse.
+/// Server-side counters reported by kStatsResponse, plus (since wire v2)
+/// the daemon's per-message-type latency histograms. Histogram snapshots
+/// merge associatively, so scrapes from several daemons or intervals can
+/// be combined client-side.
 struct NetStats {
   uint64_t queries_served = 0;
   uint64_t aggregates_served = 0;
@@ -70,6 +79,8 @@ struct NetStats {
   uint64_t bytes_sent = 0;
   uint64_t num_blocks = 0;
   uint64_t ciphertext_bytes = 0;
+  /// Named latency histograms (e.g. "query_us", "aggregate_us").
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> latency;
 };
 
 // --- framing ------------------------------------------------------------
@@ -100,9 +111,14 @@ Result<TranslatedQuery> DecodeQueryRequest(const Bytes& payload);
 struct QueryResponseMsg {
   ServerResponse response;
   double server_process_us = 0.0;
+  /// The daemon's decomposition of server_process_us into named phases
+  /// (empty when the daemon ran the call untraced).
+  std::vector<obs::PhaseTiming> server_phases;
 };
 Bytes EncodeQueryResponse(const ServerResponse& response,
-                          double server_process_us);
+                          double server_process_us,
+                          const std::vector<obs::PhaseTiming>& server_phases =
+                              {});
 Result<QueryResponseMsg> DecodeQueryResponse(const Bytes& payload);
 
 struct AggregateRequestMsg {
@@ -117,9 +133,12 @@ Result<AggregateRequestMsg> DecodeAggregateRequest(const Bytes& payload);
 struct AggregateResponseMsg {
   AggregateResponse response;
   double server_process_us = 0.0;
+  std::vector<obs::PhaseTiming> server_phases;
 };
 Bytes EncodeAggregateResponse(const AggregateResponse& response,
-                              double server_process_us);
+                              double server_process_us,
+                              const std::vector<obs::PhaseTiming>&
+                                  server_phases = {});
 Result<AggregateResponseMsg> DecodeAggregateResponse(const Bytes& payload);
 
 Bytes EncodeStats(const NetStats& stats);

@@ -1,0 +1,164 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace xcrypt {
+namespace obs {
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum_us += other.sum_us;
+  for (int i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+uint64_t HistogramSnapshot::BucketUpperBound(int i) {
+  if (i <= 0) return 0;
+  if (i >= 64) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+uint64_t HistogramSnapshot::QuantileUpperBoundUs(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+int Histogram::BucketOf(uint64_t value_us) {
+  const int width = std::bit_width(value_us);
+  return width < kNumBuckets ? width : kNumBuckets - 1;
+}
+
+void Histogram::Observe(double value_us) {
+  if (!(value_us > 0.0)) value_us = 0.0;  // negatives and NaN clamp to 0
+  const uint64_t v = static_cast<uint64_t>(value_us);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    bool found = false;
+    for (auto& [mine, total] : counters) {
+      if (mine == name) {
+        total += value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counters.emplace_back(name, value);
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    bool found = false;
+    for (auto& [mine, total] : histograms) {
+      if (mine == name) {
+        total.Merge(hist);
+        found = true;
+        break;
+      }
+    }
+    if (!found) histograms.emplace_back(name, hist);
+  }
+}
+
+std::string MetricsSnapshot::RenderJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + std::to_string(value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "\"%s\": {\"count\": %llu, \"sum_us\": %llu, "
+                  "\"mean_us\": %.1f, \"p50_us\": %llu, \"p99_us\": %llu, "
+                  "\"buckets\": [",
+                  name.c_str(),
+                  static_cast<unsigned long long>(hist.count),
+                  static_cast<unsigned long long>(hist.sum_us),
+                  hist.MeanUs(),
+                  static_cast<unsigned long long>(
+                      hist.QuantileUpperBoundUs(0.5)),
+                  static_cast<unsigned long long>(
+                      hist.QuantileUpperBoundUs(0.99)));
+    out += head;
+    // Trailing all-zero buckets are elided to keep dumps small.
+    int last = HistogramSnapshot::kNumBuckets - 1;
+    while (last >= 0 && hist.buckets[last] == 0) --last;
+    for (int i = 0; i <= last; ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(hist.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace_back(name, hist->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace xcrypt

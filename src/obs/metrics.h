@@ -1,0 +1,121 @@
+#ifndef XCRYPT_OBS_METRICS_H_
+#define XCRYPT_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xcrypt {
+namespace obs {
+
+/// Monotonic named counter. Add/Value are lock-free; relaxed order is
+/// enough because counters are statistics, not synchronization.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time copy of a histogram, detached from the atomics — the
+/// unit that crosses the wire in stats responses and merges across
+/// servers/intervals. Merge is associative and commutative (it is a
+/// per-bucket sum), so snapshots can be combined in any order.
+struct HistogramSnapshot {
+  /// Power-of-two buckets: bucket i counts values v (in microseconds,
+  /// rounded down) with bit_width(v) == i, i.e. bucket 0 holds v == 0,
+  /// bucket i >= 1 holds [2^(i-1), 2^i). 40 buckets reach ~2^39us ≈ 6
+  /// days; anything larger lands in the last bucket.
+  static constexpr int kNumBuckets = 40;
+
+  uint64_t count = 0;
+  uint64_t sum_us = 0;
+  std::array<uint64_t, kNumBuckets> buckets{};
+
+  void Merge(const HistogramSnapshot& other);
+
+  /// Inclusive upper bound of bucket `i` (2^i - 1 microseconds).
+  static uint64_t BucketUpperBound(int i);
+
+  /// Value at or below which a fraction `q` (0..1] of observations fall,
+  /// estimated as the upper bound of the covering bucket. 0 when empty.
+  uint64_t QuantileUpperBoundUs(double q) const;
+
+  double MeanUs() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum_us) / count;
+  }
+};
+
+/// Log-bucketed latency histogram. Observe is lock-free: one atomic add
+/// into the value's power-of-two bucket plus the count/sum counters — the
+/// fast path a server thread hits on every request.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = HistogramSnapshot::kNumBuckets;
+
+  void Observe(double value_us);
+
+  /// Bucket index a value lands in (exposed for tests).
+  static int BucketOf(uint64_t value_us);
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Everything a registry held at one instant.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Per-name merge (counters add, histograms Merge) — combines
+  /// snapshots from several registries or periodic scrapes.
+  void Merge(const MetricsSnapshot& other);
+
+  /// Flat JSON: {"counters": {...}, "histograms": {name: {count, sum_us,
+  /// mean_us, p50_us, p99_us, buckets: [...]}}}.
+  std::string RenderJson() const;
+};
+
+/// Named counters and histograms for one process component (each
+/// NetServer owns one; a process-wide instance is available via
+/// Global()). Instrument lookup interns the name under a mutex ONCE per
+/// call site that bothers to re-look-up; callers on hot paths cache the
+/// returned pointer, which stays valid for the registry's lifetime, and
+/// from then on touch only lock-free atomics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry for components without a natural owner.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Node-based maps: pointers handed out stay stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace xcrypt
+
+#endif  // XCRYPT_OBS_METRICS_H_

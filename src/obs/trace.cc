@@ -1,0 +1,55 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace xcrypt {
+namespace obs {
+
+double Trace::TotalUs(std::string_view name) const {
+  double total = 0.0;
+  for (const SpanRecord& span : spans_) {
+    if (span.closed && span.name == name) total += span.elapsed_us;
+  }
+  return total;
+}
+
+std::vector<PhaseTiming> Trace::ChildPhaseTotals(int parent) const {
+  std::vector<PhaseTiming> phases;
+  for (const SpanRecord& span : spans_) {
+    if (span.parent != parent || !span.closed) continue;
+    PhaseTiming* slot = nullptr;
+    for (PhaseTiming& p : phases) {
+      if (p.name == span.name) {
+        slot = &p;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      phases.push_back({span.name, 0.0});
+      slot = &phases.back();
+    }
+    slot->elapsed_us += span.elapsed_us;
+  }
+  return phases;
+}
+
+std::string Trace::Render() const {
+  // Depth of each span via its parent chain (spans_ is in open order, so
+  // parents always precede children).
+  std::vector<int> depth(spans_.size(), 0);
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent >= 0) depth[i] = depth[spans_[i].parent] + 1;
+  }
+  std::string out;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    for (int d = 0; d < depth[i]; ++d) out += "  ";
+    char line[64];
+    std::snprintf(line, sizeof(line), "  %.1fus%s", spans_[i].elapsed_us,
+                  spans_[i].closed ? "" : " (open)");
+    out += spans_[i].name + line + "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace xcrypt

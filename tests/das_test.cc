@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "das/das_system.h"
 #include "data/healthcare.h"
 #include "data/workload.h"
@@ -126,6 +129,120 @@ TEST(DasSystemTest, OptShipsLessThanSubLessThanTop) {
   }
   EXPECT_LT(bytes[0], bytes[1]);  // opt < sub
   EXPECT_LT(bytes[1], bytes[2]);  // sub < top
+}
+
+TEST(DasSystemTest, InProcessTransmissionIsSimulatedFromBytesShipped) {
+  DasSystem::Options options;
+  options.link_mbps = 100.0;
+  auto das = DasSystem::Host(BuildHospital(30, 1), HealthcareConstraints(),
+                             SchemeKind::kSub, "s", options);
+  ASSERT_TRUE(das.ok());
+  auto run = das->Execute("//patient[.//disease='diarrhea']//SSN");
+  ASSERT_TRUE(run.ok());
+  // Invariant: in-process runs simulate the wire — the source tag says
+  // so and the figure is exactly the link model applied to the bytes.
+  EXPECT_FALSE(run->costs.transmission_measured());
+  EXPECT_EQ(run->costs.transmission_source,
+            QueryCosts::TransmissionSource::kSimulated);
+  const SimulatedLink link{options.link_mbps};
+  EXPECT_DOUBLE_EQ(run->costs.transmission_us,
+                   link.EstimateUs(run->costs.bytes_shipped));
+  EXPECT_EQ(run->engine_stats.transport,
+            EngineCallStats::Transport::kInProcess);
+  EXPECT_EQ(run->engine_stats.bytes_received, 0);
+}
+
+TEST(DasSystemTest, TracedRunDecomposesServerTime) {
+  auto das = DasSystem::Host(BuildHospital(30, 1), HealthcareConstraints(),
+                             SchemeKind::kSub, "s");
+  ASSERT_TRUE(das.ok());
+  obs::Trace trace;
+  obs::QueryContext ctx;
+  ctx.trace = &trace;
+  auto run = das->Execute("//patient[.//disease='diarrhea']//SSN", &ctx);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  // The engine decomposed its processing time into at least three named
+  // phases, both in the per-call stats and under the trace's server span.
+  ASSERT_GE(run->engine_stats.server_phases.size(), 3u);
+  double phase_total = 0.0;
+  for (const obs::PhaseTiming& phase : run->engine_stats.server_phases) {
+    phase_total += phase.elapsed_us;
+  }
+  EXPECT_GT(phase_total, 0.0);
+  EXPECT_GT(trace.TotalUs("translate"), 0.0);
+  EXPECT_GT(trace.TotalUs("server"), 0.0);
+  EXPECT_GT(trace.TotalUs("decrypt"), 0.0);
+  int server_id = -1;
+  for (size_t i = 0; i < trace.spans().size(); ++i) {
+    if (trace.spans()[i].name == "server") server_id = static_cast<int>(i);
+  }
+  ASSERT_GE(server_id, 0);
+  EXPECT_GE(trace.ChildPhaseTotals(server_id).size(), 3u);
+}
+
+TEST(DasSystemTest, CostsFromTraceMatchesStopwatchCosts) {
+  auto das = DasSystem::Host(BuildHospital(30, 1), HealthcareConstraints(),
+                             SchemeKind::kSub, "s");
+  ASSERT_TRUE(das.ok());
+  obs::Trace trace;
+  obs::QueryContext ctx;
+  ctx.trace = &trace;
+  auto run = das->Execute("//patient[.//disease='diarrhea']//SSN", &ctx);
+  ASSERT_TRUE(run.ok());
+
+  const QueryCosts projected = CostsFromTrace(trace);
+  const QueryCosts& costs = run->costs;
+  // The simulated transmit time is recorded into the trace verbatim.
+  EXPECT_DOUBLE_EQ(projected.transmission_us, costs.transmission_us);
+  // Spans and stopwatches measure the same intervals; allow generous
+  // slack for scheduling noise between the two clock reads.
+  auto near = [](double a, double b) {
+    return std::abs(a - b) <= 0.5 * std::max(a, b) + 500.0;
+  };
+  EXPECT_TRUE(near(projected.client_translate_us, costs.client_translate_us))
+      << projected.client_translate_us << " vs " << costs.client_translate_us;
+  EXPECT_TRUE(near(projected.server_process_us, costs.server_process_us))
+      << projected.server_process_us << " vs " << costs.server_process_us;
+  EXPECT_TRUE(near(projected.decrypt_us, costs.decrypt_us))
+      << projected.decrypt_us << " vs " << costs.decrypt_us;
+  EXPECT_TRUE(near(projected.postprocess_us, costs.postprocess_us))
+      << projected.postprocess_us << " vs " << costs.postprocess_us;
+}
+
+TEST(DasSystemTest, UntracedRunLeavesPhasesEmpty) {
+  auto das = DasSystem::Host(BuildHospital(20, 1), HealthcareConstraints(),
+                             SchemeKind::kSub, "s");
+  ASSERT_TRUE(das.ok());
+  auto run = das->Execute("//patient//SSN");
+  ASSERT_TRUE(run.ok());
+  // The disabled fast path records nothing — but the totals still flow.
+  EXPECT_TRUE(run->engine_stats.server_phases.empty());
+  EXPECT_GT(run->costs.server_process_us, 0.0);
+}
+
+TEST(DasSystemTest, ExpiredDeadlineAbortsWithUnavailable) {
+  auto das = DasSystem::Host(BuildHospital(20, 1), HealthcareConstraints(),
+                             SchemeKind::kSub, "s");
+  ASSERT_TRUE(das.ok());
+  obs::QueryContext ctx = obs::QueryContext::WithTimeout(-1.0);
+  auto run = das->Execute("//patient//SSN", &ctx);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(DasSystemTest, AggregateTracedRunRecordsTransmit) {
+  auto das = DasSystem::Host(BuildHospital(30, 1), HealthcareConstraints(),
+                             SchemeKind::kSub, "s");
+  ASSERT_TRUE(das.ok());
+  obs::Trace trace;
+  obs::QueryContext ctx;
+  ctx.trace = &trace;
+  auto run = das->ExecuteAggregate("//disease", AggregateKind::kMin, &ctx);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(run->costs.transmission_measured());
+  EXPECT_GT(trace.TotalUs("server"), 0.0);
+  EXPECT_DOUBLE_EQ(trace.TotalUs("transmit"), run->costs.transmission_us);
 }
 
 TEST(DasSystemTest, StringOverloadParses) {

@@ -103,10 +103,15 @@ TEST_F(LoopbackTest, Fig9QuerySetByteIdenticalToInProcess) {
     auto remote_response = (*remote)->Execute(*translated);
     ASSERT_EQ(local_response.ok(), remote_response.ok()) << wq.text;
     if (!local_response.ok()) continue;
-    ExpectByteIdentical(*local_response, *remote_response, wq.text);
+    ExpectByteIdentical(local_response->response, remote_response->response,
+                        wq.text);
+    EXPECT_EQ(remote_response->stats.transport,
+              EngineCallStats::Transport::kRemote)
+        << wq.text;
+    EXPECT_GT(remote_response->stats.round_trip_us, 0.0) << wq.text;
 
     // And the client's final answers agree with plaintext ground truth.
-    auto answer = client_->PostProcess(wq.expr, *remote_response);
+    auto answer = client_->PostProcess(wq.expr, remote_response->response);
     ASSERT_TRUE(answer.ok()) << wq.text;
     EXPECT_EQ(answer->SerializedSorted(),
               GroundTruth(corpus_->doc, wq.expr).SerializedSorted())
@@ -124,7 +129,8 @@ TEST_F(LoopbackTest, NaiveByteIdenticalToInProcess) {
   auto remote_response = (*remote)->ExecuteNaive();
   ASSERT_TRUE(local_response.ok());
   ASSERT_TRUE(remote_response.ok()) << remote_response.status().ToString();
-  ExpectByteIdentical(*local_response, *remote_response, "naive");
+  ExpectByteIdentical(local_response->response, remote_response->response,
+                      "naive");
 }
 
 TEST_F(LoopbackTest, DasSystemOverLoopbackMatchesInProcess) {
@@ -146,7 +152,10 @@ TEST_F(LoopbackTest, DasSystemOverLoopbackMatchesInProcess) {
   for (const WorkloadQuery& wq : Fig9Queries()) {
     auto remote_run = das->Execute(wq.expr);
     if (!remote_run.ok()) continue;
-    EXPECT_TRUE(remote_run->costs.transmission_measured) << wq.text;
+    EXPECT_TRUE(remote_run->costs.transmission_measured()) << wq.text;
+    EXPECT_EQ(remote_run->engine_stats.transport,
+              EngineCallStats::Transport::kRemote)
+        << wq.text;
     EXPECT_EQ(remote_run->answer.SerializedSorted(),
               GroundTruth(corpus_->doc, wq.expr).SerializedSorted())
         << wq.text;
@@ -192,7 +201,8 @@ TEST_F(LoopbackTest, EightConcurrentClientsNoDeadlockNoMismatch) {
     ASSERT_TRUE(translated.ok());
     auto response = local.Execute(*translated);
     runnable.push_back(response.ok());
-    expected_skeletons.push_back(response.ok() ? response->skeleton_xml : "");
+    expected_skeletons.push_back(response.ok() ? response->response.skeleton_xml
+                                               : "");
   }
 
   std::atomic<int> mismatches{0};
@@ -216,7 +226,7 @@ TEST_F(LoopbackTest, EightConcurrentClientsNoDeadlockNoMismatch) {
           continue;
         }
         if (response.ok() &&
-            response->skeleton_xml != expected_skeletons[idx]) {
+            response->response.skeleton_xml != expected_skeletons[idx]) {
           mismatches.fetch_add(1);
         }
       }
@@ -311,6 +321,119 @@ TEST_F(LoopbackTest, StatsFlowOverTheWire) {
             static_cast<uint64_t>(
                 client_->database().TotalCiphertextBytes()));
   EXPECT_GE(stats->connections_total, 1u);
+}
+
+TEST_F(LoopbackTest, LatencyHistogramsFlowOverTheWire) {
+  auto remote = RemoteServerEngine::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(remote.ok());
+  // Serve at least one query so query_us has an observation.
+  auto translated = client_->Translate(*ParseXPath("//dataset"));
+  ASSERT_TRUE(translated.ok());
+  ASSERT_TRUE((*remote)->Execute(*translated).ok());
+
+  auto stats = (*remote)->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_FALSE(stats->latency.empty());
+  bool found_query_us = false;
+  for (const auto& [name, hist] : stats->latency) {
+    if (name != "query_us") continue;
+    found_query_us = true;
+    EXPECT_GE(hist.count, 1u);
+    uint64_t bucketed = 0;
+    for (uint64_t b : hist.buckets) bucketed += b;
+    EXPECT_EQ(bucketed, hist.count);
+  }
+  EXPECT_TRUE(found_query_us);
+}
+
+TEST_F(LoopbackTest, TwoClientsShareOneRemoteEngineConcurrently) {
+  // One RemoteServerEngine, two threads calling it at once: per-call
+  // stats come back by value, so nothing races (run under TSan this is
+  // the proof that retiring the last-call side channel worked).
+  auto remote = RemoteServerEngine::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  RemoteServerEngine* engine = remote->get();
+
+  const auto queries = Fig9Queries();
+  const ServerEngine local(&client_->database(), &client_->metadata());
+  std::vector<std::string> expected_skeletons;
+  std::vector<bool> runnable;
+  for (const WorkloadQuery& wq : queries) {
+    auto translated = client_->Translate(wq.expr);
+    ASSERT_TRUE(translated.ok());
+    auto response = local.Execute(*translated);
+    runnable.push_back(response.ok());
+    expected_skeletons.push_back(
+        response.ok() ? response->response.skeleton_xml : "");
+  }
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < 2; ++c) {
+    workers.emplace_back([&, c] {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const size_t idx = (i + c * 7) % queries.size();
+        auto translated = client_->Translate(queries[idx].expr);
+        if (!translated.ok()) continue;
+        auto response = engine->Execute(*translated);
+        if (response.ok() != runnable[idx]) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (!response.ok()) continue;
+        if (response->response.skeleton_xml != expected_skeletons[idx]) {
+          mismatches.fetch_add(1);
+        }
+        // Each caller's measurements are its own.
+        if (response->stats.transport !=
+                EngineCallStats::Transport::kRemote ||
+            response->stats.round_trip_us <= 0.0 ||
+            response->stats.bytes_sent <= 0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(LoopbackTest, RemoteTraceDecomposesServerTime) {
+  auto remote = RemoteServerEngine::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(remote.ok());
+  auto translated =
+      client_->Translate(*ParseXPath("//dataset[altname='NASA']//title"));
+  ASSERT_TRUE(translated.ok());
+
+  obs::Trace trace;
+  obs::QueryContext ctx;
+  ctx.trace = &trace;
+  auto response = (*remote)->Execute(*translated, &ctx);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  // The daemon's phase decomposition crossed the wire: at least three
+  // named phases under the server span, plus a transmit estimate.
+  EXPECT_GE(response->stats.server_phases.size(), 3u);
+  int server_id = -1;
+  for (size_t i = 0; i < trace.spans().size(); ++i) {
+    if (trace.spans()[i].name == "server") server_id = static_cast<int>(i);
+  }
+  ASSERT_GE(server_id, 0);
+  EXPECT_GE(trace.ChildPhaseTotals(server_id).size(), 3u);
+  EXPECT_GT(trace.TotalUs("transmit"), 0.0);
+}
+
+TEST_F(LoopbackTest, RemoteDeadlineExpiredFailsWithoutNetworkCall) {
+  auto remote = RemoteServerEngine::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(remote.ok());
+  auto translated = client_->Translate(*ParseXPath("//dataset"));
+  ASSERT_TRUE(translated.ok());
+  obs::QueryContext ctx = obs::QueryContext::WithTimeout(-1.0);
+  auto response = (*remote)->Execute(*translated, &ctx);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
 }
 
 TEST(RemoteEngineTest, ConnectToDeadPortFailsUnavailableAfterRetries) {

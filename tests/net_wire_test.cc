@@ -370,6 +370,130 @@ TEST(WireQuery, ReasonableNestingAccepted) {
   EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
 }
 
+std::vector<obs::PhaseTiming> SamplePhases() {
+  return {{"index-lookup", 12.5}, {"structural-join", 80.25},
+          {"predicate-batch", 7.0}, {"assemble", 3.0}};
+}
+
+obs::HistogramSnapshot SampleHistogram() {
+  obs::HistogramSnapshot hist;
+  hist.count = 5;
+  hist.sum_us = 1234;
+  hist.buckets[0] = 1;
+  hist.buckets[7] = 3;
+  hist.buckets[11] = 1;
+  return hist;
+}
+
+TEST(WireQueryResponse, PhasesRoundTrip) {
+  const std::vector<obs::PhaseTiming> phases = SamplePhases();
+  auto decoded = DecodeQueryResponse(
+      EncodeQueryResponse(SampleResponse(), 123.5, phases));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->server_phases.size(), phases.size());
+  for (size_t i = 0; i < phases.size(); ++i) {
+    EXPECT_EQ(decoded->server_phases[i].name, phases[i].name);
+    EXPECT_DOUBLE_EQ(decoded->server_phases[i].elapsed_us,
+                     phases[i].elapsed_us);
+  }
+}
+
+TEST(WireQueryResponse, PhasesTruncationAtEveryByteFailsCleanly) {
+  const Bytes payload =
+      EncodeQueryResponse(SampleResponse(), 1.0, SamplePhases());
+  for (size_t len = 0; len < payload.size(); ++len) {
+    const Bytes cut(payload.begin(), payload.begin() + len);
+    EXPECT_FALSE(DecodeQueryResponse(cut).ok())
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(WireAggregate, ResponsePhasesRoundTrip) {
+  AggregateResponse response;
+  response.kind = AggregateKind::kMin;
+  response.payload = SampleResponse();
+  const std::vector<obs::PhaseTiming> phases = SamplePhases();
+  auto decoded = DecodeAggregateResponse(
+      EncodeAggregateResponse(response, 9.0, phases));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->server_phases.size(), phases.size());
+  for (size_t i = 0; i < phases.size(); ++i) {
+    EXPECT_EQ(decoded->server_phases[i].name, phases[i].name);
+    EXPECT_DOUBLE_EQ(decoded->server_phases[i].elapsed_us,
+                     phases[i].elapsed_us);
+  }
+}
+
+NetStats StatsWithHistograms() {
+  NetStats stats;
+  stats.queries_served = 42;
+  stats.latency.emplace_back("query_us", SampleHistogram());
+  obs::HistogramSnapshot empty;
+  stats.latency.emplace_back("ping_us", empty);
+  return stats;
+}
+
+TEST(WireStats, HistogramsRoundTrip) {
+  const NetStats stats = StatsWithHistograms();
+  auto decoded = DecodeStats(EncodeStats(stats));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->latency.size(), 2u);
+  EXPECT_EQ(decoded->latency[0].first, "query_us");
+  const obs::HistogramSnapshot& hist = decoded->latency[0].second;
+  EXPECT_EQ(hist.count, 5u);
+  EXPECT_EQ(hist.sum_us, 1234u);
+  // Buckets survive the trailing-zero elision on the wire verbatim.
+  EXPECT_EQ(hist.buckets, SampleHistogram().buckets);
+  EXPECT_EQ(decoded->latency[1].first, "ping_us");
+  EXPECT_EQ(decoded->latency[1].second.count, 0u);
+}
+
+TEST(WireStats, HistogramTruncationAtEveryByteFailsCleanly) {
+  const Bytes payload = EncodeStats(StatsWithHistograms());
+  for (size_t len = 0; len < payload.size(); ++len) {
+    const Bytes cut(payload.begin(), payload.begin() + len);
+    auto decoded = DecodeStats(cut);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireStats, HistogramBitFlipsNeverCrash) {
+  const Bytes payload = EncodeStats(StatsWithHistograms());
+  for (size_t i = 0; i < payload.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = payload;
+      mutated[i] ^= static_cast<uint8_t>(1u << bit);
+      auto decoded = DecodeStats(mutated);
+      if (!decoded.ok()) {
+        EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+      }
+    }
+  }
+}
+
+TEST(WireStats, OversizedBucketCountRejectedWithoutAllocation) {
+  NetStats stats;
+  stats.latency.emplace_back("h", SampleHistogram());
+  Bytes payload = EncodeStats(stats);
+  // Layout: ten u64 counters, u32 histogram count, str name, u64 count,
+  // u64 sum — then the u32 bucket count we corrupt.
+  const size_t nbuckets_at = 10 * 8 + 4 + (4 + 1) + 8 + 8;
+  ASSERT_LT(nbuckets_at + 4, payload.size());
+  payload[nbuckets_at] = 0xff;
+  payload[nbuckets_at + 1] = 0xff;
+  payload[nbuckets_at + 2] = 0xff;
+  payload[nbuckets_at + 3] = 0xff;
+  EXPECT_EQ(DecodeStats(payload).status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireStats, OversizedHistogramCountRejectedWithoutAllocation) {
+  Bytes payload = EncodeStats(NetStats{});
+  const size_t count_at = 10 * 8;
+  for (int i = 0; i < 4; ++i) payload[count_at + i] = 0xff;
+  EXPECT_EQ(DecodeStats(payload).status().code(), StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace xcrypt

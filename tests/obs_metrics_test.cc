@@ -1,0 +1,192 @@
+// Metrics unit tests: histogram bucket boundaries, snapshot merge
+// associativity, quantile estimation, JSON rendering, and registry
+// thread-safety (the lock-free Observe path is exercised from many
+// threads so TSan can vet the claim).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace xcrypt {
+namespace obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwo) {
+  // bucket i holds values with bit_width == i: 0 → 0, [2^(i-1), 2^i) → i.
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11);
+  for (int i = 1; i < Histogram::kNumBuckets - 1; ++i) {
+    const uint64_t upper = HistogramSnapshot::BucketUpperBound(i);
+    EXPECT_EQ(Histogram::BucketOf(upper), i) << "upper bound of " << i;
+    EXPECT_EQ(Histogram::BucketOf(upper + 1), i + 1);
+  }
+  // Values beyond the last bucket's range saturate into it.
+  EXPECT_EQ(Histogram::BucketOf(~0ull), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, ObserveClampsNegativesAndNaN) {
+  Histogram hist;
+  hist.Observe(-5.0);
+  hist.Observe(std::nan(""));
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum_us, 0u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+}
+
+TEST(HistogramTest, SnapshotCountsAndSums) {
+  Histogram hist;
+  hist.Observe(0.0);
+  hist.Observe(1.0);
+  hist.Observe(100.0);
+  hist.Observe(100.9);  // fractional microseconds round down
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum_us, 201u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[Histogram::BucketOf(100)], 2u);
+  EXPECT_DOUBLE_EQ(snap.MeanUs(), 201.0 / 4.0);
+}
+
+HistogramSnapshot MakeSnapshot(std::vector<uint64_t> values) {
+  Histogram hist;
+  for (uint64_t v : values) hist.Observe(static_cast<double>(v));
+  return hist.Snapshot();
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  const HistogramSnapshot a = MakeSnapshot({1, 2, 3});
+  const HistogramSnapshot b = MakeSnapshot({100, 200});
+  const HistogramSnapshot c = MakeSnapshot({1ull << 30});
+
+  HistogramSnapshot ab = a;
+  ab.Merge(b);
+  HistogramSnapshot ab_c = ab;
+  ab_c.Merge(c);
+
+  HistogramSnapshot bc = b;
+  bc.Merge(c);
+  HistogramSnapshot a_bc = a;
+  a_bc.Merge(bc);
+
+  HistogramSnapshot ba = b;
+  ba.Merge(a);
+
+  EXPECT_EQ(ab_c.count, a_bc.count);
+  EXPECT_EQ(ab_c.sum_us, a_bc.sum_us);
+  EXPECT_EQ(ab_c.buckets, a_bc.buckets);
+  EXPECT_EQ(ab.buckets, ba.buckets);
+  EXPECT_EQ(ab_c.count, 6u);
+}
+
+TEST(HistogramTest, QuantileUpperBound) {
+  // 9 fast observations and 1 slow one: p50 sits in the fast bucket,
+  // p99 must reach the slow one.
+  Histogram hist;
+  for (int i = 0; i < 9; ++i) hist.Observe(100.0);
+  hist.Observe(1e6);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.QuantileUpperBoundUs(0.5),
+            HistogramSnapshot::BucketUpperBound(Histogram::BucketOf(100)));
+  EXPECT_EQ(snap.QuantileUpperBoundUs(0.99),
+            HistogramSnapshot::BucketUpperBound(Histogram::BucketOf(1000000)));
+  EXPECT_EQ(HistogramSnapshot{}.QuantileUpperBoundUs(0.5), 0u);
+}
+
+TEST(MetricsSnapshotTest, MergeAddsCountersAndKeepsUnknownNames) {
+  MetricsSnapshot a;
+  a.counters = {{"queries", 10}, {"errors", 1}};
+  MetricsSnapshot b;
+  b.counters = {{"queries", 5}, {"bytes", 700}};
+  a.Merge(b);
+  ASSERT_EQ(a.counters.size(), 3u);
+  EXPECT_EQ(a.counters[0], (std::pair<std::string, uint64_t>{"queries", 15}));
+  EXPECT_EQ(a.counters[1], (std::pair<std::string, uint64_t>{"errors", 1}));
+  EXPECT_EQ(a.counters[2], (std::pair<std::string, uint64_t>{"bytes", 700}));
+}
+
+TEST(MetricsSnapshotTest, RenderJsonHoldsNamesAndElidesEmptyTail) {
+  MetricsRegistry registry;
+  registry.GetCounter("served")->Add(3);
+  registry.GetHistogram("query_us")->Observe(5.0);
+  const std::string json = registry.Snapshot().RenderJson();
+  EXPECT_NE(json.find("\"served\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"query_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  // One observation of 5us fills bucket 3; the rendered bucket list must
+  // stop there instead of emitting 40 entries.
+  EXPECT_NE(json.find("\"buckets\": [0, 0, 0, 1]"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SameNameSamePointer) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("hits");
+  Counter* c2 = registry.GetCounter("hits");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(registry.GetCounter("misses"), c1);
+  Histogram* h1 = registry.GetHistogram("lat");
+  EXPECT_EQ(h1, registry.GetHistogram("lat"));
+  // Counter and histogram namespaces are independent.
+  registry.GetHistogram("hits");
+  EXPECT_EQ(registry.GetCounter("hits"), c1);
+}
+
+TEST(MetricsRegistryTest, ConcurrentObserversAndScrapers) {
+  // Hammer one registry from many threads — interning new instruments,
+  // bumping shared ones, and snapshotting concurrently. Run under TSan
+  // (ctest -L obs on a -DXCRYPT_TSAN=ON build) this vets the lock-free
+  // Observe claim.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      Counter* shared = registry.GetCounter("shared");
+      Histogram* hist = registry.GetHistogram("lat_us");
+      Counter* own = registry.GetCounter("own_" + std::to_string(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        shared->Add();
+        own->Add();
+        hist->Observe(static_cast<double>(i));
+        if (i % 512 == 0) registry.Snapshot();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  uint64_t shared = 0, own_total = 0, hist_count = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "shared") shared = value;
+    if (name.rfind("own_", 0) == 0) own_total += value;
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name == "lat_us") hist_count = hist.count;
+  }
+  EXPECT_EQ(shared, uint64_t{kThreads} * kOpsPerThread);
+  EXPECT_EQ(own_total, uint64_t{kThreads} * kOpsPerThread);
+  EXPECT_EQ(hist_count, uint64_t{kThreads} * kOpsPerThread);
+}
+
+TEST(MetricsRegistryTest, GlobalIsStable) {
+  MetricsRegistry& g1 = MetricsRegistry::Global();
+  MetricsRegistry& g2 = MetricsRegistry::Global();
+  EXPECT_EQ(&g1, &g2);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xcrypt

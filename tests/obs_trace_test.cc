@@ -1,0 +1,236 @@
+// Trace/Span unit tests: span nesting, timing monotonicity, recorded
+// intervals, phase aggregation, and the null-trace fast path contract
+// that keeps tracing affordable to leave compiled in everywhere.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/trace.h"
+
+namespace xcrypt {
+namespace obs {
+namespace {
+
+void SpinFor(double micros) {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+             .count() < micros) {
+  }
+}
+
+TEST(TraceTest, SpansNestUnderTheOpenSpan) {
+  Trace trace;
+  const int outer = trace.Open("server");
+  const int inner = trace.Open("index-lookup");
+  trace.Close(inner);
+  const int sibling = trace.Open("assemble");
+  trace.Close(sibling);
+  trace.Close(outer);
+  const int top = trace.Open("transmit");
+  trace.Close(top);
+
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.spans()[outer].parent, Trace::kNoParent);
+  EXPECT_EQ(trace.spans()[inner].parent, outer);
+  EXPECT_EQ(trace.spans()[sibling].parent, outer);
+  EXPECT_EQ(trace.spans()[top].parent, Trace::kNoParent);
+  for (const SpanRecord& span : trace.spans()) EXPECT_TRUE(span.closed);
+}
+
+TEST(TraceTest, TimingIsMonotone) {
+  Trace trace;
+  const int outer = trace.Open("outer");
+  SpinFor(50.0);
+  const int inner = trace.Open("inner");
+  SpinFor(50.0);
+  trace.Close(inner);
+  trace.Close(outer);
+
+  const SpanRecord& o = trace.spans()[outer];
+  const SpanRecord& i = trace.spans()[inner];
+  // The child starts after its parent and fits inside it.
+  EXPECT_GE(i.start_us, o.start_us);
+  EXPECT_GT(i.elapsed_us, 0.0);
+  EXPECT_GE(o.elapsed_us, i.elapsed_us);
+  EXPECT_LE(i.start_us + i.elapsed_us, o.start_us + o.elapsed_us + 1.0);
+}
+
+TEST(TraceTest, ClosingOutOfOrderClosesChildren) {
+  Trace trace;
+  const int outer = trace.Open("outer");
+  const int inner = trace.Open("inner");  // never closed explicitly
+  trace.Close(outer);
+  EXPECT_TRUE(trace.spans()[inner].closed);
+  EXPECT_TRUE(trace.spans()[outer].closed);
+  // The open stack is empty again: new spans are top-level.
+  const int next = trace.Open("next");
+  EXPECT_EQ(trace.spans()[next].parent, Trace::kNoParent);
+}
+
+TEST(TraceTest, CloseIgnoresBogusIds) {
+  Trace trace;
+  trace.Close(-1);
+  trace.Close(42);
+  const int id = trace.Open("only");
+  trace.Close(id);
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_TRUE(trace.spans()[id].closed);
+}
+
+TEST(TraceTest, RecordPlacesIntervalEndingNow) {
+  Trace trace;
+  SpinFor(100.0);
+  const int id = trace.Record("server", 30.0, Trace::kNoParent);
+  const SpanRecord& span = trace.spans()[id];
+  EXPECT_TRUE(span.closed);
+  EXPECT_DOUBLE_EQ(span.elapsed_us, 30.0);
+  EXPECT_EQ(span.parent, Trace::kNoParent);
+  // Ends "now": start sits elapsed_us before the record call.
+  EXPECT_GT(span.start_us, 0.0);
+}
+
+TEST(TraceTest, RecordLongerThanTraceLifeClampsToEpoch) {
+  Trace trace;
+  const int id = trace.Record("huge", 1e12, Trace::kNoParent);
+  EXPECT_DOUBLE_EQ(trace.spans()[id].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(trace.spans()[id].elapsed_us, 1e12);
+}
+
+TEST(TraceTest, RecordUnderCurrentAndExplicitParent) {
+  Trace trace;
+  const int outer = trace.Open("outer");
+  const int current = trace.Record("current-child", 1.0);  // kCurrent
+  trace.Close(outer);
+  const int explicit_child = trace.Record("explicit-child", 2.0, outer);
+  const int top = trace.Record("top", 3.0);  // kCurrent with empty stack
+
+  EXPECT_EQ(trace.spans()[current].parent, outer);
+  EXPECT_EQ(trace.spans()[explicit_child].parent, outer);
+  EXPECT_EQ(trace.spans()[top].parent, Trace::kNoParent);
+}
+
+TEST(TraceTest, TotalUsSumsAcrossSameNamedSpans) {
+  Trace trace;
+  trace.Record("join", 10.0, Trace::kNoParent);
+  trace.Record("join", 5.0, Trace::kNoParent);
+  trace.Record("other", 100.0, Trace::kNoParent);
+  EXPECT_DOUBLE_EQ(trace.TotalUs("join"), 15.0);
+  EXPECT_DOUBLE_EQ(trace.TotalUs("other"), 100.0);
+  EXPECT_DOUBLE_EQ(trace.TotalUs("absent"), 0.0);
+}
+
+TEST(TraceTest, ChildPhaseTotalsAggregatesDirectChildrenByName) {
+  Trace trace;
+  const int server = trace.Open("server");
+  trace.Record("index-lookup", 10.0);
+  trace.Record("structural-join", 20.0);
+  trace.Record("index-lookup", 5.0);
+  {
+    // A grandchild must NOT appear in the server's direct decomposition.
+    const int join = trace.Open("predicate-batch");
+    trace.Record("nested", 99.0);
+    trace.Close(join);
+  }
+  trace.Close(server);
+  trace.Record("transmit", 7.0, Trace::kNoParent);
+
+  const std::vector<PhaseTiming> phases = trace.ChildPhaseTotals(server);
+  ASSERT_EQ(phases.size(), 3u);
+  // First-appearance order, same-named children summed.
+  EXPECT_EQ(phases[0].name, "index-lookup");
+  EXPECT_DOUBLE_EQ(phases[0].elapsed_us, 15.0);
+  EXPECT_EQ(phases[1].name, "structural-join");
+  EXPECT_DOUBLE_EQ(phases[1].elapsed_us, 20.0);
+  EXPECT_EQ(phases[2].name, "predicate-batch");
+  EXPECT_GE(phases[2].elapsed_us, 0.0);
+}
+
+TEST(TraceTest, ChildPhaseTotalsOfNoParentListsTopLevelSpans) {
+  Trace trace;
+  trace.Record("server", 50.0, Trace::kNoParent);
+  trace.Record("transmit", 10.0, Trace::kNoParent);
+  const std::vector<PhaseTiming> top = trace.ChildPhaseTotals(Trace::kNoParent);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].name, "server");
+  EXPECT_EQ(top[1].name, "transmit");
+}
+
+TEST(TraceTest, RenderShowsEverySpanNameOnce) {
+  Trace trace;
+  const int server = trace.Open("server");
+  trace.Record("index-lookup", 3.0);
+  trace.Close(server);
+  const std::string text = trace.Render();
+  EXPECT_NE(text.find("server"), std::string::npos);
+  EXPECT_NE(text.find("index-lookup"), std::string::npos);
+}
+
+TEST(SpanTest, NullTraceIsANoOp) {
+  Span span(nullptr, "anything");
+  EXPECT_EQ(span.id(), Trace::kNoParent);
+  span.End();  // still a no-op
+  EXPECT_EQ(span.id(), Trace::kNoParent);
+}
+
+TEST(SpanTest, GuardOpensAndClosesOnDestruction) {
+  Trace trace;
+  int id = Trace::kNoParent;
+  {
+    Span span(&trace, "scoped");
+    id = span.id();
+    ASSERT_GE(id, 0);
+    EXPECT_FALSE(trace.spans()[id].closed);
+  }
+  EXPECT_TRUE(trace.spans()[id].closed);
+}
+
+TEST(SpanTest, EndIsIdempotentAndEarly) {
+  Trace trace;
+  Span span(&trace, "early");
+  const int id = span.id();
+  span.End();
+  EXPECT_TRUE(trace.spans()[id].closed);
+  const double elapsed = trace.spans()[id].elapsed_us;
+  SpinFor(50.0);
+  span.End();  // second End must not re-time the span
+  EXPECT_DOUBLE_EQ(trace.spans()[id].elapsed_us, elapsed);
+}
+
+TEST(SpanTest, MoveTransfersOwnership) {
+  Trace trace;
+  Span a(&trace, "moved");
+  const int id = a.id();
+  Span b(std::move(a));
+  EXPECT_EQ(a.id(), Trace::kNoParent);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.id(), id);
+  b.End();
+  EXPECT_TRUE(trace.spans()[id].closed);
+}
+
+TEST(QueryContextTest, DefaultHasNoDeadline) {
+  QueryContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.Expired());
+}
+
+TEST(QueryContextTest, WithTimeoutExpires) {
+  QueryContext ctx = QueryContext::WithTimeout(0.0005);
+  EXPECT_TRUE(ctx.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(ctx.Expired());
+}
+
+TEST(QueryContextTest, TraceOfIsNullSafe) {
+  EXPECT_EQ(TraceOf(static_cast<QueryContext*>(nullptr)), nullptr);
+  Trace trace;
+  QueryContext ctx;
+  ctx.trace = &trace;
+  EXPECT_EQ(TraceOf(&ctx), &trace);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xcrypt

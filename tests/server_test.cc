@@ -121,7 +121,7 @@ class ServerEngineTest : public ::testing::Test {
     EXPECT_TRUE(translated.ok());
     auto response = server_->Execute(*translated);
     EXPECT_TRUE(response.ok()) << response.status().ToString();
-    return std::move(*response);
+    return std::move(response->response);
   }
 
   std::unique_ptr<Client> client_;
@@ -163,7 +163,7 @@ TEST_F(ServerEngineTest, EmptyQueryRejected) {
 }
 
 TEST_F(ServerEngineTest, NaiveShipsWholeDatabase) {
-  const ServerResponse r = *server_->ExecuteNaive();
+  const ServerResponse r = server_->ExecuteNaive()->response;
   EXPECT_EQ(r.blocks.size(), client_->database().blocks.size());
   EXPECT_TRUE(r.requires_full_requery);
 }
@@ -177,8 +177,8 @@ TEST_F(ServerEngineTest, ClientDetectsMissingBlock) {
   ASSERT_TRUE(translated.ok());
   auto response = server_->Execute(*translated);
   ASSERT_TRUE(response.ok());
-  ASSERT_FALSE(response->blocks.empty());
-  ServerResponse tampered = *response;
+  ASSERT_FALSE(response->response.blocks.empty());
+  ServerResponse tampered = response->response;
   tampered.blocks.clear();
   auto answer = client_->PostProcess(*query, tampered);
   EXPECT_FALSE(answer.ok());
@@ -192,8 +192,8 @@ TEST_F(ServerEngineTest, ClientDetectsCorruptedBlock) {
   ASSERT_TRUE(translated.ok());
   auto response = server_->Execute(*translated);
   ASSERT_TRUE(response.ok());
-  ASSERT_FALSE(response->blocks.empty());
-  ServerResponse tampered = *response;
+  ASSERT_FALSE(response->response.blocks.empty());
+  ServerResponse tampered = response->response;
   for (auto& byte : tampered.blocks[0].ciphertext) byte ^= 0x5a;
   auto answer = client_->PostProcess(*query, tampered);
   // Either padding/parse rejects it, or (improbably) it decodes to
@@ -225,8 +225,8 @@ TEST(ServerConservativeTest, TopSchemeSetsFullRequeryFlag) {
   ASSERT_TRUE(response.ok());
   // Everything lives in the single whole-document block, so the predicate
   // could only be resolved conservatively.
-  EXPECT_TRUE(response->requires_full_requery);
-  EXPECT_EQ(response->blocks.size(), 1u);
+  EXPECT_TRUE(response->response.requires_full_requery);
+  EXPECT_EQ(response->response.blocks.size(), 1u);
 }
 
 }  // namespace

@@ -85,13 +85,13 @@ TEST_P(StorageTest, ServerOverLoadedBundleAnswersIdentically) {
     auto a = live.Execute(*translated);
     auto b = restored.Execute(*translated);
     ASSERT_TRUE(a.ok() && b.ok()) << text;
-    EXPECT_EQ(a->skeleton_xml, b->skeleton_xml) << text;
-    ASSERT_EQ(a->blocks.size(), b->blocks.size()) << text;
-    for (size_t i = 0; i < a->blocks.size(); ++i) {
-      EXPECT_EQ(a->blocks[i].ciphertext, b->blocks[i].ciphertext);
+    EXPECT_EQ(a->response.skeleton_xml, b->response.skeleton_xml) << text;
+    ASSERT_EQ(a->response.blocks.size(), b->response.blocks.size()) << text;
+    for (size_t i = 0; i < a->response.blocks.size(); ++i) {
+      EXPECT_EQ(a->response.blocks[i].ciphertext, b->response.blocks[i].ciphertext);
     }
     // The client can post-process the restored server's response.
-    auto answer = client_->PostProcess(*query, *b);
+    auto answer = client_->PostProcess(*query, b->response);
     ASSERT_TRUE(answer.ok()) << text;
     EXPECT_EQ(answer->SerializedSorted(),
               GroundTruth(doc_, *query).SerializedSorted())
