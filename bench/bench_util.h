@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/timer.h"
 #include "das/das_system.h"
 #include "data/healthcare.h"
 #include "data/nasa_generator.h"
@@ -52,6 +53,36 @@ inline const std::vector<SchemeKind>& AllSchemes() {
   return kSchemes;
 }
 
+/// Median of `samples` (0.0 when empty) — the robust center the stabilized
+/// measurement helpers below report, insensitive to the one trial that
+/// landed on a page fault or a scheduler hiccup.
+inline double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t mid = samples.size() / 2;
+  return samples.size() % 2 == 1 ? samples[mid]
+                                 : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+/// Standard measurement discipline for the experiment binaries: run `fn`
+/// `warmup` times untimed (so caches — including the client block cache —
+/// allocator arenas, and branch predictors settle into steady state), then
+/// time `n` repetitions and return the median in microseconds. Use this
+/// instead of ad-hoc loops so BENCH_*.json deltas between commits are
+/// attributable to code changes rather than run-to-run noise.
+template <typename Fn>
+double WarmedMedianUs(Fn&& fn, int n = 5, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Stopwatch watch;
+    fn();
+    samples.push_back(watch.ElapsedMicros());
+  }
+  return Median(std::move(samples));
+}
+
 /// Mean after dropping min and max — the paper's "average of 5 trials
 /// after dropping the maximum and minimum" (§7.1).
 inline double TrimmedMean(std::vector<double> samples) {
@@ -65,7 +96,8 @@ inline double TrimmedMean(std::vector<double> samples) {
          (samples.size() - 2);
 }
 
-/// Averaged per-phase costs of one query over `trials` runs.
+/// Per-phase costs of one query: median over `trials` timed runs taken
+/// after untimed warmup runs.
 struct AveragedCosts {
   double client_translate_us = 0.0;
   double server_process_us = 0.0;
@@ -77,7 +109,14 @@ struct AveragedCosts {
 };
 
 inline AveragedCosts RunAveraged(const DasSystem& das, const PathExpr& query,
-                                 int trials = 5) {
+                                 int trials = 5, int warmup = 1) {
+  // Untimed warmup settles the block cache and allocator so every timed
+  // trial measures the same steady state; the median then discards the
+  // residual scheduler noise (same discipline as WarmedMedianUs, but
+  // keeping the per-phase cost breakdown).
+  for (int w = 0; w < warmup; ++w) {
+    if (!das.Execute(query).ok()) break;
+  }
   std::vector<double> translate, server, wire, decrypt, post, bytes, total;
   for (int t = 0; t < trials; ++t) {
     auto run = das.Execute(query);
@@ -95,13 +134,13 @@ inline AveragedCosts RunAveraged(const DasSystem& das, const PathExpr& query,
     total.push_back(run->costs.TotalUs());
   }
   AveragedCosts out;
-  out.client_translate_us = TrimmedMean(translate);
-  out.server_process_us = TrimmedMean(server);
-  out.transmission_us = TrimmedMean(wire);
-  out.decrypt_us = TrimmedMean(decrypt);
-  out.postprocess_us = TrimmedMean(post);
-  out.bytes = TrimmedMean(bytes);
-  out.total_us = TrimmedMean(total);
+  out.client_translate_us = Median(translate);
+  out.server_process_us = Median(server);
+  out.transmission_us = Median(wire);
+  out.decrypt_us = Median(decrypt);
+  out.postprocess_us = Median(post);
+  out.bytes = Median(bytes);
+  out.total_us = Median(total);
   return out;
 }
 

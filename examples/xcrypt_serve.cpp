@@ -28,7 +28,10 @@
 #include <string>
 #include <thread>
 
+#include "common/cpu_features.h"
+#include "common/thread_pool.h"
 #include "core/client.h"
+#include "crypto/aes_kernel.h"
 #include "data/xmark_generator.h"
 #include "net/server.h"
 #include "storage/serializer.h"
@@ -101,6 +104,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.num_threads = std::atoi(v);
+      // Pin the in-process worker pool to the same size, so one flag
+      // controls both the connection handlers and the parallel
+      // decrypt/join work (overrides XCRYPT_THREADS; must run before the
+      // pool's first use or it silently keeps its earlier size).
+      ThreadPool::SetSharedThreads(options.num_threads);
     } else if (arg == "--io-timeout") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -175,6 +183,10 @@ int main(int argc, char** argv) {
               "%d workers\n",
               num_blocks, cipher_bytes, host.c_str(), (*server)->port(),
               options.num_threads);
+  std::printf("xcrypt_serve: cpu [%s], crypto kernel %s, shared pool %d "
+              "threads\n",
+              xcrypt::DescribeCpuFeatures().c_str(), AesKernel().name,
+              ThreadPool::Shared().num_threads());
   std::fflush(stdout);
 
   double since_dump_sec = 0.0;

@@ -1,0 +1,52 @@
+#include "common/cpu_features.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace xcrypt {
+
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.pclmul = (ecx >> 1) & 1;
+    f.ssse3 = (ecx >> 9) & 1;
+    f.sse41 = (ecx >> 19) & 1;
+    f.aesni = (ecx >> 25) & 1;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.sha_ni = (ebx >> 29) & 1;
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+std::string DescribeCpuFeatures() {
+  const CpuFeatures& f = GetCpuFeatures();
+  std::string out;
+  auto add = [&out](bool have, const char* name) {
+    if (!have) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  add(f.aesni, "aesni");
+  add(f.ssse3, "ssse3");
+  add(f.sse41, "sse41");
+  add(f.sha_ni, "sha_ni");
+  add(f.pclmul, "pclmul");
+  if (out.empty()) out = "(none)";
+  return out;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,30 @@
+#ifndef XCRYPT_COMMON_CPU_FEATURES_H_
+#define XCRYPT_COMMON_CPU_FEATURES_H_
+
+#include <string>
+
+namespace xcrypt {
+
+/// Instruction-set extensions relevant to the crypto kernels, detected at
+/// runtime (CPUID on x86; everything false elsewhere). The library is
+/// always compiled so the *generic* code runs on the baseline ISA; these
+/// flags only gate dispatch into TUs built with stricter -m flags.
+struct CpuFeatures {
+  bool aesni = false;   // AES-NI (aesenc/aesdec)
+  bool ssse3 = false;   // pshufb et al. (byte shuffles the kernels use)
+  bool sse41 = false;   // pblendw/pextrd (SHA-NI schedule plumbing)
+  bool sha_ni = false;  // SHA extensions (sha256rnds2)
+  bool pclmul = false;  // carry-less multiply (unused today, detected for
+                        // future GHASH work)
+};
+
+/// Cached detection result; the first call probes the hardware.
+const CpuFeatures& GetCpuFeatures();
+
+/// Human-readable summary, e.g. "aesni ssse3 sse41 sha_ni" or "(none)".
+/// Surfaced in metrics snapshots and `xcrypt_serve` startup logs.
+std::string DescribeCpuFeatures();
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_COMMON_CPU_FEATURES_H_

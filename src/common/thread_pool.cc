@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 
 namespace xcrypt {
@@ -106,9 +107,52 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   state->done_cv.wait(lock, [&state] { return state->pending == 0; });
 }
 
+namespace {
+
+std::atomic<int> g_shared_threads_override{0};
+
+int SharedPoolSize() {
+  if (const int forced = g_shared_threads_override.load(); forced > 0) {
+    return std::clamp(forced, 1, 64);
+  }
+  if (const char* env = std::getenv("XCRYPT_THREADS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return std::clamp(static_cast<int>(parsed), 1, 64);
+    }
+  }
+  return std::clamp(static_cast<int>(std::thread::hardware_concurrency()), 2,
+                    8);
+}
+
+}  // namespace
+
+bool ThreadPool::SetSharedThreads(int num_threads) {
+  if (num_threads <= 0) return false;
+  g_shared_threads_override.store(num_threads);
+  // Report whether the setting can still take effect: once Shared() has
+  // constructed the pool its size is fixed for the process lifetime.
+  return !SharedPoolConstructed().load();
+}
+
+std::atomic<bool>& ThreadPool::SharedPoolConstructed() {
+  static std::atomic<bool> constructed{false};
+  return constructed;
+}
+
+namespace {
+
+int MarkSharedConstructedAndSize() {
+  ThreadPool::SharedPoolConstructed().store(true);
+  return SharedPoolSize();
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool pool(std::clamp(
-      static_cast<int>(std::thread::hardware_concurrency()), 2, 8));
+  static ThreadPool pool(MarkSharedConstructedAndSize());
   return pool;
 }
 

@@ -1,6 +1,7 @@
 #ifndef XCRYPT_COMMON_THREAD_POOL_H_
 #define XCRYPT_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -43,8 +44,21 @@ class ThreadPool {
   /// by index stay deterministic regardless of execution order.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
-  /// Process-wide shared pool sized to the hardware (clamped to [2, 8]).
+  /// Process-wide shared pool. Sized, in order of precedence, by
+  /// SetSharedThreads(), the XCRYPT_THREADS environment variable, or the
+  /// hardware (clamped to [2, 8]). The size is fixed once the pool is
+  /// first used.
   static ThreadPool& Shared();
+
+  /// Pins the Shared() pool size (clamped to [1, 64]); benches and
+  /// `xcrypt_serve --threads` use this. Takes precedence over
+  /// XCRYPT_THREADS. Returns true if the setting will take effect, false
+  /// if Shared() was already constructed (or num_threads is invalid) —
+  /// callers wanting a guaranteed size must set it before first use.
+  static bool SetSharedThreads(int num_threads);
+
+  /// Whether Shared() has been constructed (its size is then immutable).
+  static std::atomic<bool>& SharedPoolConstructed();
 
  private:
   void WorkerLoop();

@@ -27,7 +27,8 @@ const char* AggregateKindName(AggregateKind kind) {
 
 Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
     const TranslatedQuery& query, AggregateKind kind,
-    const std::string& index_token, obs::QueryContext* ctx) const {
+    const std::string& index_token, obs::QueryContext* ctx,
+    const std::vector<BlockAdvert>* cached_blocks) const {
   if (query.steps.empty()) {
     return Status::InvalidArgument("empty aggregate query");
   }
@@ -119,7 +120,7 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
     {
       obs::Span assemble(trace, "assemble");
       response.payload = AssembleResponse(targets, /*requires_full_requery=*/
-                                          conservative);
+                                          conservative, cached_blocks);
     }
     return finish(std::move(response));
   }
@@ -174,7 +175,8 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
     {
       obs::Span assemble(trace, "assemble");
       response.payload =
-          AssembleResponse({*rep}, /*requires_full_requery=*/false);
+          AssembleResponse({*rep}, /*requires_full_requery=*/false,
+                           cached_blocks);
     }
     return finish(std::move(response));
   }
@@ -192,7 +194,7 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
   }
   {
     obs::Span assemble(trace, "assemble");
-    response.payload = AssembleResponse(ship, conservative);
+    response.payload = AssembleResponse(ship, conservative, cached_blocks);
   }
   return finish(std::move(response));
 }

@@ -1,0 +1,108 @@
+#include "core/block_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace xcrypt {
+
+BlockCache::BlockCache(int64_t max_bytes, obs::MetricsRegistry* metrics)
+    : max_bytes_(std::max<int64_t>(0, max_bytes)),
+      hits_((metrics != nullptr ? metrics : &obs::MetricsRegistry::Global())
+                ->GetCounter("cache.hit")),
+      misses_((metrics != nullptr ? metrics : &obs::MetricsRegistry::Global())
+                  ->GetCounter("cache.miss")),
+      bytes_saved_(
+          (metrics != nullptr ? metrics : &obs::MetricsRegistry::Global())
+              ->GetCounter("cache.bytes_saved")) {}
+
+std::shared_ptr<const Document> BlockCache::Get(int id,
+                                                uint32_t generation) const {
+  std::shared_lock lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || it->second.generation != generation) {
+    return nullptr;
+  }
+  it->second.last_used.store(clock_.fetch_add(1) + 1,
+                             std::memory_order_relaxed);
+  return it->second.doc;
+}
+
+void BlockCache::Put(int id, uint32_t generation,
+                     std::shared_ptr<const Document> doc,
+                     int64_t cost_bytes) {
+  if (doc == nullptr || cost_bytes < 0 || cost_bytes > max_bytes_) return;
+  std::unique_lock lock(mu_);
+  if (const auto it = entries_.find(id); it != entries_.end()) {
+    size_bytes_ -= it->second.cost_bytes;
+    entries_.erase(it);
+  }
+  EvictForLocked(cost_bytes);
+  Entry& e = entries_[id];
+  e.generation = generation;
+  e.doc = std::move(doc);
+  e.cost_bytes = cost_bytes;
+  e.last_used.store(clock_.fetch_add(1) + 1, std::memory_order_relaxed);
+  size_bytes_ += cost_bytes;
+}
+
+void BlockCache::Erase(int id) {
+  std::unique_lock lock(mu_);
+  if (const auto it = entries_.find(id); it != entries_.end()) {
+    size_bytes_ -= it->second.cost_bytes;
+    entries_.erase(it);
+  }
+}
+
+void BlockCache::Clear() {
+  std::unique_lock lock(mu_);
+  entries_.clear();
+  size_bytes_ = 0;
+}
+
+CachedBlockSet BlockCache::Advertise() const {
+  CachedBlockSet set;
+  std::shared_lock lock(mu_);
+  set.adverts.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    set.adverts.push_back({id, entry.generation});
+    set.pinned.emplace(id,
+                       CachedBlockSet::Pinned{entry.doc, entry.cost_bytes});
+  }
+  return set;
+}
+
+void BlockCache::RecordHit(int64_t bytes_saved) const {
+  hits_->Add(1);
+  if (bytes_saved > 0) bytes_saved_->Add(bytes_saved);
+}
+
+void BlockCache::RecordMiss() const { misses_->Add(1); }
+
+int64_t BlockCache::size_bytes() const {
+  std::shared_lock lock(mu_);
+  return size_bytes_;
+}
+
+size_t BlockCache::entry_count() const {
+  std::shared_lock lock(mu_);
+  return entries_.size();
+}
+
+void BlockCache::EvictForLocked(int64_t need) {
+  while (size_bytes_ + need > max_bytes_ && !entries_.empty()) {
+    auto victim = entries_.begin();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      const uint64_t used = it->second.last_used.load(
+          std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = it;
+      }
+    }
+    size_bytes_ -= victim->second.cost_bytes;
+    entries_.erase(victim);
+  }
+}
+
+}  // namespace xcrypt

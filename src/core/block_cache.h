@@ -1,0 +1,119 @@
+#ifndef XCRYPT_CORE_BLOCK_CACHE_H_
+#define XCRYPT_CORE_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/encryptor.h"
+#include "obs/metrics.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// The decrypted payloads of every block a cache advertisement resolved,
+/// pinned by shared ownership: entries stay alive from the moment the
+/// query advertised them until post-processing spliced them, even if a
+/// concurrent query evicts them from the cache in between.
+struct CachedBlockSet {
+  struct Pinned {
+    std::shared_ptr<const Document> doc;
+    /// Ciphertext size the server would have shipped — the bytes a stub
+    /// saves, credited to cache.bytes_saved when the hit lands.
+    int64_t ciphertext_bytes = 0;
+  };
+  std::vector<BlockAdvert> adverts;
+  std::map<int, Pinned> pinned;
+
+  bool empty() const { return adverts.empty(); }
+};
+
+/// Bounded LRU cache of decrypted encryption blocks, keyed by
+/// (block id, generation). This is the client-side half of the wire-v3
+/// cache protocol: warm queries advertise their (id, generation) set, the
+/// server stubs out matching blocks, and the client splices from here
+/// instead of re-shipping and re-decrypting.
+///
+/// Thread-safe for concurrent queries: lookups take a shared lock and
+/// refresh recency through an atomic stamp; inserts, erases, and evictions
+/// take the exclusive lock. Recency is therefore approximate under
+/// contention (two concurrent hits may stamp in either order), which only
+/// ever changes *which* entry is evicted, never correctness — payloads
+/// handed out are shared_ptr-pinned.
+///
+/// Capacity is accounted in ciphertext bytes of the cached blocks (the
+/// wire bytes a hit saves, and a stable proxy for the decoded payload
+/// size). A single block larger than the whole budget is never admitted.
+class BlockCache {
+ public:
+  /// `max_bytes` bounds the summed ciphertext size of resident entries;
+  /// `metrics` (defaults to the process-global registry) receives the
+  /// cache.hit / cache.miss / cache.bytes_saved counters.
+  explicit BlockCache(int64_t max_bytes,
+                      obs::MetricsRegistry* metrics = nullptr);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// The payload of block `id` iff cached at exactly `generation`;
+  /// nullptr otherwise. Refreshes LRU recency.
+  std::shared_ptr<const Document> Get(int id, uint32_t generation) const;
+
+  /// Inserts (or replaces) block `id`'s payload. `cost_bytes` is the
+  /// block's ciphertext size; entries are evicted LRU-first until the
+  /// budget holds. Oversized payloads are ignored.
+  void Put(int id, uint32_t generation, std::shared_ptr<const Document> doc,
+           int64_t cost_bytes);
+
+  /// Drops block `id` (any generation). Called on value updates.
+  void Erase(int id);
+
+  /// Drops everything. Called on re-host (all generations restart at 0).
+  void Clear();
+
+  /// Snapshot of every resident (id, generation) pair with the payloads
+  /// pinned — the advertisement attached to an outgoing query. Pinning
+  /// here (not at splice time) closes the advertise -> evict -> splice
+  /// race: the server may stub any advertised block, so every advertised
+  /// payload must remain reachable until post-processing.
+  CachedBlockSet Advertise() const;
+
+  /// Counter hooks for the client's post-processing: how many stubbed
+  /// blocks resolved from the cache / how many blocks shipped anyway.
+  void RecordHit(int64_t bytes_saved) const;
+  void RecordMiss() const;
+
+  int64_t size_bytes() const;
+  size_t entry_count() const;
+  int64_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    uint32_t generation = 0;
+    std::shared_ptr<const Document> doc;
+    int64_t cost_bytes = 0;
+    /// Monotone recency stamp; mutable under the shared lock via atomics.
+    mutable std::atomic<uint64_t> last_used{0};
+  };
+
+  /// Evicts LRU entries until `need` more bytes fit. Requires mu_ held
+  /// exclusively.
+  void EvictForLocked(int64_t need);
+
+  const int64_t max_bytes_;
+  obs::Counter* const hits_;
+  obs::Counter* const misses_;
+  obs::Counter* const bytes_saved_;
+
+  mutable std::shared_mutex mu_;
+  mutable std::atomic<uint64_t> clock_{0};
+  std::map<int, Entry> entries_;
+  int64_t size_bytes_ = 0;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_BLOCK_CACHE_H_

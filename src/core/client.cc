@@ -8,6 +8,8 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "crypto/aes_kernel.h"
+#include "obs/metrics.h"
 #include "xml/stats.h"
 #include "xml/parser.h"
 #include "xpath/evaluator.h"
@@ -79,20 +81,24 @@ PathExpr StripNonFinalPredicates(const PathExpr& query) {
   return out;
 }
 
+/// id -> decrypted payload, shared-ownership so cache-resident documents
+/// splice without copying.
+using DecryptedMap = std::map<int, std::shared_ptr<const Document>>;
+
 /// Decrypts every shipped block, fanning out over the shared thread pool
 /// when more than one block arrived. Each worker writes only its own slot,
 /// and the id -> document map is assembled serially in shipping order, so
 /// the result (including which error wins on failure) is identical to the
 /// sequential loop.
-Result<std::map<int, Document>> DecryptBlocks(
-    const std::vector<EncryptedBlock>& blocks, const KeyChain& keys) {
+Result<DecryptedMap> DecryptBlocks(const std::vector<EncryptedBlock>& blocks,
+                                   const KeyChain& keys) {
   const size_t n = blocks.size();
-  std::vector<Document> payloads(n);
+  std::vector<std::shared_ptr<const Document>> payloads(n);
   std::vector<Status> statuses(n, Status::Ok());
   auto decrypt_one = [&](int i) {
     auto payload = DecryptBlock(blocks[i], keys);
     if (payload.ok()) {
-      payloads[i] = std::move(*payload);
+      payloads[i] = std::make_shared<Document>(std::move(*payload));
     } else {
       statuses[i] = payload.status();
     }
@@ -102,8 +108,14 @@ Result<std::map<int, Document>> DecryptBlocks(
   } else if (n == 1) {
     decrypt_one(0);
   }
+  if (n > 0) {
+    // Surface which kernel carried the decryption in metrics snapshots.
+    obs::MetricsRegistry::Global()
+        .GetCounter(std::string("crypto.kernel.") + AesKernel().name)
+        ->Add(static_cast<int64_t>(n));
+  }
 
-  std::map<int, Document> decrypted;
+  DecryptedMap decrypted;
   for (size_t i = 0; i < n; ++i) {
     if (!statuses[i].ok()) return statuses[i];
     decrypted.emplace(blocks[i].id, std::move(payloads[i]));
@@ -114,8 +126,7 @@ Result<std::map<int, Document>> DecryptBlocks(
 /// Copies `src_root`'s subtree under `dst_parent`, replacing `_encblock`
 /// markers by the decrypted block content.
 Status SpliceNode(const Document& src, NodeId src_root, Document* dst,
-                  NodeId dst_parent,
-                  const std::map<int, Document>& decrypted) {
+                  NodeId dst_parent, const DecryptedMap& decrypted) {
   const Node& n = src.node(src_root);
   if (n.tag == kBlockMarkerTag) {
     int block_id = -1;
@@ -136,7 +147,7 @@ Status SpliceNode(const Document& src, NodeId src_root, Document* dst,
                                 std::to_string(block_id) +
                                 " that was not shipped");
     }
-    dst->GraftSubtree(it->second, it->second.root(), dst_parent);
+    dst->GraftSubtree(*it->second, it->second->root(), dst_parent);
     return Status::Ok();
   }
   NodeId dst_id = (dst_parent == kNullNode) ? dst->AddRoot(n.tag)
@@ -154,7 +165,8 @@ Status SpliceNode(const Document& src, NodeId src_root, Document* dst,
 Result<QueryAnswer> Client::PostProcess(const PathExpr& original_query,
                                         const ServerResponse& response,
                                         double* decrypt_micros,
-                                        obs::Trace* trace) const {
+                                        obs::Trace* trace,
+                                        const CachedBlockSet* cache_set) const {
   QueryAnswer answer;
   if (decrypt_micros != nullptr) *decrypt_micros = 0.0;
   if (response.skeleton_xml.empty()) return answer;
@@ -170,6 +182,29 @@ Result<QueryAnswer> Client::PostProcess(const PathExpr& original_query,
   if (!decrypted.ok()) return decrypted.status();
   if (decrypt_micros != nullptr) {
     *decrypt_micros = decrypt_watch.ElapsedMicros();
+  }
+
+  // Warm the cache with what just shipped (each shipped block was a miss),
+  // then resolve the server's id-only stubs from the pinned advertisement.
+  if (cache_ != nullptr) {
+    for (const EncryptedBlock& b : response.blocks) {
+      cache_->RecordMiss();
+      cache_->Put(b.id, b.generation, decrypted->at(b.id),
+                  b.CiphertextBytes());
+    }
+  }
+  for (const int id : response.cached_ids) {
+    if (cache_set == nullptr) {
+      return Status::Corruption(
+          "server sent cache stubs but no advertisement was attached");
+    }
+    const auto it = cache_set->pinned.find(id);
+    if (it == cache_set->pinned.end()) {
+      return Status::Corruption("server stubbed block " + std::to_string(id) +
+                                " that this query did not advertise");
+    }
+    decrypted->emplace(id, it->second.doc);
+    if (cache_ != nullptr) cache_->RecordHit(it->second.ciphertext_bytes);
   }
 
   // Splice blocks into the pruned skeleton and strip decoys.
@@ -262,7 +297,20 @@ Status Client::Rehost() {
   auto meta = BuildMetadata(original_, enc_, *keys_);
   if (!meta.ok()) return meta.status();
   meta_ = std::move(*meta);
+  // Re-hosting reassigns block ids and restarts generations at 0, so no
+  // cached entry can be trusted to match its id any more.
+  if (cache_ != nullptr) cache_->Clear();
   return Status::Ok();
+}
+
+void Client::EnableBlockCache(int64_t max_bytes) {
+  cache_ = max_bytes > 0 ? std::make_unique<BlockCache>(max_bytes) : nullptr;
+}
+
+CachedBlockSet Client::AdvertiseCachedBlocks(obs::Trace* trace) const {
+  obs::Span probe(trace, "cache-probe");
+  if (cache_ == nullptr) return CachedBlockSet();
+  return cache_->Advertise();
 }
 
 Status Client::ReencryptBlock(int block_id) {
@@ -286,6 +334,11 @@ Status Client::ReencryptBlock(int block_id) {
       ToBytes(plain), "block:" + std::to_string(block_id) + ":u" +
                           std::to_string(update_epoch_));
   block.plaintext_bytes = static_cast<int64_t>(plain.size());
+  // Invalidate every outstanding cached copy: bump the generation (so a
+  // stale advertisement never matches on the server) and drop our own
+  // entry.
+  block.generation += 1;
+  if (cache_ != nullptr) cache_->Erase(block_id);
   return Status::Ok();
 }
 
@@ -398,7 +451,8 @@ Result<std::string> Client::AggregateIndexToken(const PathExpr& path) const {
 
 Result<AggregateAnswer> Client::FinishAggregate(
     const PathExpr& path, const AggregateResponse& response,
-    double* decrypt_micros, obs::Trace* trace) const {
+    double* decrypt_micros, obs::Trace* trace,
+    const CachedBlockSet* cache_set) const {
   if (decrypt_micros != nullptr) *decrypt_micros = 0.0;
   if (response.computed_on_server) {
     AggregateAnswer answer;
@@ -409,7 +463,8 @@ Result<AggregateAnswer> Client::FinishAggregate(
     answer.count = static_cast<int64_t>(answer.numeric);
     return answer;
   }
-  auto nodes = PostProcess(path, response.payload, decrypt_micros, trace);
+  auto nodes =
+      PostProcess(path, response.payload, decrypt_micros, trace, cache_set);
   if (!nodes.ok()) return nodes.status();
   std::vector<std::string> values;
   values.reserve(nodes->nodes.size());

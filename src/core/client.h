@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "core/aggregate.h"
+#include "core/block_cache.h"
 #include "core/encryption_scheme.h"
 #include "core/encryptor.h"
 #include "core/metadata.h"
@@ -87,10 +88,17 @@ class Client {
   /// `decrypt_micros`, when given, receives the wall-clock spent in block
   /// decryption (reported separately from post-processing in §7.2). A
   /// trace, when given, gets "decrypt", "splice", and "postprocess" spans.
+  /// `cache_set`, when given, resolves the response's id-only stubs
+  /// (cached_ids) from the pinned payloads of the advertisement that
+  /// accompanied the query; a stub with no pinned payload is a protocol
+  /// error. Freshly decrypted blocks are inserted into the block cache
+  /// when one is enabled.
   Result<QueryAnswer> PostProcess(const PathExpr& original_query,
                                   const ServerResponse& response,
                                   double* decrypt_micros = nullptr,
-                                  obs::Trace* trace = nullptr) const;
+                                  obs::Trace* trace = nullptr,
+                                  const CachedBlockSet* cache_set =
+                                      nullptr) const;
 
   /// Value-index token for the query's output tag, or "" when the target
   /// values are public. Fails when the target is encrypted but carries no
@@ -102,7 +110,24 @@ class Client {
   Result<AggregateAnswer> FinishAggregate(const PathExpr& path,
                                           const AggregateResponse& response,
                                           double* decrypt_micros = nullptr,
-                                          obs::Trace* trace = nullptr) const;
+                                          obs::Trace* trace = nullptr,
+                                          const CachedBlockSet* cache_set =
+                                              nullptr) const;
+
+  // --- Block cache (wire v3) -------------------------------------------
+
+  /// Enables (or resizes) the bounded LRU cache of decrypted blocks;
+  /// 0 disables it. Resizing drops current contents.
+  void EnableBlockCache(int64_t max_bytes);
+
+  /// The cache, or nullptr when disabled.
+  const BlockCache* block_cache() const { return cache_.get(); }
+
+  /// Snapshot of the cached (id, generation) set with payloads pinned —
+  /// attach `adverts` to the outgoing query and hand the whole set back to
+  /// PostProcess. Returns an empty set when the cache is disabled. The
+  /// trace, when given, gets a "cache-probe" span.
+  CachedBlockSet AdvertiseCachedBlocks(obs::Trace* trace = nullptr) const;
 
   // --- Updates (the paper's future-work item (3)) -----------------------
   //
@@ -143,6 +168,10 @@ class Client {
   EncryptionResult enc_;
   HostedMetadata meta_;
   std::unique_ptr<KeyChain> keys_;
+  /// Decrypted-block cache (wire v3); nullptr when disabled. Mutable: the
+  /// const query path (PostProcess) warms it, and the cache is internally
+  /// synchronized.
+  mutable std::unique_ptr<BlockCache> cache_;
   double encrypt_micros_ = 0.0;
   double metadata_micros_ = 0.0;
   int update_epoch_ = 0;

@@ -29,10 +29,25 @@ struct EncryptedBlock {
   /// Plaintext byte size before encryption (client-side knowledge, used by
   /// the experiment reports; never shipped to the server).
   int64_t plaintext_bytes = 0;
+  /// Bumped every time the block is re-encrypted (value updates). The
+  /// client block cache keys entries by (id, generation), and the server
+  /// only stubs out an advertised block when the generations match — a
+  /// stale advertisement fails the comparison and the fresh payload ships,
+  /// so cache coherence never depends on the client hearing about an
+  /// update.
+  uint32_t generation = 0;
 
   int64_t CiphertextBytes() const {
     return static_cast<int64_t>(ciphertext.size());
   }
+};
+
+/// A client's claim, attached to a query, that it holds the decrypted
+/// payload of block `id` at `generation` — inviting the server to omit
+/// that block's ciphertext from the response (wire v3).
+struct BlockAdvert {
+  int id = 0;
+  uint32_t generation = 0;
 };
 
 /// The encrypted database as hosted by the server: the plaintext skeleton

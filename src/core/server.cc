@@ -14,6 +14,7 @@ namespace xcrypt {
 int64_t ServerResponse::TotalBytes() const {
   int64_t total = static_cast<int64_t>(skeleton_xml.size());
   for (const EncryptedBlock& b : blocks) total += b.CiphertextBytes();
+  total += static_cast<int64_t>(cached_ids.size()) * 4;  // id-only stubs
   return total;
 }
 
@@ -260,7 +261,8 @@ bool ServerEngine::PredicateKindHolds(const Interval& candidate,
 }
 
 Result<EngineQueryResult> ServerEngine::Execute(
-    const TranslatedQuery& query, obs::QueryContext* ctx) const {
+    const TranslatedQuery& query, obs::QueryContext* ctx,
+    const std::vector<BlockAdvert>* cached_blocks) const {
   if (query.steps.empty()) {
     return Status::InvalidArgument("empty translated query");
   }
@@ -293,7 +295,7 @@ Result<EngineQueryResult> ServerEngine::Execute(
       ship_roots = std::move(prev);
     }
     obs::Span assemble(trace, "assemble");
-    out.response = AssembleResponse(ship_roots, conservative);
+    out.response = AssembleResponse(ship_roots, conservative, cached_blocks);
   }
   server_span.End();
   out.stats.server_process_us = watch.ElapsedMicros();
@@ -304,8 +306,8 @@ Result<EngineQueryResult> ServerEngine::Execute(
 }
 
 ServerResponse ServerEngine::AssembleResponse(
-    const std::vector<Interval>& ship_roots,
-    bool requires_full_requery) const {
+    const std::vector<Interval>& ship_roots, bool requires_full_requery,
+    const std::vector<BlockAdvert>* cached_blocks) const {
   const Document& skeleton = db_->skeleton;
   std::vector<bool> include(skeleton.node_count(), false);
   std::vector<bool> ship_block(db_->blocks.size(), false);
@@ -381,11 +383,27 @@ ServerResponse ServerEngine::AssembleResponse(
     }
   }
 
+  // Advertised (id, generation) pairs, indexed for the stub decision. Only
+  // an exact generation match may be stubbed: a stale advertisement means
+  // the client's copy predates a re-encryption, so the payload ships.
+  std::map<int, uint32_t> advertised;
+  if (cached_blocks != nullptr) {
+    for (const BlockAdvert& a : *cached_blocks) {
+      advertised.emplace(a.id, a.generation);
+    }
+  }
+
   ServerResponse response;
   response.requires_full_requery = requires_full_requery;
   response.skeleton_xml = SerializeXml(pruned, pruned.root(), 0);
   for (size_t i = 0; i < ship_block.size(); ++i) {
-    if (ship_block[i]) response.blocks.push_back(db_->blocks[i]);
+    if (!ship_block[i]) continue;
+    const auto it = advertised.find(static_cast<int>(i));
+    if (it != advertised.end() && it->second == db_->blocks[i].generation) {
+      response.cached_ids.push_back(static_cast<int>(i));
+    } else {
+      response.blocks.push_back(db_->blocks[i]);
+    }
   }
   return response;
 }

@@ -26,13 +26,18 @@ struct ServerResponse {
   std::string skeleton_xml;
   /// Blocks referenced by markers inside skeleton_xml, shipped alongside.
   std::vector<EncryptedBlock> blocks;
+  /// Blocks referenced by markers but NOT shipped: the query advertised a
+  /// cached copy at the block's current generation, so the server sent an
+  /// id-only stub and the client splices from its block cache (wire v3).
+  std::vector<int> cached_ids;
   /// True when some predicate could only be checked conservatively (the
   /// context node lies strictly inside an encryption block), so the client
   /// must re-apply the full original query after decryption. Otherwise the
   /// client only needs to re-verify the output step's predicates.
   bool requires_full_requery = false;
 
-  /// Bytes on the wire: pruned skeleton plus ciphertext.
+  /// Bytes on the wire: pruned skeleton plus ciphertext, plus 4 bytes per
+  /// id-only stub.
   int64_t TotalBytes() const;
 };
 
@@ -110,9 +115,14 @@ class QueryEngine {
  public:
   virtual ~QueryEngine() = default;
 
+  /// `cached_blocks`, when non-null, advertises blocks the client holds
+  /// decrypted (id + generation, wire v3); the engine may answer with
+  /// id-only stubs for advertised blocks whose generation still matches,
+  /// and must ship the payload whenever it does not (stale caches degrade
+  /// to extra bytes, never to wrong answers).
   virtual Result<EngineQueryResult> Execute(
-      const TranslatedQuery& query, obs::QueryContext* ctx = nullptr)
-      const = 0;
+      const TranslatedQuery& query, obs::QueryContext* ctx = nullptr,
+      const std::vector<BlockAdvert>* cached_blocks = nullptr) const = 0;
 
   /// The naive method of §7.3: ship the whole database (skeleton + all
   /// blocks); the client decrypts everything and evaluates locally.
@@ -123,8 +133,8 @@ class QueryEngine {
   /// query's target tag (empty when the target is public).
   virtual Result<EngineAggregateResult> ExecuteAggregate(
       const TranslatedQuery& query, AggregateKind kind,
-      const std::string& index_token, obs::QueryContext* ctx = nullptr)
-      const = 0;
+      const std::string& index_token, obs::QueryContext* ctx = nullptr,
+      const std::vector<BlockAdvert>* cached_blocks = nullptr) const = 0;
 };
 
 /// The untrusted server's query executor (§6.2). It sees only the
@@ -147,17 +157,17 @@ class ServerEngine : public QueryEngine {
   /// With a traced context, the internal phases (index-lookup,
   /// structural-join, predicate-batch, assemble) are spanned under one
   /// "server" span and summarized into the returned stats.
-  Result<EngineQueryResult> Execute(const TranslatedQuery& query,
-                                    obs::QueryContext* ctx = nullptr)
-      const override;
+  Result<EngineQueryResult> Execute(
+      const TranslatedQuery& query, obs::QueryContext* ctx = nullptr,
+      const std::vector<BlockAdvert>* cached_blocks = nullptr) const override;
 
   Result<EngineQueryResult> ExecuteNaive(obs::QueryContext* ctx = nullptr)
       const override;
 
   Result<EngineAggregateResult> ExecuteAggregate(
       const TranslatedQuery& query, AggregateKind kind,
-      const std::string& index_token, obs::QueryContext* ctx = nullptr)
-      const override;
+      const std::string& index_token, obs::QueryContext* ctx = nullptr,
+      const std::vector<BlockAdvert>* cached_blocks = nullptr) const override;
 
  private:
   /// Forward pass: interval list per step (cumulative filtering). The
@@ -187,9 +197,11 @@ class ServerEngine : public QueryEngine {
                           bool* conservative) const;
 
   /// Builds the pruned-skeleton response for the subtrees rooted at the
-  /// given intervals.
-  ServerResponse AssembleResponse(const std::vector<Interval>& ship_roots,
-                                  bool requires_full_requery) const;
+  /// given intervals. Blocks whose (id, generation) appears in
+  /// `cached_blocks` (nullable) become id-only stubs in cached_ids.
+  ServerResponse AssembleResponse(
+      const std::vector<Interval>& ship_roots, bool requires_full_requery,
+      const std::vector<BlockAdvert>* cached_blocks) const;
 
   /// All DSI intervals, computed once (used by every child-axis join).
   const std::vector<Interval>& Universe() const;

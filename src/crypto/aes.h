@@ -9,9 +9,13 @@
 
 namespace xcrypt {
 
+struct CryptoKernel;
+
 /// AES-128 block cipher (FIPS 197), implemented from scratch. This is the
 /// symmetric cipher used to encrypt the paper's "encryption blocks"
-/// (serialized element subtrees, §4.1).
+/// (serialized element subtrees, §4.1). Single-block operations always use
+/// the portable scalar path; bulk CBC traffic goes through the dispatched
+/// kernel (crypto/aes_kernel.h) instead.
 class Aes128 {
  public:
   static constexpr size_t kBlockSize = 16;
@@ -26,6 +30,9 @@ class Aes128 {
 
   /// Decrypts one 16-byte block in place.
   void DecryptBlock(uint8_t block[kBlockSize]) const;
+
+  /// The expanded 176-byte key schedule every CryptoKernel consumes.
+  const uint8_t* round_keys() const { return round_keys_.data(); }
 
  private:
   Aes128() = default;
@@ -56,12 +63,18 @@ class CbcCipher {
   /// Ciphertext size (including IV) for a plaintext of `plain_len` bytes.
   static size_t CiphertextSize(size_t plain_len);
 
+  /// Pins this cipher to a specific kernel instead of the dispatched
+  /// AesKernel(). For the differential tests and benches; nullptr restores
+  /// dispatch.
+  void UseKernelForTesting(const CryptoKernel* kernel) { kernel_ = kernel; }
+
  private:
   CbcCipher(Aes128 aes, Bytes iv_key)
       : aes_(std::move(aes)), iv_key_(std::move(iv_key)) {}
 
   Aes128 aes_;
   Bytes iv_key_;
+  const CryptoKernel* kernel_ = nullptr;
 };
 
 }  // namespace xcrypt

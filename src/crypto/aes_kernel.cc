@@ -1,0 +1,99 @@
+#include "crypto/aes_kernel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace xcrypt {
+
+namespace {
+
+void ScalarCbcEncrypt(const uint8_t round_keys[176], const uint8_t iv[16],
+                      const uint8_t* in, uint8_t* out, size_t nblocks) {
+  const uint8_t* prev = iv;
+  for (size_t b = 0; b < nblocks; ++b) {
+    uint8_t* block = out + 16 * b;
+    for (size_t i = 0; i < 16; ++i) block[i] = in[16 * b + i] ^ prev[i];
+    internal::AesEncryptBlockScalar(round_keys, block);
+    prev = block;
+  }
+}
+
+void ScalarCbcDecrypt(const uint8_t round_keys[176], const uint8_t iv[16],
+                      const uint8_t* in, uint8_t* out, size_t nblocks) {
+  const uint8_t* prev = iv;
+  for (size_t b = 0; b < nblocks; ++b) {
+    uint8_t* block = out + 16 * b;
+    std::memcpy(block, in + 16 * b, 16);
+    internal::AesDecryptBlockScalar(round_keys, block);
+    for (size_t i = 0; i < 16; ++i) block[i] ^= prev[i];
+    prev = in + 16 * b;
+  }
+}
+
+constexpr CryptoKernel kScalarKernel = {
+    "scalar",
+    &ScalarCbcEncrypt,
+    &ScalarCbcDecrypt,
+    &internal::Sha256BlocksScalar,
+};
+
+const CryptoKernel* LookupKernel(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return &kScalarKernel;
+  if (std::strcmp(name, "aesni") == 0) return internal::AesNiKernelOrNull();
+  return nullptr;
+}
+
+/// Automatic choice: the fastest kernel this CPU supports, honouring the
+/// XCRYPT_CRYPTO_KERNEL override. Unknown or unsupported override values
+/// fall back to the hardware pick (an unavailable "aesni" request on a
+/// scalar-only host must not break the binary).
+const CryptoKernel* AutoSelect() {
+  if (const char* env = std::getenv("XCRYPT_CRYPTO_KERNEL");
+      env != nullptr && *env != '\0') {
+    if (const CryptoKernel* forced = LookupKernel(env)) return forced;
+  }
+  if (const CryptoKernel* ni = internal::AesNiKernelOrNull()) return ni;
+  return &kScalarKernel;
+}
+
+std::atomic<const CryptoKernel*>& SelectedKernel() {
+  static std::atomic<const CryptoKernel*> selected{nullptr};
+  return selected;
+}
+
+}  // namespace
+
+const CryptoKernel& ScalarCryptoKernel() { return kScalarKernel; }
+
+const CryptoKernel& AesKernel() {
+  const CryptoKernel* k = SelectedKernel().load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = AutoSelect();
+    // Benign race: AutoSelect is deterministic, so concurrent first calls
+    // store the same pointer.
+    SelectedKernel().store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+std::vector<const CryptoKernel*> AvailableCryptoKernels() {
+  std::vector<const CryptoKernel*> kernels{&kScalarKernel};
+  if (const CryptoKernel* ni = internal::AesNiKernelOrNull()) {
+    kernels.push_back(ni);
+  }
+  return kernels;
+}
+
+bool SetCryptoKernel(const std::string& name) {
+  if (name.empty()) {
+    SelectedKernel().store(nullptr, std::memory_order_release);
+    return true;
+  }
+  const CryptoKernel* k = LookupKernel(name.c_str());
+  if (k == nullptr) return false;
+  SelectedKernel().store(k, std::memory_order_release);
+  return true;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,82 @@
+#ifndef XCRYPT_CRYPTO_AES_KERNEL_H_
+#define XCRYPT_CRYPTO_AES_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xcrypt {
+
+/// One implementation of the bulk crypto primitives on the client critical
+/// path. All kernels operate on the same expanded AES-128 key schedule
+/// (176 bytes = 11 round keys) and the same SHA-256 state layout, so they
+/// are interchangeable and byte-identical by construction; the tests
+/// enforce this against NIST vectors and a randomized differential suite.
+///
+/// CBC is split at the mode level rather than the block level because the
+/// two directions parallelize differently: encryption is a strict chain
+/// (each block's input depends on the previous output), while decryption
+/// is embarrassingly parallel across blocks — the AES-NI kernel pipelines
+/// 8 blocks through the aesdec units at once.
+struct CryptoKernel {
+  const char* name;
+
+  /// CBC-encrypts `nblocks` 16-byte blocks: out[i] = E(in[i] ^ out[i-1])
+  /// with out[-1] = iv. `in` and `out` must not alias.
+  void (*cbc_encrypt)(const uint8_t round_keys[176], const uint8_t iv[16],
+                      const uint8_t* in, uint8_t* out, size_t nblocks);
+
+  /// CBC-decrypts `nblocks` 16-byte blocks: out[i] = D(in[i]) ^ in[i-1]
+  /// with in[-1] = iv. `in` and `out` must not alias.
+  void (*cbc_decrypt)(const uint8_t round_keys[176], const uint8_t iv[16],
+                      const uint8_t* in, uint8_t* out, size_t nblocks);
+
+  /// Runs the SHA-256 compression function over `nblocks` 64-byte blocks.
+  void (*sha256_blocks)(uint32_t state[8], const uint8_t* data,
+                        size_t nblocks);
+};
+
+/// The portable scalar reference (the pre-dispatch implementation, verbatim).
+/// Always available; the differential tests compare every other kernel to it.
+const CryptoKernel& ScalarCryptoKernel();
+
+/// The kernel every bulk operation routes through, selected once on first
+/// use: the fastest kernel the CPU supports (see common/cpu_features.h),
+/// unless overridden by the XCRYPT_CRYPTO_KERNEL environment variable
+/// ("scalar" or "aesni") or SetCryptoKernel(). Requesting an unavailable
+/// kernel falls back to scalar, so binaries built with the AES-NI TU still
+/// run unmodified on hosts without AES-NI.
+const CryptoKernel& AesKernel();
+
+/// Every kernel usable on this host (scalar first). Benches and the
+/// differential tests iterate this.
+std::vector<const CryptoKernel*> AvailableCryptoKernels();
+
+/// Forces kernel selection by name ("scalar", "aesni"; "" restores
+/// automatic selection). Returns false — leaving the selection unchanged —
+/// if the named kernel is unknown or unsupported on this host. Intended
+/// for tests and benches; not thread-safe against in-flight bulk calls
+/// that already loaded the pointer (they finish on the old kernel, which
+/// is harmless since all kernels agree).
+bool SetCryptoKernel(const std::string& name);
+
+namespace internal {
+
+// Scalar primitives shared between the Aes128/Sha256 classes and the
+// scalar kernel (defined in aes.cc / sha256.cc).
+void AesExpandKey128(const uint8_t key[16], uint8_t round_keys[176]);
+void AesEncryptBlockScalar(const uint8_t round_keys[176], uint8_t block[16]);
+void AesDecryptBlockScalar(const uint8_t round_keys[176], uint8_t block[16]);
+void Sha256BlocksScalar(uint32_t state[8], const uint8_t* data,
+                        size_t nblocks);
+
+// Defined in aes_ni.cc (a TU compiled with -maes; empty on non-x86).
+// Returns nullptr when the running CPU lacks AES-NI.
+const CryptoKernel* AesNiKernelOrNull();
+
+}  // namespace internal
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CRYPTO_AES_KERNEL_H_

@@ -1,0 +1,323 @@
+// AES-NI / SHA-NI crypto kernel. This TU is compiled with per-file
+// -maes -mssse3 -msse4.1 -msha (see src/CMakeLists.txt), so nothing in it
+// may be reached before the runtime CPUID check in AesNiKernelOrNull() —
+// the rest of the library stays on the baseline ISA and the binary runs
+// unmodified on hosts without these extensions (the accessor just returns
+// nullptr there, and on non-x86 builds the TU is empty).
+
+#include "crypto/aes_kernel.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "common/cpu_features.h"
+
+namespace xcrypt::internal {
+
+namespace {
+
+/// CBC encryption is a strict chain (block i's input is block i-1's
+/// output), so this is a straight serial loop — the win over scalar is the
+/// single-cycle-throughput aesenc units, not parallelism.
+void AesNiCbcEncrypt(const uint8_t round_keys[176], const uint8_t iv[16],
+                     const uint8_t* in, uint8_t* out, size_t nblocks) {
+  __m128i rk[11];
+  for (int i = 0; i < 11; ++i) {
+    rk[i] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(round_keys + 16 * i));
+  }
+  __m128i prev = _mm_loadu_si128(reinterpret_cast<const __m128i*>(iv));
+  for (size_t b = 0; b < nblocks; ++b) {
+    __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * b));
+    x = _mm_xor_si128(x, prev);
+    x = _mm_xor_si128(x, rk[0]);
+    for (int r = 1; r < 10; ++r) x = _mm_aesenc_si128(x, rk[r]);
+    x = _mm_aesenclast_si128(x, rk[10]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * b), x);
+    prev = x;
+  }
+}
+
+/// CBC decryption is embarrassingly parallel across blocks (each output is
+/// D(c_i) ^ c_{i-1}, all inputs known up front), so 8 blocks are pipelined
+/// through the aesdec unit per iteration to cover its latency. aesdec
+/// implements the Equivalent Inverse Cipher (FIPS-197 §5.3.5): round keys
+/// are the encryption schedule reversed, with InvMixColumns applied to the
+/// middle nine. Deriving them here costs 10 aesimc per call — noise next
+/// to any real payload.
+void AesNiCbcDecrypt(const uint8_t round_keys[176], const uint8_t iv[16],
+                     const uint8_t* in, uint8_t* out, size_t nblocks) {
+  __m128i dk[11];
+  dk[0] =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(round_keys + 160));
+  for (int i = 1; i < 10; ++i) {
+    dk[i] = _mm_aesimc_si128(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(round_keys + 16 * (10 - i))));
+  }
+  dk[10] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(round_keys));
+
+  __m128i prev = _mm_loadu_si128(reinterpret_cast<const __m128i*>(iv));
+  size_t b = 0;
+  for (; b + 8 <= nblocks; b += 8) {
+    __m128i c[8], x[8];
+    for (int j = 0; j < 8; ++j) {
+      c[j] = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in + 16 * (b + j)));
+      x[j] = _mm_xor_si128(c[j], dk[0]);
+    }
+    for (int r = 1; r < 10; ++r) {
+      for (int j = 0; j < 8; ++j) x[j] = _mm_aesdec_si128(x[j], dk[r]);
+    }
+    for (int j = 0; j < 8; ++j) x[j] = _mm_aesdeclast_si128(x[j], dk[10]);
+    x[0] = _mm_xor_si128(x[0], prev);
+    for (int j = 1; j < 8; ++j) x[j] = _mm_xor_si128(x[j], c[j - 1]);
+    for (int j = 0; j < 8; ++j) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (b + j)), x[j]);
+    }
+    prev = c[7];
+  }
+  for (; b < nblocks; ++b) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * b));
+    __m128i x = _mm_xor_si128(c, dk[0]);
+    for (int r = 1; r < 10; ++r) x = _mm_aesdec_si128(x, dk[r]);
+    x = _mm_aesdeclast_si128(x, dk[10]);
+    x = _mm_xor_si128(x, prev);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * b), x);
+    prev = c;
+  }
+}
+
+/// SHA-256 compression on the SHA extensions (sha256rnds2 does two rounds
+/// per issue; sha256msg1/msg2 run the message schedule). State is held in
+/// the ABEF/CDGH register split the instructions expect.
+void ShaNiSha256Blocks(uint32_t state[8], const uint8_t* data,
+                       size_t nblocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);     // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);          // CDGH
+
+  while (nblocks > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg, msg0, msg1, msg2, msg3;
+
+    // Rounds 0-3.
+    msg = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0));
+    msg0 = _mm_shuffle_epi8(msg, kShuffle);
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7.
+    msg1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16));
+    msg1 = _mm_shuffle_epi8(msg1, kShuffle);
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    msg2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32));
+    msg2 = _mm_shuffle_epi8(msg2, kShuffle);
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15.
+    msg3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48));
+    msg3 = _mm_shuffle_epi8(msg3, kShuffle);
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+
+    data += 64;
+    --nblocks;
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+}  // namespace
+
+const CryptoKernel* AesNiKernelOrNull() {
+  const CpuFeatures& f = GetCpuFeatures();
+  if (!f.aesni || !f.ssse3) return nullptr;
+  // SHA-NI is detected independently of AES-NI; fall back per-primitive.
+  static const CryptoKernel kernel = {
+      "aesni",
+      &AesNiCbcEncrypt,
+      &AesNiCbcDecrypt,
+      (f.sha_ni && f.sse41) ? &ShaNiSha256Blocks : &Sha256BlocksScalar,
+  };
+  return &kernel;
+}
+
+}  // namespace xcrypt::internal
+
+#else  // !x86
+
+namespace xcrypt::internal {
+
+const CryptoKernel* AesNiKernelOrNull() { return nullptr; }
+
+}  // namespace xcrypt::internal
+
+#endif

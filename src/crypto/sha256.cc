@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "crypto/aes_kernel.h"
+
 namespace xcrypt {
 
 namespace {
@@ -37,9 +39,9 @@ Sha256::Sha256() {
 
 void Sha256::Update(const uint8_t* data, size_t len) {
   total_len_ += len;
-  while (len > 0) {
-    const size_t take =
-        std::min(len, kBlockSize - buffer_len_);
+  // Top up a partially filled buffer first.
+  if (buffer_len_ > 0) {
+    const size_t take = std::min(len, kBlockSize - buffer_len_);
     std::memcpy(buffer_ + buffer_len_, data, take);
     buffer_len_ += take;
     data += take;
@@ -48,6 +50,16 @@ void Sha256::Update(const uint8_t* data, size_t len) {
       ProcessBlock(buffer_);
       buffer_len_ = 0;
     }
+  }
+  // Bulk path: hand all full blocks to the kernel in one call.
+  if (const size_t full = len / kBlockSize; full > 0) {
+    AesKernel().sha256_blocks(state_, data, full);
+    data += full * kBlockSize;
+    len -= full * kBlockSize;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, data, len);
+    buffer_len_ = len;
   }
 }
 
@@ -81,6 +93,12 @@ Bytes Sha256::Hash(const Bytes& data) {
 }
 
 void Sha256::ProcessBlock(const uint8_t* block) {
+  AesKernel().sha256_blocks(state_, block, 1);
+}
+
+namespace {
+
+void Sha256ProcessBlockScalar(uint32_t state_[8], const uint8_t* block) {
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
@@ -123,5 +141,18 @@ void Sha256::ProcessBlock(const uint8_t* block) {
   state_[6] += g;
   state_[7] += h;
 }
+
+}  // namespace
+
+namespace internal {
+
+void Sha256BlocksScalar(uint32_t state[8], const uint8_t* data,
+                        size_t nblocks) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    Sha256ProcessBlockScalar(state, data + b * 64);
+  }
+}
+
+}  // namespace internal
 
 }  // namespace xcrypt

@@ -18,6 +18,7 @@ Result<DasSystem> DasSystem::Host(Document doc,
                              master_secret);
   if (!client.ok()) return client.status();
   das.client_ = std::make_unique<Client>(std::move(*client));
+  das.client_->EnableBlockCache(options.block_cache_bytes);
   das.server_ = std::make_unique<ServerEngine>(&das.client_->database(),
                                                &das.client_->metadata());
 
@@ -77,11 +78,17 @@ Result<QueryRun> DasSystem::Execute(const PathExpr& query,
   costs.client_translate_us = watch.ElapsedMicros();
   if (!translated.ok()) return translated.status();
 
-  auto result = engine().Execute(*translated, ctx);
+  // Advertise cached blocks with the query; payloads stay pinned until
+  // post-processing so a concurrent eviction cannot orphan a stub.
+  const CachedBlockSet cache_set = client_->AdvertiseCachedBlocks(trace);
+  auto result = engine().Execute(*translated, ctx,
+                                 cache_set.empty() ? nullptr
+                                                   : &cache_set.adverts);
   if (!result.ok()) return result.status();
   ApplyEngineTiming(result->stats, &costs);
 
-  return Finish(query, std::move(*result), costs, std::move(*translated), ctx);
+  return Finish(query, std::move(*result), costs, std::move(*translated), ctx,
+                &cache_set);
 }
 
 Result<QueryRun> DasSystem::Execute(const std::string& xpath,
@@ -114,7 +121,10 @@ Result<AggregateRun> DasSystem::ExecuteAggregate(const PathExpr& path,
   translate.End();
   costs.client_translate_us = watch.ElapsedMicros();
 
-  auto result = engine().ExecuteAggregate(*translated, kind, *token, ctx);
+  const CachedBlockSet cache_set = client_->AdvertiseCachedBlocks(trace);
+  auto result = engine().ExecuteAggregate(
+      *translated, kind, *token, ctx,
+      cache_set.empty() ? nullptr : &cache_set.adverts);
   if (!result.ok()) return result.status();
   ApplyEngineTiming(result->stats, &costs);
   const AggregateResponse& response = result->response;
@@ -131,7 +141,8 @@ Result<AggregateRun> DasSystem::ExecuteAggregate(const PathExpr& path,
 
   watch.Restart();
   double decrypt_us = 0.0;
-  auto answer = client_->FinishAggregate(path, response, &decrypt_us, trace);
+  auto answer = client_->FinishAggregate(path, response, &decrypt_us, trace,
+                                         &cache_set);
   const double total_post_us = watch.ElapsedMicros();
   if (!answer.ok()) return answer.status();
   costs.decrypt_us = decrypt_us;
@@ -206,7 +217,8 @@ Result<int> DasSystem::DeleteSubtrees(const std::string& xpath) {
 Result<QueryRun> DasSystem::Finish(const PathExpr& query,
                                    EngineQueryResult engine_run,
                                    QueryCosts costs, TranslatedQuery translated,
-                                   obs::QueryContext* ctx) const {
+                                   obs::QueryContext* ctx,
+                                   const CachedBlockSet* cache_set) const {
   obs::Trace* trace = obs::TraceOf(ctx);
   const ServerResponse& response = engine_run.response;
   costs.bytes_shipped = response.TotalBytes();
@@ -222,7 +234,8 @@ Result<QueryRun> DasSystem::Finish(const PathExpr& query,
 
   Stopwatch watch;
   double decrypt_us = 0.0;
-  auto answer = client_->PostProcess(query, response, &decrypt_us, trace);
+  auto answer =
+      client_->PostProcess(query, response, &decrypt_us, trace, cache_set);
   const double total_post_us = watch.ElapsedMicros();
   if (!answer.ok()) return answer.status();
   costs.decrypt_us = decrypt_us;

@@ -105,6 +105,11 @@ class DasSystem {
   struct Options {
     Options() {}
     double link_mbps = 100.0;  ///< the paper's experimental setup (§7.1)
+    /// Budget of the client's decrypted-block cache (wire v3): repeated
+    /// queries advertise cached blocks so the server ships id-only stubs.
+    /// 0 disables the cache (every query cold). Bounded in ciphertext
+    /// bytes.
+    int64_t block_cache_bytes = 8 << 20;
   };
 
   /// Encrypts and hosts `doc` under `kind`, building all metadata.
@@ -171,7 +176,8 @@ class DasSystem {
 
   Result<QueryRun> Finish(const PathExpr& query, EngineQueryResult engine_run,
                           QueryCosts costs, TranslatedQuery translated,
-                          obs::QueryContext* ctx) const;
+                          obs::QueryContext* ctx,
+                          const CachedBlockSet* cache_set = nullptr) const;
 
   /// The active evaluator: the remote stub when attached, else the
   /// in-process engine.

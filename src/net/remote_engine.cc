@@ -107,13 +107,18 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
 }
 
 Result<EngineQueryResult> RemoteServerEngine::Execute(
-    const TranslatedQuery& query, obs::QueryContext* ctx) const {
+    const TranslatedQuery& query, obs::QueryContext* ctx,
+    const std::vector<BlockAdvert>* cached_blocks) const {
   if (ctx != nullptr && ctx->Expired()) {
     return Status::Unavailable("deadline expired before remote call");
   }
+  static const std::vector<BlockAdvert> kNoAdverts;
   EngineQueryResult out;
-  auto reply = RoundTrip(MessageType::kQueryRequest, EncodeQueryRequest(query),
-                         MessageType::kQueryResponse, &out.stats);
+  auto reply = RoundTrip(
+      MessageType::kQueryRequest,
+      EncodeQueryRequest(query,
+                         cached_blocks != nullptr ? *cached_blocks : kNoAdverts),
+      MessageType::kQueryResponse, &out.stats);
   if (!reply.ok()) return reply.status();
   auto msg = DecodeQueryResponse(reply->payload);
   if (!msg.ok()) return msg.status();
@@ -144,14 +149,19 @@ Result<EngineQueryResult> RemoteServerEngine::ExecuteNaive(
 
 Result<EngineAggregateResult> RemoteServerEngine::ExecuteAggregate(
     const TranslatedQuery& query, AggregateKind kind,
-    const std::string& index_token, obs::QueryContext* ctx) const {
+    const std::string& index_token, obs::QueryContext* ctx,
+    const std::vector<BlockAdvert>* cached_blocks) const {
   if (ctx != nullptr && ctx->Expired()) {
     return Status::Unavailable("deadline expired before remote call");
   }
+  static const std::vector<BlockAdvert> kNoAdverts;
   EngineAggregateResult out;
-  auto reply = RoundTrip(MessageType::kAggregateRequest,
-                         EncodeAggregateRequest(query, kind, index_token),
-                         MessageType::kAggregateResponse, &out.stats);
+  auto reply = RoundTrip(
+      MessageType::kAggregateRequest,
+      EncodeAggregateRequest(query, kind, index_token,
+                             cached_blocks != nullptr ? *cached_blocks
+                                                      : kNoAdverts),
+      MessageType::kAggregateResponse, &out.stats);
   if (!reply.ok()) return reply.status();
   auto msg = DecodeAggregateResponse(reply->payload);
   if (!msg.ok()) return msg.status();

@@ -48,15 +48,15 @@ class RemoteServerEngine : public QueryEngine {
   /// serialize on the connection but never on a shared mutable
   /// measurement. A context's trace receives the call as recorded
   /// "server" (+ phases) and "transmit" spans.
-  Result<EngineQueryResult> Execute(const TranslatedQuery& query,
-                                    obs::QueryContext* ctx = nullptr)
-      const override;
+  Result<EngineQueryResult> Execute(
+      const TranslatedQuery& query, obs::QueryContext* ctx = nullptr,
+      const std::vector<BlockAdvert>* cached_blocks = nullptr) const override;
   Result<EngineQueryResult> ExecuteNaive(obs::QueryContext* ctx = nullptr)
       const override;
   Result<EngineAggregateResult> ExecuteAggregate(
       const TranslatedQuery& query, AggregateKind kind,
-      const std::string& index_token, obs::QueryContext* ctx = nullptr)
-      const override;
+      const std::string& index_token, obs::QueryContext* ctx = nullptr,
+      const std::vector<BlockAdvert>* cached_blocks = nullptr) const override;
 
   Status Ping() const;
   Result<NetStats> Stats() const;

@@ -188,7 +188,9 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
       obs::Trace trace;
       obs::QueryContext qctx;
       qctx.trace = &trace;
-      auto result = engine_->Execute(*query, &qctx);
+      auto result = engine_->Execute(query->query, &qctx,
+                                     query->cached.empty() ? nullptr
+                                                           : &query->cached);
       if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         return SendError(conn, result.status()).ok();
@@ -229,8 +231,9 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
       obs::Trace trace;
       obs::QueryContext qctx;
       qctx.trace = &trace;
-      auto result = engine_->ExecuteAggregate(request->query, request->kind,
-                                              request->index_token, &qctx);
+      auto result = engine_->ExecuteAggregate(
+          request->query, request->kind, request->index_token, &qctx,
+          request->cached.empty() ? nullptr : &request->cached);
       if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         return SendError(conn, result.status()).ok();

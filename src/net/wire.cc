@@ -17,7 +17,8 @@ constexpr int kMaxPredicateDepth = 64;
 // bytes actually remaining before reserving anything.
 constexpr uint64_t kMinStepBytes = 1 + 1 + 4 + 4;  // axis, wildcard, counts
 constexpr uint64_t kMinPredicateBytes = 1 + 4 + 1 + 4 + 4 + 8 + 8 + 1;
-constexpr uint64_t kMinBlockBytes = 4 + 4;       // id + ciphertext length
+constexpr uint64_t kMinBlockBytes = 4 + 4 + 4;   // id, generation, ct length
+constexpr uint64_t kMinAdvertBytes = 4 + 4;      // id + generation
 constexpr uint64_t kMinPhaseBytes = 4 + 8;       // name length + f64
 constexpr uint64_t kMinHistogramBytes = 4 + 8 + 8 + 4;  // name, count, sum, n
 
@@ -116,9 +117,12 @@ void WriteServerResponse(BinaryWriter& w, const ServerResponse& response) {
   w.U32(static_cast<uint32_t>(response.blocks.size()));
   for (const EncryptedBlock& block : response.blocks) {
     w.I32(block.id);
+    w.U32(block.generation);
     w.Blob(block.ciphertext);
     // plaintext_bytes is client-only knowledge and never crosses the wire.
   }
+  w.U32(static_cast<uint32_t>(response.cached_ids.size()));
+  for (int id : response.cached_ids) w.I32(id);
   w.U8(response.requires_full_requery ? 1 : 0);
 }
 
@@ -132,12 +136,43 @@ Status ReadServerResponse(BinaryReader& r, ServerResponse* out) {
   for (uint32_t i = 0; i < num_blocks; ++i) {
     EncryptedBlock block;
     block.id = r.I32();
+    block.generation = r.U32();
     block.ciphertext = r.Blob();
     if (r.failed()) return Status::Corruption("truncated block");
     out->blocks.push_back(std::move(block));
   }
+  const uint32_t num_cached = r.U32();
+  if (!r.CanHold(num_cached, 4)) {
+    return Status::Corruption("bad cached-id count");
+  }
+  out->cached_ids.reserve(num_cached);
+  for (uint32_t i = 0; i < num_cached; ++i) out->cached_ids.push_back(r.I32());
   out->requires_full_requery = r.U8() != 0;
   if (r.failed()) return Status::Corruption("truncated server response");
+  return Status::Ok();
+}
+
+void WriteAdverts(BinaryWriter& w, const std::vector<BlockAdvert>& adverts) {
+  w.U32(static_cast<uint32_t>(adverts.size()));
+  for (const BlockAdvert& advert : adverts) {
+    w.I32(advert.id);
+    w.U32(advert.generation);
+  }
+}
+
+Status ReadAdverts(BinaryReader& r, std::vector<BlockAdvert>* out) {
+  const uint32_t num_adverts = r.U32();
+  if (!r.CanHold(num_adverts, kMinAdvertBytes)) {
+    return Status::Corruption("bad advert count");
+  }
+  out->reserve(num_adverts);
+  for (uint32_t i = 0; i < num_adverts; ++i) {
+    BlockAdvert advert;
+    advert.id = r.I32();
+    advert.generation = r.U32();
+    if (r.failed()) return Status::Corruption("truncated advert");
+    out->push_back(advert);
+  }
   return Status::Ok();
 }
 
@@ -300,19 +335,22 @@ Result<Frame> DecodeFrame(const Bytes& buf, uint64_t max_frame_bytes) {
   return frame;
 }
 
-Bytes EncodeQueryRequest(const TranslatedQuery& query) {
+Bytes EncodeQueryRequest(const TranslatedQuery& query,
+                         const std::vector<BlockAdvert>& cached) {
   Bytes out;
   BinaryWriter w(&out);
   WriteSteps(w, query.steps);
+  WriteAdverts(w, cached);
   return out;
 }
 
-Result<TranslatedQuery> DecodeQueryRequest(const Bytes& payload) {
+Result<QueryRequestMsg> DecodeQueryRequest(const Bytes& payload) {
   BinaryReader r(payload);
-  TranslatedQuery query;
-  XCRYPT_RETURN_NOT_OK(ReadSteps(r, &query.steps, 0));
+  QueryRequestMsg msg;
+  XCRYPT_RETURN_NOT_OK(ReadSteps(r, &msg.query.steps, 0));
+  XCRYPT_RETURN_NOT_OK(ReadAdverts(r, &msg.cached));
   XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "query request"));
-  return query;
+  return msg;
 }
 
 Bytes EncodeQueryResponse(const ServerResponse& response,
@@ -337,12 +375,14 @@ Result<QueryResponseMsg> DecodeQueryResponse(const Bytes& payload) {
 }
 
 Bytes EncodeAggregateRequest(const TranslatedQuery& query, AggregateKind kind,
-                             const std::string& index_token) {
+                             const std::string& index_token,
+                             const std::vector<BlockAdvert>& cached) {
   Bytes out;
   BinaryWriter w(&out);
   WriteSteps(w, query.steps);
   w.U8(static_cast<uint8_t>(kind));
   w.Str(index_token);
+  WriteAdverts(w, cached);
   return out;
 }
 
@@ -356,6 +396,7 @@ Result<AggregateRequestMsg> DecodeAggregateRequest(const Bytes& payload) {
   }
   msg.kind = static_cast<AggregateKind>(kind);
   msg.index_token = r.Str();
+  XCRYPT_RETURN_NOT_OK(ReadAdverts(r, &msg.cached));
   XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "aggregate request"));
   return msg;
 }

@@ -34,7 +34,11 @@ namespace net {
 inline constexpr uint32_t kWireMagic = 0x54454E58;  // "XNET" on the wire
 /// v2: responses carry the server's span-phase decomposition; stats carry
 /// per-message-type latency histograms.
-inline constexpr uint8_t kWireVersion = 2;
+/// v3: query/aggregate requests advertise the client's cached blocks as
+/// (id, generation) pairs; responses carry each block's generation and an
+/// id-only stub list (cached_ids) for advertised blocks the server chose
+/// not to re-ship.
+inline constexpr uint8_t kWireVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 1 + 4;
 
 /// Upper bound on a single frame's payload. A header announcing more is
@@ -105,8 +109,15 @@ Result<Frame> DecodeFrame(const Bytes& buf, uint64_t max_frame_bytes);
 // counts are checked against the bytes actually present before any
 // reserve.
 
-Bytes EncodeQueryRequest(const TranslatedQuery& query);
-Result<TranslatedQuery> DecodeQueryRequest(const Bytes& payload);
+struct QueryRequestMsg {
+  TranslatedQuery query;
+  /// Blocks the client already holds decrypted (wire v3); the server may
+  /// answer with id-only stubs for any of these whose generation matches.
+  std::vector<BlockAdvert> cached;
+};
+Bytes EncodeQueryRequest(const TranslatedQuery& query,
+                         const std::vector<BlockAdvert>& cached = {});
+Result<QueryRequestMsg> DecodeQueryRequest(const Bytes& payload);
 
 struct QueryResponseMsg {
   ServerResponse response;
@@ -125,9 +136,11 @@ struct AggregateRequestMsg {
   TranslatedQuery query;
   AggregateKind kind = AggregateKind::kCount;
   std::string index_token;
+  std::vector<BlockAdvert> cached;  ///< wire v3 cache advertisement
 };
 Bytes EncodeAggregateRequest(const TranslatedQuery& query, AggregateKind kind,
-                             const std::string& index_token);
+                             const std::string& index_token,
+                             const std::vector<BlockAdvert>& cached = {});
 Result<AggregateRequestMsg> DecodeAggregateRequest(const Bytes& payload);
 
 struct AggregateResponseMsg {

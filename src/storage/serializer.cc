@@ -12,7 +12,9 @@ namespace xcrypt {
 namespace {
 
 constexpr uint32_t kMagic = 0x58435231;  // "XCR1"
-constexpr uint32_t kVersion = 1;
+/// v2: each block carries its generation (wire v3 cache coherence), so a
+/// re-hosted daemon keeps stubbing correctly for clients with warm caches.
+constexpr uint32_t kVersion = 2;
 
 using Writer = BinaryWriter;
 using Reader = BinaryReader;
@@ -89,6 +91,7 @@ Bytes SerializeBundle(const EncryptedDatabase& database,
   w.U32(static_cast<uint32_t>(database.blocks.size()));
   for (const EncryptedBlock& b : database.blocks) {
     w.I32(b.id);
+    w.U32(b.generation);
     w.Blob(b.ciphertext);
     // plaintext_bytes is client-only knowledge: not serialized.
   }
@@ -140,13 +143,14 @@ Result<HostedBundle> DeserializeBundle(const Bytes& image) {
   bundle.database.skeleton = std::move(*skeleton);
 
   const uint32_t num_blocks = r.U32();
-  if (!r.CanHold(num_blocks, 8)) {
+  if (!r.CanHold(num_blocks, 12)) {
     return Status::Corruption("bad block count");
   }
   bundle.database.blocks.reserve(num_blocks);
   for (uint32_t i = 0; i < num_blocks && !r.failed(); ++i) {
     EncryptedBlock block;
     block.id = r.I32();
+    block.generation = r.U32();
     block.ciphertext = r.Blob();
     bundle.database.blocks.push_back(std::move(block));
   }

@@ -1,0 +1,253 @@
+// BlockCache unit tests (LRU, generation matching, pinning, budget) plus
+// end-to-end coverage of the wire-v3 cache protocol through DasSystem:
+// warm repeats must answer byte-identically to cold runs while shipping
+// fewer bytes, and updates must invalidate so a warm query after an
+// update still matches ground truth.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/block_cache.h"
+#include "das/das_system.h"
+#include "data/healthcare.h"
+#include "obs/metrics.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+std::shared_ptr<const Document> Doc(const std::string& tag) {
+  Document d;
+  d.AddRoot(tag);
+  return std::make_shared<const Document>(std::move(d));
+}
+
+TEST(BlockCacheTest, GetRequiresExactGeneration) {
+  obs::MetricsRegistry metrics;
+  BlockCache cache(1 << 20, &metrics);
+  cache.Put(7, 2, Doc("a"), 100);
+  EXPECT_NE(cache.Get(7, 2), nullptr);
+  EXPECT_EQ(cache.Get(7, 1), nullptr);  // stale generation
+  EXPECT_EQ(cache.Get(7, 3), nullptr);  // future generation
+  EXPECT_EQ(cache.Get(8, 2), nullptr);  // absent id
+}
+
+TEST(BlockCacheTest, PutReplacesOlderGeneration) {
+  obs::MetricsRegistry metrics;
+  BlockCache cache(1 << 20, &metrics);
+  cache.Put(7, 0, Doc("old"), 100);
+  cache.Put(7, 1, Doc("new"), 120);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.size_bytes(), 120);
+  EXPECT_EQ(cache.Get(7, 0), nullptr);
+  ASSERT_NE(cache.Get(7, 1), nullptr);
+  EXPECT_EQ(cache.Get(7, 1)->node(0).tag, "new");
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsedFirst) {
+  obs::MetricsRegistry metrics;
+  BlockCache cache(300, &metrics);
+  cache.Put(1, 0, Doc("a"), 100);
+  cache.Put(2, 0, Doc("b"), 100);
+  cache.Put(3, 0, Doc("c"), 100);
+  // Touch 1 so 2 becomes the LRU entry.
+  EXPECT_NE(cache.Get(1, 0), nullptr);
+  cache.Put(4, 0, Doc("d"), 100);
+  EXPECT_NE(cache.Get(1, 0), nullptr);
+  EXPECT_EQ(cache.Get(2, 0), nullptr);  // evicted
+  EXPECT_NE(cache.Get(3, 0), nullptr);
+  EXPECT_NE(cache.Get(4, 0), nullptr);
+  EXPECT_LE(cache.size_bytes(), cache.max_bytes());
+}
+
+TEST(BlockCacheTest, OversizedEntryNeverAdmitted) {
+  obs::MetricsRegistry metrics;
+  BlockCache cache(100, &metrics);
+  cache.Put(1, 0, Doc("big"), 101);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0);
+  // And it must not have evicted residents to make room it can't use.
+  cache.Put(2, 0, Doc("small"), 50);
+  cache.Put(3, 0, Doc("big"), 200);
+  EXPECT_NE(cache.Get(2, 0), nullptr);
+}
+
+TEST(BlockCacheTest, EraseAndClear) {
+  obs::MetricsRegistry metrics;
+  BlockCache cache(1 << 20, &metrics);
+  cache.Put(1, 0, Doc("a"), 10);
+  cache.Put(2, 5, Doc("b"), 10);
+  cache.Erase(1);
+  EXPECT_EQ(cache.Get(1, 0), nullptr);
+  EXPECT_NE(cache.Get(2, 5), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0);
+}
+
+TEST(BlockCacheTest, AdvertisePinsPayloadsAcrossEviction) {
+  obs::MetricsRegistry metrics;
+  BlockCache cache(100, &metrics);
+  cache.Put(1, 3, Doc("pinned"), 100);
+  const CachedBlockSet set = cache.Advertise();
+  ASSERT_EQ(set.adverts.size(), 1u);
+  EXPECT_EQ(set.adverts[0].id, 1);
+  EXPECT_EQ(set.adverts[0].generation, 3u);
+  ASSERT_EQ(set.pinned.count(1), 1u);
+  EXPECT_EQ(set.pinned.at(1).ciphertext_bytes, 100);
+
+  // Evict the advertised block; the pinned payload must stay usable —
+  // this is the advertise -> evict -> splice race the pinning closes.
+  cache.Put(2, 0, Doc("usurper"), 100);
+  EXPECT_EQ(cache.Get(1, 3), nullptr);
+  EXPECT_EQ(set.pinned.at(1).doc->node(0).tag, "pinned");
+}
+
+TEST(BlockCacheTest, CountersFlowToRegistry) {
+  obs::MetricsRegistry metrics;
+  BlockCache cache(1 << 20, &metrics);
+  cache.RecordMiss();
+  cache.RecordMiss();
+  cache.RecordHit(500);
+  EXPECT_EQ(metrics.GetCounter("cache.hit")->Value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("cache.miss")->Value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("cache.bytes_saved")->Value(), 500u);
+}
+
+// --- end-to-end through DasSystem --------------------------------------
+
+class DasCacheTest : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  static std::unique_ptr<DasSystem> Host(int64_t cache_bytes) {
+    DasSystem::Options options;
+    options.block_cache_bytes = cache_bytes;
+    auto das = DasSystem::Host(BuildHospital(25, 7), HealthcareConstraints(),
+                               GetParam(), "cache-secret", options);
+    EXPECT_TRUE(das.ok());
+    return std::make_unique<DasSystem>(std::move(*das));
+  }
+
+  /// Which subtrees land in encryption blocks depends on the scheme, so
+  /// each scheme gets the first candidate query whose cold run actually
+  /// ships blocks (there is always one: every scheme encrypts something).
+  static std::string BlockShippingQuery(const DasSystem& das) {
+    for (const char* text : {"//patient[pname='Betty']//disease",
+                             "//patient[.//disease='diarrhea']//SSN",
+                             "//insurance"}) {
+      auto run = das.Execute(text);
+      if (run.ok() && run->costs.blocks_shipped > 0) return text;
+    }
+    ADD_FAILURE() << "no candidate query ships blocks under this scheme";
+    return "//patient";
+  }
+};
+
+TEST_P(DasCacheTest, WarmRepeatShipsFewerBytesAndAnswersIdentically) {
+  auto das = Host(8 << 20);
+  // Probe on a separate system so this one starts genuinely cold.
+  auto probe = Host(8 << 20);
+  const std::string xpath = BlockShippingQuery(*probe);
+
+  auto cold = das->Execute(xpath);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_GT(cold->costs.blocks_shipped, 0);
+
+  auto warm = das->Execute(xpath);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  // Identical answers, strictly fewer payload bytes and decrypted blocks.
+  EXPECT_EQ(warm->answer.SerializedSorted(), cold->answer.SerializedSorted());
+  EXPECT_LT(warm->costs.bytes_shipped, cold->costs.bytes_shipped);
+  EXPECT_EQ(warm->costs.blocks_shipped, 0);
+
+  const BlockCache* cache = das->client().block_cache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GT(cache->entry_count(), 0u);
+}
+
+TEST_P(DasCacheTest, WarmAnswersMatchGroundTruthAcrossQueries) {
+  auto das = Host(8 << 20);
+  const char* queries[] = {
+      "//patient[pname='Betty']//disease",
+      "//patient[.//disease='diarrhea']//SSN",
+      "//treat[doctor='Smith']/disease",
+      "//patient//SSN",
+  };
+  // Two passes: the second runs against a populated cache, possibly with
+  // partial overlaps between the queries' block sets.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const char* text : queries) {
+      auto query = ParseXPath(text);
+      ASSERT_TRUE(query.ok());
+      auto run = das->Execute(*query);
+      ASSERT_TRUE(run.ok()) << text << ": " << run.status().ToString();
+      EXPECT_EQ(run->answer.SerializedSorted(),
+                GroundTruth(das->client().original(), *query)
+                    .SerializedSorted())
+          << text << " pass " << pass;
+    }
+  }
+}
+
+TEST_P(DasCacheTest, DisabledCacheShipsEveryTime) {
+  auto das = Host(0);
+  EXPECT_EQ(das->client().block_cache(), nullptr);
+  const std::string xpath = BlockShippingQuery(*das);
+  auto first = das->Execute(xpath);
+  auto second = das->Execute(xpath);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->costs.bytes_shipped, second->costs.bytes_shipped);
+  EXPECT_GT(second->costs.blocks_shipped, 0);
+}
+
+TEST_P(DasCacheTest, ValueUpdateInvalidatesCachedBlocks) {
+  auto das = Host(8 << 20);
+  const std::string xpath = BlockShippingQuery(*das);
+
+  // Warm the cache on the pre-update blocks.
+  ASSERT_TRUE(das->Execute(xpath).ok());
+
+  auto updated = das->UpdateValues(
+      "//patient[SSN='763895']/treat/disease", "influenza");
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+
+  // The warm query after the update must match a fresh ground-truth
+  // evaluation — a stale cache hit would resurrect the old value.
+  auto query = ParseXPath(xpath);
+  ASSERT_TRUE(query.ok());
+  auto warm = das->Execute(*query);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->answer.SerializedSorted(),
+            GroundTruth(das->client().original(), *query).SerializedSorted());
+
+  // And the re-encrypted block is re-cacheable at its new generation:
+  // a second warm run still answers correctly.
+  auto warm2 = das->Execute(*query);
+  ASSERT_TRUE(warm2.ok());
+  EXPECT_EQ(warm2->answer.SerializedSorted(),
+            GroundTruth(das->client().original(), *query).SerializedSorted());
+}
+
+TEST_P(DasCacheTest, AggregatesUseTheCacheAndStayCorrect) {
+  auto das = Host(8 << 20);
+  const char* xpath = "//patient[.//disease='diarrhea']//SSN";
+  auto cold = das->ExecuteAggregate(xpath, AggregateKind::kCount);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  auto warm = das->ExecuteAggregate(xpath, AggregateKind::kCount);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->answer.count, cold->answer.count);
+  EXPECT_LE(warm->costs.bytes_shipped, cold->costs.bytes_shipped);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, DasCacheTest,
+    ::testing::Values(SchemeKind::kOptimal, SchemeKind::kSub,
+                      SchemeKind::kTop),
+    [](const ::testing::TestParamInfo<SchemeKind>& info) {
+      return std::string(SchemeKindName(info.param));
+    });
+
+}  // namespace
+}  // namespace xcrypt

@@ -62,13 +62,28 @@ ServerResponse SampleResponse() {
   response.skeleton_xml = "<root><_encblock id=\"0\"/><pub>x</pub></root>";
   EncryptedBlock b0;
   b0.id = 0;
+  b0.generation = 3;
   b0.ciphertext = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01};
   EncryptedBlock b1;
   b1.id = 7;
   b1.ciphertext = {};
   response.blocks = {b0, b1};
+  response.cached_ids = {2, 5};
   response.requires_full_requery = true;
   return response;
+}
+
+std::vector<BlockAdvert> SampleAdverts() {
+  return {{0, 3}, {2, 0}, {5, 1}};
+}
+
+void ExpectAdvertsEq(const std::vector<BlockAdvert>& a,
+                     const std::vector<BlockAdvert>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].generation, b[i].generation);
+  }
 }
 
 void ExpectQueryEq(const TranslatedQuery& a, const TranslatedQuery& b) {
@@ -96,9 +111,11 @@ void ExpectQueryEq(const TranslatedQuery& a, const TranslatedQuery& b) {
 void ExpectResponseEq(const ServerResponse& a, const ServerResponse& b) {
   EXPECT_EQ(a.skeleton_xml, b.skeleton_xml);
   EXPECT_EQ(a.requires_full_requery, b.requires_full_requery);
+  EXPECT_EQ(a.cached_ids, b.cached_ids);
   ASSERT_EQ(a.blocks.size(), b.blocks.size());
   for (size_t i = 0; i < a.blocks.size(); ++i) {
     EXPECT_EQ(a.blocks[i].id, b.blocks[i].id);
+    EXPECT_EQ(a.blocks[i].generation, b.blocks[i].generation);
     EXPECT_EQ(a.blocks[i].ciphertext, b.blocks[i].ciphertext);
   }
 }
@@ -162,13 +179,42 @@ TEST(WireQuery, RoundTrip) {
   const TranslatedQuery query = SampleQuery();
   auto decoded = DecodeQueryRequest(EncodeQueryRequest(query));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
-  ExpectQueryEq(query, *decoded);
+  ExpectQueryEq(query, decoded->query);
+  EXPECT_TRUE(decoded->cached.empty());
 }
 
 TEST(WireQuery, RoundTripEmpty) {
   auto decoded = DecodeQueryRequest(EncodeQueryRequest(TranslatedQuery{}));
   ASSERT_TRUE(decoded.ok());
-  EXPECT_TRUE(decoded->steps.empty());
+  EXPECT_TRUE(decoded->query.steps.empty());
+}
+
+TEST(WireQuery, CacheAdvertsRoundTrip) {
+  const std::vector<BlockAdvert> adverts = SampleAdverts();
+  auto decoded = DecodeQueryRequest(EncodeQueryRequest(SampleQuery(), adverts));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectAdvertsEq(adverts, decoded->cached);
+}
+
+TEST(WireQuery, AdvertTruncationAtEveryByteFailsCleanly) {
+  const Bytes payload = EncodeQueryRequest(SampleQuery(), SampleAdverts());
+  for (size_t len = 0; len < payload.size(); ++len) {
+    const Bytes cut(payload.begin(), payload.begin() + len);
+    auto decoded = DecodeQueryRequest(cut);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireQuery, OversizedAdvertCountRejectedWithoutAllocation) {
+  // A count claiming 2^32-1 adverts in 0 bytes of remaining data must be
+  // rejected by CanHold before any reserve.
+  Bytes payload = EncodeQueryRequest(SampleQuery());
+  for (size_t i = payload.size() - 4; i < payload.size(); ++i) {
+    payload[i] = 0xff;
+  }
+  EXPECT_EQ(DecodeQueryRequest(payload).status().code(),
+            StatusCode::kCorruption);
 }
 
 TEST(WireQuery, TruncationAtEveryByteFailsCleanly) {
@@ -237,6 +283,15 @@ TEST(WireAggregate, RequestRoundTrip) {
   ExpectQueryEq(query, decoded->query);
   EXPECT_EQ(decoded->kind, AggregateKind::kSum);
   EXPECT_EQ(decoded->index_token, "TY0POA");
+  EXPECT_TRUE(decoded->cached.empty());
+}
+
+TEST(WireAggregate, RequestAdvertsRoundTrip) {
+  const std::vector<BlockAdvert> adverts = SampleAdverts();
+  auto decoded = DecodeAggregateRequest(EncodeAggregateRequest(
+      SampleQuery(), AggregateKind::kCount, "", adverts));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectAdvertsEq(adverts, decoded->cached);
 }
 
 TEST(WireAggregate, RequestRejectsBadKind) {
@@ -331,6 +386,14 @@ TEST(WireError, RejectsOkAndUnknownCodes) {
   EXPECT_EQ(DecodeError(Bytes{}).code(), StatusCode::kCorruption);
 }
 
+// Appends the (empty) wire-v3 advert list a top-level query request
+// carries after its steps.
+Bytes WithEmptyAdverts(Bytes payload) {
+  BinaryWriter w(&payload);
+  w.U32(0);
+  return payload;
+}
+
 // One step whose single predicate's relative path holds the next level.
 Bytes EncodeNestedSteps(int depth) {
   Bytes out;
@@ -361,12 +424,12 @@ TEST(WireQuery, DeepNestingRejected) {
   // A predicate chain nested beyond the decoder's depth bound, encoded
   // by hand (the translator never produces this). Must be rejected, not
   // recursed into unboundedly.
-  auto decoded = DecodeQueryRequest(EncodeNestedSteps(80));
+  auto decoded = DecodeQueryRequest(WithEmptyAdverts(EncodeNestedSteps(80)));
   EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
 }
 
 TEST(WireQuery, ReasonableNestingAccepted) {
-  auto decoded = DecodeQueryRequest(EncodeNestedSteps(10));
+  auto decoded = DecodeQueryRequest(WithEmptyAdverts(EncodeNestedSteps(10)));
   EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
 }
 

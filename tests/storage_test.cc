@@ -41,6 +41,8 @@ TEST_P(StorageTest, RoundTripPreservesEverything) {
   for (size_t i = 0; i < bundle->database.blocks.size(); ++i) {
     EXPECT_EQ(bundle->database.blocks[i].id,
               client_->database().blocks[i].id);
+    EXPECT_EQ(bundle->database.blocks[i].generation,
+              client_->database().blocks[i].generation);
     EXPECT_EQ(bundle->database.blocks[i].ciphertext,
               client_->database().blocks[i].ciphertext);
   }
@@ -192,7 +194,7 @@ TEST(StorageCorruptionTest, OversizedCountRejectedBeforeAllocating) {
   Bytes image;
   BinaryWriter w(&image);
   w.U32(0x58435231);  // bundle magic "XCR1"
-  w.U32(1);           // version
+  w.U32(2);           // version
   w.I32(0x7fffff00);  // node count
   w.U8(0);            // a lone stray byte of "node data"
   const auto bundle = DeserializeBundle(image);

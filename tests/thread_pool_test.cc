@@ -100,5 +100,17 @@ TEST(ThreadPoolTest, SharedPoolIsBoundedAndStable) {
   EXPECT_LE(a.num_threads(), 8);
 }
 
+TEST(ThreadPoolTest, SetSharedThreadsContract) {
+  // Invalid sizes are rejected outright.
+  EXPECT_FALSE(ThreadPool::SetSharedThreads(0));
+  EXPECT_FALSE(ThreadPool::SetSharedThreads(-3));
+  // Once Shared() has been constructed its size is immutable: the setter
+  // must say so (return false) and the pool must keep its size.
+  const int size = ThreadPool::Shared().num_threads();
+  EXPECT_TRUE(ThreadPool::SharedPoolConstructed().load());
+  EXPECT_FALSE(ThreadPool::SetSharedThreads(size + 1));
+  EXPECT_EQ(ThreadPool::Shared().num_threads(), size);
+}
+
 }  // namespace
 }  // namespace xcrypt
