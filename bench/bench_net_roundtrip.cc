@@ -76,10 +76,10 @@ int main() {
        {WorkloadKind::kQs, WorkloadKind::kQm, WorkloadKind::kQl}) {
     const auto workload = BuildWorkload(corpus.doc, wk, 10, 23);
 
-    das->DisconnectRemote();
+    das->Remote().Disconnect();
     const AveragedCosts inproc = RunWorkload(*das, workload);
 
-    Status connected = das->ConnectRemote("127.0.0.1", (*server)->port());
+    Status connected = das->Remote().Connect("127.0.0.1", (*server)->port());
     if (!connected.ok()) {
       std::fprintf(stderr, "%s\n", connected.ToString().c_str());
       return 1;
@@ -107,7 +107,7 @@ int main() {
               sum_inproc, sum_remote_total,
               sum_inproc > 0 ? sum_remote_total / sum_inproc : 0.0);
 
-  das->DisconnectRemote();
+  das->Remote().Disconnect();
   const net::NetStats stats = (*server)->stats();
   std::printf("wire totals: %llu queries, %llu B up, %llu B down\n",
               static_cast<unsigned long long>(stats.queries_served),

@@ -49,7 +49,7 @@ int main() {
   }
   std::printf("provider listening on 127.0.0.1:%u\n", (*server)->port());
 
-  Status connected = das->ConnectRemote("127.0.0.1", (*server)->port());
+  Status connected = das->Remote().Connect("127.0.0.1", (*server)->port());
   if (!connected.ok()) {
     std::fprintf(stderr, "connect failed: %s\n", connected.ToString().c_str());
     return 1;
@@ -97,7 +97,7 @@ int main() {
                 remote_run->costs.bytes_shipped / 1024.0);
   }
 
-  das->DisconnectRemote();
+  das->Remote().Disconnect();
   const net::NetStats stats = (*server)->stats();
   for (int i = 0; i < 88; ++i) std::putchar('-');
   std::printf("\nprovider bill: %llu queries, %llu B received, %llu B sent\n",

@@ -8,12 +8,24 @@
 // Usage:
 //   xcrypt_serve --bundle db.xcr [--host 127.0.0.1] [--port 7077]
 //                [--threads 8] [--io-timeout 30]
+//                [--max-inflight N] [--max-queue N]
 //                [--metrics-json FILE [--metrics-interval SECONDS]]
+//   xcrypt_serve --catalog DIR [--default-db NAME] ...
 //   xcrypt_serve --demo [--port 7077] ...
+//
+// --catalog serves every *.xcr bundle in DIR as its own database, routed
+// by filename stem (wire v4 requests carry a db name; v3 clients get
+// --default-db). Bundles load lazily on first use and hot-reload when
+// the file changes on disk — in-flight queries finish on the old image.
 //
 // --demo hosts a built-in XMark auction corpus instead of a bundle file,
 // so the daemon can be tried end-to-end without preparing data first
 // (pair it with examples/remote_session).
+//
+// --max-inflight bounds concurrently evaluating queries across all
+// connections (0 = unbounded); excess requests wait in a --max-queue
+// deep queue and past that are shed with a retryable Unavailable
+// carrying a backoff hint.
 //
 // --metrics-json dumps the daemon's metrics registry (request counters +
 // per-message latency histograms) as JSON to FILE: periodically every
@@ -44,8 +56,10 @@ void HandleSignal(int sig) { g_signal = sig; }
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --bundle FILE | --demo  [--host ADDR] [--port N] "
+               "usage: %s --bundle FILE | --catalog DIR | --demo "
+               "[--default-db NAME] [--host ADDR] [--port N] "
                "[--threads N] [--io-timeout SECONDS] "
+               "[--max-inflight N] [--max-queue N] "
                "[--metrics-json FILE [--metrics-interval SECONDS]]\n",
                argv0);
   return 2;
@@ -74,6 +88,7 @@ int main(int argc, char** argv) {
   using namespace xcrypt;
 
   std::string bundle_path;
+  std::string catalog_dir;
   bool demo = false;
   std::string host = "127.0.0.1";
   int port = 7077;
@@ -90,6 +105,22 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       bundle_path = v;
+    } else if (arg == "--catalog") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      catalog_dir = v;
+    } else if (arg == "--default-db") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.default_db = v;
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_inflight_queries = std::atoi(v);
+    } else if (arg == "--max-queue") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_queued_queries = std::atoi(v);
     } else if (arg == "--demo") {
       demo = true;
     } else if (arg == "--host") {
@@ -126,50 +157,76 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  // Exactly one data source: --demo or --bundle.
-  if (demo == !bundle_path.empty() || port < 0 || port > 65535) {
+  // Exactly one data source: --demo, --bundle, or --catalog.
+  const int sources = (demo ? 1 : 0) + (bundle_path.empty() ? 0 : 1) +
+                      (catalog_dir.empty() ? 0 : 1);
+  if (sources != 1 || port < 0 || port > 65535) {
     return Usage(argv[0]);
   }
 
-  HostedBundle bundle;
-  if (demo) {
-    XMarkConfig config;
-    config.people = 150;
-    config.items = 60;
-    config.seed = 2006;
-    auto client = Client::Host(GenerateXMark(config), XMarkConstraints(),
-                               SchemeKind::kOptimal, "xcrypt-serve-demo-key");
-    if (!client.ok()) {
-      std::fprintf(stderr, "demo hosting failed: %s\n",
-                   client.status().ToString().c_str());
+  Result<std::unique_ptr<net::NetServer>> server =
+      Status::Internal("unreachable");
+  if (!catalog_dir.empty()) {
+    auto catalog = net::BundleCatalog::Open(catalog_dir);
+    if (!catalog.ok()) {
+      std::fprintf(stderr, "cannot open catalog %s: %s\n", catalog_dir.c_str(),
+                   catalog.status().ToString().c_str());
       return 1;
     }
-    // Round-trip through the storage image: the daemon holds exactly what
-    // a provider would receive, nothing more.
-    auto loaded = DeserializeBundle(
-        SerializeBundle(client->database(), client->metadata()));
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "demo bundle failed: %s\n",
-                   loaded.status().ToString().c_str());
-      return 1;
+    std::string listing;
+    for (const std::string& name : (*catalog)->List()) {
+      if (!listing.empty()) listing += ", ";
+      listing += name;
     }
-    bundle = std::move(*loaded);
+    std::printf("xcrypt_serve: catalog %s hosts [%s]%s%s\n",
+                catalog_dir.c_str(), listing.c_str(),
+                options.default_db.empty() ? "" : ", default ",
+                options.default_db.c_str());
+    server = net::NetServer::ServeCatalog(std::move(*catalog), host,
+                                          static_cast<uint16_t>(port), options);
   } else {
-    auto loaded = LoadBundle(bundle_path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot load %s: %s\n", bundle_path.c_str(),
-                   loaded.status().ToString().c_str());
-      return 1;
+    HostedBundle bundle;
+    if (demo) {
+      XMarkConfig config;
+      config.people = 150;
+      config.items = 60;
+      config.seed = 2006;
+      auto client = Client::Host(GenerateXMark(config), XMarkConstraints(),
+                                 SchemeKind::kOptimal,
+                                 "xcrypt-serve-demo-key");
+      if (!client.ok()) {
+        std::fprintf(stderr, "demo hosting failed: %s\n",
+                     client.status().ToString().c_str());
+        return 1;
+      }
+      // Round-trip through the storage image: the daemon holds exactly
+      // what a provider would receive, nothing more.
+      auto loaded = DeserializeBundle(
+          SerializeBundle(client->database(), client->metadata()));
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "demo bundle failed: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      bundle = std::move(*loaded);
+    } else {
+      auto loaded = LoadBundle(bundle_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "cannot load %s: %s\n", bundle_path.c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      bundle = std::move(*loaded);
     }
-    bundle = std::move(*loaded);
+
+    const size_t num_blocks = bundle.database.blocks.size();
+    const long long cipher_bytes =
+        static_cast<long long>(bundle.database.TotalCiphertextBytes());
+    std::printf("xcrypt_serve: %zu blocks (%lld B ciphertext)\n", num_blocks,
+                cipher_bytes);
+    server = net::NetServer::Serve(std::move(bundle), host,
+                                   static_cast<uint16_t>(port), options);
   }
-
-  const size_t num_blocks = bundle.database.blocks.size();
-  const long long cipher_bytes =
-      static_cast<long long>(bundle.database.TotalCiphertextBytes());
-
-  auto server = net::NetServer::Serve(std::move(bundle), host,
-                                      static_cast<uint16_t>(port), options);
   if (!server.ok()) {
     std::fprintf(stderr, "cannot serve: %s\n",
                  server.status().ToString().c_str());
@@ -179,10 +236,10 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
 
-  std::printf("xcrypt_serve: %zu blocks (%lld B ciphertext) on %s:%u, "
-              "%d workers\n",
-              num_blocks, cipher_bytes, host.c_str(), (*server)->port(),
-              options.num_threads);
+  std::printf("xcrypt_serve: listening on %s:%u, %d workers%s\n",
+              host.c_str(), (*server)->port(), options.num_threads,
+              options.max_inflight_queries > 0 ? " (admission control on)"
+                                               : "");
   std::printf("xcrypt_serve: cpu [%s], crypto kernel %s, shared pool %d "
               "threads\n",
               xcrypt::DescribeCpuFeatures().c_str(), AesKernel().name,
@@ -211,12 +268,14 @@ int main(int argc, char** argv) {
 
   const net::NetStats stats = (*server)->stats();
   std::printf("xcrypt_serve: signal %d, draining (%llu queries, %llu "
-              "aggregates, %llu naive, %llu errors over %llu connections)\n",
+              "aggregates, %llu naive, %llu errors, %llu shed over %llu "
+              "connections)\n",
               static_cast<int>(g_signal),
               static_cast<unsigned long long>(stats.queries_served),
               static_cast<unsigned long long>(stats.aggregates_served),
               static_cast<unsigned long long>(stats.naive_served),
               static_cast<unsigned long long>(stats.errors),
+              static_cast<unsigned long long>(stats.queries_shed),
               static_cast<unsigned long long>(stats.connections_total));
   (*server)->Shutdown();
   return 0;

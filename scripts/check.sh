@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Full pre-merge check: configure, build, and run the test suite across
+# the plain, AddressSanitizer, and ThreadSanitizer builds. Any failing
+# step fails the script.
+#
+# Usage:
+#   scripts/check.sh            # all three builds
+#   scripts/check.sh plain      # just one (plain | asan | tsan)
+#   CTEST_ARGS="-L net" scripts/check.sh   # pass extra args to ctest
+#
+# Build trees live at build/ (plain), build-asan/, and build-tsan/ next
+# to this script's repository root and are reused across runs.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+CTEST_ARGS="${CTEST_ARGS:-}"
+
+run_build() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==> [${name}] configure"
+  cmake -S "${ROOT}" -B "${dir}" "$@" >/dev/null
+  echo "==> [${name}] build"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==> [${name}] ctest"
+  # Sanitizer runs serialize less well; keep parallelism but fail loud.
+  # shellcheck disable=SC2086
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${CTEST_ARGS})
+  echo "==> [${name}] OK"
+}
+
+want="${1:-all}"
+case "${want}" in
+  plain|all) run_build plain "${ROOT}/build" ;;&
+  asan|all)  run_build asan "${ROOT}/build-asan" -DXCRYPT_SANITIZE=address ;;&
+  tsan|all)  run_build tsan "${ROOT}/build-tsan" -DXCRYPT_TSAN=ON ;;&
+  plain|asan|tsan|all) ;;
+  *) echo "usage: $0 [plain|asan|tsan|all]" >&2; exit 2 ;;
+esac
+
+echo "all requested checks passed"

@@ -261,8 +261,9 @@ bool ServerEngine::PredicateKindHolds(const Interval& candidate,
 }
 
 Result<EngineQueryResult> ServerEngine::Execute(
-    const TranslatedQuery& query, obs::QueryContext* ctx,
-    const std::vector<BlockAdvert>* cached_blocks) const {
+    const TranslatedQuery& query, const ExecOptions& opts) const {
+  obs::QueryContext* ctx = opts.ctx;
+  const std::vector<BlockAdvert>* cached_blocks = opts.cached_blocks;
   if (query.steps.empty()) {
     return Status::InvalidArgument("empty translated query");
   }
@@ -409,7 +410,8 @@ ServerResponse ServerEngine::AssembleResponse(
 }
 
 Result<EngineQueryResult> ServerEngine::ExecuteNaive(
-    obs::QueryContext* ctx) const {
+    const ExecOptions& opts) const {
+  obs::QueryContext* ctx = opts.ctx;
   if (ctx != nullptr && ctx->Expired()) {
     return Status::Unavailable("deadline expired before server execution");
   }

@@ -105,36 +105,50 @@ struct EngineAggregateResult {
   EngineCallStats stats;
 };
 
+/// Per-call options for the engine surface, passed by const reference.
+/// Collapses what used to be an accreting tail of optional pointers
+/// (trace context, cache advertisement, now a database name) into one
+/// struct, so adding a knob never changes the signatures again.
+struct ExecOptions {
+  /// Optional trace to fill + deadline to respect; nullptr = fast path.
+  obs::QueryContext* ctx = nullptr;
+  /// When non-null, advertises blocks the client holds decrypted (id +
+  /// generation, wire v3); the engine may answer with id-only stubs for
+  /// advertised blocks whose generation still matches, and must ship the
+  /// payload whenever it does not (stale caches degrade to extra bytes,
+  /// never to wrong answers).
+  const std::vector<BlockAdvert>* cached_blocks = nullptr;
+  /// Which hosted database to evaluate against, for engines fronting a
+  /// multi-tenant daemon (wire v4). Empty selects the endpoint's default
+  /// database. In-process engines host exactly one database and ignore it.
+  std::string db;
+};
+
 /// The query surface an untrusted evaluator exposes to DasSystem —
 /// implemented in-process by ServerEngine and over TCP by
 /// net::RemoteServerEngine, so the protocol of §6 runs unchanged either
-/// way. Every call takes an optional obs::QueryContext (trace to fill +
-/// deadline to respect; nullptr = fast path) and returns its own
-/// measurements alongside the response.
+/// way. Every operation has exactly one signature: the required inputs
+/// plus an ExecOptions (defaulted), and returns its own measurements
+/// alongside the response.
 class QueryEngine {
  public:
   virtual ~QueryEngine() = default;
 
-  /// `cached_blocks`, when non-null, advertises blocks the client holds
-  /// decrypted (id + generation, wire v3); the engine may answer with
-  /// id-only stubs for advertised blocks whose generation still matches,
-  /// and must ship the payload whenever it does not (stale caches degrade
-  /// to extra bytes, never to wrong answers).
   virtual Result<EngineQueryResult> Execute(
-      const TranslatedQuery& query, obs::QueryContext* ctx = nullptr,
-      const std::vector<BlockAdvert>* cached_blocks = nullptr) const = 0;
+      const TranslatedQuery& query,
+      const ExecOptions& opts = ExecOptions()) const = 0;
 
   /// The naive method of §7.3: ship the whole database (skeleton + all
   /// blocks); the client decrypts everything and evaluates locally.
   virtual Result<EngineQueryResult> ExecuteNaive(
-      obs::QueryContext* ctx = nullptr) const = 0;
+      const ExecOptions& opts = ExecOptions()) const = 0;
 
   /// Aggregate evaluation (§6.4). `index_token` is the value index for the
   /// query's target tag (empty when the target is public).
   virtual Result<EngineAggregateResult> ExecuteAggregate(
       const TranslatedQuery& query, AggregateKind kind,
-      const std::string& index_token, obs::QueryContext* ctx = nullptr,
-      const std::vector<BlockAdvert>* cached_blocks = nullptr) const = 0;
+      const std::string& index_token,
+      const ExecOptions& opts = ExecOptions()) const = 0;
 };
 
 /// The untrusted server's query executor (§6.2). It sees only the
@@ -158,16 +172,16 @@ class ServerEngine : public QueryEngine {
   /// structural-join, predicate-batch, assemble) are spanned under one
   /// "server" span and summarized into the returned stats.
   Result<EngineQueryResult> Execute(
-      const TranslatedQuery& query, obs::QueryContext* ctx = nullptr,
-      const std::vector<BlockAdvert>* cached_blocks = nullptr) const override;
+      const TranslatedQuery& query,
+      const ExecOptions& opts = ExecOptions()) const override;
 
-  Result<EngineQueryResult> ExecuteNaive(obs::QueryContext* ctx = nullptr)
-      const override;
+  Result<EngineQueryResult> ExecuteNaive(
+      const ExecOptions& opts = ExecOptions()) const override;
 
   Result<EngineAggregateResult> ExecuteAggregate(
       const TranslatedQuery& query, AggregateKind kind,
-      const std::string& index_token, obs::QueryContext* ctx = nullptr,
-      const std::vector<BlockAdvert>* cached_blocks = nullptr) const override;
+      const std::string& index_token,
+      const ExecOptions& opts = ExecOptions()) const override;
 
  private:
   /// Forward pass: interval list per step (cumulative filtering). The

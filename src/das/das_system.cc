@@ -38,12 +38,38 @@ Result<DasSystem> DasSystem::Host(Document doc,
   return das;
 }
 
-Status DasSystem::ConnectRemote(const std::string& host, uint16_t port,
-                                const net::RemoteOptions& options) {
+Status DasSystem::RemoteHandle::Connect(const std::string& host, uint16_t port,
+                                        const std::string& database,
+                                        net::RemoteOptions options) {
+  if (!database.empty()) options.database = database;
   auto remote = net::RemoteServerEngine::Connect(host, port, options);
   if (!remote.ok()) return remote.status();
-  remote_ = std::move(*remote);
+  das_->remote_ = std::move(*remote);
   return Status::Ok();
+}
+
+const std::string& DasSystem::RemoteHandle::database() const {
+  static const std::string kEmpty;
+  return das_->remote_ ? das_->remote_->database() : kEmpty;
+}
+
+Result<net::NetStats> DasSystem::RemoteHandle::Stats() const {
+  if (das_->remote_ == nullptr) {
+    return Status::InvalidArgument("no remote endpoint attached");
+  }
+  return das_->remote_->Stats();
+}
+
+Result<PathExpr> DasSystem::ResolveQuery(const PathExpr& query) {
+  return query;
+}
+
+Result<PathExpr> DasSystem::ResolveQuery(const std::string& xpath) {
+  return ParseXPath(xpath);
+}
+
+Result<PathExpr> DasSystem::ResolveQuery(const char* xpath) {
+  return ParseXPath(xpath);
 }
 
 void DasSystem::ApplyEngineTiming(const EngineCallStats& stats,
@@ -67,8 +93,8 @@ QueryCosts CostsFromTrace(const obs::Trace& trace) {
   return costs;
 }
 
-Result<QueryRun> DasSystem::Execute(const PathExpr& query,
-                                    obs::QueryContext* ctx) const {
+Result<QueryRun> DasSystem::ExecutePath(const PathExpr& query,
+                                        obs::QueryContext* ctx) const {
   obs::Trace* trace = obs::TraceOf(ctx);
   QueryCosts costs;
   Stopwatch watch;
@@ -81,9 +107,10 @@ Result<QueryRun> DasSystem::Execute(const PathExpr& query,
   // Advertise cached blocks with the query; payloads stay pinned until
   // post-processing so a concurrent eviction cannot orphan a stub.
   const CachedBlockSet cache_set = client_->AdvertiseCachedBlocks(trace);
-  auto result = engine().Execute(*translated, ctx,
-                                 cache_set.empty() ? nullptr
-                                                   : &cache_set.adverts);
+  ExecOptions exec;
+  exec.ctx = ctx;
+  exec.cached_blocks = cache_set.empty() ? nullptr : &cache_set.adverts;
+  auto result = engine().Execute(*translated, exec);
   if (!result.ok()) return result.status();
   ApplyEngineTiming(result->stats, &costs);
 
@@ -91,25 +118,19 @@ Result<QueryRun> DasSystem::Execute(const PathExpr& query,
                 &cache_set);
 }
 
-Result<QueryRun> DasSystem::Execute(const std::string& xpath,
-                                    obs::QueryContext* ctx) const {
-  auto query = ParseXPath(xpath);
-  if (!query.ok()) return query.status();
-  return Execute(*query, ctx);
-}
-
-Result<QueryRun> DasSystem::ExecuteNaive(const PathExpr& query,
-                                         obs::QueryContext* ctx) const {
+Result<QueryRun> DasSystem::ExecuteNaivePath(const PathExpr& query,
+                                             obs::QueryContext* ctx) const {
   QueryCosts costs;
-  auto result = engine().ExecuteNaive(ctx);
+  ExecOptions exec;
+  exec.ctx = ctx;
+  auto result = engine().ExecuteNaive(exec);
   if (!result.ok()) return result.status();
   ApplyEngineTiming(result->stats, &costs);
   return Finish(query, std::move(*result), costs, TranslatedQuery{}, ctx);
 }
 
-Result<AggregateRun> DasSystem::ExecuteAggregate(const PathExpr& path,
-                                                 AggregateKind kind,
-                                                 obs::QueryContext* ctx) const {
+Result<AggregateRun> DasSystem::ExecuteAggregatePath(
+    const PathExpr& path, AggregateKind kind, obs::QueryContext* ctx) const {
   obs::Trace* trace = obs::TraceOf(ctx);
   QueryCosts costs;
   Stopwatch watch;
@@ -122,9 +143,10 @@ Result<AggregateRun> DasSystem::ExecuteAggregate(const PathExpr& path,
   costs.client_translate_us = watch.ElapsedMicros();
 
   const CachedBlockSet cache_set = client_->AdvertiseCachedBlocks(trace);
-  auto result = engine().ExecuteAggregate(
-      *translated, kind, *token, ctx,
-      cache_set.empty() ? nullptr : &cache_set.adverts);
+  ExecOptions exec;
+  exec.ctx = ctx;
+  exec.cached_blocks = cache_set.empty() ? nullptr : &cache_set.adverts;
+  auto result = engine().ExecuteAggregate(*translated, kind, *token, exec);
   if (!result.ok()) return result.status();
   ApplyEngineTiming(result->stats, &costs);
   const AggregateResponse& response = result->response;
@@ -155,14 +177,6 @@ Result<AggregateRun> DasSystem::ExecuteAggregate(const PathExpr& path,
   return run;
 }
 
-Result<AggregateRun> DasSystem::ExecuteAggregate(const std::string& xpath,
-                                                 AggregateKind kind,
-                                                 obs::QueryContext* ctx) const {
-  auto path = ParseXPath(xpath);
-  if (!path.ok()) return path.status();
-  return ExecuteAggregate(*path, kind, ctx);
-}
-
 namespace {
 /// Updates mutate the hosted bundle in place; a remote daemon serves an
 /// immutable snapshot of it, so applying them locally would silently
@@ -172,7 +186,7 @@ Status RejectUpdateWhileRemote(bool remote_attached) {
   if (remote_attached) {
     return Status::Unsupported(
         "updates are not propagated to a connected remote server; "
-        "DisconnectRemote() first");
+        "Remote().Disconnect() first");
   }
   return Status::Ok();
 }
@@ -180,7 +194,7 @@ Status RejectUpdateWhileRemote(bool remote_attached) {
 
 Result<int> DasSystem::UpdateValues(const std::string& xpath,
                                     const std::string& value) {
-  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_attached()));
+  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_ != nullptr));
   auto path = ParseXPath(xpath);
   if (!path.ok()) return path.status();
   auto updated = client_->UpdateValues(*path, value);
@@ -194,7 +208,7 @@ Result<int> DasSystem::UpdateValues(const std::string& xpath,
 
 Status DasSystem::InsertSubtree(const std::string& parent_xpath,
                                 const Document& fragment) {
-  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_attached()));
+  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_ != nullptr));
   auto path = ParseXPath(parent_xpath);
   if (!path.ok()) return path.status();
   XCRYPT_RETURN_NOT_OK(client_->InsertSubtree(*path, fragment));
@@ -204,7 +218,7 @@ Status DasSystem::InsertSubtree(const std::string& parent_xpath,
 }
 
 Result<int> DasSystem::DeleteSubtrees(const std::string& xpath) {
-  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_attached()));
+  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_ != nullptr));
   auto path = ParseXPath(xpath);
   if (!path.ok()) return path.status();
   auto removed = client_->DeleteSubtrees(*path);

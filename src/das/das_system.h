@@ -9,6 +9,7 @@
 #include "core/client.h"
 #include "core/server.h"
 #include "net/remote_engine.h"
+#include "xpath/ast.h"
 
 namespace xcrypt {
 
@@ -119,45 +120,79 @@ class DasSystem {
                                 const std::string& master_secret,
                                 const Options& options = Options());
 
-  /// Runs the full 5-step protocol of §6 for one query. An optional
-  /// context carries a trace (spanning every phase of the run, client and
-  /// server alike) and a deadline the engine respects.
-  Result<QueryRun> Execute(const PathExpr& query,
-                           obs::QueryContext* ctx = nullptr) const;
-  Result<QueryRun> Execute(const std::string& xpath,
-                           obs::QueryContext* ctx = nullptr) const;
+  /// Runs the full 5-step protocol of §6 for one query. Every entry
+  /// point takes the query as either a parsed PathExpr or an XPath
+  /// string — one templated surface forwards both spellings through
+  /// ResolveQuery, so the two stay symmetric by construction. An
+  /// optional context carries a trace (spanning every phase of the run,
+  /// client and server alike) and a deadline the engine respects.
+  template <typename Query>
+  Result<QueryRun> Execute(const Query& query,
+                           obs::QueryContext* ctx = nullptr) const {
+    auto path = ResolveQuery(query);
+    if (!path.ok()) return path.status();
+    return ExecutePath(*path, ctx);
+  }
 
   /// The naive method of §7.3: ship the entire encrypted database and
   /// evaluate at the client.
-  Result<QueryRun> ExecuteNaive(const PathExpr& query,
-                                obs::QueryContext* ctx = nullptr) const;
+  template <typename Query>
+  Result<QueryRun> ExecuteNaive(const Query& query,
+                                obs::QueryContext* ctx = nullptr) const {
+    auto path = ResolveQuery(query);
+    if (!path.ok()) return path.status();
+    return ExecuteNaivePath(*path, ctx);
+  }
 
   /// Aggregate evaluation (§6.4): MIN/MAX over encrypted values decrypt a
   /// single block; COUNT/SUM fall back to shipping the bound blocks;
   /// aggregates over public values never leave the server.
-  Result<AggregateRun> ExecuteAggregate(const PathExpr& path,
+  template <typename Query>
+  Result<AggregateRun> ExecuteAggregate(const Query& query,
                                         AggregateKind kind,
                                         obs::QueryContext* ctx = nullptr)
-      const;
-  Result<AggregateRun> ExecuteAggregate(const std::string& xpath,
-                                        AggregateKind kind,
-                                        obs::QueryContext* ctx = nullptr)
-      const;
+      const {
+    auto path = ResolveQuery(query);
+    if (!path.ok()) return path.status();
+    return ExecuteAggregatePath(*path, kind, ctx);
+  }
 
   // --- Remote service (Figure 1 over an actual wire) -------------------
 
-  /// Routes all subsequent queries through an xcrypt_serve endpoint
-  /// hosting this system's bundle (see storage/serializer.h) instead of
-  /// the in-process engine. Query costs then report measured transmission
-  /// time. Fails (leaving the in-process path active) when the endpoint
-  /// is unreachable or speaks the wrong protocol version.
-  Status ConnectRemote(const std::string& host, uint16_t port,
-                       const net::RemoteOptions& options =
-                           net::RemoteOptions());
+  /// Handle over this system's remote attachment. Obtained via Remote();
+  /// groups connect/disconnect/inspection behind one small surface
+  /// instead of three loose methods on DasSystem.
+  class RemoteHandle {
+   public:
+    /// Routes all subsequent queries through an xcrypt_serve endpoint
+    /// hosting this system's bundle (see storage/serializer.h) instead
+    /// of the in-process engine; `database` selects one of a catalog
+    /// daemon's databases ("" = its default). Query costs then report
+    /// measured transmission time. Fails (leaving the in-process path
+    /// active) when the endpoint is unreachable or speaks the wrong
+    /// protocol version.
+    Status Connect(const std::string& host, uint16_t port,
+                   const std::string& database = std::string(),
+                   net::RemoteOptions options = net::RemoteOptions());
 
-  /// Returns to in-process evaluation.
-  void DisconnectRemote() { remote_.reset(); }
-  bool remote_attached() const { return remote_ != nullptr; }
+    /// Returns to in-process evaluation.
+    void Disconnect() { das_->remote_.reset(); }
+    bool attached() const { return das_->remote_ != nullptr; }
+
+    /// The connected session's target database ("" when detached or
+    /// using the daemon's default).
+    const std::string& database() const;
+
+    /// Daemon-side counters for the connected endpoint.
+    Result<net::NetStats> Stats() const;
+
+   private:
+    friend class DasSystem;
+    explicit RemoteHandle(DasSystem* das) : das_(das) {}
+    DasSystem* das_;
+  };
+
+  RemoteHandle Remote() { return RemoteHandle(this); }
 
   // --- Updates (future-work item (3); see Client) ----------------------
 
@@ -173,6 +208,20 @@ class DasSystem {
 
  private:
   DasSystem() = default;
+
+  /// Normalizes the two query spellings behind the templated entry
+  /// points: a PathExpr passes through, a string parses.
+  static Result<PathExpr> ResolveQuery(const PathExpr& query);
+  static Result<PathExpr> ResolveQuery(const std::string& xpath);
+  static Result<PathExpr> ResolveQuery(const char* xpath);
+
+  Result<QueryRun> ExecutePath(const PathExpr& query,
+                               obs::QueryContext* ctx) const;
+  Result<QueryRun> ExecuteNaivePath(const PathExpr& query,
+                                    obs::QueryContext* ctx) const;
+  Result<AggregateRun> ExecuteAggregatePath(const PathExpr& path,
+                                            AggregateKind kind,
+                                            obs::QueryContext* ctx) const;
 
   Result<QueryRun> Finish(const PathExpr& query, EngineQueryResult engine_run,
                           QueryCosts costs, TranslatedQuery translated,

@@ -1,0 +1,227 @@
+#include "net/catalog.h"
+
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace xcrypt {
+namespace net {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Cheap change detector for a bundle file: mtime (ns) + size. Taken
+/// BEFORE the file is read, so an upload racing the load at worst makes
+/// the fingerprint stale and triggers one extra reload on the next Get —
+/// never a missed update.
+bool Fingerprint(const std::string& path, int64_t* mtime_ns, int64_t* size) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(path, ec);
+  if (ec) return false;
+  const auto bytes = fs::file_size(path, ec);
+  if (ec) return false;
+  *mtime_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  mtime.time_since_epoch())
+                  .count();
+  *size = static_cast<int64_t>(bytes);
+  return true;
+}
+
+}  // namespace
+
+BundleCatalog::BundleCatalog(const CatalogOptions& options)
+    : options_(options) {}
+
+Result<std::unique_ptr<BundleCatalog>> BundleCatalog::Open(
+    const std::string& dir, const CatalogOptions& options) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::NotFound("cannot read catalog directory " + dir + ": " +
+                            ec.message());
+  }
+  auto catalog = std::make_unique<BundleCatalog>(options);
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != ".xcr") continue;
+    const std::string name = path.stem().string();
+    if (name.empty()) continue;
+    Slot slot;
+    slot.path = path.string();
+    catalog->slots_.emplace(name, std::move(slot));
+  }
+  if (catalog->slots_.empty()) {
+    return Status::InvalidArgument("no .xcr bundles in " + dir);
+  }
+  return catalog;
+}
+
+Status BundleCatalog::AddBundle(const std::string& name, HostedBundle bundle) {
+  if (name.empty()) {
+    return Status::InvalidArgument("database name must not be empty");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  // If a disk load of the same name is mid-flight, let it publish first;
+  // the pinned bundle then cleanly replaces it.
+  load_cv_.wait(lock, [&] {
+    auto it = slots_.find(name);
+    return it == slots_.end() || !it->second.loading;
+  });
+  Slot& slot = slots_[name];
+  slot.path.clear();
+  slot.pinned = true;
+  std::shared_ptr<ResidentDb> fresh(new ResidentDb());
+  fresh->name_ = name;
+  fresh->bundle_ = std::move(bundle);
+  fresh->engine_ = std::make_unique<ServerEngine>(&fresh->bundle_.database,
+                                                  &fresh->bundle_.metadata);
+  slot.loads += 1;
+  fresh->generation_ = slot.loads;
+  slot.resident = std::move(fresh);
+  slot.last_used = ++use_tick_;
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const ResidentDb>> BundleCatalog::Get(
+    const std::string& name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = slots_.find(name);
+    if (it == slots_.end()) {
+      // Pure map miss: hostile names ("../…") never reach the filesystem.
+      return Status::NotFound("no database named \"" + name + "\"");
+    }
+    Slot& slot = it->second;
+    if (slot.loading) {
+      // Another thread is building this engine; wait for it instead of
+      // racing a second disk read, then re-resolve from scratch (the slot
+      // may have been unloaded meanwhile).
+      load_cv_.wait(lock);
+      continue;
+    }
+    if (slot.resident != nullptr && options_.hot_reload && !slot.pinned) {
+      int64_t mtime_ns = 0, size = 0;
+      if (Fingerprint(slot.path, &mtime_ns, &size) &&
+          (mtime_ns != slot.file_mtime_ns || size != slot.file_size)) {
+        // Owner re-uploaded: unlink the old resident (in-flight handles
+        // keep it alive) and fall through to a fresh load.
+        slot.resident = nullptr;
+      }
+    }
+    if (slot.resident != nullptr) {
+      slot.last_used = ++use_tick_;
+      return slot.resident;
+    }
+    return LoadSlot(lock, name, slot.path);
+  }
+}
+
+Result<std::shared_ptr<const ResidentDb>> BundleCatalog::LoadSlot(
+    std::unique_lock<std::mutex>& lock, const std::string& name,
+    const std::string& path) {
+  slots_[name].loading = true;
+  lock.unlock();
+
+  // Disk read + engine build happen outside the catalog lock: a cold load
+  // of one database never stalls queries against the others.
+  int64_t mtime_ns = 0, size = 0;
+  const bool have_fp = Fingerprint(path, &mtime_ns, &size);
+  auto bundle = LoadBundle(path);
+  std::shared_ptr<ResidentDb> fresh;
+  if (bundle.ok()) {
+    fresh = std::shared_ptr<ResidentDb>(new ResidentDb());
+    fresh->name_ = name;
+    fresh->bundle_ = std::move(*bundle);
+    fresh->engine_ = std::make_unique<ServerEngine>(&fresh->bundle_.database,
+                                                    &fresh->bundle_.metadata);
+  }
+
+  lock.lock();
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    // Unloaded while we were reading; don't resurrect it.
+    load_cv_.notify_all();
+    return Status::NotFound("database \"" + name + "\" was unloaded");
+  }
+  Slot& slot = it->second;
+  slot.loading = false;
+  load_cv_.notify_all();
+  if (!bundle.ok()) return bundle.status();
+  slot.loads += 1;
+  fresh->generation_ = slot.loads;
+  slot.resident = std::move(fresh);
+  slot.file_mtime_ns = have_fp ? mtime_ns : 0;
+  slot.file_size = have_fp ? size : 0;
+  slot.last_used = ++use_tick_;
+  std::shared_ptr<const ResidentDb> handle = slot.resident;
+  EvictIfNeeded(name);
+  return handle;
+}
+
+void BundleCatalog::EvictIfNeeded(const std::string& keep) {
+  if (options_.max_resident <= 0) return;
+  for (;;) {
+    int resident = 0;
+    for (const auto& [n, s] : slots_) {
+      if (s.resident != nullptr && !s.pinned) ++resident;
+    }
+    if (resident <= options_.max_resident) return;
+    // Drop the least-recently-used unpinned resident (never `keep`).
+    std::map<std::string, Slot>::iterator victim = slots_.end();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      const Slot& s = it->second;
+      if (s.resident == nullptr || s.pinned || it->first == keep) continue;
+      if (victim == slots_.end() ||
+          s.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == slots_.end()) return;  // everything protected
+    victim->second.resident = nullptr;
+  }
+}
+
+Status BundleCatalog::Reload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    return Status::NotFound("no database named \"" + name + "\"");
+  }
+  if (it->second.pinned) return Status::Ok();  // no file to reload from
+  it->second.resident = nullptr;
+  return Status::Ok();
+}
+
+Status BundleCatalog::Unload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    return Status::NotFound("no database named \"" + name + "\"");
+  }
+  slots_.erase(it);
+  load_cv_.notify_all();  // wake waiters so they observe the NotFound
+  return Status::Ok();
+}
+
+std::vector<std::string> BundleCatalog::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) names.push_back(name);
+  return names;
+}
+
+int BundleCatalog::ResidentCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int count = 0;
+  for (const auto& [name, slot] : slots_) {
+    if (slot.resident != nullptr && !slot.pinned) ++count;
+  }
+  return count;
+}
+
+}  // namespace net
+}  // namespace xcrypt

@@ -1,0 +1,142 @@
+#ifndef XCRYPT_NET_CATALOG_H_
+#define XCRYPT_NET_CATALOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/server.h"
+#include "storage/serializer.h"
+
+namespace xcrypt {
+namespace net {
+
+struct CatalogOptions {
+  CatalogOptions() {}
+  /// Upper bound on file-backed databases resident in memory at once
+  /// (<= 0 = unbounded). When a lazy load would exceed it, the
+  /// least-recently-used unpinned database is evicted; in-flight queries
+  /// holding its handle finish unharmed (shared_ptr pinning).
+  int max_resident = 8;
+  /// Re-fingerprint the backing file (mtime + size) on every Get and
+  /// transparently reload when it changed — an updated bundle file swaps
+  /// in without restarting the daemon.
+  bool hot_reload = true;
+};
+
+/// One database resident in memory: the hosted bundle plus the engine
+/// built over it. Handed out as shared_ptr<const ResidentDb>, so a reload
+/// or eviction only unlinks it from the catalog — every in-flight query
+/// keeps its engine (and the bundle the engine points into) alive until
+/// the last handle drops.
+class ResidentDb {
+ public:
+  const std::string& name() const { return name_; }
+  /// Catalog-assigned generation: 1 on first load, bumped on every
+  /// reload of the same name. (The bundle's own owner-assigned
+  /// generation, if any, is at bundle().generation.)
+  uint64_t generation() const { return generation_; }
+  const HostedBundle& bundle() const { return bundle_; }
+  const ServerEngine& engine() const { return *engine_; }
+
+ private:
+  friend class BundleCatalog;
+  ResidentDb() = default;
+
+  std::string name_;
+  uint64_t generation_ = 0;
+  HostedBundle bundle_;
+  /// Built over bundle_'s database/metadata; bundle_ must never move
+  /// after construction (ResidentDb is heap-pinned via shared_ptr).
+  std::unique_ptr<ServerEngine> engine_;
+};
+
+/// Maps database names to lazily-loaded ServerEngines — the multi-tenant
+/// heart of xcrypt_serve. Names come from a directory scan (one `.xcr`
+/// bundle file per database, name = filename stem) and/or in-memory
+/// bundles pinned with AddBundle. Lookup is a pure map probe: a request
+/// can only ever reach a pre-scanned path, so hostile names ("../…")
+/// fail with NotFound instead of touching the filesystem.
+///
+/// Thread-safe. A database is loaded (disk read + engine build) outside
+/// the catalog lock, with a per-slot loading latch so concurrent Gets for
+/// the same cold name wait for one load instead of racing N.
+class BundleCatalog {
+ public:
+  explicit BundleCatalog(const CatalogOptions& options = CatalogOptions());
+
+  BundleCatalog(const BundleCatalog&) = delete;
+  BundleCatalog& operator=(const BundleCatalog&) = delete;
+
+  /// Scans `dir` for `*.xcr` bundle files and registers each as a
+  /// database named after its filename stem (nothing is loaded yet).
+  /// Fails with NotFound if the directory cannot be read and with
+  /// InvalidArgument if it holds no bundles.
+  static Result<std::unique_ptr<BundleCatalog>> Open(
+      const std::string& dir, const CatalogOptions& options = CatalogOptions());
+
+  /// Registers an in-memory bundle under `name`. Pinned: never evicted,
+  /// never hot-reloaded (there is no file to watch). Replaces an existing
+  /// entry of the same name, bumping its generation.
+  Status AddBundle(const std::string& name, HostedBundle bundle);
+
+  /// Resolves a database, loading (or hot-reloading) it as needed. The
+  /// returned handle stays valid — engine included — even if the entry is
+  /// evicted or reloaded while the caller still computes with it.
+  Result<std::shared_ptr<const ResidentDb>> Get(const std::string& name);
+
+  /// Forces the next Get of `name` to reload from disk (no-op for pinned
+  /// in-memory entries). In-flight handles are unaffected.
+  Status Reload(const std::string& name);
+
+  /// Removes `name` from the catalog entirely. In-flight handles are
+  /// unaffected.
+  Status Unload(const std::string& name);
+
+  /// All registered database names, sorted.
+  std::vector<std::string> List() const;
+
+  /// How many file-backed databases are resident right now (pinned
+  /// in-memory entries excluded) — the number the LRU bound applies to.
+  int ResidentCount() const;
+
+ private:
+  struct Slot {
+    std::string path;    ///< backing file; empty = in-memory pinned entry
+    bool pinned = false;
+    bool loading = false;  ///< a thread is off building this engine
+    uint64_t loads = 0;    ///< completed loads; source of generation()
+    uint64_t last_used = 0;
+    /// Fingerprint of `path` at load time (mtime ns + size); a mismatch
+    /// on Get means the owner re-uploaded and triggers a hot reload.
+    int64_t file_mtime_ns = 0;
+    int64_t file_size = 0;
+    std::shared_ptr<const ResidentDb> resident;  ///< null = not loaded
+  };
+
+  /// Loads `name` from `path`: sets the slot's loading latch, drops the
+  /// lock for the disk read + engine build, re-locks to publish.
+  Result<std::shared_ptr<const ResidentDb>> LoadSlot(
+      std::unique_lock<std::mutex>& lock, const std::string& name,
+      const std::string& path);
+
+  /// Drops LRU unpinned residents until the bound holds (mu_ held).
+  /// `keep` survives even if it is the oldest.
+  void EvictIfNeeded(const std::string& keep);
+
+  CatalogOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable load_cv_;
+  uint64_t use_tick_ = 0;
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace net
+}  // namespace xcrypt
+
+#endif  // XCRYPT_NET_CATALOG_H_

@@ -3,8 +3,9 @@
 namespace xcrypt {
 namespace net {
 
-Status WriteFrame(Socket& sock, MessageType type, const Bytes& payload) {
-  const Bytes frame = EncodeFrame(type, payload);
+Status WriteFrame(Socket& sock, MessageType type, const Bytes& payload,
+                  uint8_t version) {
+  const Bytes frame = EncodeFrame(type, payload, version);
   return sock.SendAll(frame.data(), frame.size());
 }
 

@@ -9,8 +9,10 @@
 namespace xcrypt {
 namespace net {
 
-/// Sends one complete frame.
-Status WriteFrame(Socket& sock, MessageType type, const Bytes& payload);
+/// Sends one complete frame. A daemon passes the version of the request
+/// frame it is answering, so a v3 session gets v3 replies.
+Status WriteFrame(Socket& sock, MessageType type, const Bytes& payload,
+                  uint8_t version = kWireVersion);
 
 /// Receives one complete frame: header first (validated before the
 /// payload is allocated, so a corrupt length can never balloon memory),

@@ -1,6 +1,7 @@
 #include "net/remote_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "common/timer.h"
@@ -28,7 +29,29 @@ void RecordRemoteSpans(obs::QueryContext* ctx, const EngineCallStats& stats) {
                 obs::Trace::kNoParent);
 }
 
+uint64_t DeriveBackoffSeed(const RemoteOptions& options, const void* self) {
+  if (options.backoff_seed != 0) return options.backoff_seed;
+  uint64_t state =
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      reinterpret_cast<uintptr_t>(self);
+  return SplitMix64(state);
+}
+
 }  // namespace
+
+double NextBackoffMs(double prev_ms, double base_ms, double cap_ms, Rng& rng) {
+  if (base_ms <= 0.0) base_ms = 1.0;
+  const double upper = std::max(base_ms, prev_ms * 3.0);
+  return std::min(cap_ms, rng.UniformDouble(base_ms, upper));
+}
+
+RemoteServerEngine::RemoteServerEngine(std::string host, uint16_t port,
+                                       RemoteOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(std::move(options)),
+      backoff_rng_(DeriveBackoffSeed(options_, this)) {}
 
 Result<std::unique_ptr<RemoteServerEngine>> RemoteServerEngine::Connect(
     const std::string& host, uint16_t port, const RemoteOptions& options) {
@@ -48,15 +71,23 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
   std::lock_guard<std::mutex> lock(mu_);
   stats->transport = EngineCallStats::Transport::kRemote;
   Status last_error = Status::Unavailable("no attempt made");
-  double backoff_ms = options_.initial_backoff_ms;
+  double backoff_ms = 0.0;        // previous sleep; 0 before any retry
+  double server_hint_ms = 0.0;    // daemon-suggested floor (wire v4)
 
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
+      // Decorrelated jitter spreads a fleet of retrying clients out;
+      // a server-sent retry-after hint floors the sleep so a shedding
+      // daemon is not hammered faster than it asked for.
+      backoff_ms = NextBackoffMs(backoff_ms, options_.initial_backoff_ms,
+                                 options_.max_backoff_ms, backoff_rng_);
+      backoff_ms = std::max(backoff_ms, std::min(server_hint_ms,
+                                                 options_.max_backoff_ms));
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2.0, options_.max_backoff_ms);
       ++stats->retries;
     }
+    server_hint_ms = 0.0;
     if (!sock_.valid()) {
       auto sock = Socket::Dial(host_, port_, options_.connect_timeout_sec,
                                options_.request_timeout_sec);
@@ -80,8 +111,18 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
         stats->bytes_received =
             static_cast<int64_t>(kFrameHeaderBytes + reply->payload.size());
         if (reply->type == MessageType::kError) {
-          // Deterministic server-side failure; retrying cannot help.
-          return DecodeError(reply->payload);
+          double hint_ms = 0.0;
+          last_error = DecodeError(reply->payload, reply->version, &hint_ms);
+          if (last_error.code() == StatusCode::kUnavailable) {
+            // Admission-control shed: transient by definition. The frame
+            // arrived intact, so the session is still aligned — keep the
+            // connection and retry after the suggested backoff.
+            server_hint_ms = hint_ms;
+            continue;
+          }
+          // Any other server-side failure is deterministic; retrying
+          // cannot help.
+          return last_error;
         }
         if (reply->type != expected_reply) {
           sock_.Close();  // stream state is suspect
@@ -107,9 +148,8 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
 }
 
 Result<EngineQueryResult> RemoteServerEngine::Execute(
-    const TranslatedQuery& query, obs::QueryContext* ctx,
-    const std::vector<BlockAdvert>* cached_blocks) const {
-  if (ctx != nullptr && ctx->Expired()) {
+    const TranslatedQuery& query, const ExecOptions& opts) const {
+  if (opts.ctx != nullptr && opts.ctx->Expired()) {
     return Status::Unavailable("deadline expired before remote call");
   }
   static const std::vector<BlockAdvert> kNoAdverts;
@@ -117,41 +157,43 @@ Result<EngineQueryResult> RemoteServerEngine::Execute(
   auto reply = RoundTrip(
       MessageType::kQueryRequest,
       EncodeQueryRequest(query,
-                         cached_blocks != nullptr ? *cached_blocks : kNoAdverts),
+                         opts.cached_blocks != nullptr ? *opts.cached_blocks
+                                                       : kNoAdverts,
+                         DbFor(opts)),
       MessageType::kQueryResponse, &out.stats);
   if (!reply.ok()) return reply.status();
   auto msg = DecodeQueryResponse(reply->payload);
   if (!msg.ok()) return msg.status();
   out.stats.server_process_us = msg->server_process_us;
   out.stats.server_phases = std::move(msg->server_phases);
-  RecordRemoteSpans(ctx, out.stats);
+  RecordRemoteSpans(opts.ctx, out.stats);
   out.response = std::move(msg->response);
   return out;
 }
 
 Result<EngineQueryResult> RemoteServerEngine::ExecuteNaive(
-    obs::QueryContext* ctx) const {
-  if (ctx != nullptr && ctx->Expired()) {
+    const ExecOptions& opts) const {
+  if (opts.ctx != nullptr && opts.ctx->Expired()) {
     return Status::Unavailable("deadline expired before remote call");
   }
   EngineQueryResult out;
-  auto reply = RoundTrip(MessageType::kNaiveRequest, Bytes(),
+  auto reply = RoundTrip(MessageType::kNaiveRequest,
+                         EncodeNaiveRequest(DbFor(opts)),
                          MessageType::kQueryResponse, &out.stats);
   if (!reply.ok()) return reply.status();
   auto msg = DecodeQueryResponse(reply->payload);
   if (!msg.ok()) return msg.status();
   out.stats.server_process_us = msg->server_process_us;
   out.stats.server_phases = std::move(msg->server_phases);
-  RecordRemoteSpans(ctx, out.stats);
+  RecordRemoteSpans(opts.ctx, out.stats);
   out.response = std::move(msg->response);
   return out;
 }
 
 Result<EngineAggregateResult> RemoteServerEngine::ExecuteAggregate(
     const TranslatedQuery& query, AggregateKind kind,
-    const std::string& index_token, obs::QueryContext* ctx,
-    const std::vector<BlockAdvert>* cached_blocks) const {
-  if (ctx != nullptr && ctx->Expired()) {
+    const std::string& index_token, const ExecOptions& opts) const {
+  if (opts.ctx != nullptr && opts.ctx->Expired()) {
     return Status::Unavailable("deadline expired before remote call");
   }
   static const std::vector<BlockAdvert> kNoAdverts;
@@ -159,15 +201,17 @@ Result<EngineAggregateResult> RemoteServerEngine::ExecuteAggregate(
   auto reply = RoundTrip(
       MessageType::kAggregateRequest,
       EncodeAggregateRequest(query, kind, index_token,
-                             cached_blocks != nullptr ? *cached_blocks
-                                                      : kNoAdverts),
+                             opts.cached_blocks != nullptr
+                                 ? *opts.cached_blocks
+                                 : kNoAdverts,
+                             DbFor(opts)),
       MessageType::kAggregateResponse, &out.stats);
   if (!reply.ok()) return reply.status();
   auto msg = DecodeAggregateResponse(reply->payload);
   if (!msg.ok()) return msg.status();
   out.stats.server_process_us = msg->server_process_us;
   out.stats.server_phases = std::move(msg->server_phases);
-  RecordRemoteSpans(ctx, out.stats);
+  RecordRemoteSpans(opts.ctx, out.stats);
   out.response = std::move(msg->response);
   return out;
 }
@@ -179,12 +223,14 @@ Status RemoteServerEngine::Ping() const {
   return reply.ok() ? Status::Ok() : reply.status();
 }
 
-Result<NetStats> RemoteServerEngine::Stats() const {
+Result<NetStats> RemoteServerEngine::Stats(const std::string& db) const {
   EngineCallStats stats;
-  auto reply = RoundTrip(MessageType::kStatsRequest, Bytes(),
-                         MessageType::kStatsResponse, &stats);
+  auto reply = RoundTrip(
+      MessageType::kStatsRequest,
+      EncodeStatsRequest(db.empty() ? options_.database : db),
+      MessageType::kStatsResponse, &stats);
   if (!reply.ok()) return reply.status();
-  return DecodeStats(reply->payload);
+  return DecodeStats(reply->payload, reply->version);
 }
 
 }  // namespace net

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/random.h"
 #include "core/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -18,15 +19,31 @@ struct RemoteOptions {
   double connect_timeout_sec = 5.0;
   double request_timeout_sec = 30.0;
   /// Total tries per request (1 first attempt + up to N-1 retries).
-  /// Only transient transport failures (Unavailable) are retried, with
-  /// exponential backoff; queries are read-only, so replaying one on a
-  /// fresh connection is always safe. Server-reported query errors are
-  /// deterministic and returned immediately.
+  /// Only transient failures (Unavailable) are retried — transport drops
+  /// and admission-control sheds alike — with decorrelated-jitter
+  /// backoff; queries are read-only, so replaying one is always safe.
+  /// Other server-reported errors are deterministic and returned
+  /// immediately.
   int max_attempts = 4;
   double initial_backoff_ms = 50.0;
   double max_backoff_ms = 2000.0;
   uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Which of the daemon's databases this session targets (wire v4).
+  /// Empty = the daemon's default database. A per-call ExecOptions::db
+  /// overrides it for that call.
+  std::string database;
+  /// Seed for the backoff jitter (0 = derive one from the clock and this
+  /// stub's address). Fixed seeds make retry schedules reproducible in
+  /// tests; distinct stubs still get distinct streams.
+  uint64_t backoff_seed = 0;
 };
+
+/// One decorrelated-jitter backoff step (AWS style): uniform in
+/// [base, max(base, prev*3)], capped at `cap`. Consecutive sleeps are
+/// randomized AND grow from the previous sleep, so a fleet of clients
+/// retrying a recovering daemon spreads out instead of stampeding in
+/// lockstep the way deterministic exponential backoff does.
+double NextBackoffMs(double prev_ms, double base_ms, double cap_ms, Rng& rng);
 
 /// ServerEngine's network twin: the same QueryEngine surface, evaluated
 /// by an xcrypt_serve daemon on the other end of a TCP connection. The
@@ -49,30 +66,41 @@ class RemoteServerEngine : public QueryEngine {
   /// measurement. A context's trace receives the call as recorded
   /// "server" (+ phases) and "transmit" spans.
   Result<EngineQueryResult> Execute(
-      const TranslatedQuery& query, obs::QueryContext* ctx = nullptr,
-      const std::vector<BlockAdvert>* cached_blocks = nullptr) const override;
-  Result<EngineQueryResult> ExecuteNaive(obs::QueryContext* ctx = nullptr)
-      const override;
+      const TranslatedQuery& query,
+      const ExecOptions& opts = ExecOptions()) const override;
+  Result<EngineQueryResult> ExecuteNaive(
+      const ExecOptions& opts = ExecOptions()) const override;
   Result<EngineAggregateResult> ExecuteAggregate(
       const TranslatedQuery& query, AggregateKind kind,
-      const std::string& index_token, obs::QueryContext* ctx = nullptr,
-      const std::vector<BlockAdvert>* cached_blocks = nullptr) const override;
+      const std::string& index_token,
+      const ExecOptions& opts = ExecOptions()) const override;
 
   Status Ping() const;
-  Result<NetStats> Stats() const;
+  /// Daemon counters; `db` selects which database's size fields the
+  /// reply describes (empty = the session database, or daemon default).
+  Result<NetStats> Stats(const std::string& db = std::string()) const;
 
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
+  /// The session's target database ("" = daemon default).
+  const std::string& database() const { return options_.database; }
 
  private:
-  RemoteServerEngine(std::string host, uint16_t port, RemoteOptions options)
-      : host_(std::move(host)), port_(port), options_(options) {}
+  RemoteServerEngine(std::string host, uint16_t port, RemoteOptions options);
 
   /// Sends one request and reads the reply, retrying transient failures
-  /// per RemoteOptions. On success fills the wire facts of `stats`.
+  /// per RemoteOptions — including Unavailable error frames (admission
+  /// sheds), whose retry-after hint floors the next backoff. On success
+  /// fills the wire facts of `stats`.
   Result<Frame> RoundTrip(MessageType type, const Bytes& payload,
                           MessageType expected_reply,
                           EngineCallStats* stats) const;
+
+  /// The db field a call should carry: per-call override or the session
+  /// database.
+  const std::string& DbFor(const ExecOptions& opts) const {
+    return opts.db.empty() ? options_.database : opts.db;
+  }
 
   std::string host_;
   uint16_t port_ = 0;
@@ -82,6 +110,8 @@ class RemoteServerEngine : public QueryEngine {
   /// serialize here. All per-call state lives on the caller's stack.
   mutable std::mutex mu_;
   mutable Socket sock_;
+  /// Jitter source for retry backoff; guarded by mu_ like the socket.
+  mutable Rng backoff_rng_;
 };
 
 }  // namespace net

@@ -14,16 +14,37 @@ constexpr double kStopPollSec = 0.1;
 Result<std::unique_ptr<NetServer>> NetServer::Serve(
     HostedBundle bundle, const std::string& host, uint16_t port,
     const NetServerOptions& options) {
+  const std::string name = bundle.name.empty() ? "default" : bundle.name;
+  auto catalog = std::make_unique<BundleCatalog>();
+  XCRYPT_RETURN_NOT_OK(catalog->AddBundle(name, std::move(bundle)));
+  NetServerOptions opts = options;
+  if (opts.default_db.empty()) opts.default_db = name;
+  return Start(std::move(catalog), host, port, opts);
+}
+
+Result<std::unique_ptr<NetServer>> NetServer::ServeCatalog(
+    std::unique_ptr<BundleCatalog> catalog, const std::string& host,
+    uint16_t port, const NetServerOptions& options) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("catalog must not be null");
+  }
+  return Start(std::move(catalog), host, port, options);
+}
+
+Result<std::unique_ptr<NetServer>> NetServer::Start(
+    std::unique_ptr<BundleCatalog> catalog, const std::string& host,
+    uint16_t port, const NetServerOptions& options) {
   if (options.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (options.max_queued_queries < 0) {
+    return Status::InvalidArgument("max_queued_queries must be >= 0");
   }
   auto listener = Socket::Listen(host, port, options.backlog);
   if (!listener.ok()) return listener.status();
 
   std::unique_ptr<NetServer> server(new NetServer());
-  server->bundle_ = std::move(bundle);
-  server->engine_ = std::make_unique<ServerEngine>(&server->bundle_.database,
-                                                   &server->bundle_.metadata);
+  server->catalog_ = std::move(catalog);
   server->options_ = options;
   server->listener_ = std::move(*listener);
   auto bound = server->listener_.LocalPort();
@@ -35,6 +56,7 @@ Result<std::unique_ptr<NetServer>> NetServer::Serve(
   server->aggregate_latency_ = server->metrics_.GetHistogram("aggregate_us");
   server->ping_latency_ = server->metrics_.GetHistogram("ping_us");
   server->stats_latency_ = server->metrics_.GetHistogram("stats_us");
+  server->queue_depth_ = server->metrics_.GetGauge("queue_depth");
 
   server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   for (int i = 0; i < options.num_threads; ++i) {
@@ -48,6 +70,7 @@ NetServer::~NetServer() { Shutdown(); }
 void NetServer::Shutdown() {
   if (stop_.exchange(true)) return;  // idempotent
   queue_cv_.notify_all();
+  admit_cv_.notify_all();  // queued requests drain as Unavailable sheds
   if (acceptor_.joinable()) acceptor_.join();
   listener_.Close();
   for (std::thread& t : workers_) {
@@ -57,7 +80,51 @@ void NetServer::Shutdown() {
   pending_.clear();  // connections never adopted by a worker just close
 }
 
-NetStats NetServer::stats() const {
+Result<std::shared_ptr<const ResidentDb>> NetServer::ResolveDb(
+    const std::string& db) const {
+  const std::string& name = db.empty() ? options_.default_db : db;
+  if (name.empty()) {
+    return Status::InvalidArgument(
+        "request names no database and the daemon has no default");
+  }
+  auto resident = catalog_->Get(name);
+  if (resident.ok()) {
+    metrics_.GetCounter("db." + name + ".queries")->Add(1);
+  }
+  return resident;
+}
+
+bool NetServer::AdmitQuery() {
+  if (options_.max_inflight_queries <= 0) return true;
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  if (inflight_ < options_.max_inflight_queries) {
+    ++inflight_;
+    return true;
+  }
+  if (waiting_ >= options_.max_queued_queries) return false;  // shed
+  ++waiting_;
+  queue_depth_->Add(1);
+  admit_cv_.wait(lock, [this] {
+    return stop_.load(std::memory_order_relaxed) ||
+           inflight_ < options_.max_inflight_queries;
+  });
+  --waiting_;
+  queue_depth_->Sub(1);
+  if (stop_.load(std::memory_order_relaxed)) return false;
+  ++inflight_;
+  return true;
+}
+
+void NetServer::ReleaseQuery() {
+  if (options_.max_inflight_queries <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    --inflight_;
+  }
+  admit_cv_.notify_one();
+}
+
+NetStats NetServer::stats(const std::string& db) const {
   NetStats s;
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
   s.aggregates_served = aggregates_served_.load(std::memory_order_relaxed);
@@ -67,11 +134,23 @@ NetStats NetServer::stats() const {
   s.connections_active = connections_active_.load(std::memory_order_relaxed);
   s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
   s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
-  s.num_blocks = bundle_.database.blocks.size();
-  s.ciphertext_bytes =
-      static_cast<uint64_t>(bundle_.database.TotalCiphertextBytes());
-  for (auto& [name, hist] : metrics_.Snapshot().histograms) {
-    s.latency.emplace_back(std::move(name), hist);
+  s.queries_shed = queries_shed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    s.queue_depth = static_cast<uint64_t>(waiting_);
+  }
+  const std::string& name = db.empty() ? options_.default_db : db;
+  if (!name.empty()) {
+    auto resident = catalog_->Get(name);
+    if (resident.ok()) {
+      s.database = name;
+      s.num_blocks = (*resident)->bundle().database.blocks.size();
+      s.ciphertext_bytes = static_cast<uint64_t>(
+          (*resident)->bundle().database.TotalCiphertextBytes());
+    }
+  }
+  for (auto& [hist_name, hist] : metrics_.Snapshot().histograms) {
+    s.latency.emplace_back(std::move(hist_name), hist);
   }
   return s;
 }
@@ -97,6 +176,8 @@ obs::MetricsSnapshot NetServer::SnapshotMetrics() const {
                              bytes_received_.load(std::memory_order_relaxed));
   snap.counters.emplace_back("bytes_sent",
                              bytes_sent_.load(std::memory_order_relaxed));
+  snap.counters.emplace_back("queries_shed",
+                             queries_shed_.load(std::memory_order_relaxed));
   return snap;
 }
 
@@ -147,7 +228,7 @@ void NetServer::ServeConnection(Socket conn) {
         // Framing violation: report it, then close — after a bad header
         // the byte stream can no longer be trusted to be frame-aligned.
         errors_.fetch_add(1, std::memory_order_relaxed);
-        SendError(conn, frame.status());
+        SendError(conn, frame.status(), kWireVersion);
       }
       // Unavailable covers the routine ends of a session (peer closed,
       // drain cancelled) as well as a mid-frame stall; close quietly.
@@ -159,16 +240,32 @@ void NetServer::ServeConnection(Socket conn) {
   }
 }
 
-Status NetServer::SendError(Socket& conn, const Status& error) {
-  const Bytes payload = EncodeError(error);
+Status NetServer::SendError(Socket& conn, const Status& error,
+                            uint8_t version, double retry_after_ms) {
+  const Bytes payload = EncodeError(error, retry_after_ms, version);
   bytes_sent_.fetch_add(kFrameHeaderBytes + payload.size(),
                         std::memory_order_relaxed);
-  return WriteFrame(conn, MessageType::kError, payload);
+  return WriteFrame(conn, MessageType::kError, payload, version);
 }
 
 bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
   Bytes reply;
   MessageType reply_type = MessageType::kError;
+  const uint8_t version = frame.version;
+
+  // The admission gate covers the three query-class request types;
+  // pings and stats stay cheap and ungated so a saturated daemon can
+  // still be health-checked and observed.
+  const bool gated = frame.type == MessageType::kQueryRequest ||
+                     frame.type == MessageType::kNaiveRequest ||
+                     frame.type == MessageType::kAggregateRequest;
+  if (gated && !AdmitQuery()) {
+    queries_shed_.fetch_add(1, std::memory_order_relaxed);
+    return SendError(conn,
+                     Status::Unavailable("daemon over capacity, retry later"),
+                     version, options_.shed_backoff_ms)
+        .ok();
+  }
 
   switch (frame.type) {
     case MessageType::kPingRequest: {
@@ -177,10 +274,17 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
       break;
     }
     case MessageType::kQueryRequest: {
-      auto query = DecodeQueryRequest(frame.payload);
+      auto query = DecodeQueryRequest(frame.payload, version);
       if (!query.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
-        return SendError(conn, query.status()).ok();
+        ReleaseQuery();
+        return SendError(conn, query.status(), version).ok();
+      }
+      auto db = ResolveDb(query->db);
+      if (!db.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        return SendError(conn, db.status(), version).ok();
       }
       // Every served query is traced: the phase decomposition rides back
       // inside the response frame, and the total lands in the histogram.
@@ -188,12 +292,14 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
       obs::Trace trace;
       obs::QueryContext qctx;
       qctx.trace = &trace;
-      auto result = engine_->Execute(query->query, &qctx,
-                                     query->cached.empty() ? nullptr
-                                                           : &query->cached);
+      ExecOptions exec;
+      exec.ctx = &qctx;
+      exec.cached_blocks = query->cached.empty() ? nullptr : &query->cached;
+      auto result = (*db)->engine().Execute(query->query, exec);
       if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
-        return SendError(conn, result.status()).ok();
+        ReleaseQuery();
+        return SendError(conn, result.status(), version).ok();
       }
       queries_served_.fetch_add(1, std::memory_order_relaxed);
       query_latency_->Observe(watch.ElapsedMicros());
@@ -204,14 +310,29 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
       break;
     }
     case MessageType::kNaiveRequest: {
+      auto request = DecodeNaiveRequest(frame.payload, version);
+      if (!request.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        return SendError(conn, request.status(), version).ok();
+      }
+      auto db = ResolveDb(request->db);
+      if (!db.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        return SendError(conn, db.status(), version).ok();
+      }
       Stopwatch watch;
       obs::Trace trace;
       obs::QueryContext qctx;
       qctx.trace = &trace;
-      auto result = engine_->ExecuteNaive(&qctx);
+      ExecOptions exec;
+      exec.ctx = &qctx;
+      auto result = (*db)->engine().ExecuteNaive(exec);
       if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
-        return SendError(conn, result.status()).ok();
+        ReleaseQuery();
+        return SendError(conn, result.status(), version).ok();
       }
       naive_served_.fetch_add(1, std::memory_order_relaxed);
       naive_latency_->Observe(watch.ElapsedMicros());
@@ -222,21 +343,32 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
       break;
     }
     case MessageType::kAggregateRequest: {
-      auto request = DecodeAggregateRequest(frame.payload);
+      auto request = DecodeAggregateRequest(frame.payload, version);
       if (!request.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
-        return SendError(conn, request.status()).ok();
+        ReleaseQuery();
+        return SendError(conn, request.status(), version).ok();
+      }
+      auto db = ResolveDb(request->db);
+      if (!db.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        return SendError(conn, db.status(), version).ok();
       }
       Stopwatch watch;
       obs::Trace trace;
       obs::QueryContext qctx;
       qctx.trace = &trace;
-      auto result = engine_->ExecuteAggregate(
-          request->query, request->kind, request->index_token, &qctx,
-          request->cached.empty() ? nullptr : &request->cached);
+      ExecOptions exec;
+      exec.ctx = &qctx;
+      exec.cached_blocks =
+          request->cached.empty() ? nullptr : &request->cached;
+      auto result = (*db)->engine().ExecuteAggregate(
+          request->query, request->kind, request->index_token, exec);
       if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
-        return SendError(conn, result.status()).ok();
+        ReleaseQuery();
+        return SendError(conn, result.status(), version).ok();
       }
       aggregates_served_.fetch_add(1, std::memory_order_relaxed);
       aggregate_latency_->Observe(watch.ElapsedMicros());
@@ -248,7 +380,12 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
     }
     case MessageType::kStatsRequest: {
       Stopwatch watch;
-      reply = EncodeStats(stats());
+      auto request = DecodeStatsRequest(frame.payload, version);
+      if (!request.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return SendError(conn, request.status(), version).ok();
+      }
+      reply = EncodeStats(stats(request->db), version);
       stats_latency_->Observe(watch.ElapsedMicros());
       reply_type = MessageType::kStatsResponse;
       break;
@@ -260,14 +397,16 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
       return SendError(conn,
                        Status::InvalidArgument(
                            std::string("unexpected message type ") +
-                           MessageTypeName(frame.type)))
+                           MessageTypeName(frame.type)),
+                       version)
           .ok();
     }
   }
 
+  if (gated) ReleaseQuery();
   bytes_sent_.fetch_add(kFrameHeaderBytes + reply.size(),
                         std::memory_order_relaxed);
-  return WriteFrame(conn, reply_type, reply).ok();
+  return WriteFrame(conn, reply_type, reply, version).ok();
 }
 
 }  // namespace net

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/server.h"
+#include "net/catalog.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
@@ -26,28 +27,52 @@ struct NetServerOptions {
   int backlog = 64;             ///< listen(2) backlog
   double io_timeout_sec = 30.;  ///< per-frame read/write completion bound
   uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Database served to requests that name none (every v3 request, and
+  /// v4 requests with an empty db field). Empty + a request naming no
+  /// database → InvalidArgument. Serve() fills it in automatically.
+  std::string default_db;
+  /// Admission control: queries/aggregates/naive requests evaluating
+  /// concurrently across all connections (0 = unbounded; pings and stats
+  /// are never gated). Excess requests wait in a bounded queue.
+  int max_inflight_queries = 0;
+  /// Waiting slots beyond max_inflight_queries. When both are full the
+  /// request is shed with a retryable Unavailable instead of queueing
+  /// unboundedly — one hot tenant cannot starve the daemon.
+  int max_queued_queries = 8;
+  /// Backoff hint attached to Unavailable sheds (wire v4): the client's
+  /// retry loop treats it as a floor for its next sleep.
+  double shed_backoff_ms = 50.0;
 };
 
 /// The untrusted service provider as an actual network daemon: owns a
-/// HostedBundle (encrypted database + metadata — never keys or
-/// plaintext), listens on TCP, and evaluates translated queries for any
-/// number of clients.
+/// BundleCatalog of hosted databases (encrypted database + metadata —
+/// never keys or plaintext), listens on TCP, and evaluates translated
+/// queries for any number of clients against any of its databases (wire
+/// v4 routes per-request; v3 sessions get default_db).
 ///
 /// Threading model: one acceptor thread feeds a queue of connections; a
 /// fixed pool of workers each adopt one connection at a time and serve
 /// its requests serially (a session). Requests on different connections
-/// run concurrently against one shared ServerEngine, whose lazy caches
-/// are internally synchronized (core/server.h).
+/// run concurrently; each resolves its database through the catalog and
+/// pins the engine for the duration of the call, so hot reloads and LRU
+/// evictions never break an in-flight query.
 ///
 /// Shutdown() drains gracefully: stop accepting, let every in-flight
 /// request finish and its response flush, then close sessions and join.
 class NetServer {
  public:
-  /// Starts serving `bundle` on host:port (port 0 → ephemeral; read the
-  /// bound port back via port()).
+  /// Single-database convenience: wraps `bundle` in a one-entry catalog
+  /// (named after the bundle, or "default") and serves it on host:port
+  /// (port 0 → ephemeral; read the bound port back via port()).
   static Result<std::unique_ptr<NetServer>> Serve(
       HostedBundle bundle, const std::string& host, uint16_t port,
       const NetServerOptions& options = NetServerOptions());
+
+  /// Multi-tenant entry point: serves every database in `catalog`.
+  /// `options.default_db`, when set, must name a database in the catalog.
+  static Result<std::unique_ptr<NetServer>> ServeCatalog(
+      std::unique_ptr<BundleCatalog> catalog, const std::string& host,
+      uint16_t port, const NetServerOptions& options = NetServerOptions());
 
   ~NetServer();
 
@@ -56,9 +81,13 @@ class NetServer {
 
   uint16_t port() const { return port_; }
 
+  /// The catalog behind the daemon (reload/unload administration).
+  BundleCatalog& catalog() { return *catalog_; }
+
   /// Current counters and latency histograms (the same numbers a remote
-  /// client gets via kStatsRequest).
-  NetStats stats() const;
+  /// client gets via kStatsRequest). `db` selects which database the
+  /// num_blocks/ciphertext_bytes fields describe (empty = default).
+  NetStats stats(const std::string& db = std::string()) const;
 
   /// Full metrics snapshot: the daemon's latency histograms plus the
   /// request/byte counters, mergeable across scrapes.
@@ -73,16 +102,32 @@ class NetServer {
  private:
   NetServer() = default;
 
+  static Result<std::unique_ptr<NetServer>> Start(
+      std::unique_ptr<BundleCatalog> catalog, const std::string& host,
+      uint16_t port, const NetServerOptions& options);
+
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(Socket conn);
   /// Handles one decoded request frame; returns false when the
-  /// connection must close (framing is broken beyond recovery).
+  /// connection must close (framing is broken beyond recovery). Replies
+  /// are framed at the request's wire version.
   bool HandleFrame(Socket& conn, const Frame& frame);
-  Status SendError(Socket& conn, const Status& error);
+  Status SendError(Socket& conn, const Status& error, uint8_t version,
+                   double retry_after_ms = 0.0);
 
-  HostedBundle bundle_;
-  std::unique_ptr<ServerEngine> engine_;
+  /// Maps a request's db field to a pinned resident database (empty →
+  /// default_db) and counts the hit under "db.<name>.queries".
+  Result<std::shared_ptr<const ResidentDb>> ResolveDb(
+      const std::string& db) const;
+
+  /// Admission gate for query-class requests. Returns true with a slot
+  /// held (release with ReleaseQuery), false when the request must be
+  /// shed. Blocks in the bounded wait queue when inflight is full.
+  bool AdmitQuery();
+  void ReleaseQuery();
+
+  std::unique_ptr<BundleCatalog> catalog_;
   NetServerOptions options_;
   Socket listener_;
   uint16_t port_ = 0;
@@ -95,6 +140,12 @@ class NetServer {
   std::condition_variable queue_cv_;
   std::deque<Socket> pending_;
 
+  /// Admission state: inflight query-class requests + waiters.
+  mutable std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  int inflight_ = 0;
+  int waiting_ = 0;
+
   // Counters. Relaxed order: they are statistics, not synchronization.
   mutable std::atomic<uint64_t> queries_served_{0};
   mutable std::atomic<uint64_t> aggregates_served_{0};
@@ -104,15 +155,17 @@ class NetServer {
   mutable std::atomic<uint64_t> connections_active_{0};
   mutable std::atomic<uint64_t> bytes_received_{0};
   mutable std::atomic<uint64_t> bytes_sent_{0};
+  mutable std::atomic<uint64_t> queries_shed_{0};
 
   /// Latency histograms, one per message type. The pointers are interned
   /// once at startup; workers then touch only lock-free atomics.
-  obs::MetricsRegistry metrics_;
+  mutable obs::MetricsRegistry metrics_;
   obs::Histogram* query_latency_ = nullptr;
   obs::Histogram* naive_latency_ = nullptr;
   obs::Histogram* aggregate_latency_ = nullptr;
   obs::Histogram* ping_latency_ = nullptr;
   obs::Histogram* stats_latency_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
 };
 
 }  // namespace net

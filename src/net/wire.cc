@@ -283,12 +283,12 @@ const char* MessageTypeName(MessageType type) {
   return "Unknown";
 }
 
-Bytes EncodeFrame(MessageType type, const Bytes& payload) {
+Bytes EncodeFrame(MessageType type, const Bytes& payload, uint8_t version) {
   Bytes out;
   out.reserve(kFrameHeaderBytes + payload.size());
   BinaryWriter w(&out);
   w.U32(kWireMagic);
-  w.U8(kWireVersion);
+  w.U8(version);
   w.U8(static_cast<uint8_t>(type));
   w.U32(static_cast<uint32_t>(payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
@@ -301,7 +301,7 @@ Result<Frame> DecodeFrameHeader(const uint8_t* buf, uint64_t max_frame_bytes,
   BinaryReader r(header);
   if (r.U32() != kWireMagic) return Status::Corruption("bad frame magic");
   const uint8_t version = r.U8();
-  if (version != kWireVersion) {
+  if (version < kMinWireVersion || version > kWireVersion) {
     return Status::Unsupported("wire version " + std::to_string(version));
   }
   const uint8_t type = r.U8();
@@ -317,6 +317,7 @@ Result<Frame> DecodeFrameHeader(const uint8_t* buf, uint64_t max_frame_bytes,
   }
   Frame frame;
   frame.type = static_cast<MessageType>(type);
+  frame.version = version;
   *payload_length = length;
   return frame;
 }
@@ -336,20 +337,62 @@ Result<Frame> DecodeFrame(const Bytes& buf, uint64_t max_frame_bytes) {
 }
 
 Bytes EncodeQueryRequest(const TranslatedQuery& query,
-                         const std::vector<BlockAdvert>& cached) {
+                         const std::vector<BlockAdvert>& cached,
+                         const std::string& db, uint8_t version) {
   Bytes out;
   BinaryWriter w(&out);
   WriteSteps(w, query.steps);
   WriteAdverts(w, cached);
+  // The db name rides at the tail so every v3 field keeps its offset; a
+  // v3 session simply never writes (or reads) it.
+  if (version >= 4) w.Str(db);
   return out;
 }
 
-Result<QueryRequestMsg> DecodeQueryRequest(const Bytes& payload) {
+Result<QueryRequestMsg> DecodeQueryRequest(const Bytes& payload,
+                                           uint8_t version) {
   BinaryReader r(payload);
   QueryRequestMsg msg;
   XCRYPT_RETURN_NOT_OK(ReadSteps(r, &msg.query.steps, 0));
   XCRYPT_RETURN_NOT_OK(ReadAdverts(r, &msg.cached));
+  if (version >= 4) msg.db = r.Str();
   XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "query request"));
+  return msg;
+}
+
+Bytes EncodeNaiveRequest(const std::string& db, uint8_t version) {
+  Bytes out;
+  if (version >= 4) {
+    BinaryWriter w(&out);
+    w.Str(db);
+  }
+  return out;
+}
+
+Result<NaiveRequestMsg> DecodeNaiveRequest(const Bytes& payload,
+                                           uint8_t version) {
+  BinaryReader r(payload);
+  NaiveRequestMsg msg;
+  if (version >= 4) msg.db = r.Str();
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "naive request"));
+  return msg;
+}
+
+Bytes EncodeStatsRequest(const std::string& db, uint8_t version) {
+  Bytes out;
+  if (version >= 4) {
+    BinaryWriter w(&out);
+    w.Str(db);
+  }
+  return out;
+}
+
+Result<StatsRequestMsg> DecodeStatsRequest(const Bytes& payload,
+                                           uint8_t version) {
+  BinaryReader r(payload);
+  StatsRequestMsg msg;
+  if (version >= 4) msg.db = r.Str();
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "stats request"));
   return msg;
 }
 
@@ -376,17 +419,20 @@ Result<QueryResponseMsg> DecodeQueryResponse(const Bytes& payload) {
 
 Bytes EncodeAggregateRequest(const TranslatedQuery& query, AggregateKind kind,
                              const std::string& index_token,
-                             const std::vector<BlockAdvert>& cached) {
+                             const std::vector<BlockAdvert>& cached,
+                             const std::string& db, uint8_t version) {
   Bytes out;
   BinaryWriter w(&out);
   WriteSteps(w, query.steps);
   w.U8(static_cast<uint8_t>(kind));
   w.Str(index_token);
   WriteAdverts(w, cached);
+  if (version >= 4) w.Str(db);
   return out;
 }
 
-Result<AggregateRequestMsg> DecodeAggregateRequest(const Bytes& payload) {
+Result<AggregateRequestMsg> DecodeAggregateRequest(const Bytes& payload,
+                                                   uint8_t version) {
   BinaryReader r(payload);
   AggregateRequestMsg msg;
   XCRYPT_RETURN_NOT_OK(ReadSteps(r, &msg.query.steps, 0));
@@ -397,6 +443,7 @@ Result<AggregateRequestMsg> DecodeAggregateRequest(const Bytes& payload) {
   msg.kind = static_cast<AggregateKind>(kind);
   msg.index_token = r.Str();
   XCRYPT_RETURN_NOT_OK(ReadAdverts(r, &msg.cached));
+  if (version >= 4) msg.db = r.Str();
   XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "aggregate request"));
   return msg;
 }
@@ -433,7 +480,7 @@ Result<AggregateResponseMsg> DecodeAggregateResponse(const Bytes& payload) {
   return msg;
 }
 
-Bytes EncodeStats(const NetStats& stats) {
+Bytes EncodeStats(const NetStats& stats, uint8_t version) {
   Bytes out;
   BinaryWriter w(&out);
   w.U64(stats.queries_served);
@@ -447,10 +494,15 @@ Bytes EncodeStats(const NetStats& stats) {
   w.U64(stats.num_blocks);
   w.U64(stats.ciphertext_bytes);
   WriteHistograms(w, stats.latency);
+  if (version >= 4) {
+    w.U64(stats.queries_shed);
+    w.U64(stats.queue_depth);
+    w.Str(stats.database);
+  }
   return out;
 }
 
-Result<NetStats> DecodeStats(const Bytes& payload) {
+Result<NetStats> DecodeStats(const Bytes& payload, uint8_t version) {
   BinaryReader r(payload);
   NetStats stats;
   stats.queries_served = r.U64();
@@ -464,22 +516,39 @@ Result<NetStats> DecodeStats(const Bytes& payload) {
   stats.num_blocks = r.U64();
   stats.ciphertext_bytes = r.U64();
   XCRYPT_RETURN_NOT_OK(ReadHistograms(r, &stats.latency));
+  if (version >= 4) {
+    stats.queries_shed = r.U64();
+    stats.queue_depth = r.U64();
+    stats.database = r.Str();
+  }
   XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "stats"));
   return stats;
 }
 
-Bytes EncodeError(const Status& status) {
+Bytes EncodeError(const Status& status, double retry_after_ms,
+                  uint8_t version) {
   Bytes out;
   BinaryWriter w(&out);
   w.U8(static_cast<uint8_t>(status.code()));
   w.Str(status.message());
+  if (version >= 4) w.F64(retry_after_ms);
   return out;
 }
 
-Status DecodeError(const Bytes& payload) {
+Status DecodeError(const Bytes& payload, uint8_t version,
+                   double* retry_after_ms) {
   BinaryReader r(payload);
   const uint8_t code = r.U8();
   const std::string message = r.Str();
+  if (retry_after_ms != nullptr) *retry_after_ms = 0.0;
+  if (version >= 4) {
+    const double hint = r.F64();
+    // Reject NaN/negative hints from a hostile daemon; a client must
+    // never be talked into sleeping forever (or not at all, in a loop).
+    if (retry_after_ms != nullptr && hint > 0.0 && hint == hint) {
+      *retry_after_ms = hint;
+    }
+  }
   XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "error message"));
   switch (static_cast<StatusCode>(code)) {
     case StatusCode::kOk:

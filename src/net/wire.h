@@ -38,7 +38,16 @@ inline constexpr uint32_t kWireMagic = 0x54454E58;  // "XNET" on the wire
 /// (id, generation) pairs; responses carry each block's generation and an
 /// id-only stub list (cached_ids) for advertised blocks the server chose
 /// not to re-ship.
-inline constexpr uint8_t kWireVersion = 3;
+/// v4: multi-tenant routing — query/aggregate/naive/stats requests carry a
+/// database name (appended at the tail, so every v3 field keeps its
+/// offset); stats responses add shed/queue-depth counters and the name of
+/// the database they describe; error frames add a server-suggested
+/// retry-after hint in milliseconds.
+inline constexpr uint8_t kWireVersion = 4;
+/// Oldest version a daemon still accepts. v3 frames decode with the db
+/// name defaulted to empty, which the daemon maps to its configured
+/// default database — so pre-catalog clients keep working.
+inline constexpr uint8_t kMinWireVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 1 + 4;
 
 /// Upper bound on a single frame's payload. A header announcing more is
@@ -52,19 +61,22 @@ enum class MessageType : uint8_t {
   kPingResponse = 2,
   kQueryRequest = 3,       ///< TranslatedQuery
   kQueryResponse = 4,      ///< ServerResponse + server timing
-  kNaiveRequest = 5,       ///< empty payload; answered with kQueryResponse
+  kNaiveRequest = 5,       ///< db name (v4); answered with kQueryResponse
   kAggregateRequest = 6,   ///< TranslatedQuery + kind + index token
   kAggregateResponse = 7,  ///< AggregateResponse + server timing
-  kStatsRequest = 8,       ///< empty payload
+  kStatsRequest = 8,       ///< db name (v4)
   kStatsResponse = 9,      ///< NetStats
   kError = 10,             ///< Status code + message
 };
 
 const char* MessageTypeName(MessageType type);
 
-/// One decoded frame.
+/// One decoded frame. `version` is the header's version byte (within
+/// [kMinWireVersion, kWireVersion]); payload codecs take it so a daemon
+/// can decode v3 and v4 sessions side by side and answer each in kind.
 struct Frame {
   MessageType type = MessageType::kError;
+  uint8_t version = kWireVersion;
   Bytes payload;
 };
 
@@ -83,14 +95,24 @@ struct NetStats {
   uint64_t bytes_sent = 0;
   uint64_t num_blocks = 0;
   uint64_t ciphertext_bytes = 0;
+  /// Requests refused with Unavailable by admission control (wire v4).
+  uint64_t queries_shed = 0;
+  /// Requests currently waiting for an admission slot (wire v4).
+  uint64_t queue_depth = 0;
+  /// Which database num_blocks/ciphertext_bytes describe (wire v4): the
+  /// one named in the stats request, or the daemon's default.
+  std::string database;
   /// Named latency histograms (e.g. "query_us", "aggregate_us").
   std::vector<std::pair<std::string, obs::HistogramSnapshot>> latency;
 };
 
 // --- framing ------------------------------------------------------------
 
-/// Serializes a complete frame (header + payload).
-Bytes EncodeFrame(MessageType type, const Bytes& payload);
+/// Serializes a complete frame (header + payload). `version` must lie in
+/// [kMinWireVersion, kWireVersion]; a daemon answers each session with the
+/// version its request arrived in.
+Bytes EncodeFrame(MessageType type, const Bytes& payload,
+                  uint8_t version = kWireVersion);
 
 /// Parses a frame header and validates magic, version, message type, and
 /// payload length against `max_frame_bytes`. On success returns the frame
@@ -114,10 +136,34 @@ struct QueryRequestMsg {
   /// Blocks the client already holds decrypted (wire v3); the server may
   /// answer with id-only stubs for any of these whose generation matches.
   std::vector<BlockAdvert> cached;
+  /// Target database (wire v4); empty = the daemon's default database.
+  std::string db;
 };
 Bytes EncodeQueryRequest(const TranslatedQuery& query,
-                         const std::vector<BlockAdvert>& cached = {});
-Result<QueryRequestMsg> DecodeQueryRequest(const Bytes& payload);
+                         const std::vector<BlockAdvert>& cached = {},
+                         const std::string& db = std::string(),
+                         uint8_t version = kWireVersion);
+Result<QueryRequestMsg> DecodeQueryRequest(const Bytes& payload,
+                                           uint8_t version = kWireVersion);
+
+/// kNaiveRequest: empty payload at v3; carries the database name at v4.
+struct NaiveRequestMsg {
+  std::string db;
+};
+Bytes EncodeNaiveRequest(const std::string& db = std::string(),
+                         uint8_t version = kWireVersion);
+Result<NaiveRequestMsg> DecodeNaiveRequest(const Bytes& payload,
+                                           uint8_t version = kWireVersion);
+
+/// kStatsRequest: empty payload at v3; carries the database name at v4
+/// (selects which database's size counters the reply describes).
+struct StatsRequestMsg {
+  std::string db;
+};
+Bytes EncodeStatsRequest(const std::string& db = std::string(),
+                         uint8_t version = kWireVersion);
+Result<StatsRequestMsg> DecodeStatsRequest(const Bytes& payload,
+                                           uint8_t version = kWireVersion);
 
 struct QueryResponseMsg {
   ServerResponse response;
@@ -137,11 +183,15 @@ struct AggregateRequestMsg {
   AggregateKind kind = AggregateKind::kCount;
   std::string index_token;
   std::vector<BlockAdvert> cached;  ///< wire v3 cache advertisement
+  std::string db;                   ///< wire v4 target database
 };
 Bytes EncodeAggregateRequest(const TranslatedQuery& query, AggregateKind kind,
                              const std::string& index_token,
-                             const std::vector<BlockAdvert>& cached = {});
-Result<AggregateRequestMsg> DecodeAggregateRequest(const Bytes& payload);
+                             const std::vector<BlockAdvert>& cached = {},
+                             const std::string& db = std::string(),
+                             uint8_t version = kWireVersion);
+Result<AggregateRequestMsg> DecodeAggregateRequest(
+    const Bytes& payload, uint8_t version = kWireVersion);
 
 struct AggregateResponseMsg {
   AggregateResponse response;
@@ -154,14 +204,20 @@ Bytes EncodeAggregateResponse(const AggregateResponse& response,
                                   server_phases = {});
 Result<AggregateResponseMsg> DecodeAggregateResponse(const Bytes& payload);
 
-Bytes EncodeStats(const NetStats& stats);
-Result<NetStats> DecodeStats(const Bytes& payload);
+Bytes EncodeStats(const NetStats& stats, uint8_t version = kWireVersion);
+Result<NetStats> DecodeStats(const Bytes& payload,
+                             uint8_t version = kWireVersion);
 
 /// kError carries a non-OK Status across the wire. Decoding never returns
 /// OK: a well-formed payload yields the carried error, a malformed one
-/// yields Corruption.
-Bytes EncodeError(const Status& status);
-Status DecodeError(const Bytes& payload);
+/// yields Corruption. Since v4 the frame also carries `retry_after_ms`, a
+/// server-suggested backoff hint (0 = no suggestion) that admission
+/// control attaches to Unavailable sheds and the client's retry loop
+/// honors as a floor.
+Bytes EncodeError(const Status& status, double retry_after_ms = 0.0,
+                  uint8_t version = kWireVersion);
+Status DecodeError(const Bytes& payload, uint8_t version = kWireVersion,
+                   double* retry_after_ms = nullptr);
 
 }  // namespace net
 }  // namespace xcrypt

@@ -68,6 +68,17 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
     }
     if (!found) counters.emplace_back(name, value);
   }
+  for (const auto& [name, value] : other.gauges) {
+    bool found = false;
+    for (auto& [mine, total] : gauges) {
+      if (mine == name) {
+        total += value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) gauges.emplace_back(name, value);
+  }
   for (const auto& [name, hist] : other.histograms) {
     bool found = false;
     for (auto& [mine, total] : histograms) {
@@ -85,6 +96,13 @@ std::string MetricsSnapshot::RenderJson() const {
   std::string out = "{\"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + std::to_string(value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
     if (!first) out += ", ";
     first = false;
     out += "\"" + name + "\": " + std::to_string(value);
@@ -136,6 +154,15 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
   return it->second.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
@@ -152,6 +179,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {

@@ -25,6 +25,20 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// Named instantaneous level (queue depth, resident engines): goes up and
+/// down, snapshots report the current value rather than a running total.
+/// Same lock-free relaxed-atomic discipline as Counter.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Sub(int64_t delta) { value_.fetch_sub(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// Point-in-time copy of a histogram, detached from the atomics — the
 /// unit that crosses the wire in stats responses and merges across
 /// servers/intervals. Merge is associative and commutative (it is a
@@ -77,14 +91,16 @@ class Histogram {
 /// Everything a registry held at one instant.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 
-  /// Per-name merge (counters add, histograms Merge) — combines
-  /// snapshots from several registries or periodic scrapes.
+  /// Per-name merge (counters add, gauges add — levels across disjoint
+  /// daemons sum, histograms Merge) — combines snapshots from several
+  /// registries or periodic scrapes.
   void Merge(const MetricsSnapshot& other);
 
-  /// Flat JSON: {"counters": {...}, "histograms": {name: {count, sum_us,
-  /// mean_us, p50_us, p99_us, buckets: [...]}}}.
+  /// Flat JSON: {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {count, sum_us, mean_us, p50_us, p99_us, buckets: [...]}}}.
   std::string RenderJson() const;
 };
 
@@ -104,6 +120,7 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
   Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
 
   MetricsSnapshot Snapshot() const;
@@ -112,6 +129,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   // Node-based maps: pointers handed out stay stable across inserts.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 

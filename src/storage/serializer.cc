@@ -1,8 +1,11 @@
 #include "storage/serializer.h"
 
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
+#include <system_error>
 
 #include "common/binary_io.h"
 #include "index/btree.h"
@@ -14,7 +17,11 @@ namespace {
 constexpr uint32_t kMagic = 0x58435231;  // "XCR1"
 /// v2: each block carries its generation (wire v3 cache coherence), so a
 /// re-hosted daemon keeps stubbing correctly for clients with warm caches.
-constexpr uint32_t kVersion = 2;
+/// v3: the image carries its own database name and bundle generation
+/// right after the header, so a multi-tenant catalog can identify and
+/// version-track a bundle without trusting the filename.
+constexpr uint32_t kVersion = 3;
+constexpr uint32_t kMinVersion = 2;
 
 using Writer = BinaryWriter;
 using Reader = BinaryReader;
@@ -80,11 +87,14 @@ Interval ReadInterval(Reader& r) {
 }  // namespace
 
 Bytes SerializeBundle(const EncryptedDatabase& database,
-                      const Metadata& metadata) {
+                      const Metadata& metadata, const std::string& name,
+                      uint64_t generation) {
   Bytes out;
   Writer w(&out);
   w.U32(kMagic);
   w.U32(kVersion);
+  w.Str(name);
+  w.U64(generation);
 
   // --- database ---
   WriteDocument(w, database.skeleton);
@@ -133,11 +143,16 @@ Result<HostedBundle> DeserializeBundle(const Bytes& image) {
   Reader r(image);
   if (r.U32() != kMagic) return Status::Corruption("bad magic");
   const uint32_t version = r.U32();
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::Unsupported("bundle version " + std::to_string(version));
   }
 
   HostedBundle bundle;
+  if (version >= 3) {
+    bundle.name = r.Str();
+    bundle.generation = r.U64();
+    if (r.failed()) return Status::Corruption("truncated bundle header");
+  }
   auto skeleton = ReadDocument(r);
   if (!skeleton.ok()) return skeleton.status();
   bundle.database.skeleton = std::move(*skeleton);
@@ -222,13 +237,28 @@ Result<HostedBundle> DeserializeBundle(const Bytes& image) {
 }
 
 Status SaveBundle(const EncryptedDatabase& database, const Metadata& metadata,
-                  const std::string& path) {
-  const Bytes image = SerializeBundle(database, metadata);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot open " + path + " for writing");
-  out.write(reinterpret_cast<const char*>(image.data()),
-            static_cast<std::streamsize>(image.size()));
-  if (!out) return Status::Internal("short write to " + path);
+                  const std::string& path, const std::string& name,
+                  uint64_t generation) {
+  const Bytes image = SerializeBundle(database, metadata, name, generation);
+  // Write-then-rename: a catalog daemon hot-reloading `path` must only
+  // ever see the previous image or this one, never a half-written file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot open " + tmp + " for writing");
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::Internal("short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot replace " + path + ": " + ec.message());
+  }
   return Status::Ok();
 }
 

@@ -15,6 +15,12 @@ namespace xcrypt {
 struct HostedBundle {
   EncryptedDatabase database;
   Metadata metadata;
+  /// Self-declared database name (format v3); empty for v2 images. A
+  /// catalog routes by filename stem but keeps this for cross-checking.
+  std::string name;
+  /// Owner-assigned bundle generation (format v3): bumped on re-upload so
+  /// a catalog can tell a genuinely newer bundle from a same-age rewrite.
+  uint64_t generation = 0;
 };
 
 /// Serializes a hosted bundle into a self-contained binary image
@@ -22,18 +28,24 @@ struct HostedBundle {
 /// length-prefixed strings). The image contains only server-visible
 /// state: ciphertext blocks, the pruned skeleton, the DSI/block tables,
 /// and the OPESS B-tree entries. Client-only fields (per-block plaintext
-/// sizes) are deliberately omitted.
+/// sizes) are deliberately omitted. `name`/`generation` identify the
+/// bundle to a multi-tenant catalog (format v3).
 Bytes SerializeBundle(const EncryptedDatabase& database,
-                      const Metadata& metadata);
+                      const Metadata& metadata,
+                      const std::string& name = std::string(),
+                      uint64_t generation = 0);
 
 /// Parses an image produced by SerializeBundle. Fails with Corruption on
 /// truncated or malformed input and with Unsupported on a version
-/// mismatch.
+/// mismatch. v2 images (no name/generation) still load, with those
+/// fields defaulted.
 Result<HostedBundle> DeserializeBundle(const Bytes& image);
 
 /// Convenience file wrappers.
 Status SaveBundle(const EncryptedDatabase& database, const Metadata& metadata,
-                  const std::string& path);
+                  const std::string& path,
+                  const std::string& name = std::string(),
+                  uint64_t generation = 0);
 Result<HostedBundle> LoadBundle(const std::string& path);
 
 }  // namespace xcrypt

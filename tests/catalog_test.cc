@@ -1,0 +1,282 @@
+// BundleCatalog unit tests: directory scan, lazy loading, LRU bounds,
+// generation tracking, hot reload, pinned in-memory entries, and the
+// name-lookup hardening (a hostile db name must never touch the
+// filesystem).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/client.h"
+#include "data/healthcare.h"
+#include "data/xmark_generator.h"
+#include "net/catalog.h"
+#include "storage/serializer.h"
+
+namespace xcrypt {
+namespace net {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A small but real hosted bundle; different seeds give different
+/// documents, so the databases in a multi-entry catalog are
+/// distinguishable by content.
+HostedBundle MakeBundle(int seed) {
+  XMarkConfig config;
+  config.people = 12;
+  config.items = 6;
+  config.seed = seed;
+  auto client = Client::Host(GenerateXMark(config), XMarkConstraints(),
+                             SchemeKind::kOptimal,
+                             "catalog-secret-" + std::to_string(seed));
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  auto bundle = DeserializeBundle(
+      SerializeBundle(client->database(), client->metadata()));
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  return std::move(*bundle);
+}
+
+/// Fresh per-test scratch directory under the gtest temp root.
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("xcrypt_catalog_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string PathFor(const std::string& name) const {
+    return (dir_ / (name + ".xcr")).string();
+  }
+
+  void SaveAs(const std::string& name, const HostedBundle& bundle,
+              uint64_t generation = 0) {
+    Status saved = SaveBundle(bundle.database, bundle.metadata, PathFor(name),
+                              name, generation);
+    ASSERT_TRUE(saved.ok()) << saved.ToString();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CatalogTest, OpenScansDirectoryLazily) {
+  const HostedBundle bundle = MakeBundle(1);
+  SaveAs("alpha", bundle);
+  SaveAs("beta", bundle);
+  SaveAs("gamma", bundle);
+  // Non-bundle files are ignored by the scan.
+  std::FILE* f = std::fopen((dir_ / "notes.txt").string().c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+
+  auto catalog = BundleCatalog::Open(dir_.string());
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  EXPECT_EQ((*catalog)->List(),
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  // Nothing is loaded until the first Get.
+  EXPECT_EQ((*catalog)->ResidentCount(), 0);
+
+  auto db = (*catalog)->Get("beta");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->name(), "beta");
+  EXPECT_EQ((*db)->generation(), 1u);
+  EXPECT_EQ((*db)->bundle().database.blocks.size(),
+            bundle.database.blocks.size());
+  EXPECT_EQ((*catalog)->ResidentCount(), 1);
+
+  // A second Get reuses the resident engine (same object, same gen).
+  auto again = (*catalog)->Get("beta");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(db->get(), again->get());
+}
+
+TEST_F(CatalogTest, OpenFailsOnMissingOrEmptyDirectory) {
+  auto missing = BundleCatalog::Open((dir_ / "nope").string());
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  auto empty = BundleCatalog::Open(dir_.string());
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CatalogTest, HostileNamesNeverTouchTheFilesystem) {
+  SaveAs("alpha", MakeBundle(2));
+  auto catalog = BundleCatalog::Open(dir_.string());
+  ASSERT_TRUE(catalog.ok());
+
+  for (const char* name :
+       {"nope", "", "../alpha", "alpha.xcr", "/etc/passwd", "a/../alpha",
+        "..\\alpha", "./alpha"}) {
+    auto db = (*catalog)->Get(name);
+    ASSERT_FALSE(db.ok()) << name;
+    EXPECT_EQ(db.status().code(), StatusCode::kNotFound) << name;
+  }
+}
+
+TEST_F(CatalogTest, LruEvictionKeepsHandlesAlive) {
+  const HostedBundle bundle = MakeBundle(3);
+  SaveAs("a", bundle);
+  SaveAs("b", bundle);
+  SaveAs("c", bundle);
+  CatalogOptions options;
+  options.max_resident = 2;
+  auto catalog = BundleCatalog::Open(dir_.string(), options);
+  ASSERT_TRUE(catalog.ok());
+
+  auto a = (*catalog)->Get("a");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE((*catalog)->Get("b").ok());
+  ASSERT_TRUE((*catalog)->Get("c").ok());  // evicts "a" (LRU)
+  EXPECT_EQ((*catalog)->ResidentCount(), 2);
+
+  // The evicted database's handle (engine included) stays usable.
+  auto naive = (*a)->engine().ExecuteNaive();
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  EXPECT_EQ(naive->response.blocks.size(), bundle.database.blocks.size());
+
+  // Re-getting "a" is a fresh load with a bumped generation.
+  auto a2 = (*catalog)->Get("a");
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ((*a2)->generation(), 2u);
+}
+
+TEST_F(CatalogTest, HotReloadPicksUpRewrittenFile) {
+  const HostedBundle bundle = MakeBundle(4);
+  SaveAs("live", bundle, /*generation=*/1);
+  auto catalog = BundleCatalog::Open(dir_.string());
+  ASSERT_TRUE(catalog.ok());
+
+  auto before = (*catalog)->Get("live");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->generation(), 1u);
+  EXPECT_EQ((*before)->bundle().generation, 1u);
+
+  // The owner re-uploads. The longer name field changes the file size,
+  // so the fingerprint mismatch is detected regardless of the
+  // filesystem's mtime granularity.
+  Status saved = SaveBundle(bundle.database, bundle.metadata, PathFor("live"),
+                            "live-after-reupload", /*generation=*/2);
+  ASSERT_TRUE(saved.ok());
+
+  auto after = (*catalog)->Get("live");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->generation(), 2u);         // catalog load counter
+  EXPECT_EQ((*after)->bundle().generation, 2u);  // owner's own stamp
+  EXPECT_NE(before->get(), after->get());
+
+  // The superseded handle still answers.
+  EXPECT_TRUE((*before)->engine().ExecuteNaive().ok());
+}
+
+TEST_F(CatalogTest, ReloadForcesFreshLoadWithoutFileChange) {
+  SaveAs("alpha", MakeBundle(5));
+  auto catalog = BundleCatalog::Open(dir_.string());
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE((*catalog)->Get("alpha").ok());
+
+  ASSERT_TRUE((*catalog)->Reload("alpha").ok());
+  EXPECT_EQ((*catalog)->ResidentCount(), 0);
+  auto db = (*catalog)->Get("alpha");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->generation(), 2u);
+
+  EXPECT_EQ((*catalog)->Reload("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, UnloadRemovesDatabase) {
+  SaveAs("alpha", MakeBundle(6));
+  SaveAs("beta", MakeBundle(7));
+  auto catalog = BundleCatalog::Open(dir_.string());
+  ASSERT_TRUE(catalog.ok());
+  auto held = (*catalog)->Get("alpha");
+  ASSERT_TRUE(held.ok());
+
+  ASSERT_TRUE((*catalog)->Unload("alpha").ok());
+  EXPECT_EQ((*catalog)->List(), (std::vector<std::string>{"beta"}));
+  EXPECT_EQ((*catalog)->Get("alpha").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*catalog)->Unload("alpha").code(), StatusCode::kNotFound);
+
+  // The in-flight handle survives the unload.
+  EXPECT_TRUE((*held)->engine().ExecuteNaive().ok());
+}
+
+TEST_F(CatalogTest, AddBundlePinsInMemoryEntries) {
+  BundleCatalog catalog;  // no directory at all
+  ASSERT_TRUE(catalog.AddBundle("mem", MakeBundle(8)).ok());
+  EXPECT_EQ(catalog.List(), (std::vector<std::string>{"mem"}));
+
+  auto db = catalog.Get("mem");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->generation(), 1u);
+  // Pinned entries are outside the LRU accounting.
+  EXPECT_EQ(catalog.ResidentCount(), 0);
+
+  // Replacing the bundle bumps the generation; the old handle lives on.
+  ASSERT_TRUE(catalog.AddBundle("mem", MakeBundle(9)).ok());
+  auto replaced = catalog.Get("mem");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ((*replaced)->generation(), 2u);
+  EXPECT_TRUE((*db)->engine().ExecuteNaive().ok());
+
+  // Reload is a harmless no-op for pinned entries.
+  EXPECT_TRUE(catalog.Reload("mem").ok());
+  EXPECT_TRUE(catalog.Get("mem").ok());
+}
+
+TEST_F(CatalogTest, PinnedEntriesSurviveLruPressure) {
+  const HostedBundle bundle = MakeBundle(10);
+  SaveAs("f1", bundle);
+  SaveAs("f2", bundle);
+  CatalogOptions options;
+  options.max_resident = 1;
+  auto catalog = BundleCatalog::Open(dir_.string(), options);
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE((*catalog)->AddBundle("pinned", MakeBundle(11)).ok());
+
+  ASSERT_TRUE((*catalog)->Get("f1").ok());
+  ASSERT_TRUE((*catalog)->Get("f2").ok());  // evicts f1
+  EXPECT_EQ((*catalog)->ResidentCount(), 1);
+  auto pinned = (*catalog)->Get("pinned");
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ((*pinned)->generation(), 1u);  // never evicted, never reloaded
+}
+
+TEST_F(CatalogTest, ConcurrentColdGetsLoadOnce) {
+  SaveAs("shared", MakeBundle(12));
+  auto catalog = BundleCatalog::Open(dir_.string());
+  ASSERT_TRUE(catalog.ok());
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const ResidentDb>> handles(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      auto db = (*catalog)->Get("shared");
+      if (db.ok()) handles[i] = *db;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(handles[i], nullptr) << i;
+    // One load: everyone shares generation 1 (no thundering-herd reload).
+    EXPECT_EQ(handles[i]->generation(), 1u);
+    EXPECT_EQ(handles[i].get(), handles[0].get());
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace xcrypt

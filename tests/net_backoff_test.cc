@@ -1,0 +1,103 @@
+// Unit tests for the decorrelated-jitter retry backoff
+// (net::NextBackoffMs): bounds, growth, cap clamping, and seed
+// independence. These are pure-function tests — no sleeping, no
+// sockets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "net/remote_engine.h"
+
+namespace xcrypt {
+namespace net {
+namespace {
+
+TEST(NextBackoffMs, StaysWithinBaseAndCapOverManySamples) {
+  Rng rng(7);
+  const double base = 50.0;
+  const double cap = 2000.0;
+  double prev = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double next = NextBackoffMs(prev, base, cap, rng);
+    ASSERT_GE(next, base) << "sample " << i;
+    ASSERT_LE(next, cap) << "sample " << i;
+    prev = next;
+  }
+}
+
+TEST(NextBackoffMs, FirstStepIsExactlyBase) {
+  // With prev = 0 the uniform window collapses to [base, base].
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(NextBackoffMs(0.0, 50.0, 2000.0, rng), 50.0);
+}
+
+TEST(NextBackoffMs, GrowthWindowIsTripleThePreviousSleep) {
+  // From prev the next sleep is uniform in [base, prev*3] — never more.
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double next = NextBackoffMs(100.0, 50.0, 10000.0, rng);
+    ASSERT_GE(next, 50.0);
+    ASSERT_LE(next, 300.0);
+  }
+}
+
+TEST(NextBackoffMs, CapClampsRunawayGrowth) {
+  Rng rng(3);
+  const double cap = 500.0;
+  // A huge previous sleep still lands at or under the cap.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LE(NextBackoffMs(1e9, 50.0, cap, rng), cap);
+  }
+}
+
+TEST(NextBackoffMs, NonPositiveBaseIsSanitized) {
+  Rng rng(4);
+  for (double base : {0.0, -5.0}) {
+    const double next = NextBackoffMs(0.0, base, 2000.0, rng);
+    EXPECT_GE(next, 1.0) << base;  // clamped to the 1 ms floor
+    EXPECT_LE(next, 2000.0) << base;
+  }
+}
+
+TEST(NextBackoffMs, SequencesAreJitteredNotDeterministic) {
+  // Two clients with different seeds must not retry in lockstep — the
+  // whole point of decorrelated jitter. (Same seed = same schedule, so
+  // tests can still reproduce a run exactly.)
+  Rng a1(11), a2(11), b(12);
+  double pa1 = 0.0, pa2 = 0.0, pb = 0.0;
+  int diverged = 0;
+  for (int i = 0; i < 32; ++i) {
+    pa1 = NextBackoffMs(pa1, 50.0, 2000.0, a1);
+    pa2 = NextBackoffMs(pa2, 50.0, 2000.0, a2);
+    pb = NextBackoffMs(pb, 50.0, 2000.0, b);
+    ASSERT_DOUBLE_EQ(pa1, pa2) << i;  // reproducible per seed
+    if (pa1 != pb) ++diverged;
+  }
+  EXPECT_GT(diverged, 16);  // distinct seeds spread out
+
+  // And one stream is genuinely spread, not stuck on a point.
+  Rng spread(13);
+  std::set<double> values;
+  double prev = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    prev = NextBackoffMs(prev, 50.0, 2000.0, spread);
+    values.insert(prev);
+  }
+  EXPECT_GT(values.size(), 32u);
+}
+
+TEST(RemoteOptionsBackoff, FixedSeedMakesConnectDeterministic) {
+  // The seed plumbs through RemoteOptions for reproducible retry
+  // schedules in tests; just assert the option exists and defaults off.
+  RemoteOptions options;
+  EXPECT_EQ(options.backoff_seed, 0u);
+  options.backoff_seed = 42;
+  EXPECT_EQ(options.backoff_seed, 42u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace xcrypt

@@ -145,9 +145,9 @@ TEST_F(LoopbackTest, DasSystemOverLoopbackMatchesInProcess) {
   auto server = NetServer::Serve(std::move(*bundle), "127.0.0.1", 0);
   ASSERT_TRUE(server.ok());
 
-  ASSERT_FALSE(das->remote_attached());
-  ASSERT_TRUE(das->ConnectRemote("127.0.0.1", (*server)->port()).ok());
-  ASSERT_TRUE(das->remote_attached());
+  ASSERT_FALSE(das->Remote().attached());
+  ASSERT_TRUE(das->Remote().Connect("127.0.0.1", (*server)->port()).ok());
+  ASSERT_TRUE(das->Remote().attached());
 
   for (const WorkloadQuery& wq : Fig9Queries()) {
     auto remote_run = das->Execute(wq.expr);
@@ -167,9 +167,9 @@ TEST_F(LoopbackTest, DasSystemOverLoopbackMatchesInProcess) {
   for (AggregateKind kind : {AggregateKind::kMin, AggregateKind::kMax,
                              AggregateKind::kCount, AggregateKind::kSum}) {
     auto remote_agg = das->ExecuteAggregate(*q, kind);
-    das->DisconnectRemote();
+    das->Remote().Disconnect();
     auto local_agg = das->ExecuteAggregate(*q, kind);
-    ASSERT_TRUE(das->ConnectRemote("127.0.0.1", (*server)->port()).ok());
+    ASSERT_TRUE(das->Remote().Connect("127.0.0.1", (*server)->port()).ok());
     ASSERT_EQ(remote_agg.ok(), local_agg.ok())
         << AggregateKindName(kind) << ": "
         << (remote_agg.ok() ? local_agg.status().ToString()
@@ -184,8 +184,8 @@ TEST_F(LoopbackTest, DasSystemOverLoopbackMatchesInProcess) {
   // silently applied locally.
   EXPECT_EQ(das->UpdateValues("//dataset/title", "x").status().code(),
             StatusCode::kUnsupported);
-  das->DisconnectRemote();
-  EXPECT_FALSE(das->remote_attached());
+  das->Remote().Disconnect();
+  EXPECT_FALSE(das->Remote().attached());
 }
 
 TEST_F(LoopbackTest, EightConcurrentClientsNoDeadlockNoMismatch) {
@@ -410,7 +410,9 @@ TEST_F(LoopbackTest, RemoteTraceDecomposesServerTime) {
   obs::Trace trace;
   obs::QueryContext ctx;
   ctx.trace = &trace;
-  auto response = (*remote)->Execute(*translated, &ctx);
+  ExecOptions exec;
+  exec.ctx = &ctx;
+  auto response = (*remote)->Execute(*translated, exec);
   ASSERT_TRUE(response.ok()) << response.status().ToString();
 
   // The daemon's phase decomposition crossed the wire: at least three
@@ -431,7 +433,9 @@ TEST_F(LoopbackTest, RemoteDeadlineExpiredFailsWithoutNetworkCall) {
   auto translated = client_->Translate(*ParseXPath("//dataset"));
   ASSERT_TRUE(translated.ok());
   obs::QueryContext ctx = obs::QueryContext::WithTimeout(-1.0);
-  auto response = (*remote)->Execute(*translated, &ctx);
+  ExecOptions exec;
+  exec.ctx = &ctx;
+  auto response = (*remote)->Execute(*translated, exec);
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
 }

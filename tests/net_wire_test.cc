@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 #include "common/binary_io.h"
 #include "net/wire.h"
 
@@ -390,7 +394,8 @@ TEST(WireError, RejectsOkAndUnknownCodes) {
 // carries after its steps.
 Bytes WithEmptyAdverts(Bytes payload) {
   BinaryWriter w(&payload);
-  w.U32(0);
+  w.U32(0);      // no cached-block adverts
+  w.Str("");     // v4 tail: default database
   return payload;
 }
 
@@ -555,6 +560,159 @@ TEST(WireStats, OversizedHistogramCountRejectedWithoutAllocation) {
   const size_t count_at = 10 * 8;
   for (int i = 0; i < 4; ++i) payload[count_at + i] = 0xff;
   EXPECT_EQ(DecodeStats(payload).status().code(), StatusCode::kCorruption);
+}
+
+// --- Wire v4: multi-tenant routing + retry hints ----------------------
+
+TEST(WireV4, QueryRequestDbRoundTrip) {
+  const Bytes payload = EncodeQueryRequest(SampleQuery(), {}, "tenant-a");
+  auto decoded = DecodeQueryRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->db, "tenant-a");
+}
+
+TEST(WireV4, QueryRequestV3HasNoDbAndStillDecodes) {
+  const Bytes payload =
+      EncodeQueryRequest(SampleQuery(), {}, "ignored", /*version=*/3);
+  auto decoded = DecodeQueryRequest(payload, /*version=*/3);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->db.empty());  // the field does not exist at v3
+}
+
+TEST(WireV4, QueryRequestDbTruncationFailsCleanly) {
+  const Bytes payload = EncodeQueryRequest(SampleQuery(), {}, "tenant-a");
+  // Cut anywhere inside the db tail: clean Corruption, never a crash.
+  for (size_t cut = payload.size() - 9; cut < payload.size(); ++cut) {
+    Bytes truncated(payload.begin(), payload.begin() + cut);
+    auto decoded = DecodeQueryRequest(truncated);
+    ASSERT_FALSE(decoded.ok()) << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption) << cut;
+  }
+}
+
+TEST(WireV4, AggregateRequestDbRoundTrip) {
+  const Bytes payload = EncodeAggregateRequest(
+      SampleQuery(), AggregateKind::kSum, "IDX42", {}, "tenant-b");
+  auto decoded = DecodeAggregateRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->db, "tenant-b");
+  EXPECT_EQ(decoded->kind, AggregateKind::kSum);
+}
+
+TEST(WireV4, NaiveAndStatsRequestsRoundTrip) {
+  auto naive = DecodeNaiveRequest(EncodeNaiveRequest("db-n"));
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->db, "db-n");
+
+  auto stats = DecodeStatsRequest(EncodeStatsRequest("db-s"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->db, "db-s");
+
+  // v3 naive/stats requests are empty payloads; both decode to "".
+  auto naive_v3 = DecodeNaiveRequest(Bytes(), /*version=*/3);
+  ASSERT_TRUE(naive_v3.ok());
+  EXPECT_TRUE(naive_v3->db.empty());
+  auto stats_v3 = DecodeStatsRequest(Bytes(), /*version=*/3);
+  ASSERT_TRUE(stats_v3.ok());
+  EXPECT_TRUE(stats_v3->db.empty());
+}
+
+TEST(WireV4, FuzzedDbNamesDecodeSafely) {
+  // Arbitrary bytes in the name (control chars, path separators, high
+  // bits) round-trip as data; interpretation is the catalog's problem.
+  const std::string fuzzed[] = {
+      std::string("../../etc/passwd"),
+      std::string("a\x01\x7f\xff b"),
+      std::string(300, 'x'),
+      std::string("name with spaces / and : punct"),
+  };
+  for (const std::string& name : fuzzed) {
+    auto decoded = DecodeQueryRequest(EncodeQueryRequest({}, {}, name));
+    ASSERT_TRUE(decoded.ok()) << name;
+    EXPECT_EQ(decoded->db, name);
+  }
+}
+
+TEST(WireV4, FrameVersionsV3AndV4AcceptedOthersRejected) {
+  auto v4 = DecodeFrame(EncodeFrame(MessageType::kPingRequest, {}),
+                        kDefaultMaxFrameBytes);
+  ASSERT_TRUE(v4.ok());
+  EXPECT_EQ(v4->version, kWireVersion);
+
+  auto v3 =
+      DecodeFrame(EncodeFrame(MessageType::kPingRequest, {}, /*version=*/3),
+                  kDefaultMaxFrameBytes);
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3->version, 3);
+
+  for (uint8_t bad : {uint8_t{0}, uint8_t{2}, uint8_t{5}, uint8_t{255}}) {
+    Bytes image = EncodeFrame(MessageType::kPingRequest, {});
+    image[4] = bad;  // the version byte follows the 4-byte magic
+    EXPECT_EQ(DecodeFrame(image, kDefaultMaxFrameBytes).status().code(),
+              StatusCode::kUnsupported)
+        << int(bad);
+  }
+}
+
+TEST(WireV4, ErrorRetryHintRoundTrips) {
+  const Status shed = Status::Unavailable("over capacity");
+  double hint = 0.0;
+  Status decoded = DecodeError(EncodeError(shed, 75.5), kWireVersion, &hint);
+  EXPECT_EQ(decoded.code(), StatusCode::kUnavailable);
+  EXPECT_DOUBLE_EQ(hint, 75.5);
+
+  // v3 error frames carry no hint; the out-param stays zero.
+  hint = -1.0;
+  decoded = DecodeError(EncodeError(shed, 75.5, /*version=*/3),
+                        /*version=*/3, &hint);
+  EXPECT_EQ(decoded.code(), StatusCode::kUnavailable);
+  EXPECT_DOUBLE_EQ(hint, 0.0);
+
+  // Callers that don't care may pass no out-param.
+  EXPECT_EQ(DecodeError(EncodeError(shed, 75.5)).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(WireV4, HostileRetryHintsAreSanitized) {
+  // A hostile daemon must not be able to park a client forever (or feed
+  // it NaN): negative and non-finite hints decode as "no hint".
+  const Status shed = Status::Unavailable("x");
+  for (double evil : {-1.0, -1e300, std::nan(""),
+                      -std::numeric_limits<double>::infinity()}) {
+    Bytes payload = EncodeError(shed, 0.0);
+    // Overwrite the trailing f64 hint with the hostile bit pattern.
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(evil));
+    std::memcpy(&bits, &evil, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      payload[payload.size() - 8 + i] =
+          static_cast<uint8_t>(bits >> (8 * i));
+    }
+    double hint = 123.0;
+    Status decoded = DecodeError(payload, kWireVersion, &hint);
+    EXPECT_EQ(decoded.code(), StatusCode::kUnavailable);
+    EXPECT_DOUBLE_EQ(hint, 0.0) << evil;
+  }
+}
+
+TEST(WireV4, StatsResponseCarriesShedQueueAndDbName) {
+  NetStats stats;
+  stats.queries_served = 9;
+  stats.queries_shed = 4;
+  stats.queue_depth = 2;
+  stats.database = "alpha";
+  auto decoded = DecodeStats(EncodeStats(stats));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->queries_shed, 4u);
+  EXPECT_EQ(decoded->queue_depth, 2u);
+  EXPECT_EQ(decoded->database, "alpha");
+
+  // A v3 peer never sees the new fields and still gets the old ones.
+  auto v3 = DecodeStats(EncodeStats(stats, /*version=*/3), /*version=*/3);
+  ASSERT_TRUE(v3.ok()) << v3.status().ToString();
+  EXPECT_EQ(v3->queries_served, 9u);
+  EXPECT_EQ(v3->queries_shed, 0u);
+  EXPECT_TRUE(v3->database.empty());
 }
 
 }  // namespace
