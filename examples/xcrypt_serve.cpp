@@ -8,7 +8,7 @@
 // Usage:
 //   xcrypt_serve --bundle db.xcr [--host 127.0.0.1] [--port 7077]
 //                [--threads 8] [--io-timeout 30]
-//                [--max-inflight N] [--max-queue N]
+//                [--max-inflight N] [--max-queue N] [--allow-updates]
 //                [--metrics-json FILE [--metrics-interval SECONDS]]
 //   xcrypt_serve --catalog DIR [--default-db NAME] ...
 //   xcrypt_serve --demo [--port 7077] ...
@@ -26,6 +26,11 @@
 // connections (0 = unbounded); excess requests wait in a --max-queue
 // deep queue and past that are shed with a retryable Unavailable
 // carrying a backoff hint.
+//
+// --allow-updates accepts owner-pushed delta bundles (wire v5): each
+// delta advances the named database in place and connected v5 clients
+// get invalidation pushes for the blocks it touched. Off by default —
+// an update mutates hosted state, so the operator must opt in.
 //
 // --metrics-json dumps the daemon's metrics registry (request counters +
 // per-message latency histograms) as JSON to FILE: periodically every
@@ -59,7 +64,7 @@ int Usage(const char* argv0) {
                "usage: %s --bundle FILE | --catalog DIR | --demo "
                "[--default-db NAME] [--host ADDR] [--port N] "
                "[--threads N] [--io-timeout SECONDS] "
-               "[--max-inflight N] [--max-queue N] "
+               "[--max-inflight N] [--max-queue N] [--allow-updates] "
                "[--metrics-json FILE [--metrics-interval SECONDS]]\n",
                argv0);
   return 2;
@@ -121,6 +126,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.max_queued_queries = std::atoi(v);
+    } else if (arg == "--allow-updates") {
+      options.accept_updates = true;
     } else if (arg == "--demo") {
       demo = true;
     } else if (arg == "--host") {
@@ -236,10 +243,11 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
 
-  std::printf("xcrypt_serve: listening on %s:%u, %d workers%s\n",
+  std::printf("xcrypt_serve: listening on %s:%u, %d workers%s%s\n",
               host.c_str(), (*server)->port(), options.num_threads,
               options.max_inflight_queries > 0 ? " (admission control on)"
-                                               : "");
+                                               : "",
+              options.accept_updates ? " (updates on)" : "");
   std::printf("xcrypt_serve: cpu [%s], crypto kernel %s, shared pool %d "
               "threads\n",
               xcrypt::DescribeCpuFeatures().c_str(), AesKernel().name,
@@ -268,12 +276,13 @@ int main(int argc, char** argv) {
 
   const net::NetStats stats = (*server)->stats();
   std::printf("xcrypt_serve: signal %d, draining (%llu queries, %llu "
-              "aggregates, %llu naive, %llu errors, %llu shed over %llu "
-              "connections)\n",
+              "aggregates, %llu naive, %llu updates, %llu errors, %llu shed "
+              "over %llu connections)\n",
               static_cast<int>(g_signal),
               static_cast<unsigned long long>(stats.queries_served),
               static_cast<unsigned long long>(stats.aggregates_served),
               static_cast<unsigned long long>(stats.naive_served),
+              static_cast<unsigned long long>(stats.updates_applied),
               static_cast<unsigned long long>(stats.errors),
               static_cast<unsigned long long>(stats.queries_shed),
               static_cast<unsigned long long>(stats.connections_total));

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
 # Full pre-merge check: configure, build, and run the test suite across
-# the plain, AddressSanitizer, and ThreadSanitizer builds. Any failing
-# step fails the script.
+# the plain, AddressSanitizer, ThreadSanitizer, and
+# UndefinedBehaviorSanitizer builds. Any failing step fails the script.
 #
 # Usage:
-#   scripts/check.sh            # all three builds
-#   scripts/check.sh plain      # just one (plain | asan | tsan)
+#   scripts/check.sh            # all four builds
+#   scripts/check.sh plain      # just one (plain | asan | tsan | ubsan)
 #   CTEST_ARGS="-L net" scripts/check.sh   # pass extra args to ctest
 #
-# Build trees live at build/ (plain), build-asan/, and build-tsan/ next
-# to this script's repository root and are reused across runs.
+# Build trees live at build/ (plain), build-asan/, build-tsan/, and
+# build-ubsan/ next to this script's repository root and are reused
+# across runs.
+#
+# Each configuration additionally gates on `ctest -L update`: the
+# incremental-update suite (delta format fuzzing, WAL replay, the
+# concurrent update-storm e2e) must pass standalone in every build —
+# under TSan this is the run that proves readers never see a torn
+# database mid-apply.
 
 set -euo pipefail
 
@@ -28,6 +35,8 @@ run_build() {
   # Sanitizer runs serialize less well; keep parallelism but fail loud.
   # shellcheck disable=SC2086
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${CTEST_ARGS})
+  echo "==> [${name}] ctest -L update"
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -L update)
   echo "==> [${name}] OK"
 }
 
@@ -36,8 +45,10 @@ case "${want}" in
   plain|all) run_build plain "${ROOT}/build" ;;&
   asan|all)  run_build asan "${ROOT}/build-asan" -DXCRYPT_SANITIZE=address ;;&
   tsan|all)  run_build tsan "${ROOT}/build-tsan" -DXCRYPT_TSAN=ON ;;&
-  plain|asan|tsan|all) ;;
-  *) echo "usage: $0 [plain|asan|tsan|all]" >&2; exit 2 ;;
+  ubsan|all) run_build ubsan "${ROOT}/build-ubsan" \
+                       -DXCRYPT_SANITIZE=undefined ;;&
+  plain|asan|tsan|ubsan|all) ;;
+  *) echo "usage: $0 [plain|asan|tsan|ubsan|all]" >&2; exit 2 ;;
 esac
 
 echo "all requested checks passed"

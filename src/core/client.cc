@@ -313,6 +313,15 @@ CachedBlockSet Client::AdvertiseCachedBlocks(obs::Trace* trace) const {
   return cache_->Advertise();
 }
 
+void Client::InvalidateCachedBlocks(const std::vector<int>& ids) const {
+  if (cache_ == nullptr) return;
+  for (const int id : ids) cache_->Erase(id);
+}
+
+void Client::InvalidateAllCachedBlocks() const {
+  if (cache_ != nullptr) cache_->Clear();
+}
+
 Status Client::ReencryptBlock(int block_id) {
   if (block_id < 0 ||
       static_cast<size_t>(block_id) >= scheme_.block_roots.size()) {
@@ -369,6 +378,7 @@ Result<int> Client::UpdateValues(const PathExpr& path,
       const NodeId skel = enc_.skeleton_of_node[id];
       if (skel != kNullNode) {
         enc_.database.skeleton.node(skel).value = value;
+        if (effects_ != nullptr) effects_->RecordSetValue(skel, value);
       }
     }
   }
@@ -376,11 +386,17 @@ Result<int> Client::UpdateValues(const PathExpr& path,
   // Re-encrypt only the touched blocks.
   for (int block : touched_blocks) {
     XCRYPT_RETURN_NOT_OK(ReencryptBlock(block));
+    if (effects_ != nullptr) effects_->TouchBlock(block);
   }
 
   // Rebuild only the touched tags' value indexes (fresh epoch-derived
   // randomness so the new index is unlinkable to the old one).
-  for (const std::string& tag : touched_tags) {
+  XCRYPT_RETURN_NOT_OK(RebuildValueIndexes(touched_tags));
+  return static_cast<int>(targets.size());
+}
+
+Status Client::RebuildValueIndexes(const std::set<std::string>& tags) {
+  for (const std::string& tag : tags) {
     std::vector<std::pair<std::string, int32_t>> occurrences;
     for (NodeId id : original_.PreOrder()) {
       const int block = enc_.block_of_node[id];
@@ -393,6 +409,7 @@ Result<int> Client::UpdateValues(const PathExpr& path,
     if (occurrences.empty()) {
       meta_.server.value_indexes.erase(token);
       meta_.client.opess.erase(tag);
+      if (effects_ != nullptr) effects_->RemovedValueIndex(token);
       continue;
     }
     Rng opess_rng(keys_->RngSeed("opess:" + tag + ":u" +
@@ -404,8 +421,152 @@ Result<int> Client::UpdateValues(const PathExpr& path,
     BPlusTree tree;
     tree.BulkLoad(std::move(build->entries));
     meta_.server.value_indexes.insert_or_assign(token, std::move(tree));
+    if (effects_ != nullptr) effects_->RebuiltValueIndex(token);
   }
-  return static_cast<int>(targets.size());
+  return Status::Ok();
+}
+
+std::vector<std::pair<std::string, Interval>> Client::ParentRuns(
+    NodeId parent) const {
+  auto token_of = [this](NodeId id) {
+    const std::string q = QualifiedTagOf(original_.node(id));
+    return enc_.block_of_node[id] >= 0 ? TagToken(meta_.client, q) : q;
+  };
+  std::vector<DsiRunEntry> runs;
+  AppendRunContributions(original_, enc_.block_of_node, meta_.client.dsi,
+                         parent, token_of, &runs);
+  std::vector<std::pair<std::string, Interval>> out;
+  out.reserve(runs.size());
+  for (DsiRunEntry& run : runs) {
+    out.emplace_back(std::move(run.token), run.interval);
+  }
+  return out;
+}
+
+Client::SubtreeIndexState Client::CaptureSubtreeIndexState(
+    NodeId top, bool include_top_public) const {
+  SubtreeIndexState state;
+  original_.Visit(top, [&](NodeId id) {
+    auto runs = ParentRuns(id);
+    state.contribs.insert(state.contribs.end(),
+                          std::make_move_iterator(runs.begin()),
+                          std::make_move_iterator(runs.end()));
+    const int block = enc_.block_of_node[id];
+    if (block < 0) {
+      if (include_top_public || id != top) {
+        state.publics.emplace_back(meta_.client.dsi.interval(id),
+                                   enc_.skeleton_of_node[id]);
+      }
+    } else if (id != top &&
+               scheme_.block_roots[block] == id) {
+      state.block_reps.emplace_back(block, meta_.client.dsi.interval(id));
+    }
+  });
+  return state;
+}
+
+void Client::ApplyDsiDiff(
+    std::vector<std::pair<std::string, Interval>> before,
+    std::vector<std::pair<std::string, Interval>> after) {
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  size_t i = 0, j = 0;
+  while (i < before.size() || j < after.size()) {
+    if (j == after.size() ||
+        (i < before.size() && before[i] < after[j])) {
+      meta_.server.dsi_table.Remove(before[i].first, before[i].second);
+      if (effects_ != nullptr) {
+        effects_->RemoveDsi(before[i].first, before[i].second);
+      }
+      ++i;
+    } else if (i == before.size() || after[j] < before[i]) {
+      meta_.server.dsi_table.Add(after[j].first, after[j].second);
+      if (effects_ != nullptr) {
+        effects_->AddDsi(after[j].first, after[j].second);
+      }
+      ++j;
+    } else {
+      ++i;  // unchanged entry
+      ++j;
+    }
+  }
+}
+
+void Client::ApplyPublicDiff(
+    std::vector<std::pair<Interval, NodeId>> before,
+    std::vector<std::pair<Interval, NodeId>> after) {
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  size_t i = 0, j = 0;
+  while (i < before.size() || j < after.size()) {
+    if (j == after.size() ||
+        (i < before.size() && before[i] < after[j])) {
+      meta_.server.public_interval_to_node.erase(before[i].first);
+      if (effects_ != nullptr) effects_->RemovePublic(before[i].first);
+      ++i;
+    } else if (i == before.size() || after[j] < before[i]) {
+      meta_.server.public_interval_to_node[after[j].first] = after[j].second;
+      if (effects_ != nullptr) {
+        effects_->AddPublic(after[j].first, after[j].second);
+      }
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void Client::AssignSubtreeChildIntervals(NodeId top, Rng& rng) {
+  std::vector<NodeId> stack = {top};
+  while (!stack.empty()) {
+    const NodeId p = stack.back();
+    stack.pop_back();
+    const std::vector<NodeId>& kids = original_.node(p).children;
+    if (kids.empty()) continue;
+    const int n = static_cast<int>(kids.size());
+    std::vector<double> w1(n), w2(n);
+    for (int k = 0; k < n; ++k) {
+      w1[k] = rng.UniformDouble(1e-6, 0.5);
+      w2[k] = rng.UniformDouble(1e-6, 0.5);
+    }
+    const std::vector<Interval> ivs =
+        CalIntervals(meta_.client.dsi.interval(p), n, w1, w2);
+    for (int k = 0; k < n; ++k) {
+      meta_.client.dsi.Set(kids[k], ivs[k]);
+      stack.push_back(kids[k]);
+    }
+  }
+}
+
+void Client::TombstoneBlock(int block_id, bool* skeleton_changed) {
+  EncryptedBlock& block = enc_.database.blocks[block_id];
+  block.ciphertext.clear();
+  block.plaintext_bytes = 0;
+  // The generation bump keeps wire v3 coherence sound: a client still
+  // advertising the dead block's old payload can never get it stubbed.
+  block.generation += 1;
+  if (cache_ != nullptr) cache_->Erase(block_id);
+  const NodeId marker = enc_.database.marker_of_block[block_id];
+  if (marker != kNullNode) {
+    if (enc_.database.skeleton.Detach(marker).ok() && effects_ != nullptr) {
+      effects_->RecordDetach(marker);
+    }
+    enc_.database.marker_of_block[block_id] = kNullNode;
+    *skeleton_changed = true;
+  }
+  meta_.server.block_table.Remove(block_id);
+  if (effects_ != nullptr) effects_->TombstoneBlock(block_id);
+}
+
+void Client::CompactSkeletonNow() {
+  const std::vector<NodeId> remap =
+      CompactSkeleton(&enc_.database.skeleton, &enc_.database.marker_of_block,
+                      &meta_.server.public_interval_to_node);
+  for (NodeId& skel : enc_.skeleton_of_node) {
+    if (skel != kNullNode) skel = remap[skel];
+  }
+  if (effects_ != nullptr) effects_->RecordCompact(remap);
 }
 
 Status Client::InsertSubtree(const PathExpr& parent_path,
@@ -419,8 +580,138 @@ Status Client::InsertSubtree(const PathExpr& parent_path,
     return Status::NotFound("insert target not found: " +
                             parent_path.ToString());
   }
-  original_.GraftSubtree(fragment, fragment.root(), parents.front());
-  return Rehost();
+  const NodeId parent = parents.front();
+  ++update_epoch_;
+
+  // Every inserted node is encrypted (it joins the parent's block, or the
+  // whole fragment becomes a block of its own) — a superset of whatever a
+  // fresh scheme would pick, so constraints stay enforced. Mint pseudonyms
+  // for tags this database has never seen encrypted.
+  std::set<std::string> fragment_value_tags;
+  for (NodeId id : fragment.PreOrder()) {
+    const Node& n = fragment.node(id);
+    const std::string q = (n.is_attribute ? "@" : "") + n.tag;
+    if (meta_.client.tag_tokens.count(q) == 0) {
+      meta_.client.tag_tokens[q] = keys_->tag_cipher().EncryptTag(q);
+      enc_.encrypted_tags.push_back(q);
+    }
+    if (fragment.IsLeaf(id) && !n.value.empty()) {
+      fragment_value_tags.insert(q);
+    }
+  }
+
+  // Gap budget (§5.1): the DSI construction leaves a guaranteed gap
+  // between the parent's last child and the parent's own upper bound.
+  // Place the new subtree there; when repeated inserts have eaten the
+  // gap, fall back to re-intervalling the parent's whole subtree.
+  const Interval piv = meta_.client.dsi.interval(parent);
+  const std::vector<NodeId>& siblings = original_.node(parent).children;
+  const double prev_max = siblings.empty()
+                              ? piv.min
+                              : meta_.client.dsi.interval(siblings.back()).max;
+  const double gap = piv.max - prev_max;
+  const bool reinterval = !(gap > (piv.max - piv.min) * 1e-6);
+
+  // Capture the pre-edit contributions of everything the edit can move.
+  SubtreeIndexState before;
+  if (reinterval) {
+    before = CaptureSubtreeIndexState(parent, /*include_top_public=*/false);
+  } else {
+    before.contribs = ParentRuns(parent);
+  }
+
+  const NodeId new_root =
+      original_.GraftSubtree(fragment, fragment.root(), parent);
+  enc_.block_of_node.resize(original_.node_count(), -1);
+  enc_.skeleton_of_node.resize(original_.node_count(), kNullNode);
+  meta_.client.dsi.Resize(original_.node_count());
+
+  // Which block receives the fragment?
+  const int parent_block = enc_.block_of_node[parent];
+  int target_block = parent_block;
+  if (parent_block < 0) {
+    // Public parent: the fragment becomes a new block. The skeleton gets
+    // the marker; both skeleton appends are recorded so the server's copy
+    // replays them id-for-id.
+    target_block = static_cast<int>(enc_.database.blocks.size());
+    EncryptedBlock fresh;
+    fresh.id = target_block;
+    enc_.database.blocks.push_back(std::move(fresh));
+    scheme_.block_roots.push_back(new_root);
+
+    const NodeId parent_skel = enc_.skeleton_of_node[parent];
+    const NodeId marker =
+        enc_.database.skeleton.AddChild(parent_skel, kBlockMarkerTag);
+    if (effects_ != nullptr) {
+      effects_->RecordAdd(parent_skel, kBlockMarkerTag, "", false);
+    }
+    enc_.database.skeleton.AddAttribute(marker, "id",
+                                        std::to_string(target_block));
+    if (effects_ != nullptr) {
+      effects_->RecordAdd(marker, "id", std::to_string(target_block), true);
+      effects_->SetMarker(target_block, marker);
+    }
+    enc_.database.marker_of_block.push_back(marker);
+    enc_.skeleton_of_node[new_root] = marker;
+  }
+  original_.Visit(new_root, [&](NodeId id) {
+    enc_.block_of_node[id] = target_block;
+  });
+
+  // Interval assignment. Weights come from epoch-derived key material so
+  // re-running the same edit sequence is deterministic for the owner.
+  Rng rng(keys_->RngSeed("dsi:u" + std::to_string(update_epoch_)));
+  if (reinterval) {
+    AssignSubtreeChildIntervals(parent, rng);
+  } else {
+    // The new root takes a strict sub-interval of the remaining gap,
+    // leaving gaps on both sides (so later inserts still have budget and
+    // the DSI non-interposition invariants hold).
+    Interval iv;
+    iv.min = prev_max + gap * rng.UniformDouble(0.15, 0.35);
+    iv.max = prev_max + gap * rng.UniformDouble(0.55, 0.85);
+    meta_.client.dsi.Set(new_root, iv);
+    AssignSubtreeChildIntervals(new_root, rng);
+  }
+
+  // Diff the grouped DSI contributions, public map, and block reps.
+  SubtreeIndexState after;
+  if (reinterval) {
+    after = CaptureSubtreeIndexState(parent, /*include_top_public=*/false);
+    std::map<int, Interval> old_reps(before.block_reps.begin(),
+                                     before.block_reps.end());
+    for (const auto& [block, rep] : after.block_reps) {
+      const auto it = old_reps.find(block);
+      if (it == old_reps.end() || !(it->second == rep)) {
+        meta_.server.block_table.Set(block, rep);
+        if (effects_ != nullptr) effects_->SetRep(block, rep);
+      }
+    }
+  } else {
+    after.contribs = ParentRuns(parent);
+    // The parent diff only covers the run the new root joined; every run
+    // INSIDE the grafted subtree is a brand-new contribution.
+    original_.Visit(new_root, [&](NodeId id) {
+      auto runs = ParentRuns(id);
+      after.contribs.insert(after.contribs.end(),
+                            std::make_move_iterator(runs.begin()),
+                            std::make_move_iterator(runs.end()));
+    });
+  }
+  ApplyDsiDiff(std::move(before.contribs), std::move(after.contribs));
+  ApplyPublicDiff(std::move(before.publics), std::move(after.publics));
+
+  // The receiving block's ciphertext changes either way; a brand-new
+  // block also needs its representative registered.
+  XCRYPT_RETURN_NOT_OK(ReencryptBlock(target_block));
+  if (effects_ != nullptr) effects_->TouchBlock(target_block);
+  if (parent_block < 0) {
+    const Interval rep = meta_.client.dsi.interval(new_root);
+    meta_.server.block_table.Set(target_block, rep);
+    if (effects_ != nullptr) effects_->SetRep(target_block, rep);
+  }
+
+  return RebuildValueIndexes(fragment_value_tags);
 }
 
 Result<int> Client::DeleteSubtrees(const PathExpr& path) {
@@ -428,9 +719,83 @@ Result<int> Client::DeleteSubtrees(const PathExpr& path) {
   const std::vector<NodeId> targets = eval.Evaluate(path);
   if (targets.empty()) return 0;
   for (NodeId id : targets) {
-    XCRYPT_RETURN_NOT_OK(original_.Detach(id));
+    if (id == original_.root()) {
+      return Status::InvalidArgument("cannot delete the document root");
+    }
   }
-  XCRYPT_RETURN_NOT_OK(Rehost());
+  // Nested targets are subsumed by their outermost ancestor (Evaluate
+  // returns document order, so ancestors precede descendants).
+  std::vector<NodeId> outermost;
+  for (NodeId id : targets) {
+    bool nested = false;
+    for (NodeId kept : outermost) {
+      if (original_.IsAncestor(kept, id)) {
+        nested = true;
+        break;
+      }
+    }
+    if (!nested) outermost.push_back(id);
+  }
+
+  ++update_epoch_;
+  std::set<int> reencrypt_blocks;
+  std::set<std::string> touched_value_tags;
+  bool skeleton_changed = false;
+
+  for (NodeId target : outermost) {
+    const NodeId parent = original_.node(target).parent;
+    auto parent_runs_before = ParentRuns(parent);
+    SubtreeIndexState removed =
+        CaptureSubtreeIndexState(target, /*include_top_public=*/true);
+
+    // Blocks rooted inside the subtree die with it; a block the target
+    // was carved out of survives and is re-encrypted.
+    std::vector<int> dead_blocks;
+    original_.Visit(target, [&](NodeId id) {
+      const int block = enc_.block_of_node[id];
+      if (block >= 0 && scheme_.block_roots[block] == id) {
+        dead_blocks.push_back(block);
+      }
+      if (block >= 0 && original_.IsLeaf(id) &&
+          !original_.node(id).value.empty()) {
+        touched_value_tags.insert(QualifiedTagOf(original_.node(id)));
+      }
+    });
+    const int container = enc_.block_of_node[target];
+    if (container >= 0 && scheme_.block_roots[container] != target) {
+      reencrypt_blocks.insert(container);
+    }
+
+    for (int block : dead_blocks) {
+      TombstoneBlock(block, &skeleton_changed);
+      reencrypt_blocks.erase(block);
+    }
+
+    XCRYPT_RETURN_NOT_OK(original_.Detach(target));
+    if (container < 0) {
+      // Public target: detach its skeleton copy (markers of dead blocks
+      // inside it were already detached above, in replayable order).
+      const NodeId skel = enc_.skeleton_of_node[target];
+      if (skel != kNullNode &&
+          enc_.database.skeleton.Detach(skel).ok()) {
+        if (effects_ != nullptr) effects_->RecordDetach(skel);
+        skeleton_changed = true;
+      }
+    }
+
+    // Everything the subtree contributed goes away; the parent's child
+    // runs may merge across the hole.
+    ApplyDsiDiff(std::move(removed.contribs), {});
+    ApplyPublicDiff(std::move(removed.publics), {});
+    ApplyDsiDiff(std::move(parent_runs_before), ParentRuns(parent));
+  }
+
+  for (int block : reencrypt_blocks) {
+    XCRYPT_RETURN_NOT_OK(ReencryptBlock(block));
+    if (effects_ != nullptr) effects_->TouchBlock(block);
+  }
+  XCRYPT_RETURN_NOT_OK(RebuildValueIndexes(touched_value_tags));
+  if (skeleton_changed) CompactSkeletonNow();
   return static_cast<int>(targets.size());
 }
 

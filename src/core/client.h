@@ -2,7 +2,9 @@
 #define XCRYPT_CORE_CLIENT_H_
 
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -14,6 +16,7 @@
 #include "core/query_translator.h"
 #include "core/security_constraint.h"
 #include "core/server.h"
+#include "core/update_effects.h"
 #include "crypto/keychain.h"
 #include "xml/document.h"
 #include "xpath/ast.h"
@@ -131,36 +134,97 @@ class Client {
 
   // --- Updates (the paper's future-work item (3)) -----------------------
   //
-  // Structure-preserving value updates are incremental: only the blocks
-  // containing updated leaves are re-encrypted (under a fresh nonce) and
-  // only the affected tags' value indexes are rebuilt; the DSI index is
-  // untouched because the tree shape is unchanged. Structural edits
-  // (insert/delete of subtrees) change sibling interval assignments and
-  // the scheme's binding sets, so they re-host — the paper itself leaves
-  // efficient secure updates as an open problem (§8).
+  // All three edit kinds are incremental. Value updates re-encrypt only
+  // the blocks containing updated leaves and rebuild only the affected
+  // tags' value indexes; the DSI index is untouched because the tree
+  // shape is unchanged. Structural edits (insert/delete of subtrees)
+  // assign DSI intervals for inserted nodes out of the gap the parent's
+  // interval construction guarantees past its last child, falling back to
+  // re-intervalling the enclosing subtree when repeated inserts exhaust a
+  // gap; deletes tombstone fully-contained blocks and re-encrypt the one
+  // container block a target was carved out of. Inserted subtrees are
+  // encrypted whole (a superset of any freshly built scheme, so every
+  // security constraint stays enforced).
 
   /// Sets the value of every leaf the path binds to. Returns the number of
   /// updated nodes. Fails if the path binds a non-leaf.
   Result<int> UpdateValues(const PathExpr& path, const std::string& value);
 
   /// Inserts a copy of `fragment` as the last child of the first node the
-  /// path binds to, then re-hosts.
+  /// path binds to. The fragment becomes part of the parent's block, or a
+  /// new block of its own when the parent is public.
   Status InsertSubtree(const PathExpr& parent_path, const Document& fragment);
 
-  /// Detaches every node the path binds to, then re-hosts. Returns the
-  /// number of removed subtrees.
+  /// Detaches every node the path binds to (nested targets are subsumed
+  /// by their outermost ancestor). Returns the number of matched subtrees.
   Result<int> DeleteSubtrees(const PathExpr& path);
+
+  // --- Delta recording (incremental update subsystem) -------------------
+
+  /// Starts mirroring every update's side effects into `effects`, in the
+  /// vocabulary a delta bundle ships (storage/update). The recorder must
+  /// outlive the recording window.
+  void BeginRecording(UpdateEffects* effects) { effects_ = effects; }
+  void EndRecording() { effects_ = nullptr; }
+
+  /// Drops specific blocks from the decrypted-block cache — the client's
+  /// reaction to a server-pushed invalidation event (wire v5). Unknown ids
+  /// are ignored; over-invalidation is always safe.
+  void InvalidateCachedBlocks(const std::vector<int>& ids) const;
+
+  /// Drops the whole cache (server lost track of what we hold).
+  void InvalidateAllCachedBlocks() const;
 
  private:
   Client() = default;
 
   /// Re-runs scheme construction, encryption, and metadata building over
-  /// the (modified) original document with the existing keys.
+  /// the (modified) original document with the existing keys. Kept as the
+  /// sledgehammer path (key rotation, scheme changes); the update methods
+  /// above no longer use it.
   Status Rehost();
 
   /// Re-encrypts one block from the current original document under a
   /// fresh nonce (epoch-versioned so ciphertexts never repeat).
   Status ReencryptBlock(int block_id);
+
+  /// Empties a block whose subtree was deleted: ciphertext cleared,
+  /// generation bumped (so stale adverts can never match), marker
+  /// detached, block-table entry dropped.
+  void TombstoneBlock(int block_id, bool* skeleton_changed);
+
+  /// Rebuilds (or erases, when a tag no longer occurs) the value indexes
+  /// of `tags` with fresh epoch-derived randomness.
+  Status RebuildValueIndexes(const std::set<std::string>& tags);
+
+  /// Everything about `top`'s subtree that a structural edit can change:
+  /// its nodes' grouped DSI-table contributions, public-map entries, and
+  /// the representatives of blocks rooted strictly inside.
+  struct SubtreeIndexState {
+    std::vector<std::pair<std::string, Interval>> contribs;
+    std::vector<std::pair<Interval, NodeId>> publics;
+    std::vector<std::pair<int, Interval>> block_reps;
+  };
+  SubtreeIndexState CaptureSubtreeIndexState(NodeId top,
+                                             bool include_top_public) const;
+
+  /// Applies old-vs-new diffs to the server tables, recording each change.
+  void ApplyDsiDiff(std::vector<std::pair<std::string, Interval>> before,
+                    std::vector<std::pair<std::string, Interval>> after);
+  void ApplyPublicDiff(std::vector<std::pair<Interval, NodeId>> before,
+                       std::vector<std::pair<Interval, NodeId>> after);
+
+  /// Reassigns the intervals of every descendant of `top` (its own
+  /// interval stays fixed) per the paper's CalIntervals construction.
+  void AssignSubtreeChildIntervals(NodeId top, Rng& rng);
+
+  /// Grouped DSI-table contributions of `parent`'s current child list.
+  std::vector<std::pair<std::string, Interval>> ParentRuns(NodeId parent)
+      const;
+
+  /// Rebuilds the skeleton arena without detached nodes and remaps every
+  /// id-bearing structure (markers, public map, skeleton_of_node).
+  void CompactSkeletonNow();
 
   Document original_;
   std::vector<SecurityConstraint> constraints_;
@@ -175,6 +239,9 @@ class Client {
   double encrypt_micros_ = 0.0;
   double metadata_micros_ = 0.0;
   int update_epoch_ = 0;
+  /// Active delta recorder; nullptr outside a recording window. Not
+  /// owned.
+  UpdateEffects* effects_ = nullptr;
 };
 
 }  // namespace xcrypt

@@ -135,4 +135,45 @@ void RemoveDecoys(Document& doc) {
   }
 }
 
+std::vector<NodeId> CompactSkeleton(Document* skeleton,
+                                    std::vector<NodeId>* marker_of_block,
+                                    std::map<Interval, NodeId>* public_map) {
+  std::vector<NodeId> remap(skeleton->node_count(), kNullNode);
+  Document fresh;
+  if (!skeleton->empty()) {
+    // Explicit stack with reversed child pushes reproduces pre-order, so
+    // AddChild sees children arrive in document order.
+    std::vector<std::pair<NodeId, NodeId>> stack;  // (src, dst_parent)
+    stack.emplace_back(skeleton->root(), kNullNode);
+    while (!stack.empty()) {
+      auto [src, dst_parent] = stack.back();
+      stack.pop_back();
+      const Node& n = skeleton->node(src);
+      const NodeId dst = dst_parent == kNullNode
+                             ? fresh.AddRoot(n.tag)
+                             : fresh.AddChild(dst_parent, n.tag);
+      fresh.node(dst).value = n.value;
+      fresh.node(dst).is_attribute = n.is_attribute;
+      remap[src] = dst;
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        stack.emplace_back(*it, dst);
+      }
+    }
+  }
+  *skeleton = std::move(fresh);
+  for (NodeId& marker : *marker_of_block) {
+    if (marker != kNullNode) marker = remap[marker];
+  }
+  if (public_map != nullptr) {
+    std::map<Interval, NodeId> rebuilt;
+    for (const auto& [iv, node] : *public_map) {
+      if (node == kNullNode) continue;
+      const NodeId mapped = remap[node];
+      if (mapped != kNullNode) rebuilt.emplace(iv, mapped);
+    }
+    *public_map = std::move(rebuilt);
+  }
+  return remap;
+}
+
 }  // namespace xcrypt

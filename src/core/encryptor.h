@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/encryption_scheme.h"
 #include "crypto/keychain.h"
+#include "index/dsi.h"
 #include "xml/document.h"
 
 namespace xcrypt {
@@ -89,6 +90,17 @@ Result<Document> DecryptBlock(const EncryptedBlock& block,
 
 /// Removes every decoy node from `doc` in place.
 void RemoveDecoys(Document& doc);
+
+/// Rebuilds `skeleton`'s arena in reachable pre-order, dropping detached
+/// nodes (the bundle image format cannot represent them). Remaps
+/// `marker_of_block` entries (detached markers become kNullNode) and
+/// rebuilds `public_map`, dropping entries whose node went away. Returns
+/// the old-id -> new-id map (kNullNode for dropped nodes). Run by the
+/// owner after structural deletes and replayed verbatim by ApplyDelta,
+/// so both sides stay id-for-id aligned.
+std::vector<NodeId> CompactSkeleton(Document* skeleton,
+                                    std::vector<NodeId>* marker_of_block,
+                                    std::map<Interval, NodeId>* public_map);
 
 }  // namespace xcrypt
 

@@ -26,6 +26,33 @@ std::string TagToken(const ClientIndexMeta& meta,
   return it == meta.tag_tokens.end() ? qualified_tag : it->second;
 }
 
+void AppendRunContributions(
+    const Document& doc, const std::vector<int>& block_of_node,
+    const DsiIndex& dsi, NodeId parent,
+    const std::function<std::string(NodeId)>& token_of,
+    std::vector<DsiRunEntry>* out) {
+  const Node& n = doc.node(parent);
+  size_t i = 0;
+  while (i < n.children.size()) {
+    const NodeId first = n.children[i];
+    const std::string q = QualifiedTag(doc.node(first));
+    const int block = block_of_node[first];
+    size_t j = i + 1;
+    if (block >= 0) {
+      // Public children never merge: each is its own (visible) entry.
+      while (j < n.children.size() &&
+             block_of_node[n.children[j]] == block &&
+             QualifiedTag(doc.node(n.children[j])) == q) {
+        ++j;
+      }
+    }
+    Interval merged = dsi.interval(first);
+    merged.max = dsi.interval(n.children[j - 1]).max;
+    out->push_back({token_of(first), merged});
+    i = j;
+  }
+}
+
 Result<HostedMetadata> BuildMetadata(const Document& doc,
                                      const EncryptionResult& enc,
                                      const KeyChain& keys) {
@@ -58,25 +85,13 @@ Result<HostedMetadata> BuildMetadata(const Document& doc,
 
   // Root first (it has no sibling run).
   server.dsi_table.Add(token_of(doc.root()), client.dsi.interval(doc.root()));
+  std::vector<DsiRunEntry> runs;
   for (NodeId id : doc.PreOrder()) {
-    const Node& n = doc.node(id);
-    size_t i = 0;
-    while (i < n.children.size()) {
-      const NodeId first = n.children[i];
-      const std::string q = QualifiedTag(doc.node(first));
-      const int block = enc.block_of_node[first];
-      size_t j = i + 1;
-      if (block >= 0) {
-        while (j < n.children.size() &&
-               enc.block_of_node[n.children[j]] == block &&
-               QualifiedTag(doc.node(n.children[j])) == q) {
-          ++j;
-        }
-      }
-      Interval merged = client.dsi.interval(first);
-      merged.max = client.dsi.interval(n.children[j - 1]).max;
-      server.dsi_table.Add(token_of(first), merged);
-      i = j;
+    runs.clear();
+    AppendRunContributions(doc, enc.block_of_node, client.dsi, id, token_of,
+                           &runs);
+    for (const DsiRunEntry& run : runs) {
+      server.dsi_table.Add(run.token, run.interval);
     }
   }
   server.dsi_table.Seal();

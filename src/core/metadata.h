@@ -1,6 +1,7 @@
 #ifndef XCRYPT_CORE_METADATA_H_
 #define XCRYPT_CORE_METADATA_H_
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -68,6 +69,23 @@ Result<HostedMetadata> BuildMetadata(const Document& doc,
 /// occur encrypted. `qualified_tag` uses the '@' prefix convention.
 std::string TagToken(const ClientIndexMeta& meta,
                      const std::string& qualified_tag);
+
+/// One grouped DSI-table entry (§5.1.1): adjacent same-tag children inside
+/// the same encryption block collapse into a single interval.
+struct DsiRunEntry {
+  std::string token;
+  Interval interval;
+};
+
+/// Appends the grouped DSI-table entries contributed by `parent`'s child
+/// list (§5.1.1 runs). `token_of` maps a child NodeId to its table token.
+/// Shared by the bulk build and the incremental update path, which diffs
+/// a parent's contributions before/after a structural edit.
+void AppendRunContributions(const Document& doc,
+                            const std::vector<int>& block_of_node,
+                            const DsiIndex& dsi, NodeId parent,
+                            const std::function<std::string(NodeId)>& token_of,
+                            std::vector<DsiRunEntry>* out);
 
 }  // namespace xcrypt
 

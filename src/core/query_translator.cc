@@ -69,7 +69,17 @@ Result<std::vector<TranslatedStep>> QueryTranslator::TranslateSteps(
                                      *pred.op, pred.literal);
         if (!range.ok()) return range.status();
         tp.range = *range;
-      } else if (meta_->tag_tokens.count(target_tag) != 0) {
+        if (meta_->public_tags.count(target_tag) != 0) {
+          // Mixed tag (encrypted in some subtrees — e.g. after an
+          // incremental insert — public elsewhere): the plaintext
+          // comparison rides along and the server takes the union. Like
+          // step tokens, the literal is sent in the clear only when
+          // public occurrences already exist.
+          tp.op = *pred.op;
+          tp.literal = pred.literal;
+        }
+      } else if (meta_->tag_tokens.count(target_tag) != 0 &&
+                 meta_->public_tags.count(target_tag) == 0) {
         // The tag occurs encrypted but carries no value index (internal
         // node): the server cannot evaluate the comparison.
         return Status::Unsupported("value constraint on encrypted tag '" +

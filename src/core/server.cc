@@ -226,6 +226,17 @@ bool ServerEngine::PredicateKindHolds(const Interval& candidate,
     }
 
     case TranslatedPredicate::Kind::kIndexRange: {
+      // Mixed tag: a plaintext literal rides along when the target tag
+      // also occurs publicly; a public target satisfying the comparison
+      // settles the predicate without touching the value index.
+      if (!pred.literal.empty()) {
+        for (const Interval& t : targets) {
+          auto it = meta_->public_interval_to_node.find(t);
+          if (it == meta_->public_interval_to_node.end()) continue;
+          const Node& node = db_->skeleton.node(it->second);
+          if (CompareValues(node.value, pred.op, pred.literal)) return true;
+        }
+      }
       if (pred.range.empty) return false;
       const std::vector<Interval>& reps =
           RangeProbeReps(pred.index_token, pred.range.lo, pred.range.hi);
@@ -426,7 +437,11 @@ Result<EngineQueryResult> ServerEngine::ExecuteNaive(
     out.response.requires_full_requery = true;
     out.response.skeleton_xml =
         SerializeXml(db_->skeleton, db_->skeleton.root(), 0);
-    out.response.blocks = db_->blocks;
+    for (const EncryptedBlock& block : db_->blocks) {
+      // Deleted subtrees leave tombstoned (empty-ciphertext) block slots
+      // behind; shipping those would make the client fail decryption.
+      if (!block.ciphertext.empty()) out.response.blocks.push_back(block);
+    }
   }
   server_span.End();
   out.stats.server_process_us = watch.ElapsedMicros();

@@ -1,0 +1,179 @@
+#ifndef XCRYPT_CORE_UPDATE_EFFECTS_H_
+#define XCRYPT_CORE_UPDATE_EFFECTS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "index/dsi.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// One owner-side skeleton edit, replayed verbatim by ApplyDelta so the
+/// server's pruned skeleton stays id-for-id in lockstep with the owner's
+/// copy. kAdd appends a node to the arena — the new id is implicit (the
+/// arena count at replay time), which is what keeps both sides aligned.
+/// kCompact rebuilds the arena in reachable pre-order, dropping detached
+/// nodes; both sides run the identical CompactSkeleton routine.
+struct SkeletonOp {
+  enum Kind : uint8_t { kAdd = 1, kSetValue = 2, kDetach = 3, kCompact = 4 };
+  Kind kind = kAdd;
+  NodeId node = kNullNode;    ///< kAdd: parent; kSetValue / kDetach: target
+  std::string tag;            ///< kAdd only
+  std::string value;          ///< kAdd (initial value) / kSetValue (new value)
+  bool is_attribute = false;  ///< kAdd only
+};
+
+/// Records everything a batch of owner edits changed, in exactly the
+/// vocabulary a delta bundle ships: skeleton ops, touched / tombstoned
+/// blocks, marker and block-table updates, DSI-table entry diffs, public
+/// interval-map diffs, and value indexes that need re-shipping. The
+/// recorder nets out intra-batch churn (an entry added and then removed
+/// in the same batch ships as nothing) so the delta stays proportional
+/// to the edit, not to the editing history.
+class UpdateEffects {
+ public:
+  void RecordAdd(NodeId parent, std::string tag, std::string value,
+                 bool is_attribute) {
+    ops_.push_back({SkeletonOp::kAdd, parent, std::move(tag),
+                    std::move(value), is_attribute});
+  }
+  void RecordSetValue(NodeId target, std::string value) {
+    ops_.push_back({SkeletonOp::kSetValue, target, "", std::move(value),
+                    false});
+  }
+  void RecordDetach(NodeId target) {
+    ops_.push_back({SkeletonOp::kDetach, target, "", "", false});
+  }
+
+  /// Records a compaction and rewrites previously recorded skeleton node
+  /// ids into the post-compaction id space (`remap[old] == kNullNode`
+  /// drops the reference). Markers and public-map additions are applied
+  /// *after* the op log on the server, so they must carry final ids.
+  void RecordCompact(const std::vector<NodeId>& remap) {
+    ops_.push_back({SkeletonOp::kCompact, kNullNode, "", "", false});
+    for (auto& [block, node] : markers_) {
+      if (node != kNullNode) node = remap[node];
+    }
+    for (auto it = public_added_.begin(); it != public_added_.end();) {
+      const NodeId mapped = remap[it->second];
+      if (mapped == kNullNode) {
+        it = public_added_.erase(it);
+      } else {
+        it->second = mapped;
+        ++it;
+      }
+    }
+  }
+
+  void TouchBlock(int block) {
+    if (!tombstoned_blocks_.count(block)) touched_blocks_.insert(block);
+  }
+
+  /// A tombstone supersedes every other pending change to the block:
+  /// its ciphertext ships empty, its marker and representative go away.
+  void TombstoneBlock(int block) {
+    touched_blocks_.erase(block);
+    markers_.erase(block);
+    reps_set_.erase(block);
+    tombstoned_blocks_.insert(block);
+    reps_removed_.insert(block);
+  }
+
+  void SetMarker(int block, NodeId marker) { markers_[block] = marker; }
+
+  void SetRep(int block, const Interval& rep) {
+    reps_removed_.erase(block);
+    reps_set_[block] = rep;
+  }
+  void RemoveRep(int block) {
+    reps_set_.erase(block);
+    reps_removed_.insert(block);
+  }
+
+  void AddDsi(const std::string& token, const Interval& iv) {
+    if (!EraseOne(&dsi_removed_, token, iv)) dsi_added_.emplace_back(token, iv);
+  }
+  void RemoveDsi(const std::string& token, const Interval& iv) {
+    if (!EraseOne(&dsi_added_, token, iv)) dsi_removed_.emplace_back(token, iv);
+  }
+
+  void AddPublic(const Interval& iv, NodeId node) {
+    public_removed_.erase(iv);
+    public_added_[iv] = node;
+  }
+  void RemovePublic(const Interval& iv) {
+    // An entry added earlier in this batch never existed on the server.
+    if (public_added_.erase(iv) == 0) public_removed_.insert(iv);
+  }
+
+  void RebuiltValueIndex(const std::string& token) {
+    value_removed_.erase(token);
+    value_rebuilt_.insert(token);
+  }
+  void RemovedValueIndex(const std::string& token) {
+    value_rebuilt_.erase(token);
+    value_removed_.insert(token);
+  }
+
+  bool empty() const {
+    return ops_.empty() && touched_blocks_.empty() &&
+           tombstoned_blocks_.empty() && markers_.empty() &&
+           reps_set_.empty() && reps_removed_.empty() && dsi_added_.empty() &&
+           dsi_removed_.empty() && public_added_.empty() &&
+           public_removed_.empty() && value_rebuilt_.empty() &&
+           value_removed_.empty();
+  }
+
+  const std::vector<SkeletonOp>& ops() const { return ops_; }
+  const std::set<int>& touched_blocks() const { return touched_blocks_; }
+  const std::set<int>& tombstoned_blocks() const { return tombstoned_blocks_; }
+  const std::map<int, NodeId>& markers() const { return markers_; }
+  const std::map<int, Interval>& reps_set() const { return reps_set_; }
+  const std::set<int>& reps_removed() const { return reps_removed_; }
+  const std::vector<std::pair<std::string, Interval>>& dsi_added() const {
+    return dsi_added_;
+  }
+  const std::vector<std::pair<std::string, Interval>>& dsi_removed() const {
+    return dsi_removed_;
+  }
+  const std::map<Interval, NodeId>& public_added() const {
+    return public_added_;
+  }
+  const std::set<Interval>& public_removed() const { return public_removed_; }
+  const std::set<std::string>& value_rebuilt() const { return value_rebuilt_; }
+  const std::set<std::string>& value_removed() const { return value_removed_; }
+
+ private:
+  static bool EraseOne(std::vector<std::pair<std::string, Interval>>* list,
+                       const std::string& token, const Interval& iv) {
+    for (auto it = list->begin(); it != list->end(); ++it) {
+      if (it->first == token && it->second == iv) {
+        list->erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<SkeletonOp> ops_;
+  std::set<int> touched_blocks_;
+  std::set<int> tombstoned_blocks_;
+  std::map<int, NodeId> markers_;
+  std::map<int, Interval> reps_set_;
+  std::set<int> reps_removed_;
+  std::vector<std::pair<std::string, Interval>> dsi_added_;
+  std::vector<std::pair<std::string, Interval>> dsi_removed_;
+  std::map<Interval, NodeId> public_added_;
+  std::set<Interval> public_removed_;
+  std::set<std::string> value_rebuilt_;
+  std::set<std::string> value_removed_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_UPDATE_EFFECTS_H_

@@ -44,7 +44,31 @@ Status DasSystem::RemoteHandle::Connect(const std::string& host, uint16_t port,
   if (!database.empty()) options.database = database;
   auto remote = net::RemoteServerEngine::Connect(host, port, options);
   if (!remote.ok()) return remote.status();
+  // Server-pushed invalidations (wire v5) drop stale decrypted blocks
+  // from the client's cache — another owner's delta to the same database
+  // must not leave this client answering from old plaintext. The sink
+  // points into client_, which outlives remote_ by member order.
+  (*remote)->SetInvalidationSink(
+      [client = das_->client_.get()](const net::InvalidationEventMsg& event) {
+        if (event.drop_all) {
+          client->InvalidateAllCachedBlocks();
+          return;
+        }
+        std::vector<int> ids;
+        ids.reserve(event.blocks.size());
+        for (const BlockAdvert& advert : event.blocks) {
+          ids.push_back(advert.id);
+        }
+        client->InvalidateCachedBlocks(ids);
+      });
   das_->remote_ = std::move(*remote);
+  // Adopt the daemon's resident generation so the first pushed delta is
+  // built against the server's actual base — the daemon may serve an
+  // older image of this document, or a v2 image pinned at generation 0.
+  auto stats = das_->remote_->Stats();
+  if (stats.ok() && !stats->database.empty()) {
+    das_->bundle_generation_ = stats->db_generation;
+  }
   return Status::Ok();
 }
 
@@ -177,55 +201,62 @@ Result<AggregateRun> DasSystem::ExecuteAggregatePath(
   return run;
 }
 
-namespace {
-/// Updates mutate the hosted bundle in place; a remote daemon serves an
-/// immutable snapshot of it, so applying them locally would silently
-/// desynchronize the two copies. Re-host (SaveBundle + restart the
-/// daemon) after updating, or disconnect first.
-Status RejectUpdateWhileRemote(bool remote_attached) {
-  if (remote_attached) {
-    return Status::Unsupported(
-        "updates are not propagated to a connected remote server; "
-        "Remote().Disconnect() first");
-  }
+Status DasSystem::PropagateUpdate(const DeltaBuilder& builder) {
+  // The in-process engine always tracks the mutated bundle (its caches —
+  // the interval universe — are rebuilt), whether or not queries are
+  // currently routed remotely.
+  server_ = std::make_unique<ServerEngine>(&client_->database(),
+                                           &client_->metadata());
+  if (builder.empty()) return Status::Ok();  // no-op batch: nothing moved
+  const uint64_t base = bundle_generation_;
+  bundle_generation_ = base + 1;
+  if (remote_ == nullptr) return Status::Ok();
+  // Ship exactly this batch's side effects. PushDelta retries transient
+  // failures; the daemon recognizes a replayed generation and applies the
+  // delta at most once.
+  const DeltaBundle delta = builder.Build(remote_->database(), base);
+  auto generation = remote_->PushDelta(SerializeDelta(delta));
+  if (!generation.ok()) return generation.status();
+  bundle_generation_ = *generation;
   return Status::Ok();
 }
-}  // namespace
 
 Result<int> DasSystem::UpdateValues(const std::string& xpath,
                                     const std::string& value) {
-  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_ != nullptr));
   auto path = ParseXPath(xpath);
   if (!path.ok()) return path.status();
-  auto updated = client_->UpdateValues(*path, value);
+  DeltaBuilder builder(client_.get());
+  auto updated = builder.UpdateValues(*path, value);
   if (!updated.ok()) return updated.status();
-  // The value indexes changed in place; rebuild the engine so its caches
-  // (interval universe) are refreshed.
-  server_ = std::make_unique<ServerEngine>(&client_->database(),
-                                           &client_->metadata());
+  XCRYPT_RETURN_NOT_OK(PropagateUpdate(builder));
   return updated;
 }
 
 Status DasSystem::InsertSubtree(const std::string& parent_xpath,
                                 const Document& fragment) {
-  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_ != nullptr));
   auto path = ParseXPath(parent_xpath);
   if (!path.ok()) return path.status();
-  XCRYPT_RETURN_NOT_OK(client_->InsertSubtree(*path, fragment));
-  server_ = std::make_unique<ServerEngine>(&client_->database(),
-                                           &client_->metadata());
-  return Status::Ok();
+  DeltaBuilder builder(client_.get());
+  XCRYPT_RETURN_NOT_OK(builder.InsertSubtree(*path, fragment));
+  return PropagateUpdate(builder);
 }
 
 Result<int> DasSystem::DeleteSubtrees(const std::string& xpath) {
-  XCRYPT_RETURN_NOT_OK(RejectUpdateWhileRemote(remote_ != nullptr));
   auto path = ParseXPath(xpath);
   if (!path.ok()) return path.status();
-  auto removed = client_->DeleteSubtrees(*path);
+  DeltaBuilder builder(client_.get());
+  auto removed = builder.DeleteSubtrees(*path);
   if (!removed.ok()) return removed.status();
-  server_ = std::make_unique<ServerEngine>(&client_->database(),
-                                           &client_->metadata());
+  XCRYPT_RETURN_NOT_OK(PropagateUpdate(builder));
   return removed;
+}
+
+Result<HostedBundle> DasSystem::ExportBundle(const std::string& name) const {
+  // B+-trees are move-only, so the copy goes through the (lossless for
+  // server-visible state) image format.
+  return DeserializeBundle(SerializeBundle(client_->database(),
+                                           client_->metadata(), name,
+                                           bundle_generation_));
 }
 
 Result<QueryRun> DasSystem::Finish(const PathExpr& query,

@@ -9,6 +9,8 @@
 #include "core/client.h"
 #include "core/server.h"
 #include "net/remote_engine.h"
+#include "storage/serializer.h"
+#include "storage/update/delta_builder.h"
 #include "xpath/ast.h"
 
 namespace xcrypt {
@@ -195,13 +197,30 @@ class DasSystem {
   RemoteHandle Remote() { return RemoteHandle(this); }
 
   // --- Updates (future-work item (3); see Client) ----------------------
+  //
+  // All three edit kinds are incremental: the client re-encrypts only the
+  // touched blocks and patches the indexes in place. When a remote daemon
+  // is attached the side effects are recorded (DeltaBuilder), shipped as
+  // a delta bundle over wire v5, and applied server-side in place —
+  // pinned readers keep the old resident, new queries see the new one,
+  // and connected clients get invalidation pushes for the stale blocks.
 
-  /// Structure-preserving value update; incremental on the server side.
+  /// Structure-preserving value update.
   Result<int> UpdateValues(const std::string& xpath, const std::string& value);
-  /// Structural insert/delete; re-hosts and refreshes the server state.
+  /// Structural insert under every node matched by `parent_xpath`.
   Status InsertSubtree(const std::string& parent_xpath,
                        const Document& fragment);
   Result<int> DeleteSubtrees(const std::string& xpath);
+
+  /// A hosted bundle of the current state, stamped `name` and the current
+  /// bundle generation — what gets uploaded to (or re-checkpointed at) a
+  /// daemon. Deltas built after this export use it as their base.
+  Result<HostedBundle> ExportBundle(
+      const std::string& name = std::string()) const;
+
+  /// Owner-assigned generation of the hosted state: 1 at Host, +1 per
+  /// applied update batch (delta pushes carry it across the wire).
+  uint64_t bundle_generation() const { return bundle_generation_; }
 
   const Client& client() const { return *client_; }
   const HostReport& host_report() const { return host_report_; }
@@ -243,11 +262,18 @@ class DasSystem {
   void ApplyEngineTiming(const EngineCallStats& stats,
                          QueryCosts* costs) const;
 
+  /// Finishes one recorded update batch: refreshes the in-process engine,
+  /// advances the bundle generation, and (when remote) ships the delta.
+  Status PropagateUpdate(const DeltaBuilder& builder);
+
+  /// client_ precedes remote_: the remote stub's invalidation sink points
+  /// into the client's block cache and must die first.
   std::unique_ptr<Client> client_;
   std::unique_ptr<ServerEngine> server_;
   std::unique_ptr<net::RemoteServerEngine> remote_;
   Options options_;
   HostReport host_report_;
+  uint64_t bundle_generation_ = 1;
 };
 
 }  // namespace xcrypt

@@ -69,6 +69,16 @@ class DsiIndex {
 
   int32_t size() const { return static_cast<int32_t>(intervals_.size()); }
 
+  /// Grows the table to cover `n` nodes (new slots get zero-width
+  /// intervals until Set). Incremental-update API: the owner appends
+  /// nodes to the arena and assigns their intervals from gap budgets.
+  void Resize(int32_t n) {
+    if (n > size()) intervals_.resize(static_cast<size_t>(n));
+  }
+
+  /// Overwrites one node's interval. Incremental-update API.
+  void Set(NodeId id, const Interval& iv) { intervals_[id] = iv; }
+
  private:
   std::vector<Interval> intervals_;
 };

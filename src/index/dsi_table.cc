@@ -5,7 +5,25 @@
 namespace xcrypt {
 
 void DsiTable::Add(const std::string& token, const Interval& interval) {
-  entries_[token].push_back(interval);
+  std::vector<Interval>& list = entries_[token];
+  if (!sealed_) {
+    list.push_back(interval);
+    return;
+  }
+  auto it = std::lower_bound(list.begin(), list.end(), interval);
+  if (it != list.end() && *it == interval) return;  // already present
+  list.insert(it, interval);
+}
+
+bool DsiTable::Remove(const std::string& token, const Interval& interval) {
+  auto entry = entries_.find(token);
+  if (entry == entries_.end()) return false;
+  std::vector<Interval>& list = entry->second;
+  auto it = std::find(list.begin(), list.end(), interval);
+  if (it == list.end()) return false;
+  list.erase(it);
+  if (list.empty()) entries_.erase(entry);
+  return true;
 }
 
 void DsiTable::Seal() {
@@ -13,6 +31,7 @@ void DsiTable::Seal() {
     std::sort(list.begin(), list.end());
     list.erase(std::unique(list.begin(), list.end()), list.end());
   }
+  sealed_ = true;
 }
 
 const std::vector<Interval>& DsiTable::Lookup(const std::string& token) const {
@@ -41,6 +60,26 @@ int64_t DsiTable::ByteSize() const {
 
 void BlockTable::Add(int block_id, const Interval& representative) {
   entries_.emplace_back(block_id, representative);
+}
+
+void BlockTable::Set(int block_id, const Interval& representative) {
+  for (auto& [id, rep] : entries_) {
+    if (id == block_id) {
+      rep = representative;
+      return;
+    }
+  }
+  entries_.emplace_back(block_id, representative);
+}
+
+bool BlockTable::Remove(int block_id) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == block_id) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<int> BlockTable::BlocksCovering(const Interval& iv) const {

@@ -17,10 +17,18 @@ namespace xcrypt {
 /// covers.
 class DsiTable {
  public:
-  /// Adds an interval for a token. Builder-side API.
+  /// Adds an interval for a token. Builder-side API. After Seal() the
+  /// insert keeps the list sorted/deduplicated, so incremental updates
+  /// can keep extending a live table.
   void Add(const std::string& token, const Interval& interval);
 
-  /// Sorts and deduplicates every list; call once after the last Add.
+  /// Removes one exact (token, interval) entry; drops the token when its
+  /// list empties. Returns false if no such entry exists — callers treat
+  /// that as corruption, not a no-op.
+  bool Remove(const std::string& token, const Interval& interval);
+
+  /// Sorts and deduplicates every list; call once after the last Add of
+  /// the initial bulk build.
   void Seal();
 
   /// Interval list for a token; empty list if absent.
@@ -43,6 +51,7 @@ class DsiTable {
 
  private:
   std::map<std::string, std::vector<Interval>> entries_;
+  bool sealed_ = false;
 };
 
 /// Server-side encryption block table (§5.1.1, Figure 4a): block id ->
@@ -50,6 +59,14 @@ class DsiTable {
 class BlockTable {
  public:
   void Add(int block_id, const Interval& representative);
+
+  /// Updates the representative of `block_id`, adding the entry if the
+  /// block is new. Incremental-update API.
+  void Set(int block_id, const Interval& representative);
+
+  /// Drops a block's entry (used when a block is tombstoned). Returns
+  /// false if the block had no entry.
+  bool Remove(int block_id);
 
   /// Block ids whose representative interval contains `iv` or equals it —
   /// i.e. blocks that could contain a node with that interval.

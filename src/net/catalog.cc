@@ -103,12 +103,26 @@ Result<std::shared_ptr<const ResidentDb>> BundleCatalog::Get(
       continue;
     }
     if (slot.resident != nullptr && options_.hot_reload && !slot.pinned) {
-      int64_t mtime_ns = 0, size = 0;
-      if (Fingerprint(slot.path, &mtime_ns, &size) &&
-          (mtime_ns != slot.file_mtime_ns || size != slot.file_size)) {
+      bool changed = false;
+      if (slot.file_has_generation) {
+        // Primary signal for format-v3 images: the owner-assigned bundle
+        // generation in the file header. Robust where mtime+size is not —
+        // a same-size rewrite within the filesystem's mtime granularity
+        // still reloads, and mtime churn on an unchanged file does not.
+        auto header = PeekBundleHeader(slot.path);
+        changed = header.ok() && header->has_generation &&
+                  header->generation != slot.file_generation;
+      } else if (!slot.dirty) {
+        // v2 images carry no generation; fall back to mtime + size.
+        int64_t mtime_ns = 0, size = 0;
+        changed = Fingerprint(slot.path, &mtime_ns, &size) &&
+                  (mtime_ns != slot.file_mtime_ns || size != slot.file_size);
+      }
+      if (changed) {
         // Owner re-uploaded: unlink the old resident (in-flight handles
         // keep it alive) and fall through to a fresh load.
         slot.resident = nullptr;
+        slot.dirty = false;
       }
     }
     if (slot.resident != nullptr) {
@@ -129,7 +143,10 @@ Result<std::shared_ptr<const ResidentDb>> BundleCatalog::LoadSlot(
   // of one database never stalls queries against the others.
   int64_t mtime_ns = 0, size = 0;
   const bool have_fp = Fingerprint(path, &mtime_ns, &size);
-  auto bundle = LoadBundle(path);
+  auto header = PeekBundleHeader(path);
+  // The image must agree with the filename-stem routing: a mis-filed
+  // bundle is rejected here rather than served under the wrong tenant.
+  auto bundle = LoadBundle(path, name);
   std::shared_ptr<ResidentDb> fresh;
   if (bundle.ok()) {
     fresh = std::shared_ptr<ResidentDb>(new ResidentDb());
@@ -155,6 +172,9 @@ Result<std::shared_ptr<const ResidentDb>> BundleCatalog::LoadSlot(
   slot.resident = std::move(fresh);
   slot.file_mtime_ns = have_fp ? mtime_ns : 0;
   slot.file_size = have_fp ? size : 0;
+  slot.file_has_generation = header.ok() && header->has_generation;
+  slot.file_generation = slot.file_has_generation ? header->generation : 0;
+  slot.dirty = false;
   slot.last_used = ++use_tick_;
   std::shared_ptr<const ResidentDb> handle = slot.resident;
   EvictIfNeeded(name);
@@ -173,7 +193,11 @@ void BundleCatalog::EvictIfNeeded(const std::string& keep) {
     std::map<std::string, Slot>::iterator victim = slots_.end();
     for (auto it = slots_.begin(); it != slots_.end(); ++it) {
       const Slot& s = it->second;
-      if (s.resident == nullptr || s.pinned || it->first == keep) continue;
+      // A dirty resident is ahead of its backing file; evicting it would
+      // roll applied deltas back on the next load.
+      if (s.resident == nullptr || s.pinned || s.dirty || it->first == keep) {
+        continue;
+      }
       if (victim == slots_.end() ||
           s.last_used < victim->second.last_used) {
         victim = it;
@@ -182,6 +206,69 @@ void BundleCatalog::EvictIfNeeded(const std::string& keep) {
     if (victim == slots_.end()) return;  // everything protected
     victim->second.resident = nullptr;
   }
+}
+
+Result<uint64_t> BundleCatalog::ApplyDelta(const std::string& name,
+                                           const DeltaBundle& delta) {
+  // One applier at a time per catalog; readers are untouched (they hold
+  // shared_ptr handles and never see a half-applied state).
+  std::lock_guard<std::mutex> apply_lock(apply_mu_);
+
+  auto resident = Get(name);
+  if (!resident.ok()) return resident.status();
+  const HostedBundle& current = (*resident)->bundle();
+  if (current.generation == delta.new_generation) {
+    // Replay of an already-absorbed delta (the owner retried after a
+    // dropped ack): nothing to do, answer with the generation it asked
+    // for so the retry converges.
+    return current.generation;
+  }
+
+  // Clone the resident bundle outside the catalog lock. B+-trees are
+  // move-only, so the clone goes through the (lossless, server-visible
+  // state only) image format rather than a copy constructor.
+  auto clone = DeserializeBundle(SerializeBundle(
+      current.database, current.metadata, current.name, current.generation));
+  if (!clone.ok()) return clone.status();
+  XCRYPT_RETURN_NOT_OK(xcrypt::ApplyDelta(&*clone, delta));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  load_cv_.wait(lock, [&] {
+    auto it = slots_.find(name);
+    return it == slots_.end() || !it->second.loading;
+  });
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    return Status::NotFound("database \"" + name + "\" was unloaded");
+  }
+  Slot& slot = it->second;
+  if (slot.resident != nullptr &&
+      slot.resident->bundle().generation != delta.base_generation) {
+    // The resident moved while we were applying (hot reload of a newer
+    // upload). If it already holds this delta's result the apply is a
+    // no-op; otherwise the delta no longer has a base to stand on.
+    if (slot.resident->bundle().generation == delta.new_generation) {
+      return delta.new_generation;
+    }
+    return Status::InvalidArgument(
+        "database \"" + name + "\" moved to generation " +
+        std::to_string(slot.resident->bundle().generation) +
+        " while a delta from " + std::to_string(delta.base_generation) +
+        " was applying");
+  }
+  std::shared_ptr<ResidentDb> fresh(new ResidentDb());
+  fresh->name_ = name;
+  fresh->bundle_ = std::move(*clone);
+  fresh->engine_ = std::make_unique<ServerEngine>(&fresh->bundle_.database,
+                                                  &fresh->bundle_.metadata);
+  slot.loads += 1;
+  fresh->generation_ = slot.loads;
+  slot.resident = std::move(fresh);
+  // File-backed slots now run ahead of their backing file until the owner
+  // uploads a checkpoint (Get's generation check absorbs that cleanly).
+  slot.dirty = !slot.pinned && !slot.path.empty();
+  slot.last_used = ++use_tick_;
+  return delta.new_generation;
 }
 
 Status BundleCatalog::Reload(const std::string& name) {

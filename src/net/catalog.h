@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "core/server.h"
 #include "storage/serializer.h"
+#include "storage/update/delta.h"
 
 namespace xcrypt {
 namespace net {
@@ -23,9 +24,11 @@ struct CatalogOptions {
   /// least-recently-used unpinned database is evicted; in-flight queries
   /// holding its handle finish unharmed (shared_ptr pinning).
   int max_resident = 8;
-  /// Re-fingerprint the backing file (mtime + size) on every Get and
-  /// transparently reload when it changed — an updated bundle file swaps
-  /// in without restarting the daemon.
+  /// Re-fingerprint the backing file on every Get and transparently
+  /// reload when it changed — an updated bundle file swaps in without
+  /// restarting the daemon. Format-v3 images compare the owner-assigned
+  /// bundle generation (cheap header peek); v2 images, which carry no
+  /// generation, fall back to mtime + size.
   bool hot_reload = true;
 };
 
@@ -90,6 +93,16 @@ class BundleCatalog {
   /// evicted or reloaded while the caller still computes with it.
   Result<std::shared_ptr<const ResidentDb>> Get(const std::string& name);
 
+  /// Applies a delta bundle to the resident database `name`, advancing it
+  /// by one generation in place: the current resident is cloned, the
+  /// delta applied to the clone (all-or-nothing validation), and the
+  /// result published as a fresh resident. Pinned readers keep the old
+  /// ResidentDb alive via their shared_ptr; new Gets see the new one.
+  /// Returns the bundle generation after the apply — also for an
+  /// idempotent replay (delta already absorbed), which changes nothing.
+  Result<uint64_t> ApplyDelta(const std::string& name,
+                              const DeltaBundle& delta);
+
   /// Forces the next Get of `name` to reload from disk (no-op for pinned
   /// in-memory entries). In-flight handles are unaffected.
   Status Reload(const std::string& name);
@@ -112,10 +125,19 @@ class BundleCatalog {
     bool loading = false;  ///< a thread is off building this engine
     uint64_t loads = 0;    ///< completed loads; source of generation()
     uint64_t last_used = 0;
-    /// Fingerprint of `path` at load time (mtime ns + size); a mismatch
-    /// on Get means the owner re-uploaded and triggers a hot reload.
+    /// Fingerprint of `path` at load time. For format-v3 images the
+    /// owner-assigned bundle generation is the primary freshness signal
+    /// (file_has_generation = true); v2 images fall back to mtime + size.
+    /// A mismatch on Get means the owner re-uploaded → hot reload.
     int64_t file_mtime_ns = 0;
     int64_t file_size = 0;
+    uint64_t file_generation = 0;
+    bool file_has_generation = false;
+    /// The resident carries delta applies the backing file has not
+    /// absorbed yet. A dirty resident must not be evicted (reloading the
+    /// stale file would silently roll the updates back) and mtime churn
+    /// on the stale file must not trigger a reload.
+    bool dirty = false;
     std::shared_ptr<const ResidentDb> resident;  ///< null = not loaded
   };
 
@@ -130,6 +152,9 @@ class BundleCatalog {
   void EvictIfNeeded(const std::string& keep);
 
   CatalogOptions options_;
+  /// Serializes delta appliers per catalog (applies are rare relative to
+  /// reads; readers never take this). Held across the clone + apply.
+  std::mutex apply_mu_;
   mutable std::mutex mu_;
   std::condition_variable load_cv_;
   uint64_t use_tick_ = 0;

@@ -11,10 +11,12 @@ Status WriteFrame(Socket& sock, MessageType type, const Bytes& payload,
 
 Result<Frame> ReadFrame(Socket& sock, uint64_t max_frame_bytes,
                         double timeout_sec, const std::atomic<bool>* cancel,
-                        bool allow_idle) {
+                        bool allow_idle, const std::atomic<uint64_t>* wake,
+                        uint64_t wake_seen, bool* woke) {
   uint8_t header[kFrameHeaderBytes];
-  XCRYPT_RETURN_NOT_OK(
-      sock.RecvAll(header, sizeof(header), timeout_sec, cancel, allow_idle));
+  XCRYPT_RETURN_NOT_OK(sock.RecvAll(header, sizeof(header), timeout_sec,
+                                    cancel, allow_idle, wake, wake_seen,
+                                    woke));
   uint32_t payload_length = 0;
   auto frame = DecodeFrameHeader(header, max_frame_bytes, &payload_length);
   if (!frame.ok()) return frame.status();

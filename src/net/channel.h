@@ -21,10 +21,17 @@ Status WriteFrame(Socket& sock, MessageType type, const Bytes& payload,
 /// connection while still bounding how long a partial frame may stall.
 /// Framing violations (bad magic/type/length) return Corruption or
 /// Unsupported; transport failures return Unavailable.
+///
+/// `wake`/`wake_seen`/`woke` thread through to Socket::RecvAll: when the
+/// counter moves off `wake_seen` before the first header byte arrives,
+/// the call returns Unavailable with *woke = true so a server can push
+/// invalidation events between requests without abandoning the read loop.
 Result<Frame> ReadFrame(Socket& sock, uint64_t max_frame_bytes,
                         double timeout_sec,
                         const std::atomic<bool>* cancel = nullptr,
-                        bool allow_idle = false);
+                        bool allow_idle = false,
+                        const std::atomic<uint64_t>* wake = nullptr,
+                        uint64_t wake_seen = 0, bool* woke = nullptr);
 
 }  // namespace net
 }  // namespace xcrypt

@@ -104,11 +104,29 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
     if (sent.ok()) {
       auto reply = ReadFrame(sock_, options_.max_frame_bytes,
                              options_.request_timeout_sec);
+      // The daemon may push invalidation events ahead of (or between)
+      // replies; they belong to the session, not to this request. Consume
+      // and dispatch each, then keep reading for the actual reply.
+      int64_t event_bytes = 0;
+      while (reply.ok() &&
+             reply->type == MessageType::kInvalidationEvent) {
+        auto event = DecodeInvalidationEvent(reply->payload);
+        if (!event.ok()) {
+          sock_.Close();
+          return event.status();
+        }
+        event_bytes +=
+            static_cast<int64_t>(kFrameHeaderBytes + reply->payload.size());
+        if (invalidation_sink_) invalidation_sink_(*event);
+        reply = ReadFrame(sock_, options_.max_frame_bytes,
+                          options_.request_timeout_sec);
+      }
       if (reply.ok()) {
         stats->round_trip_us = watch.ElapsedMicros();
         stats->bytes_sent =
             static_cast<int64_t>(kFrameHeaderBytes + payload.size());
         stats->bytes_received =
+            event_bytes +
             static_cast<int64_t>(kFrameHeaderBytes + reply->payload.size());
         if (reply->type == MessageType::kError) {
           double hint_ms = 0.0;
@@ -221,6 +239,20 @@ Status RemoteServerEngine::Ping() const {
   auto reply = RoundTrip(MessageType::kPingRequest, Bytes(),
                          MessageType::kPingResponse, &stats);
   return reply.ok() ? Status::Ok() : reply.status();
+}
+
+Result<uint64_t> RemoteServerEngine::PushDelta(const Bytes& delta_image,
+                                               const std::string& db) const {
+  UpdateRequestMsg msg;
+  msg.db = db.empty() ? options_.database : db;
+  msg.delta = delta_image;
+  EngineCallStats stats;
+  auto reply = RoundTrip(MessageType::kUpdateRequest, EncodeUpdateRequest(msg),
+                         MessageType::kUpdateResponse, &stats);
+  if (!reply.ok()) return reply.status();
+  auto response = DecodeUpdateResponse(reply->payload);
+  if (!response.ok()) return response.status();
+  return response->generation;
 }
 
 Result<NetStats> RemoteServerEngine::Stats(const std::string& db) const {

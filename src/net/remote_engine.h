@@ -2,6 +2,7 @@
 #define XCRYPT_NET_REMOTE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -80,6 +81,23 @@ class RemoteServerEngine : public QueryEngine {
   /// reply describes (empty = the session database, or daemon default).
   Result<NetStats> Stats(const std::string& db = std::string()) const;
 
+  /// Ships a serialized delta bundle (storage/update/delta.h) to the
+  /// daemon and returns the bundle generation after the apply. Safe to
+  /// retry: a replayed delta is recognized by its generation and applied
+  /// at most once (the retry gets the same generation back).
+  Result<uint64_t> PushDelta(const Bytes& delta_image,
+                             const std::string& db = std::string()) const;
+
+  /// Installs the handler for server-pushed invalidation events (wire
+  /// v5). Called while a reply is being awaited — i.e. on the calling
+  /// thread of whatever request the event arrived in front of — so the
+  /// handler must be fast and must not call back into this engine.
+  void SetInvalidationSink(
+      std::function<void(const InvalidationEventMsg&)> sink) {
+    std::lock_guard<std::mutex> lock(mu_);
+    invalidation_sink_ = std::move(sink);
+  }
+
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
   /// The session's target database ("" = daemon default).
@@ -112,6 +130,8 @@ class RemoteServerEngine : public QueryEngine {
   mutable Socket sock_;
   /// Jitter source for retry backoff; guarded by mu_ like the socket.
   mutable Rng backoff_rng_;
+  /// Handler for server-pushed invalidation events; guarded by mu_.
+  std::function<void(const InvalidationEventMsg&)> invalidation_sink_;
 };
 
 }  // namespace net

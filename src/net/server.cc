@@ -56,6 +56,7 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(
   server->aggregate_latency_ = server->metrics_.GetHistogram("aggregate_us");
   server->ping_latency_ = server->metrics_.GetHistogram("ping_us");
   server->stats_latency_ = server->metrics_.GetHistogram("stats_us");
+  server->update_latency_ = server->metrics_.GetHistogram("update_us");
   server->queue_depth_ = server->metrics_.GetGauge("queue_depth");
 
   server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
@@ -135,6 +136,7 @@ NetStats NetServer::stats(const std::string& db) const {
   s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
   s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   s.queries_shed = queries_shed_.load(std::memory_order_relaxed);
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(admit_mu_);
     s.queue_depth = static_cast<uint64_t>(waiting_);
@@ -147,6 +149,7 @@ NetStats NetServer::stats(const std::string& db) const {
       s.num_blocks = (*resident)->bundle().database.blocks.size();
       s.ciphertext_bytes = static_cast<uint64_t>(
           (*resident)->bundle().database.TotalCiphertextBytes());
+      s.db_generation = (*resident)->bundle().generation;
     }
   }
   for (auto& [hist_name, hist] : metrics_.Snapshot().histograms) {
@@ -178,6 +181,8 @@ obs::MetricsSnapshot NetServer::SnapshotMetrics() const {
                              bytes_sent_.load(std::memory_order_relaxed));
   snap.counters.emplace_back("queries_shed",
                              queries_shed_.load(std::memory_order_relaxed));
+  snap.counters.emplace_back(
+      "updates_applied", updates_applied_.load(std::memory_order_relaxed));
   return snap;
 }
 
@@ -219,11 +224,24 @@ void NetServer::WorkerLoop() {
 }
 
 void NetServer::ServeConnection(Socket conn) {
+  // Invalidation push state for this session. Push only starts once the
+  // peer has spoken v5 — older clients would reject the unknown frames.
+  uint64_t inv_seen = inv_seq_.load(std::memory_order_acquire);
+  uint8_t session_version = 0;
   while (!stop_.load(std::memory_order_relaxed)) {
+    const bool push = session_version >= 5;
+    bool woke = false;
     auto frame = ReadFrame(conn, options_.max_frame_bytes,
                            options_.io_timeout_sec, &stop_,
-                           /*allow_idle=*/true);
+                           /*allow_idle=*/true, push ? &inv_seq_ : nullptr,
+                           inv_seen, &woke);
     if (!frame.ok()) {
+      if (woke) {
+        // A delta landed while this session idled between requests: push
+        // the invalidation events, then go back to waiting.
+        if (!FlushInvalidations(conn, &inv_seen)) return;
+        continue;
+      }
       if (frame.status().code() != StatusCode::kUnavailable) {
         // Framing violation: report it, then close — after a bad header
         // the byte stream can no longer be trusted to be frame-aligned.
@@ -234,10 +252,61 @@ void NetServer::ServeConnection(Socket conn) {
       // drain cancelled) as well as a mid-frame stall; close quietly.
       return;
     }
+    session_version = frame->version;
     bytes_received_.fetch_add(kFrameHeaderBytes + frame->payload.size(),
                               std::memory_order_relaxed);
     if (!HandleFrame(conn, *frame)) return;
+    if (session_version >= 5 && !FlushInvalidations(conn, &inv_seen)) return;
   }
+}
+
+void NetServer::RecordInvalidation(InvalidationEventMsg event) {
+  std::lock_guard<std::mutex> lock(inv_mu_);
+  PendingInvalidation entry;
+  entry.seq = inv_seq_.load(std::memory_order_relaxed) + 1;
+  entry.event = std::move(event);
+  inv_log_.push_back(std::move(entry));
+  while (options_.max_invalidation_log > 0 &&
+         inv_log_.size() > static_cast<size_t>(options_.max_invalidation_log)) {
+    inv_log_.pop_front();
+  }
+  // Release so a session thread that wakes on the counter sees the log
+  // entry it advertises.
+  inv_seq_.fetch_add(1, std::memory_order_release);
+}
+
+bool NetServer::FlushInvalidations(Socket& conn, uint64_t* inv_seen) {
+  std::vector<InvalidationEventMsg> events;
+  uint64_t newest = 0;
+  {
+    std::lock_guard<std::mutex> lock(inv_mu_);
+    newest = inv_seq_.load(std::memory_order_relaxed);
+    if (newest == *inv_seen) return true;
+    if (inv_log_.empty() || inv_log_.front().seq > *inv_seen + 1) {
+      // The bounded log no longer reaches back this far: precise lists
+      // for the missed events are gone, so tell the client to drop
+      // everything it holds.
+      InvalidationEventMsg drop_all;
+      drop_all.drop_all = true;
+      events.push_back(std::move(drop_all));
+    } else {
+      for (const PendingInvalidation& entry : inv_log_) {
+        if (entry.seq > *inv_seen) events.push_back(entry.event);
+      }
+    }
+  }
+  *inv_seen = newest;
+  for (const InvalidationEventMsg& event : events) {
+    const Bytes payload = EncodeInvalidationEvent(event);
+    bytes_sent_.fetch_add(kFrameHeaderBytes + payload.size(),
+                          std::memory_order_relaxed);
+    if (!WriteFrame(conn, MessageType::kInvalidationEvent, payload,
+                    kWireVersion)
+             .ok()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 Status NetServer::SendError(Socket& conn, const Status& error,
@@ -253,12 +322,14 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
   MessageType reply_type = MessageType::kError;
   const uint8_t version = frame.version;
 
-  // The admission gate covers the three query-class request types;
-  // pings and stats stay cheap and ungated so a saturated daemon can
-  // still be health-checked and observed.
+  // The admission gate covers the three query-class request types plus
+  // updates (a delta apply clones and rebuilds an engine — heavier than
+  // most queries); pings and stats stay cheap and ungated so a saturated
+  // daemon can still be health-checked and observed.
   const bool gated = frame.type == MessageType::kQueryRequest ||
                      frame.type == MessageType::kNaiveRequest ||
-                     frame.type == MessageType::kAggregateRequest;
+                     frame.type == MessageType::kAggregateRequest ||
+                     frame.type == MessageType::kUpdateRequest;
   if (gated && !AdmitQuery()) {
     queries_shed_.fetch_add(1, std::memory_order_relaxed);
     return SendError(conn,
@@ -376,6 +447,77 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
                                       result->stats.server_process_us,
                                       result->stats.server_phases);
       reply_type = MessageType::kAggregateResponse;
+      break;
+    }
+    case MessageType::kUpdateRequest: {
+      if (!options_.accept_updates) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        return SendError(conn,
+                         Status::Unsupported(
+                             "daemon does not accept updates (restart with "
+                             "--allow-updates)"),
+                         version)
+            .ok();
+      }
+      auto request = DecodeUpdateRequest(frame.payload);
+      if (!request.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        return SendError(conn, request.status(), version).ok();
+      }
+      auto delta = DeserializeDelta(request->delta);
+      if (!delta.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        return SendError(conn, delta.status(), version).ok();
+      }
+      const std::string db =
+          request->db.empty() ? options_.default_db : request->db;
+      if (db.empty()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        return SendError(conn,
+                         Status::InvalidArgument(
+                             "update names no database and the daemon has "
+                             "no default"),
+                         version)
+            .ok();
+      }
+      Stopwatch watch;
+      auto generation = catalog_->ApplyDelta(db, *delta);
+      if (!generation.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        return SendError(conn, generation.status(), version).ok();
+      }
+      updates_applied_.fetch_add(1, std::memory_order_relaxed);
+      update_latency_->Observe(watch.ElapsedMicros());
+      metrics_.GetCounter("db." + db + ".updates")->Add(1);
+
+      // Tell every connected v5 session (this one included — its flush
+      // runs right after the reply) which cached blocks just went stale.
+      InvalidationEventMsg event;
+      event.db = db;
+      event.db_generation = *generation;
+      for (const DeltaBlockPut& put : delta->block_puts) {
+        BlockAdvert advert;
+        advert.id = put.id;
+        advert.generation = put.generation;
+        event.blocks.push_back(advert);
+      }
+      for (const auto& [id, block_generation] : delta->block_tombstones) {
+        BlockAdvert advert;
+        advert.id = id;
+        advert.generation = block_generation;
+        event.blocks.push_back(advert);
+      }
+      RecordInvalidation(std::move(event));
+
+      UpdateResponseMsg response;
+      response.generation = *generation;
+      reply = EncodeUpdateResponse(response);
+      reply_type = MessageType::kUpdateResponse;
       break;
     }
     case MessageType::kStatsRequest: {

@@ -42,6 +42,13 @@ struct NetServerOptions {
   /// Backoff hint attached to Unavailable sheds (wire v4): the client's
   /// retry loop treats it as a floor for its next sleep.
   double shed_backoff_ms = 50.0;
+  /// Accept kUpdateRequest frames (wire v5). Off by default: an update
+  /// mutates hosted state, so the operator must opt in (--allow-updates).
+  bool accept_updates = false;
+  /// Bounded per-daemon log of recent invalidation events. A v5 session
+  /// that falls further behind than the log reaches gets one drop-all
+  /// event instead of a precise stale-block list.
+  int max_invalidation_log = 64;
 };
 
 /// The untrusted service provider as an actual network daemon: owns a
@@ -116,6 +123,15 @@ class NetServer {
   Status SendError(Socket& conn, const Status& error, uint8_t version,
                    double retry_after_ms = 0.0);
 
+  /// Appends an invalidation event to the bounded log and bumps the
+  /// sequence counter, nudging every idle v5 session off its read wait.
+  void RecordInvalidation(InvalidationEventMsg event);
+
+  /// Pushes every invalidation event this session has not seen yet
+  /// (advancing *inv_seen); a session beyond the log's reach gets one
+  /// drop-all event. Returns false when the connection died mid-push.
+  bool FlushInvalidations(Socket& conn, uint64_t* inv_seen);
+
   /// Maps a request's db field to a pinned resident database (empty →
   /// default_db) and counts the hit under "db.<name>.queries".
   Result<std::shared_ptr<const ResidentDb>> ResolveDb(
@@ -146,6 +162,17 @@ class NetServer {
   int inflight_ = 0;
   int waiting_ = 0;
 
+  /// Cache-invalidation push state. inv_seq_ counts recorded events; each
+  /// v5 session tracks how far it has pushed and wakes off idle reads
+  /// when the counter moves.
+  struct PendingInvalidation {
+    uint64_t seq = 0;
+    InvalidationEventMsg event;
+  };
+  std::mutex inv_mu_;
+  std::deque<PendingInvalidation> inv_log_;
+  std::atomic<uint64_t> inv_seq_{0};
+
   // Counters. Relaxed order: they are statistics, not synchronization.
   mutable std::atomic<uint64_t> queries_served_{0};
   mutable std::atomic<uint64_t> aggregates_served_{0};
@@ -156,6 +183,7 @@ class NetServer {
   mutable std::atomic<uint64_t> bytes_received_{0};
   mutable std::atomic<uint64_t> bytes_sent_{0};
   mutable std::atomic<uint64_t> queries_shed_{0};
+  mutable std::atomic<uint64_t> updates_applied_{0};
 
   /// Latency histograms, one per message type. The pointers are interned
   /// once at startup; workers then touch only lock-free atomics.
@@ -165,6 +193,7 @@ class NetServer {
   obs::Histogram* aggregate_latency_ = nullptr;
   obs::Histogram* ping_latency_ = nullptr;
   obs::Histogram* stats_latency_ = nullptr;
+  obs::Histogram* update_latency_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
 };
 

@@ -188,14 +188,24 @@ Status Socket::SendAll(const uint8_t* data, size_t n) {
 }
 
 Status Socket::RecvAll(uint8_t* data, size_t n, double timeout_sec,
-                       const std::atomic<bool>* cancel, bool allow_idle) {
+                       const std::atomic<bool>* cancel, bool allow_idle,
+                       const std::atomic<uint64_t>* wake, uint64_t wake_seen,
+                       bool* woke) {
   constexpr int kTickMs = 100;
+  if (woke != nullptr) *woke = false;
   size_t got = 0;
   auto deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                      std::chrono::duration<double>(timeout_sec));
   while (got < n) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       return Status::Unavailable("cancelled");
+    }
+    if (wake != nullptr && woke != nullptr && got == 0 &&
+        wake->load(std::memory_order_acquire) != wake_seen) {
+      // Nudged between frames: bail out before any byte is consumed so
+      // the caller can act (e.g. push an event) and re-enter cleanly.
+      *woke = true;
+      return Status::Unavailable("woken");
     }
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kTickMs);

@@ -61,9 +61,19 @@ class Socket {
   /// with `allow_idle` the clock only starts once the first byte
   /// arrives — used by the server to keep idle persistent connections
   /// open without holding a worker hostage to a stalled mid-frame read.
+  ///
+  /// `wake` (when non-null, with `woke` also non-null) lets another
+  /// thread nudge this read off an idle wait: if the counter no longer
+  /// equals `wake_seen` while no byte has arrived yet, the call returns
+  /// Unavailable with *woke = true. A read that has consumed its first
+  /// byte is never interrupted — frames stay whole. The server uses this
+  /// to push invalidation events between requests on a persistent
+  /// connection.
   Status RecvAll(uint8_t* data, size_t n, double timeout_sec,
                  const std::atomic<bool>* cancel = nullptr,
-                 bool allow_idle = false);
+                 bool allow_idle = false,
+                 const std::atomic<uint64_t>* wake = nullptr,
+                 uint64_t wake_seen = 0, bool* woke = nullptr);
 
  private:
   int fd_ = -1;

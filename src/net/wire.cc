@@ -279,6 +279,12 @@ const char* MessageTypeName(MessageType type) {
       return "StatsResponse";
     case MessageType::kError:
       return "Error";
+    case MessageType::kInvalidationEvent:
+      return "InvalidationEvent";
+    case MessageType::kUpdateRequest:
+      return "UpdateRequest";
+    case MessageType::kUpdateResponse:
+      return "UpdateResponse";
   }
   return "Unknown";
 }
@@ -306,8 +312,14 @@ Result<Frame> DecodeFrameHeader(const uint8_t* buf, uint64_t max_frame_bytes,
   }
   const uint8_t type = r.U8();
   if (type < static_cast<uint8_t>(MessageType::kPingRequest) ||
-      type > static_cast<uint8_t>(MessageType::kError)) {
+      type > static_cast<uint8_t>(MessageType::kUpdateResponse)) {
     return Status::Corruption("bad message type " + std::to_string(type));
+  }
+  if (type > static_cast<uint8_t>(MessageType::kError) && version < 5) {
+    // The update/invalidation messages only exist at v5; an older session
+    // producing them is confused or hostile.
+    return Status::Corruption("message type " + std::to_string(type) +
+                              " requires wire version 5");
   }
   const uint32_t length = r.U32();
   if (length > max_frame_bytes) {
@@ -499,6 +511,10 @@ Bytes EncodeStats(const NetStats& stats, uint8_t version) {
     w.U64(stats.queue_depth);
     w.Str(stats.database);
   }
+  if (version >= 5) {
+    w.U64(stats.db_generation);
+    w.U64(stats.updates_applied);
+  }
   return out;
 }
 
@@ -521,8 +537,65 @@ Result<NetStats> DecodeStats(const Bytes& payload, uint8_t version) {
     stats.queue_depth = r.U64();
     stats.database = r.Str();
   }
+  if (version >= 5) {
+    stats.db_generation = r.U64();
+    stats.updates_applied = r.U64();
+  }
   XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "stats"));
   return stats;
+}
+
+Bytes EncodeInvalidationEvent(const InvalidationEventMsg& event) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.Str(event.db);
+  w.U64(event.db_generation);
+  w.U8(event.drop_all ? 1 : 0);
+  WriteAdverts(w, event.blocks);
+  return out;
+}
+
+Result<InvalidationEventMsg> DecodeInvalidationEvent(const Bytes& payload) {
+  BinaryReader r(payload);
+  InvalidationEventMsg event;
+  event.db = r.Str();
+  event.db_generation = r.U64();
+  event.drop_all = r.U8() != 0;
+  XCRYPT_RETURN_NOT_OK(ReadAdverts(r, &event.blocks));
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "invalidation event"));
+  return event;
+}
+
+Bytes EncodeUpdateRequest(const UpdateRequestMsg& msg) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.Str(msg.db);
+  w.Blob(msg.delta);
+  return out;
+}
+
+Result<UpdateRequestMsg> DecodeUpdateRequest(const Bytes& payload) {
+  BinaryReader r(payload);
+  UpdateRequestMsg msg;
+  msg.db = r.Str();
+  msg.delta = r.Blob();
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "update request"));
+  return msg;
+}
+
+Bytes EncodeUpdateResponse(const UpdateResponseMsg& msg) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.U64(msg.generation);
+  return out;
+}
+
+Result<UpdateResponseMsg> DecodeUpdateResponse(const Bytes& payload) {
+  BinaryReader r(payload);
+  UpdateResponseMsg msg;
+  msg.generation = r.U64();
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "update response"));
+  return msg;
 }
 
 Bytes EncodeError(const Status& status, double retry_after_ms,

@@ -43,7 +43,12 @@ inline constexpr uint32_t kWireMagic = 0x54454E58;  // "XNET" on the wire
 /// offset); stats responses add shed/queue-depth counters and the name of
 /// the database they describe; error frames add a server-suggested
 /// retry-after hint in milliseconds.
-inline constexpr uint8_t kWireVersion = 4;
+/// v5: incremental updates — clients may push a delta bundle
+/// (kUpdateRequest/kUpdateResponse), and the daemon pushes unsolicited
+/// kInvalidationEvent frames so connected clients drop cache entries for
+/// blocks a delta changed. The three new message types are v5-only; v3/v4
+/// sessions never receive them.
+inline constexpr uint8_t kWireVersion = 5;
 /// Oldest version a daemon still accepts. v3 frames decode with the db
 /// name defaulted to empty, which the daemon maps to its configured
 /// default database — so pre-catalog clients keep working.
@@ -67,6 +72,9 @@ enum class MessageType : uint8_t {
   kStatsRequest = 8,       ///< db name (v4)
   kStatsResponse = 9,      ///< NetStats
   kError = 10,             ///< Status code + message
+  kInvalidationEvent = 11,  ///< server-pushed stale-block notice (v5)
+  kUpdateRequest = 12,      ///< delta bundle image (v5)
+  kUpdateResponse = 13,     ///< new bundle generation after apply (v5)
 };
 
 const char* MessageTypeName(MessageType type);
@@ -102,6 +110,13 @@ struct NetStats {
   /// Which database num_blocks/ciphertext_bytes describe (wire v4): the
   /// one named in the stats request, or the daemon's default.
   std::string database;
+  /// Resident bundle generation of `database` (wire v5); 0 when unknown
+  /// (no database resolved, or a v2 image that carries no generation).
+  /// Owners sync on this at attach so deltas build against the server's
+  /// actual base.
+  uint64_t db_generation = 0;
+  /// Delta bundles applied across all databases (wire v5).
+  uint64_t updates_applied = 0;
   /// Named latency histograms (e.g. "query_us", "aggregate_us").
   std::vector<std::pair<std::string, obs::HistogramSnapshot>> latency;
 };
@@ -207,6 +222,39 @@ Result<AggregateResponseMsg> DecodeAggregateResponse(const Bytes& payload);
 Bytes EncodeStats(const NetStats& stats, uint8_t version = kWireVersion);
 Result<NetStats> DecodeStats(const Bytes& payload,
                              uint8_t version = kWireVersion);
+
+/// kInvalidationEvent (v5): pushed by the daemon, never solicited. Tells
+/// a connected client that `db` advanced to `db_generation` and which of
+/// its cached blocks are now stale. `drop_all` covers the cases where a
+/// precise list is unavailable (bundle replaced wholesale, or the daemon's
+/// invalidation log was outrun) — the client empties its cache for `db`.
+struct InvalidationEventMsg {
+  std::string db;
+  uint64_t db_generation = 0;
+  bool drop_all = false;
+  /// Stale blocks as (id, new generation) pairs; empty when drop_all.
+  std::vector<BlockAdvert> blocks;
+};
+Bytes EncodeInvalidationEvent(const InvalidationEventMsg& event);
+Result<InvalidationEventMsg> DecodeInvalidationEvent(const Bytes& payload);
+
+/// kUpdateRequest (v5): an owner pushes a serialized DeltaBundle image
+/// (storage/update/delta.h). The daemon treats the image as opaque bytes
+/// at the wire layer; the update path deserializes and validates it.
+struct UpdateRequestMsg {
+  std::string db;  ///< target database; empty = the daemon's default
+  Bytes delta;     ///< SerializeDelta output, opaque to the framing layer
+};
+Bytes EncodeUpdateRequest(const UpdateRequestMsg& msg);
+Result<UpdateRequestMsg> DecodeUpdateRequest(const Bytes& payload);
+
+/// kUpdateResponse (v5): the bundle generation after the delta applied
+/// (also returned for an idempotent replay that changed nothing).
+struct UpdateResponseMsg {
+  uint64_t generation = 0;
+};
+Bytes EncodeUpdateResponse(const UpdateResponseMsg& msg);
+Result<UpdateResponseMsg> DecodeUpdateResponse(const Bytes& payload);
 
 /// kError carries a non-OK Status across the wire. Decoding never returns
 /// OK: a well-formed payload yields the carried error, a malformed one

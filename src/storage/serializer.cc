@@ -139,7 +139,8 @@ Bytes SerializeBundle(const EncryptedDatabase& database,
   return out;
 }
 
-Result<HostedBundle> DeserializeBundle(const Bytes& image) {
+Result<HostedBundle> DeserializeBundle(const Bytes& image,
+                                       const std::string& expected_name) {
   Reader r(image);
   if (r.U32() != kMagic) return Status::Corruption("bad magic");
   const uint32_t version = r.U32();
@@ -152,6 +153,14 @@ Result<HostedBundle> DeserializeBundle(const Bytes& image) {
     bundle.name = r.Str();
     bundle.generation = r.U64();
     if (r.failed()) return Status::Corruption("truncated bundle header");
+  }
+  if (!expected_name.empty() && !bundle.name.empty() &&
+      bundle.name != expected_name) {
+    // A mis-filed image must not be served under the catalog's routing
+    // name: queries for one tenant would silently hit another's data.
+    return Status::InvalidArgument("bundle declares name '" + bundle.name +
+                                   "' but was loaded as '" + expected_name +
+                                   "'");
   }
   auto skeleton = ReadDocument(r);
   if (!skeleton.ok()) return skeleton.status();
@@ -262,7 +271,8 @@ Status SaveBundle(const EncryptedDatabase& database, const Metadata& metadata,
   return Status::Ok();
 }
 
-Result<HostedBundle> LoadBundle(const std::string& path) {
+Result<HostedBundle> LoadBundle(const std::string& path,
+                                const std::string& expected_name) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::NotFound("cannot open " + path);
   const std::streamsize size = in.tellg();
@@ -270,7 +280,35 @@ Result<HostedBundle> LoadBundle(const std::string& path) {
   Bytes image(static_cast<size_t>(size));
   in.read(reinterpret_cast<char*>(image.data()), size);
   if (!in) return Status::Corruption("short read from " + path);
-  return DeserializeBundle(image);
+  return DeserializeBundle(image, expected_name);
+}
+
+Result<BundleHeader> PeekBundleHeader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  // Magic + version + a length-prefixed name (catalog names are short)
+  // + generation comfortably fit in this prefix.
+  Bytes prefix(512);
+  in.read(reinterpret_cast<char*>(prefix.data()),
+          static_cast<std::streamsize>(prefix.size()));
+  prefix.resize(static_cast<size_t>(in.gcount()));
+
+  Reader r(prefix);
+  if (r.U32() != kMagic) return Status::Corruption("bad magic");
+  BundleHeader header;
+  header.version = r.U32();
+  if (r.failed()) return Status::Corruption("truncated bundle header");
+  if (header.version < kMinVersion || header.version > kVersion) {
+    return Status::Unsupported("bundle version " +
+                               std::to_string(header.version));
+  }
+  if (header.version >= 3) {
+    header.name = r.Str();
+    header.generation = r.U64();
+    if (r.failed()) return Status::Corruption("truncated bundle header");
+    header.has_generation = true;
+  }
+  return header;
 }
 
 }  // namespace xcrypt

@@ -16,7 +16,8 @@ struct HostedBundle {
   EncryptedDatabase database;
   Metadata metadata;
   /// Self-declared database name (format v3); empty for v2 images. A
-  /// catalog routes by filename stem but keeps this for cross-checking.
+  /// catalog routes by filename stem and rejects images whose declared
+  /// name disagrees with that routing (pass `expected_name` below).
   std::string name;
   /// Owner-assigned bundle generation (format v3): bumped on re-upload so
   /// a catalog can tell a genuinely newer bundle from a same-age rewrite.
@@ -38,15 +39,35 @@ Bytes SerializeBundle(const EncryptedDatabase& database,
 /// Parses an image produced by SerializeBundle. Fails with Corruption on
 /// truncated or malformed input and with Unsupported on a version
 /// mismatch. v2 images (no name/generation) still load, with those
-/// fields defaulted.
-Result<HostedBundle> DeserializeBundle(const Bytes& image);
+/// fields defaulted. When `expected_name` is non-empty and the image
+/// declares a different non-empty name, the image is rejected with
+/// InvalidArgument: a catalog that routes by filename stem must not
+/// silently serve a bundle under a name its owner never published it as.
+Result<HostedBundle> DeserializeBundle(
+    const Bytes& image, const std::string& expected_name = std::string());
+
+/// Header fields readable without parsing the whole image. For v2 files
+/// `name` is empty and `has_generation` is false.
+struct BundleHeader {
+  uint32_t version = 0;
+  std::string name;
+  uint64_t generation = 0;
+  bool has_generation = false;
+};
+
+/// Reads just the magic/version/name/generation prefix of a bundle file.
+/// Cheap (a few hundred bytes of I/O) — used by catalog freshness checks
+/// that must not deserialize whole multi-megabyte images per poll.
+Result<BundleHeader> PeekBundleHeader(const std::string& path);
 
 /// Convenience file wrappers.
 Status SaveBundle(const EncryptedDatabase& database, const Metadata& metadata,
                   const std::string& path,
                   const std::string& name = std::string(),
                   uint64_t generation = 0);
-Result<HostedBundle> LoadBundle(const std::string& path);
+Result<HostedBundle> LoadBundle(
+    const std::string& path,
+    const std::string& expected_name = std::string());
 
 }  // namespace xcrypt
 

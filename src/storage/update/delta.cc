@@ -1,0 +1,433 @@
+#include "storage/update/delta.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/binary_io.h"
+#include "core/encryptor.h"
+
+namespace xcrypt {
+namespace {
+
+constexpr uint32_t kDeltaMagic = 0x58434431;  // "XCD1"
+constexpr uint32_t kDeltaVersion = 1;
+
+// Minimum encoded sizes, used with BinaryReader::CanHold so a corrupted
+// count can never cause an oversized allocation.
+constexpr uint64_t kMinOpBytes = 14;        // u8 + i32 + 2 str + u8
+constexpr uint64_t kMinBlockPutBytes = 12;  // i32 + u32 + blob
+constexpr uint64_t kMinIntervalBytes = 16;  // 2 f64
+
+void WriteInterval(BinaryWriter& w, const Interval& iv) {
+  w.F64(iv.min);
+  w.F64(iv.max);
+}
+
+Interval ReadInterval(BinaryReader& r) {
+  Interval iv;
+  iv.min = r.F64();
+  iv.max = r.F64();
+  return iv;
+}
+
+Status CheckFullyConsumed(const BinaryReader& r, const char* what) {
+  if (r.failed()) {
+    return Status::Corruption(std::string("truncated ") + what);
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption(std::string("trailing bytes in ") + what);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Bytes SerializeDelta(const DeltaBundle& delta) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.U32(kDeltaMagic);
+  w.U32(kDeltaVersion);
+  w.Str(delta.name);
+  w.U64(delta.base_generation);
+  w.U64(delta.new_generation);
+
+  w.U32(static_cast<uint32_t>(delta.ops.size()));
+  for (const SkeletonOp& op : delta.ops) {
+    w.U8(static_cast<uint8_t>(op.kind));
+    w.I32(op.node);
+    w.Str(op.tag);
+    w.Str(op.value);
+    w.U8(op.is_attribute ? 1 : 0);
+  }
+
+  w.U32(static_cast<uint32_t>(delta.block_puts.size()));
+  for (const DeltaBlockPut& put : delta.block_puts) {
+    w.I32(put.id);
+    w.U32(put.generation);
+    w.Blob(put.ciphertext);
+  }
+  w.U32(static_cast<uint32_t>(delta.block_tombstones.size()));
+  for (const auto& [id, generation] : delta.block_tombstones) {
+    w.I32(id);
+    w.U32(generation);
+  }
+  w.U32(static_cast<uint32_t>(delta.markers.size()));
+  for (const auto& [id, node] : delta.markers) {
+    w.I32(id);
+    w.I32(node);
+  }
+
+  w.U32(static_cast<uint32_t>(delta.rep_sets.size()));
+  for (const auto& [id, rep] : delta.rep_sets) {
+    w.I32(id);
+    WriteInterval(w, rep);
+  }
+  w.U32(static_cast<uint32_t>(delta.rep_removes.size()));
+  for (const int32_t id : delta.rep_removes) w.I32(id);
+
+  for (const auto* list : {&delta.dsi_removed, &delta.dsi_added}) {
+    w.U32(static_cast<uint32_t>(list->size()));
+    for (const auto& [token, iv] : *list) {
+      w.Str(token);
+      WriteInterval(w, iv);
+    }
+  }
+
+  w.U32(static_cast<uint32_t>(delta.value_index_puts.size()));
+  for (const auto& [token, entries] : delta.value_index_puts) {
+    w.Str(token);
+    w.U32(static_cast<uint32_t>(entries.size()));
+    for (const BTreeEntry& e : entries) {
+      w.I64(e.key);
+      w.I32(e.block_id);
+    }
+  }
+  w.U32(static_cast<uint32_t>(delta.value_index_removes.size()));
+  for (const std::string& token : delta.value_index_removes) w.Str(token);
+
+  w.U32(static_cast<uint32_t>(delta.public_removed.size()));
+  for (const Interval& iv : delta.public_removed) WriteInterval(w, iv);
+  w.U32(static_cast<uint32_t>(delta.public_added.size()));
+  for (const auto& [iv, node] : delta.public_added) {
+    WriteInterval(w, iv);
+    w.I32(node);
+  }
+  return out;
+}
+
+Result<DeltaBundle> DeserializeDelta(const Bytes& image) {
+  BinaryReader r(image);
+  if (r.U32() != kDeltaMagic) {
+    return Status::Corruption("bad delta magic");
+  }
+  const uint32_t version = r.U32();
+  if (version != kDeltaVersion) {
+    return Status::Unsupported("delta format version " +
+                               std::to_string(version) + " not supported");
+  }
+  DeltaBundle delta;
+  delta.name = r.Str();
+  delta.base_generation = r.U64();
+  delta.new_generation = r.U64();
+
+  const uint32_t num_ops = r.U32();
+  if (!r.CanHold(num_ops, kMinOpBytes)) {
+    return Status::Corruption("delta op count exceeds image size");
+  }
+  delta.ops.reserve(num_ops);
+  for (uint32_t i = 0; i < num_ops; ++i) {
+    SkeletonOp op;
+    const uint8_t kind = r.U8();
+    if (kind < SkeletonOp::kAdd || kind > SkeletonOp::kCompact) {
+      return Status::Corruption("bad skeleton op kind " +
+                                std::to_string(kind));
+    }
+    op.kind = static_cast<SkeletonOp::Kind>(kind);
+    op.node = r.I32();
+    op.tag = r.Str();
+    op.value = r.Str();
+    op.is_attribute = r.U8() != 0;
+    delta.ops.push_back(std::move(op));
+  }
+
+  const uint32_t num_puts = r.U32();
+  if (!r.CanHold(num_puts, kMinBlockPutBytes)) {
+    return Status::Corruption("delta block count exceeds image size");
+  }
+  delta.block_puts.reserve(num_puts);
+  for (uint32_t i = 0; i < num_puts; ++i) {
+    DeltaBlockPut put;
+    put.id = r.I32();
+    put.generation = r.U32();
+    put.ciphertext = r.Blob();
+    delta.block_puts.push_back(std::move(put));
+  }
+  const uint32_t num_tombstones = r.U32();
+  if (!r.CanHold(num_tombstones, 8)) {
+    return Status::Corruption("delta tombstone count exceeds image size");
+  }
+  for (uint32_t i = 0; i < num_tombstones; ++i) {
+    const int32_t id = r.I32();
+    const uint32_t generation = r.U32();
+    delta.block_tombstones.emplace_back(id, generation);
+  }
+  const uint32_t num_markers = r.U32();
+  if (!r.CanHold(num_markers, 8)) {
+    return Status::Corruption("delta marker count exceeds image size");
+  }
+  for (uint32_t i = 0; i < num_markers; ++i) {
+    const int32_t id = r.I32();
+    const NodeId node = r.I32();
+    delta.markers.emplace_back(id, node);
+  }
+
+  const uint32_t num_rep_sets = r.U32();
+  if (!r.CanHold(num_rep_sets, 4 + kMinIntervalBytes)) {
+    return Status::Corruption("delta rep count exceeds image size");
+  }
+  for (uint32_t i = 0; i < num_rep_sets; ++i) {
+    const int32_t id = r.I32();
+    delta.rep_sets.emplace_back(id, ReadInterval(r));
+  }
+  const uint32_t num_rep_removes = r.U32();
+  if (!r.CanHold(num_rep_removes, 4)) {
+    return Status::Corruption("delta rep-remove count exceeds image size");
+  }
+  for (uint32_t i = 0; i < num_rep_removes; ++i) {
+    delta.rep_removes.push_back(r.I32());
+  }
+
+  for (auto* list : {&delta.dsi_removed, &delta.dsi_added}) {
+    const uint32_t num = r.U32();
+    if (!r.CanHold(num, 4 + kMinIntervalBytes)) {
+      return Status::Corruption("delta DSI entry count exceeds image size");
+    }
+    list->reserve(num);
+    for (uint32_t i = 0; i < num; ++i) {
+      std::string token = r.Str();
+      list->emplace_back(std::move(token), ReadInterval(r));
+    }
+  }
+
+  const uint32_t num_indexes = r.U32();
+  if (!r.CanHold(num_indexes, 8)) {
+    return Status::Corruption("delta value-index count exceeds image size");
+  }
+  for (uint32_t i = 0; i < num_indexes; ++i) {
+    std::string token = r.Str();
+    const uint32_t num_entries = r.U32();
+    if (!r.CanHold(num_entries, 12)) {
+      return Status::Corruption(
+          "delta value-index entry count exceeds image size");
+    }
+    std::vector<BTreeEntry> entries;
+    entries.reserve(num_entries);
+    for (uint32_t j = 0; j < num_entries; ++j) {
+      BTreeEntry e;
+      e.key = r.I64();
+      e.block_id = r.I32();
+      entries.push_back(e);
+    }
+    delta.value_index_puts.emplace_back(std::move(token), std::move(entries));
+  }
+  const uint32_t num_index_removes = r.U32();
+  if (!r.CanHold(num_index_removes, 4)) {
+    return Status::Corruption(
+        "delta value-index remove count exceeds image size");
+  }
+  for (uint32_t i = 0; i < num_index_removes; ++i) {
+    delta.value_index_removes.push_back(r.Str());
+  }
+
+  const uint32_t num_public_removed = r.U32();
+  if (!r.CanHold(num_public_removed, kMinIntervalBytes)) {
+    return Status::Corruption("delta public-remove count exceeds image size");
+  }
+  for (uint32_t i = 0; i < num_public_removed; ++i) {
+    delta.public_removed.push_back(ReadInterval(r));
+  }
+  const uint32_t num_public_added = r.U32();
+  if (!r.CanHold(num_public_added, kMinIntervalBytes + 4)) {
+    return Status::Corruption("delta public-add count exceeds image size");
+  }
+  for (uint32_t i = 0; i < num_public_added; ++i) {
+    const Interval iv = ReadInterval(r);
+    delta.public_added.emplace_back(iv, r.I32());
+  }
+
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "delta image"));
+  return delta;
+}
+
+Status ApplyDelta(HostedBundle* bundle, const DeltaBundle& delta) {
+  if (!delta.name.empty() && !bundle->name.empty() &&
+      delta.name != bundle->name) {
+    return Status::InvalidArgument("delta targets database \"" + delta.name +
+                                   "\" but bundle is \"" + bundle->name +
+                                   "\"");
+  }
+  if (bundle->generation == delta.new_generation) {
+    return Status::Ok();  // already absorbed (idempotent replay)
+  }
+  if (bundle->generation != delta.base_generation) {
+    return Status::InvalidArgument(
+        "delta expects base generation " +
+        std::to_string(delta.base_generation) + " but bundle is at " +
+        std::to_string(bundle->generation));
+  }
+
+  // --- Validation stage. Skeleton ops must actually run to be checked,
+  // so they run on scratch copies (the skeleton is the cheap public part
+  // of the bundle; ciphertext blocks are never copied). Nothing in the
+  // bundle is touched until every check below has passed.
+  Document skeleton = bundle->database.skeleton;
+  std::vector<NodeId> markers = bundle->database.marker_of_block;
+  std::map<Interval, NodeId> public_map =
+      bundle->metadata.public_interval_to_node;
+
+  for (const SkeletonOp& op : delta.ops) {
+    switch (op.kind) {
+      case SkeletonOp::kAdd:
+        if (op.node < 0 || op.node >= skeleton.node_count()) {
+          return Status::Corruption("skeleton add parent out of range");
+        }
+        if (op.is_attribute) {
+          skeleton.AddAttribute(op.node, op.tag, op.value);
+        } else {
+          const NodeId id = skeleton.AddChild(op.node, op.tag);
+          skeleton.node(id).value = op.value;
+        }
+        break;
+      case SkeletonOp::kSetValue:
+        if (op.node < 0 || op.node >= skeleton.node_count()) {
+          return Status::Corruption("skeleton set-value target out of range");
+        }
+        skeleton.node(op.node).value = op.value;
+        break;
+      case SkeletonOp::kDetach: {
+        if (op.node < 0 || op.node >= skeleton.node_count()) {
+          return Status::Corruption("skeleton detach target out of range");
+        }
+        const Status detached = skeleton.Detach(op.node);
+        if (!detached.ok()) {
+          return Status::Corruption("skeleton detach failed: " +
+                                    detached.ToString());
+        }
+        break;
+      }
+      case SkeletonOp::kCompact:
+        (void)CompactSkeleton(&skeleton, &markers, &public_map);
+        break;
+    }
+  }
+
+  // Block puts may extend the block array, but only contiguously — a
+  // gap would leave an uninitialized block the queries could reach.
+  size_t new_block_count = bundle->database.blocks.size();
+  {
+    std::vector<int32_t> ids;
+    ids.reserve(delta.block_puts.size());
+    for (const DeltaBlockPut& put : delta.block_puts) ids.push_back(put.id);
+    std::sort(ids.begin(), ids.end());
+    if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+      return Status::Corruption("duplicate block id in delta puts");
+    }
+    for (const int32_t id : ids) {
+      if (id < 0 || static_cast<size_t>(id) > new_block_count) {
+        return Status::Corruption("block put id " + std::to_string(id) +
+                                  " out of range");
+      }
+      if (static_cast<size_t>(id) == new_block_count) ++new_block_count;
+    }
+  }
+  for (const auto& [id, generation] : delta.block_tombstones) {
+    (void)generation;
+    if (id < 0 || static_cast<size_t>(id) >= new_block_count) {
+      return Status::Corruption("tombstoned block id out of range");
+    }
+  }
+  for (const auto& [id, node] : delta.markers) {
+    if (id < 0 || static_cast<size_t>(id) >= new_block_count) {
+      return Status::Corruption("marker block id out of range");
+    }
+    if (node < kNullNode || node >= skeleton.node_count()) {
+      return Status::Corruption("marker node out of range");
+    }
+  }
+  for (const auto& [id, rep] : delta.rep_sets) {
+    (void)rep;
+    if (id < 0 || static_cast<size_t>(id) >= new_block_count) {
+      return Status::Corruption("block-table id out of range");
+    }
+  }
+  for (const auto& [iv, node] : delta.public_added) {
+    (void)iv;
+    if (node < 0 || node >= skeleton.node_count()) {
+      return Status::Corruption("public-map node out of range");
+    }
+  }
+  // Every DSI removal must name a live entry — a miss means the delta
+  // was built against a different bundle state than it claims.
+  for (const auto& [token, iv] : delta.dsi_removed) {
+    const std::vector<Interval>& list =
+        bundle->metadata.dsi_table.Lookup(token);
+    if (!std::binary_search(list.begin(), list.end(), iv)) {
+      return Status::Corruption("delta removes unknown DSI entry for token");
+    }
+  }
+
+  // --- Commit stage: nothing below can fail.
+  bundle->database.skeleton = std::move(skeleton);
+  bundle->database.blocks.resize(new_block_count);
+  for (const DeltaBlockPut& put : delta.block_puts) {
+    EncryptedBlock& block = bundle->database.blocks[put.id];
+    block.id = put.id;
+    block.generation = put.generation;
+    block.ciphertext = put.ciphertext;
+    block.plaintext_bytes = 0;  // owner-side knowledge; not shipped
+  }
+  markers.resize(new_block_count, kNullNode);
+  for (const auto& [id, generation] : delta.block_tombstones) {
+    EncryptedBlock& block = bundle->database.blocks[id];
+    block.ciphertext.clear();
+    block.generation = generation;
+    block.plaintext_bytes = 0;
+    markers[id] = kNullNode;
+  }
+  for (const auto& [id, node] : delta.markers) markers[id] = node;
+  bundle->database.marker_of_block = std::move(markers);
+
+  for (const auto& [token, iv] : delta.dsi_removed) {
+    bundle->metadata.dsi_table.Remove(token, iv);
+  }
+  for (const auto& [token, iv] : delta.dsi_added) {
+    bundle->metadata.dsi_table.Add(token, iv);
+  }
+  for (const int32_t id : delta.rep_removes) {
+    bundle->metadata.block_table.Remove(id);  // lenient: may already be gone
+  }
+  for (const auto& [id, rep] : delta.rep_sets) {
+    bundle->metadata.block_table.Set(id, rep);
+  }
+  for (const std::string& token : delta.value_index_removes) {
+    bundle->metadata.value_indexes.erase(token);
+  }
+  for (const auto& [token, entries] : delta.value_index_puts) {
+    BPlusTree tree;
+    tree.BulkLoad(entries);
+    bundle->metadata.value_indexes.insert_or_assign(token, std::move(tree));
+  }
+  for (const Interval& iv : delta.public_removed) {
+    public_map.erase(iv);  // lenient: compaction may have dropped it
+  }
+  for (const auto& [iv, node] : delta.public_added) {
+    public_map[iv] = node;
+  }
+  bundle->metadata.public_interval_to_node = std::move(public_map);
+
+  bundle->generation = delta.new_generation;
+  return Status::Ok();
+}
+
+}  // namespace xcrypt

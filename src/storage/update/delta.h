@@ -1,0 +1,86 @@
+#ifndef XCRYPT_STORAGE_UPDATE_DELTA_H_
+#define XCRYPT_STORAGE_UPDATE_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/update_effects.h"
+#include "index/btree.h"
+#include "index/dsi.h"
+#include "storage/serializer.h"
+
+namespace xcrypt {
+
+/// One re-encrypted block shipped by a delta: the full new ciphertext
+/// under its bumped generation (wire v3 cache coherence keys on exactly
+/// this pair).
+struct DeltaBlockPut {
+  int32_t id = 0;
+  uint32_t generation = 0;
+  Bytes ciphertext;
+};
+
+/// An incremental update to a hosted bundle: everything the owner's edit
+/// batch changed, and nothing else. Applying a delta advances the bundle
+/// from `base_generation` to `new_generation`; the apply is atomic (a
+/// failed validation leaves the bundle untouched) and idempotent (a
+/// replay against an already-advanced bundle is an Ok no-op).
+///
+/// Like bundle images, the wire form is length-prefixed, little-endian,
+/// and `CanHold`-guarded so corrupt counts can never balloon memory.
+struct DeltaBundle {
+  /// Target database; checked against the bundle's self-declared name
+  /// when both sides carry one.
+  std::string name;
+  uint64_t base_generation = 0;
+  uint64_t new_generation = 0;
+
+  /// Ordered skeleton edits, replayed verbatim (see SkeletonOp).
+  std::vector<SkeletonOp> ops;
+
+  std::vector<DeltaBlockPut> block_puts;
+  /// (block id, final generation) of blocks whose subtree was deleted.
+  std::vector<std::pair<int32_t, uint32_t>> block_tombstones;
+  /// (block id, skeleton marker node) for blocks whose marker moved or
+  /// was created, in post-op skeleton ids.
+  std::vector<std::pair<int32_t, NodeId>> markers;
+
+  std::vector<std::pair<int32_t, Interval>> rep_sets;
+  std::vector<int32_t> rep_removes;
+
+  std::vector<std::pair<std::string, Interval>> dsi_removed;
+  std::vector<std::pair<std::string, Interval>> dsi_added;
+
+  /// Full replacement entry lists per rebuilt value-index token (OPESS
+  /// epoch rebuilds rescale the whole tag, so partial patches are
+  /// impossible by design).
+  std::vector<std::pair<std::string, std::vector<BTreeEntry>>>
+      value_index_puts;
+  std::vector<std::string> value_index_removes;
+
+  std::vector<Interval> public_removed;
+  std::vector<std::pair<Interval, NodeId>> public_added;
+};
+
+/// Encodes a delta into its self-contained binary image.
+Bytes SerializeDelta(const DeltaBundle& delta);
+
+/// Parses an image produced by SerializeDelta. Corruption on truncated,
+/// trailing, or malformed input; Unsupported on a version mismatch.
+Result<DeltaBundle> DeserializeDelta(const Bytes& image);
+
+/// Applies `delta` to `bundle` atomically: every structural precondition
+/// is validated (against scratch copies where ops must run to be
+/// checked) before the first byte of the bundle changes, so a failed
+/// apply leaves the bundle exactly as it was. Replaying a delta the
+/// bundle already absorbed (`generation == new_generation`) is an Ok
+/// no-op; any other generation mismatch is InvalidArgument.
+Status ApplyDelta(HostedBundle* bundle, const DeltaBundle& delta);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_STORAGE_UPDATE_DELTA_H_

@@ -1,0 +1,53 @@
+#include "storage/update/delta_builder.h"
+
+#include <limits>
+
+namespace xcrypt {
+
+DeltaBundle DeltaBuilder::Build(const std::string& name,
+                                uint64_t base_generation) const {
+  DeltaBundle delta;
+  delta.name = name;
+  delta.base_generation = base_generation;
+  delta.new_generation = base_generation + 1;
+  delta.ops = effects_.ops();
+
+  const EncryptedDatabase& db = client_->database();
+  for (const int block : effects_.touched_blocks()) {
+    DeltaBlockPut put;
+    put.id = block;
+    put.generation = db.blocks[block].generation;
+    put.ciphertext = db.blocks[block].ciphertext;
+    delta.block_puts.push_back(std::move(put));
+  }
+  for (const int block : effects_.tombstoned_blocks()) {
+    delta.block_tombstones.emplace_back(block, db.blocks[block].generation);
+  }
+  delta.markers.assign(effects_.markers().begin(), effects_.markers().end());
+  delta.rep_sets.assign(effects_.reps_set().begin(),
+                        effects_.reps_set().end());
+  delta.rep_removes.assign(effects_.reps_removed().begin(),
+                           effects_.reps_removed().end());
+  delta.dsi_removed = effects_.dsi_removed();
+  delta.dsi_added = effects_.dsi_added();
+
+  // OPESS epoch rebuilds rescale a whole tag's index, so a rebuilt token
+  // ships its full (already re-randomized) entry list.
+  const Metadata& metadata = client_->metadata();
+  for (const std::string& token : effects_.value_rebuilt()) {
+    const auto it = metadata.value_indexes.find(token);
+    if (it == metadata.value_indexes.end()) continue;
+    delta.value_index_puts.emplace_back(
+        token, it->second.RangeScan(std::numeric_limits<int64_t>::min(),
+                                    std::numeric_limits<int64_t>::max()));
+  }
+  delta.value_index_removes.assign(effects_.value_removed().begin(),
+                                   effects_.value_removed().end());
+  delta.public_removed.assign(effects_.public_removed().begin(),
+                              effects_.public_removed().end());
+  delta.public_added.assign(effects_.public_added().begin(),
+                            effects_.public_added().end());
+  return delta;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,58 @@
+#ifndef XCRYPT_STORAGE_UPDATE_DELTA_BUILDER_H_
+#define XCRYPT_STORAGE_UPDATE_DELTA_BUILDER_H_
+
+#include <string>
+
+#include "core/client.h"
+#include "storage/update/delta.h"
+
+namespace xcrypt {
+
+/// Owner-side delta producer: wraps a Client, records the side effects of
+/// every update routed through it, and materializes them as a DeltaBundle
+/// that advances a hosted bundle by exactly one generation. Only touched
+/// blocks are re-encrypted (the Client's incremental paths guarantee
+/// that), so the bundle's size tracks the edit, not the database.
+///
+/// Usage: construct, run one batch of updates, call Build once, destroy.
+/// The recorder detaches from the client on destruction.
+class DeltaBuilder {
+ public:
+  explicit DeltaBuilder(Client* client) : client_(client) {
+    client_->BeginRecording(&effects_);
+  }
+  ~DeltaBuilder() { client_->EndRecording(); }
+
+  DeltaBuilder(const DeltaBuilder&) = delete;
+  DeltaBuilder& operator=(const DeltaBuilder&) = delete;
+
+  Result<int> UpdateValues(const PathExpr& path, const std::string& value) {
+    return client_->UpdateValues(path, value);
+  }
+  Status InsertSubtree(const PathExpr& parent_path,
+                       const Document& fragment) {
+    return client_->InsertSubtree(parent_path, fragment);
+  }
+  Result<int> DeleteSubtrees(const PathExpr& path) {
+    return client_->DeleteSubtrees(path);
+  }
+
+  /// True when no recorded edit had any effect (nothing to ship).
+  bool empty() const { return effects_.empty(); }
+
+  const UpdateEffects& effects() const { return effects_; }
+
+  /// Materializes the recorded effects as a delta advancing `name` from
+  /// `base_generation` to `base_generation + 1`. Block ciphertexts and
+  /// value-index entries are read from the client's current state, so
+  /// call this after the batch, before any further edits.
+  DeltaBundle Build(const std::string& name, uint64_t base_generation) const;
+
+ private:
+  Client* client_;
+  UpdateEffects effects_;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_STORAGE_UPDATE_DELTA_BUILDER_H_

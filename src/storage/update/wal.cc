@@ -1,0 +1,220 @@
+#include "storage/update/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/binary_io.h"
+
+namespace xcrypt {
+namespace {
+
+constexpr uint32_t kWalRecordMagic = 0x58575231;  // "XWR1"
+constexpr size_t kWalRecordHeaderBytes = 4 + 4 + 8;
+
+/// FNV-1a 64-bit over the record payload. Not cryptographic — the log
+/// never leaves the owner's trust domain; the checksum only has to catch
+/// torn writes and bit rot.
+uint64_t Fnv1a(const uint8_t* data, size_t n) {
+  uint64_t hash = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " failed for " + path);
+}
+
+}  // namespace
+
+std::string WalPathFor(const std::string& bundle_path) {
+  return bundle_path + ".wal";
+}
+
+BundleStore::~BundleStore() { CloseWal(); }
+
+BundleStore::BundleStore(BundleStore&& other) noexcept
+    : path_(std::move(other.path_)),
+      options_(other.options_),
+      bundle_(std::move(other.bundle_)),
+      wal_fd_(other.wal_fd_),
+      wal_bytes_(other.wal_bytes_),
+      replayed_(other.replayed_) {
+  other.wal_fd_ = -1;
+}
+
+BundleStore& BundleStore::operator=(BundleStore&& other) noexcept {
+  if (this != &other) {
+    CloseWal();
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    bundle_ = std::move(other.bundle_);
+    wal_fd_ = other.wal_fd_;
+    wal_bytes_ = other.wal_bytes_;
+    replayed_ = other.replayed_;
+    other.wal_fd_ = -1;
+  }
+  return *this;
+}
+
+void BundleStore::CloseWal() {
+  if (wal_fd_ >= 0) {
+    ::close(wal_fd_);
+    wal_fd_ = -1;
+  }
+}
+
+Status BundleStore::OpenWalForAppend() {
+  CloseWal();
+  const std::string wal_path = WalPathFor(path_);
+  wal_fd_ = ::open(wal_path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (wal_fd_ < 0) return IoError("open", wal_path);
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(wal_path, ec);
+  wal_bytes_ = ec ? 0 : static_cast<int64_t>(size);
+  return Status::Ok();
+}
+
+Result<BundleStore> BundleStore::Create(const std::string& path,
+                                        HostedBundle bundle,
+                                        const Options& options) {
+  BundleStore store;
+  store.path_ = path;
+  store.options_ = options;
+  store.bundle_ = std::move(bundle);
+  XCRYPT_RETURN_NOT_OK(SaveBundle(store.bundle_.database,
+                                  store.bundle_.metadata, path,
+                                  store.bundle_.name,
+                                  store.bundle_.generation));
+  // A fresh store starts with an empty log (truncating any stale one).
+  std::error_code ec;
+  std::filesystem::remove(WalPathFor(path), ec);
+  XCRYPT_RETURN_NOT_OK(store.OpenWalForAppend());
+  return store;
+}
+
+Result<BundleStore> BundleStore::Open(const std::string& path,
+                                      const Options& options) {
+  BundleStore store;
+  store.path_ = path;
+  store.options_ = options;
+  auto bundle = LoadBundle(path);
+  if (!bundle.ok()) return bundle.status();
+  store.bundle_ = std::move(*bundle);
+  XCRYPT_RETURN_NOT_OK(store.ReplayWal());
+  XCRYPT_RETURN_NOT_OK(store.OpenWalForAppend());
+  return store;
+}
+
+Status BundleStore::ReplayWal() {
+  const std::string wal_path = WalPathFor(path_);
+  std::ifstream in(wal_path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::Ok();  // no log: nothing to replay
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(data.data()), size)) {
+    return IoError("read", wal_path);
+  }
+
+  size_t off = 0;
+  while (data.size() - off >= kWalRecordHeaderBytes) {
+    Bytes header(data.begin() + off,
+                 data.begin() + off + kWalRecordHeaderBytes);
+    BinaryReader r(header);
+    const uint32_t magic = r.U32();
+    const uint32_t length = r.U32();
+    const uint64_t checksum = r.U64();
+    if (magic != kWalRecordMagic) break;  // torn/garbage tail
+    if (data.size() - off - kWalRecordHeaderBytes < length) break;  // torn
+    const uint8_t* payload = data.data() + off + kWalRecordHeaderBytes;
+    if (Fnv1a(payload, length) != checksum) break;  // torn mid-payload
+
+    // A checksummed record that fails to decode or apply is not a torn
+    // write — it is real corruption, and silently dropping it would lose
+    // an acknowledged update.
+    auto delta = DeserializeDelta(Bytes(payload, payload + length));
+    if (!delta.ok()) {
+      return Status::Corruption("WAL record undecodable: " +
+                                delta.status().ToString());
+    }
+    if (delta->new_generation > bundle_.generation) {
+      // Older records (a checkpoint postdates them) are skipped; the
+      // boundary case is covered by ApplyDelta's idempotency.
+      XCRYPT_RETURN_NOT_OK(ApplyDelta(&bundle_, *delta));
+      ++replayed_;
+    }
+    off += kWalRecordHeaderBytes + length;
+  }
+  if (off < data.size()) {
+    // Drop the torn tail so the next append starts at a record boundary.
+    std::error_code ec;
+    std::filesystem::resize_file(wal_path, off, ec);
+    if (ec) return IoError("truncate", wal_path);
+  }
+  return Status::Ok();
+}
+
+Status BundleStore::AppendRecord(const Bytes& payload) {
+  Bytes record;
+  BinaryWriter w(&record);
+  w.U32(kWalRecordMagic);
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.U64(Fnv1a(payload.data(), payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+
+  size_t written = 0;
+  while (written < record.size()) {
+    const ssize_t n = ::write(wal_fd_, record.data() + written,
+                              record.size() - written);
+    if (n < 0) return IoError("write", WalPathFor(path_));
+    written += static_cast<size_t>(n);
+  }
+  if (options_.fsync && ::fsync(wal_fd_) != 0) {
+    return IoError("fsync", WalPathFor(path_));
+  }
+  wal_bytes_ += static_cast<int64_t>(record.size());
+  return Status::Ok();
+}
+
+Status BundleStore::Apply(const DeltaBundle& delta) {
+  if (wal_fd_ < 0) return Status::Internal("bundle store is not open");
+  const uint64_t before = bundle_.generation;
+  // In-memory first: ApplyDelta validates everything before mutating, so
+  // a rejected delta leaves both the bundle and the log untouched.
+  XCRYPT_RETURN_NOT_OK(ApplyDelta(&bundle_, delta));
+  if (bundle_.generation == before) return Status::Ok();  // replay no-op
+  XCRYPT_RETURN_NOT_OK(AppendRecord(SerializeDelta(delta)));
+  if (wal_bytes_ >= options_.checkpoint_wal_bytes) return Checkpoint();
+  return Status::Ok();
+}
+
+Status BundleStore::Checkpoint() {
+  // SaveBundle commits via temp-then-rename; the log swap below does the
+  // same, so every crash point resolves to image+log states Open knows
+  // how to reconcile.
+  XCRYPT_RETURN_NOT_OK(SaveBundle(bundle_.database, bundle_.metadata, path_,
+                                  bundle_.name, bundle_.generation));
+  const std::string wal_path = WalPathFor(path_);
+  const std::string tmp_path = wal_path + ".tmp";
+  {
+    std::ofstream tmp(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!tmp) return IoError("create", tmp_path);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, wal_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return IoError("rename", wal_path);
+  }
+  return OpenWalForAppend();
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,91 @@
+#ifndef XCRYPT_STORAGE_UPDATE_WAL_H_
+#define XCRYPT_STORAGE_UPDATE_WAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/update/delta.h"
+
+namespace xcrypt {
+
+/// Path of the write-ahead log that shadows a bundle file.
+std::string WalPathFor(const std::string& bundle_path);
+
+struct BundleStoreOptions {
+  BundleStoreOptions() {}
+  /// Checkpoint automatically once the log outgrows this many bytes.
+  int64_t checkpoint_wal_bytes = 8 * 1024 * 1024;
+  /// fsync after every append (tests turn this off for speed).
+  bool fsync = true;
+};
+
+/// Durable owner-side bundle: a bundle image on disk plus a write-ahead
+/// log of delta records. Every Apply first validates the delta against
+/// the in-memory bundle (ApplyDelta is atomic — a bad delta changes
+/// nothing), then appends a checksummed record to the log. Checkpoints
+/// rewrite the bundle image with SaveBundle's temp-then-rename commit and
+/// swap in an empty log the same way, so no crash point leaves a torn or
+/// ambiguous state:
+///
+///   - crash mid-append: the torn tail fails its length/checksum test and
+///     is truncated on the next Open;
+///   - crash between the image rename and the log swap: the stale log's
+///     records carry generations the image already absorbed and are
+///     skipped on replay (ApplyDelta's idempotency covers the boundary
+///     record).
+class BundleStore {
+ public:
+  using Options = BundleStoreOptions;
+
+  /// Creates a fresh store: writes the bundle image and an empty log.
+  static Result<BundleStore> Create(const std::string& path,
+                                    HostedBundle bundle,
+                                    const Options& options = Options());
+
+  /// Opens an existing store: loads the image, replays the log (skipping
+  /// already-absorbed records, truncating a torn tail), and reopens the
+  /// log for appending.
+  static Result<BundleStore> Open(const std::string& path,
+                                  const Options& options = Options());
+
+  ~BundleStore();
+  BundleStore(BundleStore&& other) noexcept;
+  BundleStore& operator=(BundleStore&& other) noexcept;
+  BundleStore(const BundleStore&) = delete;
+  BundleStore& operator=(const BundleStore&) = delete;
+
+  /// Applies one delta: in-memory first (atomic, validating), then the
+  /// durable append. Auto-checkpoints past the configured log size.
+  Status Apply(const DeltaBundle& delta);
+
+  /// Rewrites the bundle image at the current generation and swaps in an
+  /// empty log, both with temp-then-rename commits.
+  Status Checkpoint();
+
+  const HostedBundle& bundle() const { return bundle_; }
+  uint64_t generation() const { return bundle_.generation; }
+  const std::string& path() const { return path_; }
+  int64_t wal_bytes() const { return wal_bytes_; }
+  /// Number of log records replayed by Open (0 after Create).
+  int replayed() const { return replayed_; }
+
+ private:
+  BundleStore() = default;
+
+  Status OpenWalForAppend();
+  Status AppendRecord(const Bytes& payload);
+  Status ReplayWal();
+  void CloseWal();
+
+  std::string path_;
+  Options options_;
+  HostedBundle bundle_;
+  int wal_fd_ = -1;
+  int64_t wal_bytes_ = 0;
+  int replayed_ = 0;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_STORAGE_UPDATE_WAL_H_

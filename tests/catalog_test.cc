@@ -163,12 +163,11 @@ TEST_F(CatalogTest, HotReloadPicksUpRewrittenFile) {
   EXPECT_EQ((*before)->generation(), 1u);
   EXPECT_EQ((*before)->bundle().generation, 1u);
 
-  // The owner re-uploads. The longer name field changes the file size,
-  // so the fingerprint mismatch is detected regardless of the
-  // filesystem's mtime granularity.
-  Status saved = SaveBundle(bundle.database, bundle.metadata, PathFor("live"),
-                            "live-after-reupload", /*generation=*/2);
-  ASSERT_TRUE(saved.ok());
+  // The owner re-uploads the same database under the same name: every
+  // byte but the generation stamp is identical, so neither size nor
+  // (granularity permitting) mtime can be relied on. The v3 fingerprint
+  // is the generation itself — that alone must trigger the reload.
+  SaveAs("live", bundle, /*generation=*/2);
 
   auto after = (*catalog)->Get("live");
   ASSERT_TRUE(after.ok());
@@ -178,6 +177,55 @@ TEST_F(CatalogTest, HotReloadPicksUpRewrittenFile) {
 
   // The superseded handle still answers.
   EXPECT_TRUE((*before)->engine().ExecuteNaive().ok());
+}
+
+TEST_F(CatalogTest, NameMismatchedBundleRejected) {
+  // A bundle self-declared as "other" sitting at live.xcr must not be
+  // served as "live": the catalog's filename-stem routing would otherwise
+  // silently alias one owner's database under another's name.
+  const HostedBundle bundle = MakeBundle(13);
+  Status saved = SaveBundle(bundle.database, bundle.metadata, PathFor("live"),
+                            "other", /*generation=*/1);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  auto catalog = BundleCatalog::Open(dir_.string());
+  ASSERT_TRUE(catalog.ok());
+
+  auto db = (*catalog)->Get("live");
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// Rewrites a v3 image (saved with empty name and generation 0) into its
+/// v2 form: patch the version word and drop the 12 bytes of name-length +
+/// generation that v3 inserted after the header.
+void WriteAsV2(const std::string& path, const HostedBundle& bundle) {
+  Bytes image = SerializeBundle(bundle.database, bundle.metadata);
+  ASSERT_GE(image.size(), 20u);
+  image[4] = 2;  // version word (little-endian) follows the 4-byte magic
+  image.erase(image.begin() + 8, image.begin() + 20);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(image.data(), 1, image.size(), f), image.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+TEST_F(CatalogTest, V2ImagesFallBackToMtimeSizeFingerprint) {
+  WriteAsV2(PathFor("legacy"), MakeBundle(14));
+  auto catalog = BundleCatalog::Open(dir_.string());
+  ASSERT_TRUE(catalog.ok());
+
+  auto before = (*catalog)->Get("legacy");
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ((*before)->bundle().generation, 0u);  // v2: no stamp
+  EXPECT_TRUE((*before)->bundle().name.empty());
+
+  // A rewrite with different content (hence size) still hot-reloads via
+  // the pre-v3 mtime+size fingerprint.
+  WriteAsV2(PathFor("legacy"), MakeBundle(15));
+  auto after = (*catalog)->Get("legacy");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->generation(), 2u);
+  EXPECT_NE(before->get(), after->get());
 }
 
 TEST_F(CatalogTest, ReloadForcesFreshLoadWithoutFileChange) {

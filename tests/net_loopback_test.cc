@@ -180,9 +180,14 @@ TEST_F(LoopbackTest, DasSystemOverLoopbackMatchesInProcess) {
     EXPECT_EQ(remote_agg->answer.count, local_agg->answer.count);
   }
 
-  // Updates against a connected remote snapshot are refused, not
-  // silently applied locally.
-  EXPECT_EQ(das->UpdateValues("//dataset/title", "x").status().code(),
+  // Updates now ship as delta bundles. An edit matching nothing pushes
+  // nothing and succeeds even against a daemon that refuses updates...
+  auto noop = das->UpdateValues("//dataset/title", "x");
+  ASSERT_TRUE(noop.ok()) << noop.status().ToString();
+  EXPECT_EQ(*noop, 0);
+  // ...while a real edit is refused by a daemon started without
+  // --allow-updates (the storm suite covers the accepting path).
+  EXPECT_EQ(das->UpdateValues("//dataset/altname", "x").status().code(),
             StatusCode::kUnsupported);
   das->Remote().Disconnect();
   EXPECT_FALSE(das->Remote().attached());

@@ -396,12 +396,13 @@ TEST_F(MultiTenantTest, HotReloadDropsNoInFlightQueries) {
   }
 
   // Re-upload the bundle several times mid-traffic. Content is
-  // identical (same client, same keys) but the image differs (longer
-  // stored name + bumped generation), so each rewrite triggers a real
-  // reload under live queries.
+  // identical (same client, same keys) but the header generation moves,
+  // so each rewrite triggers a real reload under live queries. (The old
+  // trick of varying the stored name would now be rejected as a
+  // mis-filed image — catalog_test covers that.)
   for (uint64_t gen = 2; gen <= 4; ++gen) {
     std::this_thread::sleep_for(std::chrono::milliseconds(120));
-    SaveTenant(alpha, gen, "alpha-reupload-" + std::to_string(gen));
+    SaveTenant(alpha, gen);
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(120));
   stop.store(true);

@@ -154,7 +154,7 @@ TEST(WireFrame, RejectsBadMagicVersionTypeAndLength) {
   bad_type[5] = 0;
   EXPECT_EQ(DecodeFrame(bad_type, kDefaultMaxFrameBytes).status().code(),
             StatusCode::kCorruption);
-  bad_type[5] = static_cast<uint8_t>(MessageType::kError) + 1;
+  bad_type[5] = static_cast<uint8_t>(MessageType::kUpdateResponse) + 1;
   EXPECT_EQ(DecodeFrame(bad_type, kDefaultMaxFrameBytes).status().code(),
             StatusCode::kCorruption);
 
@@ -345,6 +345,9 @@ TEST(WireStats, RoundTrip) {
   stats.bytes_sent = 1 << 22;
   stats.num_blocks = 998;
   stats.ciphertext_bytes = 1234567;
+  stats.database = "tenant";
+  stats.db_generation = 42;  // wire v5 tail: owners sync on attach
+  stats.updates_applied = 7;
   auto decoded = DecodeStats(EncodeStats(stats));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->queries_served, 101u);
@@ -357,6 +360,16 @@ TEST(WireStats, RoundTrip) {
   EXPECT_EQ(decoded->bytes_sent, 1u << 22);
   EXPECT_EQ(decoded->num_blocks, 998u);
   EXPECT_EQ(decoded->ciphertext_bytes, 1234567u);
+  EXPECT_EQ(decoded->database, "tenant");
+  EXPECT_EQ(decoded->db_generation, 42u);
+  EXPECT_EQ(decoded->updates_applied, 7u);
+
+  // A v4 peer never sees (or needs) the v5 tail.
+  auto v4 = DecodeStats(EncodeStats(stats, 4), 4);
+  ASSERT_TRUE(v4.ok());
+  EXPECT_EQ(v4->database, "tenant");
+  EXPECT_EQ(v4->db_generation, 0u);
+  EXPECT_EQ(v4->updates_applied, 0u);
 }
 
 TEST(WireStats, TruncationFailsCleanly) {
@@ -633,19 +646,21 @@ TEST(WireV4, FuzzedDbNamesDecodeSafely) {
   }
 }
 
-TEST(WireV4, FrameVersionsV3AndV4AcceptedOthersRejected) {
-  auto v4 = DecodeFrame(EncodeFrame(MessageType::kPingRequest, {}),
+TEST(WireV4, FrameVersionsV3ToV5AcceptedOthersRejected) {
+  auto v5 = DecodeFrame(EncodeFrame(MessageType::kPingRequest, {}),
                         kDefaultMaxFrameBytes);
-  ASSERT_TRUE(v4.ok());
-  EXPECT_EQ(v4->version, kWireVersion);
+  ASSERT_TRUE(v5.ok());
+  EXPECT_EQ(v5->version, kWireVersion);
 
-  auto v3 =
-      DecodeFrame(EncodeFrame(MessageType::kPingRequest, {}, /*version=*/3),
-                  kDefaultMaxFrameBytes);
-  ASSERT_TRUE(v3.ok());
-  EXPECT_EQ(v3->version, 3);
+  for (uint8_t old : {uint8_t{3}, uint8_t{4}}) {
+    auto frame =
+        DecodeFrame(EncodeFrame(MessageType::kPingRequest, {}, old),
+                    kDefaultMaxFrameBytes);
+    ASSERT_TRUE(frame.ok()) << int(old);
+    EXPECT_EQ(frame->version, old);
+  }
 
-  for (uint8_t bad : {uint8_t{0}, uint8_t{2}, uint8_t{5}, uint8_t{255}}) {
+  for (uint8_t bad : {uint8_t{0}, uint8_t{2}, uint8_t{6}, uint8_t{255}}) {
     Bytes image = EncodeFrame(MessageType::kPingRequest, {});
     image[4] = bad;  // the version byte follows the 4-byte magic
     EXPECT_EQ(DecodeFrame(image, kDefaultMaxFrameBytes).status().code(),
@@ -713,6 +728,105 @@ TEST(WireV4, StatsResponseCarriesShedQueueAndDbName) {
   EXPECT_EQ(v3->queries_served, 9u);
   EXPECT_EQ(v3->queries_shed, 0u);
   EXPECT_TRUE(v3->database.empty());
+}
+
+// --- Wire v5: update push + invalidation events -----------------------
+
+TEST(WireV5, InvalidationEventRoundTrip) {
+  InvalidationEventMsg event;
+  event.db = "tenant-a";
+  event.db_generation = 17;
+  event.blocks = SampleAdverts();
+  auto decoded = DecodeInvalidationEvent(EncodeInvalidationEvent(event));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->db, "tenant-a");
+  EXPECT_EQ(decoded->db_generation, 17u);
+  EXPECT_FALSE(decoded->drop_all);
+  ExpectAdvertsEq(event.blocks, decoded->blocks);
+
+  InvalidationEventMsg drop;
+  drop.drop_all = true;
+  auto decoded_drop = DecodeInvalidationEvent(EncodeInvalidationEvent(drop));
+  ASSERT_TRUE(decoded_drop.ok());
+  EXPECT_TRUE(decoded_drop->drop_all);
+  EXPECT_TRUE(decoded_drop->blocks.empty());
+}
+
+TEST(WireV5, InvalidationEventTruncationAtEveryByteFailsCleanly) {
+  InvalidationEventMsg event;
+  event.db = "db";
+  event.db_generation = 3;
+  event.blocks = SampleAdverts();
+  const Bytes payload = EncodeInvalidationEvent(event);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    const Bytes cut(payload.begin(), payload.begin() + len);
+    auto decoded = DecodeInvalidationEvent(cut);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireV5, InvalidationEventBitFlipsNeverCrash) {
+  InvalidationEventMsg event;
+  event.db = "db";
+  event.blocks = SampleAdverts();
+  const Bytes payload = EncodeInvalidationEvent(event);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = payload;
+      mutated[i] ^= static_cast<uint8_t>(1u << bit);
+      auto decoded = DecodeInvalidationEvent(mutated);
+      if (!decoded.ok()) {
+        EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+      }
+    }
+  }
+}
+
+TEST(WireV5, UpdateRequestAndResponseRoundTrip) {
+  UpdateRequestMsg request;
+  request.db = "tenant-c";
+  request.delta = {0x01, 0x02, 0x00, 0xff};
+  auto decoded = DecodeUpdateRequest(EncodeUpdateRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->db, "tenant-c");
+  EXPECT_EQ(decoded->delta, request.delta);
+
+  auto response = DecodeUpdateResponse(EncodeUpdateResponse({42}));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->generation, 42u);
+}
+
+TEST(WireV5, UpdateRequestTruncationAtEveryByteFailsCleanly) {
+  UpdateRequestMsg request;
+  request.db = "d";
+  request.delta = {1, 2, 3, 4, 5, 6};
+  const Bytes payload = EncodeUpdateRequest(request);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    const Bytes cut(payload.begin(), payload.begin() + len);
+    auto decoded = DecodeUpdateRequest(cut);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireV5, NewMessageTypesRequireVersion5) {
+  // A v3/v4 peer never advertised the update/invalidation types; a frame
+  // claiming one under an old version is stream corruption, not a legal
+  // message the old peer just doesn't know.
+  for (MessageType type : {MessageType::kInvalidationEvent,
+                           MessageType::kUpdateRequest,
+                           MessageType::kUpdateResponse}) {
+    auto v5 = DecodeFrame(EncodeFrame(type, {}), kDefaultMaxFrameBytes);
+    ASSERT_TRUE(v5.ok()) << MessageTypeName(type);
+    for (uint8_t old : {uint8_t{3}, uint8_t{4}}) {
+      EXPECT_EQ(DecodeFrame(EncodeFrame(type, {}, old), kDefaultMaxFrameBytes)
+                    .status()
+                    .code(),
+                StatusCode::kCorruption)
+          << MessageTypeName(type) << " at v" << int(old);
+    }
+  }
 }
 
 }  // namespace

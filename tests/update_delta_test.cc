@@ -1,0 +1,399 @@
+// Delta-bundle format and apply tests: round-trip of every field, fault
+// injection (truncation at every byte, bit flips, hostile counts — same
+// harness shape as net_wire_test.cc), the atomic validate-then-commit
+// apply, and the owner↔server equivalence that makes increments safe:
+// applying a DeltaBuilder's bundle to the old hosted image must yield
+// byte-for-byte the image a from-scratch export of the owner's new state
+// produces.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "data/healthcare.h"
+#include "net/catalog.h"
+#include "storage/serializer.h"
+#include "storage/update/delta.h"
+#include "storage/update/delta_builder.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+Client MakeClient() {
+  auto client = Client::Host(BuildHealthcareSample(), HealthcareConstraints(),
+                             SchemeKind::kOptimal, "delta-secret");
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(*client);
+}
+
+/// The hosted image of `client`'s current state, as the daemon holds it.
+HostedBundle ExportAs(const Client& client, const std::string& name,
+                      uint64_t generation) {
+  auto bundle = DeserializeBundle(
+      SerializeBundle(client.database(), client.metadata(), name, generation));
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  return std::move(*bundle);
+}
+
+Bytes ImageOf(const HostedBundle& bundle) {
+  return SerializeBundle(bundle.database, bundle.metadata, bundle.name,
+                         bundle.generation);
+}
+
+/// A delta with every field populated, for codec fault injection.
+DeltaBundle SampleDelta() {
+  DeltaBundle delta;
+  delta.name = "hospital";
+  delta.base_generation = 4;
+  delta.new_generation = 5;
+  delta.ops.push_back({SkeletonOp::kAdd, 0, "treat", "", false});
+  delta.ops.push_back({SkeletonOp::kSetValue, 2, "", "influenza", false});
+  delta.ops.push_back({SkeletonOp::kDetach, 3, "", "", false});
+  delta.ops.push_back({SkeletonOp::kCompact, kNullNode, "", "", false});
+  delta.block_puts.push_back({2, 7, {0xde, 0xad, 0xbe, 0xef}});
+  delta.block_puts.push_back({5, 1, {0x00}});
+  delta.block_tombstones.emplace_back(3, 9);
+  delta.markers.emplace_back(2, 14);
+  delta.rep_sets.emplace_back(2, Interval{0.25, 0.5});
+  delta.rep_removes.push_back(3);
+  delta.dsi_removed.emplace_back("T1", Interval{0.1, 0.2});
+  delta.dsi_added.emplace_back("T1", Interval{0.15, 0.18});
+  delta.dsi_added.emplace_back("T2", Interval{0.4, 0.6});
+  delta.value_index_puts.emplace_back(
+      "IDX", std::vector<BTreeEntry>{{100, 2}, {250, 5}});
+  delta.value_index_removes.push_back("OLD");
+  delta.public_removed.push_back(Interval{0.7, 0.8});
+  delta.public_added.emplace_back(Interval{0.71, 0.79}, 6);
+  return delta;
+}
+
+TEST(DeltaFormat, RoundTripsEveryField) {
+  const DeltaBundle delta = SampleDelta();
+  auto decoded = DeserializeDelta(SerializeDelta(delta));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->name, delta.name);
+  EXPECT_EQ(decoded->base_generation, delta.base_generation);
+  EXPECT_EQ(decoded->new_generation, delta.new_generation);
+  ASSERT_EQ(decoded->ops.size(), delta.ops.size());
+  for (size_t i = 0; i < delta.ops.size(); ++i) {
+    EXPECT_EQ(decoded->ops[i].kind, delta.ops[i].kind) << i;
+    EXPECT_EQ(decoded->ops[i].node, delta.ops[i].node) << i;
+    EXPECT_EQ(decoded->ops[i].tag, delta.ops[i].tag) << i;
+    EXPECT_EQ(decoded->ops[i].value, delta.ops[i].value) << i;
+    EXPECT_EQ(decoded->ops[i].is_attribute, delta.ops[i].is_attribute) << i;
+  }
+  ASSERT_EQ(decoded->block_puts.size(), delta.block_puts.size());
+  for (size_t i = 0; i < delta.block_puts.size(); ++i) {
+    EXPECT_EQ(decoded->block_puts[i].id, delta.block_puts[i].id);
+    EXPECT_EQ(decoded->block_puts[i].generation,
+              delta.block_puts[i].generation);
+    EXPECT_EQ(decoded->block_puts[i].ciphertext,
+              delta.block_puts[i].ciphertext);
+  }
+  EXPECT_EQ(decoded->block_tombstones, delta.block_tombstones);
+  EXPECT_EQ(decoded->markers, delta.markers);
+  EXPECT_EQ(decoded->rep_sets, delta.rep_sets);
+  EXPECT_EQ(decoded->rep_removes, delta.rep_removes);
+  EXPECT_EQ(decoded->dsi_removed, delta.dsi_removed);
+  EXPECT_EQ(decoded->dsi_added, delta.dsi_added);
+  ASSERT_EQ(decoded->value_index_puts.size(), delta.value_index_puts.size());
+  for (size_t i = 0; i < delta.value_index_puts.size(); ++i) {
+    EXPECT_EQ(decoded->value_index_puts[i].first,
+              delta.value_index_puts[i].first);
+    ASSERT_EQ(decoded->value_index_puts[i].second.size(),
+              delta.value_index_puts[i].second.size());
+    for (size_t j = 0; j < delta.value_index_puts[i].second.size(); ++j) {
+      EXPECT_EQ(decoded->value_index_puts[i].second[j].key,
+                delta.value_index_puts[i].second[j].key);
+      EXPECT_EQ(decoded->value_index_puts[i].second[j].block_id,
+                delta.value_index_puts[i].second[j].block_id);
+    }
+  }
+  EXPECT_EQ(decoded->value_index_removes, delta.value_index_removes);
+  EXPECT_EQ(decoded->public_removed, delta.public_removed);
+  EXPECT_EQ(decoded->public_added, delta.public_added);
+}
+
+TEST(DeltaFormat, TruncationAtEveryByteFailsCleanly) {
+  const Bytes image = SerializeDelta(SampleDelta());
+  for (size_t len = 0; len < image.size(); ++len) {
+    const Bytes cut(image.begin(), image.begin() + len);
+    auto decoded = DeserializeDelta(cut);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes";
+    if (!decoded.ok()) {
+      EXPECT_TRUE(decoded.status().code() == StatusCode::kCorruption ||
+                  decoded.status().code() == StatusCode::kUnsupported)
+          << "prefix of " << len << ": " << decoded.status().ToString();
+    }
+  }
+}
+
+TEST(DeltaFormat, BitFlipsNeverCrash) {
+  const Bytes image = SerializeDelta(SampleDelta());
+  // Decode must either succeed (the flip hit a don't-care or produced a
+  // different valid delta) or fail with a clean status — never a crash
+  // or a runaway allocation. Whether a mutated-but-decodable delta later
+  // APPLIES is ApplyDelta's validation problem, tested separately.
+  for (size_t i = 0; i < image.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = image;
+      mutated[i] ^= static_cast<uint8_t>(1u << bit);
+      auto decoded = DeserializeDelta(mutated);
+      if (!decoded.ok()) {
+        EXPECT_TRUE(decoded.status().code() == StatusCode::kCorruption ||
+                    decoded.status().code() == StatusCode::kUnsupported)
+            << decoded.status().ToString();
+      }
+    }
+  }
+}
+
+TEST(DeltaFormat, OversizedCountsRejectedWithoutAllocation) {
+  // Header (magic, version, empty name, two generations) followed by a
+  // count claiming 2^32-1 ops in 0 remaining bytes: CanHold must reject
+  // before any reserve.
+  Bytes image = SerializeDelta(DeltaBundle{});
+  // The op count is the first u32 after the 28-byte header.
+  ASSERT_GE(image.size(), 32u);
+  for (size_t i = 28; i < 32; ++i) image[i] = 0xff;
+  EXPECT_EQ(DeserializeDelta(image).status().code(), StatusCode::kCorruption);
+}
+
+TEST(DeltaApply, ValueUpdateMatchesFreshExport) {
+  Client client = MakeClient();
+  HostedBundle hosted = ExportAs(client, "hospital", 1);
+
+  DeltaBuilder builder(&client);
+  auto updated = builder.UpdateValues(
+      *ParseXPath("//patient[SSN='763895']/treat/disease"), "influenza");
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(*updated, 1);
+  const DeltaBundle delta = builder.Build("hospital", 1);
+  EXPECT_EQ(delta.new_generation, 2u);
+
+  ASSERT_TRUE(ApplyDelta(&hosted, delta).ok());
+  EXPECT_EQ(hosted.generation, 2u);
+  EXPECT_EQ(ImageOf(hosted),
+            SerializeBundle(client.database(), client.metadata(), "hospital",
+                            2));
+}
+
+TEST(DeltaApply, InsertAndDeleteMatchFreshExport) {
+  Client client = MakeClient();
+  HostedBundle hosted = ExportAs(client, "hospital", 1);
+
+  {
+    DeltaBuilder builder(&client);
+    Document fragment;
+    const NodeId root = fragment.AddRoot("patient");
+    fragment.AddLeaf(root, "SSN", "555001");
+    fragment.AddLeaf(root, "pname", "Ada");
+    const NodeId treat = fragment.AddChild(root, "treat");
+    fragment.AddLeaf(treat, "disease", "asthma");
+    fragment.AddLeaf(treat, "doctor", "Ng");
+    fragment.AddLeaf(root, "age", "33");
+    ASSERT_TRUE(
+        builder.InsertSubtree(*ParseXPath("/hospital"), fragment).ok());
+    ASSERT_TRUE(ApplyDelta(&hosted, builder.Build("hospital", 1)).ok());
+  }
+  EXPECT_EQ(hosted.generation, 2u);
+  EXPECT_EQ(ImageOf(hosted),
+            SerializeBundle(client.database(), client.metadata(), "hospital",
+                            2));
+
+  {
+    DeltaBuilder builder(&client);
+    auto removed = builder.DeleteSubtrees(*ParseXPath("//patient[pname='Matt']"));
+    ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+    EXPECT_EQ(*removed, 1);
+    ASSERT_TRUE(ApplyDelta(&hosted, builder.Build("hospital", 2)).ok());
+  }
+  EXPECT_EQ(hosted.generation, 3u);
+  EXPECT_EQ(ImageOf(hosted),
+            SerializeBundle(client.database(), client.metadata(), "hospital",
+                            3));
+}
+
+TEST(DeltaApply, SerializedDeltaSurvivesTheWireIntact) {
+  // The propagation path ships SerializeDelta bytes; applying the decoded
+  // copy must behave exactly like applying the original.
+  Client client = MakeClient();
+  HostedBundle hosted = ExportAs(client, "hospital", 1);
+
+  DeltaBuilder builder(&client);
+  ASSERT_TRUE(builder.UpdateValues(*ParseXPath("//doctor"), "House").ok());
+  auto decoded = DeserializeDelta(SerializeDelta(builder.Build("hospital", 1)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(ApplyDelta(&hosted, *decoded).ok());
+  EXPECT_EQ(ImageOf(hosted),
+            SerializeBundle(client.database(), client.metadata(), "hospital",
+                            2));
+}
+
+TEST(DeltaApply, ReplayIsIdempotent) {
+  Client client = MakeClient();
+  HostedBundle hosted = ExportAs(client, "hospital", 1);
+  DeltaBuilder builder(&client);
+  ASSERT_TRUE(builder
+                  .UpdateValues(*ParseXPath("//patient[SSN='763895']/treat/"
+                                            "disease"),
+                                "influenza")
+                  .ok());
+  const DeltaBundle delta = builder.Build("hospital", 1);
+
+  ASSERT_TRUE(ApplyDelta(&hosted, delta).ok());
+  const Bytes once = ImageOf(hosted);
+  // A retried push (the owner never saw the first ack) must be an Ok
+  // no-op, not a double apply.
+  ASSERT_TRUE(ApplyDelta(&hosted, delta).ok());
+  EXPECT_EQ(hosted.generation, 2u);
+  EXPECT_EQ(ImageOf(hosted), once);
+}
+
+TEST(DeltaApply, RejectsBaseGenerationMismatch) {
+  Client client = MakeClient();
+  HostedBundle hosted = ExportAs(client, "hospital", 7);
+  DeltaBuilder builder(&client);
+  ASSERT_TRUE(builder.UpdateValues(*ParseXPath("//doctor"), "House").ok());
+  const DeltaBundle delta = builder.Build("hospital", 1);  // base 1 ≠ 7
+
+  const Bytes before = ImageOf(hosted);
+  Status applied = ApplyDelta(&hosted, delta);
+  EXPECT_EQ(applied.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ImageOf(hosted), before);  // untouched
+}
+
+TEST(DeltaApply, RejectsNameMismatch) {
+  Client client = MakeClient();
+  HostedBundle hosted = ExportAs(client, "hospital", 1);
+  DeltaBuilder builder(&client);
+  ASSERT_TRUE(builder.UpdateValues(*ParseXPath("//doctor"), "House").ok());
+  const DeltaBundle delta = builder.Build("clinic", 1);
+
+  EXPECT_EQ(ApplyDelta(&hosted, delta).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(hosted.generation, 1u);
+}
+
+TEST(DeltaApply, MalformedDeltaLeavesBundleUntouched) {
+  Client client = MakeClient();
+  HostedBundle hosted = ExportAs(client, "hospital", 1);
+  const Bytes before = ImageOf(hosted);
+
+  DeltaBundle delta;
+  delta.name = "hospital";
+  delta.base_generation = 1;
+  delta.new_generation = 2;
+  // Structurally invalid payloads a hostile or buggy owner could ship:
+  // each must fail validation with Corruption and change nothing.
+  {
+    DeltaBundle bad = delta;
+    bad.ops.push_back({SkeletonOp::kAdd, 999999, "x", "", false});
+    EXPECT_EQ(ApplyDelta(&hosted, bad).code(), StatusCode::kCorruption);
+  }
+  {
+    DeltaBundle bad = delta;
+    bad.block_puts.push_back({1000, 1, {0x01}});  // gap in the block array
+    EXPECT_EQ(ApplyDelta(&hosted, bad).code(), StatusCode::kCorruption);
+  }
+  {
+    DeltaBundle bad = delta;
+    bad.block_puts.push_back({0, 1, {0x01}});
+    bad.block_puts.push_back({0, 2, {0x02}});  // duplicate id
+    EXPECT_EQ(ApplyDelta(&hosted, bad).code(), StatusCode::kCorruption);
+  }
+  {
+    DeltaBundle bad = delta;
+    bad.dsi_removed.emplace_back("NOPE", Interval{0.1, 0.2});
+    EXPECT_EQ(ApplyDelta(&hosted, bad).code(), StatusCode::kCorruption);
+  }
+  EXPECT_EQ(ImageOf(hosted), before);
+  EXPECT_EQ(hosted.generation, 1u);
+}
+
+TEST(DeltaApply, RepeatedInsertsSurviveGapExhaustion) {
+  // ~20 inserts under the same parent drain the DSI gap budget between
+  // the existing siblings; the builder's re-interval fallback then ships
+  // replacement intervals for the enclosing subtree. Every step must
+  // keep the applied hosted image byte-identical to a fresh export.
+  Client client = MakeClient();
+  HostedBundle hosted = ExportAs(client, "hospital", 1);
+
+  for (int i = 0; i < 20; ++i) {
+    DeltaBuilder builder(&client);
+    Document fragment;
+    const NodeId root = fragment.AddRoot("patient");
+    fragment.AddLeaf(root, "SSN", "600" + std::to_string(100 + i));
+    fragment.AddLeaf(root, "pname", "P" + std::to_string(i));
+    const NodeId treat = fragment.AddChild(root, "treat");
+    fragment.AddLeaf(treat, "disease", "flu" + std::to_string(i));
+    fragment.AddLeaf(treat, "doctor", "D" + std::to_string(i));
+    fragment.AddLeaf(root, "age", std::to_string(20 + i));
+    ASSERT_TRUE(
+        builder.InsertSubtree(*ParseXPath("/hospital"), fragment).ok())
+        << i;
+    const DeltaBundle delta =
+        builder.Build("hospital", hosted.generation);
+    ASSERT_TRUE(ApplyDelta(&hosted, delta).ok()) << i;
+    ASSERT_EQ(ImageOf(hosted),
+              SerializeBundle(client.database(), client.metadata(), "hospital",
+                              hosted.generation))
+        << "diverged after insert " << i;
+  }
+  EXPECT_EQ(hosted.generation, 21u);
+}
+
+TEST(DeltaCatalog, AppliesDeltaInPlace) {
+  Client client = MakeClient();
+
+  net::BundleCatalog catalog;
+  ASSERT_TRUE(catalog.AddBundle("hospital", ExportAs(client, "hospital", 1))
+                  .ok());
+  auto before = catalog.Get("hospital");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->bundle().generation, 1u);
+
+  DeltaBuilder builder(&client);
+  ASSERT_TRUE(builder.UpdateValues(*ParseXPath("//doctor"), "House").ok());
+  const DeltaBundle delta = builder.Build("hospital", 1);
+
+  auto generation = catalog.ApplyDelta("hospital", delta);
+  ASSERT_TRUE(generation.ok()) << generation.status().ToString();
+  EXPECT_EQ(*generation, 2u);
+
+  // Pinned readers keep the old resident; new gets see the new one.
+  EXPECT_EQ((*before)->bundle().generation, 1u);
+  auto after = catalog.Get("hospital");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->bundle().generation, 2u);
+  EXPECT_NE(before->get(), after->get());
+  EXPECT_EQ(SerializeBundle((*after)->bundle().database,
+                            (*after)->bundle().metadata, "hospital", 2),
+            SerializeBundle(client.database(), client.metadata(), "hospital",
+                            2));
+
+  // Replaying the same delta is idempotent and answers the same ack.
+  auto replay = catalog.ApplyDelta("hospital", delta);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*replay, 2u);
+  auto still = catalog.Get("hospital");
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still->get(), after->get());
+
+  // A delta from a stale base is refused.
+  DeltaBuilder stale(&client);
+  ASSERT_TRUE(stale.UpdateValues(*ParseXPath("//doctor"), "Wilson").ok());
+  EXPECT_EQ(catalog.ApplyDelta("hospital", stale.Build("hospital", 9))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.ApplyDelta("ghost", stale.Build("ghost", 1))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace xcrypt

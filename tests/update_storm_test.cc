@@ -1,0 +1,332 @@
+// Update-storm end-to-end tests: an owner pushes a stream of delta
+// bundles at a live daemon while concurrent readers hammer it over TCP.
+// The contract under test is the catalog's atomic in-place apply — every
+// response a reader ever sees must correspond to exactly one committed
+// generation, never to a half-applied database — plus the wire-v5
+// invalidation push and the client block cache staying coherent across
+// updates. This is the suite the TSan configuration exists for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "das/das_system.h"
+#include "data/healthcare.h"
+#include "net/remote_engine.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "storage/serializer.h"
+#include "storage/update/delta.h"
+#include "storage/update/delta_builder.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+Document PatientFragment(int i) {
+  Document frag;
+  const NodeId p = frag.AddRoot("patient");
+  frag.AddLeaf(p, "pname", "Storm" + std::to_string(i));
+  frag.AddLeaf(p, "SSN", std::to_string(900000 + i));
+  const NodeId treat = frag.AddChild(p, "treat");
+  frag.AddLeaf(treat, "disease", "storm-flu");
+  frag.AddLeaf(treat, "doctor", "Gale");
+  return frag;
+}
+
+/// Canonical fingerprint of a server response: skeleton, every shipped
+/// block (id, generation, ciphertext), stubs, and the requery flag. Two
+/// responses with the same key are byte-identical for the client.
+std::string KeyOf(const ServerResponse& r) {
+  std::string key = r.skeleton_xml;
+  key.push_back('\x1f');
+  for (const EncryptedBlock& b : r.blocks) {
+    key += std::to_string(b.id) + ":" + std::to_string(b.generation) + ":";
+    key.append(reinterpret_cast<const char*>(b.ciphertext.data()),
+               b.ciphertext.size());
+    key.push_back('\x1e');
+  }
+  for (int id : r.cached_ids) key += "#" + std::to_string(id);
+  key.push_back(r.requires_full_requery ? '1' : '0');
+  return key;
+}
+
+/// The torn-database test: four reader threads stream naive and
+/// translated queries against the daemon while the owner pushes a mix of
+/// value updates, inserts, and deletes. Before every push the owner
+/// registers the fingerprints the NEW generation must produce (computed
+/// from its own copy of the database, which the delta tests prove
+/// byte-identical to the daemon's post-apply state); the registration
+/// happens-before the push, so any response a reader can observe — old
+/// generation or new — has its key in the set. A response matching no
+/// registered generation is a torn read.
+TEST(UpdateStorm, ConcurrentReadersNeverSeeATornDatabase) {
+  auto client = Client::Host(BuildHospital(12, 77), HealthcareConstraints(),
+                             SchemeKind::kOptimal, "storm-secret");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto bundle = DeserializeBundle(
+      SerializeBundle(client->database(), client->metadata(), "db", 1));
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  net::NetServerOptions options;
+  options.num_threads = 6;
+  options.accept_updates = true;
+  auto server =
+      net::NetServer::Serve(std::move(*bundle), "127.0.0.1", 0, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // The readers replay one fixed translated query (structural — its tag
+  // tokens stay valid across every update kind) alongside naive scans.
+  auto tq = client->Translate(*ParseXPath("//patient/pname"));
+  ASSERT_TRUE(tq.ok()) << tq.status().ToString();
+
+  std::mutex mu;
+  std::set<std::string> acceptable;
+  auto register_generation = [&]() {
+    ServerEngine engine(&client->database(), &client->metadata());
+    auto naive = engine.ExecuteNaive();
+    ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+    auto query = engine.Execute(*tq);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    std::lock_guard<std::mutex> lock(mu);
+    acceptable.insert(KeyOf(naive->response));
+    acceptable.insert(KeyOf(query->response));
+  };
+  register_generation();  // generation 1, live before any reader starts
+
+  std::atomic<bool> done{false};
+  std::atomic<long> reads{0};
+  std::atomic<int> torn{0};
+  const uint16_t port = (*server)->port();
+  auto reader = [&](bool naive_mode) {
+    auto stub = net::RemoteServerEngine::Connect("127.0.0.1", port);
+    ASSERT_TRUE(stub.ok()) << stub.status().ToString();
+    while (!done.load(std::memory_order_acquire)) {
+      auto res = naive_mode ? (*stub)->ExecuteNaive() : (*stub)->Execute(*tq);
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      const std::string key = KeyOf(res->response);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (acceptable.find(key) == acceptable.end()) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back(reader, /*naive_mode=*/i % 2 == 0);
+  }
+
+  auto owner = net::RemoteServerEngine::Connect("127.0.0.1", port);
+  ASSERT_TRUE(owner.ok()) << owner.status().ToString();
+  uint64_t generation = 1;
+  for (int i = 0; i < 9; ++i) {
+    DeltaBuilder builder(&*client);
+    switch (i % 3) {
+      case 0: {
+        auto n = builder.UpdateValues(*ParseXPath("//doctor"),
+                                      "Doc" + std::to_string(i));
+        ASSERT_TRUE(n.ok()) << n.status().ToString();
+        break;
+      }
+      case 1: {
+        ASSERT_TRUE(
+            builder.InsertSubtree(*ParseXPath("/hospital"), PatientFragment(i))
+                .ok());
+        break;
+      }
+      default: {
+        // Deletes the patient inserted by the previous round.
+        auto n = builder.DeleteSubtrees(*ParseXPath(
+            "//patient[pname=\"Storm" + std::to_string(i - 1) + "\"]"));
+        ASSERT_TRUE(n.ok()) << n.status().ToString();
+        EXPECT_EQ(*n, 1);
+        break;
+      }
+    }
+    const DeltaBundle delta = builder.Build("db", generation);
+    register_generation();  // new state acceptable BEFORE it can publish
+    auto pushed = (*owner)->PushDelta(SerializeDelta(delta));
+    ASSERT_TRUE(pushed.ok()) << pushed.status().ToString();
+    EXPECT_EQ(*pushed, generation + 1);
+    generation = *pushed;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0) << "a reader observed a torn database";
+  EXPECT_GT(reads.load(), 0);
+
+  // The daemon's final resident state answers byte-identically to the
+  // owner's local copy.
+  ServerEngine final_engine(&client->database(), &client->metadata());
+  auto local = final_engine.ExecuteNaive();
+  auto remote = (*owner)->ExecuteNaive();
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(KeyOf(local->response), KeyOf(remote->response));
+}
+
+/// Warm-cache coherence at the DasSystem level: queries run remotely
+/// with the block cache advertising decrypted blocks; every update is
+/// pushed as a delta; the warm-cache answers after each push must match
+/// ground truth exactly — a stale cache entry surviving an invalidation
+/// would surface here as a wrong (old-plaintext) answer.
+TEST(UpdateStorm, WarmCacheAnswersStayByteIdenticalAcrossUpdates) {
+  auto das = DasSystem::Host(BuildHealthcareSample(), HealthcareConstraints(),
+                             SchemeKind::kOptimal, "storm-warm");
+  ASSERT_TRUE(das.ok()) << das.status().ToString();
+
+  auto bundle = das->ExportBundle("db");
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  net::NetServerOptions options;
+  options.accept_updates = true;
+  auto server =
+      net::NetServer::Serve(std::move(*bundle), "127.0.0.1", 0, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_TRUE(
+      das->Remote().Connect("127.0.0.1", (*server)->port(), "db").ok());
+
+  const std::vector<std::string> queries = {
+      "//patient/pname",
+      "//doctor",
+      "/hospital/patient/SSN",
+      "//patient[pname=\"Betty\"]/SSN",
+  };
+  auto check_all = [&](const std::string& label) {
+    for (const std::string& q : queries) {
+      auto run = das->Execute(q);
+      ASSERT_TRUE(run.ok()) << label << " " << q << ": "
+                            << run.status().ToString();
+      EXPECT_EQ(run->answer.SerializedSorted(),
+                GroundTruth(das->client().original(), *ParseXPath(q))
+                    .SerializedSorted())
+          << label << " " << q;
+    }
+  };
+
+  check_all("cold");
+  check_all("warm");  // second pass runs off the populated block cache
+
+  auto updated = das->UpdateValues("//patient[pname=\"Matt\"]/treat/disease",
+                                   "influenza");
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(das->bundle_generation(), 2u);
+  check_all("after value update");
+
+  ASSERT_TRUE(das->InsertSubtree("/hospital", PatientFragment(1)).ok());
+  check_all("after insert");
+
+  auto deleted = das->DeleteSubtrees("//patient[pname=\"Storm1\"]");
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_EQ(*deleted, 1);
+  check_all("after delete");
+
+  ASSERT_TRUE(das->UpdateValues("//doctor", "Updated").ok());
+  EXPECT_EQ(das->bundle_generation(), 5u);
+  check_all("after second value update");
+
+  // The acceptance bar: warm-cache remote answers are byte-identical to
+  // a from-scratch re-encrypt of the same plaintext evaluated in
+  // process (fresh keys, fresh blocks — only the answers must agree).
+  auto fresh = DasSystem::Host(das->client().original(),
+                               HealthcareConstraints(), SchemeKind::kOptimal,
+                               "fresh-secret");
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  for (const std::string& q : queries) {
+    auto warm = das->Execute(q);
+    auto scratch = fresh->Execute(q);
+    ASSERT_TRUE(warm.ok()) << q;
+    ASSERT_TRUE(scratch.ok()) << q;
+    EXPECT_EQ(warm->answer.SerializedSorted(),
+              scratch->answer.SerializedSorted())
+        << q;
+  }
+}
+
+/// Wire-v5 push delivery: a second, idle session must receive the
+/// invalidation event for a delta pushed by another session — the daemon
+/// nudges idle v5 readers off their read wait and flushes the event in
+/// front of their next reply.
+TEST(UpdateStorm, InvalidationEventsReachOtherSessions) {
+  auto client = Client::Host(BuildHealthcareSample(), HealthcareConstraints(),
+                             SchemeKind::kOptimal, "storm-inv");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto bundle = DeserializeBundle(
+      SerializeBundle(client->database(), client->metadata(), "db", 1));
+  ASSERT_TRUE(bundle.ok());
+  net::NetServerOptions options;
+  options.accept_updates = true;
+  auto server =
+      net::NetServer::Serve(std::move(*bundle), "127.0.0.1", 0, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto owner = net::RemoteServerEngine::Connect("127.0.0.1", (*server)->port());
+  auto observer =
+      net::RemoteServerEngine::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(owner.ok());
+  ASSERT_TRUE(observer.ok());
+
+  std::vector<net::InvalidationEventMsg> events;
+  (*observer)->SetInvalidationSink(
+      [&](const net::InvalidationEventMsg& event) { events.push_back(event); });
+  ASSERT_TRUE((*observer)->Ping().ok());  // session established at v5
+
+  // `disease` is encrypted under kOptimal, so this edit re-encrypts
+  // blocks and the event must carry their adverts (a public-tag edit
+  // would legitimately ship an empty list: only the generation moves).
+  DeltaBuilder builder(&*client);
+  auto n = builder.UpdateValues(*ParseXPath("//disease"), "Pushed");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  ASSERT_GT(*n, 0);
+  auto pushed = (*owner)->PushDelta(SerializeDelta(builder.Build("db", 1)));
+  ASSERT_TRUE(pushed.ok()) << pushed.status().ToString();
+  EXPECT_EQ(*pushed, 2u);
+
+  // The event is written to the observer's socket by the idle-wake path
+  // (or, at the latest, flushed in front of a reply); drain via pings.
+  for (int i = 0; i < 10 && events.empty(); ++i) {
+    ASSERT_TRUE((*observer)->Ping().ok());
+  }
+  ASSERT_FALSE(events.empty()) << "invalidation never reached the session";
+  EXPECT_EQ(events[0].db, "db");
+  EXPECT_EQ(events[0].db_generation, 2u);
+  EXPECT_TRUE(events[0].drop_all || !events[0].blocks.empty());
+  if (!events[0].drop_all) {
+    // The pushed delta re-encrypted at least one block; its new
+    // generation rides in the advert.
+    for (const BlockAdvert& advert : events[0].blocks) {
+      EXPECT_GT(advert.generation, 0u);
+    }
+  }
+
+  // The pusher's own session does not get its update echoed back as a
+  // stale-block event before its next request either way — but a second
+  // push must keep the observer current.
+  DeltaBuilder second(&*client);
+  ASSERT_TRUE(second.UpdateValues(*ParseXPath("//disease"), "Again").ok());
+  auto pushed2 = (*owner)->PushDelta(SerializeDelta(second.Build("db", 2)));
+  ASSERT_TRUE(pushed2.ok());
+  const size_t before = events.size();
+  for (int i = 0; i < 10 && events.size() == before; ++i) {
+    ASSERT_TRUE((*observer)->Ping().ok());
+  }
+  ASSERT_GT(events.size(), before);
+  EXPECT_EQ(events.back().db_generation, 3u);
+}
+
+}  // namespace
+}  // namespace xcrypt
