@@ -1,16 +1,22 @@
-// Microbenchmark for the laminar-forest structural-join rewrite: the three
-// join kernels timed on random strictly-laminar interval families of
-// 10^2..10^5 members, legacy (pre-forest, quadratic/cubic scan) path vs the
-// forest path. The legacy child-axis join scanned the whole universe per
+// Microbenchmark for the structural-join pipeline: the join kernels timed
+// on random strictly-laminar interval families of 10^2..10^6 members —
+// legacy (pre-forest, quadratic/cubic scan) path vs the struct-of-arrays /
+// galloping path. The legacy child-axis join scanned the whole universe per
 // (candidate, parent) pair — O(|cand| * |universe|) with a sizable constant
-// — so it is skipped at 10^5 where one trial would take minutes; the rows
-// still carry the forest timing there.
+// — so it is skipped past 10^4 where one trial would take minutes; the rows
+// still carry the fast-path timing there.
+//
+// Each row also reports the kernel's output size ("output"): the join
+// costs are output-dominated once the inputs are sorted, so pair_join in
+// particular is only meaningful next to its pair count.
 //
 // Emits BENCH_structural_join.json (array of rows, one per kernel x size)
 // into the working directory.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -22,8 +28,8 @@ namespace xcrypt {
 namespace {
 
 // --- Legacy kernels (the pre-forest implementations, kept verbatim as the
-// --- baseline under test; the differential suite proves the forest path
-// --- byte-identical to these on laminar inputs) ---------------------------
+// --- baseline under test; the differential suite proves the fast path
+// --- result-identical to these on laminar inputs) -------------------------
 
 std::vector<Interval> LegacyFilterAncestors(
     const std::vector<Interval>& ancestors,
@@ -84,33 +90,57 @@ std::vector<std::pair<int, int>> LegacyPairJoin(
 
 // --- Input generation -----------------------------------------------------
 
-/// Random strictly-nested family inside `span` (distinct cut points, so no
-/// two members share an endpoint — the DSI laminar shape of Thm. 5.1).
-void GrowLaminar(Rng& rng, const Interval& span, int depth,
-                 std::vector<Interval>* out) {
-  out->push_back(span);
-  if (depth <= 0) return;
-  const int children = static_cast<int>(rng.UniformU64(0, 4));
-  if (children == 0) return;
-  const std::vector<double> cuts =
-      rng.DistinctSortedDoubles(2 * children, span.min, span.max);
-  for (int i = 0; i < children; ++i) {
-    GrowLaminar(rng, {cuts[2 * i], cuts[2 * i + 1]}, depth - 1, out);
-  }
-}
-
+/// One genuinely laminar family of exactly `target` members: a random
+/// recursive tree (node i attaches under a uniformly random earlier node,
+/// depth ~2 ln n — the shape of a real document) whose interval endpoints
+/// come from a DFS tick counter on a uniform 1/(2n) grid. Every endpoint
+/// is a distinct grid multiple, so nesting is strict and no span ever
+/// degenerates below double granularity — recursive geometric splitting
+/// does at ~17 significant digits, where DistinctSortedDoubles cannot
+/// produce a point strictly inside the span and spins forever.
+///
+/// The previous generator spliced independently grown trees under one
+/// shared root; their top-level spans overlapped each other — NOT laminar —
+/// which silently violated the kernels' input contract and sent the old
+/// pair_join superlinear for the wrong reason.
 std::vector<Interval> MakeUniverse(Rng& rng, int target) {
-  std::vector<Interval> family;
-  while (static_cast<int>(family.size()) < target) {
-    std::vector<Interval> tree;
-    GrowLaminar(rng, {0.0, 1.0}, 9, &tree);
-    // Keep one shared root; splice additional trees below it.
-    const size_t skip = family.empty() ? 0 : 1;
-    family.insert(family.end(), tree.begin() + skip, tree.end());
+  std::vector<std::vector<int>> kids(target);
+  for (int i = 1; i < target; ++i) {
+    kids[static_cast<int>(rng.UniformU64(0, i - 1))].push_back(i);
   }
-  family.resize(target);
+
+  std::vector<Interval> family(target);
+  const double scale = 1.0 / (2.0 * target);
+  int tick = 0;
+  std::vector<std::pair<int, int>> stack;  // (node, next-child cursor)
+  family[0].min = tick++ * scale;
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    auto& top = stack.back();
+    const int node = top.first;
+    if (top.second < static_cast<int>(kids[node].size())) {
+      const int child = kids[node][top.second++];
+      family[child].min = tick++ * scale;
+      stack.push_back({child, 0});  // invalidates `top`; done with it
+    } else {
+      family[node].max = tick++ * scale;
+      stack.pop_back();
+    }
+  }
   std::sort(family.begin(), family.end());
-  family.erase(std::unique(family.begin(), family.end()), family.end());
+
+  // Self-check: one stack pass proving pairwise nested-or-disjoint. The
+  // kernels' contracts start here — fail loudly rather than bench a
+  // broken input.
+  std::vector<Interval> nest;
+  for (const Interval& iv : family) {
+    while (!nest.empty() && nest.back().max < iv.min) nest.pop_back();
+    if (!nest.empty() && iv.max > nest.back().max) {
+      std::fprintf(stderr, "MakeUniverse bug: non-laminar universe\n");
+      std::abort();
+    }
+    nest.push_back(iv);
+  }
   return family;
 }
 
@@ -146,15 +176,15 @@ int main() {
   using namespace xcrypt;
   using namespace xcrypt::bench;
 
-  PrintHeader("Structural-join kernels: legacy scan vs laminar forest");
-  std::printf("%-16s %9s %7s %12s %12s %9s\n", "kernel", "universe", "cands",
-              "legacy/us", "forest/us", "speedup");
+  PrintHeader("Structural-join kernels: legacy scan vs SoA/galloping path");
+  std::printf("%-16s %9s %7s %9s %12s %12s %9s\n", "kernel", "universe",
+              "cands", "output", "legacy/us", "forest/us", "speedup");
   PrintRule();
 
   // Legacy child join is O(|cand| * |universe|); past 1e4 one trial takes
-  // minutes, so the 1e5 row reports the forest path only.
+  // minutes, so larger rows report the fast path only.
   constexpr int kLegacyCutoff = 10000;
-  const int kSizes[] = {100, 1000, 10000, 100000};
+  const int kSizes[] = {100, 1000, 10000, 100000, 1000000};
 
   std::vector<std::string> rows;
   for (int n : kSizes) {
@@ -162,7 +192,7 @@ int main() {
     const std::vector<Interval> universe = MakeUniverse(rng, n);
     const std::vector<Interval> parents = SampleOf(rng, universe, 0.10);
     const std::vector<Interval> cand = SampleOf(rng, universe, 0.30);
-    const int trials = n >= 10000 ? 3 : 5;
+    const int trials = n >= 1000000 ? 2 : (n >= 10000 ? 3 : 5);
     const bool run_legacy = n <= kLegacyCutoff;
 
     // Forest construction cost is paid once per hosted database (engine
@@ -173,12 +203,15 @@ int main() {
 
     struct Row {
       const char* kernel;
+      size_t output;
       double legacy_us;
       double forest_us;
     };
     std::vector<Row> kernel_rows;
 
     {
+      const size_t output =
+          StructuralJoin::FilterChildren(parents, cand, forest).size();
       const double fast = TimeUs(
           [&] { StructuralJoin::FilterChildren(parents, cand, forest); },
           trials);
@@ -187,41 +220,46 @@ int main() {
               ? TimeUs([&] { LegacyFilterChildren(parents, cand, universe); },
                        trials)
               : -1.0;
-      kernel_rows.push_back({"filter_children", legacy, fast});
+      kernel_rows.push_back({"filter_children", output, legacy, fast});
     }
     {
+      const size_t output =
+          StructuralJoin::FilterAncestors(parents, cand).size();
       const double fast = TimeUs(
           [&] { StructuralJoin::FilterAncestors(parents, cand); }, trials);
       const double legacy =
           run_legacy
               ? TimeUs([&] { LegacyFilterAncestors(parents, cand); }, trials)
               : -1.0;
-      kernel_rows.push_back({"filter_ancestors", legacy, fast});
+      kernel_rows.push_back({"filter_ancestors", output, legacy, fast});
     }
     {
+      const size_t output = StructuralJoin::PairJoin(parents, cand).size();
       const double fast =
           TimeUs([&] { StructuralJoin::PairJoin(parents, cand); }, trials);
       const double legacy =
           run_legacy ? TimeUs([&] { LegacyPairJoin(parents, cand); }, trials)
                      : -1.0;
-      kernel_rows.push_back({"pair_join", legacy, fast});
+      kernel_rows.push_back({"pair_join", output, legacy, fast});
     }
 
     for (const Row& r : kernel_rows) {
       if (r.legacy_us >= 0.0) {
-        std::printf("%-16s %9zu %7zu %12.1f %12.1f %8.1fx\n", r.kernel,
-                    universe.size(), cand.size(), r.legacy_us, r.forest_us,
+        std::printf("%-16s %9zu %7zu %9zu %12.1f %12.1f %8.1fx\n", r.kernel,
+                    universe.size(), cand.size(), r.output, r.legacy_us,
+                    r.forest_us,
                     r.forest_us > 0 ? r.legacy_us / r.forest_us : 0.0);
       } else {
-        std::printf("%-16s %9zu %7zu %12s %12.1f %9s\n", r.kernel,
-                    universe.size(), cand.size(), "(skipped)", r.forest_us,
-                    "-");
+        std::printf("%-16s %9zu %7zu %9zu %12s %12.1f %9s\n", r.kernel,
+                    universe.size(), cand.size(), r.output, "(skipped)",
+                    r.forest_us, "-");
       }
       JsonObj obj;
       obj.Add("kernel", std::string(r.kernel))
           .Add("universe", static_cast<int>(universe.size()))
           .Add("parents", static_cast<int>(parents.size()))
           .Add("candidates", static_cast<int>(cand.size()))
+          .Add("output", static_cast<int>(r.output))
           .Add("forest_build_us", build_us)
           .Add("forest_us", r.forest_us);
       if (r.legacy_us >= 0.0) {
@@ -232,8 +270,8 @@ int main() {
       }
       rows.push_back(obj.Str());
     }
-    std::printf("%-16s %9zu %7s %12s %12.1f %9s\n", "forest_build",
-                universe.size(), "-", "-", build_us, "-");
+    std::printf("%-16s %9zu %7s %9s %12s %12.1f %9s\n", "forest_build",
+                universe.size(), "-", "-", "-", build_us, "-");
   }
 
   WriteJsonFile("BENCH_structural_join.json", JsonArray(rows));

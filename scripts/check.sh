@@ -16,7 +16,8 @@
 # incremental-update suite (delta format fuzzing, WAL replay, the
 # concurrent update-storm e2e) must pass standalone in every build —
 # under TSan this is the run that proves readers never see a torn
-# database mid-apply.
+# database mid-apply. The plain build also gates on `ctest -L perfsmoke`
+# (structural-join timing bound; meaningless under instrumentation).
 
 set -euo pipefail
 
@@ -37,6 +38,14 @@ run_build() {
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${CTEST_ARGS})
   echo "==> [${name}] ctest -L update"
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -L update)
+  if [ "${name}" = plain ]; then
+    # Perf-smoke gate: the structural-join fast path must stay
+    # output-linear (pair_join at 1e5 intervals within its time bound).
+    # Serial — a timing assertion must not share the machine with other
+    # tests. Sanitizer builds compile the skip in, so only plain gates.
+    echo "==> [${name}] ctest -L perfsmoke"
+    (cd "${dir}" && ctest --output-on-failure -L perfsmoke)
+  fi
   echo "==> [${name}] OK"
 }
 

@@ -57,6 +57,40 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
   AggregateResponse response;
   response.kind = kind;
 
+  // Plan-cache probe (same protocol as Execute): the cacheable outcome is
+  // either a server-computed value or the ship roots feeding assembly;
+  // assembly itself re-runs because it depends on the caller's advertised
+  // block cache. The aggregate kind and index token join the key — the
+  // same path shape drives different pipelines per kind.
+  const std::string plan_key = std::string("agg|") + AggregateKindName(kind) +
+                               "|" + index_token + "|g" +
+                               std::to_string(data_generation_) + "|" +
+                               PlanShapeKey(query);
+  if (std::shared_ptr<const CachedPlan> plan = plan_cache_.Lookup(plan_key)) {
+    if (plan_hit_ != nullptr) plan_hit_->Add();
+    { obs::Span cached(trace, "plan-cache"); }
+    if (plan->computed_on_server) {
+      response.computed_on_server = true;
+      response.server_value = plan->server_value;
+    } else {
+      obs::Span assemble(trace, "assemble");
+      response.payload = AssembleResponse(
+          plan->ship_roots, plan->requires_full_requery, cached_blocks);
+    }
+    return finish(std::move(response));
+  }
+  if (plan_miss_ != nullptr) plan_miss_->Add();
+  auto remember = [&](const AggregateResponse& computed,
+                      std::vector<Interval> ship_roots,
+                      bool requires_full_requery) {
+    auto plan = std::make_shared<CachedPlan>();
+    plan->ship_roots = std::move(ship_roots);
+    plan->requires_full_requery = requires_full_requery;
+    plan->computed_on_server = computed.computed_on_server;
+    plan->server_value = computed.server_value;
+    plan_cache_.Insert(plan_key, std::move(plan));
+  };
+
   bool conservative = false;
   auto lists_result = ForwardPass(query.steps, {}, /*from_document_root=*/true,
                                   &conservative, ctx);
@@ -69,6 +103,7 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
                              kind == AggregateKind::kSum)
                                 ? "0"
                                 : "";
+    remember(response, {}, false);
     return finish(std::move(response));
   }
 
@@ -114,10 +149,12 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
             break;
           }
         }
+        remember(response, {}, false);
         return finish(std::move(response));
       }
     }
     // Mixed/conservative public case: ship the target subtrees.
+    remember(response, targets, conservative);
     {
       obs::Span assemble(trace, "assemble");
       response.payload = AssembleResponse(targets, /*requires_full_requery=*/
@@ -170,9 +207,11 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
     opess.End();
     if (extreme_block < 0) {
       response.computed_on_server = true;
+      remember(response, {}, false);
       return finish(std::move(response));
     }
     const Interval* rep = meta_->block_table.RepresentativeOf(extreme_block);
+    remember(response, {*rep}, false);
     {
       obs::Span assemble(trace, "assemble");
       response.payload =
@@ -193,6 +232,7 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
     }
     ship = std::move(prev);
   }
+  remember(response, ship, conservative);
   {
     obs::Span assemble(trace, "assemble");
     response.payload = AssembleResponse(ship, conservative, cached_blocks);

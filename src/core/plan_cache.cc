@@ -1,0 +1,146 @@
+#include "core/plan_cache.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+namespace xcrypt {
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(
+    const std::string& key) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.last_used->store(tick_.fetch_add(1, std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.plan;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const CachedPlan> plan) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.plan = std::move(plan);
+    it->second.last_used->store(tick_.fetch_add(1, std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+    return;
+  }
+  if (entries_.size() >= capacity_) EvictDownToLocked(capacity_ - 1);
+  Entry entry;
+  entry.plan = std::move(plan);
+  entry.last_used = std::make_unique<std::atomic<uint64_t>>(
+      tick_.fetch_add(1, std::memory_order_relaxed));
+  entries_.emplace(key, std::move(entry));
+}
+
+void PlanCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_.clear();
+}
+
+void PlanCache::SetCapacity(size_t capacity) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  capacity_ = capacity;
+  EvictDownToLocked(capacity_);
+}
+
+PlanCacheStats PlanCache::Stats() const {
+  PlanCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  stats.entries = entries_.size();
+  return stats;
+}
+
+void PlanCache::EvictDownToLocked(size_t target) {
+  // Capacity is small (hundreds); a scan per eviction beats maintaining an
+  // intrusive LRU list under the shared/exclusive split.
+  while (entries_.size() > target) {
+    auto victim = entries_.begin();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      const uint64_t used = it->second.last_used->load(
+          std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = it;
+      }
+    }
+    entries_.erase(victim);
+  }
+}
+
+namespace {
+
+void AppendSteps(const std::vector<TranslatedStep>& steps, std::string* out);
+
+void AppendPredicate(const TranslatedPredicate& pred, std::string* out) {
+  out->push_back('[');
+  switch (pred.kind) {
+    case TranslatedPredicate::Kind::kExists:
+      out->push_back('e');
+      break;
+    case TranslatedPredicate::Kind::kPlainValue:
+      out->push_back('v');
+      out->append(CompOpSymbol(pred.op));
+      out->push_back('\x1f');
+      out->append(pred.literal);
+      break;
+    case TranslatedPredicate::Kind::kIndexRange:
+      out->push_back('r');
+      out->append(pred.index_token);
+      out->push_back('\x1f');
+      out->append(std::to_string(pred.range.lo));
+      out->push_back(':');
+      out->append(std::to_string(pred.range.hi));
+      if (pred.range.empty) out->push_back('0');
+      break;
+  }
+  out->push_back(';');
+  AppendSteps(pred.path, out);
+  out->push_back(']');
+}
+
+void AppendSteps(const std::vector<TranslatedStep>& steps, std::string* out) {
+  for (const TranslatedStep& step : steps) {
+    out->append(step.axis == Axis::kDescendant ? "//" : "/");
+    if (step.wildcard) out->push_back('*');
+    std::vector<std::string> tokens = step.tokens;
+    std::sort(tokens.begin(), tokens.end());
+    for (const std::string& t : tokens) {
+      out->append(t);
+      out->push_back('|');
+    }
+    if (step.predicates.empty()) continue;
+    std::vector<std::string> rendered;
+    rendered.reserve(step.predicates.size());
+    for (const TranslatedPredicate& pred : step.predicates) {
+      std::string r;
+      AppendPredicate(pred, &r);
+      rendered.push_back(std::move(r));
+    }
+    std::sort(rendered.begin(), rendered.end());
+    for (const std::string& r : rendered) out->append(r);
+  }
+}
+
+}  // namespace
+
+std::string PlanShapeKey(const TranslatedQuery& query) {
+  std::string key;
+  AppendSteps(query.steps, &key);
+  return key;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,101 @@
+#ifndef XCRYPT_CORE_PLAN_CACHE_H_
+#define XCRYPT_CORE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/translated_query.h"
+#include "index/dsi.h"
+
+namespace xcrypt {
+
+/// The replayable part of one evaluated query: everything Execute derives
+/// *before* response assembly. Assembly itself always re-runs — it is
+/// cheap relative to the join pipeline and depends on per-call state (the
+/// client's advertised block cache), while the pruned interval lists below
+/// depend only on the query shape and the database contents.
+struct CachedPlan {
+  /// Back-pruned output-step roots, ready for AssembleResponse.
+  std::vector<Interval> ship_roots;
+  bool requires_full_requery = false;
+
+  /// Aggregate-only: the server computed the final value itself.
+  bool computed_on_server = false;
+  std::string server_value;
+};
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  size_t entries = 0;
+};
+
+/// Bounded, thread-safe plan cache mapping a normalized query-shape key to
+/// an immutable CachedPlan. Readers take a shared lock (concurrent lookups
+/// never serialize each other); insertion takes the exclusive lock and
+/// evicts the least-recently-used entry once at capacity. Values are
+/// shared_ptr-to-const so a hit stays valid even if the entry is evicted
+/// mid-use.
+///
+/// Invalidation is the owner's job: the engine holding the cache clears it
+/// whenever the underlying data generation moves (see
+/// ServerEngine::SetDataGeneration), and keys embed that generation so a
+/// stale plan can never satisfy a lookup issued after an update.
+class PlanCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// Returns the cached plan or nullptr; counts a hit/miss either way.
+  std::shared_ptr<const CachedPlan> Lookup(const std::string& key) const;
+
+  /// Inserts (or overwrites) `plan` under `key`. No-op when disabled
+  /// (capacity 0).
+  void Insert(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+
+  /// Drops every entry; hit/miss counters keep running.
+  void Clear();
+
+  /// Resizes the cache (0 disables it and drops everything). Shrinking
+  /// evicts oldest-first until the new capacity fits.
+  void SetCapacity(size_t capacity);
+
+  PlanCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedPlan> plan;
+    /// Logical LRU clock value at last touch; boxed so shared-lock readers
+    /// can bump it without the exclusive lock.
+    std::unique_ptr<std::atomic<uint64_t>> last_used;
+  };
+
+  void EvictDownToLocked(size_t target);
+
+  mutable std::shared_mutex mu_;
+  size_t capacity_;  ///< guarded by mu_
+  std::unordered_map<std::string, Entry> entries_;  ///< guarded by mu_
+  mutable std::atomic<uint64_t> tick_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+/// Canonical rendering of a translated query's *shape* for plan-cache
+/// keying: per step the axis, the sorted token list, the wildcard flag,
+/// and the recursively normalized predicates, themselves sorted so
+/// predicate order (which does not affect semantics — predicates conjoin)
+/// does not fragment the cache. Two queries get the same key iff they
+/// drive the join pipeline identically.
+std::string PlanShapeKey(const TranslatedQuery& query);
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_CORE_PLAN_CACHE_H_

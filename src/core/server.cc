@@ -1,9 +1,12 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <map>
+#include <mutex>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "index/structural_join.h"
 #include "xml/parser.h"
@@ -36,6 +39,13 @@ int ParseBlockId(const std::string& text) {
   return value;
 }
 
+/// Candidate count from which the predicate batch fans its re-chains out
+/// over the shared pool.
+constexpr int kBatchParallelCutoff = 16;
+
+/// Ship-root count from which response marking fans out.
+constexpr size_t kAssembleParallelCutoff = 64;
+
 }  // namespace
 
 ServerEngine::ServerEngine(const EncryptedDatabase* db, const Metadata* meta)
@@ -63,14 +73,19 @@ ServerEngine::ServerEngine(const EncryptedDatabase* db, const Metadata* meta)
 
 const std::vector<Interval>& ServerEngine::RangeProbeReps(
     const std::string& token, int64_t lo, int64_t hi) const {
-  // Serialized so concurrent sessions of the network daemon can share one
-  // engine. Returned references stay valid after unlock: map nodes are
-  // stable and an entry is never mutated once inserted.
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  // Returned references stay valid after unlock: map nodes are stable and
+  // an entry is never mutated once inserted. The hot case — the same
+  // predicate re-probed from every thread of a parallel batch — takes only
+  // the shared lock.
   const auto key = std::make_tuple(token, lo, hi);
-  auto it = range_probe_cache_.find(key);
-  if (it != range_probe_cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = range_probe_cache_.find(key);
+    if (it != range_probe_cache_.end()) return it->second;
+  }
 
+  // Compute outside any lock (the B-tree scan is read-only); racing
+  // computations are idempotent and the first insert wins.
   std::vector<Interval> reps;
   auto tree_it = meta_->value_indexes.find(token);
   if (tree_it != meta_->value_indexes.end()) {
@@ -86,7 +101,25 @@ const std::vector<Interval>& ServerEngine::RangeProbeReps(
       if (rep != nullptr) reps.push_back(*rep);
     }
   }
-  return range_probe_cache_.emplace(key, std::move(reps)).first->second;
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  return range_probe_cache_.try_emplace(key, std::move(reps)).first->second;
+}
+
+void ServerEngine::SetDataGeneration(uint64_t generation) {
+  if (generation == data_generation_) return;
+  data_generation_ = generation;
+  plan_cache_.Clear();
+}
+
+void ServerEngine::SetMetricsRegistry(obs::MetricsRegistry* registry) {
+  plan_hit_ = registry == nullptr ? nullptr
+                                  : registry->GetCounter("plan_cache.hit");
+  plan_miss_ = registry == nullptr ? nullptr
+                                   : registry->GetCounter("plan_cache.miss");
+}
+
+void ServerEngine::SetPlanCacheCapacity(size_t capacity) {
+  plan_cache_.SetCapacity(capacity);
 }
 
 const std::vector<Interval>& ServerEngine::Universe() const {
@@ -192,17 +225,55 @@ std::vector<char> ServerEngine::BatchCheckPredicate(
   const std::vector<std::vector<Interval>>& shared = *shared_result;
   if (shared.empty() || shared.back().empty()) return pass;
 
-  for (size_t i = 0; i < candidates.size(); ++i) {
+  // Per-step join indexes, built once for the whole batch: every candidate
+  // re-chains through the same shared pruned lists, so pre-sorting them
+  // into the struct-of-arrays view (descendant axis) and pre-grouping them
+  // by innermost enclosing parent (child axis) turns each re-chain step
+  // into a pair of galloping searches / one group lookup instead of a
+  // copy-sort-scan of the whole list per candidate.
+  struct StepIndex {
+    std::unique_ptr<SortedIntervalList> desc;
+    std::unique_ptr<ChildGroups> child;
+  };
+  std::vector<StepIndex> index(shared.size());
+  for (size_t k = 0; k < shared.size(); ++k) {
+    if (pred.path[k].axis == Axis::kDescendant) {
+      index[k].desc = std::make_unique<SortedIntervalList>(shared[k]);
+    } else {
+      index[k].child = std::make_unique<ChildGroups>(shared[k], forest_);
+    }
+  }
+
+  // Candidates are independent (the chains only read the shared indexes,
+  // the forest, and the memoized range probes); conservative verdicts are
+  // collected per candidate and folded after the parallel section so the
+  // out-parameter never races.
+  const int n = static_cast<int>(candidates.size());
+  std::vector<char> cons(candidates.size(), 0);
+  auto check = [&](int i) {
     std::vector<Interval> cur = {candidates[i]};
     for (size_t k = 0; k < shared.size() && !cur.empty(); ++k) {
-      if (pred.path[k].axis == Axis::kDescendant) {
-        cur = StructuralJoin::FilterDescendants(cur, shared[k]);
+      if (index[k].desc != nullptr) {
+        cur = StructuralJoin::FilterDescendants(cur, *index[k].desc);
       } else {
-        cur = StructuralJoin::FilterChildren(cur, shared[k], forest_);
+        cur = StructuralJoin::FilterChildren(cur, *index[k].child, forest_);
       }
     }
-    if (cur.empty()) continue;
-    pass[i] = PredicateKindHolds(candidates[i], pred, cur, conservative);
+    if (cur.empty()) return;
+    bool local_cons = false;
+    pass[i] = PredicateKindHolds(candidates[i], pred, cur, &local_cons);
+    if (local_cons) cons[i] = 1;
+  };
+  if (n >= kBatchParallelCutoff) {
+    ThreadPool::Shared().ParallelFor(n, check);
+  } else {
+    for (int i = 0; i < n; ++i) check(i);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (cons[i] != 0) {
+      *conservative = true;
+      break;
+    }
   }
   return pass;
 }
@@ -286,6 +357,30 @@ Result<EngineQueryResult> ServerEngine::Execute(
   obs::Span server_span(trace, "server");
   const int server_id = server_span.id();
 
+  // Plan-cache probe: a repeated query shape against the same data
+  // generation replays its back-pruned ship roots straight into response
+  // assembly (which must re-run — it depends on the caller's advertised
+  // block cache), skipping the entire join pipeline.
+  const std::string plan_key =
+      "q|g" + std::to_string(data_generation_) + "|" + PlanShapeKey(query);
+  if (std::shared_ptr<const CachedPlan> plan = plan_cache_.Lookup(plan_key)) {
+    if (plan_hit_ != nullptr) plan_hit_->Add();
+    { obs::Span cached(trace, "plan-cache"); }
+    EngineQueryResult out;
+    if (!plan->ship_roots.empty()) {
+      obs::Span assemble(trace, "assemble");
+      out.response = AssembleResponse(
+          plan->ship_roots, plan->requires_full_requery, cached_blocks);
+    }
+    server_span.End();
+    out.stats.server_process_us = watch.ElapsedMicros();
+    if (trace != nullptr) {
+      out.stats.server_phases = trace->ChildPhaseTotals(server_id);
+    }
+    return out;
+  }
+  if (plan_miss_ != nullptr) plan_miss_->Add();
+
   bool conservative = false;
   auto lists_result = ForwardPass(query.steps, {}, /*from_document_root=*/true,
                                   &conservative, ctx);
@@ -294,18 +389,26 @@ Result<EngineQueryResult> ServerEngine::Execute(
 
   EngineQueryResult out;
   std::vector<Interval> ship_roots = lists.back();
-  if (!ship_roots.empty()) {
-    if (conservative) {
-      // Some predicate could not be attributed server-side; back-prune to
-      // the first step's surviving matches and ship their whole subtrees so
-      // the client can re-apply the full query.
-      obs::Span backprune(trace, "structural-join");
-      std::vector<Interval> prev = ship_roots;
-      for (size_t k = lists.size() - 1; k-- > 0;) {
-        prev = StructuralJoin::FilterAncestors(lists[k], prev);
-      }
-      ship_roots = std::move(prev);
+  if (!ship_roots.empty() && conservative) {
+    // Some predicate could not be attributed server-side; back-prune to
+    // the first step's surviving matches and ship their whole subtrees so
+    // the client can re-apply the full query.
+    obs::Span backprune(trace, "structural-join");
+    std::vector<Interval> prev = ship_roots;
+    for (size_t k = lists.size() - 1; k-- > 0;) {
+      prev = StructuralJoin::FilterAncestors(lists[k], prev);
     }
+    ship_roots = std::move(prev);
+  }
+  {
+    // Only successful evaluations are cached (an error/deadline path never
+    // reaches here); empty results are plans too.
+    auto plan = std::make_shared<CachedPlan>();
+    plan->ship_roots = ship_roots;
+    plan->requires_full_requery = conservative;
+    plan_cache_.Insert(plan_key, std::move(plan));
+  }
+  if (!ship_roots.empty()) {
     obs::Span assemble(trace, "assemble");
     out.response = AssembleResponse(ship_roots, conservative, cached_blocks);
   }
@@ -321,18 +424,23 @@ ServerResponse ServerEngine::AssembleResponse(
     const std::vector<Interval>& ship_roots, bool requires_full_requery,
     const std::vector<BlockAdvert>* cached_blocks) const {
   const Document& skeleton = db_->skeleton;
-  std::vector<bool> include(skeleton.node_count(), false);
-  std::vector<bool> ship_block(db_->blocks.size(), false);
+  // Marking flags are relaxed atomics: the per-root marking below is
+  // idempotent (only ever 0 -> 1), so roots mark concurrently and the
+  // ParallelFor join publishes the flags to the sequential copy pass.
+  std::vector<std::atomic<uint8_t>> include(skeleton.node_count());
+  for (auto& f : include) f.store(0, std::memory_order_relaxed);
+  std::vector<std::atomic<uint8_t>> ship_block(db_->blocks.size());
+  for (auto& f : ship_block) f.store(0, std::memory_order_relaxed);
 
   auto mark_ancestors = [&](NodeId id) {
     for (NodeId p = skeleton.node(id).parent; p != kNullNode;
          p = skeleton.node(p).parent) {
-      include[p] = true;
+      include[p].store(1, std::memory_order_relaxed);
     }
   };
   auto mark_subtree = [&](NodeId id) {
     skeleton.Visit(id, [&](NodeId n) {
-      include[n] = true;
+      include[n].store(1, std::memory_order_relaxed);
       if (skeleton.node(n).tag == kBlockMarkerTag) {
         for (NodeId c : skeleton.node(n).children) {
           const Node& attr = skeleton.node(c);
@@ -341,7 +449,7 @@ ServerResponse ServerEngine::AssembleResponse(
             const int id_val = ParseBlockId(attr.value);
             if (id_val >= 0 &&
                 static_cast<size_t>(id_val) < ship_block.size()) {
-              ship_block[id_val] = true;
+              ship_block[id_val].store(1, std::memory_order_relaxed);
             }
           }
         }
@@ -349,7 +457,8 @@ ServerResponse ServerEngine::AssembleResponse(
     });
   };
 
-  for (const Interval& iv : ship_roots) {
+  auto mark_root = [&](int r) {
+    const Interval& iv = ship_roots[r];
     // Innermost covering block, if the root lies in one: a single walk in
     // the block-representative forest instead of a block-table scan.
     int best_block = -1;
@@ -359,13 +468,21 @@ ServerResponse ServerEngine::AssembleResponse(
       const NodeId marker = db_->marker_of_block[best_block];
       mark_subtree(marker);
       mark_ancestors(marker);
-      ship_block[best_block] = true;
-      continue;
+      ship_block[best_block].store(1, std::memory_order_relaxed);
+      return;
     }
     auto it = meta_->public_interval_to_node.find(iv);
-    if (it == meta_->public_interval_to_node.end()) continue;  // defensive
+    if (it == meta_->public_interval_to_node.end()) return;  // defensive
     mark_subtree(it->second);
     mark_ancestors(it->second);
+  };
+  if (ship_roots.size() >= kAssembleParallelCutoff) {
+    ThreadPool::Shared().ParallelFor(static_cast<int>(ship_roots.size()),
+                                     mark_root);
+  } else {
+    for (size_t r = 0; r < ship_roots.size(); ++r) {
+      mark_root(static_cast<int>(r));
+    }
   }
 
   // Copy the pruned skeleton. Attribute children of included nodes ride
@@ -376,7 +493,8 @@ ServerResponse ServerEngine::AssembleResponse(
     NodeId dst_parent;
   };
   std::vector<Frame> stack;
-  if (!skeleton.empty() && include[skeleton.root()]) {
+  if (!skeleton.empty() &&
+      include[skeleton.root()].load(std::memory_order_relaxed) != 0) {
     stack.push_back({skeleton.root(), kNullNode});
   }
   while (!stack.empty()) {
@@ -389,7 +507,8 @@ ServerResponse ServerEngine::AssembleResponse(
     pruned.node(dst).value = src.value;
     pruned.node(dst).is_attribute = src.is_attribute;
     for (auto it = src.children.rbegin(); it != src.children.rend(); ++it) {
-      if (include[*it] || skeleton.node(*it).is_attribute) {
+      if (include[*it].load(std::memory_order_relaxed) != 0 ||
+          skeleton.node(*it).is_attribute) {
         stack.push_back({*it, dst});
       }
     }
@@ -409,7 +528,7 @@ ServerResponse ServerEngine::AssembleResponse(
   response.requires_full_requery = requires_full_requery;
   response.skeleton_xml = SerializeXml(pruned, pruned.root(), 0);
   for (size_t i = 0; i < ship_block.size(); ++i) {
-    if (!ship_block[i]) continue;
+    if (ship_block[i].load(std::memory_order_relaxed) == 0) continue;
     const auto it = advertised.find(static_cast<int>(i));
     if (it != advertised.end() && it->second == db_->blocks[i].generation) {
       response.cached_ids.push_back(static_cast<int>(i));

@@ -1,9 +1,11 @@
 #ifndef XCRYPT_CORE_SERVER_H_
 #define XCRYPT_CORE_SERVER_H_
 
+#include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -11,8 +13,10 @@
 #include "common/status.h"
 #include "core/encryptor.h"
 #include "core/metadata.h"
+#include "core/plan_cache.h"
 #include "core/translated_query.h"
 #include "index/interval_forest.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace xcrypt {
@@ -183,6 +187,24 @@ class ServerEngine : public QueryEngine {
       const std::string& index_token,
       const ExecOptions& opts = ExecOptions()) const override;
 
+  /// Binds the engine to the generation of the bundle its database came
+  /// from. Plan-cache keys embed this value, and changing it drops every
+  /// cached plan — the catalog calls this after each ApplyDelta/reload, so
+  /// a plan computed against older data can never answer a newer query
+  /// even if an engine were ever reused across generations.
+  void SetDataGeneration(uint64_t generation);
+  uint64_t data_generation() const { return data_generation_; }
+
+  /// Points the plan-cache counters (`plan_cache.hit`, `plan_cache.miss`)
+  /// at `registry` (nullptr detaches). Call before serving concurrently;
+  /// the pointers are cached unsynchronized.
+  void SetMetricsRegistry(obs::MetricsRegistry* registry);
+
+  /// Resizes the plan cache (0 disables it); for tests and benches.
+  void SetPlanCacheCapacity(size_t capacity);
+
+  PlanCacheStats plan_cache_stats() const { return plan_cache_.Stats(); }
+
  private:
   /// Forward pass: interval list per step (cumulative filtering). The
   /// trace (nullable) gets one span per phase per step; the deadline in
@@ -242,11 +264,20 @@ class ServerEngine : public QueryEngine {
   std::vector<int> block_of_forest_node_;
   /// Guards the lazy cache below so one engine can serve concurrent
   /// network sessions; everything else here is read-only after
-  /// construction.
-  mutable std::mutex cache_mu_;
+  /// construction. Reader/writer split: once a probe is memoized, the
+  /// predicate batch hits it from many threads at once under shared locks.
+  mutable std::shared_mutex cache_mu_;
   mutable std::map<std::tuple<std::string, int64_t, int64_t>,
                    std::vector<Interval>>
       range_probe_cache_;
+
+  /// Per-database translated-plan cache: normalized query shape (+ data
+  /// generation) -> back-pruned ship roots, so a repeated query shape skips
+  /// the whole join pipeline and goes straight to response assembly.
+  mutable PlanCache plan_cache_;
+  uint64_t data_generation_ = 0;
+  obs::Counter* plan_hit_ = nullptr;
+  obs::Counter* plan_miss_ = nullptr;
 };
 
 }  // namespace xcrypt

@@ -210,6 +210,9 @@ Status DasSystem::PropagateUpdate(const DeltaBuilder& builder) {
   if (builder.empty()) return Status::Ok();  // no-op batch: nothing moved
   const uint64_t base = bundle_generation_;
   bundle_generation_ = base + 1;
+  // Fresh engine, fresh (empty) plan cache — stamping the generation keeps
+  // its cache keys aligned with what a remote daemon would compute.
+  server_->SetDataGeneration(bundle_generation_);
   if (remote_ == nullptr) return Status::Ok();
   // Ship exactly this batch's side effects. PushDelta retries transient
   // failures; the daemon recognizes a replayed generation and applies the

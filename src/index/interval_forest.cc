@@ -22,7 +22,12 @@ LaminarForest LaminarForest::Build(std::vector<Interval> intervals) {
   intervals.erase(std::unique(intervals.begin(), intervals.end()),
                   intervals.end());
   const int n = static_cast<int>(intervals.size());
-  forest.nodes_ = std::move(intervals);
+  forest.mins_.resize(n);
+  forest.maxs_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    forest.mins_[i] = intervals[i].min;
+    forest.maxs_[i] = intervals[i].max;
+  }
   forest.parent_.assign(n, kNone);
   forest.depth_.assign(n, 0);
   forest.subtree_end_.assign(n, n);
@@ -31,7 +36,7 @@ LaminarForest LaminarForest::Build(std::vector<Interval> intervals) {
   std::vector<int> stack;
   for (int i = 0; i < n; ++i) {
     while (!stack.empty() &&
-           !forest.nodes_[i].ProperlyInside(forest.nodes_[stack.back()])) {
+           !forest.interval(i).ProperlyInside(forest.interval(stack.back()))) {
       forest.subtree_end_[stack.back()] = i;
       stack.pop_back();
     }
@@ -44,21 +49,30 @@ LaminarForest LaminarForest::Build(std::vector<Interval> intervals) {
   return forest;  // still-open nodes keep subtree_end == n
 }
 
+int LaminarForest::LastStartingBefore(double value) const {
+  // All comparisons run over the contiguous mins_ array alone.
+  auto it = std::lower_bound(mins_.begin(), mins_.end(), value);
+  return static_cast<int>(it - mins_.begin()) - 1;
+}
+
 int LaminarForest::Find(const Interval& iv) const {
-  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), iv, DocOrder);
-  if (it == nodes_.end() || !(*it == iv)) return kNone;
-  return static_cast<int>(it - nodes_.begin());
+  // Members sharing iv.min form a (max desc) run; strict laminarity means
+  // the run has one element, but scanning it keeps duplicates harmless.
+  auto it = std::lower_bound(mins_.begin(), mins_.end(), iv.min);
+  for (size_t i = static_cast<size_t>(it - mins_.begin());
+       i < mins_.size() && mins_[i] == iv.min; ++i) {
+    if (maxs_[i] == iv.max) return static_cast<int>(i);
+    if (maxs_[i] < iv.max) break;  // run is max-descending
+  }
+  return kNone;
 }
 
 int LaminarForest::InnermostEnclosing(const Interval& iv) const {
   // Every member properly containing iv has min < iv.min, hence lies at or
   // before the last such node j; laminarity makes all of them ancestors of
   // j, so walking j's parent chain finds the innermost one.
-  auto it = std::lower_bound(
-      nodes_.begin(), nodes_.end(), iv.min,
-      [](const Interval& node, double min) { return node.min < min; });
-  int j = static_cast<int>(it - nodes_.begin()) - 1;
-  while (j != kNone && nodes_[j].max <= iv.max) j = parent_[j];
+  int j = LastStartingBefore(iv.min);
+  while (j != kNone && maxs_[j] <= iv.max) j = parent_[j];
   return j;
 }
 

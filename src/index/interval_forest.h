@@ -22,6 +22,12 @@ namespace xcrypt {
 ///                  exactly [i, subtree_end(i)) because descendants are
 ///                  contiguous in the sort order.
 ///
+/// Storage is struct-of-arrays: the min and max endpoints live in two
+/// separate sorted double arrays, so the binary searches inside Find /
+/// InnermostEnclosing touch only the min[] array — twice the endpoints
+/// per cache line compared to an array of Interval structs, and a layout
+/// the compiler can vectorize scans over.
+///
 /// Construction is O(n log n) (the sort dominates). Lookups are
 /// O(log n + depth). The forest is derived solely from the interval values
 /// themselves — the same public lists the DSI table already exposes to the
@@ -40,13 +46,20 @@ class LaminarForest {
   /// Sorts, deduplicates, and interns `intervals`.
   static LaminarForest Build(std::vector<Interval> intervals);
 
-  int size() const { return static_cast<int>(nodes_.size()); }
-  bool empty() const { return nodes_.empty(); }
+  int size() const { return static_cast<int>(mins_.size()); }
+  bool empty() const { return mins_.empty(); }
 
-  const Interval& interval(int id) const { return nodes_[id]; }
+  Interval interval(int id) const { return {mins_[id], maxs_[id]}; }
+  double min_of(int id) const { return mins_[id]; }
+  double max_of(int id) const { return maxs_[id]; }
   int parent(int id) const { return parent_[id]; }
   int depth(int id) const { return depth_[id]; }
   int subtree_end(int id) const { return subtree_end_[id]; }
+
+  /// The sorted endpoint arrays themselves (document order), for kernels
+  /// that scan Euler spans directly.
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
 
   /// Dense id of an exact interval value, or kNone.
   int Find(const Interval& iv) const;
@@ -60,7 +73,16 @@ class LaminarForest {
   int InnermostCovering(const Interval& iv) const;
 
  private:
-  std::vector<Interval> nodes_;  ///< sorted by (min asc, max desc)
+  /// Index of the last member with min < `value`, or kNone. The members
+  /// properly containing any interval starting at `value` all lie on this
+  /// node's root chain (laminarity), which is what makes the enclosing
+  /// lookups a binary search plus a parent walk.
+  int LastStartingBefore(double value) const;
+
+  // Struct-of-arrays storage, all indexed by dense id in document order
+  // (min asc, max desc).
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
   std::vector<int> parent_;
   std::vector<int> depth_;
   std::vector<int> subtree_end_;

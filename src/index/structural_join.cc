@@ -4,29 +4,166 @@
 #include <limits>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace xcrypt {
 
 namespace {
+
 bool SortedByMin(const std::vector<Interval>& v) {
   return std::is_sorted(v.begin(), v.end());
 }
+
+/// Candidate-count threshold above which per-candidate loops run on the
+/// shared pool. Below it the partitioning overhead dominates.
+constexpr size_t kParallelCutoff = 4096;
+
+/// First index i in [from, v.size()) with v[i] >= key, located by
+/// exponential probing from `from` followed by a binary search inside the
+/// final probe window — O(log distance) rather than O(log n), which is
+/// what makes a skewed merge (few ancestors, many descendants, or the
+/// reverse) cost O(small log(large/small)) instead of one full binary
+/// search per element.
+size_t GallopLowerBound(const std::vector<double>& v, size_t from,
+                        double key) {
+  const size_t n = v.size();
+  if (from >= n || v[from] >= key) return from;
+  size_t bound = 1;
+  while (from + bound < n && v[from + bound] < key) bound <<= 1;
+  const size_t lo = from + (bound >> 1);
+  const size_t hi = std::min(n, from + bound + 1);
+  return static_cast<size_t>(
+      std::lower_bound(v.begin() + lo, v.begin() + hi, key) - v.begin());
+}
+
+/// First index i in [from, v.size()) with v[i] > key (galloping).
+size_t GallopUpperBound(const std::vector<double>& v, size_t from,
+                        double key) {
+  const size_t n = v.size();
+  if (from >= n || v[from] > key) return from;
+  size_t bound = 1;
+  while (from + bound < n && v[from + bound] <= key) bound <<= 1;
+  const size_t lo = from + (bound >> 1);
+  const size_t hi = std::min(n, from + bound + 1);
+  return static_cast<size_t>(
+      std::upper_bound(v.begin() + lo, v.begin() + hi, key) - v.begin());
+}
+
 }  // namespace
+
+SortedIntervalList::SortedIntervalList(const std::vector<Interval>& items) {
+  const size_t n = items.size();
+  mins_.resize(n);
+  maxs_.resize(n);
+  if (SortedByMin(items)) {
+    for (size_t i = 0; i < n; ++i) {
+      mins_[i] = items[i].min;
+      maxs_[i] = items[i].max;
+    }
+    return;
+  }
+  std::vector<Interval> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < n; ++i) {
+    mins_[i] = sorted[i].min;
+    maxs_[i] = sorted[i].max;
+  }
+}
+
+ChildGroups::ChildGroups(const std::vector<Interval>& candidates,
+                         const LaminarForest& forest)
+    : candidates_(candidates) {
+  const size_t n = candidates_.size();
+  enclosing_.assign(n, LaminarForest::kNone);
+  auto lookup = [&](int i) {
+    enclosing_[i] = forest.InnermostEnclosing(candidates_[i]);
+  };
+  if (n >= kParallelCutoff) {
+    ThreadPool::Shared().ParallelFor(static_cast<int>(n), lookup);
+  } else {
+    for (size_t i = 0; i < n; ++i) lookup(static_cast<int>(i));
+  }
+
+  // Group by enclosing id, then sort/dedupe values within each group.
+  std::vector<std::pair<int, Interval>> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (enclosing_[i] != LaminarForest::kNone) {
+      pairs.emplace_back(enclosing_[i], candidates_[i]);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  members_.reserve(pairs.size());
+  for (const auto& [id, value] : pairs) {
+    if (group_ids_.empty() || group_ids_.back() != id) {
+      group_ids_.push_back(id);
+      group_begin_.push_back(members_.size());
+    }
+    members_.push_back(value);
+  }
+  group_begin_.push_back(members_.size());
+}
 
 std::vector<Interval> StructuralJoin::FilterDescendants(
     const std::vector<Interval>& ancestors,
     const std::vector<Interval>& descendants) {
-  std::vector<Interval> anc = ancestors;
-  std::vector<Interval> desc = descendants;
-  if (!SortedByMin(anc)) std::sort(anc.begin(), anc.end());
-  if (!SortedByMin(desc)) std::sort(desc.begin(), desc.end());
+  if (ancestors.empty() || descendants.empty()) return {};
+  return FilterDescendants(ancestors, SortedIntervalList(descendants));
+}
 
-  // Tree intervals form a laminar family (nested or disjoint), so the open
-  // ancestors at any scan position form a chain and a stack merge suffices.
+std::vector<Interval> StructuralJoin::FilterDescendants(
+    const std::vector<Interval>& ancestors, const SortedIntervalList& desc) {
   std::vector<Interval> out;
-  std::vector<Interval> stack;  // open ancestors, innermost on top
+  if (ancestors.empty() || desc.empty()) return out;
+
+  // For a semi-join, nested and duplicate ancestors are redundant: reduce
+  // the (sorted) ancestor list to its outermost distinct members. Sorted
+  // ascending with back.min <= a.min, `a` is covered iff a.max <= back.max.
+  std::vector<Interval> anc = ancestors;
+  if (!SortedByMin(anc)) std::sort(anc.begin(), anc.end());
+  std::vector<Interval> outer;
+  for (const Interval& a : anc) {
+    if (outer.empty() || a.max > outer.back().max) outer.push_back(a);
+  }
+
+  // A laminar ancestor family reduces to pairwise-disjoint outermost
+  // members; anything else (overlap) takes the general stack merge below.
+  bool disjoint = true;
+  for (size_t i = 1; i < outer.size(); ++i) {
+    if (outer[i].min < outer[i - 1].max) {
+      disjoint = false;
+      break;
+    }
+  }
+
+  const std::vector<double>& mins = desc.mins();
+  const std::vector<double>& maxs = desc.maxs();
+
+  if (disjoint) {
+    // Galloping path: each outer ancestor owns the descendant run whose
+    // mins fall strictly inside it — two galloping searches over min[]
+    // (the cursor only moves forward), then a unit-stride scan of max[]
+    // the compiler can vectorize. Output is sorted by construction and
+    // descendant duplicates are preserved.
+    size_t pos = 0;
+    for (const Interval& a : outer) {
+      const size_t lo = GallopUpperBound(mins, pos, a.min);
+      const size_t hi = GallopLowerBound(mins, lo, a.max);
+      for (size_t i = lo; i < hi; ++i) {
+        if (maxs[i] < a.max) out.push_back({mins[i], maxs[i]});
+      }
+      pos = hi;
+    }
+    return out;
+  }
+
+  // Stack merge over the struct-of-arrays view: open ancestors at the scan
+  // position, innermost on top.
+  std::vector<Interval> stack;
   size_t ai = 0;
-  for (const Interval& d : desc) {
-    // Open every ancestor starting before d, closing ancestors that ended.
+  for (size_t i = 0; i < desc.size(); ++i) {
+    const Interval d = desc.at(i);
     while (ai < anc.size() && anc[ai].min < d.min) {
       while (!stack.empty() && stack.back().max < anc[ai].min) {
         stack.pop_back();
@@ -34,7 +171,6 @@ std::vector<Interval> StructuralJoin::FilterDescendants(
       stack.push_back(anc[ai]);
       ++ai;
     }
-    // Close ancestors that ended before d starts.
     while (!stack.empty() && stack.back().max < d.min) stack.pop_back();
     if (!stack.empty() && d.ProperlyInside(stack.back())) {
       out.push_back(d);
@@ -46,29 +182,35 @@ std::vector<Interval> StructuralJoin::FilterDescendants(
 std::vector<Interval> StructuralJoin::FilterAncestors(
     const std::vector<Interval>& ancestors,
     const std::vector<Interval>& descendants) {
-  std::vector<Interval> anc = ancestors;
-  std::vector<Interval> desc = descendants;
-  std::sort(anc.begin(), anc.end());
-  if (!SortedByMin(desc)) std::sort(desc.begin(), desc.end());
+  std::vector<Interval> out;
+  if (ancestors.empty() || descendants.empty()) return out;
+  // Already-sorted inputs (every kernel output and DSI lookup list) skip
+  // the sort inside the view construction.
+  const SortedIntervalList anc(ancestors);
+  const SortedIntervalList des(descendants);
 
   // An ancestor a keeps iff some d has d.min > a.min and d.max < a.max.
   // Over descendants sorted by min, the candidates for a given a are a
-  // suffix, so a suffix-minimum of max answers the existence test in
-  // O(log |D|) per ancestor.
-  std::vector<double> suffix_min_max(desc.size());
+  // suffix, so a suffix-minimum of max answers the existence test.
+  const std::vector<double>& dmins = des.mins();
+  const std::vector<double>& dmaxs = des.maxs();
+  std::vector<double> suffix_min_max(des.size());
   double running = std::numeric_limits<double>::infinity();
-  for (size_t i = desc.size(); i-- > 0;) {
-    running = std::min(running, desc[i].max);
+  for (size_t i = des.size(); i-- > 0;) {
+    running = std::min(running, dmaxs[i]);
     suffix_min_max[i] = running;
   }
 
-  std::vector<Interval> out;
-  for (const Interval& a : anc) {
-    auto it = std::upper_bound(
-        desc.begin(), desc.end(), a.min,
-        [](double min, const Interval& d) { return min < d.min; });
-    const size_t idx = static_cast<size_t>(it - desc.begin());
-    if (idx < desc.size() && suffix_min_max[idx] < a.max) out.push_back(a);
+  // Ancestor mins ascend, so the suffix cursor only moves forward: gallop
+  // it from its previous position instead of a fresh O(log |D|) search per
+  // ancestor — O(|A| + |D|) balanced, O(|A| log(|D|/|A|)) skewed.
+  const std::vector<double>& amins = anc.mins();
+  const std::vector<double>& amaxs = anc.maxs();
+  size_t pos = 0;
+  for (size_t k = 0; k < anc.size(); ++k) {
+    pos = GallopUpperBound(dmins, pos, amins[k]);
+    if (pos == des.size()) break;  // later ancestors start even further out
+    if (suffix_min_max[pos] < amaxs[k]) out.push_back(anc.at(k));
   }
   return out;
 }
@@ -87,13 +229,15 @@ std::vector<Interval> StructuralJoin::FilterChildren(
     }
   }
 
-  std::vector<Interval> out;
-  for (const Interval& c : candidates) {
+  const size_t n = candidates.size();
+  std::vector<char> matched(n, 0);
+  auto check = [&](int idx) {
+    const Interval& c = candidates[idx];
     // The universe intervals properly containing c form a chain; the paper's
     // non-interposition test reduces to "the innermost one is the parent".
     const int e = forest.InnermostEnclosing(c);
-    bool matched = e != LaminarForest::kNone && is_parent[e] != 0;
-    if (!matched) {
+    bool ok = e != LaminarForest::kNone && is_parent[e] != 0;
+    if (!ok) {
       // Parents the universe does not know (never the case server-side):
       // interposition can only come from the chain's innermost element.
       for (const Interval& p : extra) {
@@ -102,11 +246,23 @@ std::vector<Interval> StructuralJoin::FilterChildren(
             forest.interval(e).ProperlyInside(p)) {
           continue;  // a known interval sits strictly between p and c
         }
-        matched = true;
+        ok = true;
         break;
       }
     }
-    if (matched) out.push_back(c);
+    matched[idx] = ok ? 1 : 0;
+  };
+  // The per-candidate lookups are independent reads over the const forest;
+  // fan them out, then compact sequentially so the output is deterministic.
+  if (n >= kParallelCutoff) {
+    ThreadPool::Shared().ParallelFor(static_cast<int>(n), check);
+  } else {
+    for (size_t i = 0; i < n; ++i) check(static_cast<int>(i));
+  }
+
+  std::vector<Interval> out;
+  for (size_t i = 0; i < n; ++i) {
+    if (matched[i] != 0) out.push_back(candidates[i]);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -120,45 +276,127 @@ std::vector<Interval> StructuralJoin::FilterChildren(
   return FilterChildren(parents, candidates, LaminarForest::Build(universe));
 }
 
+std::vector<Interval> StructuralJoin::FilterChildren(
+    const std::vector<Interval>& parents, const ChildGroups& groups,
+    const LaminarForest& forest) {
+  // Non-interned parents cannot use the grouped index (their children are
+  // not keyed by any forest id); take the per-candidate path instead.
+  std::vector<int> parent_ids;
+  parent_ids.reserve(parents.size());
+  for (const Interval& p : parents) {
+    const int id = forest.Find(p);
+    if (id == LaminarForest::kNone) {
+      return FilterChildren(parents, groups.candidates_, forest);
+    }
+    parent_ids.push_back(id);
+  }
+  std::sort(parent_ids.begin(), parent_ids.end());
+  parent_ids.erase(std::unique(parent_ids.begin(), parent_ids.end()),
+                   parent_ids.end());
+
+  // Distinct parents have distinct groups and a candidate value lives in
+  // exactly one group, so concatenating the (pre-deduped) groups yields the
+  // exact result set; one final sort restores value order across groups. A
+  // single parent — the predicate re-chain case — is a pre-sorted copy.
+  std::vector<Interval> out;
+  for (const int id : parent_ids) {
+    const auto it = std::lower_bound(groups.group_ids_.begin(),
+                                     groups.group_ids_.end(), id);
+    if (it == groups.group_ids_.end() || *it != id) continue;
+    const size_t g = static_cast<size_t>(it - groups.group_ids_.begin());
+    out.insert(out.end(), groups.members_.begin() + groups.group_begin_[g],
+               groups.members_.begin() + groups.group_begin_[g + 1]);
+  }
+  if (parent_ids.size() > 1) std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<std::pair<int, int>> StructuralJoin::PairJoin(
     const std::vector<Interval>& ancestors,
     const std::vector<Interval>& descendants) {
-  std::vector<int> ao(ancestors.size());
-  std::vector<int> dord(descendants.size());
-  std::iota(ao.begin(), ao.end(), 0);
-  std::iota(dord.begin(), dord.end(), 0);
-  std::sort(ao.begin(), ao.end(), [&](int a, int b) {
-    return ancestors[a] < ancestors[b];
-  });
-  std::sort(dord.begin(), dord.end(), [&](int a, int b) {
-    return descendants[a] < descendants[b];
-  });
+  const int na = static_cast<int>(ancestors.size());
+  const int nd = static_cast<int>(descendants.size());
+  if (na == 0 || nd == 0) return {};
 
-  // Stack merge (the classical stack-tree join): the open ancestors at any
-  // descendant position form a chain, outermost at the bottom.
-  std::vector<std::pair<int, int>> out;
-  std::vector<int> stack;
-  size_t ai = 0;
-  for (int j : dord) {
-    const Interval& d = descendants[j];
-    while (ai < ao.size() && ancestors[ao[ai]].min < d.min) {
-      while (!stack.empty() &&
-             ancestors[stack.back()].max < ancestors[ao[ai]].min) {
+  // Intern the ancestors once: argsort into document order (min asc, max
+  // desc — containers first) and split the endpoints into two contiguous
+  // arrays so every later search touches only amin[].
+  std::vector<int> ord(na);
+  std::iota(ord.begin(), ord.end(), 0);
+  std::sort(ord.begin(), ord.end(), [&](int a, int b) {
+    if (ancestors[a].min != ancestors[b].min)
+      return ancestors[a].min < ancestors[b].min;
+    return ancestors[a].max > ancestors[b].max;
+  });
+  std::vector<double> amin(na), amax(na);
+  for (int k = 0; k < na; ++k) {
+    amin[k] = ancestors[ord[k]].min;
+    amax[k] = ancestors[ord[k]].max;
+  }
+
+  // Containment chain: parent[k] = innermost earlier ancestor properly
+  // containing (or equal to — duplicates chain through each other) node k.
+  // One stack pass, exactly the LaminarForest construction.
+  constexpr int kNone = -1;
+  std::vector<int> parent(na, kNone);
+  {
+    std::vector<int> stack;
+    for (int k = 0; k < na; ++k) {
+      while (!stack.empty()) {
+        const int t = stack.back();
+        const bool holds = (amin[t] < amin[k] && amax[k] < amax[t]) ||
+                           (amin[t] == amin[k] && amax[t] == amax[k]);
+        if (holds) break;
         stack.pop_back();
       }
-      stack.push_back(ao[ai]);
-      ++ai;
+      if (!stack.empty()) parent[k] = stack.back();
+      stack.push_back(k);
     }
-    while (!stack.empty() && ancestors[stack.back()].max < d.min) {
-      stack.pop_back();
-    }
-    // Entries ending at or inside d sit at the top (maxes grow toward the
-    // bottom of the chain); everything below them properly contains d.
-    int s = static_cast<int>(stack.size()) - 1;
-    while (s >= 0 && ancestors[stack[s]].max <= d.max) --s;
-    for (; s >= 0; --s) out.emplace_back(stack[s], j);
   }
-  std::sort(out.begin(), out.end());
+
+  // Pass 1 — locate, per descendant, its innermost containing ancestor
+  // (start[j]): binary search the last node starting before d, then walk
+  // up past nodes ending inside d. Every chain node above start[j]
+  // properly contains d (mins only shrink, maxes only grow up a chain), so
+  // d's pair count is its chain length — tallied via weight[] here and
+  // emitted in pass 2 without touching any pair twice.
+  std::vector<int> start(nd, kNone);
+  std::vector<size_t> weight(na, 0);
+  for (int j = 0; j < nd; ++j) {
+    const Interval& d = descendants[j];
+    int k = static_cast<int>(
+                std::lower_bound(amin.begin(), amin.end(), d.min) -
+                amin.begin()) -
+            1;
+    while (k != kNone && amax[k] <= d.max) k = parent[k];
+    start[j] = k;
+    if (k != kNone) ++weight[k];
+  }
+
+  // total[k] = descendants whose chain passes through k = weight summed
+  // over k's chain subtree. parent[k] < k, so one reverse sweep suffices.
+  std::vector<size_t> total = weight;
+  for (int k = na - 1; k > 0; --k) {
+    if (parent[k] != kNone) total[parent[k]] += total[k];
+  }
+
+  // Exact output offsets, keyed by *raw* ancestor index so the final array
+  // comes out already sorted by (ancestor, descendant): a counting sort in
+  // place of the old per-pair emplace_back plus full comparison sort,
+  // which dominated the join once outputs outgrew the cache.
+  std::vector<size_t> offset(na + 1, 0);
+  for (int k = 0; k < na; ++k) offset[ord[k] + 1] = total[k];
+  for (int r = 0; r < na; ++r) offset[r + 1] += offset[r];
+  std::vector<size_t> cursor(offset.begin(), offset.end() - 1);
+
+  // Pass 2 — raw descendant order ascending, so each ancestor's bucket
+  // fills with ascending descendant indices.
+  std::vector<std::pair<int, int>> out(offset[na]);
+  for (int j = 0; j < nd; ++j) {
+    for (int k = start[j]; k != kNone; k = parent[k]) {
+      out[cursor[ord[k]]++] = {ord[k], j};
+    }
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef XCRYPT_INDEX_STRUCTURAL_JOIN_H_
 #define XCRYPT_INDEX_STRUCTURAL_JOIN_H_
 
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -9,25 +10,94 @@
 
 namespace xcrypt {
 
+/// Sorted struct-of-arrays view of an interval list: the min and max
+/// endpoints split into two contiguous double arrays, value-sorted by
+/// (min, max) with duplicates kept.
+///
+/// This is the layout every join kernel scans: binary/galloping searches
+/// touch only the min[] array (8 endpoints per cache line instead of 4),
+/// and the containment test over a candidate range is a unit-stride scan
+/// of max[] the compiler can vectorize. Construction detects an
+/// already-sorted input (the common case — every kernel output and DSI
+/// lookup list is sorted) and skips the O(n log n) sort.
+///
+/// Build one per lookup set and reuse it across joins: the predicate
+/// batch re-chains hundreds of candidates through the same shared lists,
+/// and pre-sorting once turns each re-chain step from "copy + sort the
+/// whole list" into two galloping searches.
+class SortedIntervalList {
+ public:
+  SortedIntervalList() = default;
+  explicit SortedIntervalList(const std::vector<Interval>& items);
+
+  size_t size() const { return mins_.size(); }
+  bool empty() const { return mins_.empty(); }
+  Interval at(size_t i) const { return {mins_[i], maxs_[i]}; }
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+/// Precomputed child-axis index for one candidate list against a universe
+/// forest: every candidate's innermost properly-enclosing universe node,
+/// computed once and grouped by that node id. A child join against any
+/// parent set then reads the parents' groups directly instead of running
+/// an O(log n + depth) forest lookup per (call, candidate) — the lookup
+/// cost is paid once per list, not once per re-chained context node.
+class ChildGroups {
+ public:
+  ChildGroups(const std::vector<Interval>& candidates,
+              const LaminarForest& forest);
+
+  size_t size() const { return enclosing_.size(); }
+
+ private:
+  friend class StructuralJoin;
+
+  /// Original candidate order (for the rare non-interned-parent path).
+  std::vector<Interval> candidates_;
+  /// InnermostEnclosing forest id per candidate (kNone possible).
+  std::vector<int> enclosing_;
+  /// Candidate values grouped by enclosing id: group k holds the sorted,
+  /// deduplicated values whose enclosing node is group_ids_[k] (ids
+  /// ascending). members_[group_begin_[k] .. group_begin_[k+1]).
+  std::vector<int> group_ids_;
+  std::vector<size_t> group_begin_;
+  std::vector<Interval> members_;
+};
+
 /// Interval-list structural join primitives (§5.1, §6.2).
 ///
 /// The server evaluates query structure by joining the interval lists
 /// attached to each query node ("any of the standard structural join
-/// algorithms", the paper cites Al-Khalifa et al. [4]). Lists are sorted by
-/// (min, max); every kernel is a sorted merge — a stack of open ancestors
-/// for the containment joins, a laminar-forest parent lookup for the child
-/// axis — so a join costs O(|A| + |D| + output) after sorting, never a
-/// scan of the whole interval universe per pair.
+/// algorithms", the paper cites Al-Khalifa et al. [4]). Every kernel runs
+/// over the struct-of-arrays layout above: sorted endpoint arrays probed
+/// with galloping (exponential) searches — adaptive to skewed
+/// ancestor/descendant cardinalities, O(|A| log(|D|/|A|)) when one side is
+/// tiny, degrading gracefully to a linear merge — plus a laminar-forest
+/// parent lookup for the child axis. A join costs O(|A| + |D| + output)
+/// after sorting, never a scan of the whole interval universe per pair.
+///
+/// Large candidate lists are partitioned across the shared ThreadPool
+/// (deterministic output: per-chunk results are spliced in index order).
 class StructuralJoin {
  public:
   /// Descendant semi-join: intervals of `descendants` properly inside some
-  /// interval of `ancestors`.
+  /// interval of `ancestors`. `ancestors` should come from one laminar
+  /// family (any DSI list does); non-laminar inputs fall back to a stack
+  /// merge. Overload (b) reuses a pre-built descendant view.
   static std::vector<Interval> FilterDescendants(
       const std::vector<Interval>& ancestors,
       const std::vector<Interval>& descendants);
+  static std::vector<Interval> FilterDescendants(
+      const std::vector<Interval>& ancestors, const SortedIntervalList& desc);
 
   /// Ancestor semi-join: intervals of `ancestors` that properly contain at
-  /// least one interval of `descendants`.
+  /// least one interval of `descendants`. Both lists may be arbitrary.
+  /// Already-sorted inputs are not copied or re-sorted.
   static std::vector<Interval> FilterAncestors(
       const std::vector<Interval>& ancestors,
       const std::vector<Interval>& descendants);
@@ -51,10 +121,24 @@ class StructuralJoin {
       const std::vector<Interval>& candidates,
       const std::vector<Interval>& universe);
 
+  /// Child semi-join against a precomputed candidate index: the output is
+  /// the concatenation of the parents' groups — O(|parents| log U +
+  /// output), independent of the candidate list size. Identical results
+  /// to the forest overload built over the same forest.
+  static std::vector<Interval> FilterChildren(
+      const std::vector<Interval>& parents, const ChildGroups& groups,
+      const LaminarForest& forest);
+
   /// Full ancestor/descendant pair join; returns (ancestor, descendant)
   /// index pairs into the input lists, sorted by (ancestor, descendant).
   /// `ancestors` must come from one laminar family (any DSI list does);
   /// `descendants` may be arbitrary.
+  ///
+  /// Output-linear: ancestors are interned into a parent chain once, each
+  /// descendant's containing chain is found with one binary search, and
+  /// pairs are emitted directly into their final (counting-sorted)
+  /// positions — no per-pair comparison sort, so the join is
+  /// O(|A| log |A| + |D| log |A| + output) with exact-size preallocation.
   static std::vector<std::pair<int, int>> PairJoin(
       const std::vector<Interval>& ancestors,
       const std::vector<Interval>& descendants);

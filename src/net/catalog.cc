@@ -59,6 +59,12 @@ Result<std::unique_ptr<BundleCatalog>> BundleCatalog::Open(
   return catalog;
 }
 
+void BundleCatalog::ConfigureEngine(ResidentDb* fresh) const {
+  fresh->engine_->SetDataGeneration(fresh->bundle_.generation);
+  obs::MetricsRegistry* metrics = metrics_.load(std::memory_order_acquire);
+  if (metrics != nullptr) fresh->engine_->SetMetricsRegistry(metrics);
+}
+
 Status BundleCatalog::AddBundle(const std::string& name, HostedBundle bundle) {
   if (name.empty()) {
     return Status::InvalidArgument("database name must not be empty");
@@ -78,6 +84,7 @@ Status BundleCatalog::AddBundle(const std::string& name, HostedBundle bundle) {
   fresh->bundle_ = std::move(bundle);
   fresh->engine_ = std::make_unique<ServerEngine>(&fresh->bundle_.database,
                                                   &fresh->bundle_.metadata);
+  ConfigureEngine(fresh.get());
   slot.loads += 1;
   fresh->generation_ = slot.loads;
   slot.resident = std::move(fresh);
@@ -154,6 +161,7 @@ Result<std::shared_ptr<const ResidentDb>> BundleCatalog::LoadSlot(
     fresh->bundle_ = std::move(*bundle);
     fresh->engine_ = std::make_unique<ServerEngine>(&fresh->bundle_.database,
                                                     &fresh->bundle_.metadata);
+    ConfigureEngine(fresh.get());
   }
 
   lock.lock();
@@ -261,6 +269,7 @@ Result<uint64_t> BundleCatalog::ApplyDelta(const std::string& name,
   fresh->bundle_ = std::move(*clone);
   fresh->engine_ = std::make_unique<ServerEngine>(&fresh->bundle_.database,
                                                   &fresh->bundle_.metadata);
+  ConfigureEngine(fresh.get());
   slot.loads += 1;
   fresh->generation_ = slot.loads;
   slot.resident = std::move(fresh);

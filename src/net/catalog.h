@@ -1,6 +1,7 @@
 #ifndef XCRYPT_NET_CATALOG_H_
 #define XCRYPT_NET_CATALOG_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -118,6 +119,13 @@ class BundleCatalog {
   /// in-memory entries excluded) — the number the LRU bound applies to.
   int ResidentCount() const;
 
+  /// Points the plan-cache counters of every engine built from now on at
+  /// `registry` (the daemon's per-instance registry). Engines already
+  /// resident are unaffected; set this before serving.
+  void SetMetricsRegistry(obs::MetricsRegistry* registry) {
+    metrics_.store(registry, std::memory_order_release);
+  }
+
  private:
   struct Slot {
     std::string path;    ///< backing file; empty = in-memory pinned entry
@@ -151,7 +159,15 @@ class BundleCatalog {
   /// `keep` survives even if it is the oldest.
   void EvictIfNeeded(const std::string& keep);
 
+  /// Stamps a freshly built engine with its bundle's owner generation
+  /// (plan-cache keying; a reload to a new generation starts with an empty
+  /// cache) and the daemon's metrics registry.
+  void ConfigureEngine(ResidentDb* fresh) const;
+
   CatalogOptions options_;
+  /// Registry for engines built after SetMetricsRegistry; atomic because
+  /// LoadSlot builds engines outside mu_.
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
   /// Serializes delta appliers per catalog (applies are rare relative to
   /// reads; readers never take this). Held across the clone + apply.
   std::mutex apply_mu_;

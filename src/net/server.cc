@@ -45,6 +45,9 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(
 
   std::unique_ptr<NetServer> server(new NetServer());
   server->catalog_ = std::move(catalog);
+  // Engines the catalog builds from here on report plan-cache hit/miss
+  // into this daemon's registry (visible through the stats op).
+  server->catalog_->SetMetricsRegistry(&server->metrics_);
   server->options_ = options;
   server->listener_ = std::move(*listener);
   auto bound = server->listener_.LocalPort();

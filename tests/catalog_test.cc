@@ -16,7 +16,11 @@
 #include "data/healthcare.h"
 #include "data/xmark_generator.h"
 #include "net/catalog.h"
+#include "obs/metrics.h"
 #include "storage/serializer.h"
+#include "storage/update/delta.h"
+#include "storage/update/delta_builder.h"
+#include "xpath/parser.h"
 
 namespace xcrypt {
 namespace net {
@@ -323,6 +327,124 @@ TEST_F(CatalogTest, ConcurrentColdGetsLoadOnce) {
     EXPECT_EQ(handles[i]->generation(), 1u);
     EXPECT_EQ(handles[i].get(), handles[0].get());
   }
+}
+
+// --- Plan-cache lifecycle across catalog transitions ----------------------
+
+/// Owner-side client whose translated queries run against catalog engines
+/// built from its own exported bundles (tokens match by construction).
+class CatalogPlanCacheTest : public ::testing::Test {
+ protected:
+  CatalogPlanCacheTest() {
+    auto client = Client::Host(BuildHealthcareSample(), HealthcareConstraints(),
+                               SchemeKind::kOptimal, "catalog-owner");
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    owner_ = std::make_unique<Client>(std::move(*client));
+  }
+
+  HostedBundle Export(uint64_t generation) {
+    auto bundle = DeserializeBundle(SerializeBundle(
+        owner_->database(), owner_->metadata(), "hospital", generation));
+    EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+    return std::move(*bundle);
+  }
+
+  TranslatedQuery Translate(const std::string& xpath) {
+    auto query = ParseXPath(xpath);
+    EXPECT_TRUE(query.ok()) << xpath;
+    auto translated = owner_->Translate(*query);
+    EXPECT_TRUE(translated.ok()) << translated.status().ToString();
+    return std::move(*translated);
+  }
+
+  /// Runs `q` twice against `db`'s engine; the second pass must hit.
+  void WarmUp(const ResidentDb& db, const TranslatedQuery& q) {
+    ASSERT_TRUE(db.engine().Execute(q).ok());
+    ASSERT_TRUE(db.engine().Execute(q).ok());
+    EXPECT_GE(db.engine().plan_cache_stats().hits, 1u);
+  }
+
+  std::unique_ptr<Client> owner_;
+};
+
+TEST_F(CatalogPlanCacheTest, ApplyDeltaInvalidatesPlans) {
+  BundleCatalog catalog;
+  ASSERT_TRUE(catalog.AddBundle("hospital", Export(1)).ok());
+  auto before = catalog.Get("hospital");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->engine().data_generation(), 1u);
+  const TranslatedQuery q = Translate("//patient//SSN");
+  WarmUp(**before, q);
+
+  DeltaBuilder builder(owner_.get());
+  ASSERT_TRUE(builder.UpdateValues(*ParseXPath("//doctor"), "House").ok());
+  auto generation = catalog.ApplyDelta("hospital", builder.Build("hospital", 1));
+  ASSERT_TRUE(generation.ok()) << generation.status().ToString();
+
+  // The post-delta resident is a fresh engine: new generation stamp,
+  // nothing cached — a plan computed against generation-1 data can never
+  // answer a generation-2 query.
+  auto after = catalog.Get("hospital");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->engine().data_generation(), 2u);
+  EXPECT_EQ((*after)->engine().plan_cache_stats().entries, 0u);
+
+  // Same shape on the new engine: correct answer, then warm again.
+  auto cold = (*after)->engine().Execute(q);
+  ASSERT_TRUE(cold.ok());
+  auto warm = (*after)->engine().Execute(q);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GE((*after)->engine().plan_cache_stats().hits, 1u);
+  EXPECT_EQ(warm->response.skeleton_xml, cold->response.skeleton_xml);
+
+  // In-flight readers of the superseded resident keep their warm cache.
+  EXPECT_GE((*before)->engine().plan_cache_stats().entries, 1u);
+}
+
+TEST_F(CatalogPlanCacheTest, EvictAndReloadDropStalePlans) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       (std::string("xcrypt_catalog_") + info->name());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "hospital.xcr").string();
+  ASSERT_TRUE(SaveBundle(owner_->database(), owner_->metadata(), path,
+                         "hospital", /*generation=*/3)
+                  .ok());
+
+  auto catalog = BundleCatalog::Open(dir.string());
+  ASSERT_TRUE(catalog.ok());
+  auto before = (*catalog)->Get("hospital");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->engine().data_generation(), 3u);
+  const TranslatedQuery q = Translate("//patient//disease");
+  WarmUp(**before, q);
+
+  // Evict (Reload drops the resident) and reload from disk: the new
+  // engine must start with an empty plan cache, not inherit stale plans.
+  ASSERT_TRUE((*catalog)->Reload("hospital").ok());
+  auto after = (*catalog)->Get("hospital");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(before->get(), after->get());
+  EXPECT_EQ((*after)->engine().plan_cache_stats().entries, 0u);
+  EXPECT_EQ((*after)->engine().plan_cache_stats().hits, 0u);
+  EXPECT_EQ((*after)->engine().data_generation(), 3u);
+  fs::remove_all(dir);
+}
+
+TEST_F(CatalogPlanCacheTest, MetricsRegistryReachesCatalogEngines) {
+  obs::MetricsRegistry registry;
+  BundleCatalog catalog;
+  catalog.SetMetricsRegistry(&registry);
+  ASSERT_TRUE(catalog.AddBundle("hospital", Export(1)).ok());
+  auto db = catalog.Get("hospital");
+  ASSERT_TRUE(db.ok());
+  const TranslatedQuery q = Translate("//patient//SSN");
+  ASSERT_TRUE((*db)->engine().Execute(q).ok());
+  ASSERT_TRUE((*db)->engine().Execute(q).ok());
+  EXPECT_GE(registry.GetCounter("plan_cache.miss")->Value(), 1);
+  EXPECT_GE(registry.GetCounter("plan_cache.hit")->Value(), 1);
 }
 
 }  // namespace

@@ -231,7 +231,7 @@ TEST(StructuralJoinTest, PairJoinEnumeratesPairs) {
 
 TEST(StructuralJoinTest, EmptyInputs) {
   EXPECT_TRUE(StructuralJoin::FilterDescendants({}, {{0.1, 0.2}}).empty());
-  EXPECT_TRUE(StructuralJoin::FilterDescendants({{0.0, 1.0}}, {}).empty());
+  EXPECT_TRUE(StructuralJoin::FilterDescendants({{0.0, 1.0}}, std::vector<Interval>{}).empty());
   EXPECT_TRUE(
       StructuralJoin::FilterChildren({}, {}, std::vector<Interval>{})
           .empty());

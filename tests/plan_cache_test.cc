@@ -1,0 +1,320 @@
+// Plan-cache tests: the LRU container itself, the query-shape key
+// normalization, and the ServerEngine integration (warm repeated shapes
+// hit, data-generation bumps invalidate, capacity 0 disables).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/plan_cache.h"
+#include "core/server.h"
+#include "data/healthcare.h"
+#include "obs/metrics.h"
+#include "xpath/parser.h"
+
+namespace xcrypt {
+namespace {
+
+std::shared_ptr<const CachedPlan> SomePlan(double tag) {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->ship_roots.push_back({tag, tag + 1.0});
+  return plan;
+}
+
+TEST(PlanCacheTest, LookupCountsHitsAndMisses) {
+  PlanCache cache;
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  cache.Insert("a", SomePlan(1.0));
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  const PlanCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCacheTest, InsertOverwrites) {
+  PlanCache cache;
+  cache.Insert("k", SomePlan(1.0));
+  cache.Insert("k", SomePlan(7.0));
+  auto plan = cache.Lookup("k");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_DOUBLE_EQ(plan->ship_roots[0].min, 7.0);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  PlanCache cache(2);
+  cache.Insert("a", SomePlan(1.0));
+  cache.Insert("b", SomePlan(2.0));
+  // Touch "a" so "b" is the LRU entry when "c" arrives.
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  cache.Insert("c", SomePlan(3.0));
+  EXPECT_EQ(cache.Stats().entries, 2u);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+}
+
+TEST(PlanCacheTest, HitStaysValidAfterEviction) {
+  PlanCache cache(1);
+  cache.Insert("a", SomePlan(4.0));
+  auto held = cache.Lookup("a");
+  ASSERT_NE(held, nullptr);
+  cache.Insert("b", SomePlan(5.0));  // evicts "a"
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  // The caller's shared_ptr keeps the evicted plan alive.
+  EXPECT_DOUBLE_EQ(held->ship_roots[0].min, 4.0);
+}
+
+TEST(PlanCacheTest, CapacityZeroDisables) {
+  PlanCache cache(0);
+  cache.Insert("a", SomePlan(1.0));
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(PlanCacheTest, SetCapacityShrinksAndDisables) {
+  PlanCache cache(4);
+  cache.Insert("a", SomePlan(1.0));
+  cache.Insert("b", SomePlan(2.0));
+  cache.Insert("c", SomePlan(3.0));
+  cache.SetCapacity(1);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  cache.SetCapacity(0);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  cache.Insert("d", SomePlan(4.0));
+  EXPECT_EQ(cache.Lookup("d"), nullptr);
+}
+
+TEST(PlanCacheTest, ClearDropsEntriesKeepsCounters) {
+  PlanCache cache;
+  cache.Insert("a", SomePlan(1.0));
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  const PlanCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// --- Shape-key normalization ---------------------------------------------
+
+TranslatedStep MakeStep(Axis axis, std::vector<std::string> tokens) {
+  TranslatedStep step;
+  step.axis = axis;
+  step.tokens = std::move(tokens);
+  return step;
+}
+
+TranslatedPredicate ExistsPred(std::vector<std::string> tokens) {
+  TranslatedPredicate pred;
+  pred.kind = TranslatedPredicate::Kind::kExists;
+  pred.path.push_back(MakeStep(Axis::kDescendant, std::move(tokens)));
+  return pred;
+}
+
+TEST(PlanShapeKeyTest, PredicateOrderDoesNotFragment) {
+  // Predicates conjoin — [a][b] and [b][a] drive the identical pipeline.
+  TranslatedQuery q1;
+  q1.steps.push_back(MakeStep(Axis::kDescendant, {"T1"}));
+  q1.steps[0].predicates.push_back(ExistsPred({"P1"}));
+  q1.steps[0].predicates.push_back(ExistsPred({"P2"}));
+
+  TranslatedQuery q2 = q1;
+  std::swap(q2.steps[0].predicates[0], q2.steps[0].predicates[1]);
+
+  EXPECT_EQ(PlanShapeKey(q1), PlanShapeKey(q2));
+}
+
+TEST(PlanShapeKeyTest, TokenOrderDoesNotFragment) {
+  // A mixed tag carries several tokens; their order is an artifact of the
+  // client's metadata layout, not of the query.
+  TranslatedQuery q1;
+  q1.steps.push_back(MakeStep(Axis::kDescendant, {"AAA", "BBB"}));
+  TranslatedQuery q2;
+  q2.steps.push_back(MakeStep(Axis::kDescendant, {"BBB", "AAA"}));
+  EXPECT_EQ(PlanShapeKey(q1), PlanShapeKey(q2));
+}
+
+TEST(PlanShapeKeyTest, DistinctShapesGetDistinctKeys) {
+  TranslatedQuery base;
+  base.steps.push_back(MakeStep(Axis::kDescendant, {"T1"}));
+
+  TranslatedQuery other_axis;
+  other_axis.steps.push_back(MakeStep(Axis::kChild, {"T1"}));
+  EXPECT_NE(PlanShapeKey(base), PlanShapeKey(other_axis));
+
+  TranslatedQuery other_token;
+  other_token.steps.push_back(MakeStep(Axis::kDescendant, {"T2"}));
+  EXPECT_NE(PlanShapeKey(base), PlanShapeKey(other_token));
+
+  TranslatedQuery with_pred = base;
+  with_pred.steps[0].predicates.push_back(ExistsPred({"P1"}));
+  EXPECT_NE(PlanShapeKey(base), PlanShapeKey(with_pred));
+
+  TranslatedQuery wild = base;
+  wild.steps[0].wildcard = true;
+  EXPECT_NE(PlanShapeKey(base), PlanShapeKey(wild));
+}
+
+TEST(PlanShapeKeyTest, ValueBoundsArepartOfTheShape) {
+  // Different literals / ciphertext ranges select different intervals, so
+  // they must not share a plan.
+  TranslatedQuery q1;
+  q1.steps.push_back(MakeStep(Axis::kDescendant, {"T1"}));
+  TranslatedPredicate range;
+  range.kind = TranslatedPredicate::Kind::kIndexRange;
+  range.path.push_back(MakeStep(Axis::kChild, {"V1"}));
+  range.index_token = "V1";
+  range.range.lo = 10;
+  range.range.hi = 20;
+  q1.steps[0].predicates.push_back(range);
+
+  TranslatedQuery q2 = q1;
+  q2.steps[0].predicates[0].range.hi = 21;
+  EXPECT_NE(PlanShapeKey(q1), PlanShapeKey(q2));
+
+  TranslatedQuery p1;
+  p1.steps.push_back(MakeStep(Axis::kDescendant, {"T1"}));
+  TranslatedPredicate plain;
+  plain.kind = TranslatedPredicate::Kind::kPlainValue;
+  plain.path.push_back(MakeStep(Axis::kChild, {"age"}));
+  plain.op = CompOp::kGt;
+  plain.literal = "36";
+  p1.steps[0].predicates.push_back(plain);
+
+  TranslatedQuery p2 = p1;
+  p2.steps[0].predicates[0].literal = "37";
+  EXPECT_NE(PlanShapeKey(p1), PlanShapeKey(p2));
+  TranslatedQuery p3 = p1;
+  p3.steps[0].predicates[0].op = CompOp::kGe;
+  EXPECT_NE(PlanShapeKey(p1), PlanShapeKey(p3));
+}
+
+// --- Engine integration ---------------------------------------------------
+
+class EnginePlanCacheTest : public ::testing::Test {
+ protected:
+  EnginePlanCacheTest() {
+    auto client = Client::Host(BuildHealthcareSample(),
+                               HealthcareConstraints(), SchemeKind::kOptimal,
+                               "plan-cache-test");
+    EXPECT_TRUE(client.ok());
+    client_ = std::make_unique<Client>(std::move(*client));
+    server_ = std::make_unique<ServerEngine>(&client_->database(),
+                                             &client_->metadata());
+  }
+
+  TranslatedQuery MustTranslate(const std::string& xpath) {
+    auto query = ParseXPath(xpath);
+    EXPECT_TRUE(query.ok()) << xpath;
+    auto translated = client_->Translate(*query);
+    EXPECT_TRUE(translated.ok()) << translated.status().ToString();
+    return std::move(*translated);
+  }
+
+  ServerResponse MustExecute(const TranslatedQuery& query) {
+    auto response = server_->Execute(query);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return std::move(response->response);
+  }
+
+  std::unique_ptr<Client> client_;
+  std::unique_ptr<ServerEngine> server_;
+};
+
+TEST_F(EnginePlanCacheTest, WarmRepeatedShapeHits) {
+  const TranslatedQuery q =
+      MustTranslate("//patient[pname='Betty']//disease");
+  const ServerResponse cold = MustExecute(q);
+  EXPECT_EQ(server_->plan_cache_stats().hits, 0u);
+  const ServerResponse warm = MustExecute(q);
+  EXPECT_GE(server_->plan_cache_stats().hits, 1u);
+  // The replayed plan must produce the identical response.
+  EXPECT_EQ(warm.skeleton_xml, cold.skeleton_xml);
+  EXPECT_EQ(warm.requires_full_requery, cold.requires_full_requery);
+  ASSERT_EQ(warm.blocks.size(), cold.blocks.size());
+  for (size_t i = 0; i < warm.blocks.size(); ++i) {
+    EXPECT_EQ(warm.blocks[i].id, cold.blocks[i].id);
+    EXPECT_EQ(warm.blocks[i].ciphertext, cold.blocks[i].ciphertext);
+  }
+  // And the client must accept it end to end.
+  auto query = ParseXPath("//patient[pname='Betty']//disease");
+  ASSERT_TRUE(query.ok());
+  auto answer = client_->PostProcess(*query, warm);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->SerializedSorted(),
+            GroundTruth(client_->original(), *query).SerializedSorted());
+}
+
+TEST_F(EnginePlanCacheTest, DifferentShapesMissSeparately) {
+  MustExecute(MustTranslate("//patient//SSN"));
+  MustExecute(MustTranslate("//patient//disease"));
+  const PlanCacheStats stats = server_->plan_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST_F(EnginePlanCacheTest, GenerationBumpInvalidates) {
+  const TranslatedQuery q = MustTranslate("//patient//SSN");
+  MustExecute(q);
+  EXPECT_EQ(server_->plan_cache_stats().entries, 1u);
+  server_->SetDataGeneration(1);
+  EXPECT_EQ(server_->plan_cache_stats().entries, 0u);
+  // Same shape, new generation: a miss (fresh key), then warm again.
+  MustExecute(q);
+  EXPECT_EQ(server_->plan_cache_stats().hits, 0u);
+  MustExecute(q);
+  EXPECT_GE(server_->plan_cache_stats().hits, 1u);
+  // Re-stamping the same generation must NOT clear the cache.
+  server_->SetDataGeneration(1);
+  EXPECT_GE(server_->plan_cache_stats().entries, 1u);
+}
+
+TEST_F(EnginePlanCacheTest, CapacityZeroDisablesCaching) {
+  server_->SetPlanCacheCapacity(0);
+  const TranslatedQuery q = MustTranslate("//patient//SSN");
+  const ServerResponse first = MustExecute(q);
+  const ServerResponse second = MustExecute(q);
+  EXPECT_EQ(server_->plan_cache_stats().hits, 0u);
+  EXPECT_EQ(server_->plan_cache_stats().entries, 0u);
+  EXPECT_EQ(first.skeleton_xml, second.skeleton_xml);
+}
+
+TEST_F(EnginePlanCacheTest, MetricsCountersTrackHitsAndMisses) {
+  obs::MetricsRegistry registry;
+  server_->SetMetricsRegistry(&registry);
+  const TranslatedQuery q =
+      MustTranslate("//patient[pname='Betty']//disease");
+  MustExecute(q);
+  MustExecute(q);
+  MustExecute(q);
+  EXPECT_GE(registry.GetCounter("plan_cache.hit")->Value(), 2);
+  EXPECT_GE(registry.GetCounter("plan_cache.miss")->Value(), 1);
+}
+
+TEST_F(EnginePlanCacheTest, AggregatePlansCacheAndReplay) {
+  const TranslatedQuery q = MustTranslate("//patient/age");
+  auto token = client_->AggregateIndexToken(*ParseXPath("//patient/age"));
+  ASSERT_TRUE(token.ok()) << token.status().ToString();
+  auto cold =
+      server_->ExecuteAggregate(q, AggregateKind::kCount, *token);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  auto warm =
+      server_->ExecuteAggregate(q, AggregateKind::kCount, *token);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GE(server_->plan_cache_stats().hits, 1u);
+  EXPECT_EQ(warm->response.computed_on_server,
+            cold->response.computed_on_server);
+  EXPECT_EQ(warm->response.server_value, cold->response.server_value);
+  EXPECT_EQ(warm->response.payload.blocks.size(),
+            cold->response.payload.blocks.size());
+}
+
+}  // namespace
+}  // namespace xcrypt

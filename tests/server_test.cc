@@ -1,3 +1,7 @@
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/client.h"
@@ -210,6 +214,54 @@ TEST_F(ServerEngineTest, MalformedSkeletonRejected) {
   auto query = ParseXPath("//patient");
   auto answer = client_->PostProcess(*query, bogus);
   EXPECT_FALSE(answer.ok());
+}
+
+TEST_F(ServerEngineTest, ConcurrentExecutionIsDeterministic) {
+  // The join pipeline fans predicate batches and assembly marking across
+  // the shared ThreadPool, and concurrent queries share the range-probe
+  // and plan caches. Hammering the same engine from many threads must
+  // give every caller the exact single-threaded response (run under TSan
+  // in CI via scripts/check.sh).
+  const std::vector<std::string> shapes = {
+      "//patient[pname='Betty']//disease",
+      "//patient[.//insurance/@coverage>='10000']//SSN",
+      "//patient//SSN",
+  };
+  std::vector<ServerResponse> expected;
+  for (const std::string& xpath : shapes) expected.push_back(MustExecute(xpath));
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t s = 0; s < shapes.size(); ++s) {
+          auto query = ParseXPath(shapes[s]);
+          if (!query.ok()) ++mismatches[t];
+          auto translated = client_->Translate(*query);
+          if (!translated.ok()) ++mismatches[t];
+          auto response = server_->Execute(*translated);
+          if (!response.ok()) {
+            ++mismatches[t];
+            continue;
+          }
+          const ServerResponse& got = response->response;
+          const ServerResponse& want = expected[s];
+          if (got.skeleton_xml != want.skeleton_xml ||
+              got.blocks.size() != want.blocks.size() ||
+              got.requires_full_requery != want.requires_full_requery) {
+            ++mismatches[t];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << t;
+  // The repeated shapes must have warmed the plan cache along the way.
+  EXPECT_GE(server_->plan_cache_stats().hits, 1u);
 }
 
 TEST(ServerConservativeTest, TopSchemeSetsFullRequeryFlag) {

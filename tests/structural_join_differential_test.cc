@@ -148,6 +148,38 @@ std::vector<Interval> Aliens(Rng& rng, int count) {
   return out;
 }
 
+/// Large laminar family of exactly `n` members: a random recursive tree
+/// (node i under a uniform earlier node) with endpoints from a DFS tick
+/// counter on a 1/(2n) grid — O(n), no degenerate spans, strictly nested.
+/// GrowLaminar's recursive geometric splitting cannot reach 10^4+ members
+/// without spans collapsing below double granularity.
+std::vector<Interval> MakeTreeFamily(Rng& rng, int n) {
+  std::vector<std::vector<int>> kids(n);
+  for (int i = 1; i < n; ++i) {
+    kids[static_cast<int>(rng.UniformU64(0, i - 1))].push_back(i);
+  }
+  std::vector<Interval> family(n);
+  const double scale = 1.0 / (2.0 * n);
+  int tick = 0;
+  std::vector<std::pair<int, int>> stack;
+  family[0].min = tick++ * scale;
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    auto& top = stack.back();
+    const int node = top.first;
+    if (top.second < static_cast<int>(kids[node].size())) {
+      const int child = kids[node][top.second++];
+      family[child].min = tick++ * scale;
+      stack.push_back({child, 0});
+    } else {
+      family[node].max = tick++ * scale;
+      stack.pop_back();
+    }
+  }
+  std::sort(family.begin(), family.end());
+  return family;
+}
+
 class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DifferentialTest, FilterDescendantsMatchesBruteForce) {
@@ -272,8 +304,118 @@ TEST_P(DifferentialTest, ForestStructureMatchesBruteForce) {
   }
 }
 
+TEST_P(DifferentialTest, SortedListOverloadMatchesVectorOverload) {
+  Rng rng(GetParam() * 48611 + 13);
+  const std::vector<Interval> family = MakeFamily(rng);
+  for (int round = 0; round < 4; ++round) {
+    const std::vector<Interval> anc = Sample(rng, family, 0.4, /*dup=*/true);
+    const std::vector<Interval> desc = Sample(rng, family, 0.6, /*dup=*/true);
+    // The pre-built view is what the predicate batch shares across
+    // re-chains; it must be indistinguishable from the one-shot overload.
+    const SortedIntervalList view(desc);
+    EXPECT_EQ(StructuralJoin::FilterDescendants(anc, view),
+              StructuralJoin::FilterDescendants(anc, desc));
+    EXPECT_EQ(StructuralJoin::FilterDescendants(anc, view),
+              BruteFilterDescendants(anc, desc));
+  }
+}
+
+TEST_P(DifferentialTest, GroupedChildJoinMatchesBruteForce) {
+  Rng rng(GetParam() * 92821 + 17);
+  const std::vector<Interval> family = MakeFamily(rng);
+  const LaminarForest forest = LaminarForest::Build(family);
+  for (int round = 0; round < 4; ++round) {
+    const std::vector<Interval> parents = Sample(rng, family, 0.5, true);
+    const std::vector<Interval> cand = Sample(rng, family, 0.6, true);
+    const ChildGroups groups(cand, forest);
+    EXPECT_EQ(StructuralJoin::FilterChildren(parents, groups, forest),
+              BruteFilterChildren(parents, cand, family));
+    // One re-chained context node per call — the predicate batch's hot
+    // shape (must stay on the O(1)-lookup grouped path).
+    for (const Interval& p : Sample(rng, family, 0.1, false)) {
+      EXPECT_EQ(StructuralJoin::FilterChildren({p}, groups, forest),
+                BruteFilterChildren({p}, cand, family));
+    }
+    // A parent the forest does not intern forces the per-candidate
+    // fallback; results must not change.
+    std::vector<Interval> with_alien = parents;
+    with_alien.push_back({0.33333351, 0.333333511});
+    EXPECT_EQ(StructuralJoin::FilterChildren(with_alien, groups, forest),
+              BruteFilterChildren(with_alien, cand, family));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Range<uint64_t>(1, 13));
+
+// --- Skewed-cardinality (galloping) paths --------------------------------
+
+TEST(SkewTest, FewAncestorsManyDescendantsAgree) {
+  Rng rng(777001);
+  const std::vector<Interval> family = MakeTreeFamily(rng, 20000);
+  // A handful of ancestors against the whole family: the gallop path's
+  // O(|A| log(|D|/|A|)) probe structure, including the single-ancestor
+  // re-chain case the predicate batch issues per candidate.
+  for (int picks : {1, 2, 5}) {
+    std::vector<Interval> anc;
+    for (int i = 0; i < picks; ++i) {
+      anc.push_back(
+          family[rng.UniformU64(0, static_cast<uint64_t>(family.size()) - 1)]);
+    }
+    EXPECT_EQ(StructuralJoin::FilterDescendants(anc, family),
+              BruteFilterDescendants(anc, family));
+    EXPECT_EQ(StructuralJoin::FilterAncestors(anc, family),
+              BruteFilterAncestors(anc, family));
+    EXPECT_EQ(StructuralJoin::PairJoin(anc, family),
+              BrutePairJoin(anc, family));
+  }
+}
+
+TEST(SkewTest, ManyAncestorsFewDescendantsAgree) {
+  Rng rng(777002);
+  const std::vector<Interval> family = MakeTreeFamily(rng, 20000);
+  std::vector<Interval> desc;
+  for (int i = 0; i < 3; ++i) {
+    desc.push_back(
+        family[rng.UniformU64(0, static_cast<uint64_t>(family.size()) - 1)]);
+  }
+  // The whole family as the ancestor side: FilterAncestors' forward
+  // cursor gallops over the tiny descendant list.
+  EXPECT_EQ(StructuralJoin::FilterAncestors(family, desc),
+            BruteFilterAncestors(family, desc));
+  EXPECT_EQ(StructuralJoin::FilterDescendants(family, desc),
+            BruteFilterDescendants(family, desc));
+}
+
+// --- Parallel per-candidate path (the >= 4096 ParallelFor cutoff) --------
+
+TEST(ParallelJoinTest, LargeCandidateListMatchesGroupedPath) {
+  Rng rng(777003);
+  const std::vector<Interval> family = MakeTreeFamily(rng, 9000);
+  const LaminarForest forest = LaminarForest::Build(family);
+  const std::vector<Interval> parents = Sample(rng, family, 0.004, false);
+  std::vector<Interval> cand = Sample(rng, family, 0.6, false);
+  ASSERT_GE(cand.size(), 4097u);  // must cross the ParallelFor cutoff
+  const ChildGroups groups(cand, forest);
+  const auto brute = BruteFilterChildren(parents, cand, family);
+  EXPECT_EQ(StructuralJoin::FilterChildren(parents, cand, forest), brute);
+  EXPECT_EQ(StructuralJoin::FilterChildren(parents, groups, forest), brute);
+}
+
+// --- PairJoin output contract --------------------------------------------
+
+TEST(PairJoinOrderTest, OutputSortedByRawIndicesWithDuplicates) {
+  Rng rng(777004);
+  const std::vector<Interval> family = MakeTreeFamily(rng, 2000);
+  // Unsorted, duplicated inputs on both sides: the counting emission must
+  // still produce exactly the brute pair list in (anc, desc) index order
+  // (assembly and response shipping rely on this order).
+  const std::vector<Interval> anc = Sample(rng, family, 0.3, /*dup=*/true);
+  const std::vector<Interval> desc = Sample(rng, family, 0.3, /*dup=*/true);
+  const auto got = StructuralJoin::PairJoin(anc, desc);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(got, BrutePairJoin(anc, desc));
+}
 
 TEST(DifferentialScaleTest, ChildJoinAgreesOnLargerFamily) {
   Rng rng(424242);
