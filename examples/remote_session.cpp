@@ -41,7 +41,7 @@ int main() {
     return 1;
   }
   auto server =
-      net::NetServer::Serve(std::move(*bundle), "127.0.0.1", /*port=*/0);
+      net::NetServer::Serve(net::ServerConfig::ForBundle(std::move(*bundle)));
   if (!server.ok()) {
     std::fprintf(stderr, "serve failed: %s\n",
                  server.status().ToString().c_str());

@@ -7,7 +7,8 @@
 //
 // Usage:
 //   xcrypt_serve --bundle db.xcr [--host 127.0.0.1] [--port 7077]
-//                [--threads 8] [--io-timeout 30]
+//                [--threads 8] [--io-threads 2] [--io-timeout 30]
+//                [--idle-timeout 0] [--pipeline-depth 64]
 //                [--max-inflight N] [--max-queue N] [--allow-updates]
 //                [--metrics-json FILE [--metrics-interval SECONDS]]
 //   xcrypt_serve --catalog DIR [--default-db NAME] ...
@@ -26,6 +27,16 @@
 // connections (0 = unbounded); excess requests wait in a --max-queue
 // deep queue and past that are shed with a retryable Unavailable
 // carrying a backoff hint.
+//
+// --io-threads sizes the reactor: each I/O thread runs an epoll loop
+// over a share of the connections (reads, frame parsing, scatter-gather
+// writes); query evaluation happens on the --threads worker pool. Two
+// I/O threads comfortably drive tens of thousands of idle connections.
+//
+// --idle-timeout reaps connections with no request in flight and nothing
+// buffered for that many seconds (0 = never, the default). --pipeline-
+// depth bounds how many wire-v6 requests one connection may have in
+// flight at once before the reactor stops reading it.
 //
 // --allow-updates accepts owner-pushed delta bundles (wire v5): each
 // delta advances the named database in place and connected v5 clients
@@ -63,7 +74,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --bundle FILE | --catalog DIR | --demo "
                "[--default-db NAME] [--host ADDR] [--port N] "
-               "[--threads N] [--io-timeout SECONDS] "
+               "[--threads N] [--io-threads N] [--io-timeout SECONDS] "
+               "[--idle-timeout SECONDS] [--pipeline-depth N] "
                "[--max-inflight N] [--max-queue N] [--allow-updates] "
                "[--metrics-json FILE [--metrics-interval SECONDS]]\n",
                argv0);
@@ -147,10 +159,22 @@ int main(int argc, char** argv) {
       // decrypt/join work (overrides XCRYPT_THREADS; must run before the
       // pool's first use or it silently keeps its earlier size).
       ThreadPool::SetSharedThreads(options.num_threads);
+    } else if (arg == "--io-threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.io_threads = std::atoi(v);
     } else if (arg == "--io-timeout") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.io_timeout_sec = std::atof(v);
+    } else if (arg == "--idle-timeout") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.idle_timeout_sec = std::atof(v);
+    } else if (arg == "--pipeline-depth") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_pipeline_depth = std::atoi(v);
     } else if (arg == "--metrics-json") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -189,8 +213,8 @@ int main(int argc, char** argv) {
                 catalog_dir.c_str(), listing.c_str(),
                 options.default_db.empty() ? "" : ", default ",
                 options.default_db.c_str());
-    server = net::NetServer::ServeCatalog(std::move(*catalog), host,
-                                          static_cast<uint16_t>(port), options);
+    server = net::NetServer::Serve(net::ServerConfig::ForCatalog(
+        std::move(*catalog), host, static_cast<uint16_t>(port), options));
   } else {
     HostedBundle bundle;
     if (demo) {
@@ -231,8 +255,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(bundle.database.TotalCiphertextBytes());
     std::printf("xcrypt_serve: %zu blocks (%lld B ciphertext)\n", num_blocks,
                 cipher_bytes);
-    server = net::NetServer::Serve(std::move(bundle), host,
-                                   static_cast<uint16_t>(port), options);
+    server = net::NetServer::Serve(net::ServerConfig::ForBundle(
+        std::move(bundle), host, static_cast<uint16_t>(port), options));
   }
   if (!server.ok()) {
     std::fprintf(stderr, "cannot serve: %s\n",

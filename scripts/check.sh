@@ -17,7 +17,9 @@
 # concurrent update-storm e2e) must pass standalone in every build —
 # under TSan this is the run that proves readers never see a torn
 # database mid-apply. The plain build also gates on `ctest -L perfsmoke`
-# (structural-join timing bound; meaningless under instrumentation).
+# (structural-join timing bound, plus the reactor load smoke: 1k idle +
+# 64 active pipelined connections with zero sheds — bench_net_load's
+# quick scenario as a test; meaningless under instrumentation).
 
 set -euo pipefail
 
@@ -40,7 +42,9 @@ run_build() {
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -L update)
   if [ "${name}" = plain ]; then
     # Perf-smoke gate: the structural-join fast path must stay
-    # output-linear (pair_join at 1e5 intervals within its time bound).
+    # output-linear (pair_join at 1e5 intervals within its time bound),
+    # and the reactor must serve 64 active pipelined connections amid a
+    # 1k-idle crowd with zero sheds (perf_net_load_test).
     # Serial — a timing assertion must not share the machine with other
     # tests. Sanitizer builds compile the skip in, so only plain gates.
     echo "==> [${name}] ctest -L perfsmoke"

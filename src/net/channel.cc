@@ -4,22 +4,26 @@ namespace xcrypt {
 namespace net {
 
 Status WriteFrame(Socket& sock, MessageType type, const Bytes& payload,
-                  uint8_t version) {
-  const Bytes frame = EncodeFrame(type, payload, version);
+                  uint8_t version, uint64_t frame_id) {
+  const Bytes frame = EncodeFrame(type, payload, version, frame_id);
   return sock.SendAll(frame.data(), frame.size());
 }
 
 Result<Frame> ReadFrame(Socket& sock, uint64_t max_frame_bytes,
                         double timeout_sec, const std::atomic<bool>* cancel,
-                        bool allow_idle, const std::atomic<uint64_t>* wake,
-                        uint64_t wake_seen, bool* woke) {
+                        bool allow_idle) {
   uint8_t header[kFrameHeaderBytes];
   XCRYPT_RETURN_NOT_OK(sock.RecvAll(header, sizeof(header), timeout_sec,
-                                    cancel, allow_idle, wake, wake_seen,
-                                    woke));
+                                    cancel, allow_idle));
   uint32_t payload_length = 0;
   auto frame = DecodeFrameHeader(header, max_frame_bytes, &payload_length);
   if (!frame.ok()) return frame.status();
+  if (frame->version >= 6) {
+    uint8_t id_buf[kFrameIdBytes];
+    XCRYPT_RETURN_NOT_OK(sock.RecvAll(id_buf, sizeof(id_buf), timeout_sec,
+                                      cancel, /*allow_idle=*/false));
+    frame->frame_id = DecodeFrameId(id_buf);
+  }
   frame->payload.resize(payload_length);
   if (payload_length > 0) {
     XCRYPT_RETURN_NOT_OK(sock.RecvAll(frame->payload.data(), payload_length,

@@ -10,28 +10,23 @@ namespace xcrypt {
 namespace net {
 
 /// Sends one complete frame. A daemon passes the version of the request
-/// frame it is answering, so a v3 session gets v3 replies.
+/// frame it is answering, so a v3 session gets v3 replies. `frame_id` is
+/// written only at version ≥ 6 (see wire.h).
 Status WriteFrame(Socket& sock, MessageType type, const Bytes& payload,
-                  uint8_t version = kWireVersion);
+                  uint8_t version = kWireVersion, uint64_t frame_id = 0);
 
 /// Receives one complete frame: header first (validated before the
 /// payload is allocated, so a corrupt length can never balloon memory),
-/// then exactly the announced payload. `allow_idle` lets a server wait
-/// indefinitely for the *start* of the next request on a persistent
+/// then the v6 frame id when the header announces version ≥ 6, then
+/// exactly the announced payload. `allow_idle` lets a reader wait
+/// indefinitely for the *start* of the next frame on a persistent
 /// connection while still bounding how long a partial frame may stall.
 /// Framing violations (bad magic/type/length) return Corruption or
 /// Unsupported; transport failures return Unavailable.
-///
-/// `wake`/`wake_seen`/`woke` thread through to Socket::RecvAll: when the
-/// counter moves off `wake_seen` before the first header byte arrives,
-/// the call returns Unavailable with *woke = true so a server can push
-/// invalidation events between requests without abandoning the read loop.
 Result<Frame> ReadFrame(Socket& sock, uint64_t max_frame_bytes,
                         double timeout_sec,
                         const std::atomic<bool>* cancel = nullptr,
-                        bool allow_idle = false,
-                        const std::atomic<uint64_t>* wake = nullptr,
-                        uint64_t wake_seen = 0, bool* woke = nullptr);
+                        bool allow_idle = false);
 
 }  // namespace net
 }  // namespace xcrypt

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "common/timer.h"
 #include "net/channel.h"
@@ -11,6 +13,8 @@ namespace xcrypt {
 namespace net {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// Enters one finished remote call into the caller's trace: the daemon's
 /// processing time as a recorded "server" span (with its phase
@@ -40,11 +44,61 @@ uint64_t DeriveBackoffSeed(const RemoteOptions& options, const void* self) {
 
 }  // namespace
 
+Status RemoteOptions::Validate() const {
+  if (!(connect_timeout_sec > 0)) {  // also rejects NaN
+    return Status::InvalidArgument("connect_timeout_sec must be > 0");
+  }
+  if (!(request_timeout_sec > 0)) {
+    return Status::InvalidArgument("request_timeout_sec must be > 0");
+  }
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (!(initial_backoff_ms >= 0)) {
+    return Status::InvalidArgument("initial_backoff_ms must be >= 0");
+  }
+  if (!(max_backoff_ms >= 0)) {
+    return Status::InvalidArgument("max_backoff_ms must be >= 0");
+  }
+  if (max_frame_bytes == 0) {
+    return Status::InvalidArgument("max_frame_bytes must be > 0");
+  }
+  return Status::Ok();
+}
+
 double NextBackoffMs(double prev_ms, double base_ms, double cap_ms, Rng& rng) {
   if (base_ms <= 0.0) base_ms = 1.0;
   const double upper = std::max(base_ms, prev_ms * 3.0);
   return std::min(cap_ms, rng.UniformDouble(base_ms, upper));
 }
+
+/// One caller's rendezvous with the reader thread. The caller waits on
+/// `cv`; the reader (or FailTransport) fills the result and sets `done`.
+struct RemoteServerEngine::PendingCall {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status error = Status::Ok();  ///< transport-level failure, when !ok
+  Frame reply;                  ///< valid when done && error.ok()
+};
+
+/// One live connection: the socket, the id-keyed pending-call table, and
+/// the (detached) reader thread's control state. Calls in flight hold a
+/// shared_ptr; the reader holds none (the engine's destructor waits for
+/// readers via live_readers_, so the raw pointer it runs on stays valid).
+struct RemoteServerEngine::Transport {
+  Socket sock;
+  std::atomic<bool> stop{false};
+
+  std::mutex mu;  ///< guards pending, next_id, broken
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending;
+  uint64_t next_id = 1;  ///< 0 is reserved for unsolicited frames
+  bool broken = false;
+
+  /// Serializes the send syscall only, so concurrent callers' frames
+  /// never interleave on the wire; waiting for replies is lock-free.
+  std::mutex send_mu;
+};
 
 RemoteServerEngine::RemoteServerEngine(std::string host, uint16_t port,
                                        RemoteOptions options)
@@ -53,22 +107,127 @@ RemoteServerEngine::RemoteServerEngine(std::string host, uint16_t port,
       options_(std::move(options)),
       backoff_rng_(DeriveBackoffSeed(options_, this)) {}
 
+RemoteServerEngine::~RemoteServerEngine() {
+  std::shared_ptr<Transport> transport;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    transport = std::move(transport_);
+  }
+  if (transport) transport->stop.store(true, std::memory_order_release);
+  transport.reset();
+  // Readers of this and every previously failed transport notice stop
+  // within one poll tick; wait them out so none outlives the engine.
+  std::unique_lock<std::mutex> lock(readers_mu_);
+  readers_cv_.wait(lock, [this] { return live_readers_ == 0; });
+}
+
 Result<std::unique_ptr<RemoteServerEngine>> RemoteServerEngine::Connect(
     const std::string& host, uint16_t port, const RemoteOptions& options) {
-  if (options.max_attempts < 1) {
-    return Status::InvalidArgument("max_attempts must be >= 1");
-  }
+  XCRYPT_RETURN_NOT_OK(options.Validate());
   std::unique_ptr<RemoteServerEngine> engine(
       new RemoteServerEngine(host, port, options));
   XCRYPT_RETURN_NOT_OK(engine->Ping());
   return engine;
 }
 
+Result<std::shared_ptr<RemoteServerEngine::Transport>>
+RemoteServerEngine::GetTransport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (transport_ != nullptr) return transport_;
+  auto sock = Socket::Dial(host_, port_, options_.connect_timeout_sec,
+                           options_.request_timeout_sec);
+  if (!sock.ok()) return sock.status();
+  auto transport = std::make_shared<Transport>();
+  transport->sock = std::move(*sock);
+  {
+    std::lock_guard<std::mutex> rlock(readers_mu_);
+    ++live_readers_;
+  }
+  // The lambda's shared_ptr keeps the Transport alive for the reader's
+  // whole run even after the engine forgets it on failure.
+  std::thread([this, transport] {
+    ReaderLoop(transport.get());
+    std::lock_guard<std::mutex> rlock(readers_mu_);
+    --live_readers_;
+    readers_cv_.notify_all();
+  }).detach();
+  transport_ = transport;
+  return transport_;
+}
+
+void RemoteServerEngine::FailTransport(Transport* transport,
+                                       const Status& error) const {
+  transport->stop.store(true, std::memory_order_release);
+  std::vector<std::shared_ptr<PendingCall>> pending;
+  {
+    std::lock_guard<std::mutex> lock(transport->mu);
+    transport->broken = true;
+    pending.reserve(transport->pending.size());
+    for (auto& [id, call] : transport->pending) pending.push_back(call);
+    transport->pending.clear();
+  }
+  const Status failure =
+      error.ok() ? Status::Unavailable("transport failed") : error;
+  for (const auto& call : pending) {
+    {
+      std::lock_guard<std::mutex> lock(call->mu);
+      call->error = failure;
+      call->done = true;
+    }
+    call->cv.notify_all();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (transport_.get() == transport) transport_.reset();
+}
+
+void RemoteServerEngine::ReaderLoop(Transport* transport) const {
+  while (!transport->stop.load(std::memory_order_acquire)) {
+    // allow_idle: a multiplexed session is legitimately quiet between
+    // calls; only a *partial* frame is held to the request timeout.
+    auto frame = ReadFrame(transport->sock, options_.max_frame_bytes,
+                           options_.request_timeout_sec, &transport->stop,
+                           /*allow_idle=*/true);
+    if (!frame.ok()) {
+      FailTransport(transport, frame.status());
+      return;
+    }
+    if (frame->type == MessageType::kInvalidationEvent) {
+      auto event = DecodeInvalidationEvent(frame->payload);
+      if (!event.ok()) {
+        FailTransport(transport, event.status());
+        return;
+      }
+      std::function<void(const InvalidationEventMsg&)> sink;
+      {
+        std::lock_guard<std::mutex> lock(sink_mu_);
+        sink = invalidation_sink_;
+      }
+      if (sink) sink(*event);
+      continue;
+    }
+    std::shared_ptr<PendingCall> call;
+    {
+      std::lock_guard<std::mutex> lock(transport->mu);
+      auto it = transport->pending.find(frame->frame_id);
+      if (it != transport->pending.end()) {
+        call = it->second;
+        transport->pending.erase(it);
+      }
+    }
+    if (call == nullptr) continue;  // stray id: its caller already gave up
+    {
+      std::lock_guard<std::mutex> lock(call->mu);
+      call->reply = std::move(*frame);
+      call->done = true;
+    }
+    call->cv.notify_all();
+  }
+}
+
 Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
                                             const Bytes& payload,
                                             MessageType expected_reply,
                                             EngineCallStats* stats) const {
-  std::lock_guard<std::mutex> lock(mu_);
   stats->transport = EngineCallStats::Transport::kRemote;
   Status last_error = Status::Unavailable("no attempt made");
   double backoff_ms = 0.0;        // previous sleep; 0 before any retry
@@ -79,8 +238,11 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
       // Decorrelated jitter spreads a fleet of retrying clients out;
       // a server-sent retry-after hint floors the sleep so a shedding
       // daemon is not hammered faster than it asked for.
-      backoff_ms = NextBackoffMs(backoff_ms, options_.initial_backoff_ms,
-                                 options_.max_backoff_ms, backoff_rng_);
+      {
+        std::lock_guard<std::mutex> lock(rng_mu_);
+        backoff_ms = NextBackoffMs(backoff_ms, options_.initial_backoff_ms,
+                                   options_.max_backoff_ms, backoff_rng_);
+      }
       backoff_ms = std::max(backoff_ms, std::min(server_hint_ms,
                                                  options_.max_backoff_ms));
       std::this_thread::sleep_for(
@@ -88,76 +250,104 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
       ++stats->retries;
     }
     server_hint_ms = 0.0;
-    if (!sock_.valid()) {
-      auto sock = Socket::Dial(host_, port_, options_.connect_timeout_sec,
-                               options_.request_timeout_sec);
-      if (!sock.ok()) {
-        last_error = sock.status();
-        if (last_error.code() == StatusCode::kUnavailable) continue;
-        return last_error;
+
+    auto maybe_transport = GetTransport();
+    if (!maybe_transport.ok()) {
+      last_error = maybe_transport.status();
+      if (last_error.code() == StatusCode::kUnavailable) continue;
+      return last_error;
+    }
+    std::shared_ptr<Transport> transport = std::move(*maybe_transport);
+
+    auto call = std::make_shared<PendingCall>();
+    uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lock(transport->mu);
+      if (transport->broken) {
+        last_error = Status::Unavailable("connection failed");
+        continue;
       }
-      sock_ = std::move(*sock);
+      id = transport->next_id++;
+      transport->pending.emplace(id, call);
+    }
+    const int now = inflight_now_.fetch_add(1, std::memory_order_relaxed) + 1;
+    int peak = inflight_peak_.load(std::memory_order_relaxed);
+    while (now > peak && !inflight_peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
     }
 
     Stopwatch watch;
-    Status sent = WriteFrame(sock_, type, payload);
-    if (sent.ok()) {
-      auto reply = ReadFrame(sock_, options_.max_frame_bytes,
-                             options_.request_timeout_sec);
-      // The daemon may push invalidation events ahead of (or between)
-      // replies; they belong to the session, not to this request. Consume
-      // and dispatch each, then keep reading for the actual reply.
-      int64_t event_bytes = 0;
-      while (reply.ok() &&
-             reply->type == MessageType::kInvalidationEvent) {
-        auto event = DecodeInvalidationEvent(reply->payload);
-        if (!event.ok()) {
-          sock_.Close();
-          return event.status();
-        }
-        event_bytes +=
-            static_cast<int64_t>(kFrameHeaderBytes + reply->payload.size());
-        if (invalidation_sink_) invalidation_sink_(*event);
-        reply = ReadFrame(sock_, options_.max_frame_bytes,
-                          options_.request_timeout_sec);
-      }
-      if (reply.ok()) {
-        stats->round_trip_us = watch.ElapsedMicros();
-        stats->bytes_sent =
-            static_cast<int64_t>(kFrameHeaderBytes + payload.size());
-        stats->bytes_received =
-            event_bytes +
-            static_cast<int64_t>(kFrameHeaderBytes + reply->payload.size());
-        if (reply->type == MessageType::kError) {
-          double hint_ms = 0.0;
-          last_error = DecodeError(reply->payload, reply->version, &hint_ms);
-          if (last_error.code() == StatusCode::kUnavailable) {
-            // Admission-control shed: transient by definition. The frame
-            // arrived intact, so the session is still aligned — keep the
-            // connection and retry after the suggested backoff.
-            server_hint_ms = hint_ms;
-            continue;
-          }
-          // Any other server-side failure is deterministic; retrying
-          // cannot help.
-          return last_error;
-        }
-        if (reply->type != expected_reply) {
-          sock_.Close();  // stream state is suspect
-          return Status::Corruption(
-              std::string("expected ") + MessageTypeName(expected_reply) +
-              ", got " + MessageTypeName(reply->type));
-        }
-        return std::move(*reply);
-      }
-      last_error = reply.status();
-    } else {
-      last_error = sent;
+    Status sent;
+    {
+      std::lock_guard<std::mutex> lock(transport->send_mu);
+      const Bytes frame = EncodeFrame(type, payload, kWireVersion, id);
+      sent = transport->sock.SendAll(frame.data(), frame.size());
     }
-    // The connection failed mid-request; drop it so the next attempt
-    // dials fresh. Only transient transport errors are worth retrying.
-    sock_.Close();
-    if (last_error.code() != StatusCode::kUnavailable) return last_error;
+    if (!sent.ok()) {
+      inflight_now_.fetch_sub(1, std::memory_order_relaxed);
+      FailTransport(transport.get(), sent);
+      last_error = sent;
+      if (last_error.code() == StatusCode::kUnavailable) continue;
+      return last_error;
+    }
+
+    Frame reply;
+    {
+      std::unique_lock<std::mutex> lock(call->mu);
+      const bool done = call->cv.wait_until(
+          lock,
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 options_.request_timeout_sec)),
+          [&call] { return call->done; });
+      inflight_now_.fetch_sub(1, std::memory_order_relaxed);
+      if (!done) {
+        lock.unlock();
+        {
+          std::lock_guard<std::mutex> tlock(transport->mu);
+          transport->pending.erase(id);
+        }
+        // The connection has an unanswered id on it; a late reply would
+        // desynchronize accounting, so retire the whole transport.
+        last_error = Status::Unavailable("request timed out");
+        FailTransport(transport.get(), last_error);
+        continue;
+      }
+      if (!call->error.ok()) {
+        last_error = call->error;
+        if (last_error.code() == StatusCode::kUnavailable) continue;
+        return last_error;
+      }
+      reply = std::move(call->reply);
+    }
+
+    stats->round_trip_us = watch.ElapsedMicros();
+    stats->bytes_sent = static_cast<int64_t>(FrameHeaderBytes(kWireVersion) +
+                                             payload.size());
+    stats->bytes_received = static_cast<int64_t>(
+        FrameHeaderBytes(reply.version) + reply.payload.size());
+    if (reply.type == MessageType::kError) {
+      double hint_ms = 0.0;
+      last_error = DecodeError(reply.payload, reply.version, &hint_ms);
+      if (last_error.code() == StatusCode::kUnavailable) {
+        // Admission-control shed: transient by definition, and the frame
+        // arrived intact — keep the connection and retry after the
+        // suggested backoff.
+        server_hint_ms = hint_ms;
+        continue;
+      }
+      // Any other server-side failure is deterministic; retrying
+      // cannot help.
+      return last_error;
+    }
+    if (reply.type != expected_reply) {
+      const Status error = Status::Corruption(
+          std::string("expected ") + MessageTypeName(expected_reply) +
+          ", got " + MessageTypeName(reply.type));
+      FailTransport(transport.get(), error);
+      return error;
+    }
+    return reply;
   }
   return Status::Unavailable(
       "request failed after " + std::to_string(options_.max_attempts) +
@@ -241,10 +431,10 @@ Status RemoteServerEngine::Ping() const {
   return reply.ok() ? Status::Ok() : reply.status();
 }
 
-Result<uint64_t> RemoteServerEngine::PushDelta(const Bytes& delta_image,
-                                               const std::string& db) const {
+Result<uint64_t> RemoteServerEngine::PushDelta(
+    const Bytes& delta_image, const NetCallOptions& opts) const {
   UpdateRequestMsg msg;
-  msg.db = db.empty() ? options_.database : db;
+  msg.db = opts.db.empty() ? options_.database : opts.db;
   msg.delta = delta_image;
   EngineCallStats stats;
   auto reply = RoundTrip(MessageType::kUpdateRequest, EncodeUpdateRequest(msg),
@@ -255,11 +445,11 @@ Result<uint64_t> RemoteServerEngine::PushDelta(const Bytes& delta_image,
   return response->generation;
 }
 
-Result<NetStats> RemoteServerEngine::Stats(const std::string& db) const {
+Result<NetStats> RemoteServerEngine::Stats(const NetCallOptions& opts) const {
   EngineCallStats stats;
   auto reply = RoundTrip(
       MessageType::kStatsRequest,
-      EncodeStatsRequest(db.empty() ? options_.database : db),
+      EncodeStatsRequest(opts.db.empty() ? options_.database : opts.db),
       MessageType::kStatsResponse, &stats);
   if (!reply.ok()) return reply.status();
   return DecodeStats(reply->payload, reply->version);

@@ -1,6 +1,8 @@
 #ifndef XCRYPT_NET_REMOTE_ENGINE_H_
 #define XCRYPT_NET_REMOTE_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -37,6 +39,11 @@ struct RemoteOptions {
   /// stub's address). Fixed seeds make retry schedules reproducible in
   /// tests; distinct stubs still get distinct streams.
   uint64_t backoff_seed = 0;
+
+  /// Rejects nonsensical settings (non-positive timeouts, zero frame
+  /// bound, max_attempts < 1, negative backoffs). Connect() refuses a bad
+  /// config up front instead of misbehaving on the first retry.
+  Status Validate() const;
 };
 
 /// One decorrelated-jitter backoff step (AWS style): uniform in
@@ -51,21 +58,28 @@ double NextBackoffMs(double prev_ms, double base_ms, double cap_ms, Rng& rng);
 /// connection is persistent and re-established transparently; DasSystem
 /// swaps this in for the in-process engine without touching the protocol
 /// of §6.
+///
+/// The transport is multiplexed (wire v6): every request carries a frame
+/// id, a dedicated reader thread matches responses back to callers by id,
+/// and any number of threads sharing one stub have their requests in
+/// flight on the single connection concurrently — they serialize only on
+/// the send syscall, never for the daemon's processing time.
 class RemoteServerEngine : public QueryEngine {
  public:
-  /// Dials host:port and verifies the endpoint speaks the protocol (a
-  /// ping round trip), so a misconfigured address fails here rather than
-  /// on the first query.
+  /// Validates options, dials host:port, and verifies the endpoint speaks
+  /// the protocol (a ping round trip), so a misconfigured address fails
+  /// here rather than on the first query.
   static Result<std::unique_ptr<RemoteServerEngine>> Connect(
       const std::string& host, uint16_t port,
       const RemoteOptions& options = RemoteOptions());
 
+  ~RemoteServerEngine() override;
+
   /// Per-call measurements (round trip, wire bytes, retries, the daemon's
   /// reported processing time and phase decomposition) come back inside
-  /// the result, so any number of threads can share one stub — they
-  /// serialize on the connection but never on a shared mutable
-  /// measurement. A context's trace receives the call as recorded
-  /// "server" (+ phases) and "transmit" spans.
+  /// the result, so any number of threads can share one stub without
+  /// sharing any mutable measurement. A context's trace receives the call
+  /// as recorded "server" (+ phases) and "transmit" spans.
   Result<EngineQueryResult> Execute(
       const TranslatedQuery& query,
       const ExecOptions& opts = ExecOptions()) const override;
@@ -77,24 +91,26 @@ class RemoteServerEngine : public QueryEngine {
       const ExecOptions& opts = ExecOptions()) const override;
 
   Status Ping() const;
-  /// Daemon counters; `db` selects which database's size fields the
+  /// Daemon counters; `opts.db` selects which database's size fields the
   /// reply describes (empty = the session database, or daemon default).
-  Result<NetStats> Stats(const std::string& db = std::string()) const;
+  Result<NetStats> Stats(const NetCallOptions& opts = NetCallOptions()) const;
 
   /// Ships a serialized delta bundle (storage/update/delta.h) to the
-  /// daemon and returns the bundle generation after the apply. Safe to
-  /// retry: a replayed delta is recognized by its generation and applied
-  /// at most once (the retry gets the same generation back).
-  Result<uint64_t> PushDelta(const Bytes& delta_image,
-                             const std::string& db = std::string()) const;
+  /// daemon and returns the bundle generation after the apply; `opts.db`
+  /// routes it (empty = session database). Safe to retry: a replayed
+  /// delta is recognized by its generation and applied at most once (the
+  /// retry gets the same generation back).
+  Result<uint64_t> PushDelta(
+      const Bytes& delta_image,
+      const NetCallOptions& opts = NetCallOptions()) const;
 
   /// Installs the handler for server-pushed invalidation events (wire
-  /// v5). Called while a reply is being awaited — i.e. on the calling
-  /// thread of whatever request the event arrived in front of — so the
-  /// handler must be fast and must not call back into this engine.
+  /// v5). Runs on the transport's reader thread, between response
+  /// dispatches — it must be fast and must not call back into this
+  /// engine.
   void SetInvalidationSink(
       std::function<void(const InvalidationEventMsg&)> sink) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(sink_mu_);
     invalidation_sink_ = std::move(sink);
   }
 
@@ -103,13 +119,32 @@ class RemoteServerEngine : public QueryEngine {
   /// The session's target database ("" = daemon default).
   const std::string& database() const { return options_.database; }
 
+  /// High-water mark of requests this stub has had in flight on one
+  /// connection at once (observability: proves pipelining overlap).
+  int max_inflight_observed() const {
+    return inflight_peak_.load(std::memory_order_relaxed);
+  }
+
  private:
+  struct PendingCall;  // one caller's wait state (remote_engine.cc)
+  struct Transport;    // one live connection + reader (remote_engine.cc)
+
   RemoteServerEngine(std::string host, uint16_t port, RemoteOptions options);
 
-  /// Sends one request and reads the reply, retrying transient failures
-  /// per RemoteOptions — including Unavailable error frames (admission
-  /// sheds), whose retry-after hint floors the next backoff. On success
-  /// fills the wire facts of `stats`.
+  /// Returns the live transport, dialing a fresh connection (and starting
+  /// its reader thread) when there is none.
+  Result<std::shared_ptr<Transport>> GetTransport() const;
+  /// Marks a transport dead: fails every pending call with `error`, stops
+  /// its reader, and forgets it so the next attempt dials fresh.
+  void FailTransport(Transport* transport, const Status& error) const;
+  /// Reader-thread body: matches response frames to pending calls by
+  /// frame id and dispatches unsolicited invalidation events.
+  void ReaderLoop(Transport* transport) const;
+
+  /// Sends one request and awaits its reply by frame id, retrying
+  /// transient failures per RemoteOptions — including Unavailable error
+  /// frames (admission sheds), whose retry-after hint floors the next
+  /// backoff. On success fills the wire facts of `stats`.
   Result<Frame> RoundTrip(MessageType type, const Bytes& payload,
                           MessageType expected_reply,
                           EngineCallStats* stats) const;
@@ -124,14 +159,29 @@ class RemoteServerEngine : public QueryEngine {
   uint16_t port_ = 0;
   RemoteOptions options_;
 
-  /// One request in flight at a time per connection; concurrent callers
-  /// serialize here. All per-call state lives on the caller's stack.
+  /// Guards transport_ (swap on reconnect). Calls in flight hold their
+  /// own shared_ptr, so a reconnect never yanks the connection from under
+  /// a concurrent caller.
   mutable std::mutex mu_;
-  mutable Socket sock_;
-  /// Jitter source for retry backoff; guarded by mu_ like the socket.
+  mutable std::shared_ptr<Transport> transport_;
+
+  /// Jitter source for retry backoff; its own lock so concurrent
+  /// retries never serialize on the transport.
+  mutable std::mutex rng_mu_;
   mutable Rng backoff_rng_;
-  /// Handler for server-pushed invalidation events; guarded by mu_.
+
+  mutable std::mutex sink_mu_;
   std::function<void(const InvalidationEventMsg&)> invalidation_sink_;
+
+  /// Reader threads are detached (a reader failing its own transport must
+  /// not join itself); the destructor waits for all of them to exit so no
+  /// reader outlives the engine.
+  mutable std::mutex readers_mu_;
+  mutable std::condition_variable readers_cv_;
+  mutable int live_readers_ = 0;
+
+  mutable std::atomic<int> inflight_now_{0};
+  mutable std::atomic<int> inflight_peak_{0};
 };
 
 }  // namespace net

@@ -1,7 +1,16 @@
 #include "net/server.h"
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+
 #include "common/timer.h"
-#include "net/channel.h"
 
 namespace xcrypt {
 namespace net {
@@ -9,37 +18,160 @@ namespace net {
 namespace {
 /// How often blocked threads re-check the stop flag.
 constexpr double kStopPollSec = 0.1;
-}  // namespace
+/// epoll_wait tick, so I/O threads notice the stop flag promptly.
+constexpr int kEpollTickMs = 100;
+/// How often an I/O thread sweeps its connections for timeouts.
+constexpr auto kSweepInterval = std::chrono::milliseconds(250);
+/// Bytes pulled off a socket per recv call.
+constexpr size_t kReadChunk = 64 * 1024;
+/// Read budget per connection per loop round, so one firehose connection
+/// cannot starve its I/O thread's other sockets.
+constexpr int kMaxReadChunksPerRound = 16;
+/// iovec entries per sendmsg call.
+constexpr int kMaxIov = 64;
 
-Result<std::unique_ptr<NetServer>> NetServer::Serve(
-    HostedBundle bundle, const std::string& host, uint16_t port,
-    const NetServerOptions& options) {
-  const std::string name = bundle.name.empty() ? "default" : bundle.name;
-  auto catalog = std::make_unique<BundleCatalog>();
-  XCRYPT_RETURN_NOT_OK(catalog->AddBundle(name, std::move(bundle)));
-  NetServerOptions opts = options;
-  if (opts.default_db.empty()) opts.default_db = name;
-  return Start(std::move(catalog), host, port, opts);
+using Clock = std::chrono::steady_clock;
+
+Clock::duration SecondsToDuration(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
 }
 
-Result<std::unique_ptr<NetServer>> NetServer::ServeCatalog(
-    std::unique_ptr<BundleCatalog> catalog, const std::string& host,
-    uint16_t port, const NetServerOptions& options) {
-  if (catalog == nullptr) {
-    return Status::InvalidArgument("catalog must not be null");
+}  // namespace
+
+/// One connection's reactor state. Everything above `mu` is touched only
+/// by the owning I/O thread; the fields under `mu` are shared with the
+/// worker pool (reply enqueue, pipelining bookkeeping).
+struct NetServer::Conn {
+  Socket sock;
+  IoThread* io = nullptr;
+
+  Bytes in;           ///< unparsed input bytes
+  size_t in_off = 0;  ///< consumed prefix of `in`
+  /// Wire version of the latest parsed request (0 until the peer speaks).
+  /// Governs reply framing for pushes, pipelining depth, and whether the
+  /// session is eligible for invalidation events (≥ 5).
+  uint8_t version = 0;
+  uint64_t inv_seen = 0;
+  std::deque<Frame> parsed;  ///< complete frames awaiting dispatch
+  bool read_closed = false;  ///< EOF or broken framing: no more reads
+  uint32_t interest = 0;     ///< currently registered epoll mask
+  Clock::time_point last_activity;
+  Clock::time_point frame_start;  ///< when the current partial frame began
+  bool mid_frame = false;
+
+  std::mutex mu;
+  std::deque<Bytes> out;  ///< pending output segments (writev queue)
+  size_t out_off = 0;     ///< bytes of out.front() already on the wire
+  int inflight = 0;          ///< dispatched requests awaiting replies
+  int inflight_legacy = 0;   ///< of those, pre-v6 (strictly serial) ones
+  bool close_after_flush = false;
+  bool closed = false;  ///< fd closed; late replies are dropped
+};
+
+/// One epoll loop's state. `conns` belongs to the loop thread alone; the
+/// fields under `mu` are the handoff surface (acceptor → inbox, workers →
+/// ready, updates → inv_pending) drained once per loop round.
+struct NetServer::IoThread {
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::thread thread;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  Clock::time_point last_sweep;
+
+  std::mutex mu;
+  std::vector<Socket> inbox;
+  std::vector<std::shared_ptr<Conn>> ready;
+  bool inv_pending = false;
+
+  ~IoThread() {
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (event_fd >= 0) ::close(event_fd);
   }
-  return Start(std::move(catalog), host, port, options);
+};
+
+Status NetServerOptions::Validate() const {
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (io_threads < 1) {
+    return Status::InvalidArgument("io_threads must be >= 1");
+  }
+  if (backlog < 1) {
+    return Status::InvalidArgument("backlog must be >= 1");
+  }
+  if (!(io_timeout_sec > 0)) {  // also rejects NaN
+    return Status::InvalidArgument("io_timeout_sec must be > 0");
+  }
+  if (!(idle_timeout_sec >= 0)) {
+    return Status::InvalidArgument("idle_timeout_sec must be >= 0");
+  }
+  if (max_frame_bytes == 0) {
+    return Status::InvalidArgument("max_frame_bytes must be > 0");
+  }
+  if (max_inflight_queries < 0) {
+    return Status::InvalidArgument("max_inflight_queries must be >= 0");
+  }
+  if (max_queued_queries < 0) {
+    return Status::InvalidArgument("max_queued_queries must be >= 0");
+  }
+  if (!(shed_backoff_ms >= 0)) {
+    return Status::InvalidArgument("shed_backoff_ms must be >= 0");
+  }
+  if (max_invalidation_log < 0) {
+    return Status::InvalidArgument("max_invalidation_log must be >= 0");
+  }
+  if (max_pipeline_depth < 1) {
+    return Status::InvalidArgument("max_pipeline_depth must be >= 1");
+  }
+  return Status::Ok();
+}
+
+ServerConfig ServerConfig::ForBundle(HostedBundle bundle,
+                                     const std::string& host, uint16_t port,
+                                     NetServerOptions options) {
+  ServerConfig config;
+  config.host = host;
+  config.port = port;
+  config.bundle = std::move(bundle);
+  config.options = std::move(options);
+  return config;
+}
+
+ServerConfig ServerConfig::ForCatalog(std::unique_ptr<BundleCatalog> catalog,
+                                      const std::string& host, uint16_t port,
+                                      NetServerOptions options) {
+  ServerConfig config;
+  config.host = host;
+  config.port = port;
+  config.catalog = std::move(catalog);
+  config.options = std::move(options);
+  return config;
+}
+
+Result<std::unique_ptr<NetServer>> NetServer::Serve(ServerConfig config) {
+  XCRYPT_RETURN_NOT_OK(config.options.Validate());
+  if (config.bundle.has_value() == (config.catalog != nullptr)) {
+    return Status::InvalidArgument(
+        "ServerConfig must set exactly one of bundle or catalog");
+  }
+  std::unique_ptr<BundleCatalog> catalog;
+  NetServerOptions opts = config.options;
+  if (config.bundle.has_value()) {
+    const std::string name =
+        config.bundle->name.empty() ? "default" : config.bundle->name;
+    catalog = std::make_unique<BundleCatalog>();
+    XCRYPT_RETURN_NOT_OK(catalog->AddBundle(name, std::move(*config.bundle)));
+    if (opts.default_db.empty()) opts.default_db = name;
+  } else {
+    catalog = std::move(config.catalog);
+  }
+  return Start(std::move(catalog), config.host, config.port, opts);
 }
 
 Result<std::unique_ptr<NetServer>> NetServer::Start(
     std::unique_ptr<BundleCatalog> catalog, const std::string& host,
     uint16_t port, const NetServerOptions& options) {
-  if (options.num_threads < 1) {
-    return Status::InvalidArgument("num_threads must be >= 1");
-  }
-  if (options.max_queued_queries < 0) {
-    return Status::InvalidArgument("max_queued_queries must be >= 0");
-  }
   auto listener = Socket::Listen(host, port, options.backlog);
   if (!listener.ok()) return listener.status();
 
@@ -62,6 +194,25 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(
   server->update_latency_ = server->metrics_.GetHistogram("update_us");
   server->queue_depth_ = server->metrics_.GetGauge("queue_depth");
 
+  for (int i = 0; i < options.io_threads; ++i) {
+    auto io = std::make_unique<IoThread>();
+    io->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    io->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (io->epoll_fd < 0 || io->event_fd < 0) {
+      return Status::Internal("cannot create epoll/eventfd for I/O thread");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = io->event_fd;
+    if (::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->event_fd, &ev) != 0) {
+      return Status::Internal("cannot register eventfd with epoll");
+    }
+    io->last_sweep = Clock::now();
+    server->io_.push_back(std::move(io));
+  }
+  for (auto& io : server->io_) {
+    io->thread = std::thread([s = server.get(), t = io.get()] { s->IoLoop(t); });
+  }
   server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   for (int i = 0; i < options.num_threads; ++i) {
     server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
@@ -77,11 +228,22 @@ void NetServer::Shutdown() {
   admit_cv_.notify_all();  // queued requests drain as Unavailable sheds
   if (acceptor_.joinable()) acceptor_.join();
   listener_.Close();
+  // Workers drain every dispatched request first, so each one's reply is
+  // queued before the I/O threads run their final flush.
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  pending_.clear();  // connections never adopted by a worker just close
+  io_stop_.store(true, std::memory_order_release);
+  for (auto& io : io_) SignalIo(io.get());
+  for (auto& io : io_) {
+    if (io->thread.joinable()) io->thread.join();
+  }
+}
+
+void NetServer::SignalIo(IoThread* io) {
+  const uint64_t one = 1;
+  // The eventfd is nonblocking; a full counter still wakes the loop.
+  (void)!::write(io->event_fd, &one, sizeof(one));
 }
 
 Result<std::shared_ptr<const ResidentDb>> NetServer::ResolveDb(
@@ -128,7 +290,7 @@ void NetServer::ReleaseQuery() {
   admit_cv_.notify_one();
 }
 
-NetStats NetServer::stats(const std::string& db) const {
+NetStats NetServer::stats(const NetCallOptions& opts) const {
   NetStats s;
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
   s.aggregates_served = aggregates_served_.load(std::memory_order_relaxed);
@@ -144,7 +306,7 @@ NetStats NetServer::stats(const std::string& db) const {
     std::lock_guard<std::mutex> lock(admit_mu_);
     s.queue_depth = static_cast<uint64_t>(waiting_);
   }
-  const std::string& name = db.empty() ? options_.default_db : db;
+  const std::string& name = opts.db.empty() ? options_.default_db : opts.db;
   if (!name.empty()) {
     auto resident = catalog_->Get(name);
     if (resident.ok()) {
@@ -200,92 +362,439 @@ void NetServer::AcceptLoop() {
     }
     if (!conn->valid()) continue;  // tick elapsed with no connection
     connections_total_.fetch_add(1, std::memory_order_relaxed);
+    IoThread* io =
+        io_[next_io_.fetch_add(1, std::memory_order_relaxed) % io_.size()]
+            .get();
+    {
+      std::lock_guard<std::mutex> lock(io->mu);
+      io->inbox.push_back(std::move(*conn));
+    }
+    SignalIo(io);
+  }
+}
+
+// --- reactor ------------------------------------------------------------
+
+void NetServer::IoLoop(IoThread* io) {
+  epoll_event events[128];
+  while (!io_stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(io->epoll_fd, events,
+                               static_cast<int>(std::size(events)),
+                               kEpollTickMs);
+    if (n < 0 && errno != EINTR) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == io->event_fd) {
+        uint64_t drained = 0;
+        (void)!::read(io->event_fd, &drained, sizeof(drained));
+        continue;
+      }
+      auto it = io->conns.find(events[i].data.fd);
+      if (it == io->conns.end()) continue;  // closed earlier this round
+      ProcessConn(io, it->second);
+    }
+
+    // Drain the handoff surface: freshly accepted sockets, connections
+    // with worker activity, and invalidation pushes.
+    std::vector<Socket> inbox;
+    std::vector<std::shared_ptr<Conn>> ready;
+    bool inv = false;
+    {
+      std::lock_guard<std::mutex> lock(io->mu);
+      inbox.swap(io->inbox);
+      ready.swap(io->ready);
+      inv = io->inv_pending;
+      io->inv_pending = false;
+    }
+    for (Socket& sock : inbox) RegisterConn(io, std::move(sock));
+    for (const auto& conn : ready) ProcessConn(io, conn);
+    if (inv) {
+      std::vector<std::shared_ptr<Conn>> snapshot;
+      snapshot.reserve(io->conns.size());
+      for (const auto& [fd, conn] : io->conns) {
+        if (conn->version >= 5) snapshot.push_back(conn);
+      }
+      for (const auto& conn : snapshot) ProcessConn(io, conn);
+    }
+
+    const auto now = Clock::now();
+    if (now - io->last_sweep >= kSweepInterval) {
+      io->last_sweep = now;
+      SweepConns(io);
+    }
+  }
+
+  // Final drain: the workers have exited, so every reply that will ever
+  // exist is queued. Flush what the wire will take within the I/O
+  // timeout, then close everything.
+  std::vector<std::shared_ptr<Conn>> conns;
+  conns.reserve(io->conns.size());
+  for (const auto& [fd, conn] : io->conns) conns.push_back(conn);
+  const auto deadline = Clock::now() + SecondsToDuration(options_.io_timeout_sec);
+  bool pending = true;
+  while (pending && Clock::now() < deadline) {
+    pending = false;
+    for (const auto& conn : conns) {
+      if (conn->closed) continue;
+      bool empty;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        empty = conn->out.empty();
+      }
+      if (empty) continue;
+      if (!FlushOutput(conn.get())) {
+        CloseConn(io, conn);
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->out.empty()) pending = true;
+      }
+    }
+    if (pending) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (const auto& conn : conns) CloseConn(io, conn);
+}
+
+void NetServer::RegisterConn(IoThread* io, Socket sock) {
+  if (stop_.load(std::memory_order_relaxed)) return;  // draining: drop it
+  if (!sock.SetNonBlocking(true).ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto conn = std::make_shared<Conn>();
+  conn->sock = std::move(sock);
+  conn->io = io;
+  // New sessions start past the log: events recorded before a client
+  // connected describe blocks it cannot be caching yet.
+  conn->inv_seen = inv_seq_.load(std::memory_order_acquire);
+  conn->last_activity = Clock::now();
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = conn->sock.fd();
+  if (::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, conn->sock.fd(), &ev) != 0) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return;  // Socket closes via RAII
+  }
+  conn->interest = EPOLLIN;
+  io->conns.emplace(conn->sock.fd(), conn);
+  connections_active_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NetServer::ProcessConn(IoThread* io, const std::shared_ptr<Conn>& conn) {
+  if (conn->closed) return;
+  if (!conn->read_closed && !stop_.load(std::memory_order_relaxed)) {
+    if (!ReadInput(io, conn)) return;  // hard error: connection closed
+    ParseFrames(conn);
+  }
+  DispatchFrames(conn);
+  if (!FlushOutput(conn.get())) {
+    CloseConn(io, conn);
+    return;
+  }
+  if (conn->version >= 5 &&
+      conn->inv_seen < inv_seq_.load(std::memory_order_acquire)) {
+    FlushConnInvalidations(conn.get());
+    if (!FlushOutput(conn.get())) {
+      CloseConn(io, conn);
+      return;
+    }
+  }
+  bool done;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    done = (conn->read_closed || conn->close_after_flush) &&
+           conn->inflight == 0 && conn->out.empty() && conn->parsed.empty();
+  }
+  if (done) {
+    CloseConn(io, conn);
+    return;
+  }
+  UpdateInterest(io, conn.get());
+}
+
+bool NetServer::ReadInput(IoThread* io, const std::shared_ptr<Conn>& conn) {
+  // Backpressure: a full parsed backlog means dispatch is blocked on the
+  // pipeline depth (or a serial legacy request) — leave further bytes in
+  // the kernel buffer so TCP flow control reaches the peer.
+  int limit = conn->version >= 6 ? options_.max_pipeline_depth : 1;
+  if (static_cast<int>(conn->parsed.size()) >= limit) return true;
+  for (int round = 0; round < kMaxReadChunksPerRound; ++round) {
+    const size_t old_size = conn->in.size();
+    conn->in.resize(old_size + kReadChunk);
+    const ssize_t rc =
+        ::recv(conn->sock.fd(), conn->in.data() + old_size, kReadChunk, 0);
+    if (rc > 0) {
+      conn->in.resize(old_size + static_cast<size_t>(rc));
+      conn->last_activity = Clock::now();
+      if (static_cast<size_t>(rc) < kReadChunk) break;  // socket drained
+      continue;
+    }
+    conn->in.resize(old_size);
+    if (rc == 0) {
+      // EOF. Pending requests still get served and flushed; the drained-
+      // close check in ProcessConn reaps the connection afterwards.
+      conn->read_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(io, conn);
+    return false;
+  }
+  return true;
+}
+
+bool NetServer::ParseFrames(const std::shared_ptr<Conn>& conn) {
+  while (true) {
+    const int limit = conn->version >= 6 ? options_.max_pipeline_depth : 1;
+    if (static_cast<int>(conn->parsed.size()) >= limit) break;
+    const size_t avail = conn->in.size() - conn->in_off;
+    if (avail < kFrameHeaderBytes) {
+      if (avail > 0 && !conn->mid_frame) {
+        conn->mid_frame = true;
+        conn->frame_start = Clock::now();
+      }
+      break;
+    }
+    uint32_t payload_length = 0;
+    auto frame = DecodeFrameHeader(conn->in.data() + conn->in_off,
+                                   options_.max_frame_bytes, &payload_length);
+    if (!frame.ok()) {
+      // Framing violation: report it, then close once the error flushes —
+      // after a bad header the stream is no longer frame-aligned.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      const uint8_t version =
+          conn->version >= kMinWireVersion ? conn->version : kWireVersion;
+      FrameParts parts =
+          EncodeFrameParts(MessageType::kError,
+                           {EncodeError(frame.status(), 0.0, version)},
+                           version, 0);
+      bytes_sent_.fetch_add(FramePartsBytes(parts), std::memory_order_relaxed);
+      conn->read_closed = true;
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->close_after_flush = true;
+      for (Bytes& part : parts) {
+        if (!part.empty()) conn->out.push_back(std::move(part));
+      }
+      return false;
+    }
+    const size_t header_bytes = FrameHeaderBytes(frame->version);
+    if (avail < header_bytes + payload_length) {
+      if (!conn->mid_frame) {
+        conn->mid_frame = true;
+        conn->frame_start = Clock::now();
+      }
+      break;
+    }
+    const uint8_t* base = conn->in.data() + conn->in_off;
+    if (frame->version >= 6) {
+      frame->frame_id = DecodeFrameId(base + kFrameHeaderBytes);
+    }
+    frame->payload.assign(base + header_bytes,
+                          base + header_bytes + payload_length);
+    conn->in_off += header_bytes + payload_length;
+    conn->mid_frame = false;
+    conn->version = frame->version;
+    bytes_received_.fetch_add(header_bytes + payload_length,
+                              std::memory_order_relaxed);
+    conn->parsed.push_back(std::move(*frame));
+  }
+  // Compact the consumed prefix once it is worth the memmove.
+  if (conn->in_off == conn->in.size()) {
+    conn->in.clear();
+    conn->in_off = 0;
+  } else if (conn->in_off > kReadChunk) {
+    conn->in.erase(conn->in.begin(),
+                   conn->in.begin() + static_cast<ptrdiff_t>(conn->in_off));
+    conn->in_off = 0;
+  }
+  return true;
+}
+
+void NetServer::DispatchFrames(const std::shared_ptr<Conn>& conn) {
+  if (stop_.load(std::memory_order_relaxed)) return;
+  while (!conn->parsed.empty()) {
+    const uint8_t version = conn->parsed.front().version;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (version < 6) {
+        // Legacy sessions are strictly serial: one request at a time, in
+        // arrival order, exactly like the pre-reactor daemon.
+        if (conn->inflight > 0) return;
+      } else {
+        // v6 frames pipeline, but never overtake an in-flight legacy
+        // frame (a hostile client mixing versions must not see replies
+        // reorder on an id-less frame).
+        if (conn->inflight_legacy > 0) return;
+        if (conn->inflight >= options_.max_pipeline_depth) return;
+      }
+      ++conn->inflight;
+      if (version < 6) ++conn->inflight_legacy;
+    }
+    Task task;
+    task.conn = conn;
+    task.frame = std::move(conn->parsed.front());
+    conn->parsed.pop_front();
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
-      pending_.push_back(std::move(*conn));
+      tasks_.push_back(std::move(task));
     }
     queue_cv_.notify_one();
   }
 }
 
-void NetServer::WorkerLoop() {
-  while (true) {
-    Socket conn;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return stop_.load(std::memory_order_relaxed) || !pending_.empty();
-      });
-      if (stop_.load(std::memory_order_relaxed)) return;
-      conn = std::move(pending_.front());
-      pending_.pop_front();
+bool NetServer::FlushOutput(Conn* conn) {
+  if (conn->closed) return true;
+  std::lock_guard<std::mutex> lock(conn->mu);
+  while (!conn->out.empty()) {
+    iovec iov[kMaxIov];
+    int n = 0;
+    size_t off = conn->out_off;
+    for (auto it = conn->out.begin(); it != conn->out.end() && n < kMaxIov;
+         ++it) {
+      iov[n].iov_base = it->data() + off;
+      iov[n].iov_len = it->size() - off;
+      off = 0;
+      ++n;
     }
-    connections_active_.fetch_add(1, std::memory_order_relaxed);
-    ServeConnection(std::move(conn));
-    connections_active_.fetch_sub(1, std::memory_order_relaxed);
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(n);
+    const ssize_t rc = ::sendmsg(conn->sock.fd(), &msg, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;  // UpdateInterest arms EPOLLOUT for the remainder
+      }
+      return false;  // peer gone
+    }
+    conn->last_activity = Clock::now();
+    size_t left = static_cast<size_t>(rc);
+    while (left > 0) {
+      const size_t head = conn->out.front().size() - conn->out_off;
+      if (left >= head) {
+        left -= head;
+        conn->out.pop_front();
+        conn->out_off = 0;
+      } else {
+        conn->out_off += left;
+        left = 0;
+      }
+    }
   }
+  return true;
 }
 
-void NetServer::ServeConnection(Socket conn) {
-  // Invalidation push state for this session. Push only starts once the
-  // peer has spoken v5 — older clients would reject the unknown frames.
-  uint64_t inv_seen = inv_seq_.load(std::memory_order_acquire);
-  uint8_t session_version = 0;
-  while (!stop_.load(std::memory_order_relaxed)) {
-    const bool push = session_version >= 5;
-    bool woke = false;
-    auto frame = ReadFrame(conn, options_.max_frame_bytes,
-                           options_.io_timeout_sec, &stop_,
-                           /*allow_idle=*/true, push ? &inv_seq_ : nullptr,
-                           inv_seen, &woke);
-    if (!frame.ok()) {
-      if (woke) {
-        // A delta landed while this session idled between requests: push
-        // the invalidation events, then go back to waiting.
-        if (!FlushInvalidations(conn, &inv_seen)) return;
-        continue;
-      }
-      if (frame.status().code() != StatusCode::kUnavailable) {
-        // Framing violation: report it, then close — after a bad header
-        // the byte stream can no longer be trusted to be frame-aligned.
-        errors_.fetch_add(1, std::memory_order_relaxed);
-        SendError(conn, frame.status(), kWireVersion);
-      }
-      // Unavailable covers the routine ends of a session (peer closed,
-      // drain cancelled) as well as a mid-frame stall; close quietly.
-      return;
-    }
-    session_version = frame->version;
-    bytes_received_.fetch_add(kFrameHeaderBytes + frame->payload.size(),
-                              std::memory_order_relaxed);
-    if (!HandleFrame(conn, *frame)) return;
-    if (session_version >= 5 && !FlushInvalidations(conn, &inv_seen)) return;
+void NetServer::UpdateInterest(IoThread* io, Conn* conn) {
+  int inflight;
+  bool out_empty;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    inflight = conn->inflight;
+    out_empty = conn->out.empty();
   }
+  const int limit = conn->version >= 6 ? options_.max_pipeline_depth : 1;
+  const bool paused =
+      static_cast<int>(conn->parsed.size()) + inflight >= limit;
+  uint32_t want = 0;
+  if (!conn->read_closed && !paused &&
+      !stop_.load(std::memory_order_relaxed)) {
+    want |= EPOLLIN;
+  }
+  if (!out_empty) want |= EPOLLOUT;
+  if (want == conn->interest) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = conn->sock.fd();
+  ::epoll_ctl(io->epoll_fd, EPOLL_CTL_MOD, conn->sock.fd(), &ev);
+  conn->interest = want;
 }
+
+void NetServer::CloseConn(IoThread* io, std::shared_ptr<Conn> conn) {
+  if (conn->closed) return;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closed = true;
+    conn->out.clear();
+    conn->out_off = 0;
+  }
+  const int fd = conn->sock.fd();
+  ::epoll_ctl(io->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  io->conns.erase(fd);
+  conn->sock.Close();
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void NetServer::SweepConns(IoThread* io) {
+  const auto now = Clock::now();
+  const auto io_timeout = SecondsToDuration(options_.io_timeout_sec);
+  std::vector<std::shared_ptr<Conn>> doomed;
+  for (const auto& [fd, conn] : io->conns) {
+    int inflight;
+    bool out_empty;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      inflight = conn->inflight;
+      out_empty = conn->out.empty();
+    }
+    if (conn->mid_frame && now - conn->frame_start > io_timeout) {
+      // Stalled mid-frame (the old RecvAll timeout): close quietly, the
+      // stream cannot be re-aligned and the peer is not making progress.
+      doomed.push_back(conn);
+    } else if (!out_empty && now - conn->last_activity > io_timeout) {
+      // Peer stopped reading with replies pending: reap the slow reader
+      // instead of buffering unboundedly.
+      doomed.push_back(conn);
+    } else if (options_.idle_timeout_sec > 0 && inflight == 0 && out_empty &&
+               !conn->mid_frame && conn->parsed.empty() &&
+               now - conn->last_activity >
+                   SecondsToDuration(options_.idle_timeout_sec)) {
+      doomed.push_back(conn);
+    }
+  }
+  for (const auto& conn : doomed) CloseConn(io, conn);
+}
+
+// --- invalidation push --------------------------------------------------
 
 void NetServer::RecordInvalidation(InvalidationEventMsg event) {
-  std::lock_guard<std::mutex> lock(inv_mu_);
-  PendingInvalidation entry;
-  entry.seq = inv_seq_.load(std::memory_order_relaxed) + 1;
-  entry.event = std::move(event);
-  inv_log_.push_back(std::move(entry));
-  while (options_.max_invalidation_log > 0 &&
-         inv_log_.size() > static_cast<size_t>(options_.max_invalidation_log)) {
-    inv_log_.pop_front();
+  {
+    std::lock_guard<std::mutex> lock(inv_mu_);
+    PendingInvalidation entry;
+    entry.seq = inv_seq_.load(std::memory_order_relaxed) + 1;
+    entry.event = std::move(event);
+    inv_log_.push_back(std::move(entry));
+    while (options_.max_invalidation_log > 0 &&
+           inv_log_.size() >
+               static_cast<size_t>(options_.max_invalidation_log)) {
+      inv_log_.pop_front();
+    }
+    // Release so an I/O thread that wakes on the counter sees the log
+    // entry it advertises.
+    inv_seq_.fetch_add(1, std::memory_order_release);
   }
-  // Release so a session thread that wakes on the counter sees the log
-  // entry it advertises.
-  inv_seq_.fetch_add(1, std::memory_order_release);
+  // Wake every I/O thread: idle v5+ sessions get the event pushed without
+  // waiting for their next request.
+  for (auto& io : io_) {
+    {
+      std::lock_guard<std::mutex> lock(io->mu);
+      io->inv_pending = true;
+    }
+    SignalIo(io.get());
+  }
 }
 
-bool NetServer::FlushInvalidations(Socket& conn, uint64_t* inv_seen) {
+void NetServer::FlushConnInvalidations(Conn* conn) {
   std::vector<InvalidationEventMsg> events;
   uint64_t newest = 0;
   {
     std::lock_guard<std::mutex> lock(inv_mu_);
     newest = inv_seq_.load(std::memory_order_relaxed);
-    if (newest == *inv_seen) return true;
-    if (inv_log_.empty() || inv_log_.front().seq > *inv_seen + 1) {
+    if (newest == conn->inv_seen) return;
+    if (inv_log_.empty() || inv_log_.front().seq > conn->inv_seen + 1) {
       // The bounded log no longer reaches back this far: precise lists
       // for the missed events are gone, so tell the client to drop
       // everything it holds.
@@ -294,36 +803,84 @@ bool NetServer::FlushInvalidations(Socket& conn, uint64_t* inv_seen) {
       events.push_back(std::move(drop_all));
     } else {
       for (const PendingInvalidation& entry : inv_log_) {
-        if (entry.seq > *inv_seen) events.push_back(entry.event);
+        if (entry.seq > conn->inv_seen) events.push_back(entry.event);
       }
     }
   }
-  *inv_seen = newest;
+  conn->inv_seen = newest;
+  // Events are framed at the session's own version (a v5 session must
+  // not receive v6 frame ids); unsolicited frames carry id 0.
+  const uint8_t version = conn->version;
   for (const InvalidationEventMsg& event : events) {
-    const Bytes payload = EncodeInvalidationEvent(event);
-    bytes_sent_.fetch_add(kFrameHeaderBytes + payload.size(),
-                          std::memory_order_relaxed);
-    if (!WriteFrame(conn, MessageType::kInvalidationEvent, payload,
-                    kWireVersion)
-             .ok()) {
-      return false;
+    FrameParts parts =
+        EncodeFrameParts(MessageType::kInvalidationEvent,
+                         {EncodeInvalidationEvent(event)}, version, 0);
+    bytes_sent_.fetch_add(FramePartsBytes(parts), std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    for (Bytes& part : parts) {
+      if (!part.empty()) conn->out.push_back(std::move(part));
     }
   }
-  return true;
 }
 
-Status NetServer::SendError(Socket& conn, const Status& error,
-                            uint8_t version, double retry_after_ms) {
-  const Bytes payload = EncodeError(error, retry_after_ms, version);
-  bytes_sent_.fetch_add(kFrameHeaderBytes + payload.size(),
-                        std::memory_order_relaxed);
-  return WriteFrame(conn, MessageType::kError, payload, version);
+// --- worker pool --------------------------------------------------------
+
+void NetServer::WorkerLoop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_relaxed) || !tasks_.empty();
+      });
+      if (tasks_.empty()) return;  // stopping and fully drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    HandleFrame(task.conn, task.frame);
+    FinishRequest(task.conn, task.frame.version);
+  }
 }
 
-bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
-  Bytes reply;
-  MessageType reply_type = MessageType::kError;
+void NetServer::EnqueueReply(const std::shared_ptr<Conn>& conn,
+                             FrameParts parts) {
+  bytes_sent_.fetch_add(FramePartsBytes(parts), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->closed) return;  // peer is gone; drop the late reply
+  for (Bytes& part : parts) {
+    if (!part.empty()) conn->out.push_back(std::move(part));
+  }
+}
+
+void NetServer::EnqueueErrorReply(const std::shared_ptr<Conn>& conn,
+                                  const Status& error, uint8_t version,
+                                  uint64_t frame_id, double retry_after_ms) {
+  EnqueueReply(conn,
+               EncodeFrameParts(MessageType::kError,
+                                {EncodeError(error, retry_after_ms, version)},
+                                version, frame_id));
+}
+
+void NetServer::FinishRequest(const std::shared_ptr<Conn>& conn,
+                              uint8_t version) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    --conn->inflight;
+    if (version < 6) --conn->inflight_legacy;
+  }
+  IoThread* io = conn->io;
+  {
+    std::lock_guard<std::mutex> lock(io->mu);
+    io->ready.push_back(conn);
+  }
+  SignalIo(io);
+}
+
+void NetServer::HandleFrame(const std::shared_ptr<Conn>& conn,
+                            const Frame& frame) {
   const uint8_t version = frame.version;
+  const uint64_t id = frame.frame_id;
 
   // The admission gate covers the three query-class request types plus
   // updates (a delta apply clones and rebuilds an engine — heavier than
@@ -335,30 +892,33 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
                      frame.type == MessageType::kUpdateRequest;
   if (gated && !AdmitQuery()) {
     queries_shed_.fetch_add(1, std::memory_order_relaxed);
-    return SendError(conn,
-                     Status::Unavailable("daemon over capacity, retry later"),
-                     version, options_.shed_backoff_ms)
-        .ok();
+    EnqueueErrorReply(conn,
+                      Status::Unavailable("daemon over capacity, retry later"),
+                      version, id, options_.shed_backoff_ms);
+    return;
   }
 
   switch (frame.type) {
     case MessageType::kPingRequest: {
       ping_latency_->Observe(0.0);
-      reply_type = MessageType::kPingResponse;
-      break;
+      EnqueueReply(conn, EncodeFrameParts(MessageType::kPingResponse, {},
+                                          version, id));
+      return;
     }
     case MessageType::kQueryRequest: {
       auto query = DecodeQueryRequest(frame.payload, version);
       if (!query.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, query.status(), version).ok();
+        EnqueueErrorReply(conn, query.status(), version, id);
+        return;
       }
       auto db = ResolveDb(query->db);
       if (!db.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, db.status(), version).ok();
+        EnqueueErrorReply(conn, db.status(), version, id);
+        return;
       }
       // Every served query is traced: the phase decomposition rides back
       // inside the response frame, and the total lands in the histogram.
@@ -373,28 +933,36 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
       if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, result.status(), version).ok();
+        EnqueueErrorReply(conn, result.status(), version, id);
+        return;
       }
       queries_served_.fetch_add(1, std::memory_order_relaxed);
       query_latency_->Observe(watch.ElapsedMicros());
-      reply = EncodeQueryResponse(result->response,
-                                  result->stats.server_process_us,
-                                  result->stats.server_phases);
-      reply_type = MessageType::kQueryResponse;
-      break;
+      ReleaseQuery();
+      EnqueueReply(
+          conn,
+          EncodeFrameParts(
+              MessageType::kQueryResponse,
+              EncodeQueryResponseParts(std::move(result->response),
+                                       result->stats.server_process_us,
+                                       result->stats.server_phases),
+              version, id));
+      return;
     }
     case MessageType::kNaiveRequest: {
       auto request = DecodeNaiveRequest(frame.payload, version);
       if (!request.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, request.status(), version).ok();
+        EnqueueErrorReply(conn, request.status(), version, id);
+        return;
       }
       auto db = ResolveDb(request->db);
       if (!db.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, db.status(), version).ok();
+        EnqueueErrorReply(conn, db.status(), version, id);
+        return;
       }
       Stopwatch watch;
       obs::Trace trace;
@@ -406,28 +974,36 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
       if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, result.status(), version).ok();
+        EnqueueErrorReply(conn, result.status(), version, id);
+        return;
       }
       naive_served_.fetch_add(1, std::memory_order_relaxed);
       naive_latency_->Observe(watch.ElapsedMicros());
-      reply = EncodeQueryResponse(result->response,
-                                  result->stats.server_process_us,
-                                  result->stats.server_phases);
-      reply_type = MessageType::kQueryResponse;
-      break;
+      ReleaseQuery();
+      EnqueueReply(
+          conn,
+          EncodeFrameParts(
+              MessageType::kQueryResponse,
+              EncodeQueryResponseParts(std::move(result->response),
+                                       result->stats.server_process_us,
+                                       result->stats.server_phases),
+              version, id));
+      return;
     }
     case MessageType::kAggregateRequest: {
       auto request = DecodeAggregateRequest(frame.payload, version);
       if (!request.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, request.status(), version).ok();
+        EnqueueErrorReply(conn, request.status(), version, id);
+        return;
       }
       auto db = ResolveDb(request->db);
       if (!db.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, db.status(), version).ok();
+        EnqueueErrorReply(conn, db.status(), version, id);
+        return;
       }
       Stopwatch watch;
       obs::Trace trace;
@@ -442,64 +1018,74 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
       if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, result.status(), version).ok();
+        EnqueueErrorReply(conn, result.status(), version, id);
+        return;
       }
       aggregates_served_.fetch_add(1, std::memory_order_relaxed);
       aggregate_latency_->Observe(watch.ElapsedMicros());
-      reply = EncodeAggregateResponse(result->response,
-                                      result->stats.server_process_us,
-                                      result->stats.server_phases);
-      reply_type = MessageType::kAggregateResponse;
-      break;
+      ReleaseQuery();
+      EnqueueReply(
+          conn,
+          EncodeFrameParts(
+              MessageType::kAggregateResponse,
+              EncodeAggregateResponseParts(std::move(result->response),
+                                           result->stats.server_process_us,
+                                           result->stats.server_phases),
+              version, id));
+      return;
     }
     case MessageType::kUpdateRequest: {
       if (!options_.accept_updates) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn,
-                         Status::Unsupported(
-                             "daemon does not accept updates (restart with "
-                             "--allow-updates)"),
-                         version)
-            .ok();
+        EnqueueErrorReply(conn,
+                          Status::Unsupported(
+                              "daemon does not accept updates (restart with "
+                              "--allow-updates)"),
+                          version, id);
+        return;
       }
       auto request = DecodeUpdateRequest(frame.payload);
       if (!request.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, request.status(), version).ok();
+        EnqueueErrorReply(conn, request.status(), version, id);
+        return;
       }
       auto delta = DeserializeDelta(request->delta);
       if (!delta.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, delta.status(), version).ok();
+        EnqueueErrorReply(conn, delta.status(), version, id);
+        return;
       }
       const std::string db =
           request->db.empty() ? options_.default_db : request->db;
       if (db.empty()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn,
-                         Status::InvalidArgument(
-                             "update names no database and the daemon has "
-                             "no default"),
-                         version)
-            .ok();
+        EnqueueErrorReply(conn,
+                          Status::InvalidArgument(
+                              "update names no database and the daemon has "
+                              "no default"),
+                          version, id);
+        return;
       }
       Stopwatch watch;
       auto generation = catalog_->ApplyDelta(db, *delta);
       if (!generation.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         ReleaseQuery();
-        return SendError(conn, generation.status(), version).ok();
+        EnqueueErrorReply(conn, generation.status(), version, id);
+        return;
       }
       updates_applied_.fetch_add(1, std::memory_order_relaxed);
       update_latency_->Observe(watch.ElapsedMicros());
       metrics_.GetCounter("db." + db + ".updates")->Add(1);
 
-      // Tell every connected v5 session (this one included — its flush
-      // runs right after the reply) which cached blocks just went stale.
+      // Tell every connected v5+ session (this one included) which cached
+      // blocks just went stale; the reactor pushes the event to idle
+      // sessions without waiting for their next request.
       InvalidationEventMsg event;
       event.db = db;
       event.db_generation = *generation;
@@ -509,9 +1095,10 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
         advert.generation = put.generation;
         event.blocks.push_back(advert);
       }
-      for (const auto& [id, block_generation] : delta->block_tombstones) {
+      for (const auto& [block_id, block_generation] :
+           delta->block_tombstones) {
         BlockAdvert advert;
-        advert.id = id;
+        advert.id = block_id;
         advert.generation = block_generation;
         event.blocks.push_back(advert);
       }
@@ -519,39 +1106,41 @@ bool NetServer::HandleFrame(Socket& conn, const Frame& frame) {
 
       UpdateResponseMsg response;
       response.generation = *generation;
-      reply = EncodeUpdateResponse(response);
-      reply_type = MessageType::kUpdateResponse;
-      break;
+      ReleaseQuery();
+      EnqueueReply(conn,
+                   EncodeFrameParts(MessageType::kUpdateResponse,
+                                    {EncodeUpdateResponse(response)}, version,
+                                    id));
+      return;
     }
     case MessageType::kStatsRequest: {
       Stopwatch watch;
       auto request = DecodeStatsRequest(frame.payload, version);
       if (!request.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
-        return SendError(conn, request.status(), version).ok();
+        EnqueueErrorReply(conn, request.status(), version, id);
+        return;
       }
-      reply = EncodeStats(stats(request->db), version);
+      NetCallOptions call;
+      call.db = request->db;
+      const Bytes payload = EncodeStats(stats(call), version);
       stats_latency_->Observe(watch.ElapsedMicros());
-      reply_type = MessageType::kStatsResponse;
-      break;
+      EnqueueReply(conn, EncodeFrameParts(MessageType::kStatsResponse,
+                                          {payload}, version, id));
+      return;
     }
     default: {
       // A response type arriving at the server is a confused client;
       // answer with an error but keep the (still frame-aligned) session.
       errors_.fetch_add(1, std::memory_order_relaxed);
-      return SendError(conn,
-                       Status::InvalidArgument(
-                           std::string("unexpected message type ") +
-                           MessageTypeName(frame.type)),
-                       version)
-          .ok();
+      EnqueueErrorReply(conn,
+                        Status::InvalidArgument(
+                            std::string("unexpected message type ") +
+                            MessageTypeName(frame.type)),
+                        version, id);
+      return;
     }
   }
-
-  if (gated) ReleaseQuery();
-  bytes_sent_.fetch_add(kFrameHeaderBytes + reply.size(),
-                        std::memory_order_relaxed);
-  return WriteFrame(conn, reply_type, reply, version).ok();
 }
 
 }  // namespace net

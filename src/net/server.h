@@ -7,6 +7,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,13 +24,21 @@ namespace net {
 
 struct NetServerOptions {
   NetServerOptions() {}
-  int num_threads = 8;          ///< fixed worker pool size
+  int num_threads = 8;  ///< fixed worker pool size (query evaluation)
+  /// Reactor I/O threads. Each runs an epoll loop over a share of the
+  /// connections, doing only non-blocking reads/writes and frame parsing;
+  /// a handful suffice for tens of thousands of sockets.
+  int io_threads = 2;
   int backlog = 64;             ///< listen(2) backlog
-  double io_timeout_sec = 30.;  ///< per-frame read/write completion bound
+  double io_timeout_sec = 30.;  ///< per-frame read/write progress bound
+  /// Reap connections idle (no request in flight, nothing buffered)
+  /// longer than this. 0 keeps the pre-reactor behavior: idle persistent
+  /// connections stay open indefinitely.
+  double idle_timeout_sec = 0.;
   uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Database served to requests that name none (every v3 request, and
   /// v4 requests with an empty db field). Empty + a request naming no
-  /// database → InvalidArgument. Serve() fills it in automatically.
+  /// database → InvalidArgument. ServerConfig::ForBundle fills it in.
   std::string default_db;
   /// Admission control: queries/aggregates/naive requests evaluating
   /// concurrently across all connections (0 = unbounded; pings and stats
@@ -49,6 +58,42 @@ struct NetServerOptions {
   /// that falls further behind than the log reaches gets one drop-all
   /// event instead of a precise stale-block list.
   int max_invalidation_log = 64;
+  /// Requests a single v6 connection may have dispatched concurrently
+  /// (wire v6 pipelining). Beyond this the reactor stops reading the
+  /// connection until replies drain — per-connection backpressure. Pre-v6
+  /// sessions are always dispatched one frame at a time.
+  int max_pipeline_depth = 64;
+
+  /// Rejects nonsensical settings (negative timeouts, zero frame bound,
+  /// thread counts < 1, ...). Serve() refuses to start on a bad config
+  /// instead of misbehaving later.
+  Status Validate() const;
+};
+
+/// Everything Serve() needs: the endpoint, what to host (exactly one of
+/// `bundle` or `catalog`), and the runtime options — the net-layer mirror
+/// of the ExecOptions convention (one options bag instead of positional
+/// overloads).
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 → ephemeral; read back via NetServer::port()
+  /// Single-database hosting: wrapped in a one-entry catalog named after
+  /// the bundle (or "default"), which also becomes options.default_db
+  /// when unset.
+  std::optional<HostedBundle> bundle;
+  /// Multi-tenant hosting: every database in the catalog is served.
+  /// options.default_db, when set, must name a database in the catalog.
+  std::unique_ptr<BundleCatalog> catalog;
+  NetServerOptions options;
+
+  static ServerConfig ForBundle(HostedBundle bundle,
+                                const std::string& host = "127.0.0.1",
+                                uint16_t port = 0,
+                                NetServerOptions options = NetServerOptions());
+  static ServerConfig ForCatalog(std::unique_ptr<BundleCatalog> catalog,
+                                 const std::string& host = "127.0.0.1",
+                                 uint16_t port = 0,
+                                 NetServerOptions options = NetServerOptions());
 };
 
 /// The untrusted service provider as an actual network daemon: owns a
@@ -57,29 +102,32 @@ struct NetServerOptions {
 /// queries for any number of clients against any of its databases (wire
 /// v4 routes per-request; v3 sessions get default_db).
 ///
-/// Threading model: one acceptor thread feeds a queue of connections; a
-/// fixed pool of workers each adopt one connection at a time and serve
-/// its requests serially (a session). Requests on different connections
-/// run concurrently; each resolves its database through the catalog and
-/// pins the engine for the duration of the call, so hot reloads and LRU
-/// evictions never break an in-flight query.
+/// Threading model (the reactor): one acceptor thread hands accepted
+/// sockets to a small set of I/O threads round-robin. Each I/O thread
+/// runs an epoll loop over its connections — non-blocking reads into a
+/// per-connection buffer, frame parsing, and scatter-gather writes
+/// (sendmsg with one iovec per segment, so block ciphertexts are never
+/// copied into a contiguous send buffer). Parsed requests are dispatched
+/// to a fixed worker pool for evaluation; I/O threads never block on the
+/// catalog or a join, so ten thousand idle sockets cost ten thousand
+/// epoll registrations, not ten thousand threads.
 ///
-/// Shutdown() drains gracefully: stop accepting, let every in-flight
+/// Wire v6 sessions may pipeline up to max_pipeline_depth requests per
+/// connection; responses carry the request's frame id and may complete
+/// out of order. Pre-v6 sessions are served one frame at a time in
+/// arrival order, exactly like the pre-reactor daemon. Each request
+/// resolves its database through the catalog and pins the engine for the
+/// duration of the call, so hot reloads and LRU evictions never break an
+/// in-flight query.
+///
+/// Shutdown() drains gracefully: stop accepting, let every dispatched
 /// request finish and its response flush, then close sessions and join.
 class NetServer {
  public:
-  /// Single-database convenience: wraps `bundle` in a one-entry catalog
-  /// (named after the bundle, or "default") and serves it on host:port
-  /// (port 0 → ephemeral; read the bound port back via port()).
-  static Result<std::unique_ptr<NetServer>> Serve(
-      HostedBundle bundle, const std::string& host, uint16_t port,
-      const NetServerOptions& options = NetServerOptions());
-
-  /// Multi-tenant entry point: serves every database in `catalog`.
-  /// `options.default_db`, when set, must name a database in the catalog.
-  static Result<std::unique_ptr<NetServer>> ServeCatalog(
-      std::unique_ptr<BundleCatalog> catalog, const std::string& host,
-      uint16_t port, const NetServerOptions& options = NetServerOptions());
+  /// The single entry point: validates config.options, builds the catalog
+  /// (from `bundle` or `catalog` — exactly one), binds, and starts the
+  /// reactor.
+  static Result<std::unique_ptr<NetServer>> Serve(ServerConfig config);
 
   ~NetServer();
 
@@ -92,9 +140,9 @@ class NetServer {
   BundleCatalog& catalog() { return *catalog_; }
 
   /// Current counters and latency histograms (the same numbers a remote
-  /// client gets via kStatsRequest). `db` selects which database the
+  /// client gets via kStatsRequest). `opts.db` selects which database the
   /// num_blocks/ciphertext_bytes fields describe (empty = default).
-  NetStats stats(const std::string& db = std::string()) const;
+  NetStats stats(const NetCallOptions& opts = NetCallOptions()) const;
 
   /// Full metrics snapshot: the daemon's latency histograms plus the
   /// request/byte counters, mergeable across scrapes.
@@ -107,6 +155,14 @@ class NetServer {
   void Shutdown();
 
  private:
+  struct Conn;      // one connection's reactor state (server.cc)
+  struct IoThread;  // one epoll loop's state (server.cc)
+  /// A parsed request handed from an I/O thread to the worker pool.
+  struct Task {
+    std::shared_ptr<Conn> conn;
+    Frame frame;
+  };
+
   NetServer() = default;
 
   static Result<std::unique_ptr<NetServer>> Start(
@@ -114,23 +170,50 @@ class NetServer {
       uint16_t port, const NetServerOptions& options);
 
   void AcceptLoop();
+  void IoLoop(IoThread* io);
   void WorkerLoop();
-  void ServeConnection(Socket conn);
-  /// Handles one decoded request frame; returns false when the
-  /// connection must close (framing is broken beyond recovery). Replies
-  /// are framed at the request's wire version.
-  bool HandleFrame(Socket& conn, const Frame& frame);
-  Status SendError(Socket& conn, const Status& error, uint8_t version,
-                   double retry_after_ms = 0.0);
 
-  /// Appends an invalidation event to the bounded log and bumps the
-  /// sequence counter, nudging every idle v5 session off its read wait.
+  // --- I/O-thread side (each Conn is touched by exactly one IoThread) --
+  void RegisterConn(IoThread* io, Socket sock);
+  /// Runs a connection's full state machine: read, parse, dispatch,
+  /// flush, epoll-interest update, and the drained-close checks.
+  void ProcessConn(IoThread* io, const std::shared_ptr<Conn>& conn);
+  /// Non-blocking read into the connection buffer. Returns false when
+  /// the connection died (already closed).
+  bool ReadInput(IoThread* io, const std::shared_ptr<Conn>& conn);
+  /// Extracts complete frames from the read buffer into conn->parsed.
+  /// Returns false on a framing violation (error queued, close pending).
+  bool ParseFrames(const std::shared_ptr<Conn>& conn);
+  void DispatchFrames(const std::shared_ptr<Conn>& conn);
+  /// Scatter-gather flush of the output queue. Returns false when the
+  /// peer is gone (connection must close).
+  bool FlushOutput(Conn* conn);
+  void UpdateInterest(IoThread* io, Conn* conn);
+  /// Takes its own reference (by value): callers often pass the map's
+  /// entry itself, which erasing would otherwise destroy mid-close.
+  void CloseConn(IoThread* io, std::shared_ptr<Conn> conn);
+  /// Pushes invalidation events this session has not seen yet (v5+).
+  void FlushConnInvalidations(Conn* conn);
+  /// Periodic sweep: idle reaping, mid-frame and stalled-write timeouts.
+  void SweepConns(IoThread* io);
+  void SignalIo(IoThread* io);
+
+  // --- worker side ----------------------------------------------------
+  /// Evaluates one request and enqueues the reply on the connection.
+  void HandleFrame(const std::shared_ptr<Conn>& conn, const Frame& frame);
+  /// Appends a framed reply to the connection's output queue (counts
+  /// bytes_sent) and wakes the owning I/O thread.
+  void EnqueueReply(const std::shared_ptr<Conn>& conn, FrameParts parts);
+  void EnqueueErrorReply(const std::shared_ptr<Conn>& conn,
+                         const Status& error, uint8_t version,
+                         uint64_t frame_id, double retry_after_ms = 0.0);
+  /// Marks the request done (pipelining bookkeeping) and wakes the
+  /// owning I/O thread to dispatch what the slot was blocking.
+  void FinishRequest(const std::shared_ptr<Conn>& conn, uint8_t version);
+
+  /// Appends an invalidation event to the bounded log, bumps the
+  /// sequence counter, and wakes every I/O thread to push it.
   void RecordInvalidation(InvalidationEventMsg event);
-
-  /// Pushes every invalidation event this session has not seen yet
-  /// (advancing *inv_seen); a session beyond the log's reach gets one
-  /// drop-all event. Returns false when the connection died mid-push.
-  bool FlushInvalidations(Socket& conn, uint64_t* inv_seen);
 
   /// Maps a request's db field to a pinned resident database (empty →
   /// default_db) and counts the hit under "db.<name>.queries".
@@ -148,13 +231,19 @@ class NetServer {
   Socket listener_;
   uint16_t port_ = 0;
 
+  /// stop_: stop accepting, reading, and dispatching (drain begins).
+  /// io_stop_: set once workers drained; I/O threads flush and exit.
   std::atomic<bool> stop_{false};
+  std::atomic<bool> io_stop_{false};
   std::thread acceptor_;
+  std::vector<std::unique_ptr<IoThread>> io_;
+  std::atomic<size_t> next_io_{0};  ///< round-robin accept placement
   std::vector<std::thread> workers_;
 
+  /// Worker task queue (parsed requests).
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<Socket> pending_;
+  std::deque<Task> tasks_;
 
   /// Admission state: inflight query-class requests + waiters.
   mutable std::mutex admit_mu_;
@@ -163,8 +252,7 @@ class NetServer {
   int waiting_ = 0;
 
   /// Cache-invalidation push state. inv_seq_ counts recorded events; each
-  /// v5 session tracks how far it has pushed and wakes off idle reads
-  /// when the counter moves.
+  /// v5+ session tracks how far the reactor has pushed to it.
   struct PendingInvalidation {
     uint64_t seq = 0;
     InvalidationEventMsg event;

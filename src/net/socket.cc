@@ -25,7 +25,7 @@ std::string Errno(const std::string& what) {
   return what + ": " + std::strerror(errno);
 }
 
-Status SetNonBlocking(int fd, bool enable) {
+Status SetNonBlockingFd(int fd, bool enable) {
   const int flags = fcntl(fd, F_GETFL, 0);
   if (flags < 0) return Status::Internal(Errno("fcntl(F_GETFL)"));
   const int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
@@ -87,7 +87,7 @@ Result<Socket> Socket::Dial(const std::string& host, uint16_t port,
 
   // Non-blocking connect so the timeout is ours, not the kernel's
   // (which can be minutes for an unresponsive address).
-  XCRYPT_RETURN_NOT_OK(SetNonBlocking(sock.fd(), true));
+  XCRYPT_RETURN_NOT_OK(SetNonBlockingFd(sock.fd(), true));
   int rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&*addr),
                      sizeof(*addr));
   if (rc < 0 && errno != EINPROGRESS) {
@@ -112,7 +112,7 @@ Result<Socket> Socket::Dial(const std::string& host, uint16_t port,
                                  std::strerror(err));
     }
   }
-  XCRYPT_RETURN_NOT_OK(SetNonBlocking(sock.fd(), false));
+  XCRYPT_RETURN_NOT_OK(SetNonBlockingFd(sock.fd(), false));
   XCRYPT_RETURN_NOT_OK(SetSendTimeout(sock.fd(), io_timeout_sec));
   const int one = 1;
   setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -187,25 +187,19 @@ Status Socket::SendAll(const uint8_t* data, size_t n) {
   return Status::Ok();
 }
 
+Status Socket::SetNonBlocking(bool enable) {
+  return SetNonBlockingFd(fd_, enable);
+}
+
 Status Socket::RecvAll(uint8_t* data, size_t n, double timeout_sec,
-                       const std::atomic<bool>* cancel, bool allow_idle,
-                       const std::atomic<uint64_t>* wake, uint64_t wake_seen,
-                       bool* woke) {
+                       const std::atomic<bool>* cancel, bool allow_idle) {
   constexpr int kTickMs = 100;
-  if (woke != nullptr) *woke = false;
   size_t got = 0;
   auto deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                      std::chrono::duration<double>(timeout_sec));
   while (got < n) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       return Status::Unavailable("cancelled");
-    }
-    if (wake != nullptr && woke != nullptr && got == 0 &&
-        wake->load(std::memory_order_acquire) != wake_seen) {
-      // Nudged between frames: bail out before any byte is consumed so
-      // the caller can act (e.g. push an event) and re-enter cleanly.
-      *woke = true;
-      return Status::Unavailable("woken");
     }
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kTickMs);

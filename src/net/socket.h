@@ -59,21 +59,16 @@ class Socket {
   /// Reads exactly n bytes, polling in short ticks so `cancel` (when
   /// non-null) aborts promptly. `timeout_sec` bounds the whole read;
   /// with `allow_idle` the clock only starts once the first byte
-  /// arrives — used by the server to keep idle persistent connections
-  /// open without holding a worker hostage to a stalled mid-frame read.
-  ///
-  /// `wake` (when non-null, with `woke` also non-null) lets another
-  /// thread nudge this read off an idle wait: if the counter no longer
-  /// equals `wake_seen` while no byte has arrived yet, the call returns
-  /// Unavailable with *woke = true. A read that has consumed its first
-  /// byte is never interrupted — frames stay whole. The server uses this
-  /// to push invalidation events between requests on a persistent
-  /// connection.
+  /// arrives — used by clients to wait indefinitely for the start of the
+  /// next frame on a persistent connection while still bounding how long
+  /// a partial frame may stall.
   Status RecvAll(uint8_t* data, size_t n, double timeout_sec,
                  const std::atomic<bool>* cancel = nullptr,
-                 bool allow_idle = false,
-                 const std::atomic<uint64_t>* wake = nullptr,
-                 uint64_t wake_seen = 0, bool* woke = nullptr);
+                 bool allow_idle = false);
+
+  /// Toggles O_NONBLOCK. The reactor puts accepted connections in
+  /// non-blocking mode and drives them from epoll readiness.
+  Status SetNonBlocking(bool enable);
 
  private:
   int fd_ = -1;

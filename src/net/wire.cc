@@ -112,6 +112,39 @@ Status ReadSteps(BinaryReader& r, std::vector<TranslatedStep>* out,
   return Status::Ok();
 }
 
+/// Ciphertexts at or above this size are detached into their own writev
+/// segment when encoding response parts; smaller ones are cheaper to copy
+/// into the glue buffer than to scatter (one iovec entry each).
+constexpr size_t kDetachCiphertextBytes = 1024;
+
+/// Accumulates scatter-gather payload segments: small fields append to a
+/// glue buffer; Detach() seals the glue and adopts a large buffer (a block
+/// ciphertext) as its own segment without copying it.
+class PartsWriter {
+ public:
+  explicit PartsWriter(std::vector<Bytes>* parts)
+      : parts_(parts), writer_(&glue_) {}
+
+  BinaryWriter& writer() { return writer_; }
+
+  void Detach(Bytes&& segment) {
+    Flush();
+    parts_->push_back(std::move(segment));
+  }
+
+  void Flush() {
+    if (!glue_.empty()) {
+      parts_->push_back(std::move(glue_));
+      glue_.clear();  // moved-from; reset so the writer keeps appending
+    }
+  }
+
+ private:
+  std::vector<Bytes>* parts_;
+  Bytes glue_;
+  BinaryWriter writer_;
+};
+
 void WriteServerResponse(BinaryWriter& w, const ServerResponse& response) {
   w.Str(response.skeleton_xml);
   w.U32(static_cast<uint32_t>(response.blocks.size()));
@@ -120,6 +153,29 @@ void WriteServerResponse(BinaryWriter& w, const ServerResponse& response) {
     w.U32(block.generation);
     w.Blob(block.ciphertext);
     // plaintext_bytes is client-only knowledge and never crosses the wire.
+  }
+  w.U32(static_cast<uint32_t>(response.cached_ids.size()));
+  for (int id : response.cached_ids) w.I32(id);
+  w.U8(response.requires_full_requery ? 1 : 0);
+}
+
+/// Segment-producing twin of WriteServerResponse: byte-identical when the
+/// segments are concatenated, but large ciphertexts are moved out of
+/// `response` into their own segments (the u32 length prefix stays in the
+/// preceding glue).
+void WriteServerResponseParts(PartsWriter& pw, ServerResponse&& response) {
+  BinaryWriter& w = pw.writer();
+  w.Str(response.skeleton_xml);
+  w.U32(static_cast<uint32_t>(response.blocks.size()));
+  for (EncryptedBlock& block : response.blocks) {
+    w.I32(block.id);
+    w.U32(block.generation);
+    if (block.ciphertext.size() >= kDetachCiphertextBytes) {
+      w.U32(static_cast<uint32_t>(block.ciphertext.size()));
+      pw.Detach(std::move(block.ciphertext));
+    } else {
+      w.Blob(block.ciphertext);
+    }
   }
   w.U32(static_cast<uint32_t>(response.cached_ids.size()));
   for (int id : response.cached_ids) w.I32(id);
@@ -289,14 +345,16 @@ const char* MessageTypeName(MessageType type) {
   return "Unknown";
 }
 
-Bytes EncodeFrame(MessageType type, const Bytes& payload, uint8_t version) {
+Bytes EncodeFrame(MessageType type, const Bytes& payload, uint8_t version,
+                  uint64_t frame_id) {
   Bytes out;
-  out.reserve(kFrameHeaderBytes + payload.size());
+  out.reserve(FrameHeaderBytes(version) + payload.size());
   BinaryWriter w(&out);
   w.U32(kWireMagic);
   w.U8(version);
   w.U8(static_cast<uint8_t>(type));
   w.U32(static_cast<uint32_t>(payload.size()));
+  if (version >= 6) w.U64(frame_id);
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }
@@ -334,6 +392,14 @@ Result<Frame> DecodeFrameHeader(const uint8_t* buf, uint64_t max_frame_bytes,
   return frame;
 }
 
+uint64_t DecodeFrameId(const uint8_t* buf) {
+  uint64_t id = 0;
+  for (size_t i = 0; i < kFrameIdBytes; ++i) {
+    id |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  }
+  return id;
+}
+
 Result<Frame> DecodeFrame(const Bytes& buf, uint64_t max_frame_bytes) {
   if (buf.size() < kFrameHeaderBytes) {
     return Status::Corruption("truncated frame header");
@@ -341,11 +407,43 @@ Result<Frame> DecodeFrame(const Bytes& buf, uint64_t max_frame_bytes) {
   uint32_t payload_length = 0;
   auto frame = DecodeFrameHeader(buf.data(), max_frame_bytes, &payload_length);
   if (!frame.ok()) return frame.status();
-  if (buf.size() - kFrameHeaderBytes != payload_length) {
+  const size_t header_bytes = FrameHeaderBytes(frame->version);
+  if (buf.size() < header_bytes) {
+    return Status::Corruption("truncated frame id");
+  }
+  if (frame->version >= 6) {
+    frame->frame_id = DecodeFrameId(buf.data() + kFrameHeaderBytes);
+  }
+  if (buf.size() - header_bytes != payload_length) {
     return Status::Corruption("frame length mismatch");
   }
-  frame->payload.assign(buf.begin() + kFrameHeaderBytes, buf.end());
+  frame->payload.assign(buf.begin() + header_bytes, buf.end());
   return frame;
+}
+
+uint64_t FramePartsBytes(const FrameParts& parts) {
+  uint64_t total = 0;
+  for (const Bytes& part : parts) total += part.size();
+  return total;
+}
+
+FrameParts EncodeFrameParts(MessageType type, std::vector<Bytes> payload,
+                            uint8_t version, uint64_t frame_id) {
+  uint64_t payload_bytes = 0;
+  for (const Bytes& part : payload) payload_bytes += part.size();
+  Bytes header;
+  header.reserve(FrameHeaderBytes(version));
+  BinaryWriter w(&header);
+  w.U32(kWireMagic);
+  w.U8(version);
+  w.U8(static_cast<uint8_t>(type));
+  w.U32(static_cast<uint32_t>(payload_bytes));
+  if (version >= 6) w.U64(frame_id);
+  FrameParts parts;
+  parts.reserve(payload.size() + 1);
+  parts.push_back(std::move(header));
+  for (Bytes& part : payload) parts.push_back(std::move(part));
+  return parts;
 }
 
 Bytes EncodeQueryRequest(const TranslatedQuery& query,
@@ -419,6 +517,18 @@ Bytes EncodeQueryResponse(const ServerResponse& response,
   return out;
 }
 
+std::vector<Bytes> EncodeQueryResponseParts(
+    ServerResponse&& response, double server_process_us,
+    const std::vector<obs::PhaseTiming>& server_phases) {
+  std::vector<Bytes> parts;
+  PartsWriter pw(&parts);
+  WriteServerResponseParts(pw, std::move(response));
+  pw.writer().F64(server_process_us);
+  WritePhases(pw.writer(), server_phases);
+  pw.Flush();
+  return parts;
+}
+
 Result<QueryResponseMsg> DecodeQueryResponse(const Bytes& payload) {
   BinaryReader r(payload);
   QueryResponseMsg msg;
@@ -473,6 +583,22 @@ Bytes EncodeAggregateResponse(const AggregateResponse& response,
   w.F64(server_process_us);
   WritePhases(w, server_phases);
   return out;
+}
+
+std::vector<Bytes> EncodeAggregateResponseParts(
+    AggregateResponse&& response, double server_process_us,
+    const std::vector<obs::PhaseTiming>& server_phases) {
+  std::vector<Bytes> parts;
+  PartsWriter pw(&parts);
+  BinaryWriter& w = pw.writer();
+  w.U8(static_cast<uint8_t>(response.kind));
+  w.U8(response.computed_on_server ? 1 : 0);
+  w.Str(response.server_value);
+  WriteServerResponseParts(pw, std::move(response.payload));
+  pw.writer().F64(server_process_us);
+  WritePhases(pw.writer(), server_phases);
+  pw.Flush();
+  return parts;
 }
 
 Result<AggregateResponseMsg> DecodeAggregateResponse(const Bytes& payload) {

@@ -48,12 +48,27 @@ inline constexpr uint32_t kWireMagic = 0x54454E58;  // "XNET" on the wire
 /// kInvalidationEvent frames so connected clients drop cache entries for
 /// blocks a delta changed. The three new message types are v5-only; v3/v4
 /// sessions never receive them.
-inline constexpr uint8_t kWireVersion = 5;
+/// v6: pipelining — a u64 frame id follows the fixed header (the payload
+/// length still counts payload bytes only). Requests carry a client-chosen
+/// id which the daemon echoes in the response, so one connection can have
+/// several requests in flight and responses may complete out of order.
+/// Unsolicited frames (invalidation events) and errors raised outside any
+/// request carry id 0, which clients never assign to a request. v3–v5
+/// frames have no id; the daemon serializes those sessions as before.
+inline constexpr uint8_t kWireVersion = 6;
 /// Oldest version a daemon still accepts. v3 frames decode with the db
 /// name defaulted to empty, which the daemon maps to its configured
 /// default database — so pre-catalog clients keep working.
 inline constexpr uint8_t kMinWireVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 1 + 4;
+/// Size of the v6 frame id that follows the fixed header.
+inline constexpr size_t kFrameIdBytes = 8;
+
+/// Bytes preceding the payload for a frame of `version`: the fixed header
+/// plus, from v6 on, the frame id.
+constexpr size_t FrameHeaderBytes(uint8_t version) {
+  return kFrameHeaderBytes + (version >= 6 ? kFrameIdBytes : 0);
+}
 
 /// Upper bound on a single frame's payload. A header announcing more is
 /// rejected before any allocation — the guard against a corrupted or
@@ -85,7 +100,19 @@ const char* MessageTypeName(MessageType type);
 struct Frame {
   MessageType type = MessageType::kError;
   uint8_t version = kWireVersion;
+  /// Request/response correlation id (wire v6). Always 0 for frames
+  /// framed at version ≤ 5 and for unsolicited v6 frames.
+  uint64_t frame_id = 0;
   Bytes payload;
+};
+
+/// Per-call options for the net surface's maintenance operations
+/// (RemoteServerEngine::Stats/PushDelta, NetServer::stats), mirroring the
+/// ExecOptions::db convention so the net API has exactly one way to name
+/// a database.
+struct NetCallOptions {
+  /// Target database; empty = the endpoint's default database.
+  std::string db;
 };
 
 /// Server-side counters reported by kStatsResponse, plus (since wire v2)
@@ -123,21 +150,43 @@ struct NetStats {
 
 // --- framing ------------------------------------------------------------
 
-/// Serializes a complete frame (header + payload). `version` must lie in
-/// [kMinWireVersion, kWireVersion]; a daemon answers each session with the
-/// version its request arrived in.
+/// Serializes a complete frame (header [+ frame id at v6] + payload).
+/// `version` must lie in [kMinWireVersion, kWireVersion]; a daemon answers
+/// each session with the version its request arrived in. `frame_id` is
+/// written only when `version` ≥ 6.
 Bytes EncodeFrame(MessageType type, const Bytes& payload,
-                  uint8_t version = kWireVersion);
+                  uint8_t version = kWireVersion, uint64_t frame_id = 0);
 
-/// Parses a frame header and validates magic, version, message type, and
-/// payload length against `max_frame_bytes`. On success returns the frame
-/// with its payload still empty; the caller then reads `payload_length`
+/// Parses the fixed frame header and validates magic, version, message
+/// type, and payload length against `max_frame_bytes`. On success returns
+/// the frame with its payload still empty; for version ≥ 6 the caller
+/// next reads kFrameIdBytes (see DecodeFrameId), then `payload_length`
 /// bytes. `buf` must hold kFrameHeaderBytes.
 Result<Frame> DecodeFrameHeader(const uint8_t* buf, uint64_t max_frame_bytes,
                                 uint32_t* payload_length);
 
+/// Reads the little-endian u64 frame id that follows a v6 header. `buf`
+/// must hold kFrameIdBytes.
+uint64_t DecodeFrameId(const uint8_t* buf);
+
 /// Parses a complete frame from a contiguous buffer (tests, fuzzing).
 Result<Frame> DecodeFrame(const Bytes& buf, uint64_t max_frame_bytes);
+
+/// A frame assembled as scatter-gather segments for writev: segment 0 is
+/// the header (plus frame id at v6), the rest concatenate to the payload.
+/// Large block ciphertexts become their own segments — moved, never
+/// copied into one contiguous send buffer.
+using FrameParts = std::vector<Bytes>;
+
+/// Total bytes across all segments (header + payload).
+uint64_t FramePartsBytes(const FrameParts& parts);
+
+/// Frames pre-built payload segments: prepends the header segment with
+/// the summed payload length. Flattening the result is byte-identical to
+/// EncodeFrame over the concatenated payload.
+FrameParts EncodeFrameParts(MessageType type, std::vector<Bytes> payload,
+                            uint8_t version = kWireVersion,
+                            uint64_t frame_id = 0);
 
 // --- payload codecs -----------------------------------------------------
 //
@@ -191,6 +240,13 @@ Bytes EncodeQueryResponse(const ServerResponse& response,
                           double server_process_us,
                           const std::vector<obs::PhaseTiming>& server_phases =
                               {});
+/// Scatter-gather variant: block ciphertexts at or above the internal
+/// detach threshold are moved into their own payload segments instead of
+/// copied. Concatenating the segments yields exactly the
+/// EncodeQueryResponse bytes. Consumes `response`.
+std::vector<Bytes> EncodeQueryResponseParts(
+    ServerResponse&& response, double server_process_us,
+    const std::vector<obs::PhaseTiming>& server_phases = {});
 Result<QueryResponseMsg> DecodeQueryResponse(const Bytes& payload);
 
 struct AggregateRequestMsg {
@@ -217,6 +273,11 @@ Bytes EncodeAggregateResponse(const AggregateResponse& response,
                               double server_process_us,
                               const std::vector<obs::PhaseTiming>&
                                   server_phases = {});
+/// Scatter-gather variant of EncodeAggregateResponse; see
+/// EncodeQueryResponseParts. Consumes `response`.
+std::vector<Bytes> EncodeAggregateResponseParts(
+    AggregateResponse&& response, double server_process_us,
+    const std::vector<obs::PhaseTiming>& server_phases = {});
 Result<AggregateResponseMsg> DecodeAggregateResponse(const Bytes& payload);
 
 Bytes EncodeStats(const NetStats& stats, uint8_t version = kWireVersion);

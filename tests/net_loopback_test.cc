@@ -42,8 +42,8 @@ class LoopbackTest : public ::testing::Test {
     ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
     NetServerOptions options;
     options.num_threads = 8;
-    auto server =
-        NetServer::Serve(std::move(*bundle), "127.0.0.1", 0, options);
+    auto server = NetServer::Serve(
+        ServerConfig::ForBundle(std::move(*bundle), "127.0.0.1", 0, options));
     ASSERT_TRUE(server.ok()) << server.status().ToString();
     server_ = server->release();
   }
@@ -142,7 +142,8 @@ TEST_F(LoopbackTest, DasSystemOverLoopbackMatchesInProcess) {
   auto bundle = DeserializeBundle(SerializeBundle(
       das->client().database(), das->client().metadata()));
   ASSERT_TRUE(bundle.ok());
-  auto server = NetServer::Serve(std::move(*bundle), "127.0.0.1", 0);
+  auto server =
+      NetServer::Serve(ServerConfig::ForBundle(std::move(*bundle)));
   ASSERT_TRUE(server.ok());
 
   ASSERT_FALSE(das->Remote().attached());
@@ -469,7 +470,8 @@ TEST(RemoteEngineTest, RequestAfterServerShutdownFailsCleanly) {
   auto bundle = DeserializeBundle(
       SerializeBundle(client->database(), client->metadata()));
   ASSERT_TRUE(bundle.ok());
-  auto server = NetServer::Serve(std::move(*bundle), "127.0.0.1", 0);
+  auto server =
+      NetServer::Serve(ServerConfig::ForBundle(std::move(*bundle)));
   ASSERT_TRUE(server.ok());
 
   RemoteOptions options;
@@ -492,7 +494,8 @@ TEST(NetServerTest, GracefulShutdownWithIdleSessions) {
   auto bundle = DeserializeBundle(
       SerializeBundle(client->database(), client->metadata()));
   ASSERT_TRUE(bundle.ok());
-  auto server = NetServer::Serve(std::move(*bundle), "127.0.0.1", 0);
+  auto server =
+      NetServer::Serve(ServerConfig::ForBundle(std::move(*bundle)));
   ASSERT_TRUE(server.ok());
 
   // Park several idle sessions on the server, then drain: Shutdown must

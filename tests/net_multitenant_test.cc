@@ -85,8 +85,8 @@ class MultiTenantTest : public ::testing::Test {
   Result<std::unique_ptr<NetServer>> ServeDir(NetServerOptions options) {
     auto catalog = BundleCatalog::Open(dir_.string());
     if (!catalog.ok()) return catalog.status();
-    return NetServer::ServeCatalog(std::move(*catalog), "127.0.0.1", 0,
-                                   options);
+    return NetServer::Serve(ServerConfig::ForCatalog(std::move(*catalog),
+                                                     "127.0.0.1", 0, options));
   }
 
   static void ExpectByteIdentical(const ServerResponse& local,

@@ -646,13 +646,13 @@ TEST(WireV4, FuzzedDbNamesDecodeSafely) {
   }
 }
 
-TEST(WireV4, FrameVersionsV3ToV5AcceptedOthersRejected) {
-  auto v5 = DecodeFrame(EncodeFrame(MessageType::kPingRequest, {}),
+TEST(WireV4, FrameVersionsV3ToV6AcceptedOthersRejected) {
+  auto v6 = DecodeFrame(EncodeFrame(MessageType::kPingRequest, {}),
                         kDefaultMaxFrameBytes);
-  ASSERT_TRUE(v5.ok());
-  EXPECT_EQ(v5->version, kWireVersion);
+  ASSERT_TRUE(v6.ok());
+  EXPECT_EQ(v6->version, kWireVersion);
 
-  for (uint8_t old : {uint8_t{3}, uint8_t{4}}) {
+  for (uint8_t old : {uint8_t{3}, uint8_t{4}, uint8_t{5}}) {
     auto frame =
         DecodeFrame(EncodeFrame(MessageType::kPingRequest, {}, old),
                     kDefaultMaxFrameBytes);
@@ -660,7 +660,8 @@ TEST(WireV4, FrameVersionsV3ToV5AcceptedOthersRejected) {
     EXPECT_EQ(frame->version, old);
   }
 
-  for (uint8_t bad : {uint8_t{0}, uint8_t{2}, uint8_t{6}, uint8_t{255}}) {
+  for (uint8_t bad :
+       {uint8_t{0}, uint8_t{2}, uint8_t{kWireVersion + 1}, uint8_t{255}}) {
     Bytes image = EncodeFrame(MessageType::kPingRequest, {});
     image[4] = bad;  // the version byte follows the 4-byte magic
     EXPECT_EQ(DecodeFrame(image, kDefaultMaxFrameBytes).status().code(),
@@ -827,6 +828,117 @@ TEST(WireV5, NewMessageTypesRequireVersion5) {
           << MessageTypeName(type) << " at v" << int(old);
     }
   }
+}
+
+// --- Wire v6: frame ids + scatter-gather framing ----------------------
+
+TEST(WireV6, FrameIdRoundTripsAndLegacyFramesCarryNone) {
+  const uint64_t id = 0xfeedbeefcafe1234ull;
+  auto decoded = DecodeFrame(
+      EncodeFrame(MessageType::kQueryRequest, {1, 2, 3}, kWireVersion, id),
+      kDefaultMaxFrameBytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->frame_id, id);
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_EQ(decoded->payload, Bytes({1, 2, 3}));
+
+  // Unsolicited v6 frames use id 0; it round-trips like any other value.
+  auto zero = DecodeFrame(EncodeFrame(MessageType::kPingResponse, {}),
+                          kDefaultMaxFrameBytes);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->frame_id, 0u);
+
+  // Pre-v6 frames have no id field: the requested id is ignored on
+  // encode and the decoded frame reports 0.
+  for (uint8_t old : {uint8_t{3}, uint8_t{4}, uint8_t{5}}) {
+    const Bytes image = EncodeFrame(MessageType::kPingRequest, {}, old, id);
+    EXPECT_EQ(image.size(), kFrameHeaderBytes) << int(old);
+    auto legacy = DecodeFrame(image, kDefaultMaxFrameBytes);
+    ASSERT_TRUE(legacy.ok()) << int(old);
+    EXPECT_EQ(legacy->frame_id, 0u);
+  }
+}
+
+TEST(WireV6, TruncationInsideFrameIdFailsCleanly) {
+  const Bytes image =
+      EncodeFrame(MessageType::kPingRequest, {}, kWireVersion, 99);
+  ASSERT_EQ(image.size(), kFrameHeaderBytes + kFrameIdBytes);
+  for (size_t len = kFrameHeaderBytes; len < image.size(); ++len) {
+    const Bytes cut(image.begin(), image.begin() + len);
+    auto decoded = DecodeFrame(cut, kDefaultMaxFrameBytes);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireV6, FramePartsFlattenToEncodeFrameBytes) {
+  const std::vector<Bytes> segments = {
+      {0xaa, 0xbb}, {}, {0xcc}, Bytes(2000, 0x5e)};
+  Bytes contiguous;
+  for (const Bytes& seg : segments) {
+    contiguous.insert(contiguous.end(), seg.begin(), seg.end());
+  }
+
+  for (uint8_t version : {uint8_t{5}, kWireVersion}) {
+    const uint64_t id = version >= 6 ? 42u : 0u;
+    std::vector<Bytes> payload = segments;
+    const FrameParts parts = EncodeFrameParts(MessageType::kQueryResponse,
+                                              std::move(payload), version, id);
+    const Bytes reference =
+        EncodeFrame(MessageType::kQueryResponse, contiguous, version, id);
+
+    Bytes flattened;
+    for (const Bytes& part : parts) {
+      flattened.insert(flattened.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(flattened, reference) << "v" << int(version);
+    EXPECT_EQ(FramePartsBytes(parts), reference.size()) << "v" << int(version);
+  }
+}
+
+TEST(WireV6, QueryResponsePartsConcatenateToContiguousEncoding) {
+  // A ciphertext above the detach threshold must not change the bytes on
+  // the wire — only how they are segmented for writev.
+  ServerResponse response = SampleResponse();
+  EncryptedBlock big;
+  big.id = 9;
+  big.generation = 2;
+  big.ciphertext = Bytes(4096, 0xd6);
+  response.blocks.push_back(big);
+  const std::vector<obs::PhaseTiming> phases = SamplePhases();
+
+  const Bytes reference = EncodeQueryResponse(response, 12.5, phases);
+  ServerResponse moved = response;
+  const std::vector<Bytes> parts =
+      EncodeQueryResponseParts(std::move(moved), 12.5, phases);
+  EXPECT_GT(parts.size(), 1u);
+
+  Bytes flattened;
+  for (const Bytes& part : parts) {
+    flattened.insert(flattened.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(flattened, reference);
+}
+
+TEST(WireV6, AggregateResponsePartsConcatenateToContiguousEncoding) {
+  AggregateResponse response;
+  response.kind = AggregateKind::kSum;
+  response.payload = SampleResponse();
+  EncryptedBlock big;
+  big.id = 11;
+  big.ciphertext = Bytes(2048, 0x17);
+  response.payload.blocks.push_back(big);
+
+  const Bytes reference = EncodeAggregateResponse(response, 3.0);
+  AggregateResponse moved = response;
+  const std::vector<Bytes> parts =
+      EncodeAggregateResponseParts(std::move(moved), 3.0);
+
+  Bytes flattened;
+  for (const Bytes& part : parts) {
+    flattened.insert(flattened.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(flattened, reference);
 }
 
 }  // namespace

@@ -80,8 +80,8 @@ TEST(UpdateStorm, ConcurrentReadersNeverSeeATornDatabase) {
   net::NetServerOptions options;
   options.num_threads = 6;
   options.accept_updates = true;
-  auto server =
-      net::NetServer::Serve(std::move(*bundle), "127.0.0.1", 0, options);
+  auto server = net::NetServer::Serve(
+      net::ServerConfig::ForBundle(std::move(*bundle), "127.0.0.1", 0, options));
   ASSERT_TRUE(server.ok()) << server.status().ToString();
 
   // The readers replay one fixed translated query (structural — its tag
@@ -194,8 +194,8 @@ TEST(UpdateStorm, WarmCacheAnswersStayByteIdenticalAcrossUpdates) {
   ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
   net::NetServerOptions options;
   options.accept_updates = true;
-  auto server =
-      net::NetServer::Serve(std::move(*bundle), "127.0.0.1", 0, options);
+  auto server = net::NetServer::Serve(
+      net::ServerConfig::ForBundle(std::move(*bundle), "127.0.0.1", 0, options));
   ASSERT_TRUE(server.ok()) << server.status().ToString();
   ASSERT_TRUE(
       das->Remote().Connect("127.0.0.1", (*server)->port(), "db").ok());
@@ -270,8 +270,8 @@ TEST(UpdateStorm, InvalidationEventsReachOtherSessions) {
   ASSERT_TRUE(bundle.ok());
   net::NetServerOptions options;
   options.accept_updates = true;
-  auto server =
-      net::NetServer::Serve(std::move(*bundle), "127.0.0.1", 0, options);
+  auto server = net::NetServer::Serve(
+      net::ServerConfig::ForBundle(std::move(*bundle), "127.0.0.1", 0, options));
   ASSERT_TRUE(server.ok()) << server.status().ToString();
 
   auto owner = net::RemoteServerEngine::Connect("127.0.0.1", (*server)->port());
@@ -280,10 +280,20 @@ TEST(UpdateStorm, InvalidationEventsReachOtherSessions) {
   ASSERT_TRUE(owner.ok());
   ASSERT_TRUE(observer.ok());
 
+  // The sink runs on the observer stub's reader thread; everything it
+  // touches is shared with this thread under the lock.
+  std::mutex ev_mu;
   std::vector<net::InvalidationEventMsg> events;
+  auto event_count = [&] {
+    std::lock_guard<std::mutex> lock(ev_mu);
+    return events.size();
+  };
   (*observer)->SetInvalidationSink(
-      [&](const net::InvalidationEventMsg& event) { events.push_back(event); });
-  ASSERT_TRUE((*observer)->Ping().ok());  // session established at v5
+      [&](const net::InvalidationEventMsg& event) {
+        std::lock_guard<std::mutex> lock(ev_mu);
+        events.push_back(event);
+      });
+  ASSERT_TRUE((*observer)->Ping().ok());  // session established at v5+
 
   // `disease` is encrypted under kOptimal, so this edit re-encrypts
   // blocks and the event must carry their adverts (a public-tag edit
@@ -298,18 +308,21 @@ TEST(UpdateStorm, InvalidationEventsReachOtherSessions) {
 
   // The event is written to the observer's socket by the idle-wake path
   // (or, at the latest, flushed in front of a reply); drain via pings.
-  for (int i = 0; i < 10 && events.empty(); ++i) {
+  for (int i = 0; i < 10 && event_count() == 0; ++i) {
     ASSERT_TRUE((*observer)->Ping().ok());
   }
-  ASSERT_FALSE(events.empty()) << "invalidation never reached the session";
-  EXPECT_EQ(events[0].db, "db");
-  EXPECT_EQ(events[0].db_generation, 2u);
-  EXPECT_TRUE(events[0].drop_all || !events[0].blocks.empty());
-  if (!events[0].drop_all) {
-    // The pushed delta re-encrypted at least one block; its new
-    // generation rides in the advert.
-    for (const BlockAdvert& advert : events[0].blocks) {
-      EXPECT_GT(advert.generation, 0u);
+  {
+    std::lock_guard<std::mutex> lock(ev_mu);
+    ASSERT_FALSE(events.empty()) << "invalidation never reached the session";
+    EXPECT_EQ(events[0].db, "db");
+    EXPECT_EQ(events[0].db_generation, 2u);
+    EXPECT_TRUE(events[0].drop_all || !events[0].blocks.empty());
+    if (!events[0].drop_all) {
+      // The pushed delta re-encrypted at least one block; its new
+      // generation rides in the advert.
+      for (const BlockAdvert& advert : events[0].blocks) {
+        EXPECT_GT(advert.generation, 0u);
+      }
     }
   }
 
@@ -318,12 +331,13 @@ TEST(UpdateStorm, InvalidationEventsReachOtherSessions) {
   // push must keep the observer current.
   DeltaBuilder second(&*client);
   ASSERT_TRUE(second.UpdateValues(*ParseXPath("//disease"), "Again").ok());
+  const size_t before = event_count();
   auto pushed2 = (*owner)->PushDelta(SerializeDelta(second.Build("db", 2)));
   ASSERT_TRUE(pushed2.ok());
-  const size_t before = events.size();
-  for (int i = 0; i < 10 && events.size() == before; ++i) {
+  for (int i = 0; i < 10 && event_count() == before; ++i) {
     ASSERT_TRUE((*observer)->Ping().ok());
   }
+  std::lock_guard<std::mutex> lock(ev_mu);
   ASSERT_GT(events.size(), before);
   EXPECT_EQ(events.back().db_generation, 3u);
 }
