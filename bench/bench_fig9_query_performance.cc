@@ -172,6 +172,38 @@ int main() {
     std::printf("  app/opt ratio: %.2fx (paper: 1.1-1.3x)\n",
                 client_total[2] / client_total[3]);
   }
+
+  // Size sweep: the optimal scheme against growing corpora — the column
+  // that shows how per-query cost scales with database size (feeding the
+  // out-of-core experiments in bench_storage, which push the same sweep
+  // to 10x-100x through the v4 storage path).
+  std::printf("\nSize sweep (opt scheme, Qm workload, median of 3)\n");
+  std::printf("%-6s %10s %14s %14s\n", "scale", "nodes", "server/us",
+              "total/us");
+  PrintRule();
+  for (int scale : {1, 2, 4}) {
+    Corpus sweep = MakeNasa(scale);
+    auto das = DasSystem::Host(sweep.doc, sweep.constraints,
+                               SchemeKind::kOptimal, "e5-secret", no_cache);
+    if (!das.ok()) {
+      std::fprintf(stderr, "%s\n", das.status().ToString().c_str());
+      return 1;
+    }
+    const auto workload = BuildWorkload(sweep.doc, WorkloadKind::kQm, 10, 23);
+    const AveragedCosts c = RunWorkload(*das, workload, 3);
+    std::printf("%-6d %10d %14.1f %14.1f\n", scale, sweep.doc.node_count(),
+                c.server_process_us, c.total_us);
+    json_rows.push_back(JsonObj()
+                            .Add("workload", std::string("sweep"))
+                            .Add("scheme", std::string("opt"))
+                            .Add("scale", static_cast<double>(scale))
+                            .Add("nodes",
+                                 static_cast<double>(sweep.doc.node_count()))
+                            .Add("server_us", c.server_process_us)
+                            .Add("total_us", c.total_us)
+                            .Add("bytes", c.bytes)
+                            .Str());
+  }
   WriteJsonFile("BENCH_query_perf.json", JsonArray(json_rows));
 
   // Disabled-trace overhead guard. A query with tracing off still passes

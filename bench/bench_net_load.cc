@@ -38,13 +38,16 @@ using namespace xcrypt;
 using namespace xcrypt::bench;
 using namespace xcrypt::net;
 
-/// Raises RLIMIT_NOFILE toward 65536 and returns the resulting soft
-/// limit (the sweep sizes itself to what the box actually grants).
+/// Raises the RLIMIT_NOFILE soft limit all the way to the hard limit and
+/// returns the resulting soft limit (the sweep sizes itself to what the
+/// box actually grants; an unprivileged process may raise its soft limit
+/// up to — but not past — the hard one). RLIM_INFINITY hard limits are
+/// clamped to a million fds so connection math stays in sane integers.
 size_t RaiseNofileLimit() {
   struct rlimit rl;
   if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
-  rlim_t want = 65536;
-  if (rl.rlim_max != RLIM_INFINITY && want > rl.rlim_max) want = rl.rlim_max;
+  rlim_t want =
+      rl.rlim_max == RLIM_INFINITY ? rlim_t{1} << 20 : rl.rlim_max;
   if (rl.rlim_cur < want) {
     rl.rlim_cur = want;
     ::setrlimit(RLIMIT_NOFILE, &rl);
@@ -323,6 +326,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.sheds));
     rows.push_back(JsonObj()
                        .Add("config", config.name)
+                       .Add("fd_limit", static_cast<long long>(fd_limit))
                        .Add("active_conns", config.active)
                        .Add("idle_conns", config.idle)
                        .Add("depth", config.depth)

@@ -14,6 +14,7 @@
 
 #include "common/timer.h"
 #include "das/das_system.h"
+#include "data/dblp_generator.h"
 #include "data/healthcare.h"
 #include "data/nasa_generator.h"
 #include "data/workload.h"
@@ -44,6 +45,20 @@ inline Corpus MakeNasa(int scale = 1) {
   config.datasets = 100 * scale;
   config.seed = 20060915;
   return {"NASA", GenerateNasa(config), NasaConstraints()};
+}
+
+/// Payload-heavy bibliography corpus for the out-of-core storage
+/// experiments: confidential abstracts make ciphertext payload ~97% of
+/// the serialized image. Scale 1 is ~10x the NASA baseline image and
+/// scale 10 is ~100x, so the storage sweep covers the 10x-100x range the
+/// out-of-core experiments target.
+inline Corpus MakeDblp(int scale = 1) {
+  DblpConfig config;
+  config.persons = 12 * scale;
+  config.publications_per_person = 5;
+  config.abstract_sentences = 1000;
+  config.seed = 20060923;
+  return {"DBLP", GenerateDblp(config), DblpConstraints()};
 }
 
 inline const std::vector<SchemeKind>& AllSchemes() {

@@ -1,0 +1,147 @@
+// xcrypt_bundle — offline bundle maintenance for service providers.
+// Operates on serialized bundle images only (ciphertext + public
+// metadata, never keys or plaintext), so it can run wherever the files
+// live, with no trust requirements beyond the host already having the
+// bundle.
+//
+// Usage:
+//   xcrypt_bundle info FILE...
+//   xcrypt_bundle upgrade FILE... [--format v4|v3] [--keep]
+//
+// `info` prints one line per image: format version, database name,
+// owner generation, and image size — a header-only read (the same probe
+// BundleCatalog's hot-reload uses), so it is instant on GB-scale files.
+//
+// `upgrade` rewrites each image in the requested format (default v4, the
+// mmap-friendly layout xcrypt_serve demand-pages; `--format v3` converts
+// back for older consumers). The rewrite is atomic — write to a temp
+// file, fsync, rename — so a crash leaves the original intact, and a
+// serving daemon hot-reloads the new image on its next catalog probe.
+// Images already in the requested format are skipped unless the rewrite
+// would change bytes. `--keep` leaves a `.bak` copy of the original.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "storage/serializer.h"
+
+namespace {
+
+using namespace xcrypt;
+namespace fs = std::filesystem;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xcrypt_bundle info FILE...\n"
+               "       xcrypt_bundle upgrade FILE... [--format v4|v3] "
+               "[--keep]\n");
+  return 2;
+}
+
+int Info(const std::vector<std::string>& paths) {
+  int failures = 0;
+  for (const std::string& path : paths) {
+    auto header = ReadBundleHeader(path);
+    if (!header.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   header.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    std::printf("%s: format v%u, db '%s', generation %llu, %llu bytes\n",
+                path.c_str(), header->version, header->name.c_str(),
+                static_cast<unsigned long long>(header->generation),
+                ec ? 0ull : static_cast<unsigned long long>(size));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int Upgrade(const std::vector<std::string>& paths, BundleFormat format,
+            bool keep) {
+  int failures = 0;
+  for (const std::string& path : paths) {
+    auto header = ReadBundleHeader(path);
+    if (!header.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   header.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const uint32_t want = format == BundleFormat::kV4 ? 4u : 3u;
+    if (header->version == want) {
+      std::printf("%s: already v%u, skipped\n", path.c_str(), want);
+      continue;
+    }
+    // Full read through the version-dispatching deserializer, then an
+    // atomic SaveBundle in the target format. Name and generation carry
+    // over verbatim — an upgrade is a re-encoding, not a new version of
+    // the database.
+    auto bundle = LoadBundle(path);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   bundle.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (keep) {
+      std::error_code ec;
+      fs::copy_file(path, path + ".bak",
+                    fs::copy_options::overwrite_existing, ec);
+      if (ec) {
+        std::fprintf(stderr, "%s: cannot write %s.bak: %s\n", path.c_str(),
+                     path.c_str(), ec.message().c_str());
+        ++failures;
+        continue;
+      }
+    }
+    Status saved = SaveBundle(bundle->database, bundle->metadata, path,
+                              bundle->name, bundle->generation, format);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   saved.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    std::printf("%s: v%u -> v%u, %llu bytes\n", path.c_str(),
+                header->version, want,
+                ec ? 0ull : static_cast<unsigned long long>(size));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> paths;
+  BundleFormat format = BundleFormat::kV4;
+  bool keep = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format") {
+      if (i + 1 >= argc) return Usage();
+      const std::string v = argv[++i];
+      if (v == "v4") format = BundleFormat::kV4;
+      else if (v == "v3") format = BundleFormat::kV3;
+      else return Usage();
+    } else if (arg == "--keep") {
+      keep = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+  if (command == "info") return Info(paths);
+  if (command == "upgrade") return Upgrade(paths, format, keep);
+  return Usage();
+}

@@ -19,6 +19,16 @@
 // --default-db). Bundles load lazily on first use and hot-reload when
 // the file changes on disk — in-flight queries finish on the old image.
 //
+// --memory-budget BYTES (suffixes K/M/G accepted) bounds what the
+// catalog keeps materialized across all databases: past the budget the
+// least-recently-used resident is evicted and faults back in on its next
+// query. Format-v4 bundles are served straight from a demand-paged file
+// mapping (their ciphertext never counts against the budget — it is
+// clean page cache the kernel reclaims on its own), so a GB-scale corpus
+// serves within a small fixed budget. --no-mmap disables the mapped path
+// and loads v4 images eagerly like v3 — the A/B switch for
+// bench_storage's comparison, not a mode a deployment should want.
+//
 // --demo hosts a built-in XMark auction corpus instead of a bundle file,
 // so the daemon can be tried end-to-end without preparing data first
 // (pair it with examples/remote_session).
@@ -73,7 +83,8 @@ void HandleSignal(int sig) { g_signal = sig; }
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --bundle FILE | --catalog DIR | --demo "
-               "[--default-db NAME] [--host ADDR] [--port N] "
+               "[--default-db NAME] [--memory-budget BYTES] [--no-mmap] "
+               "[--host ADDR] [--port N] "
                "[--threads N] [--io-threads N] [--io-timeout SECONDS] "
                "[--idle-timeout SECONDS] [--pipeline-depth N] "
                "[--max-inflight N] [--max-queue N] [--allow-updates] "
@@ -99,6 +110,20 @@ bool DumpMetricsJson(const std::string& path, const std::string& json) {
   return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
+/// Parses a byte count with an optional K/M/G suffix ("256M"); returns
+/// -1 on anything malformed so the caller can reject the flag.
+int64_t ParseBytes(const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || value < 0) return -1;
+  int64_t scale = 1;
+  if (*end == 'K' || *end == 'k') scale = 1024, ++end;
+  else if (*end == 'M' || *end == 'm') scale = 1024 * 1024, ++end;
+  else if (*end == 'G' || *end == 'g') scale = 1024 * 1024 * 1024, ++end;
+  if (*end != '\0') return -1;
+  return static_cast<int64_t>(value * static_cast<double>(scale));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -112,6 +137,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   double metrics_interval_sec = 60.0;
   net::NetServerOptions options;
+  net::CatalogOptions catalog_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -130,6 +156,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.default_db = v;
+    } else if (arg == "--memory-budget") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      catalog_options.memory_budget_bytes = ParseBytes(v);
+      if (catalog_options.memory_budget_bytes < 0) return Usage(argv[0]);
+    } else if (arg == "--no-mmap") {
+      catalog_options.map_v4 = false;
     } else if (arg == "--max-inflight") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -198,7 +231,7 @@ int main(int argc, char** argv) {
   Result<std::unique_ptr<net::NetServer>> server =
       Status::Internal("unreachable");
   if (!catalog_dir.empty()) {
-    auto catalog = net::BundleCatalog::Open(catalog_dir);
+    auto catalog = net::BundleCatalog::Open(catalog_dir, catalog_options);
     if (!catalog.ok()) {
       std::fprintf(stderr, "cannot open catalog %s: %s\n", catalog_dir.c_str(),
                    catalog.status().ToString().c_str());
@@ -213,6 +246,12 @@ int main(int argc, char** argv) {
                 catalog_dir.c_str(), listing.c_str(),
                 options.default_db.empty() ? "" : ", default ",
                 options.default_db.c_str());
+    if (catalog_options.memory_budget_bytes > 0) {
+      std::printf("xcrypt_serve: memory budget %lld B%s\n",
+                  static_cast<long long>(catalog_options.memory_budget_bytes),
+                  catalog_options.map_v4 ? " (v4 bundles demand-paged)"
+                                         : " (mmap disabled, eager loads)");
+    }
     server = net::NetServer::Serve(net::ServerConfig::ForCatalog(
         std::move(*catalog), host, static_cast<uint16_t>(port), options));
   } else {

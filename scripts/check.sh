@@ -17,9 +17,12 @@
 # concurrent update-storm e2e) must pass standalone in every build —
 # under TSan this is the run that proves readers never see a torn
 # database mid-apply. The plain build also gates on `ctest -L perfsmoke`
-# (structural-join timing bound, plus the reactor load smoke: 1k idle +
-# 64 active pipelined connections with zero sheds — bench_net_load's
-# quick scenario as a test; meaningless under instrumentation).
+# (structural-join timing bound; the reactor load smoke: 1k idle + 64
+# active pipelined connections with zero sheds — bench_net_load's quick
+# scenario as a test; and the out-of-core storage gate: a format-v4
+# mapped cold attach must stay >=3x faster than the v3 eager load on a
+# ~10x corpus with index-only residency — perf_storage_test. All of it
+# is meaningless under instrumentation, so only plain gates.)
 
 set -euo pipefail
 
@@ -43,8 +46,10 @@ run_build() {
   if [ "${name}" = plain ]; then
     # Perf-smoke gate: the structural-join fast path must stay
     # output-linear (pair_join at 1e5 intervals within its time bound),
-    # and the reactor must serve 64 active pipelined connections amid a
-    # 1k-idle crowd with zero sheds (perf_net_load_test).
+    # the reactor must serve 64 active pipelined connections amid a
+    # 1k-idle crowd with zero sheds (perf_net_load_test), and the v4
+    # mapped cold attach must beat the v3 eager load >=3x on a ~10x
+    # corpus while charging only index bytes (perf_storage_test).
     # Serial — a timing assertion must not share the machine with other
     # tests. Sanitizer builds compile the skip in, so only plain gates.
     echo "==> [${name}] ctest -L perfsmoke"

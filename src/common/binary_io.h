@@ -47,13 +47,18 @@ class BinaryWriter {
 /// decoders can parse optimistically and check `failed()` at the end of
 /// each record. A failed reader never reads past the buffer and never
 /// allocates more than the buffer holds.
+///
+/// Reads either an owned Bytes buffer or a raw (pointer, length) region —
+/// the latter lets section decoders parse straight out of an mmap'd
+/// bundle image without copying the section first.
 class BinaryReader {
  public:
-  explicit BinaryReader(const Bytes& in) : in_(in) {}
+  explicit BinaryReader(const Bytes& in) : data_(in.data()), size_(in.size()) {}
+  BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
-  bool AtEnd() const { return pos_ == in_.size(); }
+  bool AtEnd() const { return pos_ == size_; }
   bool failed() const { return failed_; }
-  size_t remaining() const { return failed_ ? 0 : in_.size() - pos_; }
+  size_t remaining() const { return failed_ ? 0 : size_ - pos_; }
 
   /// True when `count` records of at least `min_bytes_each` could still
   /// fit in the unread suffix. Decoders use this to reject wildly
@@ -67,20 +72,20 @@ class BinaryReader {
 
   uint8_t U8() {
     if (!Need(1)) return 0;
-    return in_[pos_++];
+    return data_[pos_++];
   }
   uint32_t U32() {
     if (!Need(4)) return 0;
     uint32_t v = 0;
     for (int i = 0; i < 4; ++i)
-      v |= static_cast<uint32_t>(in_[pos_++]) << (8 * i);
+      v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
     return v;
   }
   uint64_t U64() {
     if (!Need(8)) return 0;
     uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
-      v |= static_cast<uint64_t>(in_[pos_++]) << (8 * i);
+      v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
     return v;
   }
   int32_t I32() { return static_cast<int32_t>(U32()); }
@@ -89,28 +94,29 @@ class BinaryReader {
   std::string Str() {
     const uint32_t len = U32();
     if (!Need(len)) return {};
-    std::string s(in_.begin() + pos_, in_.begin() + pos_ + len);
+    std::string s(data_ + pos_, data_ + pos_ + len);
     pos_ += len;
     return s;
   }
   Bytes Blob() {
     const uint32_t len = U32();
     if (!Need(len)) return {};
-    Bytes b(in_.begin() + pos_, in_.begin() + pos_ + len);
+    Bytes b(data_ + pos_, data_ + pos_ + len);
     pos_ += len;
     return b;
   }
 
  private:
   bool Need(size_t n) {
-    if (failed_ || in_.size() - pos_ < n) {
+    if (failed_ || size_ - pos_ < n) {
       failed_ = true;
       return false;
     }
     return true;
   }
 
-  const Bytes& in_;
+  const uint8_t* data_;
+  size_t size_;
   size_t pos_ = 0;
   bool failed_ = false;
 };

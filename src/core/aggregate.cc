@@ -40,6 +40,7 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
   Stopwatch watch;
   obs::Span server_span(trace, "server");
   const int server_id = server_span.id();
+  XCRYPT_RETURN_NOT_OK(EnsureReady());
 
   // Early returns below flow through this epilogue so every path reports
   // its self-timed server cost and phase decomposition.
@@ -164,8 +165,8 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
   }
 
   // Encrypted target values.
-  auto tree_it = meta_->value_indexes.find(index_token);
-  if (tree_it == meta_->value_indexes.end()) {
+  const BPlusTree* tree = ValueIndex(index_token);
+  if (tree == nullptr) {
     return Status::NotFound("no value index for token " + index_token);
   }
 
@@ -177,7 +178,7 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
     // false positives, so this shortcut is skipped and the client
     // finishes from the shipped blocks below.)
     obs::Span opess(trace, "opess-scan");
-    const auto entries = tree_it->second.RangeScan(INT64_MIN, INT64_MAX);
+    const auto entries = tree->RangeScan(INT64_MIN, INT64_MAX);
     auto related = [&](int block_id) {
       const Interval* rep = meta_->block_table.RepresentativeOf(block_id);
       if (rep == nullptr) return false;

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "index/structural_join.h"
+#include "storage/mmap_bundle.h"
 #include "xml/parser.h"
 #include "xpath/evaluator.h"
 
@@ -48,8 +49,16 @@ constexpr size_t kAssembleParallelCutoff = 64;
 
 }  // namespace
 
-ServerEngine::ServerEngine(const EncryptedDatabase* db, const Metadata* meta)
-    : db_(db), meta_(meta) {
+ServerEngine::ServerEngine(const EncryptedDatabase* db, const Metadata* meta) {
+  db_ = db;
+  meta_ = meta;
+  BuildIndexes();
+  ready_.store(true, std::memory_order_release);
+}
+
+ServerEngine::ServerEngine(const MmapBundleReader* mapped) : mapped_(mapped) {}
+
+void ServerEngine::BuildIndexes() const {
   universe_ = meta_->dsi_table.AllIntervals();
   forest_ = LaminarForest::Build(universe_);
 
@@ -71,6 +80,53 @@ ServerEngine::ServerEngine(const EncryptedDatabase* db, const Metadata* meta)
   }
 }
 
+Status ServerEngine::EnsureReady() const {
+  if (ready_.load(std::memory_order_acquire)) return Status::Ok();
+  std::lock_guard<std::mutex> lock(ready_mu_);
+  if (ready_.load(std::memory_order_relaxed)) return Status::Ok();
+  // Only a mapped engine can be un-ready: fault the index sections in,
+  // point the read surface at them, and build the forests. On failure
+  // (corrupt section) nothing is published and the next call retries.
+  XCRYPT_RETURN_NOT_OK(mapped_->EnsureResident());
+  db_ = &mapped_->database();
+  meta_ = &mapped_->metadata();
+  BuildIndexes();
+  ready_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+size_t ServerEngine::BlockCount() const {
+  return mapped_ != nullptr ? mapped_->BlockCount() : db_->blocks.size();
+}
+
+uint32_t ServerEngine::BlockGenerationOf(size_t i) const {
+  return mapped_ != nullptr ? mapped_->BlockGeneration(i)
+                            : db_->blocks[i].generation;
+}
+
+bool ServerEngine::BlockTombstoned(size_t i) const {
+  return mapped_ != nullptr ? mapped_->BlockPayload(i).empty()
+                            : db_->blocks[i].ciphertext.empty();
+}
+
+EncryptedBlock ServerEngine::ShipBlock(size_t i) const {
+  if (mapped_ == nullptr) return db_->blocks[i];
+  // The one place mapped ciphertext is copied: into a response that ships
+  // it. The kernel faults exactly the payload pages this slice covers.
+  EncryptedBlock block;
+  block.id = mapped_->BlockId(i);
+  block.generation = mapped_->BlockGeneration(i);
+  const auto payload = mapped_->BlockPayload(i);
+  block.ciphertext.assign(payload.begin(), payload.end());
+  return block;
+}
+
+const BPlusTree* ServerEngine::ValueIndex(const std::string& token) const {
+  if (mapped_ != nullptr) return mapped_->ValueIndex(token);
+  auto it = meta_->value_indexes.find(token);
+  return it == meta_->value_indexes.end() ? nullptr : &it->second;
+}
+
 const std::vector<Interval>& ServerEngine::RangeProbeReps(
     const std::string& token, int64_t lo, int64_t hi) const {
   // Returned references stay valid after unlock: map nodes are stable and
@@ -87,10 +143,10 @@ const std::vector<Interval>& ServerEngine::RangeProbeReps(
   // Compute outside any lock (the B-tree scan is read-only); racing
   // computations are idempotent and the first insert wins.
   std::vector<Interval> reps;
-  auto tree_it = meta_->value_indexes.find(token);
-  if (tree_it != meta_->value_indexes.end()) {
+  const BPlusTree* tree = ValueIndex(token);
+  if (tree != nullptr) {
     std::vector<int> block_ids;
-    for (const BTreeEntry& e : tree_it->second.RangeScan(lo, hi)) {
+    for (const BTreeEntry& e : tree->RangeScan(lo, hi)) {
       block_ids.push_back(e.block_id);
     }
     std::sort(block_ids.begin(), block_ids.end());
@@ -356,6 +412,7 @@ Result<EngineQueryResult> ServerEngine::Execute(
   Stopwatch watch;
   obs::Span server_span(trace, "server");
   const int server_id = server_span.id();
+  XCRYPT_RETURN_NOT_OK(EnsureReady());
 
   // Plan-cache probe: a repeated query shape against the same data
   // generation replays its back-pruned ship roots straight into response
@@ -429,7 +486,7 @@ ServerResponse ServerEngine::AssembleResponse(
   // ParallelFor join publishes the flags to the sequential copy pass.
   std::vector<std::atomic<uint8_t>> include(skeleton.node_count());
   for (auto& f : include) f.store(0, std::memory_order_relaxed);
-  std::vector<std::atomic<uint8_t>> ship_block(db_->blocks.size());
+  std::vector<std::atomic<uint8_t>> ship_block(BlockCount());
   for (auto& f : ship_block) f.store(0, std::memory_order_relaxed);
 
   auto mark_ancestors = [&](NodeId id) {
@@ -530,10 +587,10 @@ ServerResponse ServerEngine::AssembleResponse(
   for (size_t i = 0; i < ship_block.size(); ++i) {
     if (ship_block[i].load(std::memory_order_relaxed) == 0) continue;
     const auto it = advertised.find(static_cast<int>(i));
-    if (it != advertised.end() && it->second == db_->blocks[i].generation) {
+    if (it != advertised.end() && it->second == BlockGenerationOf(i)) {
       response.cached_ids.push_back(static_cast<int>(i));
     } else {
-      response.blocks.push_back(db_->blocks[i]);
+      response.blocks.push_back(ShipBlock(i));
     }
   }
   return response;
@@ -549,6 +606,7 @@ Result<EngineQueryResult> ServerEngine::ExecuteNaive(
   Stopwatch watch;
   obs::Span server_span(trace, "server");
   const int server_id = server_span.id();
+  XCRYPT_RETURN_NOT_OK(EnsureReady());
 
   EngineQueryResult out;
   {
@@ -556,10 +614,10 @@ Result<EngineQueryResult> ServerEngine::ExecuteNaive(
     out.response.requires_full_requery = true;
     out.response.skeleton_xml =
         SerializeXml(db_->skeleton, db_->skeleton.root(), 0);
-    for (const EncryptedBlock& block : db_->blocks) {
+    for (size_t i = 0; i < BlockCount(); ++i) {
       // Deleted subtrees leave tombstoned (empty-ciphertext) block slots
       // behind; shipping those would make the client fail decryption.
-      if (!block.ciphertext.empty()) out.response.blocks.push_back(block);
+      if (!BlockTombstoned(i)) out.response.blocks.push_back(ShipBlock(i));
     }
   }
   server_span.End();

@@ -1,9 +1,11 @@
 #ifndef XCRYPT_CORE_SERVER_H_
 #define XCRYPT_CORE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <shared_mutex>
 #include <string>
@@ -20,6 +22,8 @@
 #include "obs/trace.h"
 
 namespace xcrypt {
+
+class MmapBundleReader;
 
 /// What the server sends back for one query (§6.2 step 3): a pruned copy of
 /// the plaintext skeleton — the ancestor chains plus the selected subtrees,
@@ -167,6 +171,15 @@ class ServerEngine : public QueryEngine {
   /// the server learns nothing it did not already hold.
   ServerEngine(const EncryptedDatabase* db, const Metadata* meta);
 
+  /// Lazy residency mode over a mapped format-v4 bundle: construction does
+  /// no parsing and builds no forests. The first Execute*/call faults the
+  /// index sections in (MmapBundleReader::EnsureResident) and builds the
+  /// forests then; OPESS B-trees load per token on first probe; block
+  /// ciphertext is copied out of the mapping only when a response ships
+  /// it. A corrupt image surfaces as Corruption from the first call, never
+  /// as a crash. `mapped` must outlive the engine.
+  explicit ServerEngine(const MmapBundleReader* mapped);
+
   /// Executes the translated query:
   ///  1. label query nodes with DSI interval lists and prune them with
   ///     structural joins;
@@ -249,19 +262,48 @@ class ServerEngine : public QueryEngine {
   const std::vector<Interval>& RangeProbeReps(const std::string& token,
                                               int64_t lo, int64_t hi) const;
 
-  const EncryptedDatabase* db_;
-  const Metadata* meta_;
-  /// All DSI intervals, materialized once at construction (the wildcard
-  /// step list and the child-axis universe).
-  std::vector<Interval> universe_;
+  /// Faults the mapped bundle's index sections in and builds the forests,
+  /// once; a no-op (one atomic load) for eager engines and after the
+  /// first success. Every public entry point calls this first, so a
+  /// mapped engine pays its residency cost on the first query — the
+  /// "time to first query" a cold attach is measured by.
+  Status EnsureReady() const;
+
+  /// Builds universe_/forest_/block_forest_ from meta_ (shared by the
+  /// eager constructor and the lazy first-use path).
+  void BuildIndexes() const;
+
+  // Block accessors routing to either the eager database or the mapping.
+  size_t BlockCount() const;
+  uint32_t BlockGenerationOf(size_t i) const;
+  bool BlockTombstoned(size_t i) const;
+  EncryptedBlock ShipBlock(size_t i) const;
+
+  /// OPESS B-tree for a token: map probe for eager engines, lazy
+  /// per-token section parse for mapped ones. nullptr when absent.
+  const BPlusTree* ValueIndex(const std::string& token) const;
+
+  /// Mapped-mode source; null for eager engines.
+  const MmapBundleReader* mapped_ = nullptr;
+  /// Set at construction for eager engines, on first EnsureReady for
+  /// mapped ones (pointing into the reader's materialized sections).
+  mutable const EncryptedDatabase* db_ = nullptr;
+  mutable const Metadata* meta_ = nullptr;
+  /// One-time lazy construction latch: acquire-load fast path, mutex for
+  /// the (retryable) build.
+  mutable std::atomic<bool> ready_{false};
+  mutable std::mutex ready_mu_;
+  /// All DSI intervals, materialized once (the wildcard step list and the
+  /// child-axis universe).
+  mutable std::vector<Interval> universe_;
   /// Laminar forest over universe_: parent/depth/subtree spans for the
   /// child-axis join.
-  LaminarForest forest_;
+  mutable LaminarForest forest_;
   /// Forest over the encryption blocks' representative intervals, plus the
   /// block id behind each forest node — the innermost-covering-block
   /// question of response assembly as one forest walk.
-  LaminarForest block_forest_;
-  std::vector<int> block_of_forest_node_;
+  mutable LaminarForest block_forest_;
+  mutable std::vector<int> block_of_forest_node_;
   /// Guards the lazy cache below so one engine can serve concurrent
   /// network sessions; everything else here is read-only after
   /// construction. Reader/writer split: once a probe is memoized, the

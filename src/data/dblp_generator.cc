@@ -1,0 +1,119 @@
+#include "data/dblp_generator.h"
+
+#include <iterator>
+#include <string>
+
+#include "common/random.h"
+
+namespace xcrypt {
+
+namespace {
+
+const char* kSurnames[] = {"Zhang", "Chan",  "Salem",  "Ozsu",
+                           "Tamer", "Huang", "Keller", "Moro",
+                           "Vagena", "Tsotras"};
+const char* kVenues[] = {
+    "International Conference on Very Large Data Bases",
+    "International Conference on Data Engineering",
+    "International Conference on Extending Database Technology",
+    "ACM SIGMOD Conference",
+    "Workshop on Advances in Geographic Information Systems",
+};
+const char* kKeywords[] = {"Query Evaluation", "Xml Database",
+                           "Access Control",   "Optimization Technique",
+                           "Graph Partitioning", "Data Warehouse",
+                           "Shortest Path",    "Relation Algebra"};
+const char* kOrganizations[] = {"University of Waterloo", "UC Riverside",
+                                "Politecnico di Milano", "null"};
+// Sentence fragments chained into abstracts: the fat leaves that give the
+// corpus its payload-heavy character.
+const char* kPhrases[] = {
+    "In this paper we summarize our research on optimizing XML queries",
+    "this work defines a logical algebra and logical optimization rules",
+    "the algebra translates into native or extended-relational plans",
+    "we describe a disk-based algorithm for large network systems",
+    "the approach processes the data piece by piece to bound memory",
+    "experiments show the method scales to documents beyond main memory",
+    "fine-grained access controls define privileges per element",
+    "a compact labeling scheme keeps the security check off the hot path",
+};
+
+}  // namespace
+
+Document GenerateDblp(const DblpConfig& config) {
+  Rng rng(config.seed);
+  Document doc;
+  const NodeId dblp = doc.AddRoot("dblp");
+  for (int p = 0; p < config.persons; ++p) {
+    const NodeId person = doc.AddChild(dblp, "person");
+    doc.AddAttribute(person, "id", "a" + std::to_string(p));
+    const int surname =
+        rng.Zipf(static_cast<int>(std::size(kSurnames)), config.value_skew);
+    doc.AddLeaf(person, "FullName",
+                rng.String(5) + " " + kSurnames[surname]);
+    doc.AddLeaf(person, "organization",
+                kOrganizations[rng.Zipf(
+                    static_cast<int>(std::size(kOrganizations)), 0.6)]);
+    for (int i = 0; i < config.publications_per_person; ++i) {
+      const NodeId pub = doc.AddChild(person, "publication");
+      doc.AddLeaf(pub, "title",
+                  "On " + rng.String(8) + " in " + rng.String(6) +
+                      " systems");
+      // Years cluster toward the recent end — the skew range probes see.
+      doc.AddLeaf(pub, "year",
+                  std::to_string(2006 - rng.Zipf(12, config.value_skew)));
+      std::string authors;
+      const int coauthors = static_cast<int>(rng.UniformU64(0, 3));
+      for (int a = 0; a < coauthors; ++a) {
+        if (!authors.empty()) authors += ",";
+        authors += rng.String(6) + " " +
+                   kSurnames[rng.Zipf(
+                       static_cast<int>(std::size(kSurnames)), 0.5)];
+      }
+      doc.AddLeaf(pub, "authors", authors);
+      doc.AddLeaf(pub, "jconf",
+                  kVenues[rng.Zipf(static_cast<int>(std::size(kVenues)),
+                                   config.value_skew)]);
+      doc.AddLeaf(pub, "label",
+                  std::to_string(100 + rng.UniformU64(0, 899)));
+      std::string keyword;
+      const int nkw = 1 + static_cast<int>(rng.UniformU64(0, 2));
+      for (int k = 0; k < nkw; ++k) {
+        keyword += kKeywords[rng.Zipf(
+            static_cast<int>(std::size(kKeywords)), 0.7)];
+        keyword += ";";
+      }
+      doc.AddLeaf(pub, "keyword", keyword);
+      std::string abstract;
+      for (int s = 0; s < config.abstract_sentences; ++s) {
+        abstract += kPhrases[rng.UniformU64(0, std::size(kPhrases) - 1)];
+        abstract += " " + rng.String(12) + ". ";
+      }
+      doc.AddLeaf(pub, "abstract", abstract);
+    }
+  }
+  return doc;
+}
+
+std::vector<SecurityConstraint> DblpConstraints() {
+  const char* kSources[] = {
+      "//person:(/FullName, /publication/title)",
+      "//person:(/FullName, /organization)",
+      "//person:(/organization, /publication/label)",
+      "//publication:(/label, /year)",
+      // Node-type constraint: unpublished manuscripts' abstracts are
+      // confidential outright, so every abstract subtree is an encryption
+      // block under every scheme. This pulls the fat abstract leaves into
+      // ciphertext payload — the bulk of the database — which is what
+      // makes DBLP the out-of-core corpus.
+      "//publication/abstract",
+  };
+  std::vector<SecurityConstraint> out;
+  for (const char* src : kSources) {
+    auto sc = ParseSecurityConstraint(src);
+    out.push_back(std::move(*sc));
+  }
+  return out;
+}
+
+}  // namespace xcrypt

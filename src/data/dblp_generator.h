@@ -1,0 +1,37 @@
+#ifndef XCRYPT_DATA_DBLP_GENERATOR_H_
+#define XCRYPT_DATA_DBLP_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/security_constraint.h"
+#include "xml/document.h"
+
+namespace xcrypt {
+
+/// Synthetic stand-in for a DBLP-style bibliography export: a shallow,
+/// very wide document of person records, each holding a run of
+/// publication entries (title, year, authors, jconf, label, keyword,
+/// organization, abstract). Unlike NASA (deep) and XMark (mixed), DBLP's
+/// weight is in fat text leaves — the abstracts — so at equal node count
+/// it produces a much larger serialized image. That makes it the corpus
+/// of choice for out-of-core storage experiments: ciphertext payload
+/// dominates, index metadata does not. See DESIGN.md §3.
+struct DblpConfig {
+  int persons = 60;
+  int publications_per_person = 6;
+  uint64_t seed = 11;
+  double value_skew = 0.8;   ///< Zipf theta for venue/keyword pools
+  int abstract_sentences = 4;  ///< bulk knob: fatter abstracts, bigger blocks
+};
+
+Document GenerateDblp(const DblpConfig& config);
+
+/// Association constraints for the bibliography: protect who wrote what
+/// (FullName vs publication title/label), the author-organization link,
+/// and the label-year association used for range probes.
+std::vector<SecurityConstraint> DblpConstraints();
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_DATA_DBLP_GENERATOR_H_

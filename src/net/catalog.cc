@@ -60,9 +60,38 @@ Result<std::unique_ptr<BundleCatalog>> BundleCatalog::Open(
 }
 
 void BundleCatalog::ConfigureEngine(ResidentDb* fresh) const {
-  fresh->engine_->SetDataGeneration(fresh->bundle_.generation);
+  fresh->engine_->SetDataGeneration(fresh->owner_generation());
   obs::MetricsRegistry* metrics = metrics_.load(std::memory_order_acquire);
   if (metrics != nullptr) fresh->engine_->SetMetricsRegistry(metrics);
+}
+
+void BundleCatalog::SetMetricsRegistry(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.store(registry, std::memory_order_release);
+  evictions_ = registry != nullptr
+                   ? registry->GetCounter("catalog.evictions")
+                   : nullptr;
+  resident_gauge_ = registry != nullptr
+                        ? registry->GetGauge("catalog.resident_bytes")
+                        : nullptr;
+  if (resident_gauge_ != nullptr) {
+    resident_gauge_->Set(ResidentBytesLocked());
+  }
+}
+
+int64_t BundleCatalog::ResidentBytesLocked() const {
+  int64_t total = 0;
+  for (const auto& [name, slot] : slots_) {
+    if (slot.resident != nullptr && !slot.pinned) {
+      total += slot.resident->ResidentBytes();
+    }
+  }
+  return total;
+}
+
+int64_t BundleCatalog::ResidentBytesTotal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ResidentBytesLocked();
 }
 
 Status BundleCatalog::AddBundle(const std::string& name, HostedBundle bundle) {
@@ -112,11 +141,12 @@ Result<std::shared_ptr<const ResidentDb>> BundleCatalog::Get(
     if (slot.resident != nullptr && options_.hot_reload && !slot.pinned) {
       bool changed = false;
       if (slot.file_has_generation) {
-        // Primary signal for format-v3 images: the owner-assigned bundle
-        // generation in the file header. Robust where mtime+size is not —
-        // a same-size rewrite within the filesystem's mtime granularity
-        // still reloads, and mtime churn on an unchanged file does not.
-        auto header = PeekBundleHeader(slot.path);
+        // Primary signal for format-v3+ images: the owner-assigned bundle
+        // generation in the file header (a header-only read, no stat
+        // fingerprinting). Robust where mtime+size is not — a same-size
+        // rewrite within the filesystem's mtime granularity still
+        // reloads, and mtime churn on an unchanged file does not.
+        auto header = ReadBundleHeader(slot.path);
         changed = header.ok() && header->has_generation &&
                   header->generation != slot.file_generation;
       } else if (!slot.dirty) {
@@ -134,7 +164,13 @@ Result<std::shared_ptr<const ResidentDb>> BundleCatalog::Get(
     }
     if (slot.resident != nullptr) {
       slot.last_used = ++use_tick_;
-      return slot.resident;
+      std::shared_ptr<const ResidentDb> handle = slot.resident;
+      // Mapped residents grow ResidentBytes lazily (index sections fault
+      // in after the load, on first query), so the budget is re-checked
+      // on every warm hit, not just at load time. `handle` keeps the
+      // caller's database alive even if it is the one evicted.
+      EvictIfNeeded(name);
+      return handle;
     }
     return LoadSlot(lock, name, slot.path);
   }
@@ -150,18 +186,41 @@ Result<std::shared_ptr<const ResidentDb>> BundleCatalog::LoadSlot(
   // of one database never stalls queries against the others.
   int64_t mtime_ns = 0, size = 0;
   const bool have_fp = Fingerprint(path, &mtime_ns, &size);
-  auto header = PeekBundleHeader(path);
-  // The image must agree with the filename-stem routing: a mis-filed
-  // bundle is rejected here rather than served under the wrong tenant.
-  auto bundle = LoadBundle(path, name);
+  auto header = ReadBundleHeader(path);
   std::shared_ptr<ResidentDb> fresh;
-  if (bundle.ok()) {
-    fresh = std::shared_ptr<ResidentDb>(new ResidentDb());
-    fresh->name_ = name;
-    fresh->bundle_ = std::move(*bundle);
-    fresh->engine_ = std::make_unique<ServerEngine>(&fresh->bundle_.database,
-                                                    &fresh->bundle_.metadata);
-    ConfigureEngine(fresh.get());
+  Status load_status = Status::Ok();
+  if (options_.map_v4 && header.ok() && header->version >= 4) {
+    // Format v4: map the image instead of deserializing it. Open reads
+    // only the section table + block index; everything else faults in on
+    // first query through the lazy engine, so a cold attach of a huge
+    // database is near-instant. The name check mirrors LoadBundle's: a
+    // mis-filed bundle is rejected rather than served under the wrong
+    // tenant.
+    auto mapped = MmapBundleReader::Open(path, name);
+    if (mapped.ok()) {
+      fresh = std::shared_ptr<ResidentDb>(new ResidentDb());
+      fresh->name_ = name;
+      fresh->mapped_ = std::move(*mapped);
+      fresh->bundle_.name = name;
+      fresh->engine_ = std::make_unique<ServerEngine>(fresh->mapped_.get());
+      ConfigureEngine(fresh.get());
+    } else {
+      load_status = mapped.status();
+    }
+  } else {
+    // The image must agree with the filename-stem routing: a mis-filed
+    // bundle is rejected here rather than served under the wrong tenant.
+    auto bundle = LoadBundle(path, name);
+    if (bundle.ok()) {
+      fresh = std::shared_ptr<ResidentDb>(new ResidentDb());
+      fresh->name_ = name;
+      fresh->bundle_ = std::move(*bundle);
+      fresh->engine_ = std::make_unique<ServerEngine>(
+          &fresh->bundle_.database, &fresh->bundle_.metadata);
+      ConfigureEngine(fresh.get());
+    } else {
+      load_status = bundle.status();
+    }
   }
 
   lock.lock();
@@ -174,7 +233,7 @@ Result<std::shared_ptr<const ResidentDb>> BundleCatalog::LoadSlot(
   Slot& slot = it->second;
   slot.loading = false;
   load_cv_.notify_all();
-  if (!bundle.ok()) return bundle.status();
+  if (!load_status.ok()) return load_status;
   slot.loads += 1;
   fresh->generation_ = slot.loads;
   slot.resident = std::move(fresh);
@@ -190,20 +249,31 @@ Result<std::shared_ptr<const ResidentDb>> BundleCatalog::LoadSlot(
 }
 
 void BundleCatalog::EvictIfNeeded(const std::string& keep) {
-  if (options_.max_resident <= 0) return;
   for (;;) {
     int resident = 0;
     for (const auto& [n, s] : slots_) {
       if (s.resident != nullptr && !s.pinned) ++resident;
     }
-    if (resident <= options_.max_resident) return;
-    // Drop the least-recently-used unpinned resident (never `keep`).
+    const int64_t bytes = ResidentBytesLocked();
+    if (resident_gauge_ != nullptr) resident_gauge_->Set(bytes);
+    const bool over_count =
+        options_.max_resident > 0 && resident > options_.max_resident;
+    const bool over_bytes = options_.memory_budget_bytes > 0 &&
+                            bytes > options_.memory_budget_bytes;
+    if (!over_count && !over_bytes) return;
+    // Drop the least-recently-used unpinned resident (never `keep`,
+    // unless `keep` is the only candidate and the byte budget is blown —
+    // better to serve it cold-faulting than to let residency run
+    // unbounded).
     std::map<std::string, Slot>::iterator victim = slots_.end();
+    bool keep_is_candidate = false;
     for (auto it = slots_.begin(); it != slots_.end(); ++it) {
       const Slot& s = it->second;
       // A dirty resident is ahead of its backing file; evicting it would
       // roll applied deltas back on the next load.
-      if (s.resident == nullptr || s.pinned || s.dirty || it->first == keep) {
+      if (s.resident == nullptr || s.pinned || s.dirty) continue;
+      if (it->first == keep) {
+        keep_is_candidate = true;
         continue;
       }
       if (victim == slots_.end() ||
@@ -211,8 +281,15 @@ void BundleCatalog::EvictIfNeeded(const std::string& keep) {
         victim = it;
       }
     }
-    if (victim == slots_.end()) return;  // everything protected
+    if (victim == slots_.end()) {
+      if (over_bytes && keep_is_candidate) {
+        victim = slots_.find(keep);
+      } else {
+        return;  // everything protected
+      }
+    }
     victim->second.resident = nullptr;
+    if (evictions_ != nullptr) evictions_->Add();
   }
 }
 
@@ -224,19 +301,24 @@ Result<uint64_t> BundleCatalog::ApplyDelta(const std::string& name,
 
   auto resident = Get(name);
   if (!resident.ok()) return resident.status();
-  const HostedBundle& current = (*resident)->bundle();
-  if (current.generation == delta.new_generation) {
+  if ((*resident)->owner_generation() == delta.new_generation) {
     // Replay of an already-absorbed delta (the owner retried after a
     // dropped ack): nothing to do, answer with the generation it asked
     // for so the retry converges.
-    return current.generation;
+    return delta.new_generation;
   }
 
-  // Clone the resident bundle outside the catalog lock. B+-trees are
-  // move-only, so the clone goes through the (lossless, server-visible
-  // state only) image format rather than a copy constructor.
-  auto clone = DeserializeBundle(SerializeBundle(
-      current.database, current.metadata, current.name, current.generation));
+  // Clone the resident bundle outside the catalog lock. A mapped
+  // resident materializes an eager copy from its (immutable) mapping;
+  // an eager one round-trips through the image format, because B+-trees
+  // are move-only and the format is a lossless carrier of server-visible
+  // state.
+  Result<HostedBundle> clone = [&]() -> Result<HostedBundle> {
+    if ((*resident)->is_mapped()) return (*resident)->mapped()->Materialize();
+    const HostedBundle& current = (*resident)->bundle();
+    return DeserializeBundle(SerializeBundle(
+        current.database, current.metadata, current.name, current.generation));
+  }();
   if (!clone.ok()) return clone.status();
   XCRYPT_RETURN_NOT_OK(xcrypt::ApplyDelta(&*clone, delta));
 
@@ -251,32 +333,70 @@ Result<uint64_t> BundleCatalog::ApplyDelta(const std::string& name,
   }
   Slot& slot = it->second;
   if (slot.resident != nullptr &&
-      slot.resident->bundle().generation != delta.base_generation) {
+      slot.resident->owner_generation() != delta.base_generation) {
     // The resident moved while we were applying (hot reload of a newer
     // upload). If it already holds this delta's result the apply is a
     // no-op; otherwise the delta no longer has a base to stand on.
-    if (slot.resident->bundle().generation == delta.new_generation) {
+    if (slot.resident->owner_generation() == delta.new_generation) {
       return delta.new_generation;
     }
     return Status::InvalidArgument(
         "database \"" + name + "\" moved to generation " +
-        std::to_string(slot.resident->bundle().generation) +
+        std::to_string(slot.resident->owner_generation()) +
         " while a delta from " + std::to_string(delta.base_generation) +
         " was applying");
   }
-  std::shared_ptr<ResidentDb> fresh(new ResidentDb());
-  fresh->name_ = name;
-  fresh->bundle_ = std::move(*clone);
-  fresh->engine_ = std::make_unique<ServerEngine>(&fresh->bundle_.database,
-                                                  &fresh->bundle_.metadata);
-  ConfigureEngine(fresh.get());
+  const bool was_mapped =
+      slot.resident != nullptr && slot.resident->is_mapped();
+  std::shared_ptr<ResidentDb> fresh;
+  bool dirty = !slot.pinned && !slot.path.empty();
+  if (was_mapped && !slot.path.empty()) {
+    // Copy-on-write remap: write the applied clone back as a fresh v4
+    // image (write-then-rename — readers holding the old mapping keep
+    // the old inode alive) and re-open it mapped. The backing file then
+    // carries the delta, so the slot is NOT dirty and stays evictable.
+    Status saved =
+        SaveBundle(clone->database, clone->metadata, slot.path, name,
+                   clone->generation, BundleFormat::kV4);
+    if (saved.ok()) {
+      auto remapped = MmapBundleReader::Open(slot.path, name);
+      if (remapped.ok()) {
+        fresh = std::shared_ptr<ResidentDb>(new ResidentDb());
+        fresh->name_ = name;
+        fresh->mapped_ = std::move(*remapped);
+        fresh->bundle_.name = name;
+        fresh->engine_ = std::make_unique<ServerEngine>(fresh->mapped_.get());
+        ConfigureEngine(fresh.get());
+        int64_t mtime_ns = 0, size = 0;
+        if (Fingerprint(slot.path, &mtime_ns, &size)) {
+          slot.file_mtime_ns = mtime_ns;
+          slot.file_size = size;
+        }
+        slot.file_has_generation = true;
+        slot.file_generation = clone->generation;
+        dirty = false;
+      }
+    }
+    // On any failure fall through to an eager dirty resident: the apply
+    // still takes effect in memory, only the backing file lags.
+  }
+  if (fresh == nullptr) {
+    fresh = std::shared_ptr<ResidentDb>(new ResidentDb());
+    fresh->name_ = name;
+    fresh->bundle_ = std::move(*clone);
+    fresh->engine_ = std::make_unique<ServerEngine>(&fresh->bundle_.database,
+                                                    &fresh->bundle_.metadata);
+    ConfigureEngine(fresh.get());
+  }
   slot.loads += 1;
   fresh->generation_ = slot.loads;
   slot.resident = std::move(fresh);
-  // File-backed slots now run ahead of their backing file until the owner
-  // uploads a checkpoint (Get's generation check absorbs that cleanly).
-  slot.dirty = !slot.pinned && !slot.path.empty();
+  // Without the remap above, file-backed slots now run ahead of their
+  // backing file until the owner uploads a checkpoint (Get's generation
+  // check absorbs that cleanly).
+  slot.dirty = dirty;
   slot.last_used = ++use_tick_;
+  EvictIfNeeded(name);
   return delta.new_generation;
 }
 

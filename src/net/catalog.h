@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "core/server.h"
+#include "storage/mmap_bundle.h"
 #include "storage/serializer.h"
 #include "storage/update/delta.h"
 
@@ -27,10 +28,22 @@ struct CatalogOptions {
   int max_resident = 8;
   /// Re-fingerprint the backing file on every Get and transparently
   /// reload when it changed — an updated bundle file swaps in without
-  /// restarting the daemon. Format-v3 images compare the owner-assigned
-  /// bundle generation (cheap header peek); v2 images, which carry no
-  /// generation, fall back to mtime + size.
+  /// restarting the daemon. Format-v3+ images compare the owner-assigned
+  /// bundle generation (header-only ReadBundleHeader probe); v2 images,
+  /// which carry no generation, fall back to mtime + size.
   bool hot_reload = true;
+  /// Open format-v4 images through MmapBundleReader instead of an eager
+  /// deserialize: index sections fault in on first query and block
+  /// payloads are served straight from the mapping. v2/v3 images always
+  /// load eagerly regardless of this flag.
+  bool map_v4 = true;
+  /// Upper bound, in bytes, on the summed ResidentBytes() of unpinned
+  /// residents (<= 0 = unbounded). Checked alongside max_resident: when
+  /// the sum exceeds it, LRU residents are dropped (mapped ones unmap
+  /// their heap-materialized index state; a later Get faults it back in).
+  /// Payload pages mapped from v4 images are clean page cache and are
+  /// NOT charged — the kernel reclaims those on its own under pressure.
+  int64_t memory_budget_bytes = 0;
 };
 
 /// One database resident in memory: the hosted bundle plus the engine
@@ -43,10 +56,41 @@ class ResidentDb {
   const std::string& name() const { return name_; }
   /// Catalog-assigned generation: 1 on first load, bumped on every
   /// reload of the same name. (The bundle's own owner-assigned
-  /// generation, if any, is at bundle().generation.)
+  /// generation, if any, is at owner_generation().)
   uint64_t generation() const { return generation_; }
+  /// The eagerly-deserialized bundle. Only meaningful when !is_mapped();
+  /// a mapped resident keeps its state in the file mapping and this is
+  /// an empty shell — go through the accessors below instead.
   const HostedBundle& bundle() const { return bundle_; }
   const ServerEngine& engine() const { return *engine_; }
+
+  /// True when this resident serves straight from a format-v4 mapping.
+  bool is_mapped() const { return mapped_ != nullptr; }
+  const MmapBundleReader* mapped() const { return mapped_.get(); }
+
+  /// Owner-assigned bundle generation (0 for generation-less v2 images).
+  /// Works for both mapped and eager residents — this, not
+  /// bundle().generation, is what freshness/replay checks compare.
+  uint64_t owner_generation() const {
+    return mapped_ != nullptr ? mapped_->generation() : bundle_.generation;
+  }
+  size_t num_blocks() const {
+    return mapped_ != nullptr ? mapped_->BlockCount()
+                              : bundle_.database.blocks.size();
+  }
+  int64_t ciphertext_bytes() const {
+    return mapped_ != nullptr ? mapped_->TotalCiphertextBytes()
+                              : bundle_.database.TotalCiphertextBytes();
+  }
+  /// Heap bytes this resident pins — what the catalog's memory budget
+  /// charges. Eager residents count ciphertext + metadata; mapped ones
+  /// count only index state materialized so far (payloads stay in the
+  /// kernel's reclaimable page cache).
+  int64_t ResidentBytes() const {
+    if (mapped_ != nullptr) return mapped_->ResidentBytes();
+    return bundle_.database.TotalCiphertextBytes() +
+           static_cast<int64_t>(bundle_.metadata.ByteSize());
+  }
 
  private:
   friend class BundleCatalog;
@@ -55,8 +99,12 @@ class ResidentDb {
   std::string name_;
   uint64_t generation_ = 0;
   HostedBundle bundle_;
-  /// Built over bundle_'s database/metadata; bundle_ must never move
-  /// after construction (ResidentDb is heap-pinned via shared_ptr).
+  /// Non-null for a mapped (format-v4, lazy) resident; the engine then
+  /// reads through the mapping instead of bundle_.
+  std::unique_ptr<MmapBundleReader> mapped_;
+  /// Built over bundle_'s database/metadata (or over mapped_); neither
+  /// must move after construction (ResidentDb is heap-pinned via
+  /// shared_ptr).
   std::unique_ptr<ServerEngine> engine_;
 };
 
@@ -119,12 +167,17 @@ class BundleCatalog {
   /// in-memory entries excluded) — the number the LRU bound applies to.
   int ResidentCount() const;
 
+  /// Summed ResidentBytes() of unpinned residents right now — the value
+  /// the memory budget is enforced against (also exported as the
+  /// `catalog.resident_bytes` gauge).
+  int64_t ResidentBytesTotal() const;
+
   /// Points the plan-cache counters of every engine built from now on at
-  /// `registry` (the daemon's per-instance registry). Engines already
-  /// resident are unaffected; set this before serving.
-  void SetMetricsRegistry(obs::MetricsRegistry* registry) {
-    metrics_.store(registry, std::memory_order_release);
-  }
+  /// `registry` (the daemon's per-instance registry), and interns the
+  /// catalog's own instruments there (`catalog.evictions` counter,
+  /// `catalog.resident_bytes` gauge). Engines already resident are
+  /// unaffected; set this before serving.
+  void SetMetricsRegistry(obs::MetricsRegistry* registry);
 
  private:
   struct Slot {
@@ -155,9 +208,14 @@ class BundleCatalog {
       std::unique_lock<std::mutex>& lock, const std::string& name,
       const std::string& path);
 
-  /// Drops LRU unpinned residents until the bound holds (mu_ held).
-  /// `keep` survives even if it is the oldest.
+  /// Drops LRU unpinned residents until both bounds hold — max_resident
+  /// (count) and memory_budget_bytes (summed ResidentBytes) — and
+  /// refreshes the resident-bytes gauge (mu_ held). `keep` survives even
+  /// if it is the oldest.
   void EvictIfNeeded(const std::string& keep);
+
+  /// Summed ResidentBytes() of unpinned residents (mu_ held).
+  int64_t ResidentBytesLocked() const;
 
   /// Stamps a freshly built engine with its bundle's owner generation
   /// (plan-cache keying; a reload to a new generation starts with an empty
@@ -168,6 +226,10 @@ class BundleCatalog {
   /// Registry for engines built after SetMetricsRegistry; atomic because
   /// LoadSlot builds engines outside mu_.
   std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
+  /// Catalog-level instruments interned from the registry (stable
+  /// pointers for the registry's lifetime); touched only under mu_.
+  obs::Counter* evictions_ = nullptr;
+  obs::Gauge* resident_gauge_ = nullptr;
   /// Serializes delta appliers per catalog (applies are rare relative to
   /// reads; readers never take this). Held across the clone + apply.
   std::mutex apply_mu_;

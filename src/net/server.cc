@@ -311,10 +311,10 @@ NetStats NetServer::stats(const NetCallOptions& opts) const {
     auto resident = catalog_->Get(name);
     if (resident.ok()) {
       s.database = name;
-      s.num_blocks = (*resident)->bundle().database.blocks.size();
-      s.ciphertext_bytes = static_cast<uint64_t>(
-          (*resident)->bundle().database.TotalCiphertextBytes());
-      s.db_generation = (*resident)->bundle().generation;
+      s.num_blocks = (*resident)->num_blocks();
+      s.ciphertext_bytes =
+          static_cast<uint64_t>((*resident)->ciphertext_bytes());
+      s.db_generation = (*resident)->owner_generation();
     }
   }
   for (auto& [hist_name, hist] : metrics_.Snapshot().histograms) {

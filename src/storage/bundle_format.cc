@@ -1,0 +1,279 @@
+#include "storage/bundle_format.h"
+
+#include <algorithm>
+
+namespace xcrypt {
+namespace storage_internal {
+
+const SectionEntry* V4Layout::Find(uint32_t id) const {
+  for (const SectionEntry& s : sections) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+Result<V4Layout> ParseV4Layout(const uint8_t* data, size_t size) {
+  BinaryReader r(data, size);
+  if (r.U32() != kBundleMagic) return Status::Corruption("bad magic");
+  const uint32_t version = r.U32();
+  if (version != kFormatV4) {
+    return Status::Unsupported("not a v4 bundle (version " +
+                               std::to_string(version) + ")");
+  }
+  V4Layout layout;
+  layout.name = r.Str();
+  layout.generation = r.U64();
+  const uint32_t count = r.U32();
+  // Each table row is 24 bytes; a count the rest of the image cannot hold
+  // is corruption, rejected before the vector grows.
+  if (r.failed() || !r.CanHold(count, 24)) {
+    return Status::Corruption("bad section table");
+  }
+  layout.sections.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SectionEntry s;
+    s.id = r.U32();
+    r.U32();  // reserved
+    s.offset = r.U64();
+    s.length = r.U64();
+    if (r.failed()) return Status::Corruption("truncated section table");
+    // Overflow-safe bounds check: the section must lie inside the image.
+    if (s.offset > size || s.length > size - s.offset) {
+      return Status::Corruption("section " + std::to_string(s.id) +
+                                " out of bounds");
+    }
+    layout.sections.push_back(s);
+  }
+
+  // Sections must be disjoint and each id unique: an overlapping table
+  // could alias the payload region into an index section and make "read
+  // in place" lie about what it reads.
+  std::vector<SectionEntry> sorted = layout.sections;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SectionEntry& a, const SectionEntry& b) {
+              return a.offset < b.offset;
+            });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].offset < sorted[i - 1].offset + sorted[i - 1].length) {
+      return Status::Corruption("overlapping sections");
+    }
+  }
+  for (size_t i = 0; i < layout.sections.size(); ++i) {
+    for (size_t j = i + 1; j < layout.sections.size(); ++j) {
+      if (layout.sections[i].id == layout.sections[j].id) {
+        return Status::Corruption("duplicate section id " +
+                                  std::to_string(layout.sections[i].id));
+      }
+    }
+  }
+  for (uint32_t id : {kSkeleton, kBlockIndex, kBlockPayloads, kMarkers, kDsi,
+                      kBlockReps, kValueIndexes, kPublicMap}) {
+    if (layout.Find(id) == nullptr) {
+      return Status::Corruption("missing section " + std::to_string(id));
+    }
+  }
+  return layout;
+}
+
+void WriteDocument(BinaryWriter& w, const Document& doc) {
+  w.I32(doc.node_count());
+  for (NodeId id = 0; id < doc.node_count(); ++id) {
+    const Node& n = doc.node(id);
+    w.Str(n.tag);
+    w.Str(n.value);
+    w.I32(n.parent);
+    w.U8(n.is_attribute ? 1 : 0);
+  }
+}
+
+Result<Document> ReadDocument(BinaryReader& r) {
+  const int32_t count = r.I32();
+  // Each node occupies at least two length prefixes, a parent id, and a
+  // flag byte; a count the unread suffix cannot possibly hold is
+  // corruption, rejected before the arena grows.
+  if (r.failed() || count < 0 ||
+      !r.CanHold(static_cast<uint64_t>(count), 13)) {
+    return Status::Corruption("bad document node count");
+  }
+  Document doc;
+  for (NodeId id = 0; id < count; ++id) {
+    const std::string tag = r.Str();
+    const std::string value = r.Str();
+    const NodeId parent = r.I32();
+    const bool is_attribute = r.U8() != 0;
+    if (r.failed()) return Status::Corruption("truncated document node");
+    if (id == 0) {
+      if (parent != kNullNode) {
+        return Status::Corruption("root node has a parent");
+      }
+      doc.AddRoot(tag);
+    } else {
+      if (parent < 0 || parent >= id) {
+        // Parents always precede children in arena order; a forward or
+        // negative parent is corruption (detached nodes are not shipped).
+        return Status::Corruption("node parent out of order");
+      }
+      doc.AddChild(parent, tag);
+    }
+    doc.node(id).value = value;
+    doc.node(id).is_attribute = is_attribute;
+  }
+  return doc;
+}
+
+void WriteInterval(BinaryWriter& w, const Interval& iv) {
+  w.F64(iv.min);
+  w.F64(iv.max);
+}
+
+Interval ReadInterval(BinaryReader& r) {
+  Interval iv;
+  iv.min = r.F64();
+  iv.max = r.F64();
+  return iv;
+}
+
+Result<std::vector<BlockRef>> ParseBlockIndex(const uint8_t* data, size_t size,
+                                              uint64_t payloads_length) {
+  BinaryReader r(data, size);
+  const uint32_t count = r.U32();
+  if (r.failed() || !r.CanHold(count, 24)) {
+    return Status::Corruption("bad block index count");
+  }
+  std::vector<BlockRef> refs;
+  refs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    BlockRef ref;
+    ref.id = r.I32();
+    ref.generation = r.U32();
+    ref.offset = r.U64();
+    ref.length = r.U64();
+    if (r.failed()) return Status::Corruption("truncated block index");
+    if (ref.offset > payloads_length ||
+        ref.length > payloads_length - ref.offset) {
+      return Status::Corruption("block payload out of bounds");
+    }
+    refs.push_back(ref);
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in block index");
+  return refs;
+}
+
+Status ParseMarkers(const uint8_t* data, size_t size, int32_t node_count,
+                    std::vector<NodeId>* out) {
+  BinaryReader r(data, size);
+  const uint32_t count = r.U32();
+  if (r.failed() || !r.CanHold(count, 4)) {
+    return Status::Corruption("bad marker count");
+  }
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const NodeId id = r.I32();
+    if (r.failed()) return Status::Corruption("truncated markers");
+    if (id < kNullNode || id >= node_count) {
+      return Status::Corruption("marker node out of range");
+    }
+    out->push_back(id);
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in markers");
+  return Status::Ok();
+}
+
+Status ParseDsi(const uint8_t* data, size_t size, DsiTable* out) {
+  BinaryReader r(data, size);
+  const uint32_t num_tokens = r.U32();
+  for (uint32_t i = 0; i < num_tokens && !r.failed(); ++i) {
+    const std::string token = r.Str();
+    const uint32_t num_intervals = r.U32();
+    if (!r.CanHold(num_intervals, 16)) {
+      return Status::Corruption("bad DSI interval count");
+    }
+    for (uint32_t j = 0; j < num_intervals && !r.failed(); ++j) {
+      out->Add(token, ReadInterval(r));
+    }
+  }
+  if (r.failed()) return Status::Corruption("truncated DSI table");
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in DSI table");
+  out->Seal();
+  return Status::Ok();
+}
+
+Status ParseBlockReps(const uint8_t* data, size_t size, BlockTable* out) {
+  BinaryReader r(data, size);
+  const uint32_t count = r.U32();
+  if (r.failed() || !r.CanHold(count, 20)) {
+    return Status::Corruption("bad block table count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    const int id = r.I32();
+    const Interval rep = ReadInterval(r);
+    if (r.failed()) return Status::Corruption("truncated block table");
+    out->Add(id, rep);
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in block table");
+  return Status::Ok();
+}
+
+Status ParsePublicMap(const uint8_t* data, size_t size, int32_t node_count,
+                      std::map<Interval, NodeId>* out) {
+  BinaryReader r(data, size);
+  const uint32_t count = r.U32();
+  if (r.failed() || !r.CanHold(count, 20)) {
+    return Status::Corruption("bad public map count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    const Interval iv = ReadInterval(r);
+    const NodeId node = r.I32();
+    if (r.failed()) return Status::Corruption("truncated public map");
+    if (node < 0 || node >= node_count) {
+      return Status::Corruption("public node out of range");
+    }
+    (*out)[iv] = node;
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in public map");
+  return Status::Ok();
+}
+
+Result<std::vector<ValueIndexRef>> ParseValueIndexDirectory(
+    const uint8_t* data, size_t size) {
+  BinaryReader r(data, size);
+  const uint32_t count = r.U32();
+  // A directory row is at least a token length prefix + offset + count.
+  if (r.failed() || !r.CanHold(count, 16)) {
+    return Status::Corruption("bad value-index count");
+  }
+  std::vector<ValueIndexRef> refs;
+  refs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ValueIndexRef ref;
+    ref.token = r.Str();
+    ref.offset = r.U64();
+    ref.count = r.U32();
+    if (r.failed()) return Status::Corruption("truncated value-index dir");
+    // Validated here once so the per-token lazy parse is infallible: the
+    // whole entry array must lie inside the section.
+    if (ref.offset > size ||
+        static_cast<uint64_t>(ref.count) * 12 > size - ref.offset) {
+      return Status::Corruption("value-index entries out of bounds");
+    }
+    refs.push_back(std::move(ref));
+  }
+  return refs;
+}
+
+std::vector<BTreeEntry> ParseValueIndexEntries(const uint8_t* section_data,
+                                               const ValueIndexRef& ref) {
+  BinaryReader r(section_data + ref.offset, static_cast<size_t>(ref.count) * 12);
+  std::vector<BTreeEntry> entries;
+  entries.reserve(ref.count);
+  for (uint32_t i = 0; i < ref.count; ++i) {
+    BTreeEntry e;
+    e.key = r.I64();
+    e.block_id = r.I32();
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+}  // namespace storage_internal
+}  // namespace xcrypt

@@ -1,0 +1,200 @@
+#include "storage/mmap_bundle.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace xcrypt {
+
+namespace si = storage_internal;
+
+Result<std::unique_ptr<MmapBundleReader>> MmapBundleReader::Open(
+    const std::string& path, const std::string& expected_name) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("cannot stat " + path + ": " + std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < 12) {
+    ::close(fd);
+    return Status::Corruption(path + " is too small to be a bundle");
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping keeps the inode alive; the descriptor is not needed again
+  // (and SaveBundle's atomic rename means a re-upload never mutates the
+  // bytes under an open mapping — it replaces the directory entry).
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    return Status::Internal("cannot mmap " + path + ": " +
+                            std::strerror(errno));
+  }
+  // Queries touch payload slices scattered across the file; without this
+  // hint the kernel's fault-time readahead pulls in ~100-200KB around each
+  // touched block and a selective query ends up faulting most of the file.
+  // MADV_RANDOM disables readahead for the VMA so residency tracks the
+  // bytes actually dereferenced. MADV_NOHUGEPAGE keeps the fault handler
+  // from mapping whole 2MB page-cache folios (a freshly written bundle
+  // sits in large folios, and one PMD mapping per touched block would
+  // fault in ~100x the bytes a selective query reads). Advisory only:
+  // failures are ignored.
+  ::madvise(mapping, size, MADV_RANDOM);
+#ifdef MADV_NOHUGEPAGE
+  ::madvise(mapping, size, MADV_NOHUGEPAGE);
+#endif
+
+  std::unique_ptr<MmapBundleReader> reader(new MmapBundleReader());
+  reader->path_ = path;
+  reader->data_ = static_cast<const uint8_t*>(mapping);
+  reader->size_ = size;
+
+  auto layout = si::ParseV4Layout(reader->data_, reader->size_);
+  if (!layout.ok()) return layout.status();  // dtor unmaps
+  reader->layout_ = std::move(*layout);
+  reader->name_ = reader->layout_.name;
+  reader->generation_ = reader->layout_.generation;
+  if (!expected_name.empty() && !reader->name_.empty() &&
+      reader->name_ != expected_name) {
+    return Status::InvalidArgument("bundle declares name '" + reader->name_ +
+                                   "' but was opened as '" + expected_name +
+                                   "'");
+  }
+
+  // The block index is the one section parsed eagerly: it is a few dozen
+  // bytes per block, and validating every payload slice here makes
+  // BlockPayload() unconditionally safe afterwards.
+  const si::SectionEntry& payloads =
+      *reader->layout_.Find(si::kBlockPayloads);
+  const si::SectionEntry& index = *reader->layout_.Find(si::kBlockIndex);
+  auto refs = si::ParseBlockIndex(reader->data_ + index.offset, index.length,
+                                  payloads.length);
+  if (!refs.ok()) return refs.status();
+  reader->blocks_ = std::move(*refs);
+  reader->payloads_ = reader->data_ + payloads.offset;
+  for (const si::BlockRef& ref : reader->blocks_) {
+    reader->ciphertext_bytes_ += static_cast<int64_t>(ref.length);
+  }
+  reader->resident_bytes_.store(
+      static_cast<int64_t>(index.length),
+      std::memory_order_relaxed);
+  return reader;
+}
+
+MmapBundleReader::~MmapBundleReader() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+Status MmapBundleReader::EnsureResident() const {
+  if (core_resident_.load(std::memory_order_acquire)) return Status::Ok();
+  std::lock_guard<std::mutex> lock(resident_mu_);
+  if (core_resident_.load(std::memory_order_relaxed)) return Status::Ok();
+
+  // Parse into locals first: a corruption discovered halfway must leave
+  // the reader unchanged, so a retry (or a differently-shaped query)
+  // cannot observe a half-built metadata.
+  EncryptedDatabase shell;
+  Metadata meta;
+  {
+    const si::SectionEntry& s = *layout_.Find(si::kSkeleton);
+    BinaryReader r(SectionData(s), s.length);
+    auto skeleton = si::ReadDocument(r);
+    if (!skeleton.ok()) return skeleton.status();
+    if (!r.AtEnd()) return Status::Corruption("trailing bytes in skeleton");
+    shell.skeleton = std::move(*skeleton);
+  }
+  const int32_t node_count = shell.skeleton.node_count();
+  {
+    const si::SectionEntry& s = *layout_.Find(si::kMarkers);
+    XCRYPT_RETURN_NOT_OK(si::ParseMarkers(SectionData(s), s.length, node_count,
+                                          &shell.marker_of_block));
+  }
+  {
+    const si::SectionEntry& s = *layout_.Find(si::kDsi);
+    XCRYPT_RETURN_NOT_OK(
+        si::ParseDsi(SectionData(s), s.length, &meta.dsi_table));
+  }
+  {
+    const si::SectionEntry& s = *layout_.Find(si::kBlockReps);
+    XCRYPT_RETURN_NOT_OK(
+        si::ParseBlockReps(SectionData(s), s.length, &meta.block_table));
+  }
+  {
+    const si::SectionEntry& s = *layout_.Find(si::kPublicMap);
+    XCRYPT_RETURN_NOT_OK(si::ParsePublicMap(SectionData(s), s.length,
+                                            node_count,
+                                            &meta.public_interval_to_node));
+  }
+  std::vector<si::ValueIndexRef> dir;
+  {
+    const si::SectionEntry& s = *layout_.Find(si::kValueIndexes);
+    auto parsed = si::ParseValueIndexDirectory(SectionData(s), s.length);
+    if (!parsed.ok()) return parsed.status();
+    dir = std::move(*parsed);
+  }
+
+  int64_t bytes = 0;
+  for (uint32_t id : {si::kSkeleton, si::kMarkers, si::kDsi, si::kBlockReps,
+                      si::kPublicMap}) {
+    bytes += static_cast<int64_t>(layout_.Find(id)->length);
+  }
+  shell_ = std::move(shell);
+  meta_ = std::move(meta);
+  vi_dir_ = std::move(dir);
+  resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  core_resident_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+const BPlusTree* MmapBundleReader::ValueIndex(const std::string& token) const {
+  if (!core_resident_.load(std::memory_order_acquire)) return nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(vi_mu_);
+    auto it = trees_.find(token);
+    if (it != trees_.end()) return &it->second;
+  }
+  const si::ValueIndexRef* ref = nullptr;
+  for (const si::ValueIndexRef& candidate : vi_dir_) {
+    if (candidate.token == token) {
+      ref = &candidate;
+      break;
+    }
+  }
+  if (ref == nullptr) return nullptr;
+
+  // Parse outside the lock (the directory pre-validated the entry array,
+  // so this cannot fail); racing parses are idempotent, first insert wins.
+  const si::SectionEntry& s = *layout_.Find(si::kValueIndexes);
+  BPlusTree tree;
+  tree.BulkLoad(si::ParseValueIndexEntries(SectionData(s), *ref));
+  std::unique_lock<std::shared_mutex> lock(vi_mu_);
+  auto [it, inserted] = trees_.try_emplace(token, std::move(tree));
+  if (inserted) {
+    resident_bytes_.fetch_add(
+        static_cast<int64_t>(ref->count) * 12 +
+            static_cast<int64_t>(token.size()),
+        std::memory_order_relaxed);
+  }
+  return &it->second;
+}
+
+Result<HostedBundle> MmapBundleReader::Materialize() const {
+  Bytes image(data_, data_ + size_);
+  auto bundle = DeserializeBundle(image);
+  if (!bundle.ok()) return bundle.status();
+  return bundle;
+}
+
+}  // namespace xcrypt

@@ -1,0 +1,145 @@
+#ifndef XCRYPT_STORAGE_MMAP_BUNDLE_H_
+#define XCRYPT_STORAGE_MMAP_BUNDLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/encryptor.h"
+#include "core/metadata.h"
+#include "storage/bundle_format.h"
+#include "storage/serializer.h"
+
+namespace xcrypt {
+
+/// Zero-copy reader over a format-v4 bundle file. Open() maps the image,
+/// validates the header and section table (CanHold-style bounds checks,
+/// disjointness, required sections), and parses only the tiny block
+/// index — no skeleton, no DSI table, no B-trees, and above all no block
+/// payloads. Everything else faults in on demand:
+///
+///  - EnsureResident() materializes the index sections (skeleton, DSI,
+///    block representatives, markers, public map, value-index directory)
+///    on first use — the point a lazy ServerEngine becomes queryable;
+///  - ValueIndex() parses one OPESS B-tree per distinct token, on the
+///    first query that touches it;
+///  - BlockPayload() hands out a std::span straight into the mapping, so
+///    ciphertext pages are read by the kernel only when a response
+///    actually ships them.
+///
+/// A corrupt image is rejected with Corruption at Open (section table) or
+/// at EnsureResident (section contents) — never a crash: every section
+/// parse runs through the bounds-latching BinaryReader, and payload
+/// slices were range-checked against the payload section at Open.
+///
+/// Thread-safe: Open-time state is immutable; lazy state is built under
+/// internal locks and read lock-free once published.
+class MmapBundleReader {
+ public:
+  /// Maps `path` and validates its prologue. When `expected_name` is
+  /// non-empty, a differing self-declared name is rejected with
+  /// InvalidArgument (same contract as DeserializeBundle).
+  static Result<std::unique_ptr<MmapBundleReader>> Open(
+      const std::string& path, const std::string& expected_name = {});
+
+  ~MmapBundleReader();
+  MmapBundleReader(const MmapBundleReader&) = delete;
+  MmapBundleReader& operator=(const MmapBundleReader&) = delete;
+
+  const std::string& path() const { return path_; }
+  const std::string& name() const { return name_; }
+  uint64_t generation() const { return generation_; }
+
+  /// Bytes of file currently mapped (the whole image).
+  int64_t MappedBytes() const { return static_cast<int64_t>(size_); }
+
+  /// Base of the read-only mapping — for residency diagnostics and tests
+  /// (mincore probes); never write through it.
+  const uint8_t* MappedBase() const { return data_; }
+
+  /// Heap bytes materialized from the mapping so far (index sections and
+  /// parsed B-trees, measured by their on-disk encoded size). This is
+  /// what a memory-budgeted catalog charges the bundle for: payload pages
+  /// are clean page cache the kernel reclaims on its own.
+  int64_t ResidentBytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+
+  // --- block surface (valid right after Open: the index is tiny) ---
+  size_t BlockCount() const { return blocks_.size(); }
+  int BlockId(size_t i) const { return blocks_[i].id; }
+  uint32_t BlockGeneration(size_t i) const { return blocks_[i].generation; }
+  std::span<const uint8_t> BlockPayload(size_t i) const {
+    return {payloads_ + blocks_[i].offset,
+            static_cast<size_t>(blocks_[i].length)};
+  }
+  int64_t TotalCiphertextBytes() const { return ciphertext_bytes_; }
+
+  // --- index surface (faults in per section) ---
+
+  /// Materializes the index sections if not yet resident. Idempotent and
+  /// cheap once done (one atomic load).
+  Status EnsureResident() const;
+
+  /// Skeleton + markers with an empty block vector — the shape a lazy
+  /// ServerEngine points its database side at. Valid (and immutable)
+  /// after EnsureResident() returned Ok.
+  const EncryptedDatabase& database() const { return shell_; }
+
+  /// DSI table, block table, and public map; value_indexes stays empty —
+  /// B-trees load per token through ValueIndex(). Valid after
+  /// EnsureResident() returned Ok.
+  const Metadata& metadata() const { return meta_; }
+
+  /// The OPESS B-tree for `token`, parsed from the mapping on first
+  /// request; nullptr when the bundle has no index for that token.
+  /// Returned pointers stay valid for the reader's lifetime. Requires a
+  /// successful EnsureResident().
+  const BPlusTree* ValueIndex(const std::string& token) const;
+
+  /// Full eager copy of the bundle (every section parsed, every payload
+  /// copied) — the escape hatch for paths that must mutate, like a
+  /// catalog delta apply.
+  Result<HostedBundle> Materialize() const;
+
+ private:
+  MmapBundleReader() = default;
+
+  const uint8_t* SectionData(const storage_internal::SectionEntry& s) const {
+    return data_ + s.offset;
+  }
+
+  std::string path_;
+  std::string name_;
+  uint64_t generation_ = 0;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  storage_internal::V4Layout layout_;
+  std::vector<storage_internal::BlockRef> blocks_;
+  const uint8_t* payloads_ = nullptr;
+  int64_t ciphertext_bytes_ = 0;
+
+  /// Lazy residency. `core_resident_` publishes shell_/meta_/vi_dir_
+  /// (release on store, acquire on the fast-path load); trees_ grows
+  /// under vi_mu_ with stable map nodes, so returned B-tree pointers
+  /// survive later inserts.
+  mutable std::mutex resident_mu_;
+  mutable std::atomic<bool> core_resident_{false};
+  mutable EncryptedDatabase shell_;
+  mutable Metadata meta_;
+  mutable std::vector<storage_internal::ValueIndexRef> vi_dir_;
+  mutable std::shared_mutex vi_mu_;
+  mutable std::map<std::string, BPlusTree> trees_;
+  mutable std::atomic<int64_t> resident_bytes_{0};
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_STORAGE_MMAP_BUNDLE_H_

@@ -195,7 +195,7 @@ TEST_F(WalTest, CheckpointResetsLogAndSurvivesReopen) {
   EXPECT_EQ(store->wal_bytes(), 0);
 
   // The image itself now carries generation 2.
-  auto header = PeekBundleHeader(path_);
+  auto header = ReadBundleHeader(path_);
   ASSERT_TRUE(header.ok());
   EXPECT_EQ(header->generation, 2u);
 
@@ -212,7 +212,7 @@ TEST_F(WalTest, AutoCheckpointsPastConfiguredLogSize) {
   ASSERT_TRUE(store.ok());
   ASSERT_TRUE(store->Apply(OneDelta(&client, 1, 0)).ok());
   EXPECT_EQ(store->wal_bytes(), 0);  // checkpoint swapped in an empty log
-  auto header = PeekBundleHeader(path_);
+  auto header = ReadBundleHeader(path_);
   ASSERT_TRUE(header.ok());
   EXPECT_EQ(header->generation, 2u);
 }
