@@ -161,7 +161,7 @@ int main() {
               corpus.name.c_str(), corpus.doc.node_count());
   const auto workload = BuildWorkload(corpus.doc, WorkloadKind::kQm, 10, 23);
 
-  DasSystem::Options cache_off;
+  ClientTuning cache_off;
   cache_off.block_cache_bytes = 0;
   auto das_on = DasSystem::Host(corpus.doc, corpus.constraints,
                                 SchemeKind::kOptimal, "bench-crypto-secret");

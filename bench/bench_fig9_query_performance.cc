@@ -97,7 +97,7 @@ int main() {
   // (no cache) decrypts its blocks on every query. With the cache on,
   // warmed trials decrypt nothing under any scheme and the comparison
   // degenerates; bench_crypto_kernels measures the cache itself.
-  DasSystem::Options no_cache;
+  ClientTuning no_cache;
   no_cache.block_cache_bytes = 0;
   std::vector<HostedScheme> hosted;
   for (SchemeKind kind : AllSchemes()) {

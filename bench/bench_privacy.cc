@@ -1,0 +1,169 @@
+// Experiment E12 — the price of access-pattern protection: per-query
+// latency and wire bytes over a loopback daemon for decoy counts
+// k ∈ {0, 1, 4, 16}, with and without the PIR spot-check fetch, on the
+// NASA corpus (Qm workload). Emits BENCH_privacy.json.
+//
+// What the numbers must show (and the perfsmoke gate pins): the k+1-probe
+// batch costs far less than k+1 lone queries — one frame amortizes
+// framing and syscalls, and covers are replays that hit the daemon's plan
+// cache — so k=4 stays within ~3x of k=0 rather than 5x. The answer
+// column (decoded real-answer bytes per query) must be FLAT across all
+// rows: covers change what ships on the wire, never what the client
+// decodes. The wire itself grows linearly with k — every cover's padded
+// answer ships and is discarded — and that linear cost is the privacy
+// budget; the covers column makes it visible (k covers per query).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "das/das_system.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace xcrypt;
+using namespace xcrypt::bench;
+
+struct Served {
+  std::unique_ptr<DasSystem> das;
+  std::unique_ptr<net::NetServer> server;
+};
+
+bool Serve(const Corpus& corpus, const ClientTuning& tuning, Served* out) {
+  auto das = DasSystem::Host(corpus.doc, corpus.constraints,
+                             SchemeKind::kOptimal, "e12-secret", tuning);
+  if (!das.ok()) {
+    std::fprintf(stderr, "%s\n", das.status().ToString().c_str());
+    return false;
+  }
+  out->das = std::make_unique<DasSystem>(std::move(*das));
+  auto bundle = out->das->ExportBundle();
+  if (!bundle.ok()) return false;
+  auto server =
+      net::NetServer::Serve(net::ServerConfig::ForBundle(std::move(*bundle)));
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return false;
+  }
+  out->server = std::move(*server);
+  return out->das->Remote().Connect("127.0.0.1", out->server->port()).ok();
+}
+
+struct PassStats {
+  std::vector<double> latencies_us;
+  double bytes = 0.0;
+  int queries = 0;
+};
+
+PassStats RunPass(const DasSystem& das,
+                  const std::vector<WorkloadQuery>& workload) {
+  PassStats stats;
+  for (const WorkloadQuery& wq : workload) {
+    Stopwatch watch;
+    auto run = das.Execute(wq.expr);
+    if (!run.ok()) continue;
+    stats.latencies_us.push_back(watch.ElapsedMicros());
+    stats.bytes += static_cast<double>(run->costs.bytes_shipped);
+    ++stats.queries;
+  }
+  return stats;
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E12: access-pattern protection cost (decoy sweep x PIR)");
+
+  Corpus corpus = MakeNasa(1);
+  std::printf("corpus: %s-like, %d nodes; workload Qm, 10 queries, "
+              "median of 5 passes after 1 warmup\n\n",
+              corpus.name.c_str(), corpus.doc.node_count());
+  const auto workload = BuildWorkload(corpus.doc, WorkloadKind::kQm, 10, 23);
+
+  std::printf("%6s %5s %12s %12s %14s %12s %12s\n", "decoys", "pir",
+              "median/us", "mean/us", "answer-B/q", "covers", "pir-fetch");
+  PrintRule();
+
+  double k0_median = 0.0;
+  std::vector<std::string> json_rows;
+  bool ordering_holds = true;
+  for (int decoys : {0, 1, 4, 16}) {
+    for (bool pir : {false, true}) {
+      // The block cache is off: warmed stub-only responses would collapse
+      // every configuration to framing time (bench_crypto_kernels
+      // measures the cache; this sweep measures the probes).
+      ClientTuning tuning;
+      tuning.block_cache_bytes = 0;
+      tuning.privacy.decoys = decoys;
+      tuning.privacy.pir_threshold_bytes = pir ? (1 << 20) : 0;
+      tuning.privacy_seed = 17;
+
+      Served served;
+      if (!Serve(corpus, tuning, &served)) return 1;
+
+      // Warmup: populates the shape log (pass 1 goes out with no covers)
+      // and the daemon's plan cache.
+      (void)RunPass(*served.das, workload);
+
+      const uint64_t covers0 = CounterValue("privacy.decoys_sent");
+      const uint64_t fetches0 = CounterValue("privacy.pir_fetches");
+      std::vector<double> latencies;
+      double bytes = 0.0;
+      int queries = 0;
+      for (int pass = 0; pass < 5; ++pass) {
+        PassStats stats = RunPass(*served.das, workload);
+        latencies.insert(latencies.end(), stats.latencies_us.begin(),
+                         stats.latencies_us.end());
+        bytes += stats.bytes;
+        queries += stats.queries;
+      }
+      if (queries == 0) return 1;
+      const uint64_t covers = CounterValue("privacy.decoys_sent") - covers0;
+      const uint64_t fetches = CounterValue("privacy.pir_fetches") - fetches0;
+
+      const double median_us = Median(latencies);
+      double mean_us = 0.0;
+      for (double v : latencies) mean_us += v;
+      mean_us /= latencies.size();
+      const double bytes_per_query = bytes / queries;
+      if (decoys == 0 && !pir) k0_median = median_us;
+
+      std::printf("%6d %5s %12.0f %12.0f %14.0f %12llu %12llu\n", decoys,
+                  pir ? "on" : "off", median_us, mean_us, bytes_per_query,
+                  static_cast<unsigned long long>(covers),
+                  static_cast<unsigned long long>(fetches));
+      json_rows.push_back(
+          JsonObj()
+              .Add("decoys", static_cast<double>(decoys))
+              .Add("pir", pir ? 1.0 : 0.0)
+              .Add("median_us", median_us)
+              .Add("mean_us", mean_us)
+              .Add("answer_bytes_per_query", bytes_per_query)
+              .Add("queries", static_cast<double>(queries))
+              .Add("covers_sent", static_cast<long long>(covers))
+              .Add("pir_fetches", static_cast<long long>(fetches))
+              .Str());
+
+      // Shape check: the perfsmoke bound, reproduced here at full sweep.
+      if (decoys == 4 && !pir && k0_median > 0.0 &&
+          median_us >= 3.0 * k0_median) {
+        ordering_holds = false;
+      }
+    }
+  }
+  WriteJsonFile("BENCH_privacy.json", JsonArray(json_rows));
+
+  PrintRule();
+  std::printf("\nk=4 median within 3x of k=0: %s\n",
+              ordering_holds ? "PASS" : "FAIL");
+  return ordering_holds ? 0 : 1;
+}

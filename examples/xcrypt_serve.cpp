@@ -189,8 +189,8 @@ int main(int argc, char** argv) {
       options.num_threads = std::atoi(v);
       // Pin the in-process worker pool to the same size, so one flag
       // controls both the connection handlers and the parallel
-      // decrypt/join work (overrides XCRYPT_THREADS; must run before the
-      // pool's first use or it silently keeps its earlier size).
+      // decrypt/join work (must run before the pool's first use or it
+      // silently keeps its earlier size).
       ThreadPool::SetSharedThreads(options.num_threads);
     } else if (arg == "--io-threads") {
       const char* v = next();

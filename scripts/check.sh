@@ -16,13 +16,21 @@
 # incremental-update suite (delta format fuzzing, WAL replay, the
 # concurrent update-storm e2e) must pass standalone in every build —
 # under TSan this is the run that proves readers never see a torn
-# database mid-apply. The plain build also gates on `ctest -L perfsmoke`
-# (structural-join timing bound; the reactor load smoke: 1k idle + 64
-# active pipelined connections with zero sheds — bench_net_load's quick
-# scenario as a test; and the out-of-core storage gate: a format-v4
-# mapped cold attach must stay >=3x faster than the v3 eager load on a
-# ~10x corpus with index-only residency — perf_storage_test. All of it
-# is meaningless under instrumentation, so only plain gates.)
+# database mid-apply. The UBSan build additionally gates on
+# `ctest -L net`: the wire codecs are where attacker-controlled bytes
+# meet integer arithmetic (frame headers, slot sizes, the v7
+# probe-batch padding math, the LWE u32 dot products), and the net
+# suite's truncation/bit-flip fuzzers are exactly the inputs that shake
+# out shifts-past-width and wraparound — so that lane must pass
+# standalone even when CTEST_ARGS narrows the main run. The plain build
+# also gates on `ctest -L perfsmoke` (structural-join timing bound; the
+# reactor load smoke: 1k idle + 64 active pipelined connections with
+# zero sheds — bench_net_load's quick scenario as a test; the
+# out-of-core storage gate: a format-v4 mapped cold attach must stay
+# >=3x faster than the v3 eager load on a ~10x corpus with index-only
+# residency — perf_storage_test; and the privacy gate: decoys=4 median
+# within 3x of decoys=0 over a loopback daemon — perf_privacy_test. All
+# of it is meaningless under instrumentation, so only plain gates.)
 
 set -euo pipefail
 
@@ -43,15 +51,22 @@ run_build() {
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${CTEST_ARGS})
   echo "==> [${name}] ctest -L update"
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -L update)
+  if [ "${name}" = ubsan ]; then
+    # Wire-codec fuzzers under UBSan: attacker bytes vs integer math.
+    echo "==> [${name}] ctest -L net"
+    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -L net)
+  fi
   if [ "${name}" = plain ]; then
     # Perf-smoke gate: the structural-join fast path must stay
     # output-linear (pair_join at 1e5 intervals within its time bound),
     # the reactor must serve 64 active pipelined connections amid a
     # 1k-idle crowd with zero sheds (perf_net_load_test), and the v4
     # mapped cold attach must beat the v3 eager load >=3x on a ~10x
-    # corpus while charging only index bytes (perf_storage_test).
-    # Serial — a timing assertion must not share the machine with other
-    # tests. Sanitizer builds compile the skip in, so only plain gates.
+    # corpus while charging only index bytes (perf_storage_test), and
+    # decoys=4 must stay under 3x the decoys=0 median over a loopback
+    # daemon (perf_privacy_test). Serial — a timing assertion must not
+    # share the machine with other tests. Sanitizer builds compile the
+    # skip in, so only plain gates.
     echo "==> [${name}] ctest -L perfsmoke"
     (cd "${dir}" && ctest --output-on-failure -L perfsmoke)
   fi

@@ -105,6 +105,19 @@ class BinaryReader {
     pos_ += len;
     return b;
   }
+  /// Reads exactly `n` raw bytes with no length prefix — the payload of a
+  /// fixed-size slot whose length came from elsewhere (e.g. the padded
+  /// probe-batch entries of wire v7). Empty + failed on underflow.
+  Bytes Raw(size_t n) {
+    if (!Need(n)) return {};
+    Bytes b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+  /// Advances past `n` bytes (slot padding) without materializing them.
+  void Skip(size_t n) {
+    if (Need(n)) pos_ += n;
+  }
 
  private:
   bool Need(size_t n) {

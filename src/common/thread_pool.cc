@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <memory>
 
 namespace xcrypt {
@@ -114,14 +113,6 @@ std::atomic<int> g_shared_threads_override{0};
 int SharedPoolSize() {
   if (const int forced = g_shared_threads_override.load(); forced > 0) {
     return std::clamp(forced, 1, 64);
-  }
-  if (const char* env = std::getenv("XCRYPT_THREADS");
-      env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0) {
-      return std::clamp(static_cast<int>(parsed), 1, 64);
-    }
   }
   return std::clamp(static_cast<int>(std::thread::hardware_concurrency()), 2,
                     8);

@@ -44,17 +44,16 @@ class ThreadPool {
   /// by index stay deterministic regardless of execution order.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
-  /// Process-wide shared pool. Sized, in order of precedence, by
-  /// SetSharedThreads(), the XCRYPT_THREADS environment variable, or the
-  /// hardware (clamped to [2, 8]). The size is fixed once the pool is
-  /// first used.
+  /// Process-wide shared pool. Sized by SetSharedThreads() when called
+  /// before first use, otherwise by the hardware (clamped to [2, 8]). The
+  /// size is fixed once the pool is first used.
   static ThreadPool& Shared();
 
-  /// Pins the Shared() pool size (clamped to [1, 64]); benches and
-  /// `xcrypt_serve --threads` use this. Takes precedence over
-  /// XCRYPT_THREADS. Returns true if the setting will take effect, false
-  /// if Shared() was already constructed (or num_threads is invalid) —
-  /// callers wanting a guaranteed size must set it before first use.
+  /// Pins the Shared() pool size (clamped to [1, 64]); ClientTuning's
+  /// `threads` knob and `xcrypt_serve --threads` route here. Returns true
+  /// if the setting will take effect, false if Shared() was already
+  /// constructed (or num_threads is invalid) — callers wanting a
+  /// guaranteed size must set it before first use.
   static bool SetSharedThreads(int num_threads);
 
   /// Whether Shared() has been constructed (its size is then immutable).

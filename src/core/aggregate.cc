@@ -29,7 +29,7 @@ Result<EngineAggregateResult> ServerEngine::ExecuteAggregate(
     const TranslatedQuery& query, AggregateKind kind,
     const std::string& index_token, const ExecOptions& opts) const {
   obs::QueryContext* ctx = opts.ctx;
-  const std::vector<BlockAdvert>* cached_blocks = opts.cached_blocks;
+  const std::span<const BlockAdvert> cached_blocks = opts.cached_blocks;
   if (query.steps.empty()) {
     return Status::InvalidArgument("empty aggregate query");
   }

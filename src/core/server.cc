@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <charconv>
+#include <functional>
 #include <map>
 #include <mutex>
 
+#include "common/random.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "index/structural_join.h"
@@ -121,6 +123,11 @@ EncryptedBlock ServerEngine::ShipBlock(size_t i) const {
   return block;
 }
 
+size_t ServerEngine::BlockCiphertextBytes(size_t i) const {
+  return mapped_ != nullptr ? mapped_->BlockPayload(i).size()
+                            : db_->blocks[i].ciphertext.size();
+}
+
 const BPlusTree* ServerEngine::ValueIndex(const std::string& token) const {
   if (mapped_ != nullptr) return mapped_->ValueIndex(token);
   auto it = meta_->value_indexes.find(token);
@@ -165,6 +172,80 @@ void ServerEngine::SetDataGeneration(uint64_t generation) {
   if (generation == data_generation_) return;
   data_generation_ = generation;
   plan_cache_.Clear();
+  // PIR records embed per-block generations and index keys; a new
+  // generation invalidates every hosted section (rebuilt on next setup).
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  pir_sections_.clear();
+}
+
+Result<privacy::PirHostedSection> ServerEngine::BuildPirSection(
+    const std::string& section) const {
+  privacy::PirParams params;
+  // Public A-matrix seed: deterministic in (generation, section) so racing
+  // builds of the same section agree and repeated setups of unchanged data
+  // hand every client the same hint.
+  uint64_t seed_state =
+      data_generation_ ^
+      (0x9e3779b97f4a7c15ULL * (std::hash<std::string>{}(section) | 1));
+  params.seed = SplitMix64(seed_state);
+  std::vector<uint8_t> records;
+  auto put_u32 = [&records](uint32_t v) {
+    records.push_back(static_cast<uint8_t>(v));
+    records.push_back(static_cast<uint8_t>(v >> 8));
+    records.push_back(static_cast<uint8_t>(v >> 16));
+    records.push_back(static_cast<uint8_t>(v >> 24));
+  };
+  if (section == privacy::kBlockMetaSection) {
+    const size_t n = BlockCount();
+    if (n == 0) return Status::NotFound("no blocks to host: " + section);
+    params.record_bytes = privacy::kBlockMetaRecordBytes;
+    params.num_records = static_cast<uint32_t>(n);
+    records.reserve(n * privacy::kBlockMetaRecordBytes);
+    for (size_t i = 0; i < n; ++i) {
+      put_u32(BlockGenerationOf(i));
+      put_u32(static_cast<uint32_t>(BlockCiphertextBytes(i)));
+    }
+  } else {
+    const std::string token = privacy::ParseOpessRootSection(section);
+    if (token.empty()) {
+      return Status::NotFound("unknown pir section: " + section);
+    }
+    const BPlusTree* tree = ValueIndex(token);
+    if (tree == nullptr) {
+      return Status::NotFound("no value index behind pir section: " + section);
+    }
+    const std::vector<int64_t> keys = tree->TopLevelKeys();
+    if (keys.empty()) {
+      return Status::NotFound("empty value index behind pir section: " +
+                              section);
+    }
+    params.record_bytes = privacy::kOpessRootRecordBytes;
+    params.num_records = static_cast<uint32_t>(keys.size());
+    records.reserve(keys.size() * privacy::kOpessRootRecordBytes);
+    for (int64_t key : keys) {
+      const uint64_t v = static_cast<uint64_t>(key);
+      put_u32(static_cast<uint32_t>(v));
+      put_u32(static_cast<uint32_t>(v >> 32));
+    }
+  }
+  return privacy::PirHostedSection::Build(params, std::move(records));
+}
+
+Result<const privacy::PirHostedSection*> ServerEngine::PirSection(
+    const std::string& section) const {
+  XCRYPT_RETURN_NOT_OK(EnsureReady());
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = pir_sections_.find(section);
+    if (it != pir_sections_.end()) return &it->second;
+  }
+  // Build (the hint is the expensive part) outside any lock; racing builds
+  // are deterministic in (generation, section), first insert wins.
+  auto built = BuildPirSection(section);
+  if (!built.ok()) return built.status();
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  auto it = pir_sections_.try_emplace(section, std::move(*built)).first;
+  return &it->second;
 }
 
 void ServerEngine::SetMetricsRegistry(obs::MetricsRegistry* registry) {
@@ -401,7 +482,7 @@ bool ServerEngine::PredicateKindHolds(const Interval& candidate,
 Result<EngineQueryResult> ServerEngine::Execute(
     const TranslatedQuery& query, const ExecOptions& opts) const {
   obs::QueryContext* ctx = opts.ctx;
-  const std::vector<BlockAdvert>* cached_blocks = opts.cached_blocks;
+  const std::span<const BlockAdvert> cached_blocks = opts.cached_blocks;
   if (query.steps.empty()) {
     return Status::InvalidArgument("empty translated query");
   }
@@ -479,7 +560,7 @@ Result<EngineQueryResult> ServerEngine::Execute(
 
 ServerResponse ServerEngine::AssembleResponse(
     const std::vector<Interval>& ship_roots, bool requires_full_requery,
-    const std::vector<BlockAdvert>* cached_blocks) const {
+    std::span<const BlockAdvert> cached_blocks) const {
   const Document& skeleton = db_->skeleton;
   // Marking flags are relaxed atomics: the per-root marking below is
   // idempotent (only ever 0 -> 1), so roots mark concurrently and the
@@ -575,10 +656,8 @@ ServerResponse ServerEngine::AssembleResponse(
   // an exact generation match may be stubbed: a stale advertisement means
   // the client's copy predates a re-encryption, so the payload ships.
   std::map<int, uint32_t> advertised;
-  if (cached_blocks != nullptr) {
-    for (const BlockAdvert& a : *cached_blocks) {
-      advertised.emplace(a.id, a.generation);
-    }
+  for (const BlockAdvert& a : cached_blocks) {
+    advertised.emplace(a.id, a.generation);
   }
 
   ServerResponse response;

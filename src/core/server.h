@@ -8,6 +8,7 @@
 #include <mutex>
 #include <set>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "index/interval_forest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "privacy/options.h"
+#include "privacy/pir.h"
 
 namespace xcrypt {
 
@@ -120,16 +123,25 @@ struct EngineAggregateResult {
 struct ExecOptions {
   /// Optional trace to fill + deadline to respect; nullptr = fast path.
   obs::QueryContext* ctx = nullptr;
-  /// When non-null, advertises blocks the client holds decrypted (id +
-  /// generation, wire v3); the engine may answer with id-only stubs for
+  /// Blocks the client holds decrypted (id + generation, wire v3); empty
+  /// advertises nothing. The engine may answer with id-only stubs for
   /// advertised blocks whose generation still matches, and must ship the
   /// payload whenever it does not (stale caches degrade to extra bytes,
-  /// never to wrong answers).
-  const std::vector<BlockAdvert>* cached_blocks = nullptr;
+  /// never to wrong answers). The span must stay valid for the call.
+  std::span<const BlockAdvert> cached_blocks;
   /// Which hosted database to evaluate against, for engines fronting a
   /// multi-tenant daemon (wire v4). Empty selects the endpoint's default
   /// database. In-process engines host exactly one database and ignore it.
   std::string db;
+  /// Access-pattern protection knobs (DESIGN.md §17). Off by default; only
+  /// remote engines act on them — an in-process engine has no wire
+  /// observer to hide from.
+  PrivacyOptions privacy;
+  /// Cover queries bundled with the real one into a wire-v7 probe batch
+  /// (sampled by the caller from its privacy::ShapeLog). Empty sends a
+  /// plain request. The span must stay valid for the call; in-process
+  /// engines ignore it.
+  std::span<const TranslatedQuery> cover_queries;
 };
 
 /// The query surface an untrusted evaluator exposes to DasSystem —
@@ -218,6 +230,16 @@ class ServerEngine : public QueryEngine {
 
   PlanCacheStats plan_cache_stats() const { return plan_cache_.Stats(); }
 
+  /// PIR-hosted small sections (DESIGN.md §17): "block-meta" (one 8-byte
+  /// record per encryption block — u32 generation, u32 ciphertext size)
+  /// and "opess-root:<token>" (the root-level separator keys of the
+  /// token's OPESS B-tree, one i64 per record). Built lazily on first
+  /// request, cached per data generation (SetDataGeneration drops the
+  /// cache), shared across callers. NotFound for unknown names; the
+  /// returned pointer stays valid until the next generation change.
+  Result<const privacy::PirHostedSection*> PirSection(
+      const std::string& section) const;
+
  private:
   /// Forward pass: interval list per step (cumulative filtering). The
   /// trace (nullable) gets one span per phase per step; the deadline in
@@ -250,7 +272,13 @@ class ServerEngine : public QueryEngine {
   /// `cached_blocks` (nullable) become id-only stubs in cached_ids.
   ServerResponse AssembleResponse(
       const std::vector<Interval>& ship_roots, bool requires_full_requery,
-      const std::vector<BlockAdvert>* cached_blocks) const;
+      std::span<const BlockAdvert> cached_blocks) const;
+
+  /// Gathers the raw record bytes + params for a hosted section name, or
+  /// NotFound. Called under no lock (reads only immutable post-EnsureReady
+  /// state).
+  Result<privacy::PirHostedSection> BuildPirSection(
+      const std::string& section) const;
 
   /// All DSI intervals, computed once (used by every child-axis join).
   const std::vector<Interval>& Universe() const;
@@ -278,6 +306,9 @@ class ServerEngine : public QueryEngine {
   uint32_t BlockGenerationOf(size_t i) const;
   bool BlockTombstoned(size_t i) const;
   EncryptedBlock ShipBlock(size_t i) const;
+  /// Ciphertext size without copying the payload (mapped mode reads only
+  /// the directory entry, faulting no payload pages).
+  size_t BlockCiphertextBytes(size_t i) const;
 
   /// OPESS B-tree for a token: map probe for eager engines, lazy
   /// per-token section parse for mapped ones. nullptr when absent.
@@ -312,6 +343,11 @@ class ServerEngine : public QueryEngine {
   mutable std::map<std::tuple<std::string, int64_t, int64_t>,
                    std::vector<Interval>>
       range_probe_cache_;
+  /// PIR sections built on demand, keyed by name. Guarded by cache_mu_;
+  /// cleared by SetDataGeneration (records embed per-block generations).
+  /// std::map for pointer stability: PirSection hands out entry pointers
+  /// that stay valid across later insertions.
+  mutable std::map<std::string, privacy::PirHostedSection> pir_sections_;
 
   /// Per-database translated-plan cache: normalized query shape (+ data
   /// generation) -> back-pruned ship roots, so a repeated query shape skips

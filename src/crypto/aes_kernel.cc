@@ -1,7 +1,6 @@
 #include "crypto/aes_kernel.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 
 namespace xcrypt {
@@ -44,15 +43,11 @@ const CryptoKernel* LookupKernel(const char* name) {
   return nullptr;
 }
 
-/// Automatic choice: the fastest kernel this CPU supports, honouring the
-/// XCRYPT_CRYPTO_KERNEL override. Unknown or unsupported override values
-/// fall back to the hardware pick (an unavailable "aesni" request on a
-/// scalar-only host must not break the binary).
+/// Automatic choice: the fastest kernel this CPU supports. Explicit
+/// overrides go through SetCryptoKernel (ClientTuning::crypto_kernel);
+/// an unavailable "aesni" request on a scalar-only host must not break
+/// the binary, so unknown requests leave the automatic pick in place.
 const CryptoKernel* AutoSelect() {
-  if (const char* env = std::getenv("XCRYPT_CRYPTO_KERNEL");
-      env != nullptr && *env != '\0') {
-    if (const CryptoKernel* forced = LookupKernel(env)) return forced;
-  }
   if (const CryptoKernel* ni = internal::AesNiKernelOrNull()) return ni;
   return &kScalarKernel;
 }

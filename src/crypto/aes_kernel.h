@@ -43,8 +43,8 @@ const CryptoKernel& ScalarCryptoKernel();
 
 /// The kernel every bulk operation routes through, selected once on first
 /// use: the fastest kernel the CPU supports (see common/cpu_features.h),
-/// unless overridden by the XCRYPT_CRYPTO_KERNEL environment variable
-/// ("scalar" or "aesni") or SetCryptoKernel(). Requesting an unavailable
+/// unless overridden by SetCryptoKernel() — ClientTuning::crypto_kernel
+/// routes there. Requesting an unavailable
 /// kernel falls back to scalar, so binaries built with the AES-NI TU still
 /// run unmodified on hosts without AES-NI.
 const CryptoKernel& AesKernel();

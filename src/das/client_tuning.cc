@@ -1,0 +1,24 @@
+#include "das/client_tuning.h"
+
+namespace xcrypt {
+
+Status ClientTuning::Validate() const {
+  if (link_mbps <= 0.0) {
+    return Status::InvalidArgument("link_mbps must be positive");
+  }
+  if (block_cache_bytes < 0) {
+    return Status::InvalidArgument("block_cache_bytes must be >= 0");
+  }
+  if (threads < 0 || threads > 64) {
+    return Status::InvalidArgument("threads must be in [0, 64]");
+  }
+  if (!crypto_kernel.empty() && crypto_kernel != "scalar" &&
+      crypto_kernel != "aesni") {
+    return Status::InvalidArgument("unknown crypto kernel: " + crypto_kernel);
+  }
+  XCRYPT_RETURN_NOT_OK(retry.Validate());
+  XCRYPT_RETURN_NOT_OK(privacy.Validate());
+  return Status::Ok();
+}
+
+}  // namespace xcrypt

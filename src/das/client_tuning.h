@@ -1,0 +1,69 @@
+#ifndef XCRYPT_DAS_CLIENT_TUNING_H_
+#define XCRYPT_DAS_CLIENT_TUNING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/remote_engine.h"
+#include "privacy/options.h"
+
+namespace xcrypt {
+
+/// Every client-side knob of a hosted system, in one value. Replaces the
+/// previous spread of DasSystem::Options fields, XCRYPT_THREADS /
+/// XCRYPT_CRYPTO_KERNEL environment overrides, and per-Connect retry
+/// arguments: a DasSystem is configured exactly once, at Host(), and the
+/// configuration is inspectable and validatable as a whole. Environment
+/// variables no longer override anything — what the struct says is what
+/// runs.
+struct ClientTuning {
+  ClientTuning() {}
+
+  /// Simulated link bandwidth for in-process cost reporting (§7.1's
+  /// 100 Mbps experimental setup). Irrelevant once a remote endpoint is
+  /// attached (transmission is then measured, not modeled).
+  double link_mbps = 100.0;
+
+  /// Budget of the client's decrypted-block cache (wire v3): repeated
+  /// queries advertise cached blocks so the server ships id-only stubs.
+  /// 0 disables the cache (every query cold). Bounded in ciphertext
+  /// bytes.
+  int64_t block_cache_bytes = 8 << 20;
+
+  /// Worker threads of the process-wide shared pool (crypto, parallel
+  /// joins). 0 = size from the hardware. Takes effect only if the shared
+  /// pool has not been constructed yet — Host() applies it first thing.
+  int threads = 0;
+
+  /// Crypto kernel override: "scalar", "aesni", or "" for the fastest one
+  /// this CPU supports. Unknown names fail Validate() up front instead of
+  /// silently running the fallback.
+  std::string crypto_kernel;
+
+  /// Retry discipline for the remote stub (applied by Remote().Connect()
+  /// unless the call supplies explicit RemoteOptions).
+  net::RetryPolicy retry;
+
+  /// Access-pattern protection (DESIGN.md §17): decoy batching, response
+  /// padding, PIR-style hot-section fetch. Off by default.
+  PrivacyOptions privacy;
+
+  /// Where the query-shape log (decoy sampling distribution) persists
+  /// across sessions. "" keeps the log in memory only. The file never
+  /// leaves the client machine.
+  std::string shape_log_path;
+
+  /// Seed for the client's privacy randomness (decoy sampling, LWE
+  /// secrets' jitter source). 0 = a fixed default; set it to make decoy
+  /// choices reproducible in tests.
+  uint64_t privacy_seed = 0;
+
+  /// Rejects nonsensical settings; Host() refuses a bad config before
+  /// doing any work.
+  Status Validate() const;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_DAS_CLIENT_TUNING_H_

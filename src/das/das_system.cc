@@ -1,8 +1,11 @@
 #include "das/das_system.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
+#include "crypto/aes_kernel.h"
 #include "xpath/parser.h"
 
 namespace xcrypt {
@@ -11,14 +14,34 @@ Result<DasSystem> DasSystem::Host(Document doc,
                                   std::vector<SecurityConstraint> constraints,
                                   SchemeKind kind,
                                   const std::string& master_secret,
-                                  const Options& options) {
+                                  const ClientTuning& tuning) {
+  XCRYPT_RETURN_NOT_OK(tuning.Validate());
+  // Process-wide picks first, before any crypto or pool work runs. Both
+  // are best-effort by design: the shared pool's size is fixed once
+  // constructed (SetSharedThreads reports but Host does not fail — a
+  // second hosted system in one process keeps the first one's pool).
+  if (tuning.threads > 0) ThreadPool::SetSharedThreads(tuning.threads);
+  SetCryptoKernel(tuning.crypto_kernel);
+
   DasSystem das;
-  das.options_ = options;
+  das.tuning_ = tuning;
+  das.privacy_ = std::make_unique<PrivacyState>();
+  das.privacy_->rng =
+      tuning.privacy_seed != 0 ? Rng(tuning.privacy_seed) : Rng();
+  if (!tuning.shape_log_path.empty()) {
+    // A missing file is a first run (empty log); a corrupt one is a real
+    // error the owner should hear about rather than silently losing the
+    // decoy distribution.
+    auto log = privacy::ShapeLog::LoadFromFile(tuning.shape_log_path);
+    if (!log.ok()) return log.status();
+    das.privacy_->shape_log = std::move(*log);
+  }
+
   auto client = Client::Host(std::move(doc), std::move(constraints), kind,
                              master_secret);
   if (!client.ok()) return client.status();
   das.client_ = std::make_unique<Client>(std::move(*client));
-  das.client_->EnableBlockCache(options.block_cache_bytes);
+  das.client_->EnableBlockCache(tuning.block_cache_bytes);
   das.server_ = std::make_unique<ServerEngine>(&das.client_->database(),
                                                &das.client_->metadata());
 
@@ -38,11 +61,15 @@ Result<DasSystem> DasSystem::Host(Document doc,
   return das;
 }
 
-Status DasSystem::RemoteHandle::Connect(const std::string& host, uint16_t port,
-                                        const std::string& database,
-                                        net::RemoteOptions options) {
-  if (!database.empty()) options.database = database;
-  auto remote = net::RemoteServerEngine::Connect(host, port, options);
+Status DasSystem::RemoteHandle::Connect(
+    const std::string& host, uint16_t port, const std::string& database,
+    std::optional<net::RemoteOptions> options) {
+  net::RemoteOptions opts = options.value_or(net::RemoteOptions());
+  // No explicit options: the connection inherits the system's tuned retry
+  // policy, so ClientTuning is the single place retry behavior is set.
+  if (!options.has_value()) opts.retry = das_->tuning_.retry;
+  if (!database.empty()) opts.database = database;
+  auto remote = net::RemoteServerEngine::Connect(host, port, opts);
   if (!remote.ok()) return remote.status();
   // Server-pushed invalidations (wire v5) drop stale decrypted blocks
   // from the client's cache — another owner's delta to the same database
@@ -61,7 +88,31 @@ Status DasSystem::RemoteHandle::Connect(const std::string& host, uint16_t port,
         }
         client->InvalidateCachedBlocks(ids);
       });
+  // Retried requests rebuild their cache advert from the LIVE cache: an
+  // invalidation landing mid-backoff (via the sink above) must shrink the
+  // advert before the re-send, not leave the retry promising blocks the
+  // client already dropped. The refresher only ever removes entries — it
+  // filters the attempt's original advert, never adds to it.
+  (*remote)->SetAdvertRefresher(
+      [client = das_->client_.get()](std::vector<BlockAdvert> adverts) {
+        const BlockCache* cache = client->block_cache();
+        std::vector<BlockAdvert> live;
+        live.reserve(adverts.size());
+        for (const BlockAdvert& advert : adverts) {
+          if (cache != nullptr &&
+              cache->Get(advert.id, advert.generation) != nullptr) {
+            live.push_back(advert);
+          }
+        }
+        return live;
+      });
   das_->remote_ = std::move(*remote);
+  if (das_->tuning_.privacy.pir_threshold_bytes > 0) {
+    std::lock_guard<std::mutex> lock(das_->privacy_->mu);
+    das_->privacy_->fetcher = std::make_unique<privacy::SectionFetcher>(
+        das_->remote_.get(), das_->tuning_.privacy.pir_threshold_bytes,
+        das_->tuning_.privacy_seed);
+  }
   // Adopt the daemon's resident generation so the first pushed delta is
   // built against the server's actual base — the daemon may serve an
   // older image of this document, or a v2 image pinned at generation 0.
@@ -70,6 +121,15 @@ Status DasSystem::RemoteHandle::Connect(const std::string& host, uint16_t port,
     das_->bundle_generation_ = stats->db_generation;
   }
   return Status::Ok();
+}
+
+void DasSystem::RemoteHandle::Disconnect() {
+  {
+    // The fetcher holds the stub as its transport; drop it first.
+    std::lock_guard<std::mutex> lock(das_->privacy_->mu);
+    das_->privacy_->fetcher.reset();
+  }
+  das_->remote_.reset();
 }
 
 const std::string& DasSystem::RemoteHandle::database() const {
@@ -133,10 +193,21 @@ Result<QueryRun> DasSystem::ExecutePath(const PathExpr& query,
   const CachedBlockSet cache_set = client_->AdvertiseCachedBlocks(trace);
   ExecOptions exec;
   exec.ctx = ctx;
-  exec.cached_blocks = cache_set.empty() ? nullptr : &cache_set.adverts;
+  exec.cached_blocks = cache_set.adverts;
+  exec.privacy = tuning_.privacy;
+  // Decoy batching (wire v7): sample covers from the local shape history,
+  // then record this query into it — in that order, so a query never
+  // covers for itself. Only a remote engine has a wire observer to hide
+  // from; in-process the covers would be dead weight.
+  std::vector<TranslatedQuery> covers;
+  if (tuning_.privacy.decoys > 0 && remote_ != nullptr) {
+    covers = SampleCoversAndRecord(*translated, tuning_.privacy.decoys);
+    exec.cover_queries = covers;
+  }
   auto result = engine().Execute(*translated, exec);
   if (!result.ok()) return result.status();
   ApplyEngineTiming(result->stats, &costs);
+  XCRYPT_RETURN_NOT_OK(PirSpotCheck(result->response, trace));
 
   return Finish(query, std::move(*result), costs, std::move(*translated), ctx,
                 &cache_set);
@@ -169,7 +240,7 @@ Result<AggregateRun> DasSystem::ExecuteAggregatePath(
   const CachedBlockSet cache_set = client_->AdvertiseCachedBlocks(trace);
   ExecOptions exec;
   exec.ctx = ctx;
-  exec.cached_blocks = cache_set.empty() ? nullptr : &cache_set.adverts;
+  exec.cached_blocks = cache_set.adverts;
   auto result = engine().ExecuteAggregate(*translated, kind, *token, exec);
   if (!result.ok()) return result.status();
   ApplyEngineTiming(result->stats, &costs);
@@ -199,6 +270,76 @@ Result<AggregateRun> DasSystem::ExecuteAggregatePath(
   run.costs = costs;
   run.engine_stats = std::move(result->stats);
   return run;
+}
+
+std::vector<TranslatedQuery> DasSystem::SampleCoversAndRecord(
+    const TranslatedQuery& real, int decoys) const {
+  PrivacyState& state = *privacy_;
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<TranslatedQuery> covers =
+      state.shape_log.SampleMany(decoys, state.rng);
+  state.shape_log.Record(real);
+  if (!tuning_.shape_log_path.empty() && ++state.records_since_save >= 32) {
+    // Best-effort periodic persistence; a failed save never fails the
+    // query (the log is an optimization of cover quality, not state).
+    if (state.shape_log.SaveToFile(tuning_.shape_log_path).ok()) {
+      state.records_since_save = 0;
+    }
+  }
+  return covers;
+}
+
+Status DasSystem::PirSpotCheck(const ServerResponse& response,
+                               obs::Trace* trace) const {
+  if (remote_ == nullptr || response.blocks.empty()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(privacy_->mu);
+  privacy::SectionFetcher* fetcher = privacy_->fetcher.get();
+  if (fetcher == nullptr) return Status::Ok();
+  // Cross-check one shipped block against the server's own block-meta
+  // section, fetched through the PIR path — under the threshold the
+  // server cannot even see which block the client audited.
+  const EncryptedBlock& block = response.blocks.front();
+  if (block.id < 0) return Status::Ok();
+  Stopwatch watch;
+  auto record =
+      fetcher->Fetch(privacy::kBlockMetaSection,
+                     static_cast<uint32_t>(block.id));
+  if (!record.ok()) return record.status();
+  obs::MetricsRegistry::Global().GetCounter("privacy.pir_fetches")->Add(1);
+  if (trace != nullptr) {
+    trace->Record("pir-fetch", watch.ElapsedMicros(), obs::Trace::kNoParent);
+  }
+  if (record->size() < privacy::kBlockMetaRecordBytes) {
+    return Status::Corruption("block-meta record truncated");
+  }
+  auto u32_at = [&record](size_t offset) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>((*record)[offset + i]) << (8 * i);
+    }
+    return v;
+  };
+  const uint32_t meta_generation = u32_at(0);
+  const uint32_t meta_size = u32_at(4);
+  // A generation mismatch is a benign race (an update landed between the
+  // section build and this query); a size mismatch at the SAME generation
+  // means the server's metadata disagrees with what it shipped.
+  if (meta_generation == block.generation &&
+      meta_size != block.ciphertext.size()) {
+    return Status::Corruption("block-meta size disagrees with shipped block");
+  }
+  return Status::Ok();
+}
+
+size_t DasSystem::shape_log_size() const {
+  std::lock_guard<std::mutex> lock(privacy_->mu);
+  return privacy_->shape_log.size();
+}
+
+Status DasSystem::SaveShapeLog() const {
+  if (tuning_.shape_log_path.empty()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(privacy_->mu);
+  return privacy_->shape_log.SaveToFile(tuning_.shape_log_path);
 }
 
 Status DasSystem::PropagateUpdate(const DeltaBuilder& builder) {

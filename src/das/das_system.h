@@ -2,13 +2,19 @@
 #define XCRYPT_DAS_DAS_SYSTEM_H_
 
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "core/client.h"
 #include "core/server.h"
+#include "das/client_tuning.h"
 #include "net/remote_engine.h"
+#include "privacy/fetcher.h"
+#include "privacy/shape.h"
 #include "storage/serializer.h"
 #include "storage/update/delta_builder.h"
 #include "xpath/ast.h"
@@ -105,22 +111,15 @@ struct HostReport {
 /// a cost model for the link between them.
 class DasSystem {
  public:
-  struct Options {
-    Options() {}
-    double link_mbps = 100.0;  ///< the paper's experimental setup (§7.1)
-    /// Budget of the client's decrypted-block cache (wire v3): repeated
-    /// queries advertise cached blocks so the server ships id-only stubs.
-    /// 0 disables the cache (every query cold). Bounded in ciphertext
-    /// bytes.
-    int64_t block_cache_bytes = 8 << 20;
-  };
-
   /// Encrypts and hosts `doc` under `kind`, building all metadata.
+  /// `tuning` (see ClientTuning) carries every client-side knob — link
+  /// model, cache budget, thread/kernel picks, retry policy, privacy mode
+  /// — validated up front; it is fixed for the system's lifetime.
   static Result<DasSystem> Host(Document doc,
                                 std::vector<SecurityConstraint> constraints,
                                 SchemeKind kind,
                                 const std::string& master_secret,
-                                const Options& options = Options());
+                                const ClientTuning& tuning = ClientTuning());
 
   /// Runs the full 5-step protocol of §6 for one query. Every entry
   /// point takes the query as either a parsed PathExpr or an XPath
@@ -172,13 +171,15 @@ class DasSystem {
     /// daemon's databases ("" = its default). Query costs then report
     /// measured transmission time. Fails (leaving the in-process path
     /// active) when the endpoint is unreachable or speaks the wrong
-    /// protocol version.
+    /// protocol version. When `options` is absent, the connection derives
+    /// its RemoteOptions from the system's ClientTuning (retry policy);
+    /// passing explicit options overrides the tuning wholesale.
     Status Connect(const std::string& host, uint16_t port,
                    const std::string& database = std::string(),
-                   net::RemoteOptions options = net::RemoteOptions());
+                   std::optional<net::RemoteOptions> options = std::nullopt);
 
     /// Returns to in-process evaluation.
-    void Disconnect() { das_->remote_.reset(); }
+    void Disconnect();
     bool attached() const { return das_->remote_ != nullptr; }
 
     /// The connected session's target database ("" when detached or
@@ -224,6 +225,24 @@ class DasSystem {
 
   const Client& client() const { return *client_; }
   const HostReport& host_report() const { return host_report_; }
+  const ClientTuning& tuning() const { return tuning_; }
+
+  // --- Access-pattern protection (DESIGN.md §17) ------------------------
+
+  /// Entries currently in the local query-shape log (the decoy sampling
+  /// distribution). Grows as real queries run with decoys enabled.
+  size_t shape_log_size() const;
+
+  /// Persists the shape log to tuning().shape_log_path now (a periodic
+  /// save also happens every few dozen recorded queries). No-op Ok when
+  /// no path is configured.
+  Status SaveShapeLog() const;
+
+  /// The remote PIR fetcher, or nullptr when detached / PIR disabled.
+  /// Exposes fetch counters for tests and experiments.
+  const privacy::SectionFetcher* section_fetcher() const {
+    return privacy_ == nullptr ? nullptr : privacy_->fetcher.get();
+  }
 
  private:
   DasSystem() = default;
@@ -254,7 +273,7 @@ class DasSystem {
   }
 
   /// The simulated-link cost model for the configured bandwidth.
-  SimulatedLink link() const { return SimulatedLink{options_.link_mbps}; }
+  SimulatedLink link() const { return SimulatedLink{tuning_.link_mbps}; }
 
   /// Attributes one engine call's measurements to the server and wire
   /// phases: remote calls use the measured split, in-process calls are
@@ -266,12 +285,40 @@ class DasSystem {
   /// advances the bundle generation, and (when remote) ships the delta.
   Status PropagateUpdate(const DeltaBuilder& builder);
 
+  /// Everything behind the privacy mode, grouped so DasSystem stays
+  /// movable (a mutex member would pin it): the shape log decoys sample
+  /// from, the jitter source, and the remote PIR fetcher. One mutex
+  /// serializes all of it — neither ShapeLog nor SectionFetcher is
+  /// thread-safe on its own.
+  struct PrivacyState {
+    std::mutex mu;
+    privacy::ShapeLog shape_log;
+    Rng rng;
+    uint64_t records_since_save = 0;
+    std::unique_ptr<privacy::SectionFetcher> fetcher;
+  };
+
+  /// Samples up to `decoys` cover queries and then records `real` into
+  /// the shape log (in that order: a query never covers for itself on its
+  /// first appearance), persisting the log periodically.
+  std::vector<TranslatedQuery> SampleCoversAndRecord(
+      const TranslatedQuery& real, int decoys) const;
+
+  /// Spot-checks one shipped block's metadata through the PIR fetcher
+  /// (block-meta section): a generation-matched record whose size
+  /// disagrees with the shipped ciphertext is server inconsistency.
+  Status PirSpotCheck(const ServerResponse& response,
+                      obs::Trace* trace) const;
+
   /// client_ precedes remote_: the remote stub's invalidation sink points
-  /// into the client's block cache and must die first.
+  /// into the client's block cache and must die first. privacy_ follows
+  /// remote_ so the fetcher (which holds the stub as its transport) is
+  /// destroyed before the stub.
   std::unique_ptr<Client> client_;
   std::unique_ptr<ServerEngine> server_;
   std::unique_ptr<net::RemoteServerEngine> remote_;
-  Options options_;
+  std::unique_ptr<PrivacyState> privacy_;
+  ClientTuning tuning_;
   HostReport host_report_;
   uint64_t bundle_generation_ = 1;
 };

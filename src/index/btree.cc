@@ -221,6 +221,11 @@ std::vector<std::pair<int64_t, int64_t>> BPlusTree::KeyHistogram() const {
   return out;
 }
 
+std::vector<int64_t> BPlusTree::TopLevelKeys() const {
+  if (!root_ || size_ == 0) return {};
+  return root_->keys;
+}
+
 bool BPlusTree::CheckInvariants() const {
   if (!root_) return true;
   struct Checker {

@@ -72,6 +72,12 @@ class BPlusTree {
   /// (used by the frequency-attack simulator).
   std::vector<std::pair<int64_t, int64_t>> KeyHistogram() const;
 
+  /// The root node's keys, in order: separator keys for an internal root,
+  /// the leaf's keys for a single-leaf tree, empty for an empty tree.
+  /// These are the tree's hottest slots — every descent reads them — and
+  /// back the PIR-hosted "opess-root:<token>" sections (DESIGN.md §17).
+  std::vector<int64_t> TopLevelKeys() const;
+
   /// Validates B+-tree invariants (key ordering, fill factors, uniform leaf
   /// depth). Returns false on violation; used by property tests.
   bool CheckInvariants() const;

@@ -34,7 +34,7 @@ void RecordRemoteSpans(obs::QueryContext* ctx, const EngineCallStats& stats) {
 }
 
 uint64_t DeriveBackoffSeed(const RemoteOptions& options, const void* self) {
-  if (options.backoff_seed != 0) return options.backoff_seed;
+  if (options.retry.backoff_seed != 0) return options.retry.backoff_seed;
   uint64_t state =
       static_cast<uint64_t>(
           std::chrono::steady_clock::now().time_since_epoch().count()) ^
@@ -44,6 +44,19 @@ uint64_t DeriveBackoffSeed(const RemoteOptions& options, const void* self) {
 
 }  // namespace
 
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (!(initial_backoff_ms >= 0)) {  // also rejects NaN
+    return Status::InvalidArgument("initial_backoff_ms must be >= 0");
+  }
+  if (!(max_backoff_ms >= 0)) {
+    return Status::InvalidArgument("max_backoff_ms must be >= 0");
+  }
+  return Status::Ok();
+}
+
 Status RemoteOptions::Validate() const {
   if (!(connect_timeout_sec > 0)) {  // also rejects NaN
     return Status::InvalidArgument("connect_timeout_sec must be > 0");
@@ -51,15 +64,7 @@ Status RemoteOptions::Validate() const {
   if (!(request_timeout_sec > 0)) {
     return Status::InvalidArgument("request_timeout_sec must be > 0");
   }
-  if (max_attempts < 1) {
-    return Status::InvalidArgument("max_attempts must be >= 1");
-  }
-  if (!(initial_backoff_ms >= 0)) {
-    return Status::InvalidArgument("initial_backoff_ms must be >= 0");
-  }
-  if (!(max_backoff_ms >= 0)) {
-    return Status::InvalidArgument("max_backoff_ms must be >= 0");
-  }
+  XCRYPT_RETURN_NOT_OK(retry.Validate());
   if (max_frame_bytes == 0) {
     return Status::InvalidArgument("max_frame_bytes must be > 0");
   }
@@ -224,32 +229,35 @@ void RemoteServerEngine::ReaderLoop(Transport* transport) const {
   }
 }
 
-Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
-                                            const Bytes& payload,
-                                            MessageType expected_reply,
-                                            EngineCallStats* stats) const {
+Result<Frame> RemoteServerEngine::RoundTrip(
+    MessageType type, const std::function<Bytes()>& payload_builder,
+    MessageType expected_reply, EngineCallStats* stats) const {
   stats->transport = EngineCallStats::Transport::kRemote;
   Status last_error = Status::Unavailable("no attempt made");
   double backoff_ms = 0.0;        // previous sleep; 0 before any retry
   double server_hint_ms = 0.0;    // daemon-suggested floor (wire v4)
 
-  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+  for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
     if (attempt > 0) {
       // Decorrelated jitter spreads a fleet of retrying clients out;
       // a server-sent retry-after hint floors the sleep so a shedding
       // daemon is not hammered faster than it asked for.
       {
         std::lock_guard<std::mutex> lock(rng_mu_);
-        backoff_ms = NextBackoffMs(backoff_ms, options_.initial_backoff_ms,
-                                   options_.max_backoff_ms, backoff_rng_);
+        backoff_ms =
+            NextBackoffMs(backoff_ms, options_.retry.initial_backoff_ms,
+                          options_.retry.max_backoff_ms, backoff_rng_);
       }
-      backoff_ms = std::max(backoff_ms, std::min(server_hint_ms,
-                                                 options_.max_backoff_ms));
+      backoff_ms = std::max(
+          backoff_ms, std::min(server_hint_ms, options_.retry.max_backoff_ms));
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(backoff_ms));
       ++stats->retries;
     }
     server_hint_ms = 0.0;
+    // Rebuilt each attempt: state the payload embeds (the cache advert)
+    // may have moved during the backoff — see SetAdvertRefresher.
+    const Bytes payload = payload_builder();
 
     auto maybe_transport = GetTransport();
     if (!maybe_transport.ok()) {
@@ -350,9 +358,21 @@ Result<Frame> RemoteServerEngine::RoundTrip(MessageType type,
     return reply;
   }
   return Status::Unavailable(
-      "request failed after " + std::to_string(options_.max_attempts) +
+      "request failed after " + std::to_string(options_.retry.max_attempts) +
       " attempts to " + host_ + ":" + std::to_string(port_) + " (" +
       last_error.ToString() + ")");
+}
+
+std::vector<BlockAdvert> RemoteServerEngine::AdvertsFor(
+    std::span<const BlockAdvert> original) const {
+  std::vector<BlockAdvert> adverts(original.begin(), original.end());
+  std::function<std::vector<BlockAdvert>(std::vector<BlockAdvert>)> refresher;
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    refresher = advert_refresher_;
+  }
+  if (refresher && !adverts.empty()) adverts = refresher(std::move(adverts));
+  return adverts;
 }
 
 Result<EngineQueryResult> RemoteServerEngine::Execute(
@@ -360,14 +380,14 @@ Result<EngineQueryResult> RemoteServerEngine::Execute(
   if (opts.ctx != nullptr && opts.ctx->Expired()) {
     return Status::Unavailable("deadline expired before remote call");
   }
-  static const std::vector<BlockAdvert> kNoAdverts;
+  if (!opts.cover_queries.empty()) return ExecuteBatch(query, opts);
   EngineQueryResult out;
   auto reply = RoundTrip(
       MessageType::kQueryRequest,
-      EncodeQueryRequest(query,
-                         opts.cached_blocks != nullptr ? *opts.cached_blocks
-                                                       : kNoAdverts,
-                         DbFor(opts)),
+      [&] {
+        return EncodeQueryRequest(query, AdvertsFor(opts.cached_blocks),
+                                  DbFor(opts));
+      },
       MessageType::kQueryResponse, &out.stats);
   if (!reply.ok()) return reply.status();
   auto msg = DecodeQueryResponse(reply->payload);
@@ -379,6 +399,56 @@ Result<EngineQueryResult> RemoteServerEngine::Execute(
   return out;
 }
 
+Result<EngineQueryResult> RemoteServerEngine::ExecuteBatch(
+    const TranslatedQuery& query, const ExecOptions& opts) const {
+  // The real probe's position is fresh jitter per call: a fixed slot (or
+  // any slot correlated with send order) would be a trivial tell.
+  size_t position = 0;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    position = static_cast<size_t>(
+        backoff_rng_.UniformU64(0, opts.cover_queries.size()));
+  }
+  std::vector<TranslatedQuery> probes;
+  probes.reserve(opts.cover_queries.size() + 1);
+  probes.insert(probes.end(), opts.cover_queries.begin(),
+                opts.cover_queries.begin() + position);
+  probes.push_back(query);
+  probes.insert(probes.end(), opts.cover_queries.begin() + position,
+                opts.cover_queries.end());
+
+  EngineQueryResult out;
+  Stopwatch watch;
+  auto reply = RoundTrip(
+      MessageType::kProbeBatchRequest,
+      [&] {
+        return EncodeProbeBatchRequest(probes, AdvertsFor(opts.cached_blocks),
+                                       DbFor(opts),
+                                       opts.privacy.pad_responses);
+      },
+      MessageType::kProbeBatchResponse, &out.stats);
+  if (!reply.ok()) return reply.status();
+  auto msg = DecodeProbeBatchResponse(reply->payload);
+  if (!msg.ok()) return msg.status();
+  if (msg->answers.size() != probes.size()) {
+    return Status::Corruption("probe batch answer count mismatch");
+  }
+  obs::MetricsRegistry::Global()
+      .GetCounter("privacy.decoys_sent")
+      ->Add(static_cast<uint64_t>(opts.cover_queries.size()));
+  // Cover answers are discarded here, undecrypted; only the real probe's
+  // answer leaves this frame.
+  QueryResponseMsg& real = msg->answers[position];
+  out.stats.server_process_us = real.server_process_us;
+  out.stats.server_phases = std::move(real.server_phases);
+  RecordRemoteSpans(opts.ctx, out.stats);
+  if (obs::Trace* trace = obs::TraceOf(opts.ctx)) {
+    trace->Record("decoy-batch", watch.ElapsedMicros(), obs::Trace::kNoParent);
+  }
+  out.response = std::move(real.response);
+  return out;
+}
+
 Result<EngineQueryResult> RemoteServerEngine::ExecuteNaive(
     const ExecOptions& opts) const {
   if (opts.ctx != nullptr && opts.ctx->Expired()) {
@@ -386,7 +456,7 @@ Result<EngineQueryResult> RemoteServerEngine::ExecuteNaive(
   }
   EngineQueryResult out;
   auto reply = RoundTrip(MessageType::kNaiveRequest,
-                         EncodeNaiveRequest(DbFor(opts)),
+                         [&] { return EncodeNaiveRequest(DbFor(opts)); },
                          MessageType::kQueryResponse, &out.stats);
   if (!reply.ok()) return reply.status();
   auto msg = DecodeQueryResponse(reply->payload);
@@ -404,15 +474,14 @@ Result<EngineAggregateResult> RemoteServerEngine::ExecuteAggregate(
   if (opts.ctx != nullptr && opts.ctx->Expired()) {
     return Status::Unavailable("deadline expired before remote call");
   }
-  static const std::vector<BlockAdvert> kNoAdverts;
   EngineAggregateResult out;
   auto reply = RoundTrip(
       MessageType::kAggregateRequest,
-      EncodeAggregateRequest(query, kind, index_token,
-                             opts.cached_blocks != nullptr
-                                 ? *opts.cached_blocks
-                                 : kNoAdverts,
-                             DbFor(opts)),
+      [&] {
+        return EncodeAggregateRequest(query, kind, index_token,
+                                      AdvertsFor(opts.cached_blocks),
+                                      DbFor(opts));
+      },
       MessageType::kAggregateResponse, &out.stats);
   if (!reply.ok()) return reply.status();
   auto msg = DecodeAggregateResponse(reply->payload);
@@ -426,7 +495,7 @@ Result<EngineAggregateResult> RemoteServerEngine::ExecuteAggregate(
 
 Status RemoteServerEngine::Ping() const {
   EngineCallStats stats;
-  auto reply = RoundTrip(MessageType::kPingRequest, Bytes(),
+  auto reply = RoundTrip(MessageType::kPingRequest, [] { return Bytes(); },
                          MessageType::kPingResponse, &stats);
   return reply.ok() ? Status::Ok() : reply.status();
 }
@@ -437,7 +506,8 @@ Result<uint64_t> RemoteServerEngine::PushDelta(
   msg.db = opts.db.empty() ? options_.database : opts.db;
   msg.delta = delta_image;
   EngineCallStats stats;
-  auto reply = RoundTrip(MessageType::kUpdateRequest, EncodeUpdateRequest(msg),
+  auto reply = RoundTrip(MessageType::kUpdateRequest,
+                         [&] { return EncodeUpdateRequest(msg); },
                          MessageType::kUpdateResponse, &stats);
   if (!reply.ok()) return reply.status();
   auto response = DecodeUpdateResponse(reply->payload);
@@ -449,10 +519,47 @@ Result<NetStats> RemoteServerEngine::Stats(const NetCallOptions& opts) const {
   EngineCallStats stats;
   auto reply = RoundTrip(
       MessageType::kStatsRequest,
-      EncodeStatsRequest(opts.db.empty() ? options_.database : opts.db),
+      [&] {
+        return EncodeStatsRequest(opts.db.empty() ? options_.database
+                                                  : opts.db);
+      },
       MessageType::kStatsResponse, &stats);
   if (!reply.ok()) return reply.status();
   return DecodeStats(reply->payload, reply->version);
+}
+
+Result<privacy::PirTransport::Setup> RemoteServerEngine::PirSetup(
+    const std::string& section) {
+  PirSetupRequestMsg msg;
+  msg.db = options_.database;
+  msg.section = section;
+  EngineCallStats stats;
+  auto reply = RoundTrip(MessageType::kPirSetupRequest,
+                         [&] { return EncodePirSetupRequest(msg); },
+                         MessageType::kPirSetupResponse, &stats);
+  if (!reply.ok()) return reply.status();
+  auto response = DecodePirSetupResponse(reply->payload);
+  if (!response.ok()) return response.status();
+  privacy::PirTransport::Setup setup;
+  setup.params = response->params;
+  setup.hint = std::move(response->hint);
+  return setup;
+}
+
+Result<std::vector<uint32_t>> RemoteServerEngine::PirFetch(
+    const std::string& section, std::span<const uint32_t> query) {
+  PirFetchRequestMsg msg;
+  msg.db = options_.database;
+  msg.section = section;
+  msg.query.assign(query.begin(), query.end());
+  EngineCallStats stats;
+  auto reply = RoundTrip(MessageType::kPirFetchRequest,
+                         [&] { return EncodePirFetchRequest(msg); },
+                         MessageType::kPirFetchResponse, &stats);
+  if (!reply.ok()) return reply.status();
+  auto response = DecodePirFetchResponse(reply->payload);
+  if (!response.ok()) return response.status();
+  return std::move(response->answer);
 }
 
 }  // namespace net

@@ -7,20 +7,24 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "core/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "privacy/fetcher.h"
 
 namespace xcrypt {
 namespace net {
 
-struct RemoteOptions {
-  RemoteOptions() {}
-  double connect_timeout_sec = 5.0;
-  double request_timeout_sec = 30.0;
+/// Retry discipline for one remote stub, grouped as one value so
+/// DasSystem's ClientTuning carries the whole policy instead of four
+/// loose knobs.
+struct RetryPolicy {
+  RetryPolicy() {}
   /// Total tries per request (1 first attempt + up to N-1 retries).
   /// Only transient failures (Unavailable) are retried — transport drops
   /// and admission-control sheds alike — with decorrelated-jitter
@@ -30,19 +34,30 @@ struct RemoteOptions {
   int max_attempts = 4;
   double initial_backoff_ms = 50.0;
   double max_backoff_ms = 2000.0;
-  uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// Which of the daemon's databases this session targets (wire v4).
-  /// Empty = the daemon's default database. A per-call ExecOptions::db
-  /// overrides it for that call.
-  std::string database;
   /// Seed for the backoff jitter (0 = derive one from the clock and this
   /// stub's address). Fixed seeds make retry schedules reproducible in
   /// tests; distinct stubs still get distinct streams.
   uint64_t backoff_seed = 0;
 
+  /// Rejects max_attempts < 1 and negative backoffs.
+  Status Validate() const;
+};
+
+struct RemoteOptions {
+  RemoteOptions() {}
+  double connect_timeout_sec = 5.0;
+  double request_timeout_sec = 30.0;
+  /// Retry discipline; see RetryPolicy.
+  RetryPolicy retry;
+  uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Which of the daemon's databases this session targets (wire v4).
+  /// Empty = the daemon's default database. A per-call ExecOptions::db
+  /// overrides it for that call.
+  std::string database;
+
   /// Rejects nonsensical settings (non-positive timeouts, zero frame
-  /// bound, max_attempts < 1, negative backoffs). Connect() refuses a bad
-  /// config up front instead of misbehaving on the first retry.
+  /// bound, a bad retry policy). Connect() refuses a bad config up front
+  /// instead of misbehaving on the first retry.
   Status Validate() const;
 };
 
@@ -64,7 +79,7 @@ double NextBackoffMs(double prev_ms, double base_ms, double cap_ms, Rng& rng);
 /// and any number of threads sharing one stub have their requests in
 /// flight on the single connection concurrently — they serialize only on
 /// the send syscall, never for the daemon's processing time.
-class RemoteServerEngine : public QueryEngine {
+class RemoteServerEngine : public QueryEngine, public privacy::PirTransport {
  public:
   /// Validates options, dials host:port, and verifies the endpoint speaks
   /// the protocol (a ping round trip), so a misconfigured address fails
@@ -95,6 +110,15 @@ class RemoteServerEngine : public QueryEngine {
   /// reply describes (empty = the session database, or daemon default).
   Result<NetStats> Stats(const NetCallOptions& opts = NetCallOptions()) const;
 
+  /// privacy::PirTransport over the wire (v7): setup downloads a hosted
+  /// section's params + hint, fetch ships one selection vector. Both
+  /// target the session database and retry per RetryPolicy like every
+  /// other call.
+  Result<privacy::PirTransport::Setup> PirSetup(
+      const std::string& section) override;
+  Result<std::vector<uint32_t>> PirFetch(
+      const std::string& section, std::span<const uint32_t> query) override;
+
   /// Ships a serialized delta bundle (storage/update/delta.h) to the
   /// daemon and returns the bundle generation after the apply; `opts.db`
   /// routes it (empty = session database). Safe to retry: a replayed
@@ -112,6 +136,20 @@ class RemoteServerEngine : public QueryEngine {
       std::function<void(const InvalidationEventMsg&)> sink) {
     std::lock_guard<std::mutex> lock(sink_mu_);
     invalidation_sink_ = std::move(sink);
+  }
+
+  /// Installs the per-attempt cache-advert filter. Retried requests call
+  /// it with the originally advertised blocks and send what it returns —
+  /// DasSystem wires it to the live block cache, so an invalidation
+  /// arriving mid-backoff shrinks the advert before the re-send instead
+  /// of promising the daemon blocks the client no longer holds. The
+  /// refresher must only ever REMOVE adverts: an added advert could be
+  /// stubbed by the daemon with no pinned payload behind it.
+  void SetAdvertRefresher(
+      std::function<std::vector<BlockAdvert>(std::vector<BlockAdvert>)>
+          refresher) {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    advert_refresher_ = std::move(refresher);
   }
 
   const std::string& host() const { return host_; }
@@ -142,12 +180,27 @@ class RemoteServerEngine : public QueryEngine {
   void ReaderLoop(Transport* transport) const;
 
   /// Sends one request and awaits its reply by frame id, retrying
-  /// transient failures per RemoteOptions — including Unavailable error
+  /// transient failures per RetryPolicy — including Unavailable error
   /// frames (admission sheds), whose retry-after hint floors the next
-  /// backoff. On success fills the wire facts of `stats`.
-  Result<Frame> RoundTrip(MessageType type, const Bytes& payload,
+  /// backoff. `payload_builder` runs once per attempt, so a retry can
+  /// re-derive state that may have moved during the backoff (the cache
+  /// advert, via the advert refresher). On success fills the wire facts
+  /// of `stats`.
+  Result<Frame> RoundTrip(MessageType type,
+                          const std::function<Bytes()>& payload_builder,
                           MessageType expected_reply,
                           EngineCallStats* stats) const;
+
+  /// The advert list one attempt should carry: the call's original
+  /// adverts, filtered through the installed refresher (if any).
+  std::vector<BlockAdvert> AdvertsFor(
+      std::span<const BlockAdvert> original) const;
+
+  /// The probe-batch path of Execute (wire v7): mixes the real query into
+  /// opts.cover_queries at a jitter-chosen position, sends one
+  /// kProbeBatchRequest, and keeps only the real probe's answer.
+  Result<EngineQueryResult> ExecuteBatch(const TranslatedQuery& query,
+                                         const ExecOptions& opts) const;
 
   /// The db field a call should carry: per-call override or the session
   /// database.
@@ -172,6 +225,8 @@ class RemoteServerEngine : public QueryEngine {
 
   mutable std::mutex sink_mu_;
   std::function<void(const InvalidationEventMsg&)> invalidation_sink_;
+  std::function<std::vector<BlockAdvert>(std::vector<BlockAdvert>)>
+      advert_refresher_;
 
   /// Reader threads are detached (a reader failing its own transport must
   /// not join itself); the destructor waits for all of them to exit so no

@@ -882,14 +882,21 @@ void NetServer::HandleFrame(const std::shared_ptr<Conn>& conn,
   const uint8_t version = frame.version;
   const uint64_t id = frame.frame_id;
 
-  // The admission gate covers the three query-class request types plus
-  // updates (a delta apply clones and rebuilds an engine — heavier than
-  // most queries); pings and stats stay cheap and ungated so a saturated
-  // daemon can still be health-checked and observed.
+  // The admission gate covers the query-class request types plus updates
+  // (a delta apply clones and rebuilds an engine — heavier than most
+  // queries) and the PIR endpoints (a setup computes a hint, a fetch runs
+  // a full-section dot product). A probe batch admits as ONE unit even
+  // though it evaluates k+1 queries: shedding must not depend on the
+  // batch's size, or admission itself would leak how many covers a client
+  // sends. Pings and stats stay cheap and ungated so a saturated daemon
+  // can still be health-checked and observed.
   const bool gated = frame.type == MessageType::kQueryRequest ||
                      frame.type == MessageType::kNaiveRequest ||
                      frame.type == MessageType::kAggregateRequest ||
-                     frame.type == MessageType::kUpdateRequest;
+                     frame.type == MessageType::kUpdateRequest ||
+                     frame.type == MessageType::kProbeBatchRequest ||
+                     frame.type == MessageType::kPirSetupRequest ||
+                     frame.type == MessageType::kPirFetchRequest;
   if (gated && !AdmitQuery()) {
     queries_shed_.fetch_add(1, std::memory_order_relaxed);
     EnqueueErrorReply(conn,
@@ -928,7 +935,7 @@ void NetServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       qctx.trace = &trace;
       ExecOptions exec;
       exec.ctx = &qctx;
-      exec.cached_blocks = query->cached.empty() ? nullptr : &query->cached;
+      exec.cached_blocks = query->cached;
       auto result = (*db)->engine().Execute(query->query, exec);
       if (!result.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
@@ -947,6 +954,132 @@ void NetServer::HandleFrame(const std::shared_ptr<Conn>& conn,
                                        result->stats.server_process_us,
                                        result->stats.server_phases),
               version, id));
+      return;
+    }
+    case MessageType::kProbeBatchRequest: {
+      auto batch = DecodeProbeBatchRequest(frame.payload);
+      if (!batch.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        EnqueueErrorReply(conn, batch.status(), version, id);
+        return;
+      }
+      auto db = ResolveDb(batch->db);
+      if (!db.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        EnqueueErrorReply(conn, db.status(), version, id);
+        return;
+      }
+      // Every entry runs through the SAME path a lone kQueryRequest takes
+      // — fresh trace, same plan-cache behavior, its own latency sample
+      // and queries_served tick — so nothing on the server side
+      // distinguishes the real probe from its covers. Any entry failing
+      // fails the whole batch: a partial answer would mark the failed
+      // position.
+      std::vector<Bytes> answers;
+      answers.reserve(batch->probes.size());
+      for (const TranslatedQuery& probe : batch->probes) {
+        Stopwatch watch;
+        obs::Trace trace;
+        obs::QueryContext qctx;
+        qctx.trace = &trace;
+        ExecOptions exec;
+        exec.ctx = &qctx;
+        exec.cached_blocks = batch->cached;
+        auto result = (*db)->engine().Execute(probe, exec);
+        if (!result.ok()) {
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          ReleaseQuery();
+          EnqueueErrorReply(conn, result.status(), version, id);
+          return;
+        }
+        queries_served_.fetch_add(1, std::memory_order_relaxed);
+        query_latency_->Observe(watch.ElapsedMicros());
+        answers.push_back(
+            EncodeQueryResponse(result->response,
+                                result->stats.server_process_us,
+                                result->stats.server_phases));
+      }
+      ReleaseQuery();
+      EnqueueReply(
+          conn,
+          EncodeFrameParts(
+              MessageType::kProbeBatchResponse,
+              {EncodeProbeBatchResponse(answers, batch->pad_responses)},
+              version, id));
+      return;
+    }
+    case MessageType::kPirSetupRequest: {
+      auto request = DecodePirSetupRequest(frame.payload);
+      if (!request.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        EnqueueErrorReply(conn, request.status(), version, id);
+        return;
+      }
+      auto db = ResolveDb(request->db);
+      if (!db.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        EnqueueErrorReply(conn, db.status(), version, id);
+        return;
+      }
+      auto section = (*db)->engine().PirSection(request->section);
+      if (!section.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        EnqueueErrorReply(conn, section.status(), version, id);
+        return;
+      }
+      metrics_.GetCounter("net.pir_setups")->Add(1);
+      PirSetupResponseMsg response;
+      response.params = (*section)->params();
+      response.hint = (*section)->hint();
+      ReleaseQuery();
+      EnqueueReply(conn,
+                   EncodeFrameParts(MessageType::kPirSetupResponse,
+                                    {EncodePirSetupResponse(response)},
+                                    version, id));
+      return;
+    }
+    case MessageType::kPirFetchRequest: {
+      auto request = DecodePirFetchRequest(frame.payload);
+      if (!request.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        EnqueueErrorReply(conn, request.status(), version, id);
+        return;
+      }
+      auto db = ResolveDb(request->db);
+      if (!db.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        EnqueueErrorReply(conn, db.status(), version, id);
+        return;
+      }
+      auto section = (*db)->engine().PirSection(request->section);
+      if (!section.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        EnqueueErrorReply(conn, section.status(), version, id);
+        return;
+      }
+      auto answer = (*section)->Answer(request->query);
+      if (!answer.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseQuery();
+        EnqueueErrorReply(conn, answer.status(), version, id);
+        return;
+      }
+      metrics_.GetCounter("net.pir_fetches")->Add(1);
+      PirFetchResponseMsg response;
+      response.answer = std::move(*answer);
+      ReleaseQuery();
+      EnqueueReply(conn,
+                   EncodeFrameParts(MessageType::kPirFetchResponse,
+                                    {EncodePirFetchResponse(response)},
+                                    version, id));
       return;
     }
     case MessageType::kNaiveRequest: {
@@ -1011,8 +1144,7 @@ void NetServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       qctx.trace = &trace;
       ExecOptions exec;
       exec.ctx = &qctx;
-      exec.cached_blocks =
-          request->cached.empty() ? nullptr : &request->cached;
+      exec.cached_blocks = request->cached;
       auto result = (*db)->engine().ExecuteAggregate(
           request->query, request->kind, request->index_token, exec);
       if (!result.ok()) {

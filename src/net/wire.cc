@@ -1,6 +1,9 @@
 #include "net/wire.h"
 
+#include <algorithm>
+
 #include "common/binary_io.h"
+#include "privacy/padding.h"
 
 namespace xcrypt {
 namespace net {
@@ -341,6 +344,18 @@ const char* MessageTypeName(MessageType type) {
       return "UpdateRequest";
     case MessageType::kUpdateResponse:
       return "UpdateResponse";
+    case MessageType::kProbeBatchRequest:
+      return "ProbeBatchRequest";
+    case MessageType::kProbeBatchResponse:
+      return "ProbeBatchResponse";
+    case MessageType::kPirSetupRequest:
+      return "PirSetupRequest";
+    case MessageType::kPirSetupResponse:
+      return "PirSetupResponse";
+    case MessageType::kPirFetchRequest:
+      return "PirFetchRequest";
+    case MessageType::kPirFetchResponse:
+      return "PirFetchResponse";
   }
   return "Unknown";
 }
@@ -370,7 +385,7 @@ Result<Frame> DecodeFrameHeader(const uint8_t* buf, uint64_t max_frame_bytes,
   }
   const uint8_t type = r.U8();
   if (type < static_cast<uint8_t>(MessageType::kPingRequest) ||
-      type > static_cast<uint8_t>(MessageType::kUpdateResponse)) {
+      type > static_cast<uint8_t>(MessageType::kPirFetchResponse)) {
     return Status::Corruption("bad message type " + std::to_string(type));
   }
   if (type > static_cast<uint8_t>(MessageType::kError) && version < 5) {
@@ -378,6 +393,12 @@ Result<Frame> DecodeFrameHeader(const uint8_t* buf, uint64_t max_frame_bytes,
     // producing them is confused or hostile.
     return Status::Corruption("message type " + std::to_string(type) +
                               " requires wire version 5");
+  }
+  if (type > static_cast<uint8_t>(MessageType::kUpdateResponse) &&
+      version < 7) {
+    // Probe batches and PIR fetches only exist at v7.
+    return Status::Corruption("message type " + std::to_string(type) +
+                              " requires wire version 7");
   }
   const uint32_t length = r.U32();
   if (length > max_frame_bytes) {
@@ -721,6 +742,249 @@ Result<UpdateResponseMsg> DecodeUpdateResponse(const Bytes& payload) {
   UpdateResponseMsg msg;
   msg.generation = r.U64();
   XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "update response"));
+  return msg;
+}
+
+Bytes EncodeTranslatedQuery(const TranslatedQuery& query) {
+  Bytes out;
+  BinaryWriter w(&out);
+  WriteSteps(w, query.steps);
+  return out;
+}
+
+Result<TranslatedQuery> DecodeTranslatedQuery(const Bytes& payload) {
+  BinaryReader r(payload);
+  TranslatedQuery query;
+  XCRYPT_RETURN_NOT_OK(ReadSteps(r, &query.steps, 0));
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "translated query"));
+  return query;
+}
+
+namespace {
+
+/// Writes `entries` into equal fixed-size slots: u32 actual length, the
+/// bytes, zero fill up to the batch's quantum-rounded maximum. Identical
+/// slot sizes are the whole point — an observer cannot rank entries by
+/// length.
+void WritePaddedEntries(BinaryWriter& w, const std::vector<Bytes>& entries) {
+  size_t max_bytes = 0;
+  for (const Bytes& e : entries) max_bytes = std::max(max_bytes, e.size());
+  const size_t slot = privacy::PadToQuantum(max_bytes);
+  w.U32(static_cast<uint32_t>(entries.size()));
+  w.U32(static_cast<uint32_t>(slot));
+  for (const Bytes& e : entries) {
+    w.U32(static_cast<uint32_t>(e.size()));
+    // BinaryWriter has no raw append; reuse the writer's buffer directly.
+    for (uint8_t b : e) w.U8(b);
+    for (size_t i = e.size(); i < slot; ++i) w.U8(0);
+  }
+}
+
+/// Reads the slot header + each entry's actual bytes (pad skipped).
+/// `max_entries` guards the count, `min_entry_bytes` the slot claim.
+Status ReadPaddedEntries(BinaryReader& r, uint32_t max_entries,
+                         std::vector<Bytes>* out) {
+  const uint32_t count = r.U32();
+  const uint32_t slot = r.U32();
+  if (count == 0 || count > max_entries) {
+    return Status::Corruption("bad padded entry count");
+  }
+  if (!r.CanHold(count, 4ull + slot)) {
+    return Status::Corruption("padded entries exceed payload");
+  }
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t actual = r.U32();
+    if (actual > slot) {
+      return Status::Corruption("padded entry longer than its slot");
+    }
+    Bytes body = r.Raw(actual);
+    r.Skip(slot - actual);
+    if (r.failed()) return Status::Corruption("truncated padded entry");
+    out->push_back(std::move(body));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Bytes EncodeProbeBatchRequest(std::span<const TranslatedQuery> probes,
+                              const std::vector<BlockAdvert>& cached,
+                              const std::string& db, bool pad_responses) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.Str(db);
+  WriteAdverts(w, cached);
+  w.U8(pad_responses ? 1 : 0);
+  std::vector<Bytes> entries;
+  entries.reserve(probes.size());
+  for (const TranslatedQuery& probe : probes) {
+    entries.push_back(EncodeTranslatedQuery(probe));
+  }
+  WritePaddedEntries(w, entries);
+  return out;
+}
+
+Result<ProbeBatchRequestMsg> DecodeProbeBatchRequest(const Bytes& payload) {
+  BinaryReader r(payload);
+  ProbeBatchRequestMsg msg;
+  msg.db = r.Str();
+  XCRYPT_RETURN_NOT_OK(ReadAdverts(r, &msg.cached));
+  msg.pad_responses = r.U8() != 0;
+  if (r.failed()) return Status::Corruption("truncated probe batch header");
+  std::vector<Bytes> entries;
+  XCRYPT_RETURN_NOT_OK(
+      ReadPaddedEntries(r, PrivacyOptions::kMaxDecoys + 1, &entries));
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "probe batch request"));
+  msg.probes.reserve(entries.size());
+  for (const Bytes& entry : entries) {
+    auto query = DecodeTranslatedQuery(entry);
+    if (!query.ok()) return query.status();
+    msg.probes.push_back(std::move(*query));
+  }
+  return msg;
+}
+
+Bytes EncodeProbeBatchResponse(const std::vector<Bytes>& answers, bool pad) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.U8(pad ? 1 : 0);
+  if (pad) {
+    WritePaddedEntries(w, answers);
+  } else {
+    w.U32(static_cast<uint32_t>(answers.size()));
+    for (const Bytes& answer : answers) w.Blob(answer);
+  }
+  return out;
+}
+
+Result<ProbeBatchResponseMsg> DecodeProbeBatchResponse(const Bytes& payload) {
+  BinaryReader r(payload);
+  const bool padded = r.U8() != 0;
+  std::vector<Bytes> entries;
+  if (padded) {
+    XCRYPT_RETURN_NOT_OK(
+        ReadPaddedEntries(r, PrivacyOptions::kMaxDecoys + 1, &entries));
+  } else {
+    const uint32_t count = r.U32();
+    if (count == 0 ||
+        count > static_cast<uint32_t>(PrivacyOptions::kMaxDecoys) + 1) {
+      return Status::Corruption("bad probe batch answer count");
+    }
+    if (!r.CanHold(count, 4)) {
+      return Status::Corruption("probe batch answers exceed payload");
+    }
+    entries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      entries.push_back(r.Blob());
+      if (r.failed()) return Status::Corruption("truncated batch answer");
+    }
+  }
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "probe batch response"));
+  ProbeBatchResponseMsg msg;
+  msg.answers.reserve(entries.size());
+  for (const Bytes& entry : entries) {
+    auto answer = DecodeQueryResponse(entry);
+    if (!answer.ok()) return answer.status();
+    msg.answers.push_back(std::move(*answer));
+  }
+  return msg;
+}
+
+Bytes EncodePirSetupRequest(const PirSetupRequestMsg& msg) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.Str(msg.db);
+  w.Str(msg.section);
+  return out;
+}
+
+Result<PirSetupRequestMsg> DecodePirSetupRequest(const Bytes& payload) {
+  BinaryReader r(payload);
+  PirSetupRequestMsg msg;
+  msg.db = r.Str();
+  msg.section = r.Str();
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "pir setup request"));
+  return msg;
+}
+
+Bytes EncodePirSetupResponse(const PirSetupResponseMsg& msg) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.U32(msg.params.num_records);
+  w.U32(msg.params.record_bytes);
+  w.U32(msg.params.dim);
+  w.U64(msg.params.seed);
+  w.U32(static_cast<uint32_t>(msg.hint.size()));
+  for (uint32_t v : msg.hint) w.U32(v);
+  return out;
+}
+
+Result<PirSetupResponseMsg> DecodePirSetupResponse(const Bytes& payload) {
+  BinaryReader r(payload);
+  PirSetupResponseMsg msg;
+  msg.params.num_records = r.U32();
+  msg.params.record_bytes = r.U32();
+  msg.params.dim = r.U32();
+  msg.params.seed = r.U64();
+  XCRYPT_RETURN_NOT_OK(msg.params.Validate());
+  const uint32_t hint_len = r.U32();
+  if (hint_len != static_cast<uint64_t>(msg.params.record_bytes) *
+                      msg.params.dim ||
+      !r.CanHold(hint_len, 4)) {
+    return Status::Corruption("bad pir hint length");
+  }
+  msg.hint.reserve(hint_len);
+  for (uint32_t i = 0; i < hint_len; ++i) msg.hint.push_back(r.U32());
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "pir setup response"));
+  return msg;
+}
+
+Bytes EncodePirFetchRequest(const PirFetchRequestMsg& msg) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.Str(msg.db);
+  w.Str(msg.section);
+  w.U32(static_cast<uint32_t>(msg.query.size()));
+  for (uint32_t v : msg.query) w.U32(v);
+  return out;
+}
+
+Result<PirFetchRequestMsg> DecodePirFetchRequest(const Bytes& payload) {
+  BinaryReader r(payload);
+  PirFetchRequestMsg msg;
+  msg.db = r.Str();
+  msg.section = r.Str();
+  const uint32_t query_len = r.U32();
+  if (query_len == 0 || query_len > privacy::PirParams::kMaxRecords ||
+      !r.CanHold(query_len, 4)) {
+    return Status::Corruption("bad pir query length");
+  }
+  msg.query.reserve(query_len);
+  for (uint32_t i = 0; i < query_len; ++i) msg.query.push_back(r.U32());
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "pir fetch request"));
+  return msg;
+}
+
+Bytes EncodePirFetchResponse(const PirFetchResponseMsg& msg) {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.U32(static_cast<uint32_t>(msg.answer.size()));
+  for (uint32_t v : msg.answer) w.U32(v);
+  return out;
+}
+
+Result<PirFetchResponseMsg> DecodePirFetchResponse(const Bytes& payload) {
+  BinaryReader r(payload);
+  const uint32_t answer_len = r.U32();
+  if (answer_len == 0 || answer_len > privacy::PirParams::kMaxRecordBytes ||
+      !r.CanHold(answer_len, 4)) {
+    return Status::Corruption("bad pir answer length");
+  }
+  PirFetchResponseMsg msg;
+  msg.answer.reserve(answer_len);
+  for (uint32_t i = 0; i < answer_len; ++i) msg.answer.push_back(r.U32());
+  XCRYPT_RETURN_NOT_OK(CheckFullyConsumed(r, "pir fetch response"));
   return msg;
 }
 

@@ -2,6 +2,7 @@
 #define XCRYPT_NET_WIRE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "core/translated_query.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "privacy/pir.h"
 
 namespace xcrypt {
 namespace net {
@@ -55,7 +57,13 @@ inline constexpr uint32_t kWireMagic = 0x54454E58;  // "XNET" on the wire
 /// Unsolicited frames (invalidation events) and errors raised outside any
 /// request carry id 0, which clients never assign to a request. v3–v5
 /// frames have no id; the daemon serializes those sessions as before.
-inline constexpr uint8_t kWireVersion = 6;
+/// v7: access-pattern protection (DESIGN.md §17) — probe batches
+/// (kProbeBatchRequest/Response) carry k+1 equal-size translated-query
+/// entries of which one is real, and the PIR messages
+/// (kPirSetup/kPirFetch) serve private selection fetches over small hot
+/// sections. The six new message types are v7-only; older sessions never
+/// see them and run exactly as before.
+inline constexpr uint8_t kWireVersion = 7;
 /// Oldest version a daemon still accepts. v3 frames decode with the db
 /// name defaulted to empty, which the daemon maps to its configured
 /// default database — so pre-catalog clients keep working.
@@ -90,6 +98,12 @@ enum class MessageType : uint8_t {
   kInvalidationEvent = 11,  ///< server-pushed stale-block notice (v5)
   kUpdateRequest = 12,      ///< delta bundle image (v5)
   kUpdateResponse = 13,     ///< new bundle generation after apply (v5)
+  kProbeBatchRequest = 14,  ///< k+1 uniform probes, one real (v7)
+  kProbeBatchResponse = 15, ///< per-probe answers, optionally padded (v7)
+  kPirSetupRequest = 16,    ///< section name (v7)
+  kPirSetupResponse = 17,   ///< PirParams + hint (v7)
+  kPirFetchRequest = 18,    ///< section + selection vector (v7)
+  kPirFetchResponse = 19,   ///< answer vector (v7)
 };
 
 const char* MessageTypeName(MessageType type);
@@ -316,6 +330,77 @@ struct UpdateResponseMsg {
 };
 Bytes EncodeUpdateResponse(const UpdateResponseMsg& msg);
 Result<UpdateResponseMsg> DecodeUpdateResponse(const Bytes& payload);
+
+// --- access-pattern protection (wire v7) --------------------------------
+
+/// Standalone codec for one translated query, shared by the probe-batch
+/// entries below and by privacy::ShapeLog persistence. Byte-identical to
+/// the steps section of EncodeQueryRequest.
+Bytes EncodeTranslatedQuery(const TranslatedQuery& query);
+Result<TranslatedQuery> DecodeTranslatedQuery(const Bytes& payload);
+
+/// kProbeBatchRequest: k+1 probes of which exactly one is real — the
+/// server cannot tell which, because every entry is encoded into the same
+/// fixed-size slot (the quantum-rounded maximum of the batch, see
+/// privacy::PadToQuantum) and all entries share one advert list and one
+/// database. Decoding recovers the probes in order; the real one's
+/// position is client-side knowledge only.
+struct ProbeBatchRequestMsg {
+  std::vector<TranslatedQuery> probes;
+  std::vector<BlockAdvert> cached;  ///< shared by every entry
+  std::string db;
+  /// Asks the daemon to pad response entries to their common maximum too.
+  bool pad_responses = true;
+};
+Bytes EncodeProbeBatchRequest(std::span<const TranslatedQuery> probes,
+                              const std::vector<BlockAdvert>& cached = {},
+                              const std::string& db = std::string(),
+                              bool pad_responses = true);
+Result<ProbeBatchRequestMsg> DecodeProbeBatchRequest(const Bytes& payload);
+
+/// kProbeBatchResponse: one QueryResponseMsg per probe, in request order.
+/// With padding on, every entry occupies the same quantum-rounded slot so
+/// entry sizes cannot single out the real probe.
+struct ProbeBatchResponseMsg {
+  std::vector<QueryResponseMsg> answers;
+};
+/// `answers[i]` is the EncodeQueryResponse bytes for probe i.
+Bytes EncodeProbeBatchResponse(const std::vector<Bytes>& answers, bool pad);
+Result<ProbeBatchResponseMsg> DecodeProbeBatchResponse(const Bytes& payload);
+
+/// kPirSetupRequest: names a hosted section (privacy::kBlockMetaSection or
+/// privacy::OpessRootSection). Answered with the section's parameters and
+/// hint, after which the client can fetch records by selection vector.
+struct PirSetupRequestMsg {
+  std::string db;
+  std::string section;
+};
+Bytes EncodePirSetupRequest(const PirSetupRequestMsg& msg);
+Result<PirSetupRequestMsg> DecodePirSetupRequest(const Bytes& payload);
+
+struct PirSetupResponseMsg {
+  privacy::PirParams params;
+  std::vector<uint32_t> hint;  ///< record_bytes × dim, row-major
+};
+Bytes EncodePirSetupResponse(const PirSetupResponseMsg& msg);
+Result<PirSetupResponseMsg> DecodePirSetupResponse(const Bytes& payload);
+
+/// kPirFetchRequest: one selection vector (num_records u32s — LWE
+/// ciphertext or transparent selector; the server cannot tell which and
+/// performs the identical dot product either way).
+struct PirFetchRequestMsg {
+  std::string db;
+  std::string section;
+  std::vector<uint32_t> query;
+};
+Bytes EncodePirFetchRequest(const PirFetchRequestMsg& msg);
+Result<PirFetchRequestMsg> DecodePirFetchRequest(const Bytes& payload);
+
+struct PirFetchResponseMsg {
+  std::vector<uint32_t> answer;  ///< record_bytes u32s
+};
+Bytes EncodePirFetchResponse(const PirFetchResponseMsg& msg);
+Result<PirFetchResponseMsg> DecodePirFetchResponse(const Bytes& payload);
 
 /// kError carries a non-OK Status across the wire. Decoding never returns
 /// OK: a well-formed payload yields the carried error, a malformed one

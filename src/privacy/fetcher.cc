@@ -1,0 +1,59 @@
+#include "privacy/fetcher.h"
+
+namespace xcrypt {
+namespace privacy {
+
+SectionFetcher::SectionFetcher(PirTransport* transport,
+                               int64_t pir_threshold_bytes, uint64_t seed)
+    : transport_(transport),
+      pir_threshold_bytes_(pir_threshold_bytes),
+      rng_(seed) {}
+
+Result<SectionFetcher::Section*> SectionFetcher::GetSection(
+    const std::string& section) {
+  auto it = sections_.find(section);
+  if (it != sections_.end()) return &it->second;
+  auto setup = transport_->PirSetup(section);
+  if (!setup.ok()) return setup.status();
+  auto client =
+      PirClientSection::Create(setup->params, std::move(setup->hint));
+  if (!client.ok()) return client.status();
+  Section entry{std::move(*client), false};
+  entry.privately = pir_threshold_bytes_ > 0 &&
+                    entry.client.params().SectionBytes() <=
+                        pir_threshold_bytes_ &&
+                    entry.client.params().SupportsPrivateFetch();
+  it = sections_.emplace(section, std::move(entry)).first;
+  return &it->second;
+}
+
+Result<std::vector<uint8_t>> SectionFetcher::Fetch(const std::string& section,
+                                                   uint32_t index) {
+  auto entry = GetSection(section);
+  if (!entry.ok()) return entry.status();
+  auto query = (*entry)->client.MakeQuery(index, rng_, (*entry)->privately);
+  if (!query.ok()) return query.status();
+  auto answer = transport_->PirFetch(section, query->u);
+  if (!answer.ok()) return answer.status();
+  auto record = (*entry)->client.Decode(*query, *answer);
+  if (!record.ok()) return record.status();
+  if ((*entry)->privately) {
+    ++private_fetches_;
+  } else {
+    ++plain_fetches_;
+  }
+  return record;
+}
+
+bool SectionFetcher::SectionPrivate(const std::string& section) const {
+  auto it = sections_.find(section);
+  return it != sections_.end() && it->second.privately;
+}
+
+uint32_t SectionFetcher::SectionRecords(const std::string& section) const {
+  auto it = sections_.find(section);
+  return it == sections_.end() ? 0 : it->second.client.params().num_records;
+}
+
+}  // namespace privacy
+}  // namespace xcrypt

@@ -1,0 +1,93 @@
+#ifndef XCRYPT_PRIVACY_FETCHER_H_
+#define XCRYPT_PRIVACY_FETCHER_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "privacy/pir.h"
+
+namespace xcrypt {
+namespace privacy {
+
+/// The two RPCs a fetcher drives, implemented over the wire by
+/// net::RemoteServerEngine (kPirSetup*/kPirFetch*, wire v7) and in-process
+/// by tests directly over PirHostedSection.
+class PirTransport {
+ public:
+  virtual ~PirTransport() = default;
+
+  struct Setup {
+    PirParams params;
+    std::vector<uint32_t> hint;
+  };
+
+  /// Downloads a section's parameters + hint (once per section).
+  virtual Result<Setup> PirSetup(const std::string& section) = 0;
+
+  /// One selection fetch: ships `query` (num_records u32s), returns the
+  /// record_bytes-long answer vector.
+  virtual Result<std::vector<uint32_t>> PirFetch(
+      const std::string& section, std::span<const uint32_t> query) = 0;
+};
+
+/// Fetches one fixed-size record of a named hosted section. The interface
+/// deliberately says nothing about privacy: callers ask for (section,
+/// index) and the implementation decides how the selection travels.
+class BlockFetcher {
+ public:
+  virtual ~BlockFetcher() = default;
+  virtual Result<std::vector<uint8_t>> Fetch(const std::string& section,
+                                             uint32_t index) = 0;
+};
+
+/// The per-section chooser (PrivacyOptions::pir_threshold_bytes): a
+/// section whose raw size fits under the threshold — and under the LWE
+/// noise bound — is fetched privately; anything larger uses the plain
+/// Δ·1_{j} selector, which costs the server exactly the same dot product
+/// but hides nothing. Setup replies (params + hint) are cached per
+/// section, so the hint download is paid once.
+///
+/// Not thread-safe; the owner (DasSystem) serializes access.
+class SectionFetcher : public BlockFetcher {
+ public:
+  SectionFetcher(PirTransport* transport, int64_t pir_threshold_bytes,
+                 uint64_t seed);
+
+  Result<std::vector<uint8_t>> Fetch(const std::string& section,
+                                     uint32_t index) override;
+
+  /// Whether fetches of `section` travel privately. Unknown before the
+  /// first Fetch touching the section (setup decides).
+  bool SectionPrivate(const std::string& section) const;
+
+  /// Record count of `section`, 0 before its first fetch.
+  uint32_t SectionRecords(const std::string& section) const;
+
+  uint64_t private_fetches() const { return private_fetches_; }
+  uint64_t plain_fetches() const { return plain_fetches_; }
+
+ private:
+  struct Section {
+    PirClientSection client;
+    bool privately = false;
+  };
+
+  Result<Section*> GetSection(const std::string& section);
+
+  PirTransport* transport_;
+  int64_t pir_threshold_bytes_;
+  Rng rng_;
+  std::map<std::string, Section> sections_;
+  uint64_t private_fetches_ = 0;
+  uint64_t plain_fetches_ = 0;
+};
+
+}  // namespace privacy
+}  // namespace xcrypt
+
+#endif  // XCRYPT_PRIVACY_FETCHER_H_

@@ -1,0 +1,64 @@
+#ifndef XCRYPT_PRIVACY_OPTIONS_H_
+#define XCRYPT_PRIVACY_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace xcrypt {
+
+/// Opt-in access-pattern protection knobs, carried by value inside
+/// ExecOptions (and defaulted per-system by ClientTuning). Everything here
+/// is off by default: the baseline protocol of §6 runs unchanged and pays
+/// nothing.
+///
+/// What the mode protects against — and what it does not — is spelled out
+/// in DESIGN.md §17. In one line: `decoys` hides WHICH of k+1 plausible
+/// index probes is the real one, `pad_responses` hides which answer is the
+/// real one by size, and the PIR fetch hides WHICH record of a small hot
+/// section (OPESS B-tree root slots, the block-generation table) a client
+/// inspects. None of it hides query *rate*, the target database, or the
+/// shape distribution itself.
+struct PrivacyOptions {
+  /// Number of cover queries bundled with each real query (wire v7 probe
+  /// batch). 0 disables batching entirely — the request goes out as a
+  /// plain kQueryRequest, indistinguishable from a pre-v7 client. Decoys
+  /// are sampled from the locally recorded query-shape distribution
+  /// (privacy::ShapeLog), so a fresh system with no history sends fewer
+  /// (possibly zero) decoys until shapes accumulate.
+  int decoys = 0;
+
+  /// Sections at or below this byte size are fetched with the LWE
+  /// PirSelect primitive (privacy::PirClientSection); larger sections fall
+  /// back to the plain selector (same wire shape and server cost, but a
+  /// transparent selection vector — no privacy). 0 disables private
+  /// fetches altogether.
+  int64_t pir_threshold_bytes = 0;
+
+  /// Pad every probe-batch response entry to the batch's quantum-rounded
+  /// maximum, so response sizes cannot single out the real probe. Only
+  /// meaningful with decoys > 0.
+  bool pad_responses = true;
+
+  bool enabled() const { return decoys > 0 || pir_threshold_bytes > 0; }
+
+  /// Rejects nonsensical settings; mirrored into ClientTuning::Validate()
+  /// so a bad config fails at Host()/Connect() instead of mid-query.
+  Status Validate() const {
+    if (decoys < 0 || decoys > kMaxDecoys) {
+      return Status::InvalidArgument("decoys must be in [0, 256]");
+    }
+    if (pir_threshold_bytes < 0) {
+      return Status::InvalidArgument("pir_threshold_bytes must be >= 0");
+    }
+    return Status::Ok();
+  }
+
+  /// Upper bound on decoys per query; also the wire-side cap on probe
+  /// batch entries (a frame claiming more is hostile).
+  static constexpr int kMaxDecoys = 256;
+};
+
+}  // namespace xcrypt
+
+#endif  // XCRYPT_PRIVACY_OPTIONS_H_

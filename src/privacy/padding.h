@@ -1,0 +1,29 @@
+#ifndef XCRYPT_PRIVACY_PADDING_H_
+#define XCRYPT_PRIVACY_PADDING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xcrypt {
+namespace privacy {
+
+/// Padding policy for probe batches (wire v7): every entry of a batch —
+/// request probes and, when PrivacyOptions::pad_responses is set, response
+/// answers — is padded with zero bytes to the batch maximum rounded up to
+/// this quantum. Rounding to a quantum (rather than the exact maximum)
+/// keeps repeated batches of slightly different queries the same size on
+/// the wire, so an observer diffing consecutive batches learns at most
+/// the quantum bucket, never the byte-exact shape.
+inline constexpr size_t kPadQuantum = 64;
+
+/// `size` rounded up to the next kPadQuantum multiple (minimum one
+/// quantum, so even an empty entry occupies a full slot).
+constexpr size_t PadToQuantum(size_t size) {
+  const size_t q = kPadQuantum;
+  return size == 0 ? q : ((size + q - 1) / q) * q;
+}
+
+}  // namespace privacy
+}  // namespace xcrypt
+
+#endif  // XCRYPT_PRIVACY_PADDING_H_

@@ -1,0 +1,171 @@
+#include "privacy/pir.h"
+
+#include <cstring>
+
+namespace xcrypt {
+namespace privacy {
+
+Status PirParams::Validate() const {
+  if (num_records == 0 || num_records > kMaxRecords) {
+    return Status::InvalidArgument("pir section record count out of range");
+  }
+  if (record_bytes == 0 || record_bytes > kMaxRecordBytes) {
+    return Status::InvalidArgument("pir record size out of range");
+  }
+  if (dim == 0 || dim > 4096) {
+    return Status::InvalidArgument("pir dimension out of range");
+  }
+  return Status::Ok();
+}
+
+void ExpandMatrixRow(const PirParams& params, uint32_t row, uint32_t* out) {
+  // Per-row SplitMix64 stream: decorrelate rows by mixing the row index
+  // into the seed before streaming, so row j is O(d) to produce on demand.
+  uint64_t state = params.seed ^ (0x9e3779b97f4a7c15ULL * (row + 1));
+  state = SplitMix64(state);
+  for (uint32_t t = 0; t < params.dim; t += 2) {
+    const uint64_t word = SplitMix64(state);
+    out[t] = static_cast<uint32_t>(word);
+    if (t + 1 < params.dim) out[t + 1] = static_cast<uint32_t>(word >> 32);
+  }
+}
+
+Result<PirHostedSection> PirHostedSection::Build(PirParams params,
+                                                std::vector<uint8_t> records) {
+  XCRYPT_RETURN_NOT_OK(params.Validate());
+  const size_t expect =
+      static_cast<size_t>(params.num_records) * params.record_bytes;
+  if (records.size() != expect) {
+    return Status::InvalidArgument("pir section bytes do not match params");
+  }
+  PirHostedSection section;
+  section.params_ = params;
+  section.records_ = std::move(records);
+  // H = D·A, streamed one A-row at a time: H[i][t] += D[j][i] * A[j][t].
+  section.hint_.assign(
+      static_cast<size_t>(params.record_bytes) * params.dim, 0);
+  std::vector<uint32_t> row(params.dim);
+  for (uint32_t j = 0; j < params.num_records; ++j) {
+    ExpandMatrixRow(params, j, row.data());
+    const uint8_t* record =
+        section.records_.data() + static_cast<size_t>(j) * params.record_bytes;
+    for (uint32_t i = 0; i < params.record_bytes; ++i) {
+      const uint32_t d = record[i];
+      if (d == 0) continue;
+      uint32_t* hint_row = section.hint_.data() +
+                           static_cast<size_t>(i) * params.dim;
+      for (uint32_t t = 0; t < params.dim; ++t) {
+        hint_row[t] += d * row[t];  // mod 2^32 by unsigned wraparound
+      }
+    }
+  }
+  return section;
+}
+
+Result<std::vector<uint32_t>> PirHostedSection::Answer(
+    std::span<const uint32_t> query) const {
+  if (query.size() != params_.num_records) {
+    return Status::InvalidArgument("pir query length mismatch");
+  }
+  std::vector<uint32_t> answer(params_.record_bytes, 0);
+  for (uint32_t j = 0; j < params_.num_records; ++j) {
+    const uint32_t u = query[j];
+    if (u == 0) continue;
+    const uint8_t* record =
+        records_.data() + static_cast<size_t>(j) * params_.record_bytes;
+    for (uint32_t i = 0; i < params_.record_bytes; ++i) {
+      answer[i] += record[i] * u;
+    }
+  }
+  return answer;
+}
+
+Result<PirClientSection> PirClientSection::Create(
+    PirParams params, std::vector<uint32_t> hint) {
+  XCRYPT_RETURN_NOT_OK(params.Validate());
+  if (hint.size() !=
+      static_cast<size_t>(params.record_bytes) * params.dim) {
+    return Status::Corruption("pir hint size does not match params");
+  }
+  return PirClientSection(params, std::move(hint));
+}
+
+Result<PirQuery> PirClientSection::MakeQuery(uint32_t index, Rng& rng,
+                                             bool privately) const {
+  if (index >= params_.num_records) {
+    return Status::InvalidArgument("pir index out of range");
+  }
+  PirQuery query;
+  query.index = index;
+  query.u.assign(params_.num_records, 0);
+  constexpr uint32_t kDelta = static_cast<uint32_t>(PirParams::kDelta);
+  if (!privately) {
+    // Plain selector: transparent, noiseless, correct at any section size.
+    query.u[index] = kDelta;
+    return query;
+  }
+  if (!params_.SupportsPrivateFetch()) {
+    return Status::InvalidArgument(
+        "section too large for a private fetch (noise bound); use the "
+        "plain selector");
+  }
+  query.secret.resize(params_.dim);
+  for (uint32_t t = 0; t < params_.dim; ++t) {
+    query.secret[t] = static_cast<uint32_t>(rng.NextU64());
+  }
+  std::vector<uint32_t> row(params_.dim);
+  for (uint32_t j = 0; j < params_.num_records; ++j) {
+    ExpandMatrixRow(params_, j, row.data());
+    uint32_t dot = 0;
+    for (uint32_t t = 0; t < params_.dim; ++t) dot += row[t] * query.secret[t];
+    // Ternary error: ±1 each with probability 1/4.
+    const uint64_t coin = rng.NextU64() & 3;
+    if (coin == 0) dot += 1;
+    else if (coin == 1) dot -= 1;
+    query.u[j] = dot;
+  }
+  query.u[index] += kDelta;
+  return query;
+}
+
+Result<std::vector<uint8_t>> PirClientSection::Decode(
+    const PirQuery& query, std::span<const uint32_t> answer) const {
+  if (answer.size() != params_.record_bytes) {
+    return Status::Corruption("pir answer length mismatch");
+  }
+  std::vector<uint8_t> record(params_.record_bytes);
+  constexpr uint32_t kDelta = static_cast<uint32_t>(PirParams::kDelta);
+  for (uint32_t i = 0; i < params_.record_bytes; ++i) {
+    uint32_t x = answer[i];
+    if (!query.secret.empty()) {
+      const uint32_t* hint_row =
+          hint_.data() + static_cast<size_t>(i) * params_.dim;
+      uint32_t dot = 0;
+      for (uint32_t t = 0; t < params_.dim; ++t) {
+        dot += hint_row[t] * query.secret[t];
+      }
+      x -= dot;
+    }
+    // q/Δ = p exactly, so rounding under wraparound is a shift: noise up
+    // to ±Δ/2 moves x + Δ/2 within the same Δ-slot of the target byte.
+    record[i] = static_cast<uint8_t>((x + (kDelta >> 1)) >> 24);
+  }
+  return record;
+}
+
+std::string OpessRootSection(const std::string& token) {
+  return "opess-root:" + token;
+}
+
+std::string ParseOpessRootSection(const std::string& section) {
+  constexpr char kPrefix[] = "opess-root:";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (section.size() <= kPrefixLen ||
+      section.compare(0, kPrefixLen, kPrefix) != 0) {
+    return std::string();
+  }
+  return section.substr(kPrefixLen);
+}
+
+}  // namespace privacy
+}  // namespace xcrypt

@@ -1,0 +1,151 @@
+#ifndef XCRYPT_PRIVACY_PIR_H_
+#define XCRYPT_PRIVACY_PIR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace xcrypt {
+namespace privacy {
+
+/// Single-server computational PIR over a fixed-size-record section, in
+/// the shape of the Sunscreen exemplar (SNIPPETS.md snippet 3): the client
+/// sends an encrypted one-hot selection vector, the server answers with
+/// the database × vector product, and the client strips the encryption to
+/// recover exactly the selected record. The server performs the identical
+/// dot-product work for every index, so which record was fetched is
+/// computationally hidden.
+///
+/// The encryption here is LWE rather than FHE (no lattice library ships
+/// with this repo, and common/bigint has no modular exponentiation for a
+/// Paillier-style variant), with every parameter fixed so all arithmetic
+/// is native uint32 wraparound (q = 2^32):
+///
+///   - secret dimension d = 512, modulus q = 2^32, plaintext p = 256,
+///     scaling Δ = q/p² = 2^24, ternary errors e ∈ {-1, 0, +1};
+///   - the public matrix A (n × d) is expanded row-by-row from a public
+///     seed (SplitMix64), so neither side ever materializes it;
+///   - setup ships the hint H = D·A (record_bytes × d) once per section;
+///   - query: u = A·s + e + Δ·1_{j*} ∈ Z_q^n;
+///   - answer: a = D·u ∈ Z_q^{record_bytes};
+///   - decode: byte_i = round((a_i − ⟨H_i, s⟩)/Δ) mod 256.
+///
+/// Correctness needs the accumulated noise |Σ_j D_ij·e_j| ≤ 255·n to stay
+/// under Δ/2 = 2^23, which bounds sections to n ≤ 16384 records — exactly
+/// the "small hot sections" (OPESS B-tree root slots, the per-block
+/// generation table) this primitive targets. Larger sections must use the
+/// plain selector (MakeQuery with privately=false): the same wire shape
+/// and the same server work, but a transparent Δ·1_{j*} vector with no
+/// noise — correct at any size, private at none.
+struct PirParams {
+  uint32_t num_records = 0;
+  uint32_t record_bytes = 0;
+  uint32_t dim = kDefaultDim;
+  /// Public seed the A matrix is expanded from. Server-chosen at section
+  /// build; shipped in the setup response.
+  uint64_t seed = 0;
+
+  static constexpr uint32_t kDefaultDim = 512;
+  /// Noise-bound cap for *private* queries (255·n < Δ/2 with margin).
+  static constexpr uint32_t kMaxPrivateRecords = 1u << 14;
+  /// Hosting caps — a section beyond these is a configuration error, not
+  /// a hostile frame, but the bounds also guard the wire decoder.
+  static constexpr uint32_t kMaxRecords = 1u << 20;
+  static constexpr uint32_t kMaxRecordBytes = 256;
+  static constexpr uint64_t kDelta = 1ull << 24;
+
+  int64_t SectionBytes() const {
+    return static_cast<int64_t>(num_records) * record_bytes;
+  }
+  /// True when a *private* (noise-carrying) query decodes correctly.
+  bool SupportsPrivateFetch() const {
+    return num_records > 0 && num_records <= kMaxPrivateRecords;
+  }
+
+  Status Validate() const;
+};
+
+/// Fills `out` (params.dim values) with row `row` of the public matrix A.
+/// Deterministic in (seed, row); both halves stream rows instead of
+/// storing the n×d matrix.
+void ExpandMatrixRow(const PirParams& params, uint32_t row, uint32_t* out);
+
+/// The server half: the section's records plus the precomputed hint.
+/// Built once per (section, data generation) and cached by ServerEngine;
+/// Answer() is the per-fetch work.
+class PirHostedSection {
+ public:
+  /// `records` is num_records × record_bytes, row-major per record.
+  /// Computes the hint (n·r·d u32 multiplies, once).
+  static Result<PirHostedSection> Build(PirParams params,
+                                        std::vector<uint8_t> records);
+
+  /// a = D·u. Rejects a query whose length is not num_records.
+  Result<std::vector<uint32_t>> Answer(std::span<const uint32_t> query) const;
+
+  const PirParams& params() const { return params_; }
+  /// H = D·A, record_bytes × dim row-major. Shipped in the setup reply.
+  const std::vector<uint32_t>& hint() const { return hint_; }
+
+ private:
+  PirParams params_;
+  std::vector<uint8_t> records_;
+  std::vector<uint32_t> hint_;
+};
+
+/// One fetch's client state: the vector that goes to the server and the
+/// secret that never leaves. A plain (non-private) selector has an empty
+/// secret.
+struct PirQuery {
+  std::vector<uint32_t> u;
+  std::vector<uint32_t> secret;
+  uint32_t index = 0;
+};
+
+/// The client half, constructed from the setup reply (params + hint).
+class PirClientSection {
+ public:
+  static Result<PirClientSection> Create(PirParams params,
+                                         std::vector<uint32_t> hint);
+
+  /// Builds the selection vector for record `index`. With
+  /// `privately` = true the vector is LWE-encrypted (requires
+  /// params().SupportsPrivateFetch()); with false it is the transparent
+  /// Δ·1_{index} selector — same server cost, no privacy.
+  Result<PirQuery> MakeQuery(uint32_t index, Rng& rng,
+                             bool privately = true) const;
+
+  /// Recovers the fetched record's bytes from the server's answer.
+  Result<std::vector<uint8_t>> Decode(const PirQuery& query,
+                                      std::span<const uint32_t> answer) const;
+
+  const PirParams& params() const { return params_; }
+
+ private:
+  PirClientSection(PirParams params, std::vector<uint32_t> hint)
+      : params_(params), hint_(std::move(hint)) {}
+
+  PirParams params_;
+  std::vector<uint32_t> hint_;
+};
+
+/// Section names hosted by every ServerEngine (DESIGN.md §17):
+///  - kBlockMetaSection: one record per encryption block —
+///    u32 generation, u32 ciphertext size (little-endian);
+///  - OpessRootSection(token): the root-level separator keys of the
+///    token's OPESS B-tree, one i64 key per record.
+inline constexpr char kBlockMetaSection[] = "block-meta";
+inline constexpr uint32_t kBlockMetaRecordBytes = 8;
+inline constexpr uint32_t kOpessRootRecordBytes = 8;
+std::string OpessRootSection(const std::string& token);
+/// The token of an "opess-root:<token>" section name, or "" otherwise.
+std::string ParseOpessRootSection(const std::string& section);
+
+}  // namespace privacy
+}  // namespace xcrypt
+
+#endif  // XCRYPT_PRIVACY_PIR_H_

@@ -1,0 +1,121 @@
+#include "privacy/shape.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/binary_io.h"
+#include "net/wire.h"
+
+namespace xcrypt {
+namespace privacy {
+
+namespace {
+
+constexpr uint32_t kShapeLogMagic = 0x4C485358;  // "XSHL"
+constexpr uint8_t kShapeLogVersion = 1;
+
+}  // namespace
+
+ShapeLog::ShapeLog(size_t capacity)
+    : capacity_(std::clamp<size_t>(capacity, 1, kMaxCapacity)) {}
+
+void ShapeLog::Record(const TranslatedQuery& query) {
+  if (entries_.size() < capacity_) {
+    entries_.push_back(query);
+    return;
+  }
+  entries_[next_] = query;
+  next_ = (next_ + 1) % capacity_;
+}
+
+TranslatedQuery ShapeLog::Sample(Rng& rng) const {
+  return entries_[static_cast<size_t>(
+      rng.UniformU64(0, entries_.size() - 1))];
+}
+
+std::vector<TranslatedQuery> ShapeLog::SampleMany(int k, Rng& rng) const {
+  std::vector<TranslatedQuery> out;
+  if (empty() || k <= 0) return out;
+  out.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) out.push_back(Sample(rng));
+  return out;
+}
+
+Bytes ShapeLog::Serialize() const {
+  Bytes out;
+  BinaryWriter w(&out);
+  w.U32(kShapeLogMagic);
+  w.U8(kShapeLogVersion);
+  w.U32(static_cast<uint32_t>(entries_.size()));
+  for (const TranslatedQuery& query : entries_) {
+    w.Blob(net::EncodeTranslatedQuery(query));
+  }
+  return out;
+}
+
+Result<ShapeLog> ShapeLog::Deserialize(const Bytes& image, size_t capacity) {
+  BinaryReader r(image);
+  if (r.U32() != kShapeLogMagic) {
+    return Status::Corruption("bad shape log magic");
+  }
+  if (r.U8() != kShapeLogVersion) {
+    return Status::Unsupported("unknown shape log version");
+  }
+  const uint32_t count = r.U32();
+  if (!r.CanHold(count, 4)) {
+    return Status::Corruption("bad shape log entry count");
+  }
+  ShapeLog log(capacity);
+  for (uint32_t i = 0; i < count; ++i) {
+    const Bytes blob = r.Blob();
+    if (r.failed()) return Status::Corruption("truncated shape log entry");
+    auto query = net::DecodeTranslatedQuery(blob);
+    if (!query.ok()) return query.status();
+    log.Record(*query);
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in shape log");
+  return log;
+}
+
+Status ShapeLog::SaveToFile(const std::string& path) const {
+  const Bytes image = Serialize();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open shape log for writing: " + tmp);
+  }
+  const size_t written = image.empty()
+                             ? 0
+                             : std::fwrite(image.data(), 1, image.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != image.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to shape log: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename shape log into place: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<ShapeLog> ShapeLog::LoadFromFile(const std::string& path,
+                                        size_t capacity) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return ShapeLog(capacity);  // first run: empty log
+  Bytes image;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    image.insert(image.end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("cannot read shape log: " + path);
+  }
+  return Deserialize(image, capacity);
+}
+
+}  // namespace privacy
+}  // namespace xcrypt

@@ -1,0 +1,72 @@
+#ifndef XCRYPT_PRIVACY_SHAPE_H_
+#define XCRYPT_PRIVACY_SHAPE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "core/translated_query.h"
+
+namespace xcrypt {
+namespace privacy {
+
+/// Bounded ring of recently issued translated queries — the per-database
+/// query-shape distribution decoys are sampled from. Recorded locally by
+/// the client and NEVER shipped: the server only ever sees the sampled
+/// decoys, mixed uniformly into probe batches.
+///
+/// Decoys are verbatim replays of past real queries (sampled with
+/// replacement), which makes them indistinguishable by construction: every
+/// decoy is a query the client actually sent before, with the same token
+/// pseudonyms, the same predicate structure, and the same plan-cache
+/// behavior as a real repeat. A generative model would have to defend
+/// every marginal of the shape distribution; replay sidesteps the problem
+/// entirely at the cost of only ever covering the client with its own
+/// history (an empty log yields no cover — see PrivacyOptions::decoys).
+///
+/// Not thread-safe; the owner (DasSystem) serializes access.
+class ShapeLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+  static constexpr size_t kMaxCapacity = 65536;
+
+  explicit ShapeLog(size_t capacity = kDefaultCapacity);
+
+  /// Appends one real query's shape, evicting the oldest past capacity.
+  void Record(const TranslatedQuery& query);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// One decoy, sampled uniformly with replacement. Requires !empty().
+  TranslatedQuery Sample(Rng& rng) const;
+
+  /// k decoys (with replacement). Returns fewer than k only when the log
+  /// is empty (then zero).
+  std::vector<TranslatedQuery> SampleMany(int k, Rng& rng) const;
+
+  /// Persistence: versioned little-endian image (magic, version, count,
+  /// length-prefixed wire-encoded queries). Save writes `path`.tmp then
+  /// renames, so a crash never leaves a torn log; Load of a missing file
+  /// returns an empty log (first run), a corrupt file an error.
+  Bytes Serialize() const;
+  static Result<ShapeLog> Deserialize(const Bytes& image, size_t capacity);
+  Status SaveToFile(const std::string& path) const;
+  static Result<ShapeLog> LoadFromFile(const std::string& path,
+                                       size_t capacity = kDefaultCapacity);
+
+ private:
+  size_t capacity_;
+  std::vector<TranslatedQuery> entries_;
+  /// Ring cursor: next slot to overwrite once entries_ hit capacity.
+  size_t next_ = 0;
+};
+
+}  // namespace privacy
+}  // namespace xcrypt
+
+#endif  // XCRYPT_PRIVACY_SHAPE_H_

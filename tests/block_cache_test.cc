@@ -121,7 +121,7 @@ TEST(BlockCacheTest, CountersFlowToRegistry) {
 class DasCacheTest : public ::testing::TestWithParam<SchemeKind> {
  protected:
   static std::unique_ptr<DasSystem> Host(int64_t cache_bytes) {
-    DasSystem::Options options;
+    ClientTuning options;
     options.block_cache_bytes = cache_bytes;
     auto das = DasSystem::Host(BuildHospital(25, 7), HealthcareConstraints(),
                                GetParam(), "cache-secret", options);

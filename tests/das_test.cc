@@ -44,9 +44,9 @@ TEST(DasSystemTest, CostsPopulatedPerQuery) {
 }
 
 TEST(DasSystemTest, TransmissionFollowsLinkSpeed) {
-  DasSystem::Options slow;
+  ClientTuning slow;
   slow.link_mbps = 1.0;
-  DasSystem::Options fast;
+  ClientTuning fast;
   fast.link_mbps = 1000.0;
   auto das_slow = DasSystem::Host(BuildHospital(20, 2),
                                   HealthcareConstraints(),
@@ -132,7 +132,7 @@ TEST(DasSystemTest, OptShipsLessThanSubLessThanTop) {
 }
 
 TEST(DasSystemTest, InProcessTransmissionIsSimulatedFromBytesShipped) {
-  DasSystem::Options options;
+  ClientTuning options;
   options.link_mbps = 100.0;
   auto das = DasSystem::Host(BuildHospital(30, 1), HealthcareConstraints(),
                              SchemeKind::kSub, "s", options);

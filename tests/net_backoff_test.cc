@@ -90,12 +90,25 @@ TEST(NextBackoffMs, SequencesAreJitteredNotDeterministic) {
 }
 
 TEST(RemoteOptionsBackoff, FixedSeedMakesConnectDeterministic) {
-  // The seed plumbs through RemoteOptions for reproducible retry
+  // The seed plumbs through RetryPolicy for reproducible retry
   // schedules in tests; just assert the option exists and defaults off.
   RemoteOptions options;
-  EXPECT_EQ(options.backoff_seed, 0u);
-  options.backoff_seed = 42;
-  EXPECT_EQ(options.backoff_seed, 42u);
+  EXPECT_EQ(options.retry.backoff_seed, 0u);
+  options.retry.backoff_seed = 42;
+  EXPECT_EQ(options.retry.backoff_seed, 42u);
+}
+
+TEST(RetryPolicyTest, ValidateRejectsNonsense) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.Validate().ok());
+  policy.max_attempts = 0;
+  EXPECT_EQ(policy.Validate().code(), StatusCode::kInvalidArgument);
+  policy = RetryPolicy();
+  policy.initial_backoff_ms = -1.0;
+  EXPECT_EQ(policy.Validate().code(), StatusCode::kInvalidArgument);
+  policy = RetryPolicy();
+  policy.max_backoff_ms = -1.0;
+  EXPECT_EQ(policy.Validate().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

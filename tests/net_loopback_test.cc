@@ -456,8 +456,8 @@ TEST(RemoteEngineTest, ConnectToDeadPortFailsUnavailableAfterRetries) {
   }
   RemoteOptions options;
   options.connect_timeout_sec = 0.5;
-  options.max_attempts = 2;
-  options.initial_backoff_ms = 5.0;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 5.0;
   auto remote = RemoteServerEngine::Connect("127.0.0.1", dead_port, options);
   ASSERT_FALSE(remote.ok());
   EXPECT_EQ(remote.status().code(), StatusCode::kUnavailable);
@@ -476,8 +476,8 @@ TEST(RemoteEngineTest, RequestAfterServerShutdownFailsCleanly) {
 
   RemoteOptions options;
   options.connect_timeout_sec = 0.5;
-  options.max_attempts = 2;
-  options.initial_backoff_ms = 5.0;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 5.0;
   auto remote =
       RemoteServerEngine::Connect("127.0.0.1", (*server)->port(), options);
   ASSERT_TRUE(remote.ok());

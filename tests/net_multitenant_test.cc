@@ -294,7 +294,7 @@ TEST_F(MultiTenantTest, OverloadShedsAreRetryableUnavailableNeverSilent) {
   for (int c = 0; c < kClients; ++c) {
     threads.emplace_back([&] {
       RemoteOptions ropts;
-      ropts.max_attempts = 1;  // observe raw sheds
+      ropts.retry.max_attempts = 1;  // observe raw sheds
       auto remote =
           RemoteServerEngine::Connect("127.0.0.1", (*server)->port(), ropts);
       if (!remote.ok()) {
@@ -334,8 +334,8 @@ TEST_F(MultiTenantTest, OverloadShedsAreRetryableUnavailableNeverSilent) {
   for (int c = 0; c < 4; ++c) {
     retriers.emplace_back([&] {
       RemoteOptions ropts;
-      ropts.max_attempts = 10;
-      ropts.initial_backoff_ms = 2.0;
+      ropts.retry.max_attempts = 10;
+      ropts.retry.initial_backoff_ms = 2.0;
       auto remote =
           RemoteServerEngine::Connect("127.0.0.1", (*server)->port(), ropts);
       if (!remote.ok()) {

@@ -144,15 +144,17 @@ TEST_F(ReactorTest, RemoteOptionsValidateRejectsNonsense) {
   };
   EXPECT_TRUE(invalid([](RemoteOptions* o) { o->connect_timeout_sec = 0.0; }));
   EXPECT_TRUE(invalid([](RemoteOptions* o) { o->request_timeout_sec = -2.0; }));
-  EXPECT_TRUE(invalid([](RemoteOptions* o) { o->max_attempts = 0; }));
-  EXPECT_TRUE(invalid([](RemoteOptions* o) { o->initial_backoff_ms = -1.0; }));
-  EXPECT_TRUE(invalid([](RemoteOptions* o) { o->max_backoff_ms = -1.0; }));
+  EXPECT_TRUE(invalid([](RemoteOptions* o) { o->retry.max_attempts = 0; }));
+  EXPECT_TRUE(
+      invalid([](RemoteOptions* o) { o->retry.initial_backoff_ms = -1.0; }));
+  EXPECT_TRUE(
+      invalid([](RemoteOptions* o) { o->retry.max_backoff_ms = -1.0; }));
   EXPECT_TRUE(invalid([](RemoteOptions* o) { o->max_frame_bytes = 0; }));
 
   // Connect() validates before dialing: the error is InvalidArgument,
   // not a connection failure, even with nothing listening.
   RemoteOptions bad;
-  bad.max_attempts = 0;
+  bad.retry.max_attempts = 0;
   auto remote = RemoteServerEngine::Connect("127.0.0.1", 1, bad);
   ASSERT_FALSE(remote.ok());
   EXPECT_EQ(remote.status().code(), StatusCode::kInvalidArgument);

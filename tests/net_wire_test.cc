@@ -154,8 +154,16 @@ TEST(WireFrame, RejectsBadMagicVersionTypeAndLength) {
   bad_type[5] = 0;
   EXPECT_EQ(DecodeFrame(bad_type, kDefaultMaxFrameBytes).status().code(),
             StatusCode::kCorruption);
-  bad_type[5] = static_cast<uint8_t>(MessageType::kUpdateResponse) + 1;
+  bad_type[5] = static_cast<uint8_t>(MessageType::kPirFetchResponse) + 1;
   EXPECT_EQ(DecodeFrame(bad_type, kDefaultMaxFrameBytes).status().code(),
+            StatusCode::kCorruption);
+
+  // The v7 message types are rejected on pre-v7 frames: an old peer can
+  // never have sent them, so one claiming to is corrupt, not newer.
+  Bytes old_probe = good;
+  old_probe[4] = 6;
+  old_probe[5] = static_cast<uint8_t>(MessageType::kProbeBatchRequest);
+  EXPECT_EQ(DecodeFrame(old_probe, kDefaultMaxFrameBytes).status().code(),
             StatusCode::kCorruption);
 
   // A length prefix exceeding the frame limit is rejected from the header

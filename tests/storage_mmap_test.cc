@@ -14,6 +14,7 @@
 //    of scripts/check.sh run this suite to enforce "never" memory-safely.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -73,9 +74,13 @@ class StorageMmapTest : public ::testing::TestWithParam<SchemeKind> {
                                "mmap-secret");
     EXPECT_TRUE(client.ok());
     client_ = std::make_unique<Client>(std::move(*client));
+    // Unique per process: ctest -j runs same-param cases concurrently in
+    // separate processes, and a shared directory would let one test's
+    // teardown delete the bundle out from under another.
     dir_ = fs::temp_directory_path() /
            ("xcrypt_mmap_test_" +
-            std::to_string(static_cast<int>(GetParam())));
+            std::to_string(static_cast<int>(GetParam())) + "_" +
+            std::to_string(static_cast<long>(::getpid())));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     path_ = (dir_ / "hosp.xcr").string();
@@ -174,7 +179,7 @@ TEST_P(StorageMmapTest, MappedHonorsCacheAdvertsLikeEager) {
   }
 
   ExecOptions opts;
-  opts.cached_blocks = &adverts;
+  opts.cached_blocks = adverts;
   auto want = eager_engine.Execute(heaviest, opts);
   auto got = mapped_engine.Execute(heaviest, opts);
   ASSERT_TRUE(want.ok() && got.ok());
